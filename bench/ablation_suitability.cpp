@@ -1,0 +1,99 @@
+// Ablation: algorithm-level MMU-suitability prediction (the paper's
+// Section 4 open question, implemented in analysis/suitability.hpp).
+// For each Cubie workload we write down the traits a compiler could see in
+// the *untransformed* algorithm, ask the assessor for a quadrant and a
+// speedup estimate, and compare against the measured Figure 4 factor on the
+// H200 model.
+
+#include "analysis/suitability.hpp"
+#include "bench_util.hpp"
+
+#include <iostream>
+
+namespace {
+
+using namespace cubie;
+
+struct TraitRow {
+  const char* workload;
+  analysis::AlgorithmTraits traits;
+};
+
+// Traits of the natural (pre-MMA) algorithms. Sources in comments.
+const TraitRow kTraits[] = {
+    // GEMM: dense blocks everywhere, O(tile) reuse, streaming layout.
+    {"GEMM", {30.0, 1.0, 1.0, 0.0, 32.0, 0.78, false}},
+    // FFT: high AI but butterflies only partially fill MMA tiles (zeros in
+    // the twiddle/radix matrices), streaming layout.
+    {"FFT", {3.0, 0.35, 1.0, 0.0, 2.0, 0.78, false}},
+    // Stencil: low AI, banded blocks are sparse inside tiles, grid layout.
+    {"Stencil", {0.6, 0.6, 1.0, 0.0, 3.0, 0.62, false}},
+    // Scan: one constant operand (U/SL/J), full outputs, streaming.
+    {"Scan", {0.06, 1.0, 1.0, 1.0, 1.0, 0.60, false}},
+    // Reduction: constant operands, single useful output element.
+    {"Reduction", {0.12, 1.0, 0.12, 1.0, 1.0, 0.60, false}},
+    // BFS: bitwise, baseline does scattered probes.
+    {"BFS", {0.05, 1.0, 0.125, 0.0, 1.0, 0.30, true}},
+    // GEMV: full input, diagonal-only output, decent baseline streaming.
+    {"GEMV", {0.12, 1.0, 0.125, 0.0, 1.0, 0.78, false}},
+    // SpMV: blocks are value-packed (full), diagonal output, irregular
+    // baseline gathers.
+    {"SpMV", {0.15, 0.9, 0.125, 0.0, 1.0, 0.45, false}},
+    // SpGEMM: mBSR blocks fairly dense, half the output tiles useful,
+    // hash-based baseline very irregular.
+    {"SpGEMM", {0.5, 0.8, 0.5, 0.0, 2.0, 0.45, false}},
+};
+
+const char* plain_label(analysis::UtilizationQuadrant q) {
+  switch (q) {
+    case analysis::UtilizationQuadrant::I: return "I";
+    case analysis::UtilizationQuadrant::II: return "II";
+    case analysis::UtilizationQuadrant::III: return "III";
+    case analysis::UtilizationQuadrant::IV: return "IV";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const auto& dev = sim::h200();
+  const sim::DeviceModel model(dev);
+  const int s = common::scale_divisor();
+
+  std::cout << "=== Ablation: algorithm-level MMU suitability vs measured "
+               "(H200) ===\n\n";
+  common::Table t({"workload", "predicted quadrant", "actual", "est speedup",
+                   "measured", "verdict ok?"});
+  int correct_quadrant = 0, correct_verdict = 0, n_rows = 0;
+  for (const auto& row : kTraits) {
+    const auto w = core::make_workload(row.workload);
+    const auto assessment = analysis::assess_mmu_suitability(row.traits, dev);
+
+    // Measured TC-vs-baseline factor (representative case).
+    const auto tc_case = w->cases(s)[w->representative_case()];
+    const double t_tc =
+        model.predict(w->run(core::Variant::TC, tc_case).profile).time_s;
+    const double t_base =
+        model.predict(w->run(core::Variant::Baseline, tc_case).profile).time_s;
+    const double measured = t_base / t_tc;
+
+    const std::string predicted_q = plain_label(assessment.quadrant);
+    const std::string actual_q = core::quadrant_name(w->quadrant());
+    const bool q_ok = predicted_q == actual_q;
+    const bool verdict_ok = assessment.recommend_mmu == (measured > 1.1);
+    correct_quadrant += q_ok;
+    correct_verdict += verdict_ok;
+    ++n_rows;
+    t.add_row({row.workload, predicted_q, actual_q,
+               common::fmt_double(assessment.estimated_speedup, 2) + "x",
+               common::fmt_double(measured, 2) + "x",
+               verdict_ok ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "\nQuadrant prediction: " << correct_quadrant << "/" << n_rows
+            << "; accelerate-or-not verdict: " << correct_verdict << "/"
+            << n_rows << "\n"
+            << "(PiC omitted: no baseline to compare against.)\n";
+  return 0;
+}

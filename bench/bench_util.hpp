@@ -1,0 +1,90 @@
+#pragma once
+// Shared helpers for the figure/table bench binaries: variant availability,
+// suite sweeps, and formatting. Each binary stays standalone (no cross-bench
+// caching) so `for b in build/bench/*; do $b; done` reproduces every figure
+// from scratch.
+
+#include "common/metrics.hpp"
+#include "common/table.hpp"
+#include "core/kernels.hpp"
+#include "sim/model.hpp"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace cubie::benchutil {
+
+inline std::vector<core::Variant> available_variants(const core::Workload& w) {
+  std::vector<core::Variant> vs;
+  if (w.has_baseline()) vs.push_back(core::Variant::Baseline);
+  vs.push_back(core::Variant::TC);
+  vs.push_back(core::Variant::CC);
+  if (w.cce_distinct()) vs.push_back(core::Variant::CCE);
+  return vs;
+}
+
+// Performance metric for Figure 3: useful work rate. FLOP/s for
+// floating-point kernels, traversed edges/s (TEPS) for BFS.
+inline double perf_metric(const core::Workload& w,
+                          const sim::KernelProfile& prof, double time_s) {
+  (void)w;
+  return time_s > 0.0 ? prof.useful_flops / time_s : 0.0;
+}
+
+// Case-averaged speedup of variant `num` over variant `den` on one device.
+struct SpeedupRow {
+  std::string workload;
+  core::Quadrant quadrant;
+  std::vector<double> per_gpu;  // indexed like sim::all_gpus()
+};
+
+inline std::vector<SpeedupRow> speedup_sweep(core::Variant num,
+                                             core::Variant den,
+                                             int scale_divisor) {
+  std::vector<SpeedupRow> rows;
+  for (const auto& w : core::make_suite()) {
+    const bool have_num = num != core::Variant::Baseline || w->has_baseline();
+    const bool have_den = den != core::Variant::Baseline || w->has_baseline();
+    if (!have_num || !have_den) continue;
+    if ((num == core::Variant::CCE || den == core::Variant::CCE) &&
+        !w->cce_distinct())
+      continue;
+    SpeedupRow row;
+    row.workload = w->name();
+    row.quadrant = w->quadrant();
+    const auto gpus = sim::all_gpus();
+    std::vector<std::vector<double>> ratios(gpus.size());
+    for (const auto& tc : w->cases(scale_divisor)) {
+      const auto out_num = w->run(num, tc);
+      const auto out_den = w->run(den, tc);
+      for (std::size_t g = 0; g < gpus.size(); ++g) {
+        const sim::DeviceModel model(sim::spec_for(gpus[g]));
+        const double t_num = model.predict(out_num.profile).time_s;
+        const double t_den = model.predict(out_den.profile).time_s;
+        ratios[g].push_back(t_den / t_num);  // speedup of num over den
+      }
+    }
+    for (auto& r : ratios) row.per_gpu.push_back(common::geomean(r));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+inline void print_speedup_table(const std::string& title,
+                                const std::vector<SpeedupRow>& rows) {
+  std::cout << title << "\n\n";
+  common::Table t({"Quadrant", "Workload", "A100", "H200", "B200"});
+  for (const auto& r : rows) {
+    t.add_row({core::quadrant_name(r.quadrant), r.workload,
+               common::fmt_double(r.per_gpu[0], 2) + "x",
+               common::fmt_double(r.per_gpu[1], 2) + "x",
+               common::fmt_double(r.per_gpu[2], 2) + "x"});
+  }
+  t.print(std::cout);
+  std::cout << "\nCSV:\n";
+  t.print_csv(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace cubie::benchutil

@@ -1,0 +1,43 @@
+// Figure 3: absolute performance of all ten workloads across their five
+// test cases and four implementation variants on the A100, H200, and B200
+// device models. Values are useful-work rates (GFLOP/s; GTEPS for BFS),
+// predicted by the analytic device model from functionally-counted events.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace cubie;
+  const int s = common::scale_divisor();
+  std::cout << "=== Figure 3: performance of Baseline/TC/CC/CC-E across "
+               "workloads (scale 1/" << s << ") ===\n"
+            << "units: GFLOP/s (BFS: GTEPS)\n\n";
+
+  for (const auto& w : core::make_suite()) {
+    std::cout << "--- " << w->name() << " (Quadrant "
+              << core::quadrant_name(w->quadrant())
+              << ", baseline: " << w->baseline_name() << ") ---\n";
+    const auto variants = benchutil::available_variants(*w);
+    for (auto gpu : sim::all_gpus()) {
+      const sim::DeviceModel model(sim::spec_for(gpu));
+      std::vector<std::string> header{"case"};
+      for (auto v : variants) header.push_back(core::variant_name(v));
+      common::Table t(std::move(header));
+      for (const auto& tc : w->cases(s)) {
+        std::vector<std::string> row{tc.label};
+        for (auto v : variants) {
+          const auto out = w->run(v, tc);
+          const auto pred = model.predict(out.profile);
+          row.push_back(common::fmt_double(
+              benchutil::perf_metric(*w, out.profile, pred.time_s) / 1e9, 1));
+        }
+        t.add_row(std::move(row));
+      }
+      std::cout << model.spec().name << ":\n";
+      t.print(std::cout);
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

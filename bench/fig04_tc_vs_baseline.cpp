@@ -1,0 +1,30 @@
+// Figure 4: speedups of the TC implementations over their baselines on the
+// three GPUs, geomean across the five test cases per workload, grouped by
+// utilization quadrant (paper Section 6.1).
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cubie;
+  const auto rows = benchutil::speedup_sweep(
+      core::Variant::TC, core::Variant::Baseline, common::scale_divisor());
+  benchutil::print_speedup_table(
+      "=== Figure 4: TC speedup over Baseline (case geomean) ===", rows);
+
+  // Quadrant summary, as the paper's prose reports.
+  std::cout << "Quadrant geomeans (A100/H200/B200):\n";
+  for (auto q : {core::Quadrant::I, core::Quadrant::II, core::Quadrant::III,
+                 core::Quadrant::IV}) {
+    std::vector<double> per_gpu[3];
+    for (const auto& r : rows) {
+      if (r.quadrant != q) continue;
+      for (int g = 0; g < 3; ++g) per_gpu[g].push_back(r.per_gpu[static_cast<std::size_t>(g)]);
+    }
+    if (per_gpu[0].empty()) continue;
+    std::cout << "  Quadrant " << core::quadrant_name(q) << ": ";
+    for (int g = 0; g < 3; ++g)
+      std::cout << common::fmt_double(common::geomean(per_gpu[g]), 2)
+                << (g < 2 ? "x / " : "x\n");
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 5: speedups of the CC replacements over the TC versions - the
+// ablation isolating the compute unit under identical data structures and
+// algorithms (paper Section 6.2). Values below 1.0 mean the CUDA-core
+// replacement is slower.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cubie;
+  const auto rows = benchutil::speedup_sweep(
+      core::Variant::CC, core::Variant::TC, common::scale_divisor());
+  benchutil::print_speedup_table(
+      "=== Figure 5: CC speedup over TC (case geomean; <1 = slower) ===",
+      rows);
+  return 0;
+}

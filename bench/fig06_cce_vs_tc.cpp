@@ -1,0 +1,15 @@
+// Figure 6: speedups of the CC-E (essential-computation) replacements over
+// the TC versions for Quadrants II-IV - whether the redundant computations
+// introduced for MMU utilization are worth keeping (paper Section 6.3).
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cubie;
+  const auto rows = benchutil::speedup_sweep(
+      core::Variant::CCE, core::Variant::TC, common::scale_divisor());
+  benchutil::print_speedup_table(
+      "=== Figure 6: CC-E speedup over TC (Quadrants II-IV; <1 = slower) ===",
+      rows);
+  return 0;
+}

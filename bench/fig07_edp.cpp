@@ -1,0 +1,52 @@
+// Figure 7: energy-delay product (EDP = average power * time^2, kernel-only
+// window) of every workload and variant on the H200 model, one
+// representative test case per workload, with per-quadrant geomeans.
+// Each workload is conceptually executed in a loop (the paper runs 500-6M
+// iterations); EDP ratios are iteration-count invariant, so one profiled
+// execution scaled to a fixed 5 s window is reported.
+
+#include "bench_util.hpp"
+
+#include <iostream>
+#include <map>
+
+int main() {
+  using namespace cubie;
+  const int s = common::scale_divisor();
+  const sim::DeviceModel model(sim::h200());
+  std::cout << "=== Figure 7: EDP on H200 (representative case each; J*s per "
+               "kernel execution) ===\n\n";
+
+  common::Table t({"Quadrant", "Workload", "Case", "Baseline", "TC", "CC",
+                   "CC-E"});
+  std::map<std::string, std::vector<double>> quad_ratios;  // TC/Baseline EDP
+  for (const auto& w : core::make_suite()) {
+    const auto tc_case = w->cases(s)[w->representative_case()];
+    std::map<core::Variant, double> edp;
+    for (auto v : benchutil::available_variants(*w)) {
+      const auto out = w->run(v, tc_case);
+      edp[v] = model.predict(out.profile).edp;
+    }
+    auto cell = [&](core::Variant v) {
+      return edp.count(v) ? common::fmt_sci(edp[v]) : std::string("-");
+    };
+    t.add_row({core::quadrant_name(w->quadrant()), w->name(), tc_case.label,
+               cell(core::Variant::Baseline), cell(core::Variant::TC),
+               cell(core::Variant::CC), cell(core::Variant::CCE)});
+    if (edp.count(core::Variant::Baseline)) {
+      quad_ratios[core::quadrant_name(w->quadrant())].push_back(
+          edp[core::Variant::TC] / edp[core::Variant::Baseline]);
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nTC vs Baseline EDP (geomean per quadrant; <1 = TC saves "
+               "energy-delay):\n";
+  for (const auto& [q, ratios] : quad_ratios) {
+    const double g = common::geomean(ratios);
+    std::cout << "  Quadrant " << q << ": " << common::fmt_double(g, 2)
+              << " (" << common::fmt_double((1.0 - g) * 100.0, 0)
+              << "% EDP reduction)\n";
+  }
+  return 0;
+}

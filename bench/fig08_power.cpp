@@ -1,0 +1,50 @@
+// Figure 8: power consumption over time on the H200 model. Each workload's
+// representative case is conceptually executed in a loop for a 5-second
+// sampling window (the paper's NVML methodology); the trace is synthesized
+// from the modeled steady-state power with a thermal ramp. Output: per-
+// workload summary plus a decimated CSV trace for plotting.
+
+#include "bench_util.hpp"
+
+#include "sim/power.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace cubie;
+  const int s = common::scale_divisor();
+  const sim::DeviceModel model(sim::h200());
+  std::cout << "=== Figure 8: power over time on H200 (750 W TDP) ===\n\n";
+
+  common::Table summary({"Workload", "Variant", "avg W", "peak W",
+                         "time/iter (ms)", "energy in window (J)"});
+  std::cout << "trace CSV (t_s, watts) at the end of output.\n\n";
+  std::string csv = "workload,variant,t_s,watts\n";
+
+  for (const auto& w : core::make_suite()) {
+    const auto tc_case = w->cases(s)[w->representative_case()];
+    for (auto v : benchutil::available_variants(*w)) {
+      const auto out = w->run(v, tc_case);
+      const auto pred = model.predict(out.profile);
+      sim::PowerTraceOptions opts;
+      const auto trace = sim::synthesize_power_trace(model.spec(), pred, opts);
+      double peak = 0.0;
+      for (const auto& pt : trace) peak = std::max(peak, pt.watts);
+      summary.add_row({w->name(), core::variant_name(v),
+                       common::fmt_double(pred.avg_power_w, 0),
+                       common::fmt_double(peak, 0),
+                       common::fmt_double(pred.time_s * 1e3, 3),
+                       common::fmt_double(sim::trace_energy_j(trace), 0)});
+      // Decimate the trace to ~20 samples for the CSV.
+      const std::size_t step = std::max<std::size_t>(1, trace.size() / 20);
+      for (std::size_t i = 0; i < trace.size(); i += step) {
+        csv += w->name() + "," + core::variant_name(v) + "," +
+               common::fmt_double(trace[i].t_s, 2) + "," +
+               common::fmt_double(trace[i].watts, 1) + "\n";
+      }
+    }
+  }
+  summary.print(std::cout);
+  std::cout << "\n" << csv;
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 9: cache-aware roofline on the H200 model - DRAM and L1 bandwidth
+// ceilings plus the FP64 tensor-core and CUDA-core peaks, with every
+// workload/variant plotted at (arithmetic intensity, achieved GFLOP/s).
+// BFS is excluded (bit-wise operations), as in the paper.
+
+#include "bench_util.hpp"
+
+#include "sim/roofline.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace cubie;
+  const int s = common::scale_divisor();
+  const sim::DeviceModel model(sim::h200());
+  const sim::Roofline roof(sim::h200());
+
+  std::cout << "=== Figure 9: cache-aware roofline, H200 ===\n\n"
+            << "Ceilings: FP64 TC peak = "
+            << common::fmt_double(roof.tc_peak() / 1e12, 1)
+            << " TFLOPS, FP64 CC peak = "
+            << common::fmt_double(roof.cc_peak() / 1e12, 1)
+            << " TFLOPS\n  DRAM BW = "
+            << common::fmt_double(sim::h200().dram_bw / 1e12, 1)
+            << " TB/s, L1 BW (N_SM*N_LSU*W*f) = "
+            << common::fmt_double(sim::h200().smem_bw / 1e12, 1)
+            << " TB/s, ridge AI = "
+            << common::fmt_double(roof.ridge_ai(), 2) << " FLOP/B\n\n";
+
+  common::Table t({"Workload", "Variant", "AI (FLOP/B)", "achieved GFLOP/s",
+                   "roof GFLOP/s", "% of roof", "bound"});
+  for (const auto& w : core::make_suite()) {
+    if (!w->is_floating_point()) continue;  // BFS excluded
+    const auto tc_case = w->cases(s)[w->representative_case()];
+    for (auto v : benchutil::available_variants(*w)) {
+      const auto out = w->run(v, tc_case);
+      const auto pred = model.predict(out.profile);
+      const auto pt = roof.point(w->name() + "/" + core::variant_name(v),
+                                 out.profile, pred);
+      t.add_row({w->name(), core::variant_name(v),
+                 common::fmt_double(pt.arithmetic_intensity, 3),
+                 common::fmt_double(pt.achieved_flops / 1e9, 1),
+                 common::fmt_double(pt.attainable_flops / 1e9, 1),
+                 common::fmt_double(
+                     100.0 * pt.achieved_flops /
+                         std::max(1.0, pt.attainable_flops), 1),
+                 sim::bottleneck_name(pred.bound)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nCSV:\n";
+  t.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 10: PCA of the input corpora. (a) graphs: a synthetic corpus
+// standing in for the 499 SuiteSparse graphs plus the five Table 3
+// representatives; (b) matrices: a corpus standing in for the 2893
+// SuiteSparse matrices plus the five Table 4 representatives. Reports the
+// projected coordinates, the selected-set dispersion, and the coverage
+// fraction - the quantities behind the paper's representativeness claims.
+
+#include "analysis/pca.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/stats.hpp"
+
+#include <iostream>
+
+namespace {
+
+using namespace cubie;
+
+void analyze(const std::string& title,
+             const std::vector<sparse::MatrixFeatures>& corpus_features,
+             const std::vector<sparse::MatrixFeatures>& selected_features,
+             const std::vector<std::string>& selected_names) {
+  analysis::Dataset d;
+  d.samples = corpus_features.size() + selected_features.size();
+  d.features = sparse::MatrixFeatures::kCount;
+  for (const auto& f : corpus_features) {
+    const auto a = f.as_array();
+    d.data.insert(d.data.end(), a.begin(), a.end());
+  }
+  for (const auto& f : selected_features) {
+    const auto a = f.as_array();
+    d.data.insert(d.data.end(), a.begin(), a.end());
+  }
+  analysis::standardize(d);
+  const auto res = analysis::pca(d, 2);
+
+  std::cout << title << "\n  PC1 explains "
+            << common::fmt_double(res.explained_ratio[0] * 100.0, 1)
+            << "%, PC2 " << common::fmt_double(res.explained_ratio[1] * 100.0, 1)
+            << "% of variance\n";
+
+  std::vector<std::size_t> sel;
+  for (std::size_t i = 0; i < selected_features.size(); ++i)
+    sel.push_back(corpus_features.size() + i);
+
+  common::Table t({"selected", "PC1", "PC2"});
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    t.add_row({selected_names[i], common::fmt_double(res.coord(sel[i], 0), 2),
+               common::fmt_double(res.coord(sel[i], 1), 2)});
+  }
+  t.print(std::cout);
+
+  // Dispersion of the representatives vs. corpus neighbours + coverage.
+  const double disp = analysis::mean_pairwise_distance(res.projected, sel);
+  double span = 0.0;
+  for (std::size_t c = 0; c < 2; ++c) {
+    double lo = 1e300, hi = -1e300;
+    for (std::size_t i = 0; i < res.projected.samples; ++i) {
+      lo = std::min(lo, res.coord(i, c));
+      hi = std::max(hi, res.coord(i, c));
+    }
+    span = std::max(span, hi - lo);
+  }
+  const double radius = span * 0.25;
+  const double cov = analysis::coverage_fraction(res.projected, sel, radius);
+  std::cout << "  mean pairwise distance of the 5 representatives: "
+            << common::fmt_double(disp, 2)
+            << "\n  fraction of corpus within r=" << common::fmt_double(radius, 2)
+            << " of a representative: "
+            << common::fmt_double(cov * 100.0, 1) << "%\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 10: PCA of graph and matrix corpora ===\n\n";
+
+  // (a) graphs.
+  {
+    const auto corpus = graph::synthetic_graph_corpus(96, 1234);
+    std::vector<sparse::MatrixFeatures> cf;
+    cf.reserve(corpus.size());
+    for (const auto& g : corpus)
+      cf.push_back(sparse::matrix_features(graph::adjacency_csr(g.graph)));
+    std::vector<sparse::MatrixFeatures> sf;
+    std::vector<std::string> names;
+    for (const auto& nm : graph::table3_names()) {
+      const auto g = graph::make_table3_graph(nm, 32);
+      sf.push_back(sparse::matrix_features(graph::adjacency_csr(g.graph)));
+      names.push_back(nm);
+    }
+    analyze("(a) graphs: corpus of 96 + 5 Table 3 representatives", cf, sf,
+            names);
+  }
+
+  // (b) matrices.
+  {
+    const auto corpus = sparse::synthetic_matrix_corpus(120, 4321);
+    std::vector<sparse::MatrixFeatures> cf;
+    cf.reserve(corpus.size());
+    for (const auto& m : corpus) cf.push_back(sparse::matrix_features(m.matrix));
+    std::vector<sparse::MatrixFeatures> sf;
+    std::vector<std::string> names;
+    for (const auto& nm : sparse::table4_names()) {
+      sf.push_back(sparse::matrix_features(
+          sparse::make_table4_matrix(nm, 16).matrix));
+      names.push_back(nm);
+    }
+    analyze("(b) matrices: corpus of 120 + 5 Table 4 representatives", cf, sf,
+            names);
+  }
+  return 0;
+}

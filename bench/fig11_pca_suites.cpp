@@ -1,0 +1,79 @@
+// Figure 11: PCA comparing the behavioural diversity of Cubie against
+// Rodinia and SHOC. Each kernel contributes a vector of architectural
+// metrics (memory utilization, compute throughput, FMA-pipe and tensor-pipe
+// usage, issue intensity, arithmetic intensity) extracted from its profile
+// on the H200 model - the NCU-metric substitution documented in DESIGN.md.
+// Cubie's wider dispersion in PC space is the paper's Observation 9.
+
+#include "analysis/features.hpp"
+#include "analysis/pca.hpp"
+#include "common/table.hpp"
+#include "core/kernels.hpp"
+#include "core/suite_proxies.hpp"
+#include "sim/model.hpp"
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+int main() {
+  using namespace cubie;
+  const int s = common::scale_divisor();
+  const sim::DeviceModel model(sim::h200());
+  std::vector<analysis::KernelMetrics> metrics;
+
+  // Cubie: TC implementations (the suite's own kernels).
+  for (const auto& w : core::make_suite()) {
+    const auto tc_case = w->cases(s)[w->representative_case()];
+    const auto out = w->run(core::Variant::TC, tc_case);
+    metrics.push_back(analysis::extract_metrics(
+        "Cubie/" + w->name(), "Cubie", out.profile, model.predict(out.profile)));
+  }
+  // Rodinia and SHOC proxy kernels.
+  for (const auto& r : core::run_suite_proxies()) {
+    metrics.push_back(analysis::extract_metrics(r.suite + "/" + r.name,
+                                                r.suite, r.profile,
+                                                model.predict(r.profile)));
+  }
+
+  auto d = analysis::metrics_dataset(metrics);
+  analysis::standardize(d);
+  const auto res = analysis::pca(d, 2);
+
+  std::cout << "=== Figure 11: PCA of Cubie vs Rodinia vs SHOC kernel "
+               "behaviour (H200) ===\n\n"
+            << "PC1 " << common::fmt_double(res.explained_ratio[0] * 100, 1)
+            << "% / PC2 " << common::fmt_double(res.explained_ratio[1] * 100, 1)
+            << "% of variance\n\n";
+  common::Table t({"suite", "kernel", "PC1", "PC2"});
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    t.add_row({metrics[i].suite, metrics[i].name,
+               common::fmt_double(res.coord(i, 0), 2),
+               common::fmt_double(res.coord(i, 1), 2)});
+  }
+  t.print(std::cout);
+
+  // Dispersion (PC-space area proxy): mean distance from suite centroid.
+  std::cout << "\nSuite dispersion (mean distance from suite centroid; "
+               "larger = more diverse behaviour):\n";
+  std::map<std::string, std::vector<std::size_t>> by_suite;
+  for (std::size_t i = 0; i < metrics.size(); ++i)
+    by_suite[metrics[i].suite].push_back(i);
+  for (const auto& [suite, idx] : by_suite) {
+    double cx = 0.0, cy = 0.0;
+    for (auto i : idx) {
+      cx += res.coord(i, 0);
+      cy += res.coord(i, 1);
+    }
+    cx /= static_cast<double>(idx.size());
+    cy /= static_cast<double>(idx.size());
+    double dist = 0.0;
+    for (auto i : idx) {
+      dist += std::hypot(res.coord(i, 0) - cx, res.coord(i, 1) - cy);
+    }
+    std::cout << "  " << suite << ": "
+              << common::fmt_double(dist / static_cast<double>(idx.size()), 2)
+              << '\n';
+  }
+  return 0;
+}

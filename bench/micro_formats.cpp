@@ -1,0 +1,71 @@
+// Micro-benchmarks for the format-conversion substrate: CSR construction,
+// mBSR tiling, bitmap slice-set assembly - the preprocessing stages that
+// every MMU-adapted kernel pays once (paper Observation 1).
+
+#include "common/rng.hpp"
+#include "graph/bitmap.hpp"
+#include "graph/generators.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/mbsr.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace cubie;
+
+void BM_CsrFromCoo(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto base = sparse::gen_random_uniform(n, 16, 11);
+  sparse::Coo coo;
+  coo.rows = coo.cols = n;
+  for (int r = 0; r < n; ++r) {
+    for (int p = base.row_ptr[static_cast<std::size_t>(r)]; p < base.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      coo.row.push_back(r);
+      coo.col.push_back(base.col_idx[static_cast<std::size_t>(p)]);
+      coo.val.push_back(base.vals[static_cast<std::size_t>(p)]);
+    }
+  }
+  for (auto _ : state) {
+    auto m = sparse::csr_from_coo(coo);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(coo.nnz()));
+}
+BENCHMARK(BM_CsrFromCoo)->Arg(1024)->Arg(4096);
+
+void BM_MbsrFromCsr(benchmark::State& state) {
+  const auto m = sparse::gen_block_fem(static_cast<int>(state.range(0)), 4, 6, 16, 13);
+  for (auto _ : state) {
+    auto b = sparse::mbsr_from_csr(m);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m.nnz()));
+}
+BENCHMARK(BM_MbsrFromCsr)->Arg(1024)->Arg(4096);
+
+void BM_SliceSetFromGraph(benchmark::State& state) {
+  const auto g = graph::gen_rmat(static_cast<int>(state.range(0)), 8, 0.57,
+                                 0.19, 0.19, 17);
+  for (auto _ : state) {
+    auto s = graph::slice_set_from_graph(g);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(g.edges()));
+}
+BENCHMARK(BM_SliceSetFromGraph)->Arg(10)->Arg(12);
+
+void BM_SpmvSerial(benchmark::State& state) {
+  const auto m = sparse::gen_random_uniform(static_cast<int>(state.range(0)), 24, 19);
+  const auto x = common::random_vector(static_cast<std::size_t>(m.cols), 21);
+  for (auto _ : state) {
+    auto y = sparse::spmv_serial(m, x);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m.nnz()));
+}
+BENCHMARK(BM_SpmvSerial)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Micro-benchmarks (google-benchmark, host wall-clock): throughput of the
+// MMA emulation layer and of the hot substrate operations. These measure
+// the *simulator's* speed, not modeled GPU performance - useful for keeping
+// the functional layer fast enough to drive the figure sweeps.
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "mma/constants.hpp"
+#include "mma/mma.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace cubie;
+
+void BM_DmmaM8n8k4(benchmark::State& state) {
+  common::Lcg rng(1);
+  double a[32], b[32], c[64] = {};
+  for (auto& v : a) v = rng.next_linpack();
+  for (auto& v : b) v = rng.next_linpack();
+  sim::KernelProfile prof;
+  mma::Context ctx(mma::Pipe::TensorCore, prof);
+  for (auto _ : state) {
+    ctx.dmma_m8n8k4_acc(a, b, c);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["emulated_GFLOP/s"] = benchmark::Counter(
+      512.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_DmmaM8n8k4);
+
+void BM_DmmaM8n8k8(benchmark::State& state) {
+  common::Lcg rng(2);
+  double a[64], b[64], c[64] = {};
+  for (auto& v : a) v = rng.next_linpack();
+  for (auto& v : b) v = rng.next_linpack();
+  sim::KernelProfile prof;
+  mma::Context ctx(mma::Pipe::TensorCore, prof);
+  for (auto _ : state) {
+    ctx.dmma_m8n8k8_acc(a, b, c);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DmmaM8n8k8);
+
+void BM_BmmaM8n8k128(benchmark::State& state) {
+  common::Lcg rng(3);
+  std::uint32_t a[32], b[32], d[64] = {};
+  for (auto& v : a) v = rng.next_raw();
+  for (auto& v : b) v = rng.next_raw();
+  sim::KernelProfile prof;
+  mma::Context ctx(mma::Pipe::TensorCore, prof);
+  for (auto _ : state) {
+    ctx.bmma_m8n8k128_and_popc_acc(a, b, d);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BmmaM8n8k128);
+
+void BM_FftSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto re = common::random_vector(n, 5);
+  std::vector<fft::cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = {re[i], 0.0};
+  for (auto _ : state) {
+    auto y = fft::fft_serial(x);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftSerial)->Arg(256)->Arg(1024);
+
+void BM_FftStockham(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto re = common::random_vector(n, 6);
+  std::vector<fft::cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = {re[i], 0.0};
+  for (auto _ : state) {
+    auto y = fft::fft_stockham(x);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftStockham)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

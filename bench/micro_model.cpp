@@ -1,0 +1,85 @@
+// Micro-benchmarks for the analysis layer: device-model prediction
+// throughput, power-trace synthesis, PCA, and suitability assessment -
+// these run once per (workload, variant, case, gpu) cell in the figure
+// sweeps, so they must stay negligible next to the functional execution.
+
+#include "analysis/pca.hpp"
+#include "analysis/suitability.hpp"
+#include "common/rng.hpp"
+#include "sim/model.hpp"
+#include "sim/power.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace cubie;
+
+sim::KernelProfile sample_profile() {
+  sim::KernelProfile p;
+  p.tc_flops = 3.2e9;
+  p.cc_flops = 1.1e8;
+  p.dram_bytes = 6.4e8;
+  p.smem_bytes = 2.2e9;
+  p.warp_instructions = 9.5e6;
+  p.threads = 1.3e5;
+  p.launches = 3;
+  p.useful_flops = 2.8e9;
+  return p;
+}
+
+void BM_DeviceModelPredict(benchmark::State& state) {
+  const sim::DeviceModel model(sim::h200());
+  const auto prof = sample_profile();
+  for (auto _ : state) {
+    auto pred = model.predict(prof);
+    benchmark::DoNotOptimize(pred);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeviceModelPredict);
+
+void BM_PowerTraceSynthesis(benchmark::State& state) {
+  const sim::DeviceModel model(sim::h200());
+  const auto pred = model.predict(sample_profile());
+  sim::PowerTraceOptions opts;
+  for (auto _ : state) {
+    auto trace = sim::synthesize_power_trace(sim::h200(), pred, opts);
+    benchmark::DoNotOptimize(trace);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PowerTraceSynthesis);
+
+void BM_PcaOnCorpusFeatures(benchmark::State& state) {
+  const std::size_t samples = static_cast<std::size_t>(state.range(0));
+  analysis::Dataset d;
+  d.samples = samples;
+  d.features = 10;
+  d.data = common::random_vector(samples * 10, 7);
+  analysis::standardize(d);
+  for (auto _ : state) {
+    auto res = analysis::pca(d, 2);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(samples));
+}
+BENCHMARK(BM_PcaOnCorpusFeatures)->Arg(100)->Arg(500);
+
+void BM_SuitabilityAssessment(benchmark::State& state) {
+  analysis::AlgorithmTraits t;
+  t.arithmetic_intensity = 0.15;
+  t.input_block_density = 0.9;
+  t.output_utilization = 0.125;
+  t.baseline_mem_regularity = 0.45;
+  for (auto _ : state) {
+    auto a = analysis::assess_mmu_suitability(t, sim::h200());
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SuitabilityAssessment);
+
+}  // namespace
+
+BENCHMARK_MAIN();

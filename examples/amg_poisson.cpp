@@ -1,0 +1,151 @@
+// Two-level algebraic-multigrid solve of a 2D Poisson system - the setting
+// the paper's SpGEMM kernel comes from (AmgT builds Galerkin coarse
+// operators A_c = R * A * P with tensor-core SpGEMM, then smooths with
+// SpMV). This example assembles the 5-point Poisson matrix, builds a
+// piecewise-constant aggregation P, forms A_c with the serial SpGEMM
+// substrate, and runs a V(1,1)-cycle-preconditioned Richardson iteration.
+//
+//   $ ./amg_poisson [grid] [cycles]
+
+#include "common/metrics.hpp"
+#include "common/table.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/mbsr.hpp"
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+namespace {
+
+using namespace cubie;
+
+// 5-point Poisson operator on an n x n grid (Dirichlet boundary).
+sparse::Csr poisson2d(int n) {
+  sparse::Coo coo;
+  coo.rows = coo.cols = n * n;
+  auto idx = [n](int y, int x) { return y * n + x; };
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      coo.row.push_back(idx(y, x));
+      coo.col.push_back(idx(y, x));
+      coo.val.push_back(4.0);
+      const int dy[] = {-1, 1, 0, 0}, dx[] = {0, 0, -1, 1};
+      for (int k = 0; k < 4; ++k) {
+        const int ny = y + dy[k], nx = x + dx[k];
+        if (ny >= 0 && ny < n && nx >= 0 && nx < n) {
+          coo.row.push_back(idx(y, x));
+          coo.col.push_back(idx(ny, nx));
+          coo.val.push_back(-1.0);
+        }
+      }
+    }
+  }
+  return sparse::csr_from_coo(coo);
+}
+
+// Piecewise-constant aggregation: 2x2 grid cells -> one coarse unknown.
+sparse::Csr aggregation(int n) {
+  const int nc = n / 2;
+  sparse::Coo coo;
+  coo.rows = n * n;
+  coo.cols = nc * nc;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const int cy = std::min(y / 2, nc - 1), cx = std::min(x / 2, nc - 1);
+      coo.row.push_back(y * n + x);
+      coo.col.push_back(cy * nc + cx);
+      coo.val.push_back(1.0);
+    }
+  }
+  return sparse::csr_from_coo(coo);
+}
+
+void jacobi_smooth(const sparse::Csr& a, const std::vector<double>& b,
+                   std::vector<double>& x, double omega, int sweeps) {
+  for (int s = 0; s < sweeps; ++s) {
+    const auto ax = sparse::spmv_serial(a, x);
+    for (int r = 0; r < a.rows; ++r) {
+      double diag = 1.0;
+      for (int p = a.row_ptr[static_cast<std::size_t>(r)]; p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p)
+        if (a.col_idx[static_cast<std::size_t>(p)] == r) diag = a.vals[static_cast<std::size_t>(p)];
+      x[static_cast<std::size_t>(r)] += omega * (b[static_cast<std::size_t>(r)] - ax[static_cast<std::size_t>(r)]) / diag;
+    }
+  }
+}
+
+// Direct-ish coarse solve: many Jacobi sweeps (the coarse system is small).
+void coarse_solve(const sparse::Csr& ac, const std::vector<double>& bc,
+                  std::vector<double>& xc) {
+  xc.assign(static_cast<std::size_t>(ac.rows), 0.0);
+  jacobi_smooth(ac, bc, xc, 0.8, 200);
+}
+
+double residual_norm(const sparse::Csr& a, const std::vector<double>& b,
+                     const std::vector<double>& x) {
+  const auto ax = sparse::spmv_serial(a, x);
+  double s = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double r = b[i] - ax[i];
+    s += r * r;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 64;
+  const int cycles = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  const sparse::Csr a = poisson2d(n);
+  const sparse::Csr p = aggregation(n);
+  const sparse::Csr r = sparse::transpose(p);
+
+  // Galerkin coarse operator A_c = R * A * P - the SpGEMM pair AmgT runs on
+  // tensor cores; its 4x4 block density is what makes mBSR effective.
+  const sparse::Csr ap = sparse::spgemm_serial(a, p);
+  const sparse::Csr ac = sparse::spgemm_serial(r, ap);
+  const auto ac_blocked = sparse::mbsr_from_csr(ac);
+
+  std::cout << "AMG two-level Poisson solve, " << n << "x" << n << " grid\n"
+            << "  fine operator: " << a.rows << " unknowns, " << a.nnz()
+            << " nnz\n"
+            << "  coarse operator (R*A*P via SpGEMM): " << ac.rows
+            << " unknowns, " << ac.nnz() << " nnz, mBSR block fill "
+            << cubie::common::fmt_double(ac_blocked.fill_ratio() * 100.0, 1)
+            << "%\n\n";
+
+  // Solve A x = b with V(1,1) cycles.
+  const std::size_t nn = static_cast<std::size_t>(a.rows);
+  std::vector<double> b(nn, 1.0), x(nn, 0.0);
+  const double r0 = residual_norm(a, b, x);
+
+  cubie::common::Table t({"cycle", "residual", "reduction"});
+  double prev = r0;
+  for (int c = 1; c <= cycles; ++c) {
+    jacobi_smooth(a, b, x, 0.8, 1);  // pre-smooth
+    // Coarse correction.
+    const auto ax = sparse::spmv_serial(a, x);
+    std::vector<double> res(nn);
+    for (std::size_t i = 0; i < nn; ++i) res[i] = b[i] - ax[i];
+    const auto rc = sparse::spmv_serial(r, res);
+    std::vector<double> xc;
+    coarse_solve(ac, rc, xc);
+    const auto corr = sparse::spmv_serial(p, xc);
+    for (std::size_t i = 0; i < nn; ++i) x[i] += corr[i];
+    jacobi_smooth(a, b, x, 0.8, 1);  // post-smooth
+
+    const double rn = residual_norm(a, b, x);
+    if (c <= 5 || c == cycles) {
+      t.add_row({std::to_string(c), cubie::common::fmt_sci(rn),
+                 cubie::common::fmt_double(rn / prev, 3)});
+    }
+    prev = rn;
+  }
+  t.print(std::cout);
+  const double final_res = residual_norm(a, b, x);
+  std::cout << "\nTotal residual reduction: "
+            << cubie::common::fmt_sci(final_res / r0) << '\n';
+  return final_res < r0 * 1e-3 ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Quickstart: run one workload (GEMM) in all variants on one device model
+// and print performance, energy, and numerical error - the minimal tour of
+// the Cubie API.
+//
+//   $ ./quickstart            # GEMM on the H200 model
+//   $ ./quickstart SpMV       # any of the ten workload names
+
+#include "common/metrics.hpp"
+#include "common/table.hpp"
+#include "core/kernels.hpp"
+#include "sim/model.hpp"
+
+#include <iostream>
+#include <string>
+
+int main(int argc, char** argv) {
+  using namespace cubie;
+  const std::string which = argc > 1 ? argv[1] : "GEMM";
+  core::WorkloadPtr w = core::make_workload(which);
+  if (!w) {
+    std::cerr << "unknown workload '" << which << "'; available:";
+    for (const auto& s : core::make_suite()) std::cerr << ' ' << s->name();
+    std::cerr << '\n';
+    return 1;
+  }
+
+  const sim::DeviceModel model(sim::h200());
+  const auto cases = w->cases(common::scale_divisor());
+  const auto& tc_case = cases[w->representative_case()];
+  std::cout << "Workload " << w->name() << " (Quadrant "
+            << core::quadrant_name(w->quadrant()) << ", dwarf: " << w->dwarf()
+            << ")\ncase " << tc_case.label << " on " << model.spec().name
+            << "\n\n";
+
+  const auto ref = w->reference(tc_case);
+  common::Table t({"variant", "time (ms)", "useful GFLOP/s", "power (W)",
+                   "EDP (J*s)", "avg err", "max err"});
+  for (auto v : core::all_variants()) {
+    if (v == core::Variant::Baseline && !w->has_baseline()) continue;
+    if (v == core::Variant::CCE && !w->cce_distinct()) continue;
+    const auto out = w->run(v, tc_case);
+    const auto pred = model.predict(out.profile);
+    const auto err = common::error_stats(out.values, ref);
+    t.add_row({core::variant_name(v), common::fmt_double(pred.time_s * 1e3),
+               common::fmt_double(out.profile.useful_flops / pred.time_s / 1e9, 1),
+               common::fmt_double(pred.avg_power_w, 0),
+               common::fmt_sci(pred.edp), common::fmt_sci(err.avg),
+               common::fmt_sci(err.max)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(Performance numbers are analytic-model predictions for the "
+               "device;\n errors are measured against the naive CPU serial "
+               "reference.)\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Quick test, mirroring the paper artifact's quick_test/runme.sh: evaluates
+# the four representative workloads (SpMV, Reduction, Scan, FFT) and
+# produces their performance, power, and accuracy results in a few minutes.
+set -e
+
+OUT=quick_test_results
+mkdir -p "$OUT"
+
+cmake -B build -G Ninja >/dev/null
+cmake --build build >/dev/null
+
+CLI=./build/tools/cubie
+echo "== quick test: SpMV, Reduction, Scan, FFT =="
+for w in SpMV Reduction Scan FFT; do
+  echo "-- $w --"
+  "$CLI" run "$w" --variant all --case rep --gpu all --errors \
+      | tee "$OUT/${w}.txt"
+done
+
+echo "== power / EDP (representative cases, H200) =="
+./build/bench/fig07_edp | tee "$OUT/edp.txt" | tail -6
+
+echo "== accuracy =="
+./build/bench/table06_accuracy | tee "$OUT/all_error.txt" | tail -12
+
+echo "== done; outputs in $OUT/ =="

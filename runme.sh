@@ -1,0 +1,48 @@
+#!/bin/sh
+# Full evaluation driver, mirroring the paper artifact's runme.sh: builds,
+# runs the test suite, then regenerates every figure/table into results/.
+# Usage:  sh runme.sh [scale-divisor]   (default 4; 1 = paper-size sweeps)
+set -e
+
+SCALE="${1:-4}"
+export CUBIE_SCALE="$SCALE"
+OUT=results
+mkdir -p "$OUT"
+
+echo "== configure + build =="
+cmake -B build -G Ninja >/dev/null
+cmake --build build
+
+echo "== compilation test: all targets built =="
+
+echo "== unit + integration tests =="
+ctest --test-dir build --output-on-failure | tee "$OUT/ctest.txt" | tail -3
+
+echo "== performance evaluation (Figures 3-6) =="
+./build/bench/fig03_perf            | tee "$OUT/Figure3_perf.txt" | tail -2
+./build/bench/fig04_tc_vs_baseline  | tee "$OUT/Figure4_TCvsBaseline.txt" | tail -5
+./build/bench/fig05_cc_vs_tc        | tee "$OUT/Figure5_CCvsTC.txt" | tail -2
+./build/bench/fig06_cce_vs_tc       | tee "$OUT/Figure6_CCEvsTC.txt" | tail -2
+
+echo "== power evaluation (Figures 7-8) =="
+./build/bench/fig07_edp             | tee "$OUT/Figure7_edp.txt" | tail -6
+./build/bench/fig08_power           | tee "$OUT/Figure8_power.txt" | tail -2
+
+echo "== memory / coverage analyses (Figures 9-12, Table 7) =="
+./build/bench/fig09_roofline        > "$OUT/Figure9_roofline.txt"
+./build/bench/fig10_pca_inputs      > "$OUT/Figure10_pca_inputs.txt"
+./build/bench/fig11_pca_suites      > "$OUT/Figure11_pca_suites.txt"
+./build/bench/fig12_peaks           > "$OUT/Figure12_peaks.txt"
+./build/bench/table07_coverage      > "$OUT/Table7_coverage.txt"
+
+echo "== accuracy evaluation (Table 6) =="
+./build/bench/table06_accuracy      | tee "$OUT/all_error.txt" | tail -12
+
+echo "== ablations =="
+for b in ablation_accumulation ablation_precision ablation_padding \
+         ablation_occupancy ablation_issue_cost; do
+  ./build/bench/$b > "$OUT/$b.txt"
+done
+
+echo "== done; outputs in $OUT/ =="
+ls "$OUT"

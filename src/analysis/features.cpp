@@ -1,0 +1,45 @@
+#include "analysis/features.hpp"
+
+#include <cmath>
+
+namespace cubie::analysis {
+
+std::vector<std::string> KernelMetrics::names() {
+  return {"mem_utilization",   "compute_throughput", "fma_pipe_usage",
+          "tensor_pipe_usage", "issue_intensity",    "arithmetic_intensity"};
+}
+
+KernelMetrics extract_metrics(const std::string& name, const std::string& suite,
+                              const sim::KernelProfile& prof,
+                              const sim::Prediction& pred) {
+  KernelMetrics m;
+  m.name = name;
+  m.suite = suite;
+  m.mem_utilization = pred.u_mem;
+  const double work = prof.useful_flops > 0.0 ? prof.useful_flops
+                                              : prof.total_flops() + prof.tc_bitops +
+                                                    prof.cc_intops;
+  m.compute_throughput =
+      pred.time_s > 0.0 ? std::log10(1.0 + work / pred.time_s) : 0.0;
+  m.fma_pipe_usage = pred.u_cuda;
+  m.tensor_pipe_usage = pred.u_tensor;
+  m.issue_intensity =
+      prof.dram_bytes > 0.0 ? prof.warp_instructions / prof.dram_bytes : 0.0;
+  m.arithmetic_intensity =
+      std::log10(1.0 + (prof.dram_bytes > 0.0 ? work / prof.dram_bytes : 0.0));
+  return m;
+}
+
+Dataset metrics_dataset(const std::vector<KernelMetrics>& metrics) {
+  Dataset d;
+  d.samples = metrics.size();
+  d.features = KernelMetrics::kCount;
+  d.data.reserve(d.samples * d.features);
+  for (const auto& m : metrics) {
+    const auto arr = m.as_array();
+    d.data.insert(d.data.end(), arr.begin(), arr.end());
+  }
+  return d;
+}
+
+}  // namespace cubie::analysis

@@ -1,0 +1,44 @@
+#pragma once
+// Architectural metric extraction for the Figure 11 suite-comparison PCA.
+// The paper collects, via NCU, "memory efficiency, compute throughput, and
+// instruction pipeline usage for FMA and tensor operations"; the same
+// quantities are derived here from the KernelProfile and the device model's
+// utilization breakdown.
+
+#include "analysis/pca.hpp"
+#include "sim/model.hpp"
+#include "sim/profile.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace cubie::analysis {
+
+struct KernelMetrics {
+  std::string name;   // "Cubie/SpMV-TC", "Rodinia/hotspot", ...
+  std::string suite;  // "Cubie" | "Rodinia" | "SHOC"
+
+  double mem_utilization = 0.0;     // fraction of time DRAM-bound
+  double compute_throughput = 0.0;  // log10 useful FLOP/s
+  double fma_pipe_usage = 0.0;      // CUDA-core pipe utilization
+  double tensor_pipe_usage = 0.0;   // tensor-core pipe utilization
+  double issue_intensity = 0.0;     // warp instructions per DRAM byte
+  double arithmetic_intensity = 0.0;// log10(1 + useful FLOPs / byte)
+
+  static constexpr std::size_t kCount = 6;
+  std::array<double, kCount> as_array() const {
+    return {mem_utilization,   compute_throughput, fma_pipe_usage,
+            tensor_pipe_usage, issue_intensity,    arithmetic_intensity};
+  }
+  static std::vector<std::string> names();
+};
+
+KernelMetrics extract_metrics(const std::string& name, const std::string& suite,
+                              const sim::KernelProfile& prof,
+                              const sim::Prediction& pred);
+
+// Stack metric vectors into a PCA-ready dataset (unstandardized).
+Dataset metrics_dataset(const std::vector<KernelMetrics>& metrics);
+
+}  // namespace cubie::analysis

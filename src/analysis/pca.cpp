@@ -1,0 +1,193 @@
+#include "analysis/pca.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace cubie::analysis {
+
+std::vector<std::pair<double, double>> standardize(Dataset& d) {
+  std::vector<std::pair<double, double>> stats(d.features);
+  for (std::size_t f = 0; f < d.features; ++f) {
+    double mean = 0.0;
+    for (std::size_t s = 0; s < d.samples; ++s) mean += d.at(s, f);
+    mean /= static_cast<double>(std::max<std::size_t>(1, d.samples));
+    double var = 0.0;
+    for (std::size_t s = 0; s < d.samples; ++s) {
+      const double c = d.at(s, f) - mean;
+      var += c * c;
+    }
+    var /= static_cast<double>(std::max<std::size_t>(1, d.samples));
+    const double sd = std::sqrt(var);
+    stats[f] = {mean, sd};
+    for (std::size_t s = 0; s < d.samples; ++s) {
+      d.at(s, f) = sd > 0.0 ? (d.at(s, f) - mean) / sd : 0.0;
+    }
+  }
+  return stats;
+}
+
+void jacobi_eigen(std::vector<double>& a, std::size_t n,
+                  std::vector<double>& eigenvalues,
+                  std::vector<double>& eigenvectors) {
+  // v starts as identity and accumulates rotations (rows become vectors).
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += a[i * n + j] * a[i * n + j];
+    return s;
+  };
+
+  constexpr int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps && off() > 1e-24; ++sweep) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vpk = v[p * n + k];
+          const double vqk = v[q * n + k];
+          v[p * n + k] = c * vpk - s * vqk;
+          v[q * n + k] = s * vpk + c * vqk;
+        }
+      }
+    }
+  }
+
+  // Sort by eigenvalue, descending; fix eigenvector signs.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a[x * n + x] > a[y * n + y];
+  });
+  eigenvalues.resize(n);
+  eigenvectors.assign(n * n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t src = order[r];
+    eigenvalues[r] = a[src * n + src];
+    double max_abs = 0.0;
+    double sign = 1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (std::fabs(v[src * n + k]) > max_abs) {
+        max_abs = std::fabs(v[src * n + k]);
+        sign = v[src * n + k] >= 0.0 ? 1.0 : -1.0;
+      }
+    }
+    for (std::size_t k = 0; k < n; ++k)
+      eigenvectors[r * n + k] = sign * v[src * n + k];
+  }
+}
+
+PcaResult pca(const Dataset& d, std::size_t components) {
+  assert(d.samples > 1 && d.features > 0);
+  const std::size_t nf = d.features;
+  components = std::min(components, nf);
+
+  // Covariance matrix of the (already standardized) data.
+  std::vector<double> cov(nf * nf, 0.0);
+  for (std::size_t i = 0; i < nf; ++i) {
+    for (std::size_t j = i; j < nf; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < d.samples; ++r) s += d.at(r, i) * d.at(r, j);
+      s /= static_cast<double>(d.samples - 1);
+      cov[i * nf + j] = s;
+      cov[j * nf + i] = s;
+    }
+  }
+
+  PcaResult res;
+  res.components = components;
+  std::vector<double> evals, evecs;
+  jacobi_eigen(cov, nf, evals, evecs);
+
+  const double total = std::max(1e-300, std::accumulate(evals.begin(), evals.end(), 0.0,
+                                                        [](double acc, double v) {
+                                                          return acc + std::max(0.0, v);
+                                                        }));
+  res.eigenvalues.assign(evals.begin(), evals.begin() + static_cast<std::ptrdiff_t>(components));
+  res.eigenvectors.resize(components * nf);
+  res.explained_ratio.resize(components);
+  for (std::size_t c = 0; c < components; ++c) {
+    res.explained_ratio[c] = std::max(0.0, evals[c]) / total;
+    for (std::size_t f = 0; f < nf; ++f)
+      res.eigenvectors[c * nf + f] = evecs[c * nf + f];
+  }
+
+  res.projected.samples = d.samples;
+  res.projected.features = components;
+  res.projected.data.assign(d.samples * components, 0.0);
+  for (std::size_t s = 0; s < d.samples; ++s) {
+    for (std::size_t c = 0; c < components; ++c) {
+      double acc = 0.0;
+      for (std::size_t f = 0; f < nf; ++f)
+        acc += d.at(s, f) * res.eigenvectors[c * nf + f];
+      res.projected.at(s, c) = acc;
+    }
+  }
+  return res;
+}
+
+double mean_pairwise_distance(const Dataset& projected,
+                              const std::vector<std::size_t>& selected) {
+  if (selected.size() < 2) return 0.0;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    for (std::size_t j = i + 1; j < selected.size(); ++j) {
+      double d2 = 0.0;
+      for (std::size_t c = 0; c < projected.features; ++c) {
+        const double diff =
+            projected.at(selected[i], c) - projected.at(selected[j], c);
+        d2 += diff * diff;
+      }
+      total += std::sqrt(d2);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+double coverage_fraction(const Dataset& projected,
+                         const std::vector<std::size_t>& selected,
+                         double radius) {
+  if (selected.empty() || projected.samples == 0) return 0.0;
+  std::size_t covered = 0;
+  for (std::size_t s = 0; s < projected.samples; ++s) {
+    double best = 1e300;
+    for (std::size_t sel : selected) {
+      double d2 = 0.0;
+      for (std::size_t c = 0; c < projected.features; ++c) {
+        const double diff = projected.at(s, c) - projected.at(sel, c);
+        d2 += diff * diff;
+      }
+      best = std::min(best, d2);
+    }
+    if (std::sqrt(best) <= radius) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(projected.samples);
+}
+
+}  // namespace cubie::analysis

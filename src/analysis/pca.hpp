@@ -1,0 +1,58 @@
+#pragma once
+// Principal component analysis on standardized feature matrices, built from
+// scratch (covariance matrix + cyclic Jacobi eigensolver). Used for the
+// benchmark-coverage studies of Figures 10 and 11: project matrices, graphs,
+// and kernel metric vectors onto their two leading components.
+
+#include <string>
+#include <vector>
+
+namespace cubie::analysis {
+
+// Row-major sample matrix: samples x features.
+struct Dataset {
+  std::size_t samples = 0;
+  std::size_t features = 0;
+  std::vector<double> data;  // samples * features
+
+  double at(std::size_t s, std::size_t f) const { return data[s * features + f]; }
+  double& at(std::size_t s, std::size_t f) { return data[s * features + f]; }
+};
+
+// Z-score standardization per feature (in place). Constant features are left
+// centered at zero. Returns per-feature (mean, stddev) pairs.
+std::vector<std::pair<double, double>> standardize(Dataset& d);
+
+struct PcaResult {
+  std::size_t components = 0;
+  std::vector<double> eigenvalues;        // descending
+  std::vector<double> eigenvectors;       // components x features, row-major
+  std::vector<double> explained_ratio;    // eigenvalue share
+  Dataset projected;                      // samples x components
+
+  // Convenience: projected coordinate of sample s on component c.
+  double coord(std::size_t s, std::size_t c) const { return projected.at(s, c); }
+};
+
+// Run PCA keeping `components` leading components. The input should already
+// be standardized. Deterministic (fixed Jacobi sweep order; eigenvector sign
+// fixed so the largest-magnitude entry is positive).
+PcaResult pca(const Dataset& d, std::size_t components);
+
+// Symmetric eigen-decomposition by cyclic Jacobi; exposed for tests.
+// `a` is n x n row-major and is destroyed; eigenvalues + eigenvectors
+// (rows) come back sorted descending.
+void jacobi_eigen(std::vector<double>& a, std::size_t n,
+                  std::vector<double>& eigenvalues,
+                  std::vector<double>& eigenvectors);
+
+// Dispersion diagnostics used in Section 10's representativeness argument:
+// mean pairwise distance of `selected` rows in the projected space, and the
+// fraction of all samples whose nearest selected row is within `radius`.
+double mean_pairwise_distance(const Dataset& projected,
+                              const std::vector<std::size_t>& selected);
+double coverage_fraction(const Dataset& projected,
+                         const std::vector<std::size_t>& selected,
+                         double radius);
+
+}  // namespace cubie::analysis

@@ -1,0 +1,56 @@
+#pragma once
+// MMU-suitability assessment from algorithm-level traits.
+//
+// The paper closes Section 4 with the open question of whether MMU
+// accelerability can be inferred from the *original* algorithm, before the
+// MMA transformation, "likely with compiler assistance". This module
+// implements that first step: a trait vector a compiler front end could
+// extract (arithmetic intensity, dense-block share, operand reuse, output
+// density, constant operands, bitwise-ness) is mapped to (a) the predicted
+// utilization quadrant of Figure 2 and (b) an estimated TC-over-baseline
+// speedup on a given device, using the same bottleneck reasoning as the
+// performance model. bench/ablation_suitability validates the predictions
+// against the measured Figure 4 factors for all ten workloads.
+
+#include "sim/device.hpp"
+
+#include <string>
+
+namespace cubie::analysis {
+
+// Traits observable on the untransformed algorithm.
+struct AlgorithmTraits {
+  // Useful FLOPs per DRAM byte of the natural implementation.
+  double arithmetic_intensity = 0.0;
+  // Fraction of the computation expressible as dense blocks of the MMA
+  // shape (k >= 4 contiguous); 1.0 for GEMM, ~block fill for sparse codes.
+  double input_block_density = 1.0;
+  // Fraction of each MMA-shaped output tile the algorithm actually needs.
+  double output_utilization = 1.0;
+  // Average number of MMA operands that are compile-time constants (0..2).
+  double constant_operands = 0.0;
+  // Average reuse of each loaded input element (GEMM: O(tile), SpMV: 1).
+  double operand_reuse = 1.0;
+  // Bandwidth fraction the natural (vector) layout sustains; < 1 for
+  // irregular gather/scatter codes.
+  double baseline_mem_regularity = 1.0;
+  // Bit-level computation (BFS): routes to the b1 MMA path.
+  bool bitwise = false;
+};
+
+enum class UtilizationQuadrant { I, II, III, IV };
+std::string quadrant_label(UtilizationQuadrant q);
+
+struct Assessment {
+  UtilizationQuadrant quadrant = UtilizationQuadrant::I;
+  // Estimated TC speedup over the vector baseline on the given device.
+  double estimated_speedup = 1.0;
+  // True when the estimate clears the "worth transforming" bar (> ~1.1x).
+  bool recommend_mmu = false;
+  std::string rationale;
+};
+
+Assessment assess_mmu_suitability(const AlgorithmTraits& t,
+                                  const sim::DeviceSpec& dev);
+
+}  // namespace cubie::analysis

@@ -1,0 +1,56 @@
+#include "common/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cubie::common {
+
+ErrorStats error_stats(std::span<const double> result,
+                       std::span<const double> reference) {
+  assert(result.size() == reference.size());
+  ErrorStats s;
+  s.n = result.size();
+  if (s.n == 0) return s;
+  double total = 0.0;
+  for (std::size_t i = 0; i < s.n; ++i) {
+    const double e = std::fabs(result[i] - reference[i]);
+    total += e;
+    if (e > s.max) s.max = e;
+  }
+  s.avg = total / static_cast<double>(s.n);
+  return s;
+}
+
+double geomean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double checksum(std::span<const double> values) {
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s;
+}
+
+double rel_l2_error(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    num += d * d;
+    den += b[i] * b[i];
+  }
+  if (den == 0.0) return std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+}  // namespace cubie::common

@@ -1,0 +1,40 @@
+#pragma once
+// Error and summary metrics used throughout the evaluation.
+//
+// The paper (Section 8) defines
+//   Average_Error = (1/n) * sum_i |gpu_i - cpu_i|
+//   Max_Error     = max_i |gpu_i - cpu_i|
+// against a naive CPU serial implementation taken as ground truth. This
+// module implements those definitions plus the geometric-mean helper used
+// for per-quadrant EDP summaries (Figure 7).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cubie::common {
+
+struct ErrorStats {
+  double avg = 0.0;  // Average_Error
+  double max = 0.0;  // Max_Error
+  std::size_t n = 0;
+};
+
+// Elementwise absolute error of `result` against `reference`.
+// The spans must have equal length.
+ErrorStats error_stats(std::span<const double> result,
+                       std::span<const double> reference);
+
+// Geometric mean of strictly positive values; returns 0 for an empty span.
+double geomean(std::span<const double> values);
+
+// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> values);
+
+// Order-independent checksum (sum of values) for smoke comparisons.
+double checksum(std::span<const double> values);
+
+// Relative L2 error ||a - b|| / ||b||, used by solver examples.
+double rel_l2_error(std::span<const double> a, std::span<const double> b);
+
+}  // namespace cubie::common

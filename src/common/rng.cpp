@@ -1,0 +1,39 @@
+#include "common/rng.hpp"
+
+namespace cubie::common {
+
+std::uint32_t Lcg::next_raw() {
+  // Schrage's method avoids 64-bit overflow; kept in 64-bit for clarity.
+  constexpr std::uint64_t kA = 16807;
+  constexpr std::uint64_t kM = 2147483647;  // 2^31 - 1 (Mersenne prime)
+  state_ = static_cast<std::uint32_t>((kA * state_) % kM);
+  if (state_ == 0) state_ = 1;
+  return state_;
+}
+
+double Lcg::next_unit() {
+  constexpr double kInvM = 1.0 / 2147483647.0;
+  return static_cast<double>(next_raw()) * kInvM;
+}
+
+double Lcg::next_linpack() { return 4.0 * next_unit() - 2.0; }
+
+std::uint32_t Lcg::next_below(std::uint32_t bound) {
+  if (bound == 0) return 0;
+  return next_raw() % bound;
+}
+
+std::vector<double> random_vector(std::size_t n, std::uint32_t seed) {
+  return random_vector(n, -2.0, 2.0, seed);
+}
+
+std::vector<double> random_vector(std::size_t n, double lo, double hi,
+                                  std::uint32_t seed) {
+  Lcg rng(seed);
+  std::vector<double> v(n);
+  const double span = hi - lo;
+  for (auto& x : v) x = lo + span * rng.next_unit();
+  return v;
+}
+
+}  // namespace cubie::common

@@ -1,0 +1,43 @@
+#pragma once
+// LINPACK-style pseudo-random number generation (Lehmer linear congruential
+// generator). The paper (Section 8) initializes inputs with pseudo-random
+// values in (-2, 2) produced by an LCG following the LINPACK benchmark; this
+// module reproduces that scheme so numerical-error experiments are
+// deterministic and comparable across variants.
+
+#include <cstdint>
+#include <vector>
+
+namespace cubie::common {
+
+// Minimal-standard Lehmer LCG: x <- a*x mod m with a = 16807, m = 2^31 - 1.
+// Deterministic for a given seed; no global state.
+class Lcg {
+ public:
+  explicit Lcg(std::uint32_t seed = 1) : state_(seed == 0 ? 1 : seed) {}
+
+  // Next raw value in [1, 2^31 - 2].
+  std::uint32_t next_raw();
+
+  // Uniform double in [0, 1).
+  double next_unit();
+
+  // Uniform double in (-2, 2), the LINPACK-style input distribution used by
+  // the paper for all synthetic operands.
+  double next_linpack();
+
+  // Uniform integer in [0, bound).
+  std::uint32_t next_below(std::uint32_t bound);
+
+ private:
+  std::uint32_t state_;
+};
+
+// Fill `n` doubles distributed in (-2, 2).
+std::vector<double> random_vector(std::size_t n, std::uint32_t seed);
+
+// Fill `n` doubles in [lo, hi).
+std::vector<double> random_vector(std::size_t n, double lo, double hi,
+                                  std::uint32_t seed);
+
+}  // namespace cubie::common

@@ -1,0 +1,91 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace cubie::common {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    rule += std::string(width[c], '-') + "  ";
+  os << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string fmt_sci(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string fmt_si(double v, int precision) {
+  const char* suffix = "";
+  double scaled = v;
+  if (v >= 1e12) {
+    scaled = v / 1e12;
+    suffix = " T";
+  } else if (v >= 1e9) {
+    scaled = v / 1e9;
+    suffix = " G";
+  } else if (v >= 1e6) {
+    scaled = v / 1e6;
+    suffix = " M";
+  } else if (v >= 1e3) {
+    scaled = v / 1e3;
+    suffix = " K";
+  }
+  std::ostringstream ss;
+  ss << std::setprecision(precision) << scaled << suffix;
+  return ss.str();
+}
+
+int scale_divisor() {
+  const char* env = std::getenv("CUBIE_SCALE");
+  if (env == nullptr) return 4;  // default: paper dimensions divided by 4
+  const int v = std::atoi(env);
+  return v >= 1 ? v : 1;
+}
+
+}  // namespace cubie::common

@@ -1,0 +1,45 @@
+#pragma once
+// Plain-text table and CSV emission for the bench harness. Every figure /
+// table binary prints (a) a human-readable aligned table and (b) optionally a
+// CSV block that downstream plotting can consume, mirroring the artifact's
+// Figure*.pdf / all_error.csv outputs.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cubie::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Append one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  // Render with aligned columns.
+  void print(std::ostream& os) const;
+
+  // Render as CSV (header + rows).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format helpers used by the bench binaries.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_sci(double v, int precision = 2);
+std::string fmt_si(double v, int precision = 3);  // 1.23 K / 4.56 M / ...
+
+// Benchmark scale factor: the paper's test cases are geometrically scaled
+// down by default so the single-core functional simulator finishes in bench
+// time. Setting the environment variable CUBIE_SCALE=1 restores paper sizes;
+// values > 1 shrink further (dimensions divided by the factor).
+int scale_divisor();
+
+}  // namespace cubie::common

@@ -1,0 +1,214 @@
+// BFS workload (Quadrant IV): breadth-first search on the Table 3 graphs.
+//
+// TC: the BerryBees scheme. The (reverse) adjacency is stored as nonempty
+// 8x128 single-bit blocks; a BFS level multiplies each block against the
+// frontier bit-vector with the single-bit mma.m8n8k128 (AND + popcount).
+// The frontier segment is replicated into all 8 columns of the B operand
+// and only the diagonal of the 8x8 count matrix is useful - the Quadrant IV
+// partial-output pattern.
+// CC: identical block traversal with the bit ops executed on CUDA cores.
+// CC-E: only the 8 essential AND+popc row operations per block (no operand
+// replication). Baseline: Gunrock-style push BFS over CSR with a frontier
+// queue and scattered level updates.
+
+#include "core/kernels.hpp"
+
+#include "common/table.hpp"
+#include "graph/bitmap.hpp"
+#include "graph/generators.hpp"
+#include "mma/mma.hpp"
+#include "sim/calibration.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <vector>
+
+namespace cubie::core {
+namespace {
+
+namespace scal = cubie::sim::cal;
+using graph::kSliceCols;
+using graph::kSliceRows;
+using graph::kSliceWords;
+
+graph::Graph load_graph(const TestCase& tc) {
+  // dims[0] carries the scale divisor chosen at cases() time.
+  return graph::make_table3_graph(tc.dataset, static_cast<int>(tc.dims[0]))
+      .graph;
+}
+
+// Bit-MMA BFS over the slice set. `essential` selects the CC-E bit-op
+// accounting (functional result is identical).
+std::vector<int> run_berrybees(const graph::Graph& g,
+                               const graph::BitmapSliceSet& s, int source,
+                               mma::Context& ctx, bool essential) {
+  std::vector<int> level(static_cast<std::size_t>(g.n), -1);
+  graph::BitVector frontier(g.n), visited(g.n), next(g.n);
+  frontier.set(source);
+  visited.set(source);
+  level[static_cast<std::size_t>(source)] = 0;
+
+  std::uint32_t b_words[kSliceRows * kSliceWords];
+  std::uint32_t d[64];
+  int depth = 0;
+  while (frontier.popcount() > 0) {
+    ++depth;
+    next.clear();
+    ctx.launch(static_cast<double>(s.block_rows) * 32.0);
+    for (int br = 0; br < s.block_rows; ++br) {
+      // Completed-row filter: once all 8 destinations are visited, the
+      // whole block row is skipped without touching its blocks (BerryBees
+      // keeps this completion state alongside the frontier).
+      bool all_done = true;
+      for (int r = 0; r < kSliceRows && all_done; ++r) {
+        const int v = br * kSliceRows + r;
+        all_done = v >= g.n || visited.get(v);
+      }
+      ctx.cc_int(1.0);
+      if (all_done) continue;
+      for (int p = s.row_ptr[static_cast<std::size_t>(br)]; p < s.row_ptr[static_cast<std::size_t>(br) + 1]; ++p) {
+        const graph::SliceBlock& blk = s.blocks[static_cast<std::size_t>(p)];
+        // Frontier segment for this block's 128 source columns.
+        const std::size_t wbase = static_cast<std::size_t>(blk.block_col) * kSliceWords;
+        std::uint32_t seg[kSliceWords] = {};
+        bool any = false;
+        for (int w = 0; w < kSliceWords; ++w) {
+          if (wbase + static_cast<std::size_t>(w) < frontier.words.size()) {
+            seg[w] = frontier.words[wbase + static_cast<std::size_t>(w)];
+            any = any || seg[w] != 0;
+          }
+        }
+        ctx.load_global(16.0);  // frontier segment
+        ctx.cc_int(1.0);        // frontier-empty filter
+        if (!any) continue;
+        ctx.load_global(static_cast<double>(kSliceRows * kSliceWords) * 4.0 + 4.0);
+        std::fill(std::begin(d), std::end(d), 0u);
+        if (!essential) {
+          // Replicate the frontier segment into all 8 B columns.
+          for (int c = 0; c < kSliceRows; ++c)
+            for (int w = 0; w < kSliceWords; ++w)
+              b_words[c * kSliceWords + w] = seg[w];
+          ctx.bmma_m8n8k128_and_popc_acc(blk.bits.data(), b_words, d);
+        } else {
+          // Essential: one AND+popc row op per destination row.
+          ctx.cc_int(2.0 * kSliceRows * kSliceWords);
+          for (int r = 0; r < kSliceRows; ++r) {
+            std::uint32_t acc = 0;
+            for (int w = 0; w < kSliceWords; ++w)
+              acc += static_cast<std::uint32_t>(
+                  std::popcount(blk.bits[static_cast<std::size_t>(r * kSliceWords + w)] & seg[w]));
+            d[r * 8 + r] = acc;
+          }
+        }
+        // Diagonal extraction: row r reachable iff d[r][r] > 0.
+        for (int r = 0; r < kSliceRows; ++r) {
+          const int v = br * kSliceRows + r;
+          if (v < g.n && d[r * 8 + r] > 0 && !visited.get(v)) next.set(v);
+        }
+      }
+    }
+    // Commit the next frontier.
+    int found = 0;
+    for (int v = 0; v < g.n; ++v) {
+      if (next.get(v)) {
+        visited.set(v);
+        level[static_cast<std::size_t>(v)] = depth;
+        ++found;
+      }
+    }
+    ctx.store_global(static_cast<double>((g.n + 7) / 8));  // frontier bitmap
+    ctx.cc_int(static_cast<double>(g.n) / 32.0);
+    if (found == 0) break;
+    std::swap(frontier, next);
+  }
+  return level;
+}
+
+// Gunrock-style push BFS proxy.
+std::vector<int> run_gunrock(const graph::Graph& g, int source,
+                             mma::Context& ctx) {
+  std::vector<int> level(static_cast<std::size_t>(g.n), -1);
+  std::vector<int> frontier{source}, next;
+  level[static_cast<std::size_t>(source)] = 0;
+  int depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    ctx.launch(static_cast<double>(frontier.size()) * 32.0);
+    for (int u : frontier) {
+      const int deg = g.degree(u);
+      // Offsets + neighbour list (streamed) + scattered level probes; each
+      // random probe moves a full DRAM sector (cal::kRandomProbeBytes).
+      ctx.load_global(8.0 + static_cast<double>(deg) *
+                                (4.0 + scal::kRandomProbeBytes));
+      ctx.cc_int(static_cast<double>(deg) * 3.0);
+      for (int p = g.offsets[static_cast<std::size_t>(u)]; p < g.offsets[static_cast<std::size_t>(u) + 1]; ++p) {
+        const int v = g.neighbors[static_cast<std::size_t>(p)];
+        if (level[static_cast<std::size_t>(v)] < 0) {
+          level[static_cast<std::size_t>(v)] = depth;
+          next.push_back(v);
+        }
+      }
+    }
+    // Discovered vertices: scattered level stores (sector each) + queue push.
+    ctx.store_global(static_cast<double>(next.size()) *
+                     (scal::kRandomProbeBytes + 4.0));
+    std::swap(frontier, next);
+  }
+  return level;
+}
+
+class BfsWorkload final : public Workload {
+ public:
+  std::string name() const override { return "BFS"; }
+  Quadrant quadrant() const override { return Quadrant::IV; }
+  std::string dwarf() const override { return "Graph traversal"; }
+  std::string baseline_name() const override { return "Gunrock"; }
+  bool is_floating_point() const override { return false; }
+
+  std::vector<TestCase> cases(int s) const override {
+    std::vector<TestCase> cs;
+    for (const auto& nm : graph::table3_names()) cs.push_back({nm, {s}, nm});
+    return cs;
+  }
+
+  RunOutput run(Variant v, const TestCase& tc) const override {
+    const graph::Graph g = load_graph(tc);
+    const int source = 0;
+    RunOutput out;
+    mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
+                                      : mma::Pipe::CudaCore,
+                     out.profile);
+    std::vector<int> level;
+    if (v == Variant::Baseline) {
+      level = run_gunrock(g, source, ctx);
+      out.profile.pipe_eff = scal::kCcLibraryEff;
+      out.profile.mem_eff = scal::kMemEffScatter;
+    } else {
+      const graph::BitmapSliceSet s = graph::slice_set_from_graph(g);
+      level = run_berrybees(g, s, source, ctx, v == Variant::CCE);
+      out.profile.pipe_eff = v == Variant::TC ? scal::kTcSmallBlockEff
+                             : v == Variant::CC ? scal::kCcEmulationEff
+                                                : scal::kCcEssentialEff;
+      out.profile.mem_eff = v == Variant::CC ? scal::kMemEffCcEmulation
+                                             : scal::kMemEffTcLayout;
+    }
+    // Traversed-edge count as the useful work measure (TEPS basis).
+    out.profile.useful_flops = static_cast<double>(g.edges());
+    out.values.assign(level.begin(), level.end());
+    return out;
+  }
+
+  std::vector<double> reference(const TestCase& tc) const override {
+    const graph::Graph g = load_graph(tc);
+    const auto level = graph::bfs_serial(g, 0);
+    return std::vector<double>(level.begin(), level.end());
+  }
+};
+
+}  // namespace
+
+WorkloadPtr make_bfs() { return std::make_unique<BfsWorkload>(); }
+
+}  // namespace cubie::core

@@ -1,0 +1,280 @@
+// FFT workload (Quadrant I): batched 2D FFTs (Table 2 sizes, tcFFT-style).
+//
+// TC: the tcFFT scheme lifted to FP64. A mixed radix-4/radix-2 Stockham
+// FFT where every radix-4 butterfly is executed as a real 8x8 matrix
+// multiply (the complex 4x4 DFT in its real representation) through MMAs,
+// batching 8 butterflies per multiply; twiddle rotations remain scalar.
+// The A operand (the DFT matrix) is loaded once and reused across the whole
+// transform - the Quadrant I reuse pattern called out in Figure 2.
+// CC: identical dataflow on CUDA cores; CC-E == CC.
+// Baseline: a Stockham radix-2 FFT standing in for cuFFT (whose tuned
+// performance the paper's TC FFT fails to beat - Section 6.1).
+
+#include "core/kernels.hpp"
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "mma/mma.hpp"
+#include "sim/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+#include <vector>
+
+namespace cubie::core {
+namespace {
+
+namespace scal = cubie::sim::cal;
+using fft::cplx;
+
+struct FftProblem {
+  int ny = 0, nx = 0, batch = 0;
+  std::vector<cplx> data;  // batch images, row-major
+};
+
+FftProblem make_problem(const TestCase& tc) {
+  FftProblem p;
+  p.ny = static_cast<int>(tc.dims[0]);
+  p.nx = static_cast<int>(tc.dims[1]);
+  p.batch = static_cast<int>(tc.dims[2]);
+  const std::size_t n = static_cast<std::size_t>(p.ny) * static_cast<std::size_t>(p.nx) * static_cast<std::size_t>(p.batch);
+  const auto re = common::random_vector(n, 61);
+  const auto im = common::random_vector(n, 63);
+  p.data.resize(n);
+  for (std::size_t i = 0; i < n; ++i) p.data[i] = {re[i], im[i]};
+  return p;
+}
+
+// One mixed-radix Stockham FFT along contiguous rows of length `len`,
+// `count` rows, executing radix-4 butterflies through the MMA context.
+void fft_rows_mma(cplx* data, std::size_t count, std::size_t len,
+                  mma::Context& ctx) {
+  const mma::Mat8x8 f4 = fft::radix4_butterfly_real();
+  std::vector<cplx> a(len), b(len);
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+  for (std::size_t row = 0; row < count; ++row) {
+    cplx* x = data + row * len;
+    std::copy(x, x + len, a.begin());
+    std::size_t m = 1;
+    ctx.load_global(static_cast<double>(len) * 16.0);
+    while (m < len) {
+      const std::size_t rem = len / m;
+      const std::size_t radix = rem % 4 == 0 ? 4 : 2;
+      const std::size_t l = len / (radix * m);
+      // Per-stage streaming traffic (ping-pong buffers through smem).
+      ctx.load_shared(static_cast<double>(len) * 16.0 * 2.0);
+      if (radix == 4) {
+        // Gather butterflies into packed real 8-vectors; process 8 at once.
+        std::size_t pending = 0;
+        double xs[64];       // packed inputs, one butterfly per column
+        std::size_t idx[8][2];  // (j, k) of each pending butterfly
+        auto flush = [&]() {
+          if (pending == 0) return;
+          for (std::size_t c = pending; c < 8; ++c)
+            for (int r = 0; r < 8; ++r) xs[static_cast<std::size_t>(r) * 8 + c] = 0.0;
+          double us[64] = {};
+          ctx.dmma_m8n8k8_acc(f4.data(), xs, us);
+          for (std::size_t c = 0; c < pending; ++c) {
+            const std::size_t j = idx[c][0], k = idx[c][1];
+            const double ang = -kTwoPi * static_cast<double>(j) / static_cast<double>(4 * l);
+            cplx u[4];
+            for (int q = 0; q < 4; ++q)
+              u[q] = {us[static_cast<std::size_t>(2 * q) * 8 + c], us[static_cast<std::size_t>(2 * q + 1) * 8 + c]};
+            // Twiddle rotations (scalar; 3 complex multiplies).
+            ctx.cc_fma(9.0);
+            for (int q = 1; q < 4; ++q) {
+              const cplx w(std::cos(ang * q), std::sin(ang * q));
+              u[q] *= w;
+            }
+            for (int q = 0; q < 4; ++q)
+              b[k + (4 * j + static_cast<std::size_t>(q)) * m] = u[q];
+          }
+          pending = 0;
+        };
+        for (std::size_t j = 0; j < l; ++j) {
+          for (std::size_t k = 0; k < m; ++k) {
+            for (int q = 0; q < 4; ++q) {
+              const cplx v = a[k + j * m + static_cast<std::size_t>(q) * l * m];
+              xs[static_cast<std::size_t>(2 * q) * 8 + pending] = v.real();
+              xs[static_cast<std::size_t>(2 * q + 1) * 8 + pending] = v.imag();
+            }
+            idx[pending][0] = j;
+            idx[pending][1] = k;
+            if (++pending == 8) flush();
+          }
+        }
+        flush();
+        m *= 4;
+      } else {
+        // Leftover radix-2 stage: scalar butterflies (the non-MMA residue
+        // of non-power-of-4 sizes, as in tcFFT).
+        for (std::size_t j = 0; j < l; ++j) {
+          const double ang = -kTwoPi * static_cast<double>(j) / static_cast<double>(2 * l);
+          const cplx w(std::cos(ang), std::sin(ang));
+          for (std::size_t k = 0; k < m; ++k) {
+            const cplx c0 = a[k + j * m];
+            const cplx c1 = a[k + j * m + l * m];
+            b[k + 2 * j * m] = c0 + c1;
+            b[k + 2 * j * m + m] = (c0 - c1) * w;
+          }
+        }
+        ctx.cc_fma(static_cast<double>(len) * 5.0);
+        m *= 2;
+      }
+      std::swap(a, b);
+    }
+    std::copy(a.begin(), a.end(), x);
+    ctx.store_global(static_cast<double>(len) * 16.0);
+  }
+}
+
+// Transpose each image (counts streaming traffic).
+void transpose_images(std::vector<cplx>& d, int batch, int& ny, int& nx,
+                      mma::Context* ctx) {
+  std::vector<cplx> t(d.size());
+  const std::size_t plane = static_cast<std::size_t>(ny) * static_cast<std::size_t>(nx);
+  for (int im = 0; im < batch; ++im) {
+    const cplx* src = d.data() + static_cast<std::size_t>(im) * plane;
+    cplx* dst = t.data() + static_cast<std::size_t>(im) * plane;
+    for (int y = 0; y < ny; ++y)
+      for (int x = 0; x < nx; ++x)
+        dst[static_cast<std::size_t>(x) * static_cast<std::size_t>(ny) + static_cast<std::size_t>(y)] =
+            src[static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) + static_cast<std::size_t>(x)];
+  }
+  d = std::move(t);
+  std::swap(ny, nx);
+  if (ctx != nullptr) {
+    ctx->load_global(static_cast<double>(d.size()) * 16.0);
+    ctx->store_global(static_cast<double>(d.size()) * 16.0);
+  }
+}
+
+// Full 2D batched FFT on the MMA path.
+std::vector<cplx> run_mma_fft(FftProblem p, mma::Context& ctx) {
+  int ny = p.ny, nx = p.nx;
+  ctx.launch(static_cast<double>(p.batch) * ny * 8.0);
+  // DFT-matrix operand: loaded once from global memory, then reused.
+  ctx.load_global(64.0 * 8.0);
+  fft_rows_mma(p.data.data(), static_cast<std::size_t>(p.batch) * static_cast<std::size_t>(ny),
+               static_cast<std::size_t>(nx), ctx);
+  transpose_images(p.data, p.batch, ny, nx, &ctx);
+  fft_rows_mma(p.data.data(), static_cast<std::size_t>(p.batch) * static_cast<std::size_t>(ny),
+               static_cast<std::size_t>(nx), ctx);
+  transpose_images(p.data, p.batch, ny, nx, &ctx);
+  return std::move(p.data);
+}
+
+// Baseline: Stockham radix-2 per row/column (cuFFT proxy).
+std::vector<cplx> run_baseline_fft(FftProblem p, mma::Context& ctx) {
+  int ny = p.ny, nx = p.nx;
+  const double n = static_cast<double>(p.data.size());
+  const double stages = std::log2(static_cast<double>(p.ny)) + std::log2(static_cast<double>(p.nx));
+  ctx.launch(static_cast<double>(p.batch) * ny * 32.0);
+  ctx.load_global(n * 16.0 * 2.0);
+  ctx.store_global(n * 16.0 * 2.0);
+  ctx.load_shared(n * 16.0 * 2.0 * stages);
+  ctx.cc_fma(n * 5.0 * stages);
+
+  auto pass = [&](int rows, int len) {
+    for (int r = 0; r < rows; ++r) {
+      std::span<const cplx> row(p.data.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(len),
+                                static_cast<std::size_t>(len));
+      auto out = fft::fft_stockham(row);
+      std::copy(out.begin(), out.end(),
+                p.data.begin() + static_cast<std::ptrdiff_t>(r) * len);
+    }
+  };
+  pass(p.batch * ny, nx);
+  transpose_images(p.data, p.batch, ny, nx, nullptr);
+  pass(p.batch * ny, nx);
+  transpose_images(p.data, p.batch, ny, nx, nullptr);
+  return std::move(p.data);
+}
+
+std::vector<double> flatten(const std::vector<cplx>& v) {
+  std::vector<double> out;
+  out.reserve(v.size() * 2);
+  for (const cplx& c : v) {
+    out.push_back(c.real());
+    out.push_back(c.imag());
+  }
+  return out;
+}
+
+class FftWorkload final : public Workload {
+ public:
+  std::string name() const override { return "FFT"; }
+  Quadrant quadrant() const override { return Quadrant::I; }
+  std::string dwarf() const override { return "Spectral methods"; }
+  std::string baseline_name() const override { return "cuFFT v12.8"; }
+
+  std::vector<TestCase> cases(int s) const override {
+    // Table 2: 256x256, 256x512, 256x1K, 512x256, 512x512; batch 2K.
+    const std::pair<long, long> sizes[] = {
+        {256, 256}, {256, 512}, {256, 1024}, {512, 256}, {512, 512}};
+    const long batch = std::max(2L, 2048L / (static_cast<long>(s) * s * s));
+    std::vector<TestCase> cs;
+    for (auto [y0, x0] : sizes) {
+      const long y = std::max(16L, y0 / s), x = std::max(16L, x0 / s);
+      cs.push_back({std::to_string(y) + "x" + std::to_string(x) + "xb" +
+                        std::to_string(batch),
+                    {y, x, batch},
+                    ""});
+    }
+    return cs;
+  }
+
+  RunOutput run(Variant v, const TestCase& tc) const override {
+    FftProblem p = make_problem(tc);
+    RunOutput out;
+    mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
+                                      : mma::Pipe::CudaCore,
+                     out.profile);
+    const double n2d = static_cast<double>(p.ny) * p.nx;
+    const double total = n2d * p.batch;
+    std::vector<cplx> result;
+    if (v == Variant::Baseline) {
+      result = run_baseline_fft(std::move(p), ctx);
+      out.profile.pipe_eff = scal::kCuFftEff;
+      out.profile.mem_eff = scal::kMemEffLibrary;
+    } else {
+      result = run_mma_fft(std::move(p), ctx);
+      out.profile.pipe_eff =
+          v == Variant::TC ? scal::kTcFftEff : scal::kCcEmulationEff;
+      out.profile.mem_eff = v == Variant::TC ? scal::kMemEffTcLayout
+                                             : scal::kMemEffCcEmulation;
+    }
+    // Useful FLOPs: 5 n log2(n) per transform point (the FFT convention).
+    out.profile.useful_flops = 5.0 * total * std::log2(n2d);
+    out.values = flatten(result);
+    return out;
+  }
+
+  std::vector<double> reference(const TestCase& tc) const override {
+    FftProblem p = make_problem(tc);
+    int ny = p.ny, nx = p.nx;
+    auto pass = [&](int rows, int len) {
+      for (int r = 0; r < rows; ++r) {
+        std::span<const cplx> row(p.data.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(len),
+                                  static_cast<std::size_t>(len));
+        auto out = fft::fft_serial(row);
+        std::copy(out.begin(), out.end(),
+                  p.data.begin() + static_cast<std::ptrdiff_t>(r) * len);
+      }
+    };
+    pass(p.batch * ny, nx);
+    transpose_images(p.data, p.batch, ny, nx, nullptr);
+    pass(p.batch * ny, nx);
+    transpose_images(p.data, p.batch, ny, nx, nullptr);
+    return flatten(p.data);
+  }
+};
+
+}  // namespace
+
+WorkloadPtr make_fft() { return std::make_unique<FftWorkload>(); }
+
+}  // namespace cubie::core

@@ -1,0 +1,182 @@
+// GEMV workload (Quadrant IV): y = A * x for tall-skinny A (Table 2 cases).
+//
+// TC: partition A into 8x4 blocks; the B operand broadcasts the matching x
+// segment into all 8 columns; the m8n8k4 MMA then produces an 8x8 tile whose
+// diagonal carries the 8 row results (the rest is redundant work - the
+// Quadrant IV signature). CC preserves the identical data layout and FMA
+// order. CC-E computes only the essential per-row dot products with 4-way
+// partial sums (vectorized essential work, hence a different rounding).
+// Baseline: cuBLAS-style warp-per-row with a 32-way partial-sum tree.
+
+#include "core/kernels.hpp"
+
+#include "common/rng.hpp"
+#include "mma/mma.hpp"
+#include "sim/calibration.hpp"
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace cubie::core {
+namespace {
+
+namespace scal = cubie::sim::cal;
+
+struct GemvProblem {
+  int m = 0, n = 0;
+  std::vector<double> a, x;
+};
+
+GemvProblem make_problem(const TestCase& tc) {
+  GemvProblem p;
+  p.m = static_cast<int>(tc.dims[0]);
+  p.n = static_cast<int>(tc.dims[1]);
+  p.a = common::random_vector(static_cast<std::size_t>(p.m) * static_cast<std::size_t>(p.n), 21);
+  p.x = common::random_vector(static_cast<std::size_t>(p.n), 23);
+  return p;
+}
+
+std::vector<double> run_mma_gemv(const GemvProblem& p, mma::Context& ctx) {
+  const int m = p.m, n = p.n;
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+
+  ctx.launch((m / 8.0) * 32.0);
+  ctx.load_global(static_cast<double>(m) * n * 8.0);          // A, streamed
+  ctx.load_global((m / 8.0) * n * 8.0);                        // x per block row
+  ctx.store_global(static_cast<double>(m) * 8.0);              // y
+
+  double a_frag[32], b_frag[32];
+  for (int i0 = 0; i0 + 8 <= m; i0 += 8) {
+    double acc[64] = {};
+    for (int k0 = 0; k0 < n; k0 += 4) {
+      const int kw = std::min(4, n - k0);
+      for (int i = 0; i < 8; ++i)
+        for (int kk = 0; kk < 4; ++kk)
+          a_frag[i * 4 + kk] =
+              kk < kw ? p.a[static_cast<std::size_t>(i0 + i) * n + k0 + kk] : 0.0;
+      // Broadcast the x segment into all 8 columns of B.
+      for (int kk = 0; kk < 4; ++kk) {
+        const double xv = kk < kw ? p.x[static_cast<std::size_t>(k0 + kk)] : 0.0;
+        for (int j = 0; j < 8; ++j) b_frag[kk * 8 + j] = xv;
+      }
+      ctx.dmma_m8n8k4_acc(a_frag, b_frag, acc);
+    }
+    // Extract the diagonal: the only useful elements of the 8x8 output.
+    for (int i = 0; i < 8; ++i) y[static_cast<std::size_t>(i0 + i)] = acc[i * 8 + i];
+  }
+  return y;
+}
+
+std::vector<double> run_cce_gemv(const GemvProblem& p, mma::Context& ctx) {
+  const int m = p.m, n = p.n;
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+
+  ctx.launch((m / 8.0) * 32.0);
+  ctx.load_global(static_cast<double>(m) * n * 8.0 + (m / 8.0) * n * 8.0);
+  ctx.store_global(static_cast<double>(m) * 8.0);
+  ctx.cc_fma(static_cast<double>(m) * n);   // essential FLOPs only
+  ctx.cc_flop(static_cast<double>(m) * 3);  // partial-sum combine
+
+  // Four lanes cooperate per row: strided partial sums, then a sequential
+  // combine - the essential computation, in a different rounding order.
+  for (int i = 0; i < m; ++i) {
+    double part[4] = {};
+    for (int j = 0; j < n; ++j) {
+      part[j % 4] = std::fma(p.a[static_cast<std::size_t>(i) * n + j],
+                             p.x[static_cast<std::size_t>(j)], part[j % 4]);
+    }
+    y[static_cast<std::size_t>(i)] = ((part[0] + part[1]) + part[2]) + part[3];
+  }
+  return y;
+}
+
+std::vector<double> run_baseline_gemv(const GemvProblem& p, mma::Context& ctx) {
+  const int m = p.m, n = p.n;
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+
+  ctx.launch(static_cast<double>(m) * 32.0);  // warp per row
+  ctx.load_global(static_cast<double>(m) * n * 8.0 + static_cast<double>(m) * n * 8.0 / 32.0);
+  ctx.store_global(static_cast<double>(m) * 8.0);
+  ctx.cc_fma(static_cast<double>(m) * n);
+  ctx.cc_flop(static_cast<double>(m) * 31);  // warp tree reduction
+
+  // cuBLAS-style: 32 lanes stride the row, then a pairwise shuffle tree.
+  for (int i = 0; i < m; ++i) {
+    double part[32] = {};
+    for (int j = 0; j < n; ++j) {
+      part[j % 32] = std::fma(p.a[static_cast<std::size_t>(i) * n + j],
+                              p.x[static_cast<std::size_t>(j)], part[j % 32]);
+    }
+    for (int stride = 16; stride >= 1; stride /= 2)
+      for (int l = 0; l < stride; ++l) part[l] += part[l + stride];
+    y[static_cast<std::size_t>(i)] = part[0];
+  }
+  return y;
+}
+
+class GemvWorkload final : public Workload {
+ public:
+  std::string name() const override { return "GEMV"; }
+  Quadrant quadrant() const override { return Quadrant::IV; }
+  std::string dwarf() const override { return "Dense linear algebra"; }
+  std::string baseline_name() const override { return "cuBLAS GEMV v12.8"; }
+
+  std::vector<TestCase> cases(int s) const override {
+    // Table 2: 4Kx16, 4Kx32, 11Kx16, 32Kx16, 40Kx16. Only M scales; the
+    // skinny N is the workload's defining property.
+    const std::pair<long, long> shapes[] = {
+        {4096, 16}, {4096, 32}, {11264, 16}, {32768, 16}, {40960, 16}};
+    std::vector<TestCase> cs;
+    for (auto [m0, n0] : shapes) {
+      const long m = std::max(64L, (m0 / s) / 8 * 8);
+      cs.push_back({std::to_string(m) + "x" + std::to_string(n0), {m, n0}, ""});
+    }
+    return cs;
+  }
+
+  RunOutput run(Variant v, const TestCase& tc) const override {
+    GemvProblem p = make_problem(tc);
+    RunOutput out;
+    mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
+                                      : mma::Pipe::CudaCore,
+                     out.profile);
+    switch (v) {
+      case Variant::TC:
+      case Variant::CC:
+        out.values = run_mma_gemv(p, ctx);
+        out.profile.pipe_eff = v == Variant::TC ? scal::kTcSmallBlockEff
+                                                : scal::kCcEmulationEff;
+        out.profile.mem_eff = v == Variant::TC ? scal::kMemEffTcLayout
+                                               : scal::kMemEffCcEmulation;
+        break;
+      case Variant::CCE:
+        out.values = run_cce_gemv(p, ctx);
+        out.profile.pipe_eff = scal::kCcEssentialEff;
+        out.profile.mem_eff = scal::kMemEffCceGemv;
+        break;
+      case Variant::Baseline:
+        out.values = run_baseline_gemv(p, ctx);
+        out.profile.pipe_eff = scal::kCcLibraryEff;
+        out.profile.mem_eff = scal::kMemEffLibrary;
+        break;
+    }
+    out.profile.useful_flops = 2.0 * p.m * static_cast<double>(p.n);
+    return out;
+  }
+
+  std::vector<double> reference(const TestCase& tc) const override {
+    GemvProblem p = make_problem(tc);
+    std::vector<double> y(static_cast<std::size_t>(p.m), 0.0);
+    sparse::gemv_serial(p.m, p.n, p.a, p.x, y);
+    return y;
+  }
+};
+
+}  // namespace
+
+WorkloadPtr make_gemv() { return std::make_unique<GemvWorkload>(); }
+
+}  // namespace cubie::core

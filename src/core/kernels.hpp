@@ -1,0 +1,29 @@
+#pragma once
+// Factories for the ten Cubie workloads (Table 2) and the full-suite
+// registry. Each factory returns a self-contained Workload; the registry
+// orders them by quadrant as the paper's figures do.
+
+#include "core/workload.hpp"
+
+#include <vector>
+
+namespace cubie::core {
+
+WorkloadPtr make_gemm();       // Quadrant I,  baseline: cudaSample matrixMul
+WorkloadPtr make_pic();        // Quadrant I,  no baseline
+WorkloadPtr make_fft();        // Quadrant I,  baseline: cuFFT proxy
+WorkloadPtr make_stencil();    // Quadrant I,  baseline: DRStencil proxy
+WorkloadPtr make_scan();       // Quadrant II, baseline: CUB BlockScan proxy
+WorkloadPtr make_reduction();  // Quadrant III, baseline: CUB BlockReduce proxy
+WorkloadPtr make_bfs();        // Quadrant IV, baseline: Gunrock proxy
+WorkloadPtr make_gemv();       // Quadrant IV, baseline: cuBLAS GEMV proxy
+WorkloadPtr make_spmv();       // Quadrant IV, baseline: cuSPARSE SpMV proxy
+WorkloadPtr make_spgemm();     // Quadrant IV, baseline: cuSPARSE SpGEMM proxy
+
+// All ten, in the paper's presentation order (Quadrant I -> IV).
+std::vector<WorkloadPtr> make_suite();
+
+// Lookup by (case-sensitive) name; returns nullptr if unknown.
+WorkloadPtr make_workload(const std::string& name);
+
+}  // namespace cubie::core

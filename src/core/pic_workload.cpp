@@ -1,0 +1,153 @@
+// PiC workload (Quadrant I): Boris-push particle integration (PiCTC in
+// FP64).
+//
+// TC: the per-step Boris rotation collapses to a single 3x3 matrix R shared
+// by all particles (uniform magnetic field); batches of 8 particles form the
+// 4x8 B operand, R padded to 8x4 forms the A operand, and one MMA rotates 8
+// velocities at once. Electric kicks and the position drift remain scalar
+// per-particle work (gathered analytic fields).
+// CC: identical batching on CUDA cores; CC-E == CC.
+// Baseline: none in the paper (Table 2: "-").
+
+#include "core/kernels.hpp"
+
+#include "mma/mma.hpp"
+#include "pic/pic.hpp"
+#include "sim/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace cubie::core {
+namespace {
+
+namespace scal = cubie::sim::cal;
+constexpr int kSteps = 4;
+
+pic::FieldConfig field_config() { return pic::FieldConfig{}; }
+
+void push_mma(pic::Particles& p, const pic::FieldConfig& f,
+              mma::Context& ctx) {
+  const auto r = pic::boris_rotation_matrix(f);
+  const double h = 0.5 * f.qm * f.dt;
+  const std::size_t n = p.size();
+
+  ctx.launch(static_cast<double>(n) / 8.0 * 32.0);
+  // The particle working set (48 B each, 3-48 MB at Table 2 sizes) is
+  // L2-resident across push steps; per-step traffic hits the cache
+  // hierarchy, with DRAM touched only by the initial load / final store
+  // (accounted once per run below).
+  ctx.load_shared(static_cast<double>(n) * 6.0 * 8.0 * 2.0);
+  // Rotation matrix: one constant-memory load per step.
+  ctx.load_global(9.0 * 8.0);
+  // Scalar per-particle work of a full PiC step: trilinear field
+  // interpolation (~24 FMA), transcendental field evaluation (~30), the two
+  // half kicks and drift (~15), and current deposition (~24) - the Amdahl
+  // fraction the MMA rotation cannot absorb (why PiC shows "reduced
+  // benefits" in Section 6.1).
+  ctx.cc_fma(static_cast<double>(n) * 90.0);
+
+  // Pad R into the 8x4 A fragment (rows 0..2 live, rest zero).
+  double a_frag[32] = {};
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) a_frag[i * 4 + j] = r[static_cast<std::size_t>(i * 3 + j)];
+
+  double b_frag[32], c_frag[64];
+  for (std::size_t base = 0; base < n; base += 8) {
+    const std::size_t cnt = std::min<std::size_t>(8, n - base);
+    // Half electric kick (scalar), fill the B fragment with v_minus.
+    double ex[8], ey[8], ez[8];
+    std::fill_n(b_frag, 32, 0.0);
+    for (std::size_t i = 0; i < cnt; ++i) {
+      const auto e = f.e_at(p.x[base + i], p.y[base + i], p.z[base + i]);
+      ex[i] = e[0];
+      ey[i] = e[1];
+      ez[i] = e[2];
+      b_frag[0 * 8 + i] = p.vx[base + i] + h * e[0];
+      b_frag[1 * 8 + i] = p.vy[base + i] + h * e[1];
+      b_frag[2 * 8 + i] = p.vz[base + i] + h * e[2];
+    }
+    // Rotate the 8 velocities with one MMA: C = R * Vminus.
+    std::fill_n(c_frag, 64, 0.0);
+    ctx.dmma_m8n8k4_acc(a_frag, b_frag, c_frag);
+    // Second half kick + drift (scalar).
+    for (std::size_t i = 0; i < cnt; ++i) {
+      p.vx[base + i] = c_frag[0 * 8 + i] + h * ex[i];
+      p.vy[base + i] = c_frag[1 * 8 + i] + h * ey[i];
+      p.vz[base + i] = c_frag[2 * 8 + i] + h * ez[i];
+      p.x[base + i] += f.dt * p.vx[base + i];
+      p.y[base + i] += f.dt * p.vy[base + i];
+      p.z[base + i] += f.dt * p.vz[base + i];
+    }
+  }
+}
+
+std::vector<double> flatten(const pic::Particles& p) {
+  std::vector<double> v;
+  v.reserve(p.size() * 6);
+  v.insert(v.end(), p.vx.begin(), p.vx.end());
+  v.insert(v.end(), p.vy.begin(), p.vy.end());
+  v.insert(v.end(), p.vz.begin(), p.vz.end());
+  v.insert(v.end(), p.x.begin(), p.x.end());
+  v.insert(v.end(), p.y.begin(), p.y.end());
+  v.insert(v.end(), p.z.begin(), p.z.end());
+  return v;
+}
+
+class PicWorkload final : public Workload {
+ public:
+  std::string name() const override { return "PiC"; }
+  Quadrant quadrant() const override { return Quadrant::I; }
+  std::string dwarf() const override { return "N-Body"; }
+  std::string baseline_name() const override { return "-"; }
+  bool has_baseline() const override { return false; }
+
+  std::vector<TestCase> cases(int s) const override {
+    std::vector<TestCase> cs;
+    // PiC keeps the paper's particle counts unscaled: the working set is
+    // small and the functional cost is linear, so no reduction is needed.
+    (void)s;
+    for (long n : {65536L, 131072L, 262144L, 524288L, 1048576L}) {
+      cs.push_back({std::to_string(n / 1024) + "K", {n}, ""});
+    }
+    return cs;
+  }
+
+  RunOutput run(Variant v, const TestCase& tc) const override {
+    pic::Particles p =
+        pic::make_particles(static_cast<std::size_t>(tc.dims[0]), 10.0, 81);
+    const auto f = field_config();
+    RunOutput out;
+    mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
+                                      : mma::Pipe::CudaCore,
+                     out.profile);
+    ctx.load_global(static_cast<double>(p.size()) * 6.0 * 8.0);
+    for (int s = 0; s < kSteps; ++s) push_mma(p, f, ctx);
+    ctx.store_global(static_cast<double>(p.size()) * 6.0 * 8.0);
+    out.profile.pipe_eff =
+        v == Variant::TC ? scal::kTcGemmEff : scal::kCcEmulationEff;
+    out.profile.mem_eff = scal::kMemEffTcLayout;
+    // ~200 useful FLOPs per particle per step (interpolation, fields,
+    // kicks, rotation, drift, deposition).
+    out.profile.useful_flops =
+        static_cast<double>(p.size()) * 200.0 * kSteps;
+    out.values = flatten(p);
+    return out;
+  }
+
+  std::vector<double> reference(const TestCase& tc) const override {
+    pic::Particles p =
+        pic::make_particles(static_cast<std::size_t>(tc.dims[0]), 10.0, 81);
+    const auto f = field_config();
+    for (int s = 0; s < kSteps; ++s) pic::boris_push_serial(p, f);
+    return flatten(p);
+  }
+};
+
+}  // namespace
+
+WorkloadPtr make_pic() { return std::make_unique<PicWorkload>(); }
+
+}  // namespace cubie::core

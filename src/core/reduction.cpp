@@ -1,0 +1,165 @@
+// Reduction workload (Quadrant III): sum of all array values.
+//
+// TC: the Dakkak et al. segmented reduction in FP64. Each 64-element chunk
+// is an 8x8 matrix X reduced with two MMAs against constant operands:
+//   T = A1 * X   (A1 = single row of ones)  -> column sums in row 0
+//   t = T * B2   (B2 = single column of ones) -> chunk total in element (0,0)
+// Only one row / one element of each 8x8 output is used - the partial-output
+// signature of Quadrant III. Chunk totals are combined within each block;
+// blocks are independent, one output per block (CUB BlockReduce semantics).
+// CC: identical math on CUDA cores. CC-E: plain sequential per-chunk sums
+// (the essential work, in serial order - hence errors closer to the serial
+// reference than TC's column-major order, as in Table 6).
+// Baseline: CUB BlockReduce proxy - pairwise warp trees + sequential combine.
+
+#include "core/kernels.hpp"
+
+#include "common/rng.hpp"
+#include "mma/constants.hpp"
+#include "mma/mma.hpp"
+#include "sim/calibration.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace cubie::core {
+namespace {
+
+namespace scal = cubie::sim::cal;
+constexpr std::size_t kChunk = 64;
+
+std::size_t total_elems(int scale_divisor) {
+  return static_cast<std::size_t>(8 * 1024 * 1024) / static_cast<std::size_t>(scale_divisor);
+}
+
+double reduce_chunk_mma(mma::Context& ctx, const double* x) {
+  double t[64] = {};
+  ctx.dmma_m8n8k8_acc(mma::kOnesRow0.data(), x, t);  // row 0 = column sums
+  double total[64] = {};
+  ctx.dmma_m8n8k8_acc(t, mma::kOnesCol0.data(), total);
+  return total[0];
+}
+
+class ReductionWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Reduction"; }
+  Quadrant quadrant() const override { return Quadrant::III; }
+  std::string dwarf() const override { return "MapReduce"; }
+  std::string baseline_name() const override {
+    return "CUB BlockReduce v2.7.0";
+  }
+
+  std::vector<TestCase> cases(int s) const override {
+    std::vector<TestCase> cs;
+    for (long block : {64L, 128L, 256L, 512L, 1024L}) {
+      cs.push_back({"block=" + std::to_string(block),
+                    {block, static_cast<long>(total_elems(s))},
+                    ""});
+    }
+    return cs;
+  }
+
+  RunOutput run(Variant v, const TestCase& tc) const override {
+    const std::size_t block = static_cast<std::size_t>(tc.dims[0]);
+    const std::size_t n = static_cast<std::size_t>(tc.dims[1]) / block * block;
+    const auto x = common::random_vector(n, 41);
+    RunOutput out;
+    mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
+                                      : mma::Pipe::CudaCore,
+                     out.profile);
+
+    ctx.launch(static_cast<double>(n / block) * 256.0);
+    ctx.load_global(static_cast<double>(n) * 8.0);
+    ctx.store_global(static_cast<double>(n / block) * 8.0);
+
+    const std::size_t blocks = n / block;
+    out.values.assign(blocks, 0.0);
+    switch (v) {
+      case Variant::TC:
+      case Variant::CC: {
+        for (std::size_t b = 0; b < blocks; ++b) {
+          double total = 0.0;
+          for (std::size_t base = b * block; base < (b + 1) * block;
+               base += kChunk) {
+            double xin[kChunk] = {};
+            const std::size_t len = std::min(kChunk, (b + 1) * block - base);
+            std::copy(x.begin() + static_cast<std::ptrdiff_t>(base),
+                      x.begin() + static_cast<std::ptrdiff_t>(base + len),
+                      xin);
+            total += reduce_chunk_mma(ctx, xin);
+          }
+          out.values[b] = total;
+        }
+        ctx.cc_flop(static_cast<double>(n / kChunk));
+        out.profile.pipe_eff = v == Variant::TC ? scal::kTcSmallBlockEff
+                                                : scal::kCcEmulationEff;
+        out.profile.mem_eff = v == Variant::TC ? scal::kMemEffTcLayout
+                                               : scal::kMemEffCcSmall;
+        break;
+      }
+      case Variant::CCE: {
+        // Essential: sequential adds per chunk, sequential chunk combine.
+        ctx.cc_flop(static_cast<double>(n) + static_cast<double>(n / kChunk));
+        for (std::size_t b = 0; b < blocks; ++b) {
+          double total = 0.0;
+          for (std::size_t base = b * block; base < (b + 1) * block;
+               base += kChunk) {
+            const std::size_t len = std::min(kChunk, (b + 1) * block - base);
+            double chunk = 0.0;
+            for (std::size_t i = 0; i < len; ++i) chunk = chunk + x[base + i];
+            total += chunk;
+          }
+          out.values[b] = total;
+        }
+        out.profile.pipe_eff = scal::kCcEssentialEff;
+        // Sequential streaming sums keep more bandwidth than the CC MMA
+        // emulation but less than the blocked MMA layout.
+        out.profile.mem_eff = scal::kMemEffCcEmulation;
+        break;
+      }
+      case Variant::Baseline: {
+        // CUB BlockReduce proxy: 32-lane pairwise trees, sequential combine
+        // of warp totals within the block.
+        ctx.cc_flop(static_cast<double>(n) + static_cast<double>(n) / 16.0);
+        ctx.load_shared(static_cast<double>(n) * 8.0 / 4.0);
+        for (std::size_t b = 0; b < blocks; ++b) {
+          double total = 0.0;
+          for (std::size_t w = b * block; w < (b + 1) * block; w += 32) {
+            const std::size_t len = std::min<std::size_t>(32, (b + 1) * block - w);
+            double lanes[32] = {};
+            for (std::size_t i = 0; i < len; ++i) lanes[i] = x[w + i];
+            for (int stride = 16; stride >= 1; stride /= 2)
+              for (int l = 0; l < stride; ++l) lanes[l] += lanes[l + stride];
+            total += lanes[0];
+          }
+          out.values[b] = total;
+        }
+        out.profile.pipe_eff = scal::kCubEff;
+        out.profile.mem_eff = scal::kMemEffCub;
+        break;
+      }
+    }
+    out.profile.useful_flops = static_cast<double>(n);
+    return out;
+  }
+
+  std::vector<double> reference(const TestCase& tc) const override {
+    const std::size_t block = static_cast<std::size_t>(tc.dims[0]);
+    const std::size_t n = static_cast<std::size_t>(tc.dims[1]) / block * block;
+    const auto x = common::random_vector(n, 41);
+    std::vector<double> sums(n / block, 0.0);
+    for (std::size_t b = 0; b < sums.size(); ++b) {
+      double acc = 0.0;
+      for (std::size_t i = b * block; i < (b + 1) * block; ++i) acc = acc + x[i];
+      sums[b] = acc;
+    }
+    return sums;
+  }
+};
+
+}  // namespace
+
+WorkloadPtr make_reduction() { return std::make_unique<ReductionWorkload>(); }
+
+}  // namespace cubie::core

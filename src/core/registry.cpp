@@ -1,0 +1,31 @@
+#include "core/kernels.hpp"
+
+namespace cubie::core {
+
+std::vector<WorkloadPtr> make_suite() {
+  std::vector<WorkloadPtr> suite;
+  // Quadrant I.
+  suite.push_back(make_gemm());
+  suite.push_back(make_pic());
+  suite.push_back(make_fft());
+  suite.push_back(make_stencil());
+  // Quadrant II.
+  suite.push_back(make_scan());
+  // Quadrant III.
+  suite.push_back(make_reduction());
+  // Quadrant IV.
+  suite.push_back(make_bfs());
+  suite.push_back(make_gemv());
+  suite.push_back(make_spmv());
+  suite.push_back(make_spgemm());
+  return suite;
+}
+
+WorkloadPtr make_workload(const std::string& name) {
+  for (auto& w : make_suite()) {
+    if (w->name() == name) return std::move(w);
+  }
+  return nullptr;
+}
+
+}  // namespace cubie::core

@@ -1,0 +1,211 @@
+// Scan workload (Quadrant II): inclusive prefix sum.
+//
+// TC: the Dakkak et al. segmented scan lifted to FP64. Each 64-element
+// chunk is viewed as a row-major 8x8 matrix X and scanned with three MMAs
+// against constant operands (never loaded from memory):
+//   T1 = X * U        (U upper-triangular ones)   -> row-wise prefix sums
+//   T2 = SL * X       (SL strictly-lower ones)    -> sums of preceding rows
+//   Y  = T1 + T2 * J  (J all ones)                -> full chunk scan
+// Chunk carries are scanned within the block and added back; blocks are
+// independent (CUB BlockScan semantics - the Table 2 "size" parameter is
+// the block size and the grid covers the whole array).
+// CC: identical math on the CUDA-core pipe. CC-E: only the essential scalar
+// operations, but arranged in the same row/column order as the MMA variant
+// (hence identical numerics to TC, as Table 6 reports for Scan).
+// Baseline: CUB BlockScan proxy - Kogge-Stone warp scans + warp offsets.
+
+#include "core/kernels.hpp"
+
+#include "common/rng.hpp"
+#include "mma/constants.hpp"
+#include "mma/mma.hpp"
+#include "sim/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace cubie::core {
+namespace {
+
+namespace scal = cubie::sim::cal;
+constexpr std::size_t kChunk = 64;
+
+// Total array length processed; the Table 2 "size" parameter is the block
+// size, the grid covers the whole array (CUB BlockScan benchmarking style).
+std::size_t total_elems(int scale_divisor) {
+  return static_cast<std::size_t>(4 * 1024 * 1024) / static_cast<std::size_t>(scale_divisor);
+}
+
+// One 64-element chunk scan via the three-MMA scheme. `x` and `y` are the
+// chunk in row-major 8x8 form. Returns the chunk total.
+double scan_chunk_mma(mma::Context& ctx, const double* x, double* y) {
+  double t1[64] = {};
+  ctx.dmma_m8n8k8_acc(x, mma::kUpperOnes.data(), t1);   // X * U
+  double t2[64] = {};
+  ctx.dmma_m8n8k8_acc(mma::kStrictLowerOnes.data(), x, t2);  // SL * X
+  // Y = T1 + T2 * J (accumulate the third MMA directly into T1).
+  ctx.dmma_m8n8k8_acc(t2, mma::kAllOnes.data(), t1);
+  for (int i = 0; i < 64; ++i) y[i] = t1[i];
+  return t1[63];
+}
+
+// The essential-scalar equivalent with the same operation order:
+// row prefix sums, column-major sums of preceding rows, then the add.
+double scan_chunk_essential(mma::Context& ctx, const double* x, double* y) {
+  ctx.cc_flop(8 * 7);    // row prefixes
+  ctx.cc_flop(8 * 7 + 8 * 7);  // column sums + row-offset accumulation
+  ctx.cc_flop(64);       // final add
+  double t1[64];
+  for (int r = 0; r < 8; ++r) {
+    // Mirror the MMA's FMA chain: k-major with 1.0 coefficients.
+    for (int c = 0; c < 8; ++c) {
+      double acc = 0.0;
+      for (int k = 0; k <= c; ++k) acc = std::fma(x[r * 8 + k], 1.0, acc);
+      t1[r * 8 + c] = acc;
+    }
+  }
+  double t2[8];  // per-row offset = sum over columns of sums of prior rows
+  for (int r = 0; r < 8; ++r) {
+    double col_sums[8];
+    for (int c = 0; c < 8; ++c) {
+      double acc = 0.0;
+      for (int k = 0; k < r; ++k) acc = std::fma(1.0, x[k * 8 + c], acc);
+      col_sums[c] = acc;
+    }
+    double acc = 0.0;
+    for (int c = 0; c < 8; ++c) acc = std::fma(col_sums[c], 1.0, acc);
+    t2[r] = acc;
+  }
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) y[r * 8 + c] = t1[r * 8 + c] + t2[r];
+  return y[63];
+}
+
+class ScanWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Scan"; }
+  Quadrant quadrant() const override { return Quadrant::II; }
+  std::string dwarf() const override { return "MapReduce"; }
+  std::string baseline_name() const override { return "CUB BlockScan v2.7.0"; }
+
+  std::vector<TestCase> cases(int s) const override {
+    std::vector<TestCase> cs;
+    for (long block : {64L, 128L, 256L, 512L, 1024L}) {
+      cs.push_back({"block=" + std::to_string(block),
+                    {block, static_cast<long>(total_elems(s))},
+                    ""});
+    }
+    return cs;
+  }
+
+  RunOutput run(Variant v, const TestCase& tc) const override {
+    const std::size_t block = static_cast<std::size_t>(tc.dims[0]);
+    const std::size_t n = static_cast<std::size_t>(tc.dims[1]) / block * block;
+    const auto x = common::random_vector(n, 31);
+    RunOutput out;
+    mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
+                                      : mma::Pipe::CudaCore,
+                     out.profile);
+    out.values.assign(n, 0.0);
+
+    ctx.launch(static_cast<double>(n / block) * 256.0);
+    ctx.load_global(static_cast<double>(n) * 8.0);
+    ctx.store_global(static_cast<double>(n) * 8.0);
+
+    if (v == Variant::Baseline) {
+      run_cub_proxy(x, out.values, block, ctx);
+      out.profile.pipe_eff = scal::kCubEff;
+      out.profile.mem_eff = scal::kMemEffCub;
+    } else {
+      run_chunked(x, out.values, block, ctx, v == Variant::CCE);
+      out.profile.pipe_eff = v == Variant::TC ? scal::kTcSmallBlockEff
+                             : v == Variant::CC ? scal::kCcEmulationEff
+                                                : scal::kCcEssentialEff;
+      out.profile.mem_eff =
+          v == Variant::TC ? scal::kMemEffTcLayout : scal::kMemEffCcSmall;
+    }
+    out.profile.useful_flops = static_cast<double>(n);  // one add per element
+    return out;
+  }
+
+  std::vector<double> reference(const TestCase& tc) const override {
+    const std::size_t block = static_cast<std::size_t>(tc.dims[0]);
+    const std::size_t n = static_cast<std::size_t>(tc.dims[1]) / block * block;
+    const auto x = common::random_vector(n, 31);
+    std::vector<double> y(n, 0.0);
+    for (std::size_t b = 0; b < n; b += block) {
+      double acc = 0.0;
+      for (std::size_t i = b; i < b + block; ++i) {
+        acc = acc + x[i];
+        y[i] = acc;
+      }
+    }
+    return y;
+  }
+
+ private:
+  // TC / CC / CC-E: per-block chunk scans + intra-block carry propagation.
+  // Blocks are independent, matching the CUB BlockScan baseline.
+  static void run_chunked(const std::vector<double>& x, std::vector<double>& y,
+                          std::size_t block, mma::Context& ctx,
+                          bool essential) {
+    const std::size_t n = x.size();
+    for (std::size_t b = 0; b < n; b += block) {
+      const std::size_t blk_len = std::min(block, n - b);
+      double offset = 0.0;
+      for (std::size_t base = b; base < b + blk_len; base += kChunk) {
+        double xin[kChunk] = {};
+        const std::size_t len = std::min(kChunk, b + blk_len - base);
+        std::copy(x.begin() + static_cast<std::ptrdiff_t>(base),
+                  x.begin() + static_cast<std::ptrdiff_t>(base + len), xin);
+        double yout[kChunk];
+        const double total = essential ? scan_chunk_essential(ctx, xin, yout)
+                                       : scan_chunk_mma(ctx, xin, yout);
+        ctx.cc_flop(static_cast<double>(len) + 1.0);  // offset adds + carry
+        for (std::size_t i = 0; i < len; ++i)
+          y[base + i] = offset == 0.0 ? yout[i] : yout[i] + offset;
+        offset += total;
+      }
+    }
+  }
+
+  // Baseline: Kogge-Stone scans over 32-element warps, then per-block warp
+  // offsets, then block offsets (CUB's two-level structure).
+  static void run_cub_proxy(const std::vector<double>& x,
+                            std::vector<double>& y, std::size_t block,
+                            mma::Context& ctx) {
+    const std::size_t n = x.size();
+    y = x;
+    ctx.cc_flop(static_cast<double>(n) * 5.0 /*log2(32)*/ +
+                static_cast<double>(n) * 2.0);
+    ctx.load_shared(static_cast<double>(n) * 5.0 * 8.0);
+    for (std::size_t w = 0; w < n; w += 32) {
+      const std::size_t len = std::min<std::size_t>(32, n - w);
+      for (std::size_t stride = 1; stride < len; stride *= 2) {
+        for (std::size_t i = len; i-- > stride;) {
+          y[w + i] += y[w + i - stride];
+        }
+      }
+    }
+    // Warp offsets within each block; blocks stay independent (BlockScan).
+    for (std::size_t b = 0; b < n; b += block) {
+      const std::size_t blk_len = std::min(block, n - b);
+      double warp_offset = 0.0;
+      for (std::size_t w = 0; w < blk_len; w += 32) {
+        const std::size_t len = std::min<std::size_t>(32, blk_len - w);
+        const double total = y[b + w + len - 1];
+        if (warp_offset != 0.0)
+          for (std::size_t i = 0; i < len; ++i) y[b + w + i] += warp_offset;
+        warp_offset += total;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+WorkloadPtr make_scan() { return std::make_unique<ScanWorkload>(); }
+
+}  // namespace cubie::core

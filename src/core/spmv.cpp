@@ -1,0 +1,221 @@
+// SpMV workload (Quadrant IV): y = A * x for the Table 4 matrices.
+//
+// TC: DASP-style execution. Rows are grouped by nonzero count (long /
+// medium / short, DASP's three categories), packed 8 rows at a time; each
+// row's nonzeros are chunked into 4-wide MMA k-slices. The A fragment holds
+// matrix values, the B fragment holds the gathered x values (one column per
+// row), and only the diagonal of each 8x8 output is useful. The FMA chain
+// over a row matches the serial order (fused), which is why DASP's errors
+// are the smallest in Table 6.
+// CC: identical layout/order on CUDA cores. CC-E: essential per-row dot
+// products with 2-way partial sums (the vectorized essential computation,
+// with its own rounding). Baseline: cuSPARSE-style CSR warp-per-row with a
+// 32-way partial tree.
+
+#include "core/kernels.hpp"
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "mma/mma.hpp"
+#include "sim/calibration.hpp"
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace cubie::core {
+namespace {
+
+namespace scal = cubie::sim::cal;
+
+sparse::Csr load_matrix(const TestCase& tc) {
+  // dims[0] carries the scale divisor chosen at cases() time, so runs are
+  // reproducible regardless of the current environment.
+  return sparse::make_table4_matrix(tc.dataset, static_cast<int>(tc.dims[0]))
+      .matrix;
+}
+
+// DASP row grouping: indices of rows ordered long -> medium -> short.
+std::vector<int> dasp_row_order(const sparse::Csr& a) {
+  std::vector<int> longs, mediums, shorts;
+  for (int r = 0; r < a.rows; ++r) {
+    const int d = a.row_nnz(r);
+    (d > 32 ? longs : d >= 8 ? mediums : shorts).push_back(r);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(a.rows));
+  order.insert(order.end(), longs.begin(), longs.end());
+  order.insert(order.end(), mediums.begin(), mediums.end());
+  order.insert(order.end(), shorts.begin(), shorts.end());
+  return order;
+}
+
+std::vector<double> run_dasp(const sparse::Csr& a,
+                             const std::vector<double>& x, mma::Context& ctx) {
+  std::vector<double> y(static_cast<std::size_t>(a.rows), 0.0);
+  const auto order = dasp_row_order(a);
+
+  ctx.launch((a.rows / 8.0) * 32.0);
+  // DASP format traffic: every MMA *slot* is loaded, including the zero
+  // padding that rounds each group of 8 rows up to the widest row's chunk
+  // count - the redundant memory the paper's CC-E variant eliminates
+  // (Section 6.3: removing it yields up to 20% on SpMV).
+  double padded_slots = 0.0;
+  for (std::size_t g = 0; g < order.size(); g += 8) {
+    int max_chunks = 0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, order.size() - g); ++i)
+      max_chunks = std::max(max_chunks, (a.row_nnz(order[g + i]) + 3) / 4);
+    padded_slots += 32.0 * max_chunks;
+  }
+  ctx.load_global(padded_slots * (8.0 + 4.0 + 8.0));
+  ctx.load_global(static_cast<double>(a.rows) * 8.0);
+  ctx.store_global(static_cast<double>(a.rows) * 8.0);
+
+  double a_frag[32], b_frag[32];
+  for (std::size_t g = 0; g < order.size(); g += 8) {
+    const std::size_t rows_here = std::min<std::size_t>(8, order.size() - g);
+    int max_chunks = 0;
+    for (std::size_t i = 0; i < rows_here; ++i) {
+      max_chunks = std::max(max_chunks, (a.row_nnz(order[g + i]) + 3) / 4);
+    }
+    double acc[64] = {};
+    for (int chunk = 0; chunk < max_chunks; ++chunk) {
+      for (int i = 0; i < 8; ++i) {
+        for (int kk = 0; kk < 4; ++kk) {
+          a_frag[i * 4 + kk] = 0.0;
+          b_frag[kk * 8 + i] = 0.0;
+        }
+        if (static_cast<std::size_t>(i) >= rows_here) continue;
+        const int r = order[g + static_cast<std::size_t>(i)];
+        const int lo = a.row_ptr[static_cast<std::size_t>(r)];
+        const int hi = a.row_ptr[static_cast<std::size_t>(r) + 1];
+        for (int kk = 0; kk < 4; ++kk) {
+          const int p = lo + chunk * 4 + kk;
+          if (p < hi) {
+            a_frag[i * 4 + kk] = a.vals[static_cast<std::size_t>(p)];
+            b_frag[kk * 8 + i] = x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(p)])];
+          }
+        }
+      }
+      ctx.dmma_m8n8k4_acc(a_frag, b_frag, acc);
+    }
+    // Diagonal extraction: the only useful elements.
+    for (std::size_t i = 0; i < rows_here; ++i) {
+      y[static_cast<std::size_t>(order[g + i])] = acc[i * 8 + i];
+    }
+  }
+  return y;
+}
+
+std::vector<double> run_cce_spmv(const sparse::Csr& a,
+                                 const std::vector<double>& x,
+                                 mma::Context& ctx) {
+  std::vector<double> y(static_cast<std::size_t>(a.rows), 0.0);
+  ctx.launch((a.rows / 8.0) * 32.0);
+  ctx.load_global(static_cast<double>(a.nnz()) * (8.0 + 4.0 + 8.0) +
+                  static_cast<double>(a.rows) * 8.0);
+  ctx.store_global(static_cast<double>(a.rows) * 8.0);
+  ctx.cc_fma(static_cast<double>(a.nnz()));
+  ctx.cc_flop(static_cast<double>(a.rows));
+
+  for (int r = 0; r < a.rows; ++r) {
+    double part[2] = {};  // two-lane essential partial sums
+    int lane = 0;
+    for (int p = a.row_ptr[static_cast<std::size_t>(r)]; p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      part[lane] = std::fma(a.vals[static_cast<std::size_t>(p)],
+                            x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(p)])],
+                            part[lane]);
+      lane ^= 1;
+    }
+    y[static_cast<std::size_t>(r)] = part[0] + part[1];
+  }
+  return y;
+}
+
+std::vector<double> run_baseline_spmv(const sparse::Csr& a,
+                                      const std::vector<double>& x,
+                                      mma::Context& ctx) {
+  std::vector<double> y(static_cast<std::size_t>(a.rows), 0.0);
+  ctx.launch(static_cast<double>(a.rows) * 32.0);
+  // CSR traffic: row_ptr + col_idx (4 B) + vals (8 B) + scattered x gathers.
+  ctx.load_global(static_cast<double>(a.nnz()) * (4.0 + 8.0 + 8.0) +
+                  static_cast<double>(a.rows) * 8.0);
+  ctx.store_global(static_cast<double>(a.rows) * 8.0);
+  ctx.cc_fma(static_cast<double>(a.nnz()));
+  ctx.cc_flop(static_cast<double>(a.rows) * 31.0);
+
+  for (int r = 0; r < a.rows; ++r) {
+    double part[32] = {};
+    int lane = 0;
+    for (int p = a.row_ptr[static_cast<std::size_t>(r)]; p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      part[lane] = std::fma(a.vals[static_cast<std::size_t>(p)],
+                            x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(p)])],
+                            part[lane]);
+      lane = (lane + 1) % 32;
+    }
+    for (int stride = 16; stride >= 1; stride /= 2)
+      for (int l = 0; l < stride; ++l) part[l] += part[l + stride];
+    y[static_cast<std::size_t>(r)] = part[0];
+  }
+  return y;
+}
+
+class SpmvWorkload final : public Workload {
+ public:
+  std::string name() const override { return "SpMV"; }
+  Quadrant quadrant() const override { return Quadrant::IV; }
+  std::string dwarf() const override { return "Sparse linear algebra"; }
+  std::string baseline_name() const override { return "cuSPARSE SpMV v12.8"; }
+
+  std::vector<TestCase> cases(int s) const override {
+    std::vector<TestCase> cs;
+    for (const auto& nm : sparse::table4_names()) cs.push_back({nm, {s}, nm});
+    return cs;
+  }
+
+  RunOutput run(Variant v, const TestCase& tc) const override {
+    const sparse::Csr a = load_matrix(tc);
+    const auto x = common::random_vector(static_cast<std::size_t>(a.cols), 51);
+    RunOutput out;
+    mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
+                                      : mma::Pipe::CudaCore,
+                     out.profile);
+    switch (v) {
+      case Variant::TC:
+      case Variant::CC:
+        out.values = run_dasp(a, x, ctx);
+        out.profile.pipe_eff = v == Variant::TC ? scal::kTcSmallBlockEff
+                                                : scal::kCcEmulationEff;
+        out.profile.mem_eff = v == Variant::TC ? scal::kMemEffTcLayout
+                                               : scal::kMemEffCcEmulation;
+        break;
+      case Variant::CCE:
+        out.values = run_cce_spmv(a, x, ctx);
+        out.profile.pipe_eff = scal::kCcEssentialEff;
+        out.profile.mem_eff = scal::kMemEffTcLayout;
+        break;
+      case Variant::Baseline:
+        out.values = run_baseline_spmv(a, x, ctx);
+        out.profile.pipe_eff = scal::kCcLibraryEff;
+        out.profile.mem_eff = scal::kMemEffIrregular;
+        break;
+    }
+    out.profile.useful_flops = 2.0 * static_cast<double>(a.nnz());
+    return out;
+  }
+
+  std::vector<double> reference(const TestCase& tc) const override {
+    const sparse::Csr a = load_matrix(tc);
+    const auto x = common::random_vector(static_cast<std::size_t>(a.cols), 51);
+    return sparse::spmv_serial(a, x);
+  }
+};
+
+}  // namespace
+
+WorkloadPtr make_spmv() { return std::make_unique<SpmvWorkload>(); }
+
+}  // namespace cubie::core

@@ -1,0 +1,229 @@
+// Stencil workload (Quadrant I): star2d1r and star3d1r grids (Table 2).
+//
+// TC: the LoRaStencil scheme. The star stencil's weight matrix separates
+// into a vertical and a horizontal band pass, out = A*X + X*B, with A and B
+// tridiagonal band matrices. Tiled into 8x8 blocks, both passes become MMA
+// chains whose banded operand blocks (diag / sub / super) are constants kept
+// in constant memory - loaded once and reused across the whole grid
+// (Figure 2's Quadrant I reuse arrow). The 3D variant adds the z-coupling as
+// scalar axpy terms on top of the per-slab 2D passes.
+// CC: identical tiling on CUDA cores; CC-E == CC.
+// Baseline: DRStencil-style direct neighbour-FMA kernel with register reuse.
+
+#include "core/kernels.hpp"
+
+#include "common/rng.hpp"
+#include "mma/mma.hpp"
+#include "sim/calibration.hpp"
+#include "stencil/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace cubie::core {
+namespace {
+
+namespace scal = cubie::sim::cal;
+
+// Non-dyadic weights (not exact powers of two) so every variant's rounding
+// behaviour is visible in Table 6.
+const stencil::Star2D kStar2{0.52, 0.12, 0.12, 0.12, 0.12};
+const stencil::Star3D kStar3{0.40, 0.10, 0.10, 0.10, 0.10, 0.10, 0.10};
+
+struct StencilProblem {
+  bool is3d = false;
+  int nz = 1, ny = 0, nx = 0;
+  std::vector<double> in;
+};
+
+StencilProblem make_problem(const TestCase& tc) {
+  StencilProblem p;
+  p.is3d = tc.dims.size() == 3;
+  if (p.is3d) {
+    p.nz = static_cast<int>(tc.dims[0]);
+    p.ny = static_cast<int>(tc.dims[1]);
+    p.nx = static_cast<int>(tc.dims[2]);
+  } else {
+    p.ny = static_cast<int>(tc.dims[0]);
+    p.nx = static_cast<int>(tc.dims[1]);
+  }
+  p.in = common::random_vector(static_cast<std::size_t>(p.nz) * static_cast<std::size_t>(p.ny) * static_cast<std::size_t>(p.nx), 71);
+  return p;
+}
+
+// One 2D LoRa pass over a slab: out = A*X + X*B with the band blocks, where
+// the vertical pass carries weights (n, c/2, s) and the horizontal pass
+// (w, c/2, e). Grid dims must be multiples of 8.
+void lora_2d_slab(const double* in, double* out, int ny, int nx,
+                  double wc, double wn, double ws, double ww, double we,
+                  mma::Context& ctx) {
+  const mma::Mat8x8 va_d = stencil::band_diag_block(wn, wc * 0.5, ws);
+  const mma::Mat8x8 va_l = stencil::band_sub_block(wn);
+  const mma::Mat8x8 va_u = stencil::band_super_block(ws);
+  const mma::Mat8x8 hb_d = stencil::band_diag_block(we, wc * 0.5, ww);
+  const mma::Mat8x8 hb_l = stencil::band_sub_block(we);
+  const mma::Mat8x8 hb_u = stencil::band_super_block(ww);
+
+  auto tile_at = [&](int ty, int tx, double* dst) {
+    for (int r = 0; r < 8; ++r)
+      for (int c = 0; c < 8; ++c)
+        dst[r * 8 + c] = in[static_cast<std::size_t>(ty * 8 + r) * static_cast<std::size_t>(nx) + static_cast<std::size_t>(tx * 8 + c)];
+  };
+
+  const int tyn = ny / 8, txn = nx / 8;
+  double x_mid[64], x_oth[64], acc[64];
+  for (int ty = 0; ty < tyn; ++ty) {
+    for (int tx = 0; tx < txn; ++tx) {
+      std::fill_n(acc, 64, 0.0);
+      tile_at(ty, tx, x_mid);
+      ctx.load_shared(64.0 * 8.0);
+      // Vertical pass: sum_k A(ty,k) X(k,tx), k in {ty-1, ty, ty+1}.
+      ctx.dmma_m8n8k8_acc(va_d.data(), x_mid, acc);
+      if (ty > 0) {
+        tile_at(ty - 1, tx, x_oth);
+        ctx.load_shared(64.0 * 8.0);
+        ctx.dmma_m8n8k8_acc(va_l.data(), x_oth, acc);
+      }
+      if (ty + 1 < tyn) {
+        tile_at(ty + 1, tx, x_oth);
+        ctx.load_shared(64.0 * 8.0);
+        ctx.dmma_m8n8k8_acc(va_u.data(), x_oth, acc);
+      }
+      // Horizontal pass: sum_k X(ty,k) B(k,tx), k in {tx-1, tx, tx+1}.
+      ctx.dmma_m8n8k8_acc(x_mid, hb_d.data(), acc);
+      if (tx > 0) {
+        tile_at(ty, tx - 1, x_oth);
+        ctx.load_shared(64.0 * 8.0);
+        ctx.dmma_m8n8k8_acc(x_oth, hb_u.data(), acc);
+      }
+      if (tx + 1 < txn) {
+        tile_at(ty, tx + 1, x_oth);
+        ctx.load_shared(64.0 * 8.0);
+        ctx.dmma_m8n8k8_acc(x_oth, hb_l.data(), acc);
+      }
+      for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c)
+          out[static_cast<std::size_t>(ty * 8 + r) * static_cast<std::size_t>(nx) + static_cast<std::size_t>(tx * 8 + c)] = acc[r * 8 + c];
+    }
+  }
+}
+
+std::vector<double> run_lora(const StencilProblem& p, mma::Context& ctx) {
+  const std::size_t plane = static_cast<std::size_t>(p.ny) * static_cast<std::size_t>(p.nx);
+  std::vector<double> out(plane * static_cast<std::size_t>(p.nz), 0.0);
+
+  ctx.launch((static_cast<double>(p.ny) / 8.0) * (p.nx / 8.0) * 32.0);
+  // Grid in/out streamed once; band blocks come from constant memory.
+  ctx.load_global(static_cast<double>(p.in.size()) * 8.0);
+  ctx.store_global(static_cast<double>(out.size()) * 8.0);
+
+  if (!p.is3d) {
+    lora_2d_slab(p.in.data(), out.data(), p.ny, p.nx, kStar2.c, kStar2.n,
+                 kStar2.s, kStar2.w, kStar2.e, ctx);
+    return out;
+  }
+  // 3D: per-slab 2D pass with the xy weights, plus scalar z-coupling.
+  for (int z = 0; z < p.nz; ++z) {
+    lora_2d_slab(p.in.data() + static_cast<std::size_t>(z) * plane,
+                 out.data() + static_cast<std::size_t>(z) * plane, p.ny, p.nx,
+                 kStar3.c, kStar3.n, kStar3.s, kStar3.w, kStar3.e, ctx);
+  }
+  ctx.cc_fma(2.0 * static_cast<double>(out.size()));
+  // z-neighbour planes are resident in L2 across consecutive slabs; the
+  // re-reads hit the cache hierarchy, not DRAM.
+  ctx.load_shared(static_cast<double>(p.in.size()) * 8.0 * 2.0);
+  for (int z = 0; z < p.nz; ++z) {
+    double* o = out.data() + static_cast<std::size_t>(z) * plane;
+    if (z > 0) {
+      const double* below = p.in.data() + static_cast<std::size_t>(z - 1) * plane;
+      for (std::size_t i = 0; i < plane; ++i) o[i] = std::fma(kStar3.d, below[i], o[i]);
+    }
+    if (z + 1 < p.nz) {
+      const double* above = p.in.data() + static_cast<std::size_t>(z + 1) * plane;
+      for (std::size_t i = 0; i < plane; ++i) o[i] = std::fma(kStar3.u, above[i], o[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> run_drstencil(const StencilProblem& p, mma::Context& ctx) {
+  std::vector<double> out;
+  const double n = static_cast<double>(p.in.size());
+  ctx.launch(n / 2.0);
+  // Register/smem reuse: each input is read ~once from DRAM despite the
+  // 5/7-point reuse; neighbour re-reads hit shared memory.
+  ctx.load_global(n * 8.0);
+  ctx.store_global(n * 8.0);
+  ctx.load_shared(n * 8.0 * (p.is3d ? 6.0 : 4.0));
+  ctx.cc_fma(n * (p.is3d ? 7.0 : 5.0));
+  if (p.is3d) {
+    stencil::stencil3d_serial_fma(kStar3, p.in, out, p.nz, p.ny, p.nx);
+  } else {
+    stencil::stencil2d_serial_fma(kStar2, p.in, out, p.ny, p.nx);
+  }
+  return out;
+}
+
+class StencilWorkload final : public Workload {
+ public:
+  std::string name() const override { return "Stencil"; }
+  Quadrant quadrant() const override { return Quadrant::I; }
+  std::string dwarf() const override { return "Structured grids"; }
+  std::string baseline_name() const override { return "DRStencil"; }
+
+  std::vector<TestCase> cases(int s) const override {
+    std::vector<TestCase> cs;
+    // star2d1r: 1K^2, 5K^2, 10K^2.
+    for (long d : {1024L, 5120L, 10240L}) {
+      const long v = std::max(64L, (d / s) / 8 * 8);
+      cs.push_back({"star2d1r " + std::to_string(v) + "^2", {v, v}, ""});
+    }
+    // star3d1r: 512^3, 1K^3.
+    for (long d : {512L, 1024L}) {
+      const long v = std::max(32L, (d / s) / 8 * 8);
+      cs.push_back({"star3d1r " + std::to_string(v) + "^3", {v, v, v}, ""});
+    }
+    return cs;
+  }
+
+  RunOutput run(Variant v, const TestCase& tc) const override {
+    StencilProblem p = make_problem(tc);
+    RunOutput out;
+    mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
+                                      : mma::Pipe::CudaCore,
+                     out.profile);
+    if (v == Variant::Baseline) {
+      out.values = run_drstencil(p, ctx);
+      out.profile.pipe_eff = scal::kCcLibraryEff;
+      out.profile.mem_eff = scal::kMemEffGrid;
+    } else {
+      out.values = run_lora(p, ctx);
+      out.profile.pipe_eff =
+          v == Variant::TC ? scal::kTcGemmEff : scal::kCcEmulationEff;
+      out.profile.mem_eff = v == Variant::TC ? scal::kMemEffTcLayout
+                                             : scal::kMemEffCcEmulation;
+    }
+    out.profile.useful_flops =
+        static_cast<double>(p.in.size()) * (p.is3d ? 13.0 : 9.0);
+    return out;
+  }
+
+  std::vector<double> reference(const TestCase& tc) const override {
+    StencilProblem p = make_problem(tc);
+    std::vector<double> out;
+    if (p.is3d) {
+      stencil::stencil3d_serial(kStar3, p.in, out, p.nz, p.ny, p.nx);
+    } else {
+      stencil::stencil2d_serial(kStar2, p.in, out, p.ny, p.nx);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+WorkloadPtr make_stencil() { return std::make_unique<StencilWorkload>(); }
+
+}  // namespace cubie::core

@@ -1,0 +1,409 @@
+#include "core/suite_proxies.hpp"
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "graph/generators.hpp"
+#include "mma/mma.hpp"
+#include "sim/calibration.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+#include "stencil/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cubie::core {
+namespace {
+
+namespace scal = cubie::sim::cal;
+
+using ProxyFn = void (*)(mma::Context&);
+
+// --- Rodinia-class kernels ---------------------------------------------------
+
+// hotspot: 2D thermal stencil iteration.
+void rodinia_hotspot(mma::Context& ctx) {
+  const int n = 256;
+  const auto in = common::random_vector(static_cast<std::size_t>(n) * n, 301);
+  std::vector<double> out;
+  stencil::Star2D st{0.6, 0.1, 0.1, 0.1, 0.1};
+  stencil::stencil2d_serial_fma(st, in, out, n, n);
+  const double pts = static_cast<double>(n) * n;
+  ctx.launch(pts);
+  ctx.load_global(pts * 8.0 * 2.0);  // grid + power map
+  ctx.store_global(pts * 8.0);
+  ctx.load_shared(pts * 8.0 * 4.0);
+  ctx.cc_fma(pts * 7.0);
+  ctx.profile().useful_flops = pts * 14.0;
+}
+
+// lud: dense LU decomposition (in-place, no pivoting).
+void rodinia_lud(mma::Context& ctx) {
+  const int n = 96;
+  auto a = common::random_vector(static_cast<std::size_t>(n) * n, 302);
+  for (int i = 0; i < n; ++i) a[static_cast<std::size_t>(i) * n + i] += 8.0;
+  for (int k = 0; k < n; ++k) {
+    for (int i = k + 1; i < n; ++i) {
+      const double f = a[static_cast<std::size_t>(i) * n + k] / a[static_cast<std::size_t>(k) * n + k];
+      a[static_cast<std::size_t>(i) * n + k] = f;
+      for (int j = k + 1; j < n; ++j)
+        a[static_cast<std::size_t>(i) * n + j] =
+            std::fma(-f, a[static_cast<std::size_t>(k) * n + j], a[static_cast<std::size_t>(i) * n + j]);
+    }
+  }
+  const double flops = 2.0 / 3.0 * n * static_cast<double>(n) * n;
+  ctx.launch(static_cast<double>(n) * n);
+  ctx.load_global(static_cast<double>(n) * n * 8.0 * 2.0);
+  ctx.store_global(static_cast<double>(n) * n * 8.0);
+  ctx.load_shared(flops / 2.0 * 8.0);
+  ctx.cc_fma(flops / 2.0);
+  ctx.profile().useful_flops = flops;
+}
+
+// kmeans: one assignment iteration.
+void rodinia_kmeans(mma::Context& ctx) {
+  const int pts = 8192, dims = 8, k = 16;
+  const auto data = common::random_vector(static_cast<std::size_t>(pts) * dims, 303);
+  const auto centers = common::random_vector(static_cast<std::size_t>(k) * dims, 304);
+  double sink = 0.0;
+  for (int p = 0; p < pts; ++p) {
+    double best = 1e300;
+    for (int c = 0; c < k; ++c) {
+      double d2 = 0.0;
+      for (int d = 0; d < dims; ++d) {
+        const double diff = data[static_cast<std::size_t>(p) * dims + d] -
+                            centers[static_cast<std::size_t>(c) * dims + d];
+        d2 = std::fma(diff, diff, d2);
+      }
+      best = std::min(best, d2);
+    }
+    sink += best;
+  }
+  (void)sink;
+  const double flops = 3.0 * pts * static_cast<double>(dims) * k;
+  ctx.launch(static_cast<double>(pts));
+  ctx.load_global(static_cast<double>(pts) * dims * 8.0);
+  ctx.store_global(static_cast<double>(pts) * 4.0);
+  ctx.cc_fma(flops / 2.0);
+  ctx.profile().useful_flops = flops;
+}
+
+// bfs: Rodinia's level-synchronous BFS.
+void rodinia_bfs(mma::Context& ctx) {
+  const auto g = graph::gen_rmat(12, 8, 0.57, 0.19, 0.19, 305);
+  const auto levels = graph::bfs_serial(g, 0);
+  (void)levels;
+  const double e = static_cast<double>(g.edges());
+  ctx.launch(static_cast<double>(g.n));
+  ctx.load_global(e * 8.0 + static_cast<double>(g.n) * 8.0);
+  ctx.store_global(static_cast<double>(g.n) * 4.0);
+  ctx.cc_int(e * 3.0);
+  ctx.profile().useful_flops = e;
+  ctx.profile().mem_eff = scal::kMemEffIrregular;
+}
+
+// srad: speckle-reducing anisotropic diffusion (stencil + pointwise math).
+void rodinia_srad(mma::Context& ctx) {
+  const int n = 192;
+  const auto in = common::random_vector(static_cast<std::size_t>(n) * n, 306);
+  std::vector<double> out;
+  stencil::Star2D st{0.4, 0.15, 0.15, 0.15, 0.15};
+  stencil::stencil2d_serial_fma(st, in, out, n, n);
+  double sink = 0.0;
+  for (double v : out) sink += std::exp(-std::fabs(v));
+  (void)sink;
+  const double pts = static_cast<double>(n) * n;
+  ctx.launch(pts);
+  ctx.load_global(pts * 8.0 * 2.0);
+  ctx.store_global(pts * 8.0);
+  ctx.cc_fma(pts * 18.0);  // diffusion coefficients + update
+  ctx.profile().useful_flops = pts * 36.0;
+}
+
+// nw: Needleman-Wunsch dynamic programming.
+void rodinia_nw(mma::Context& ctx) {
+  const int n = 512;
+  std::vector<int> score(static_cast<std::size_t>(n) * n, 0);
+  common::Lcg rng(307);
+  for (int i = 1; i < n; ++i) {
+    for (int j = 1; j < n; ++j) {
+      const int match = static_cast<int>(rng.next_below(8)) - 4;
+      const int d = score[static_cast<std::size_t>(i - 1) * n + j - 1] + match;
+      const int u = score[static_cast<std::size_t>(i - 1) * n + j] - 1;
+      const int l = score[static_cast<std::size_t>(i) * n + j - 1] - 1;
+      score[static_cast<std::size_t>(i) * n + j] = std::max({d, u, l});
+    }
+  }
+  const double cells = static_cast<double>(n) * n;
+  ctx.launch(static_cast<double>(n));  // wavefront parallelism only
+  ctx.load_global(cells * 4.0 * 3.0);
+  ctx.store_global(cells * 4.0);
+  ctx.cc_int(cells * 5.0);
+  ctx.profile().useful_flops = cells;
+  ctx.profile().mem_eff = scal::kMemEffGrid;
+}
+
+// pathfinder: dynamic-programming wavefront over a grid.
+void rodinia_pathfinder(mma::Context& ctx) {
+  const int rows = 256, cols = 2048;
+  common::Lcg rng(308);
+  std::vector<int> prev(static_cast<std::size_t>(cols)), cur(static_cast<std::size_t>(cols));
+  for (auto& v : prev) v = static_cast<int>(rng.next_below(10));
+  for (int r = 1; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      int best = prev[static_cast<std::size_t>(c)];
+      if (c > 0) best = std::min(best, prev[static_cast<std::size_t>(c - 1)]);
+      if (c + 1 < cols) best = std::min(best, prev[static_cast<std::size_t>(c + 1)]);
+      cur[static_cast<std::size_t>(c)] = best + static_cast<int>(rng.next_below(10));
+    }
+    std::swap(prev, cur);
+  }
+  const double cells = static_cast<double>(rows) * cols;
+  ctx.launch(static_cast<double>(cols));
+  ctx.load_global(cells * 4.0 * 2.0);
+  ctx.store_global(cells * 4.0);
+  ctx.cc_int(cells * 4.0);
+  ctx.profile().useful_flops = cells;
+  ctx.profile().mem_eff = scal::kMemEffGrid;
+}
+
+// backprop: one dense layer forward + weight-gradient pass.
+void rodinia_backprop(mma::Context& ctx) {
+  const int in = 512, hid = 128;
+  const auto w = common::random_vector(static_cast<std::size_t>(in) * hid, 309);
+  const auto x = common::random_vector(static_cast<std::size_t>(in), 310);
+  double sink = 0.0;
+  for (int h = 0; h < hid; ++h) {
+    double acc = 0.0;
+    for (int i = 0; i < in; ++i)
+      acc = std::fma(w[static_cast<std::size_t>(i) * hid + h], x[static_cast<std::size_t>(i)], acc);
+    sink += 1.0 / (1.0 + std::exp(-acc));
+  }
+  (void)sink;
+  const double flops = 2.0 * in * static_cast<double>(hid) * 2.0;  // fwd + grad
+  ctx.launch(static_cast<double>(hid) * 16.0);
+  ctx.load_global(static_cast<double>(in) * hid * 8.0 * 2.0);
+  ctx.store_global(static_cast<double>(in) * hid * 8.0);
+  ctx.cc_fma(flops / 2.0);
+  ctx.profile().useful_flops = flops;
+}
+
+// --- SHOC-class kernels --------------------------------------------------------
+
+// sgemm-style dense GEMM on CUDA cores.
+void shoc_gemm(mma::Context& ctx) {
+  const int n = 128;
+  const auto a = common::random_vector(static_cast<std::size_t>(n) * n, 401);
+  const auto b = common::random_vector(static_cast<std::size_t>(n) * n, 402);
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+  sparse::gemm_serial(n, n, n, a, b, c);
+  const double flops = 2.0 * n * static_cast<double>(n) * n;
+  ctx.launch(static_cast<double>(n) * n);
+  ctx.load_global(2.0 * n * static_cast<double>(n) * 8.0 * (n / 32.0));
+  ctx.store_global(static_cast<double>(n) * n * 8.0);
+  ctx.load_shared(flops / 2.0 * 8.0);
+  ctx.cc_fma(flops / 2.0);
+  ctx.profile().useful_flops = flops;
+}
+
+// FFT (Stockham radix-2).
+void shoc_fft(mma::Context& ctx) {
+  const int n = 4096;
+  const auto re = common::random_vector(static_cast<std::size_t>(n), 403);
+  std::vector<fft::cplx> x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = {re[static_cast<std::size_t>(i)], 0.0};
+  const auto y = fft::fft_stockham(x);
+  (void)y;
+  const double stages = std::log2(static_cast<double>(n));
+  ctx.launch(static_cast<double>(n));
+  ctx.load_global(static_cast<double>(n) * 16.0 * 2.0);
+  ctx.store_global(static_cast<double>(n) * 16.0);
+  ctx.load_shared(static_cast<double>(n) * 16.0 * stages);
+  ctx.cc_fma(static_cast<double>(n) * 5.0 * stages / 2.0);
+  ctx.profile().useful_flops = 5.0 * n * stages;
+}
+
+// md: Lennard-Jones force evaluation over neighbour lists.
+void shoc_md(mma::Context& ctx) {
+  const int atoms = 2048, neigh = 32;
+  const auto pos = common::random_vector(static_cast<std::size_t>(atoms) * 3, 404);
+  common::Lcg rng(405);
+  double sink = 0.0;
+  for (int i = 0; i < atoms; ++i) {
+    for (int k = 0; k < neigh; ++k) {
+      const int j = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(atoms)));
+      double d2 = 1e-3;
+      for (int d = 0; d < 3; ++d) {
+        const double diff = pos[static_cast<std::size_t>(i) * 3 + d] - pos[static_cast<std::size_t>(j) * 3 + d];
+        d2 = std::fma(diff, diff, d2);
+      }
+      const double inv6 = 1.0 / (d2 * d2 * d2);
+      sink += inv6 * (inv6 - 1.0);
+    }
+  }
+  (void)sink;
+  const double pairs = static_cast<double>(atoms) * neigh;
+  ctx.launch(static_cast<double>(atoms));
+  ctx.load_global(pairs * 3.0 * 8.0 + pairs * 4.0);
+  ctx.store_global(static_cast<double>(atoms) * 3.0 * 8.0);
+  ctx.cc_fma(pairs * 12.0);
+  ctx.profile().useful_flops = pairs * 24.0;
+  ctx.profile().mem_eff = scal::kMemEffIrregular;
+}
+
+// reduction (tree).
+void shoc_reduction(mma::Context& ctx) {
+  const std::size_t n = 1 << 20;
+  const auto x = common::random_vector(n, 406);
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  (void)acc;
+  ctx.launch(static_cast<double>(n) / 4.0);
+  ctx.load_global(static_cast<double>(n) * 8.0);
+  ctx.store_global(1024.0 * 8.0);
+  ctx.cc_flop(static_cast<double>(n));
+  ctx.profile().useful_flops = static_cast<double>(n);
+}
+
+// scan (Kogge-Stone).
+void shoc_scan(mma::Context& ctx) {
+  const std::size_t n = 1 << 20;
+  auto x = common::random_vector(n, 407);
+  for (std::size_t i = 1; i < n; ++i) x[i] += x[i - 1];
+  ctx.launch(static_cast<double>(n) / 4.0);
+  ctx.load_global(static_cast<double>(n) * 8.0);
+  ctx.store_global(static_cast<double>(n) * 8.0);
+  ctx.load_shared(static_cast<double>(n) * 8.0 * 5.0);
+  ctx.cc_flop(static_cast<double>(n) * 5.0);
+  ctx.profile().useful_flops = static_cast<double>(n);
+}
+
+// spmv (CSR scalar).
+void shoc_spmv(mma::Context& ctx) {
+  const auto a = sparse::gen_random_uniform(4096, 32, 408);
+  const auto x = common::random_vector(static_cast<std::size_t>(a.cols), 409);
+  const auto y = sparse::spmv_serial(a, x);
+  (void)y;
+  const double nnz = static_cast<double>(a.nnz());
+  ctx.launch(static_cast<double>(a.rows));
+  ctx.load_global(nnz * (8.0 + 4.0 + 8.0));
+  ctx.store_global(static_cast<double>(a.rows) * 8.0);
+  ctx.cc_fma(nnz);
+  ctx.profile().useful_flops = 2.0 * nnz;
+  ctx.profile().mem_eff = scal::kMemEffIrregular;
+}
+
+// triad: a*x + y stream.
+void shoc_triad(mma::Context& ctx) {
+  const std::size_t n = 1 << 21;
+  const auto x = common::random_vector(n, 410);
+  const auto y = common::random_vector(n, 411);
+  double sink = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sink += std::fma(1.75, x[i], y[i]);
+  (void)sink;
+  ctx.launch(static_cast<double>(n));
+  ctx.load_global(static_cast<double>(n) * 16.0);
+  ctx.store_global(static_cast<double>(n) * 8.0);
+  ctx.cc_fma(static_cast<double>(n));
+  ctx.profile().useful_flops = 2.0 * static_cast<double>(n);
+}
+
+// sort: radix-sort pass structure (integer heavy).
+void shoc_sort(mma::Context& ctx) {
+  const std::size_t n = 1 << 18;
+  common::Lcg rng(412);
+  std::vector<std::uint32_t> keys(n);
+  for (auto& k : keys) k = rng.next_raw();
+  std::sort(keys.begin(), keys.end());
+  const double passes = 8.0;  // 4-bit digits over 32-bit keys
+  ctx.launch(static_cast<double>(n) / 4.0);
+  ctx.load_global(static_cast<double>(n) * 4.0 * passes * 2.0);
+  ctx.store_global(static_cast<double>(n) * 4.0 * passes);
+  ctx.cc_int(static_cast<double>(n) * passes * 6.0);
+  ctx.profile().useful_flops = static_cast<double>(n) * passes;
+}
+
+// stencil2d: SHOC's 9-point stencil.
+void shoc_stencil2d(mma::Context& ctx) {
+  const int n = 256;
+  const auto in = common::random_vector(static_cast<std::size_t>(n) * n, 413);
+  std::vector<double> out(static_cast<std::size_t>(n) * n, 0.0);
+  for (int y = 1; y + 1 < n; ++y) {
+    for (int x = 1; x + 1 < n; ++x) {
+      double acc = 0.0;
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx)
+          acc = std::fma(0.111, in[static_cast<std::size_t>((y + dy) * n + x + dx)], acc);
+      out[static_cast<std::size_t>(y * n + x)] = acc;
+    }
+  }
+  const double pts = static_cast<double>(n) * n;
+  ctx.launch(pts);
+  ctx.load_global(pts * 8.0);
+  ctx.store_global(pts * 8.0);
+  ctx.load_shared(pts * 8.0 * 8.0);
+  ctx.cc_fma(pts * 9.0);
+  ctx.profile().useful_flops = pts * 18.0;
+  ctx.profile().mem_eff = scal::kMemEffGrid;
+}
+
+// bfs: SHOC's level-synchronous BFS (same structure as Rodinia's, different
+// graph class).
+void shoc_bfs(mma::Context& ctx) {
+  const auto g = graph::gen_web(8192, 64, 8.0, 414);
+  const auto levels = graph::bfs_serial(g, 0);
+  (void)levels;
+  const double e = static_cast<double>(g.edges());
+  ctx.launch(static_cast<double>(g.n));
+  ctx.load_global(e * 8.0 + static_cast<double>(g.n) * 8.0);
+  ctx.store_global(static_cast<double>(g.n) * 4.0);
+  ctx.cc_int(e * 3.0);
+  ctx.profile().useful_flops = e;
+  ctx.profile().mem_eff = scal::kMemEffIrregular;
+}
+
+struct ProxySpec {
+  const char* suite;
+  const char* name;
+  ProxyFn fn;
+};
+
+constexpr ProxySpec kProxies[] = {
+    {"Rodinia", "hotspot", rodinia_hotspot},
+    {"Rodinia", "lud", rodinia_lud},
+    {"Rodinia", "kmeans", rodinia_kmeans},
+    {"Rodinia", "bfs", rodinia_bfs},
+    {"Rodinia", "srad", rodinia_srad},
+    {"Rodinia", "nw", rodinia_nw},
+    {"Rodinia", "pathfinder", rodinia_pathfinder},
+    {"Rodinia", "backprop", rodinia_backprop},
+    {"SHOC", "gemm", shoc_gemm},
+    {"SHOC", "fft", shoc_fft},
+    {"SHOC", "md", shoc_md},
+    {"SHOC", "reduction", shoc_reduction},
+    {"SHOC", "scan", shoc_scan},
+    {"SHOC", "spmv", shoc_spmv},
+    {"SHOC", "triad", shoc_triad},
+    {"SHOC", "sort", shoc_sort},
+    {"SHOC", "stencil2d", shoc_stencil2d},
+    {"SHOC", "bfs", shoc_bfs},
+};
+
+}  // namespace
+
+std::vector<SuiteProxyResult> run_suite_proxies() {
+  std::vector<SuiteProxyResult> out;
+  for (const auto& spec : kProxies) {
+    SuiteProxyResult r;
+    r.suite = spec.suite;
+    r.name = spec.name;
+    mma::Context ctx(mma::Pipe::CudaCore, r.profile);
+    spec.fn(ctx);
+    if (r.profile.pipe_eff == 1.0) r.profile.pipe_eff = scal::kCcLibraryEff;
+    if (r.profile.mem_eff == 1.0) r.profile.mem_eff = scal::kMemEffLibrary;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace cubie::core

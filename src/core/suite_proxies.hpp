@@ -1,0 +1,26 @@
+#pragma once
+// Miniature re-implementations of representative Rodinia and SHOC kernels,
+// executed on the same simulator so the Figure 11 PCA can compare suite
+// behaviour with like-for-like metric vectors (the paper collects the
+// corresponding metrics with NCU on the real suites; see DESIGN.md for the
+// substitution rationale). These are vector-unit kernels: all work lands on
+// the CUDA-core pipe.
+
+#include "sim/profile.hpp"
+
+#include <string>
+#include <vector>
+
+namespace cubie::core {
+
+struct SuiteProxyResult {
+  std::string suite;  // "Rodinia" | "SHOC"
+  std::string name;
+  sim::KernelProfile profile;
+};
+
+// Runs every proxy kernel functionally (small fixed problem sizes) and
+// returns their profiles. Deterministic.
+std::vector<SuiteProxyResult> run_suite_proxies();
+
+}  // namespace cubie::core

@@ -1,0 +1,29 @@
+#include "core/workload.hpp"
+
+namespace cubie::core {
+
+std::string variant_name(Variant v) {
+  switch (v) {
+    case Variant::Baseline: return "Baseline";
+    case Variant::TC: return "TC";
+    case Variant::CC: return "CC";
+    case Variant::CCE: return "CC-E";
+  }
+  return "?";
+}
+
+std::string quadrant_name(Quadrant q) {
+  switch (q) {
+    case Quadrant::I: return "I";
+    case Quadrant::II: return "II";
+    case Quadrant::III: return "III";
+    case Quadrant::IV: return "IV";
+  }
+  return "?";
+}
+
+std::vector<Variant> all_variants() {
+  return {Variant::Baseline, Variant::TC, Variant::CC, Variant::CCE};
+}
+
+}  // namespace cubie::core

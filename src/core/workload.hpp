@@ -1,0 +1,78 @@
+#pragma once
+// The Cubie workload interface.
+//
+// Every workload exposes the paper's four implementation variants
+// (Section 5.2):
+//   Baseline - the vendor-library / prior-art vector implementation
+//   TC       - tensor-core MMA implementation
+//   CC       - same algorithm with MMAs replaced by CUDA-core scalar work,
+//              preserving per-lane responsibilities (identical numerics)
+//   CCE      - CUDA-core code keeping only the mathematically essential
+//              operations (distinct from CC only in Quadrants II-IV)
+// Each run() executes the variant *functionally* (real FP64 arithmetic with
+// the variant's accumulation order) while counting events into a
+// KernelProfile; sim::DeviceModel then prices the profile on any GPU model.
+
+#include "sim/profile.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cubie::core {
+
+enum class Variant { Baseline, TC, CC, CCE };
+enum class Quadrant { I, II, III, IV };
+
+std::string variant_name(Variant v);
+std::string quadrant_name(Quadrant q);
+std::vector<Variant> all_variants();
+
+// One of the five per-workload test cases of Table 2. `dims` is interpreted
+// by the workload (e.g. {M, N, K} for GEMM); `dataset` names a Table 3/4
+// instance for the sparse/graph workloads.
+struct TestCase {
+  std::string label;
+  std::vector<long> dims;
+  std::string dataset;
+};
+
+struct RunOutput {
+  sim::KernelProfile profile;
+  // Output values comparable against reference() for the Table 6 error
+  // analysis (may be a sample for very large outputs; the sampling is
+  // identical across variants).
+  std::vector<double> values;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual Quadrant quadrant() const = 0;
+  // Berkeley-dwarf classification (Table 7).
+  virtual std::string dwarf() const = 0;
+  // Human-readable baseline provenance ("cuBLAS GEMV v12.8"-style).
+  virtual std::string baseline_name() const = 0;
+  // PiC has no library baseline in the paper (Table 2: "-").
+  virtual bool has_baseline() const { return true; }
+  // Quadrant I kernels have CC-E == CC (Section 5.2).
+  virtual bool cce_distinct() const { return quadrant() != Quadrant::I; }
+  // BFS performs no floating-point computation (excluded from Table 6).
+  virtual bool is_floating_point() const { return true; }
+
+  // The five test cases, dimensions divided by `scale_divisor`.
+  virtual std::vector<TestCase> cases(int scale_divisor) const = 0;
+  // Index of the representative case used by Figures 7-8 and Table 6.
+  virtual std::size_t representative_case() const { return 2; }
+
+  // Execute one variant functionally and return profile + outputs.
+  virtual RunOutput run(Variant v, const TestCase& tc) const = 0;
+  // Naive CPU serial ground truth (Section 8).
+  virtual std::vector<double> reference(const TestCase& tc) const = 0;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+}  // namespace cubie::core

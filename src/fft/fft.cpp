@@ -1,0 +1,111 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace cubie::fft {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+std::vector<cplx> dft_naive(std::span<const cplx> x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> y(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -kTwoPi * static_cast<double>(k * j % n) / static_cast<double>(n);
+      acc += x[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+    y[k] = acc;
+  }
+  return y;
+}
+
+namespace {
+
+void fft_rec(std::vector<cplx>& a) {
+  const std::size_t n = a.size();
+  if (n <= 1) return;
+  std::vector<cplx> even(n / 2), odd(n / 2);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    even[i] = a[2 * i];
+    odd[i] = a[2 * i + 1];
+  }
+  fft_rec(even);
+  fft_rec(odd);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    const cplx t = cplx(std::cos(ang), std::sin(ang)) * odd[k];
+    a[k] = even[k] + t;
+    a[k + n / 2] = even[k] - t;
+  }
+}
+
+}  // namespace
+
+std::vector<cplx> fft_serial(std::span<const cplx> x) {
+  std::vector<cplx> a(x.begin(), x.end());
+  fft_rec(a);
+  return a;
+}
+
+std::vector<cplx> fft_stockham(std::span<const cplx> x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> a(x.begin(), x.end()), b(n);
+  std::size_t l = n / 2, m = 1;
+  // Stockham autosort: each stage gathers strided pairs and writes them
+  // contiguously, so no bit-reversal pass is needed (cuFFT-style dataflow).
+  while (l >= 1) {
+    for (std::size_t j = 0; j < l; ++j) {
+      const double ang = -kTwoPi * static_cast<double>(j) / static_cast<double>(2 * l);
+      const cplx w(std::cos(ang), std::sin(ang));
+      for (std::size_t k = 0; k < m; ++k) {
+        const cplx c0 = a[k + j * m];
+        const cplx c1 = a[k + j * m + l * m];
+        b[k + 2 * j * m] = c0 + c1;
+        b[k + 2 * j * m + m] = (c0 - c1) * w;
+      }
+    }
+    std::swap(a, b);
+    l /= 2;
+    m *= 2;
+  }
+  return a;
+}
+
+std::vector<cplx> ifft_serial(std::span<const cplx> x) {
+  std::vector<cplx> conj_in(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) conj_in[i] = std::conj(x[i]);
+  auto y = fft_serial(conj_in);
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (auto& v : y) v = std::conj(v) * inv_n;
+  return y;
+}
+
+mma::Mat8x8 radix4_butterfly_real() {
+  mma::Mat8x8 m{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const double ang = -kTwoPi * static_cast<double>((i * j) % 4) / 4.0;
+      // Round the exactly-representable twiddles {1, -1, 0} to kill noise.
+      double re = std::cos(ang), im = std::sin(ang);
+      if (std::fabs(re) < 1e-12) re = 0.0;
+      if (std::fabs(im) < 1e-12) im = 0.0;
+      if (std::fabs(re - 1.0) < 1e-12) re = 1.0;
+      if (std::fabs(re + 1.0) < 1e-12) re = -1.0;
+      if (std::fabs(im - 1.0) < 1e-12) im = 1.0;
+      if (std::fabs(im + 1.0) < 1e-12) im = -1.0;
+      m[static_cast<std::size_t>((2 * i) * 8 + 2 * j)] = re;
+      m[static_cast<std::size_t>((2 * i) * 8 + 2 * j + 1)] = -im;
+      m[static_cast<std::size_t>((2 * i + 1) * 8 + 2 * j)] = im;
+      m[static_cast<std::size_t>((2 * i + 1) * 8 + 2 * j + 1)] = re;
+    }
+  }
+  return m;
+}
+
+}  // namespace cubie::fft

@@ -1,0 +1,43 @@
+#pragma once
+// FFT substrate: CPU serial ground truth, a Stockham autosort FFT standing
+// in for the cuFFT baseline, the O(n^2) DFT used by tests, and the radix-4
+// butterfly expressed as the real 8x8 matrix consumed by the tcFFT-style
+// tensor-core implementation (complex 4x4 DFT lifted to its real form).
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "mma/constants.hpp"
+
+namespace cubie::fft {
+
+using cplx = std::complex<double>;
+
+// O(n^2) reference DFT (forward, no normalization). Test oracle only.
+std::vector<cplx> dft_naive(std::span<const cplx> x);
+
+// CPU serial ground truth: recursive radix-2 decimation-in-time FFT with a
+// fixed, deterministic operation order (the paper's "naive CPU serial
+// implementation"). n must be a power of two.
+std::vector<cplx> fft_serial(std::span<const cplx> x);
+
+// Stockham autosort radix-2 FFT: the structural stand-in for the cuFFT
+// baseline (out-of-place, no bit reversal, different accumulation order than
+// fft_serial - the source of the baseline's distinct rounding in Table 6).
+std::vector<cplx> fft_stockham(std::span<const cplx> x);
+
+// Inverse FFT via conjugation (normalized by 1/n), for the examples.
+std::vector<cplx> ifft_serial(std::span<const cplx> x);
+
+// The 4-point DFT as a real 8x8 matrix acting on packed
+// [re0, im0, re1, im1, re2, im2, re3, im3] vectors:
+//   y = F4r * x  with  F4r[2i..2i+1][2j..2j+1] = [[Re w, -Im w], [Im w, Re w]],
+//   w = exp(-2 pi i * i * j / 4).
+// This is the constant operand tcFFT feeds to the tensor cores.
+mma::Mat8x8 radix4_butterfly_real();
+
+// Is n a power of two (and >= 1)?
+bool is_pow2(std::size_t n);
+
+}  // namespace cubie::fft

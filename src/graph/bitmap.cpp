@@ -1,0 +1,71 @@
+#include "graph/bitmap.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+namespace cubie::graph {
+
+double BitmapSliceSet::bit_fill() const {
+  if (blocks.empty()) return 0.0;
+  double set_bits = 0.0;
+  for (const auto& b : blocks)
+    for (std::uint32_t w : b.bits) set_bits += std::popcount(w);
+  return set_bits / (static_cast<double>(blocks.size()) * kSliceRows * kSliceCols);
+}
+
+BitmapSliceSet slice_set_from_graph(const Graph& g) {
+  BitmapSliceSet s;
+  s.n = g.n;
+  s.block_rows = (g.n + kSliceRows - 1) / kSliceRows;
+  s.block_cols = (g.n + kSliceCols - 1) / kSliceCols;
+  s.row_ptr.assign(static_cast<std::size_t>(s.block_rows) + 1, 0);
+
+  // Edge (u -> v) contributes bit (u) in destination row (v):
+  // block row v/8, local row v%8, block col u/128, bit u%128.
+  std::map<int, std::size_t> slot;  // block_col -> index (per block row)
+  // Bucket edges by destination block row first.
+  std::vector<std::vector<std::pair<int, int>>> by_block_row(
+      static_cast<std::size_t>(s.block_rows));
+  for (int u = 0; u < g.n; ++u) {
+    for (int p = g.offsets[static_cast<std::size_t>(u)]; p < g.offsets[static_cast<std::size_t>(u) + 1]; ++p) {
+      const int v = g.neighbors[static_cast<std::size_t>(p)];
+      by_block_row[static_cast<std::size_t>(v / kSliceRows)].emplace_back(u, v);
+    }
+  }
+  for (int br = 0; br < s.block_rows; ++br) {
+    slot.clear();
+    const std::size_t base = s.blocks.size();
+    for (auto [u, v] : by_block_row[static_cast<std::size_t>(br)]) {
+      const int bc = u / kSliceCols;
+      auto [it, inserted] = slot.emplace(bc, 0);
+      if (inserted) {
+        it->second = s.blocks.size();
+        SliceBlock blk;
+        blk.block_col = bc;
+        s.blocks.push_back(blk);
+      }
+      SliceBlock& blk = s.blocks[it->second];
+      const int lr = v % kSliceRows;
+      const int lc = u % kSliceCols;
+      blk.bits[static_cast<std::size_t>(lr * kSliceWords + lc / 32)] |=
+          (1u << (lc % 32));
+    }
+    // std::map iterates sorted, but insertion order above is edge order;
+    // re-sort the freshly appended range by block_col for determinism.
+    std::sort(s.blocks.begin() + static_cast<std::ptrdiff_t>(base), s.blocks.end(),
+              [](const SliceBlock& a, const SliceBlock& b) {
+                return a.block_col < b.block_col;
+              });
+    s.row_ptr[static_cast<std::size_t>(br) + 1] = static_cast<int>(s.blocks.size());
+  }
+  return s;
+}
+
+int BitVector::popcount() const {
+  int c = 0;
+  for (std::uint32_t w : words) c += std::popcount(w);
+  return c;
+}
+
+}  // namespace cubie::graph

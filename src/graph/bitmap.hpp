@@ -1,0 +1,61 @@
+#pragma once
+// BerryBees bitmap slice-set: the adjacency matrix stored as nonempty
+// 8 x 128 single-bit blocks (8 destination rows x 128 source columns),
+// matching the operand shape of the tensor-core b1 mma.m8n8k128 instruction.
+// Each block is 8 rows x 4 x 32-bit words. A BFS level then becomes a
+// sequence of bit-MMAs between frontier bit-vectors and adjacency blocks.
+
+#include "graph/graph.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cubie::graph {
+
+inline constexpr int kSliceRows = 8;    // destination vertices per block
+inline constexpr int kSliceCols = 128;  // source vertices per block
+inline constexpr int kSliceWords = kSliceCols / 32;
+
+struct SliceBlock {
+  int block_col = 0;  // which 128-column slice of sources
+  // bits[r * 4 + w]: word w of row r. Bit b of word w set <=> edge from
+  // source (block_col * 128 + w * 32 + b) into destination row r.
+  std::array<std::uint32_t, kSliceRows * kSliceWords> bits{};
+};
+
+struct BitmapSliceSet {
+  int n = 0;
+  int block_rows = 0;  // ceil(n / 8)
+  int block_cols = 0;  // ceil(n / 128)
+  std::vector<int> row_ptr;         // per block-row pointers into `blocks`
+  std::vector<SliceBlock> blocks;   // sorted by (block_row, block_col)
+
+  std::size_t stored_blocks() const { return blocks.size(); }
+  double bytes() const {  // footprint of the structure (for memory accounting)
+    return static_cast<double>(row_ptr.size()) * 4.0 +
+           static_cast<double>(blocks.size()) * (4.0 + kSliceRows * kSliceWords * 4.0);
+  }
+  // Fraction of bits set within stored blocks (block density).
+  double bit_fill() const;
+};
+
+// Build the slice-set of the *reverse* adjacency (destination-major), which
+// is what a pull-style bit-MMA BFS consumes: block row r covers destinations
+// 8r..8r+7, columns are sources.
+BitmapSliceSet slice_set_from_graph(const Graph& g);
+
+// Dense frontier bit-vector helpers.
+struct BitVector {
+  int n = 0;
+  std::vector<std::uint32_t> words;
+
+  explicit BitVector(int size = 0)
+      : n(size), words(static_cast<std::size_t>((size + 31) / 32), 0u) {}
+  void set(int i) { words[static_cast<std::size_t>(i) / 32] |= (1u << (i % 32)); }
+  bool get(int i) const { return (words[static_cast<std::size_t>(i) / 32] >> (i % 32)) & 1u; }
+  void clear() { std::fill(words.begin(), words.end(), 0u); }
+  int popcount() const;
+};
+
+}  // namespace cubie::graph

@@ -1,0 +1,198 @@
+#include "graph/generators.hpp"
+
+#include "common/rng.hpp"
+#include "sparse/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cubie::graph {
+
+using common::Lcg;
+
+Graph gen_rmat(int scale, int edge_factor, double a, double b, double c,
+               std::uint32_t seed) {
+  Lcg rng(seed);
+  const int n = 1 << scale;
+  const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(edge_factor);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    int u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_unit();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    edges.emplace_back(u, v);
+  }
+  return graph_from_edges(n, edges, /*symmetrize=*/true);
+}
+
+Graph gen_mycielskian(int k) {
+  if (k < 2) throw std::invalid_argument("mycielskian: k must be >= 2");
+  // M_2 = K_2.
+  std::vector<std::pair<int, int>> edges = {{0, 1}};
+  int n = 2;
+  for (int step = 2; step < k; ++step) {
+    // Mycielski construction: given G = (V, E) with |V| = n, add shadow
+    // vertices u_i (indices n + i) and apex w (index 2n). Each u_i connects
+    // to N(v_i) and to w.
+    std::vector<std::pair<int, int>> next = edges;  // original edges kept
+    for (auto [x, y] : edges) {
+      next.emplace_back(n + x, y);  // shadow of x to neighbour y
+      next.emplace_back(n + y, x);  // shadow of y to neighbour x
+    }
+    for (int i = 0; i < n; ++i) next.emplace_back(n + i, 2 * n);
+    edges = std::move(next);
+    n = 2 * n + 1;
+  }
+  return graph_from_edges(n, edges, /*symmetrize=*/true);
+}
+
+Graph gen_web(int n, int host_size, double avg_degree, std::uint32_t seed) {
+  Lcg rng(seed);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<std::size_t>(n * avg_degree / 2));
+  const int hosts = std::max(1, n / host_size);
+  for (int u = 0; u < n; ++u) {
+    // Power-law out-degree, mostly intra-host.
+    const double z = rng.next_unit();
+    int deg = static_cast<int>(avg_degree * 0.5 / std::sqrt(z + 0.01));
+    deg = std::clamp(deg, 1, 4 * static_cast<int>(avg_degree));
+    const int host = u / host_size;
+    for (int d = 0; d < deg; ++d) {
+      int v;
+      if (rng.next_unit() < 0.8) {  // intra-host link
+        v = host * host_size + static_cast<int>(rng.next_below(static_cast<std::uint32_t>(host_size)));
+      } else {  // cross-host link, biased to popular hosts
+        const int h = static_cast<int>(std::pow(rng.next_unit(), 2.0) * hosts);
+        v = std::min(h, hosts - 1) * host_size +
+            static_cast<int>(rng.next_below(static_cast<std::uint32_t>(host_size)));
+      }
+      if (v < n) edges.emplace_back(u, v);
+    }
+  }
+  return graph_from_edges(n, edges, /*symmetrize=*/true);
+}
+
+Graph gen_social(int n, double avg_degree, std::uint32_t seed) {
+  Lcg rng(seed);
+  // Skewed endpoints (preferential flavour) plus triangle-closure edges.
+  std::vector<std::pair<int, int>> edges;
+  const std::size_t m = static_cast<std::size_t>(n * avg_degree / 2.0);
+  edges.reserve(m + m / 4);
+  auto skewed = [&]() {
+    return static_cast<int>(std::pow(rng.next_unit(), 2.5) * n) % n;
+  };
+  for (std::size_t e = 0; e < m; ++e) {
+    edges.emplace_back(skewed(), static_cast<int>(rng.next_below(static_cast<std::uint32_t>(n))));
+  }
+  // Closure: connect endpoints of consecutive edges (cheap triangle proxy).
+  for (std::size_t e = 1; e < m; e += 4) {
+    edges.emplace_back(edges[e - 1].second, edges[e].second);
+  }
+  return graph_from_edges(n, edges, /*symmetrize=*/true);
+}
+
+std::vector<std::string> table3_names() {
+  return {"wikipedia-20070206", "mycielskian17", "wb-edu", "kron_g500-logn21",
+          "com-Orkut"};
+}
+
+NamedGraph make_table3_graph(const std::string& name, int scale_divisor) {
+  if (name.find('/') != std::string::npos ||
+      (name.size() > 4 && name.substr(name.size() - 4) == ".mtx")) {
+    // A real Matrix Market file: treat entries as edges, symmetrized.
+    const auto coo = sparse::read_matrix_market_file(name);
+    std::vector<std::pair<int, int>> edges;
+    edges.reserve(coo.nnz());
+    for (std::size_t i = 0; i < coo.nnz(); ++i)
+      edges.emplace_back(coo.row[i], coo.col[i]);
+    NamedGraph ng;
+    ng.name = name;
+    ng.group = "file";
+    ng.graph = graph_from_edges(std::max(coo.rows, coo.cols), edges, true);
+    return ng;
+  }
+  const int s = std::max(1, scale_divisor);
+  // log2(s) steps of scale reduction for the exponential generators.
+  int log2s = 0;
+  while ((1 << (log2s + 1)) <= s) ++log2s;
+  NamedGraph ng;
+  ng.name = name;
+  if (name == "wikipedia-20070206") {
+    // 3.57M vertices / 90M edges (~25 per vertex), hyperlink graph.
+    ng.group = "Gleich";
+    ng.graph = gen_web(3566907 / (s * 16), 64, 25.0, 201);
+  } else if (name == "mycielskian17") {
+    // Exact construction; k reduced with scale (k=17 -> 98,303 vertices).
+    ng.group = "Mycielski";
+    ng.graph = gen_mycielskian(std::max(8, 17 - log2s - 4));
+  } else if (name == "wb-edu") {
+    // 9.85M vertices / 112M edges (~11 per vertex), .edu web crawl.
+    ng.group = "SNAP";
+    ng.graph = gen_web(9845725 / (s * 32), 128, 11.0, 202);
+  } else if (name == "kron_g500-logn21") {
+    // 2^21 vertices / 182M edges: Graph500 Kronecker, scale reduced.
+    ng.group = "DIMACS10";
+    ng.graph = gen_rmat(21 - log2s - 7, 16, 0.57, 0.19, 0.19, 203);
+  } else if (name == "com-Orkut") {
+    // 3.07M vertices / 234M edges (~76 per vertex), social network.
+    ng.group = "SNAP";
+    ng.graph = gen_social(3072441 / (s * 16), 76.0 / 4.0, 204);
+  } else {
+    throw std::invalid_argument("unknown Table 3 graph: " + name);
+  }
+  return ng;
+}
+
+std::vector<NamedGraph> synthetic_graph_corpus(int count, std::uint32_t seed) {
+  std::vector<NamedGraph> corpus;
+  corpus.reserve(static_cast<std::size_t>(count));
+  Lcg rng(seed);
+  for (int i = 0; i < count; ++i) {
+    NamedGraph ng;
+    ng.name = "graph_" + std::to_string(i);
+    const std::uint32_t s = seed + static_cast<std::uint32_t>(i) * 104729u;
+    const int family = i % 4;
+    switch (family) {
+      case 0:
+        ng.group = "kron";
+        ng.graph = gen_rmat(8 + static_cast<int>(rng.next_below(4)),
+                            4 + static_cast<int>(rng.next_below(16)), 0.57,
+                            0.19, 0.19, s);
+        break;
+      case 1:
+        ng.group = "web";
+        ng.graph = gen_web(512 + static_cast<int>(rng.next_below(3584)),
+                           16 + static_cast<int>(rng.next_below(112)),
+                           4.0 + 20.0 * rng.next_unit(), s);
+        break;
+      case 2:
+        ng.group = "social";
+        ng.graph = gen_social(512 + static_cast<int>(rng.next_below(3584)),
+                              4.0 + 30.0 * rng.next_unit(), s);
+        break;
+      default:
+        ng.group = "mycielski";
+        ng.graph = gen_mycielskian(4 + (i / 4) % 7);
+        break;
+    }
+    corpus.push_back(std::move(ng));
+  }
+  return corpus;
+}
+
+}  // namespace cubie::graph

@@ -1,0 +1,49 @@
+#pragma once
+// Synthetic graph generators standing in for the five SuiteSparse graphs of
+// Table 3 (offline environment; see DESIGN.md). Each generator reproduces
+// the structural family of its target: Kronecker/RMAT for kron_g500-logn21
+// and the social graph com-Orkut, an exact Mycielskian construction for
+// mycielskian17, and a host-block web-crawl model for wikipedia-20070206 and
+// wb-edu. Scale is configurable; defaults are reduced for the single-core
+// simulator.
+
+#include "graph/graph.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cubie::graph {
+
+// RMAT/Kronecker generator (Graph500 parameters a=0.57 b=0.19 c=0.19).
+Graph gen_rmat(int scale, int edge_factor, double a, double b, double c,
+               std::uint32_t seed);
+
+// Exact Mycielskian: mycielskian(k) is M_k in the SuiteSparse naming, built
+// by iterating the Mycielski construction from M_2 = K_2. Vertices: 3*2^(k-2) - 1.
+Graph gen_mycielskian(int k);
+
+// Web-crawl model: pages grouped into hosts; dense intra-host links plus
+// sparse cross-host links, power-law out-degree.
+Graph gen_web(int n, int host_size, double avg_degree, std::uint32_t seed);
+
+// Social-network model: RMAT skew plus random closure edges (higher
+// clustering), symmetrized.
+Graph gen_social(int n, double avg_degree, std::uint32_t seed);
+
+struct NamedGraph {
+  std::string name;
+  std::string group;
+  Graph graph;
+};
+
+std::vector<std::string> table3_names();
+// Scaled stand-in for one Table 3 instance; `scale_divisor` divides the
+// vertex count (Mycielskian scales by lowering k). If `name` is a Matrix
+// Market file path, the real graph is loaded (entries as symmetrized edges).
+NamedGraph make_table3_graph(const std::string& name, int scale_divisor);
+
+// Corpus for the Figure 10a PCA ("the 499 graphs in SuiteSparse").
+std::vector<NamedGraph> synthetic_graph_corpus(int count, std::uint32_t seed);
+
+}  // namespace cubie::graph

@@ -1,0 +1,63 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace cubie::graph {
+
+Graph graph_from_edges(int n, const std::vector<std::pair<int, int>>& edges,
+                       bool symmetrize) {
+  std::vector<std::pair<int, int>> all;
+  all.reserve(edges.size() * (symmetrize ? 2 : 1));
+  for (auto [u, v] : edges) {
+    if (u == v || u < 0 || v < 0 || u >= n || v >= n) continue;
+    all.emplace_back(u, v);
+    if (symmetrize) all.emplace_back(v, u);
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  Graph g;
+  g.n = n;
+  g.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.neighbors.reserve(all.size());
+  for (auto [u, v] : all) {
+    g.offsets[static_cast<std::size_t>(u) + 1] += 1;
+    g.neighbors.push_back(v);
+  }
+  for (int v = 0; v < n; ++v)
+    g.offsets[static_cast<std::size_t>(v) + 1] += g.offsets[static_cast<std::size_t>(v)];
+  return g;
+}
+
+std::vector<int> bfs_serial(const Graph& g, int source) {
+  std::vector<int> level(static_cast<std::size_t>(g.n), -1);
+  if (source < 0 || source >= g.n) return level;
+  std::queue<int> q;
+  level[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    const int next = level[static_cast<std::size_t>(u)] + 1;
+    for (int p = g.offsets[static_cast<std::size_t>(u)]; p < g.offsets[static_cast<std::size_t>(u) + 1]; ++p) {
+      const int v = g.neighbors[static_cast<std::size_t>(p)];
+      if (level[static_cast<std::size_t>(v)] < 0) {
+        level[static_cast<std::size_t>(v)] = next;
+        q.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+sparse::Csr adjacency_csr(const Graph& g) {
+  sparse::Csr a;
+  a.rows = a.cols = g.n;
+  a.row_ptr.assign(g.offsets.begin(), g.offsets.end());
+  a.col_idx.assign(g.neighbors.begin(), g.neighbors.end());
+  a.vals.assign(g.neighbors.size(), 1.0);
+  return a;
+}
+
+}  // namespace cubie::graph

@@ -1,0 +1,33 @@
+#pragma once
+// Graph substrate for the BFS workload: CSR adjacency, the serial reference
+// BFS used as ground truth, and conversion to/from sparse-matrix form for
+// feature analysis (Figure 10a).
+
+#include "sparse/csr.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace cubie::graph {
+
+struct Graph {
+  int n = 0;
+  std::vector<int> offsets;    // size n + 1
+  std::vector<int> neighbors;  // sorted within each vertex
+
+  std::size_t edges() const { return neighbors.size(); }  // directed count
+  int degree(int v) const { return offsets[static_cast<std::size_t>(v) + 1] - offsets[static_cast<std::size_t>(v)]; }
+};
+
+// Build a graph from an edge list; if `symmetrize`, both directions are
+// inserted. Self-loops and duplicate edges are removed.
+Graph graph_from_edges(int n, const std::vector<std::pair<int, int>>& edges,
+                       bool symmetrize);
+
+// Serial top-down BFS: returns per-vertex level (source = 0, unreachable = -1).
+std::vector<int> bfs_serial(const Graph& g, int source);
+
+// Adjacency pattern as CSR (values 1.0) for structural feature extraction.
+sparse::Csr adjacency_csr(const Graph& g);
+
+}  // namespace cubie::graph

@@ -1,0 +1,59 @@
+#pragma once
+// Constant operand matrices used by the Scan and Reduction kernels
+// (Quadrants II and III, Figure 2). These matrices live in registers /
+// immediate form on the device and are never loaded from global memory,
+// which is the source of the TC variants' reduced data-transfer overhead
+// (Section 6.1).
+
+#include <array>
+
+namespace cubie::mma {
+
+using Mat8x8 = std::array<double, 64>;
+
+// Upper-triangular ones (including the diagonal): row-wise prefix sums.
+constexpr Mat8x8 upper_ones() {
+  Mat8x8 m{};
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) m[static_cast<std::size_t>(i * 8 + j)] = (j >= i) ? 1.0 : 0.0;
+  return m;
+}
+
+// Strictly-lower-triangular ones: sums of all preceding rows.
+constexpr Mat8x8 strict_lower_ones() {
+  Mat8x8 m{};
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) m[static_cast<std::size_t>(i * 8 + j)] = (j < i) ? 1.0 : 0.0;
+  return m;
+}
+
+// All ones.
+constexpr Mat8x8 all_ones() {
+  Mat8x8 m{};
+  for (auto& x : m) x = 1.0;
+  return m;
+}
+
+// Single row of ones (row 0), zeros elsewhere: column-sum extractor used by
+// Reduction (A1 in Figure 2 Quadrant III).
+constexpr Mat8x8 ones_row0() {
+  Mat8x8 m{};
+  for (int j = 0; j < 8; ++j) m[static_cast<std::size_t>(j)] = 1.0;
+  return m;
+}
+
+// Single column of ones (column 0), zeros elsewhere: row-sum extractor used
+// by Reduction (B2 in Figure 2 Quadrant III).
+constexpr Mat8x8 ones_col0() {
+  Mat8x8 m{};
+  for (int i = 0; i < 8; ++i) m[static_cast<std::size_t>(i * 8)] = 1.0;
+  return m;
+}
+
+inline constexpr Mat8x8 kUpperOnes = upper_ones();
+inline constexpr Mat8x8 kStrictLowerOnes = strict_lower_ones();
+inline constexpr Mat8x8 kAllOnes = all_ones();
+inline constexpr Mat8x8 kOnesRow0 = ones_row0();
+inline constexpr Mat8x8 kOnesCol0 = ones_col0();
+
+}  // namespace cubie::mma

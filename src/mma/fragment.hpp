@@ -1,0 +1,38 @@
+#pragma once
+// PTX fragment layout of the FP64 mma.m8n8k4 instruction.
+//
+// A warp (32 lanes) collectively owns the three operands:
+//   A : 8x4  -> each lane holds exactly 1 element
+//   B : 4x8  -> each lane holds exactly 1 element
+//   C : 8x8  -> each lane holds exactly 2 elements
+// The mapping below follows the PTX ISA "Warp-level matrix fragment" section
+// for .f64 m8n8k4. The CC variant preserves exactly these per-lane
+// responsibilities (paper Section 5.2), which is why it must gather operands
+// with shuffles - the instruction-count calibration in
+// sim/calibration.hpp is derived from this layout.
+
+#include <cstdint>
+
+namespace cubie::mma {
+
+inline constexpr int kWarpSize = 32;
+inline constexpr int kM = 8;  // rows of A / C
+inline constexpr int kN = 8;  // cols of B / C
+inline constexpr int kK = 4;  // cols of A / rows of B
+
+// --- A fragment: a[row][k] lives in lane (row * 4 + k) -----------------------
+constexpr int lane_of_a(int row, int k) { return row * kK + k; }
+constexpr int a_row_of_lane(int lane) { return lane / kK; }
+constexpr int a_k_of_lane(int lane) { return lane % kK; }
+
+// --- B fragment: b[k][col] lives in lane (col * 4 + k) -----------------------
+constexpr int lane_of_b(int k, int col) { return col * kK + k; }
+constexpr int b_k_of_lane(int lane) { return lane % kK; }
+constexpr int b_col_of_lane(int lane) { return lane / kK; }
+
+// --- C/D fragment: lane (row * 4 + col/2) holds c[row][col], col = 2*q + r ---
+constexpr int lane_of_c(int row, int col) { return row * 4 + col / 2; }
+constexpr int c_row_of_lane(int lane) { return lane / 4; }
+constexpr int c_col_of_lane(int lane, int reg) { return (lane % 4) * 2 + reg; }
+
+}  // namespace cubie::mma

@@ -1,0 +1,162 @@
+#include "mma/half.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace cubie::mma {
+
+namespace {
+
+// Convert via float: double -> float (one rounding) -> binary16 (second
+// rounding). Double rounding is benign here because float has more than
+// 2*11+2 mantissa bits.
+std::uint16_t float_to_half_bits(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xFF) - 127 + 15;
+  std::uint32_t mant = x & 0x7FFFFFu;
+
+  if (((x >> 23) & 0xFF) == 0xFF) {  // inf / nan
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+  if (exp >= 0x1F) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exp <= 0) {  // subnormal or zero
+    if (exp < -10) return static_cast<std::uint16_t>(sign);  // underflow
+    mant |= 0x800000u;  // implicit bit
+    const int shift = 14 - exp;  // 24-bit mantissa -> 10-bit with exp offset
+    const std::uint32_t half_mant = mant >> shift;
+    // Round to nearest even.
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t rounded = half_mant;
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) rounded += 1;
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // Normal range: round the 23-bit mantissa to 10 bits, nearest even.
+  std::uint32_t half_mant = mant >> 13;
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+    half_mant += 1;
+    if (half_mant == 0x400u) {  // mantissa overflow -> bump exponent
+      half_mant = 0;
+      if (exp + 1 >= 0x1F) return static_cast<std::uint16_t>(sign | 0x7C00u);
+      return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(exp + 1) << 10));
+    }
+  }
+  return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(exp) << 10) | half_mant);
+}
+
+float half_bits_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+            ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1F) {
+    out = sign | 0x7F800000u | (mant << 13);  // inf / nan
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+}  // namespace
+
+Half Half::from_double(double v) {
+  Half h;
+  h.bits = float_to_half_bits(static_cast<float>(v));
+  return h;
+}
+
+double Half::to_double() const {
+  return static_cast<double>(half_bits_to_float(bits));
+}
+
+Half Half::infinity(bool negative) {
+  Half h;
+  h.bits = negative ? 0xFC00u : 0x7C00u;
+  return h;
+}
+
+bool Half::is_nan() const {
+  return ((bits >> 10) & 0x1Fu) == 0x1Fu && (bits & 0x3FFu) != 0;
+}
+
+bool Half::is_inf() const {
+  return ((bits >> 10) & 0x1Fu) == 0x1Fu && (bits & 0x3FFu) == 0;
+}
+
+Half to_half(double v) { return Half::from_double(v); }
+double from_half(Half h) { return h.to_double(); }
+
+double round_to_half(double v) { return Half::from_double(v).to_double(); }
+
+void hmma_m16n16k16_f32acc(const double* a, const double* b, const double* c,
+                           double* d, sim::KernelProfile* prof) {
+  if (prof != nullptr) {
+    // 16x16x16 FMAs on the FP16 tensor pipe. We reuse tc_flops with a note:
+    // the ablation bench prices FP16 against fp16_tc_peak explicitly.
+    prof->tc_flops += 2.0 * 16 * 16 * 16;
+    prof->warp_instructions += 1.0;
+  }
+  double out[16 * 16];
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      // FP32 accumulator chain over FP16 products.
+      float acc = static_cast<float>(c[i * 16 + j]);
+      for (int k = 0; k < 16; ++k) {
+        const float av = half_bits_to_float(
+            float_to_half_bits(static_cast<float>(a[i * 16 + k])));
+        const float bv = half_bits_to_float(
+            float_to_half_bits(static_cast<float>(b[k * 16 + j])));
+        acc = std::fmaf(av, bv, acc);
+      }
+      out[i * 16 + j] = static_cast<double>(acc);
+    }
+  }
+  for (int i = 0; i < 16 * 16; ++i) d[i] = out[i];
+}
+
+void gemm_fp16_tc(int m, int n, int k, const double* a, const double* b,
+                  double* c, sim::KernelProfile* prof) {
+  std::vector<double> a_tile(256), b_tile(256), acc(256);
+  for (int i0 = 0; i0 < m; i0 += 16) {
+    for (int j0 = 0; j0 < n; j0 += 16) {
+      for (auto& v : acc) v = 0.0;
+      for (int k0 = 0; k0 < k; k0 += 16) {
+        for (int i = 0; i < 16; ++i)
+          for (int kk = 0; kk < 16; ++kk)
+            a_tile[static_cast<std::size_t>(i * 16 + kk)] =
+                a[static_cast<std::size_t>(i0 + i) * k + k0 + kk];
+        for (int kk = 0; kk < 16; ++kk)
+          for (int j = 0; j < 16; ++j)
+            b_tile[static_cast<std::size_t>(kk * 16 + j)] =
+                b[static_cast<std::size_t>(k0 + kk) * n + j0 + j];
+        hmma_m16n16k16_f32acc(a_tile.data(), b_tile.data(), acc.data(),
+                              acc.data(), prof);
+      }
+      for (int i = 0; i < 16; ++i)
+        for (int j = 0; j < 16; ++j)
+          c[static_cast<std::size_t>(i0 + i) * n + j0 + j] = acc[static_cast<std::size_t>(i * 16 + j)];
+    }
+  }
+}
+
+}  // namespace cubie::mma

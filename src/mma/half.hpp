@@ -1,0 +1,58 @@
+#pragma once
+// Software FP16 (IEEE binary16) and the FP16 tensor-core MMA semantics.
+//
+// The paper's closing discussion (Figure 12) contrasts the booming FP16 MMU
+// throughput with the regressing FP64 MMU peak, and several of Cubie's
+// source kernels (tcFFT, PiCTC, TCU scan/reduction) were originally FP16
+// codes that the suite lifts to FP64. This module provides the FP16 side:
+// round-to-nearest-even conversions and an emulated HMMA with FP32
+// accumulation (the mode NVIDIA documents for mma.m16n8k16.f32.f16.f16.f32),
+// so the precision consequences of staying in FP16 can be quantified
+// (bench/ablation_precision).
+
+#include "sim/profile.hpp"
+
+#include <cstdint>
+
+namespace cubie::mma {
+
+// IEEE 754 binary16 stored in a uint16_t. Conversions use round-to-nearest-
+// even, matching hardware __float2half behaviour.
+struct Half {
+  std::uint16_t bits = 0;
+
+  Half() = default;
+  static Half from_double(double v);
+  double to_double() const;
+
+  static Half infinity(bool negative = false);
+  bool is_nan() const;
+  bool is_inf() const;
+};
+
+// Convenience conversions.
+Half to_half(double v);
+double from_half(Half h);
+
+// Round a double through FP16 precision (the storage-precision loss of an
+// FP16 operand).
+double round_to_half(double v);
+
+// Emulated FP16 HMMA, 16x16x16 tile: D = A*B + C where A and B are FP16
+// operands (given as doubles, rounded through FP16 on entry) and the
+// accumulator C/D is FP32. Each output element accumulates its 16 products
+// in FP32 with one rounding per step (k-major chain), the documented
+// tensor-core FP16 mode. Counts fp16 tensor work into the profile.
+//
+// a: 16x16 row-major, b: 16x16 row-major, c/d: 16x16 row-major (FP32 stored
+// in doubles). d may alias c.
+void hmma_m16n16k16_f32acc(const double* a, const double* b, const double* c,
+                           double* d, sim::KernelProfile* prof = nullptr);
+
+// FP16 GEMM built from HMMA tiles (dimensions must be multiples of 16):
+// inputs rounded to FP16, accumulation in FP32, output widened to double.
+// The comparison target for the mixed-precision ablation.
+void gemm_fp16_tc(int m, int n, int k, const double* a, const double* b,
+                  double* c, sim::KernelProfile* prof = nullptr);
+
+}  // namespace cubie::mma

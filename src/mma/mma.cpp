@@ -1,0 +1,134 @@
+#include "mma/mma.hpp"
+
+#include "sim/calibration.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace cubie::mma {
+
+namespace {
+// One m8n8k4 MMA = 8*8 outputs x 4 FMAs = 256 FMAs = 512 FLOPs.
+constexpr double kFlopsPerDmma = 2.0 * kM * kN * kK;
+// One b1 m8n8k128 MMA = 8*8 outputs x 128 (AND) + popc-accumulate; on the
+// tensor pipe this is 8*8*128 AND ops + as many popc-adds. A CUDA-core
+// replacement executes the same math with 32-bit word instructions
+// (AND + popc per word), i.e. 8*8*4 word pairs.
+constexpr double kBitopsPerBmma = 2.0 * 8 * 8 * 128;
+constexpr double kWordopsPerBmma = 2.0 * 8 * 8 * 4;
+}  // namespace
+
+void Context::count_dmma() {
+  if (pipe_ == Pipe::TensorCore) {
+    prof_->tc_flops += kFlopsPerDmma;
+    prof_->warp_instructions += sim::cal::kTcMmaInstructions;
+  } else {
+    prof_->cc_flops += kFlopsPerDmma;
+    prof_->warp_instructions += sim::cal::kCcMmaInstructions;
+  }
+}
+
+void Context::dmma_m8n8k4(const double* a, const double* b, const double* c,
+                          double* d) {
+  count_dmma();
+  double out[kM * kN];
+  for (int i = 0; i < kM; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      double acc = c[i * kN + j];
+      for (int k = 0; k < kK; ++k) {
+        acc = std::fma(a[i * kK + k], b[k * kN + j], acc);
+      }
+      out[i * kN + j] = acc;
+    }
+  }
+  for (int i = 0; i < kM * kN; ++i) d[i] = out[i];
+}
+
+void Context::dmma_m8n8k4_acc(const double* a, const double* b,
+                              double* c_inout) {
+  dmma_m8n8k4(a, b, c_inout, c_inout);
+}
+
+void Context::dmma_m8n8k8_acc(const double* a, const double* b,
+                              double* c_inout) {
+  // Split k into two m8n8k4 instructions: A columns 0..3 with B rows 0..3,
+  // then A columns 4..7 with B rows 4..7, chained through the accumulator.
+  double a_lo[kM * kK], a_hi[kM * kK];
+  for (int i = 0; i < kM; ++i) {
+    for (int k = 0; k < kK; ++k) {
+      a_lo[i * kK + k] = a[i * 8 + k];
+      a_hi[i * kK + k] = a[i * 8 + k + 4];
+    }
+  }
+  const double* b_lo = b;        // rows 0..3 of the 8x8 B
+  const double* b_hi = b + 32;   // rows 4..7
+  dmma_m8n8k4_acc(a_lo, b_lo, c_inout);
+  dmma_m8n8k4_acc(a_hi, b_hi, c_inout);
+}
+
+void Context::bmma_m8n8k128_and_popc_acc(const std::uint32_t* a_words,
+                                         const std::uint32_t* b_words,
+                                         std::uint32_t* d) {
+  if (pipe_ == Pipe::TensorCore) {
+    prof_->tc_bitops += kBitopsPerBmma;
+    prof_->warp_instructions += sim::cal::kTcMmaInstructions;
+  } else {
+    prof_->cc_intops += kWordopsPerBmma;
+    prof_->warp_instructions += kWordopsPerBmma / kWarpSize;
+  }
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      std::uint32_t acc = 0;
+      for (int w = 0; w < 4; ++w) {
+        acc += static_cast<std::uint32_t>(
+            std::popcount(a_words[i * 4 + w] & b_words[j * 4 + w]));
+      }
+      d[i * 8 + j] += acc;
+    }
+  }
+}
+
+void Context::load_global(double bytes) {
+  prof_->dram_bytes += bytes;
+  // A fully-coalesced warp load moves 32 lanes x 8 B = 256 B per instruction.
+  prof_->warp_instructions += bytes / 256.0;
+}
+
+void Context::store_global(double bytes) {
+  prof_->dram_bytes += bytes;
+  prof_->warp_instructions += bytes / 256.0;
+}
+
+void Context::load_shared(double bytes) {
+  prof_->smem_bytes += bytes;
+  prof_->warp_instructions += bytes / 256.0;
+}
+
+void Context::store_shared(double bytes) {
+  prof_->smem_bytes += bytes;
+  prof_->warp_instructions += bytes / 256.0;
+}
+
+void Context::cc_fma(double count) {
+  prof_->cc_flops += 2.0 * count;
+  prof_->warp_instructions += count / kWarpSize;
+}
+
+void Context::cc_flop(double count) {
+  prof_->cc_flops += count;
+  prof_->warp_instructions += count / kWarpSize;
+}
+
+void Context::cc_int(double count) {
+  prof_->cc_intops += count;
+  prof_->warp_instructions += count / kWarpSize;
+}
+
+void Context::launch(double threads) {
+  prof_->launches += 1;
+  // `threads` models resident parallelism; keep the max over launches so a
+  // multi-phase kernel is judged by its widest phase.
+  if (threads > prof_->threads) prof_->threads = threads;
+}
+
+}  // namespace cubie::mma

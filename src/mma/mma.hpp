@@ -1,0 +1,78 @@
+#pragma once
+// Warp-level MMA emulation and event counting.
+//
+// A Context binds an execution pipe (tensor core vs. CUDA core) to a
+// KernelProfile. Workload code issues MMA operations, memory accounting, and
+// scalar work through the Context; the functional arithmetic is *identical*
+// for both pipes - only the counted events differ. This construction makes
+// the paper's Table 6 observation ("TC and CC produce identical errors")
+// hold by design, exactly as on real hardware where the CC replacement
+// preserves the per-lane data layout and FMA order.
+//
+// Numerical semantics of dmma (FP64 m8n8k4):
+//   d[i][j] = fma(a[i][3], b[3][j],
+//             fma(a[i][2], b[2][j],
+//             fma(a[i][1], b[1][j],
+//             fma(a[i][0], b[0][j], c[i][j]))))
+// i.e. a k-major chain of fused multiply-adds seeded with the accumulator,
+// matching NVIDIA's documented DMMA behaviour (each partial product is
+// accumulated in full FP64 precision with one rounding per FMA).
+
+#include "mma/fragment.hpp"
+#include "sim/profile.hpp"
+
+#include <cstdint>
+
+namespace cubie::mma {
+
+enum class Pipe { TensorCore, CudaCore };
+
+class Context {
+ public:
+  Context(Pipe pipe, sim::KernelProfile& prof) : pipe_(pipe), prof_(&prof) {}
+
+  Pipe pipe() const { return pipe_; }
+  sim::KernelProfile& profile() { return *prof_; }
+
+  // ---- MMA instructions ----------------------------------------------------
+  // D = C + A*B. Row-major flat operands: a is 8x4, b is 4x8, c/d are 8x8.
+  // d may alias c.
+  void dmma_m8n8k4(const double* a, const double* b, const double* c,
+                   double* d);
+
+  // C += A*B (accumulator in registers across k-tiles, the common GEMM use).
+  void dmma_m8n8k4_acc(const double* a, const double* b, double* c_inout);
+
+  // 8x8 x 8x8 product C += A*B, composed of two chained m8n8k4 MMAs
+  // (k = 0..3 then k = 4..7), the composition Scan/Reduction use.
+  void dmma_m8n8k8_acc(const double* a, const double* b, double* c_inout);
+
+  // Single-bit MMA (BFS): A is 8x128 bits (8 rows x 4 words), B is 128x8
+  // bits stored column-major (8 columns x 4 words). For each (i,j):
+  //   d[i][j] += popcount(A_row_i AND B_col_j)
+  void bmma_m8n8k128_and_popc_acc(const std::uint32_t* a_words,
+                                  const std::uint32_t* b_words,
+                                  std::uint32_t* d);
+
+  // ---- Memory accounting -----------------------------------------------------
+  void load_global(double bytes);
+  void store_global(double bytes);
+  void load_shared(double bytes);
+  void store_shared(double bytes);
+
+  // ---- Scalar CUDA-core work (baselines, CC-E, epilogues) --------------------
+  void cc_fma(double count);    // fused multiply-adds: 2 FLOPs each
+  void cc_flop(double count);   // single add/mul
+  void cc_int(double count);    // integer / logic ops
+
+  // ---- Launch shape -----------------------------------------------------------
+  void launch(double threads);
+
+ private:
+  void count_dmma();  // per-m8n8k4 event accounting
+
+  Pipe pipe_;
+  sim::KernelProfile* prof_;
+};
+
+}  // namespace cubie::mma

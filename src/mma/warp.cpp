@@ -1,0 +1,79 @@
+#include "mma/warp.hpp"
+
+#include <cmath>
+
+namespace cubie::mma {
+
+WarpRegisters load_fragments(const double* a_rowmajor_8x4,
+                             const double* b_rowmajor_4x8,
+                             const double* c_rowmajor_8x8) {
+  WarpRegisters regs;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    regs.a[static_cast<std::size_t>(lane)] =
+        a_rowmajor_8x4[a_row_of_lane(lane) * kK + a_k_of_lane(lane)];
+    regs.b[static_cast<std::size_t>(lane)] =
+        b_rowmajor_4x8[b_k_of_lane(lane) * kN + b_col_of_lane(lane)];
+    const int row = c_row_of_lane(lane);
+    regs.c0[static_cast<std::size_t>(lane)] =
+        c_rowmajor_8x8[row * kN + c_col_of_lane(lane, 0)];
+    regs.c1[static_cast<std::size_t>(lane)] =
+        c_rowmajor_8x8[row * kN + c_col_of_lane(lane, 1)];
+  }
+  return regs;
+}
+
+void store_fragments(const WarpRegisters& regs, double* d_rowmajor_8x8) {
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    const int row = c_row_of_lane(lane);
+    d_rowmajor_8x8[row * kN + c_col_of_lane(lane, 0)] = regs.c0[static_cast<std::size_t>(lane)];
+    d_rowmajor_8x8[row * kN + c_col_of_lane(lane, 1)] = regs.c1[static_cast<std::size_t>(lane)];
+  }
+}
+
+void shfl_sync(const std::array<double, kWarpSize>& src,
+               const std::array<int, kWarpSize>& lane_of,
+               std::array<double, kWarpSize>& dst, WarpStats& stats) {
+  stats.shuffle_instructions += 1;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    dst[static_cast<std::size_t>(lane)] = src[static_cast<std::size_t>(lane_of[static_cast<std::size_t>(lane)])];
+  }
+}
+
+WarpStats cc_mma_m8n8k4(WarpRegisters& regs, sim::KernelProfile* prof) {
+  WarpStats stats;
+  // Each lane accumulates its two C elements over k = 0..3. Per k step it
+  // needs a[row][k] (owned by lane row*4+k) and b[k][col0], b[k][col1]
+  // (owned by lanes col*4+k). Every operand fetch is a warp-wide shuffle;
+  // every accumulation step is one warp-wide FMA per C register.
+  std::array<double, kWarpSize> a_k{}, b_k0{}, b_k1{};
+  std::array<int, kWarpSize> src{};
+  for (int k = 0; k < kK; ++k) {
+    // a[row_of(lane)][k]:
+    for (int lane = 0; lane < kWarpSize; ++lane)
+      src[static_cast<std::size_t>(lane)] = lane_of_a(c_row_of_lane(lane), k);
+    shfl_sync(regs.a, src, a_k, stats);
+    // b[k][col0_of(lane)]:
+    for (int lane = 0; lane < kWarpSize; ++lane)
+      src[static_cast<std::size_t>(lane)] = lane_of_b(k, c_col_of_lane(lane, 0));
+    shfl_sync(regs.b, src, b_k0, stats);
+    // b[k][col1_of(lane)]:
+    for (int lane = 0; lane < kWarpSize; ++lane)
+      src[static_cast<std::size_t>(lane)] = lane_of_b(k, c_col_of_lane(lane, 1));
+    shfl_sync(regs.b, src, b_k1, stats);
+    // Two warp-wide FMAs (one per accumulator register).
+    stats.fma_instructions += 2;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      auto l = static_cast<std::size_t>(lane);
+      regs.c0[l] = std::fma(a_k[l], b_k0[l], regs.c0[l]);
+      regs.c1[l] = std::fma(a_k[l], b_k1[l], regs.c1[l]);
+    }
+  }
+  if (prof != nullptr) {
+    // 2 FLOPs per lane per warp-wide FMA issue.
+    prof->cc_flops += 2.0 * kWarpSize * static_cast<double>(stats.fma_instructions);
+    prof->warp_instructions += static_cast<double>(stats.total());
+  }
+  return stats;
+}
+
+}  // namespace cubie::mma

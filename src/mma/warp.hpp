@@ -1,0 +1,62 @@
+#pragma once
+// Lane-level warp execution of the CC MMA replacement.
+//
+// The paper's CC variant (Section 5.2) "preserves the same thread
+// responsibilities and data layouts" as the tensor-core MMA: each of the 32
+// lanes owns its PTX fragment elements (fragment.hpp) and must gather the
+// operands it needs from the owning lanes via shuffles. This module
+// implements that execution literally - a Warp of 32 lane register sets, a
+// __shfl_sync equivalent, and the per-lane FMA program - so the claim that
+// the CC replacement is numerically identical to the MMA (and the
+// instruction-count calibration in sim/calibration.hpp) can be *verified*
+// rather than assumed. See tests/test_warp.cpp.
+
+#include "mma/fragment.hpp"
+#include "sim/profile.hpp"
+
+#include <array>
+#include <cstdint>
+
+namespace cubie::mma {
+
+// Register state of one warp: each lane holds its fragment registers.
+struct WarpRegisters {
+  // Lane i's A element (a[row][k] with row = i/4, k = i%4).
+  std::array<double, kWarpSize> a{};
+  // Lane i's B element (b[k][col] with k = i%4, col = i/4).
+  std::array<double, kWarpSize> b{};
+  // Lane i's two C/D elements (row = i/4, col = (i%4)*2 + r).
+  std::array<double, kWarpSize> c0{};
+  std::array<double, kWarpSize> c1{};
+};
+
+// Instruction-level statistics of a warp program execution.
+struct WarpStats {
+  std::uint64_t fma_instructions = 0;      // warp-wide FMA issues
+  std::uint64_t shuffle_instructions = 0;  // warp-wide __shfl_sync issues
+  std::uint64_t total() const { return fma_instructions + shuffle_instructions; }
+};
+
+// Scatter row-major operands into per-lane fragments (the layout a
+// ldmatrix-style load produces).
+WarpRegisters load_fragments(const double* a_rowmajor_8x4,
+                             const double* b_rowmajor_4x8,
+                             const double* c_rowmajor_8x8);
+
+// Gather the D fragment back to a row-major 8x8 matrix.
+void store_fragments(const WarpRegisters& regs, double* d_rowmajor_8x8);
+
+// Execute D = C + A*B entirely with per-lane scalar FMAs and shuffles,
+// preserving the DMMA accumulation order (k-major FMA chain). Updates
+// `regs` in place (c0/c1 become the D fragment) and returns the
+// instruction counts. If `prof` is given, the work is counted on the
+// CUDA-core pipe exactly as the analytic model expects.
+WarpStats cc_mma_m8n8k4(WarpRegisters& regs, sim::KernelProfile* prof = nullptr);
+
+// The lane-level emulation of __shfl_sync: every lane reads `src[lane]`
+// selected by its own index vector. One warp instruction.
+void shfl_sync(const std::array<double, kWarpSize>& src,
+               const std::array<int, kWarpSize>& lane_of,
+               std::array<double, kWarpSize>& dst, WarpStats& stats);
+
+}  // namespace cubie::mma

@@ -1,0 +1,54 @@
+#pragma once
+// Particle-in-cell substrate: particle storage (SoA), analytic EM fields,
+// and the Boris push reference (the standard leapfrog rotation integrator
+// the PiCTC workload maps onto tensor cores).
+//
+// Field model: uniform magnetic field B plus a spatially varying electric
+// field E(x) evaluated analytically - the configuration PiCTC accelerates,
+// where the velocity rotation matrix is shared across all particles of a
+// time step and becomes the constant MMA operand.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cubie::pic {
+
+struct Particles {
+  std::vector<double> x, y, z;     // positions
+  std::vector<double> vx, vy, vz;  // velocities
+
+  std::size_t size() const { return x.size(); }
+  void resize(std::size_t n);
+};
+
+struct FieldConfig {
+  // Uniform magnetic field.
+  std::array<double, 3> b{0.0, 0.0, 1.0};
+  // Electric field E(x) = e0 + e1 * sin(k . x) (componentwise same k).
+  std::array<double, 3> e0{0.1, 0.0, 0.0};
+  std::array<double, 3> e1{0.05, 0.02, 0.0};
+  std::array<double, 3> k{0.7, 0.3, 0.1};
+  double qm = 1.0;  // charge / mass ratio
+  double dt = 0.01;
+
+  std::array<double, 3> e_at(double px, double py, double pz) const;
+};
+
+// Deterministic initialization: positions in [0, L)^3, velocities in (-2, 2)
+// via the LINPACK LCG (matching the paper's input scheme).
+Particles make_particles(std::size_t n, double box, std::uint32_t seed);
+
+// One Boris push step, CPU serial reference: half E kick, B rotation through
+// the t/s vectors, half E kick, position drift.
+void boris_push_serial(Particles& p, const FieldConfig& f);
+
+// The combined rotation matrix R such that v_plus = R * v_minus for the
+// uniform-B Boris rotation (I + s x)(I + t x) collapsed; shared by all
+// particles in a step, which is what PiCTC exploits.
+std::array<double, 9> boris_rotation_matrix(const FieldConfig& f);
+
+// Kinetic energy sum (diagnostic used by tests: pure B rotation conserves it).
+double kinetic_energy(const Particles& p);
+
+}  // namespace cubie::pic

@@ -1,0 +1,152 @@
+#include "sim/device.hpp"
+
+namespace cubie::sim {
+namespace {
+
+// Shared/L1 bandwidth formula from the paper's Figure 9 caption:
+//   BW_L1 = N_SM * N_LSU * W_access * f_clock
+// with N_LSU = 4 load/store units and W_access = 32 bytes per access.
+double l1_bw(int num_sm, double clock_hz) { return num_sm * 4.0 * 32.0 * clock_hz; }
+
+DeviceSpec make_a100() {
+  DeviceSpec d;
+  d.name = "A100 (Ampere)";
+  d.id = Gpu::A100;
+  // Table 5: A100 PCIe 40 GB, 1.55 TB/s; TC 19.5 TFLOPs, CC 9.7 TFLOPs.
+  d.fp64_tc_peak = 19.5e12;
+  d.fp64_cc_peak = 9.7e12;
+  d.fp16_tc_peak = 312e12;   // Figure 12
+  d.fp16_cc_peak = 78e12;    // A100 whitepaper FP16 CUDA-core rate
+  d.bit_tc_peak = 4992e12;   // INT1 tensor-core ops/s (A100 whitepaper)
+  d.int_cc_peak = 19.5e12;   // INT32 ops/s
+  d.dram_bw = 1.55e12;
+  d.smem_bw = 0.0;  // filled below from shape
+  d.dram_capacity = 40e9;
+  d.num_sm = 108;
+  d.clock_hz = 1.41e9;
+  d.max_threads = 108 * 2048.0;
+  d.launch_overhead_s = 0.9e-6;
+  d.tdp_w = 250.0;  // PCIe variant
+  d.idle_w = 55.0;
+  d.tc_power_w = 140.0;
+  d.cc_power_w = 120.0;
+  d.mem_power_w = 95.0;
+  d.smem_bw = l1_bw(d.num_sm, d.clock_hz);
+  return d;
+}
+
+DeviceSpec make_h200() {
+  DeviceSpec d;
+  d.name = "H200 (Hopper)";
+  d.id = Gpu::H200;
+  // Table 5: H200 SXM (GH200), 96 GB, 4 TB/s; TC 66.9 TFLOPs, CC 33.5 TFLOPs.
+  d.fp64_tc_peak = 66.9e12;
+  d.fp64_cc_peak = 33.5e12;
+  d.fp16_tc_peak = 989.5e12;  // Figure 12
+  d.fp16_cc_peak = 134e12;
+  d.bit_tc_peak = 15834e12;
+  d.int_cc_peak = 33.5e12;
+  d.dram_bw = 4.0e12;
+  d.dram_capacity = 96e9;
+  d.num_sm = 132;
+  d.clock_hz = 1.98e9;
+  d.max_threads = 132 * 2048.0;
+  d.launch_overhead_s = 0.8e-6;
+  d.tdp_w = 750.0;  // Section 7: thermal design power of 750 W
+  d.idle_w = 95.0;
+  d.tc_power_w = 380.0;
+  d.cc_power_w = 330.0;
+  d.mem_power_w = 250.0;
+  d.smem_bw = l1_bw(d.num_sm, d.clock_hz);
+  return d;
+}
+
+DeviceSpec make_b200() {
+  DeviceSpec d;
+  d.name = "B200 (Blackwell)";
+  d.id = Gpu::B200;
+  // Table 5: B200 SXM, 180 GB, 8 TB/s; TC 40.0 TFLOPs, CC 40.0 TFLOPs.
+  // (The paper's Figure 12 narrative quotes 30 TFLOPs dense FP64 MMA; we use
+  // the Table 5 value for the performance model and surface both in the
+  // fig12 bench.)
+  d.fp64_tc_peak = 40.0e12;
+  d.fp64_cc_peak = 40.0e12;
+  d.fp16_tc_peak = 1800e12;  // Figure 12
+  d.fp16_cc_peak = 180e12;
+  d.bit_tc_peak = 28000e12;
+  d.int_cc_peak = 40.0e12;
+  d.dram_bw = 8.0e12;
+  d.dram_capacity = 180e9;
+  d.num_sm = 148;
+  d.clock_hz = 1.83e9;
+  d.max_threads = 148 * 2048.0;
+  d.launch_overhead_s = 0.8e-6;
+  d.tdp_w = 1000.0;
+  d.idle_w = 120.0;
+  d.tc_power_w = 470.0;
+  d.cc_power_w = 430.0;
+  d.mem_power_w = 330.0;
+  d.smem_bw = l1_bw(d.num_sm, d.clock_hz);
+  return d;
+}
+
+DeviceSpec make_v100() {
+  DeviceSpec d;
+  d.name = "V100 (Volta, control)";
+  d.id = Gpu::A100;  // not part of the evaluated trio; id unused for V100
+  // Volta has no FP64 tensor-core mode: FP64 "MMA" executes on CUDA cores.
+  d.fp64_tc_peak = 7.8e12;
+  d.fp64_cc_peak = 7.8e12;
+  d.fp16_tc_peak = 125e12;
+  d.fp16_cc_peak = 31.4e12;
+  d.bit_tc_peak = 0.0;  // no b1 MMA either (Turing introduced it)
+  d.int_cc_peak = 15.7e12;
+  d.dram_bw = 0.9e12;
+  d.dram_capacity = 32e9;
+  d.num_sm = 80;
+  d.clock_hz = 1.53e9;
+  d.max_threads = 80 * 2048.0;
+  d.launch_overhead_s = 1.0e-6;
+  d.tdp_w = 300.0;
+  d.idle_w = 50.0;
+  d.tc_power_w = 150.0;
+  d.cc_power_w = 140.0;
+  d.mem_power_w = 90.0;
+  d.smem_bw = l1_bw(d.num_sm, d.clock_hz);
+  return d;
+}
+
+}  // namespace
+
+const DeviceSpec& a100() {
+  static const DeviceSpec d = make_a100();
+  return d;
+}
+const DeviceSpec& h200() {
+  static const DeviceSpec d = make_h200();
+  return d;
+}
+const DeviceSpec& b200() {
+  static const DeviceSpec d = make_b200();
+  return d;
+}
+
+const DeviceSpec& v100() {
+  static const DeviceSpec d = make_v100();
+  return d;
+}
+
+const DeviceSpec& spec_for(Gpu gpu) {
+  switch (gpu) {
+    case Gpu::A100: return a100();
+    case Gpu::H200: return h200();
+    case Gpu::B200: return b200();
+  }
+  return a100();
+}
+
+std::vector<Gpu> all_gpus() { return {Gpu::A100, Gpu::H200, Gpu::B200}; }
+
+std::string gpu_name(Gpu gpu) { return spec_for(gpu).name; }
+
+}  // namespace cubie::sim

@@ -1,0 +1,61 @@
+#pragma once
+// Device specifications for the three GPUs the paper evaluates (Table 5,
+// Figure 12). Each spec parameterizes the analytic performance and power
+// models; only published numbers (whitepapers / the paper itself) are used.
+
+#include <string>
+#include <vector>
+
+namespace cubie::sim {
+
+enum class Gpu { A100, H200, B200 };
+
+struct DeviceSpec {
+  std::string name;         // "A100 (Ampere)" etc.
+  Gpu id = Gpu::A100;
+
+  // Compute peaks, FLOP/s (paper Table 5 and Figure 12).
+  double fp64_tc_peak = 0.0;  // FP64 tensor core
+  double fp64_cc_peak = 0.0;  // FP64 CUDA core
+  double fp16_tc_peak = 0.0;  // FP16 tensor core (Figure 12)
+  double fp16_cc_peak = 0.0;  // FP16 CUDA core (Figure 12)
+  double bit_tc_peak = 0.0;   // single-bit tensor-core ops/s (BMMA, for BFS)
+  double int_cc_peak = 0.0;   // CUDA-core integer op/s
+
+  // Memory system.
+  double dram_bw = 0.0;       // bytes/s (Table 5)
+  double smem_bw = 0.0;       // aggregate shared/L1 bytes/s
+  double dram_capacity = 0.0; // bytes
+
+  // Machine shape.
+  int num_sm = 0;
+  int warp_scheds_per_sm = 4;
+  double clock_hz = 0.0;
+  double max_threads = 0.0;      // num_sm * 2048
+  double launch_overhead_s = 0.0;  // steady-state (stream-amortized) launch cost
+
+  // Power model coefficients (Section 7; H200 TDP is 750 W in the paper).
+  double tdp_w = 0.0;
+  double idle_w = 0.0;
+  double tc_power_w = 0.0;   // marginal power at full tensor-pipe utilization
+  double cc_power_w = 0.0;   // marginal power at full CUDA-pipe utilization
+  double mem_power_w = 0.0;  // marginal power at full DRAM utilization
+
+  // Warp-instruction issue throughput (warps/s across the device).
+  double issue_rate() const {
+    return static_cast<double>(num_sm) * warp_scheds_per_sm * clock_hz;
+  }
+};
+
+// The three evaluated devices.
+const DeviceSpec& a100();
+const DeviceSpec& h200();
+const DeviceSpec& b200();
+// Control device for the no-FP64-MMU ablation: a Volta-class GPU whose
+// tensor cores have no FP64 mode (FP64 MMA work falls back to CUDA cores).
+const DeviceSpec& v100();
+const DeviceSpec& spec_for(Gpu gpu);
+std::vector<Gpu> all_gpus();
+std::string gpu_name(Gpu gpu);
+
+}  // namespace cubie::sim

@@ -1,0 +1,89 @@
+#include "sim/model.hpp"
+
+#include "sim/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cubie::sim {
+
+std::string bottleneck_name(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::TensorPipe: return "tensor";
+    case Bottleneck::CudaPipe: return "cuda";
+    case Bottleneck::Dram: return "dram";
+    case Bottleneck::SharedMem: return "smem";
+    case Bottleneck::Issue: return "issue";
+    case Bottleneck::Launch: return "launch";
+  }
+  return "?";
+}
+
+Prediction DeviceModel::predict(const KernelProfile& prof) const {
+  const DeviceSpec& d = *spec_;
+  Prediction p;
+
+  const double pipe_eff = std::clamp(prof.pipe_eff, 0.01, 1.0);
+  const double mem_eff = std::clamp(prof.mem_eff, 0.01, 1.0);
+
+  // Resource service times at sustained rates. A device without a given
+  // pipe (e.g. V100's missing b1 MMA) contributes zero time for zero work;
+  // nonzero work on a missing pipe falls back to the CUDA-core integer rate.
+  auto service = [](double work, double rate, double fallback_rate) {
+    if (work <= 0.0) return 0.0;
+    return work / (rate > 0.0 ? rate : fallback_rate);
+  };
+  const double tc_rate = d.fp64_tc_peak * pipe_eff;
+  const double bit_rate = d.bit_tc_peak * pipe_eff;
+  const double int_rate = d.int_cc_peak * pipe_eff;
+  p.t_tensor = service(prof.tc_flops, tc_rate, d.fp64_cc_peak * pipe_eff) +
+               service(prof.tc_bitops, bit_rate, int_rate);
+  p.t_cuda = service(prof.cc_flops, d.fp64_cc_peak * pipe_eff, int_rate) +
+             service(prof.cc_intops, int_rate, int_rate);
+  p.t_dram = prof.dram_bytes / (d.dram_bw * mem_eff);
+  p.t_smem = prof.smem_bytes / d.smem_bw;
+  p.t_issue = prof.warp_instructions / d.issue_rate();
+
+  double t = std::max({p.t_tensor, p.t_cuda, p.t_dram, p.t_smem, p.t_issue});
+  Bottleneck bound = Bottleneck::Dram;
+  if (t == p.t_tensor) bound = Bottleneck::TensorPipe;
+  else if (t == p.t_cuda) bound = Bottleneck::CudaPipe;
+  else if (t == p.t_dram) bound = Bottleneck::Dram;
+  else if (t == p.t_smem) bound = Bottleneck::SharedMem;
+  else bound = Bottleneck::Issue;
+
+  // Parallelism: below the saturation point the device is latency-bound and
+  // sustained throughput degrades roughly linearly with resident threads.
+  const double saturation = d.max_threads * cal::kSaturationFraction;
+  double parallel_eff = 1.0;
+  if (prof.threads > 0.0 && prof.threads < saturation) {
+    // Square-root rolloff: occupancy loss is partially hidden by ILP and
+    // memory-level parallelism, so throughput degrades sub-linearly.
+    parallel_eff =
+        std::max(std::sqrt(prof.threads / saturation), cal::kMinParallelEff);
+  }
+  t /= parallel_eff;
+
+  const double overhead =
+      static_cast<double>(std::max(prof.launches, 1)) * d.launch_overhead_s;
+  if (overhead > t) bound = Bottleneck::Launch;
+  t += overhead;
+
+  p.time_s = t;
+  p.bound = bound;
+
+  // Utilizations relative to the final execution time.
+  p.u_tensor = std::min(1.0, p.t_tensor / t);
+  p.u_cuda = std::min(1.0, p.t_cuda / t);
+  p.u_mem = std::min(1.0, p.t_dram / t);
+
+  // Power: idle + utilization-weighted marginal components, clamped at TDP.
+  double power = d.idle_w + d.tc_power_w * p.u_tensor +
+                 d.cc_power_w * p.u_cuda + d.mem_power_w * p.u_mem;
+  p.avg_power_w = std::min(power, d.tdp_w);
+  p.energy_j = p.avg_power_w * p.time_s;
+  p.edp = p.avg_power_w * p.time_s * p.time_s;
+  return p;
+}
+
+}  // namespace cubie::sim

@@ -1,0 +1,50 @@
+#pragma once
+// Analytic timing model: maps a KernelProfile (counted work) to predicted
+// execution time on a DeviceSpec, with a breakdown of which resource bounds
+// the kernel. See calibration.hpp for the model equation and constants.
+
+#include "sim/device.hpp"
+#include "sim/profile.hpp"
+
+#include <string>
+
+namespace cubie::sim {
+
+enum class Bottleneck { TensorPipe, CudaPipe, Dram, SharedMem, Issue, Launch };
+
+std::string bottleneck_name(Bottleneck b);
+
+struct Prediction {
+  double time_s = 0.0;
+  double avg_power_w = 0.0;
+  double energy_j = 0.0;
+  double edp = 0.0;  // Energy-delay product = avg power * time^2 (Section 7)
+  Bottleneck bound = Bottleneck::Dram;
+
+  // Resource times before taking the max (for roofline/diagnostics).
+  double t_tensor = 0.0;
+  double t_cuda = 0.0;
+  double t_dram = 0.0;
+  double t_smem = 0.0;
+  double t_issue = 0.0;
+
+  // Utilizations in [0,1] used by the power model.
+  double u_tensor = 0.0;
+  double u_cuda = 0.0;
+  double u_mem = 0.0;
+};
+
+class DeviceModel {
+ public:
+  explicit DeviceModel(const DeviceSpec& spec) : spec_(&spec) {}
+
+  const DeviceSpec& spec() const { return *spec_; }
+
+  // Predict time/power/energy for one execution of the profiled kernel(s).
+  Prediction predict(const KernelProfile& prof) const;
+
+ private:
+  const DeviceSpec* spec_;
+};
+
+}  // namespace cubie::sim

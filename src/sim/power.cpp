@@ -1,0 +1,38 @@
+#include "sim/power.hpp"
+
+#include <cmath>
+
+namespace cubie::sim {
+
+std::vector<PowerSample> synthesize_power_trace(const DeviceSpec& spec,
+                                                const Prediction& pred,
+                                                const PowerTraceOptions& opts) {
+  std::vector<PowerSample> trace;
+  const double idle = spec.idle_w;
+  const double steady = pred.avg_power_w;
+  const int n = static_cast<int>(opts.duration_s / opts.dt_s) + 1;
+  trace.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double t = i * opts.dt_s;
+    // Exponential approach to steady state (thermal/clock ramp).
+    double w = idle + (steady - idle) * (1.0 - std::exp(-t / opts.ramp_s));
+    // Deterministic ripple: per-iteration load variation seen by NVML.
+    w += steady * opts.ripple_frac * std::sin(t * 9.0) *
+         std::cos(t * 2.3 + 0.7);
+    if (w > spec.tdp_w) w = spec.tdp_w;
+    if (w < idle) w = idle;
+    trace.push_back({t, w});
+  }
+  return trace;
+}
+
+double trace_energy_j(const std::vector<PowerSample>& trace) {
+  double e = 0.0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double dt = trace[i].t_s - trace[i - 1].t_s;
+    e += 0.5 * (trace[i].watts + trace[i - 1].watts) * dt;
+  }
+  return e;
+}
+
+}  // namespace cubie::sim

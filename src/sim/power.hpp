@@ -1,0 +1,36 @@
+#pragma once
+// Power-trace synthesis for Figure 8. The paper samples instantaneous power
+// via NVML while each kernel runs in a loop; here the trace is synthesized
+// from the modeled steady-state power with a thermal ramp at kernel start /
+// end and a small deterministic ripple, which is what NVML traces of looped
+// kernels look like in practice.
+
+#include "sim/model.hpp"
+
+#include <vector>
+
+namespace cubie::sim {
+
+struct PowerSample {
+  double t_s = 0.0;
+  double watts = 0.0;
+};
+
+struct PowerTraceOptions {
+  double duration_s = 5.0;   // looped-execution window being sampled
+  double dt_s = 0.05;        // NVML sampling period
+  double ramp_s = 0.4;       // exponential thermal ramp time constant
+  double ripple_frac = 0.03; // deterministic ripple amplitude (fraction)
+};
+
+// Synthesize the power-vs-time curve for a kernel whose steady-state power
+// is `pred.avg_power_w` on device `spec`, executed in a loop for
+// opts.duration_s seconds.
+std::vector<PowerSample> synthesize_power_trace(const DeviceSpec& spec,
+                                                const Prediction& pred,
+                                                const PowerTraceOptions& opts);
+
+// Integrate a trace to energy (trapezoidal), used to cross-check EDP.
+double trace_energy_j(const std::vector<PowerSample>& trace);
+
+}  // namespace cubie::sim

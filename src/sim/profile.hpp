@@ -1,0 +1,70 @@
+#pragma once
+// KernelProfile: the event record produced by functionally executing a
+// kernel variant on the simulator. It is the contract between the workload
+// implementations (which count work while computing real results) and the
+// analytic DeviceModel / PowerModel (which map counted work to predicted
+// time, power, and energy on a given GPU model).
+//
+// The split mirrors how the paper separates *what a kernel does* (FLOPs per
+// pipe, bytes moved, instructions issued — observable with NCU) from *how
+// fast a GPU runs it* (Table 5 peak rates and bandwidths).
+
+#include <cstddef>
+
+namespace cubie::sim {
+
+struct KernelProfile {
+  // --- Work, by execution pipe -------------------------------------------
+  double tc_flops = 0.0;   // FP64 FLOPs executed on the tensor-core pipe
+  double cc_flops = 0.0;   // FP64 FLOPs executed on the CUDA-core pipe
+  double tc_bitops = 0.0;  // single-bit MMA ops (BFS; AND+popc counted as 2)
+  double cc_intops = 0.0;  // CUDA-core integer/logic ops (bitmap baselines)
+
+  // --- Memory traffic ------------------------------------------------------
+  double dram_bytes = 0.0;  // global-memory traffic after cache filtering
+  double smem_bytes = 0.0;  // shared-memory / L1 traffic
+
+  // --- Instruction issue ---------------------------------------------------
+  double warp_instructions = 0.0;  // total warp-level instructions issued
+
+  // --- Shape of the launch -------------------------------------------------
+  double threads = 0.0;  // total resident threads (parallelism proxy)
+  int launches = 0;      // number of kernel launches (grid-level barriers)
+
+  // --- Efficiency hints (set by the kernel, documented in calibration.hpp)
+  double mem_eff = 1.0;   // achieved fraction of peak DRAM bandwidth
+  double pipe_eff = 1.0;  // achieved fraction of peak FLOP rate
+
+  // --- Reporting metadata ---------------------------------------------------
+  // "Useful" FLOPs from the algorithm's point of view (excludes redundancy
+  // introduced to fit the MMA shape). Drives Figure 3 throughput and the
+  // Figure 9 roofline arithmetic intensity, matching the paper's convention.
+  double useful_flops = 0.0;
+
+  KernelProfile& operator+=(const KernelProfile& o) {
+    tc_flops += o.tc_flops;
+    cc_flops += o.cc_flops;
+    tc_bitops += o.tc_bitops;
+    cc_intops += o.cc_intops;
+    dram_bytes += o.dram_bytes;
+    smem_bytes += o.smem_bytes;
+    warp_instructions += o.warp_instructions;
+    threads += o.threads;
+    launches += o.launches;
+    useful_flops += o.useful_flops;
+    // Efficiency hints are not additive; keep the most recent explicit value.
+    if (o.mem_eff != 1.0) mem_eff = o.mem_eff;
+    if (o.pipe_eff != 1.0) pipe_eff = o.pipe_eff;
+    return *this;
+  }
+
+  double total_flops() const { return tc_flops + cc_flops; }
+
+  // Arithmetic intensity (useful FLOPs per DRAM byte), the x-axis of the
+  // cache-aware roofline in Figure 9.
+  double arithmetic_intensity() const {
+    return dram_bytes > 0.0 ? useful_flops / dram_bytes : 0.0;
+  }
+};
+
+}  // namespace cubie::sim

@@ -1,0 +1,31 @@
+#include "sim/roofline.hpp"
+
+#include <algorithm>
+
+namespace cubie::sim {
+
+double Roofline::dram_roof(double ai) const { return ai * spec_->dram_bw; }
+
+double Roofline::l1_roof(double ai) const { return ai * spec_->smem_bw; }
+
+double Roofline::attainable(double ai) const {
+  return std::min(spec_->fp64_tc_peak, dram_roof(ai));
+}
+
+RooflinePoint Roofline::point(const std::string& label,
+                              const KernelProfile& prof,
+                              const Prediction& pred) const {
+  RooflinePoint pt;
+  pt.label = label;
+  pt.arithmetic_intensity = prof.arithmetic_intensity();
+  pt.achieved_flops =
+      pred.time_s > 0.0 ? prof.useful_flops / pred.time_s : 0.0;
+  pt.attainable_flops = attainable(pt.arithmetic_intensity);
+  return pt;
+}
+
+double Roofline::ridge_ai() const {
+  return spec_->fp64_tc_peak / spec_->dram_bw;
+}
+
+}  // namespace cubie::sim

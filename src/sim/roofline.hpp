@@ -1,0 +1,46 @@
+#pragma once
+// Cache-aware roofline model (Figure 9): ceilings for DRAM bandwidth, L1
+// bandwidth, and FP64 peak throughput of tensor and CUDA cores, plus the
+// mapping of a measured (AI, GFLOP/s) point against those ceilings.
+
+#include "sim/device.hpp"
+#include "sim/model.hpp"
+#include "sim/profile.hpp"
+
+#include <string>
+#include <vector>
+
+namespace cubie::sim {
+
+struct RooflinePoint {
+  std::string label;            // "SpMV/TC" etc.
+  double arithmetic_intensity;  // useful FLOPs / DRAM byte
+  double achieved_flops;        // useful FLOPs / predicted second
+  double attainable_flops;      // min(peak, AI * BW): the roofline ceiling
+};
+
+class Roofline {
+ public:
+  explicit Roofline(const DeviceSpec& spec) : spec_(&spec) {}
+
+  // Ceiling value at a given arithmetic intensity for each roof.
+  double dram_roof(double ai) const;
+  double l1_roof(double ai) const;
+  double tc_peak() const { return spec_->fp64_tc_peak; }
+  double cc_peak() const { return spec_->fp64_cc_peak; }
+
+  // Attainable performance = min(TC peak, AI * DRAM bandwidth).
+  double attainable(double ai) const;
+
+  // Build a labeled point from a profile and its prediction.
+  RooflinePoint point(const std::string& label, const KernelProfile& prof,
+                      const Prediction& pred) const;
+
+  // The AI where the DRAM roof meets the TC peak (machine balance).
+  double ridge_ai() const;
+
+ private:
+  const DeviceSpec* spec_;
+};
+
+}  // namespace cubie::sim

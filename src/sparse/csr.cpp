@@ -1,0 +1,167 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace cubie::sparse {
+
+bool Csr::structurally_valid() const {
+  if (rows < 0 || cols < 0) return false;
+  if (row_ptr.size() != static_cast<std::size_t>(rows) + 1) return false;
+  if (row_ptr.front() != 0) return false;
+  if (static_cast<std::size_t>(row_ptr.back()) != nnz()) return false;
+  if (col_idx.size() != vals.size()) return false;
+  for (int r = 0; r < rows; ++r) {
+    const auto lo = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(r)]);
+    const auto hi = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(r) + 1]);
+    if (hi < lo) return false;
+    for (std::size_t p = lo; p < hi; ++p) {
+      if (col_idx[p] < 0 || col_idx[p] >= cols) return false;
+      if (p > lo && col_idx[p] <= col_idx[p - 1]) return false;
+    }
+  }
+  return true;
+}
+
+Csr csr_from_coo(const Coo& coo) {
+  Csr m;
+  m.rows = coo.rows;
+  m.cols = coo.cols;
+  const std::size_t nnz = coo.nnz();
+
+  // Sort triplets by (row, col) via an index permutation.
+  std::vector<std::size_t> order(nnz);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (coo.row[x] != coo.row[y]) return coo.row[x] < coo.row[y];
+    return coo.col[x] < coo.col[y];
+  });
+
+  m.row_ptr.assign(static_cast<std::size_t>(m.rows) + 1, 0);
+  m.col_idx.reserve(nnz);
+  m.vals.reserve(nnz);
+  int prev_row = -1, prev_col = -1;
+  for (std::size_t idx : order) {
+    const int r = coo.row[idx];
+    const int c = coo.col[idx];
+    if (r == prev_row && c == prev_col) {
+      m.vals.back() += coo.val[idx];  // merge duplicates
+      continue;
+    }
+    m.col_idx.push_back(c);
+    m.vals.push_back(coo.val[idx]);
+    m.row_ptr[static_cast<std::size_t>(r) + 1] += 1;
+    prev_row = r;
+    prev_col = c;
+  }
+  for (int r = 0; r < m.rows; ++r)
+    m.row_ptr[static_cast<std::size_t>(r) + 1] += m.row_ptr[static_cast<std::size_t>(r)];
+  return m;
+}
+
+Csr transpose(const Csr& a) {
+  Csr t;
+  t.rows = a.cols;
+  t.cols = a.rows;
+  t.row_ptr.assign(static_cast<std::size_t>(t.rows) + 1, 0);
+  t.col_idx.resize(a.nnz());
+  t.vals.resize(a.nnz());
+  for (int c : a.col_idx) t.row_ptr[static_cast<std::size_t>(c) + 1] += 1;
+  for (int r = 0; r < t.rows; ++r)
+    t.row_ptr[static_cast<std::size_t>(r) + 1] += t.row_ptr[static_cast<std::size_t>(r)];
+  std::vector<int> cursor(t.row_ptr.begin(), t.row_ptr.end() - 1);
+  for (int r = 0; r < a.rows; ++r) {
+    for (int p = a.row_ptr[static_cast<std::size_t>(r)]; p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      const int c = a.col_idx[static_cast<std::size_t>(p)];
+      const auto dst = static_cast<std::size_t>(cursor[static_cast<std::size_t>(c)]++);
+      t.col_idx[dst] = r;
+      t.vals[dst] = a.vals[static_cast<std::size_t>(p)];
+    }
+  }
+  return t;
+}
+
+std::vector<double> spmv_serial(const Csr& a, std::span<const double> x) {
+  assert(static_cast<int>(x.size()) == a.cols);
+  std::vector<double> y(static_cast<std::size_t>(a.rows), 0.0);
+  for (int r = 0; r < a.rows; ++r) {
+    double acc = 0.0;
+    for (int p = a.row_ptr[static_cast<std::size_t>(r)]; p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      acc = acc + a.vals[static_cast<std::size_t>(p)] *
+                      x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(p)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+Csr spgemm_serial(const Csr& a, const Csr& b) {
+  assert(a.cols == b.rows);
+  Csr c;
+  c.rows = a.rows;
+  c.cols = b.cols;
+  c.row_ptr.assign(static_cast<std::size_t>(c.rows) + 1, 0);
+
+  std::vector<double> acc(static_cast<std::size_t>(b.cols), 0.0);
+  std::vector<int> marker(static_cast<std::size_t>(b.cols), -1);
+  std::vector<int> touched;
+
+  for (int r = 0; r < a.rows; ++r) {
+    touched.clear();
+    for (int pa = a.row_ptr[static_cast<std::size_t>(r)]; pa < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++pa) {
+      const int k = a.col_idx[static_cast<std::size_t>(pa)];
+      const double av = a.vals[static_cast<std::size_t>(pa)];
+      for (int pb = b.row_ptr[static_cast<std::size_t>(k)]; pb < b.row_ptr[static_cast<std::size_t>(k) + 1]; ++pb) {
+        const int j = b.col_idx[static_cast<std::size_t>(pb)];
+        if (marker[static_cast<std::size_t>(j)] != r) {
+          marker[static_cast<std::size_t>(j)] = r;
+          acc[static_cast<std::size_t>(j)] = 0.0;
+          touched.push_back(j);
+        }
+        acc[static_cast<std::size_t>(j)] =
+            acc[static_cast<std::size_t>(j)] + av * b.vals[static_cast<std::size_t>(pb)];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int j : touched) {
+      c.col_idx.push_back(j);
+      c.vals.push_back(acc[static_cast<std::size_t>(j)]);
+    }
+    c.row_ptr[static_cast<std::size_t>(r) + 1] = static_cast<int>(c.col_idx.size());
+  }
+  return c;
+}
+
+void gemm_serial(int m, int n, int k, std::span<const double> a,
+                 std::span<const double> b, std::span<double> c) {
+  assert(a.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(k));
+  assert(b.size() == static_cast<std::size_t>(k) * static_cast<std::size_t>(n));
+  assert(c.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(n));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        acc = acc + a[static_cast<std::size_t>(i) * k + kk] *
+                        b[static_cast<std::size_t>(kk) * n + j];
+      }
+      c[static_cast<std::size_t>(i) * n + j] = acc;
+    }
+  }
+}
+
+void gemv_serial(int m, int n, std::span<const double> a,
+                 std::span<const double> x, std::span<double> y) {
+  assert(a.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(n));
+  assert(x.size() == static_cast<std::size_t>(n));
+  assert(y.size() == static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < n; ++j) {
+      acc = acc + a[static_cast<std::size_t>(i) * n + j] * x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+}  // namespace cubie::sparse

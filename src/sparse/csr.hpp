@@ -1,0 +1,52 @@
+#pragma once
+// Compressed Sparse Row substrate: the storage format of every sparse
+// baseline (cuSPARSE-class SpMV / SpGEMM) and the input format from which
+// the MMU-oriented formats (DASP groups, mBSR blocks) are built.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cubie::sparse {
+
+struct Coo {
+  int rows = 0, cols = 0;
+  std::vector<int> row;
+  std::vector<int> col;
+  std::vector<double> val;
+
+  std::size_t nnz() const { return val.size(); }
+};
+
+struct Csr {
+  int rows = 0, cols = 0;
+  std::vector<int> row_ptr;   // size rows + 1
+  std::vector<int> col_idx;   // size nnz, column-sorted within each row
+  std::vector<double> vals;   // size nnz
+
+  std::size_t nnz() const { return vals.size(); }
+  int row_nnz(int r) const { return row_ptr[static_cast<std::size_t>(r) + 1] - row_ptr[static_cast<std::size_t>(r)]; }
+  bool structurally_valid() const;  // monotone row_ptr, in-range sorted cols
+};
+
+// Build CSR from COO (duplicates are summed; columns sorted per row).
+Csr csr_from_coo(const Coo& coo);
+
+Csr transpose(const Csr& a);
+
+// Naive CPU serial SpMV, the paper's ground truth (Section 8):
+//   y_i = sum_k A_ik * x_k accumulated left-to-right with plain (unfused)
+//   multiply-then-add per element, i.e. the most naive serial code.
+std::vector<double> spmv_serial(const Csr& a, std::span<const double> x);
+
+// CPU serial SpGEMM reference (row-by-row gather, deterministic order).
+Csr spgemm_serial(const Csr& a, const Csr& b);
+
+// Dense serial references used by GEMM / GEMV ground truth.
+// C (m x n) = A (m x k) * B (k x n), row-major, naive sequential-k loop.
+void gemm_serial(int m, int n, int k, std::span<const double> a,
+                 std::span<const double> b, std::span<double> c);
+void gemv_serial(int m, int n, std::span<const double> a,
+                 std::span<const double> x, std::span<double> y);
+
+}  // namespace cubie::sparse

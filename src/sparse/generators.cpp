@@ -1,0 +1,263 @@
+#include "sparse/generators.hpp"
+
+#include "common/rng.hpp"
+#include "sparse/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace cubie::sparse {
+
+using common::Lcg;
+
+Csr gen_banded(int n, int half_bandwidth, double fill_prob, bool symmetric,
+               std::uint32_t seed) {
+  Lcg rng(seed);
+  Coo coo;
+  coo.rows = coo.cols = n;
+  for (int r = 0; r < n; ++r) {
+    coo.row.push_back(r);
+    coo.col.push_back(r);
+    coo.val.push_back(rng.next_linpack() + 4.0);  // diagonally weighted
+    const int c_hi = symmetric ? r : std::min(n - 1, r + half_bandwidth);
+    const int c_lo = std::max(0, r - half_bandwidth);
+    for (int c = c_lo; c <= c_hi; ++c) {
+      if (c == r) continue;
+      if (rng.next_unit() < fill_prob) {
+        const double v = rng.next_linpack();
+        coo.row.push_back(r);
+        coo.col.push_back(c);
+        coo.val.push_back(v);
+        if (symmetric) {
+          coo.row.push_back(c);
+          coo.col.push_back(r);
+          coo.val.push_back(v);
+        }
+      }
+    }
+  }
+  return csr_from_coo(coo);
+}
+
+Csr gen_block_fem(int n, int block_dim, int blocks_per_row, int band,
+                  std::uint32_t seed) {
+  Lcg rng(seed);
+  Coo coo;
+  coo.rows = coo.cols = n;
+  const int nb = n / block_dim;
+  auto add_block = [&](int br, int bc) {
+    for (int i = 0; i < block_dim; ++i) {
+      for (int j = 0; j < block_dim; ++j) {
+        const int r = br * block_dim + i;
+        const int c = bc * block_dim + j;
+        if (r < n && c < n) {
+          double v = rng.next_linpack();
+          if (r == c) v += 4.0 * block_dim;  // keep it FEM-like (diag heavy)
+          coo.row.push_back(r);
+          coo.col.push_back(c);
+          coo.val.push_back(v);
+        }
+      }
+    }
+  };
+  std::set<int> cols;
+  for (int br = 0; br < nb; ++br) {
+    cols.clear();
+    cols.insert(br);  // block diagonal
+    while (static_cast<int>(cols.size()) < std::min(blocks_per_row, nb)) {
+      const int offset = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(2 * band + 1))) - band;
+      const int bc = std::clamp(br + offset, 0, nb - 1);
+      cols.insert(bc);
+    }
+    for (int bc : cols) add_block(br, bc);
+  }
+  return csr_from_coo(coo);
+}
+
+Csr gen_lattice4d(int lx, int ly, int lz, int lt, int dof, std::uint32_t seed) {
+  Lcg rng(seed);
+  const int sites = lx * ly * lz * lt;
+  const int n = sites * dof;
+  Coo coo;
+  coo.rows = coo.cols = n;
+  auto site_id = [&](int x, int y, int z, int t) {
+    return ((t * lz + z) * ly + y) * lx + x;
+  };
+  auto couple = [&](int s_from, int s_to) {
+    for (int i = 0; i < dof; ++i) {
+      for (int j = 0; j < dof; ++j) {
+        double v = rng.next_linpack();
+        if (s_from == s_to && i == j) v += 4.0;
+        coo.row.push_back(s_from * dof + i);
+        coo.col.push_back(s_to * dof + j);
+        coo.val.push_back(v);
+      }
+    }
+  };
+  for (int t = 0; t < lt; ++t) {
+    for (int z = 0; z < lz; ++z) {
+      for (int y = 0; y < ly; ++y) {
+        for (int x = 0; x < lx; ++x) {
+          const int s = site_id(x, y, z, t);
+          couple(s, s);
+          // Periodic nearest neighbours in the four dimensions.
+          couple(s, site_id((x + 1) % lx, y, z, t));
+          couple(s, site_id((x + lx - 1) % lx, y, z, t));
+          couple(s, site_id(x, (y + 1) % ly, z, t));
+          couple(s, site_id(x, (y + ly - 1) % ly, z, t));
+          couple(s, site_id(x, y, (z + 1) % lz, t));
+          couple(s, site_id(x, y, (z + lz - 1) % lz, t));
+          couple(s, site_id(x, y, z, (t + 1) % lt));
+          couple(s, site_id(x, y, z, (t + lt - 1) % lt));
+        }
+      }
+    }
+  }
+  return csr_from_coo(coo);
+}
+
+Csr gen_random_uniform(int n, int nnz_per_row, std::uint32_t seed) {
+  Lcg rng(seed);
+  Coo coo;
+  coo.rows = coo.cols = n;
+  std::set<int> cols;
+  for (int r = 0; r < n; ++r) {
+    cols.clear();
+    cols.insert(r);
+    while (static_cast<int>(cols.size()) < std::min(nnz_per_row, n)) {
+      cols.insert(static_cast<int>(rng.next_below(static_cast<std::uint32_t>(n))));
+    }
+    for (int c : cols) {
+      coo.row.push_back(r);
+      coo.col.push_back(c);
+      coo.val.push_back(rng.next_linpack());
+    }
+  }
+  return csr_from_coo(coo);
+}
+
+Csr gen_powerlaw(int n, double avg_degree, double alpha, std::uint32_t seed) {
+  Lcg rng(seed);
+  Coo coo;
+  coo.rows = coo.cols = n;
+  // Zipf-like degree assignment normalized to the requested average.
+  std::vector<double> weight(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int r = 0; r < n; ++r) {
+    weight[static_cast<std::size_t>(r)] = std::pow(static_cast<double>(r + 1), -alpha);
+    total += weight[static_cast<std::size_t>(r)];
+  }
+  const double scale = avg_degree * n / total;
+  std::set<int> cols;
+  for (int r = 0; r < n; ++r) {
+    int deg = std::max(1, static_cast<int>(weight[static_cast<std::size_t>(r)] * scale));
+    deg = std::min(deg, n);
+    cols.clear();
+    while (static_cast<int>(cols.size()) < deg) {
+      // Preferential attachment flavour: bias columns toward low indices.
+      const double u = rng.next_unit();
+      const int c = static_cast<int>(std::pow(u, 1.5) * n);
+      cols.insert(std::min(c, n - 1));
+    }
+    for (int c : cols) {
+      coo.row.push_back(r);
+      coo.col.push_back(c);
+      coo.val.push_back(rng.next_linpack());
+    }
+  }
+  return csr_from_coo(coo);
+}
+
+std::vector<std::string> table4_names() {
+  return {"spmsrts", "Chevron1", "raefsky3", "conf5_4-8x8-10", "bcsstk39"};
+}
+
+NamedMatrix make_table4_matrix(const std::string& name, int scale_divisor) {
+  const int s = std::max(1, scale_divisor);
+  NamedMatrix nm;
+  nm.name = name;
+  if (name.find('/') != std::string::npos ||
+      (name.size() > 4 && name.substr(name.size() - 4) == ".mtx")) {
+    // A real Matrix Market file: load it verbatim (no scaling).
+    nm.group = "file";
+    nm.matrix = csr_from_coo(read_matrix_market_file(name));
+  } else if (name == "spmsrts") {
+    // 29,995 rows / 229,947 nnz (~7.7 per row), GHS_indef: symmetric
+    // indefinite with a moderate band.
+    nm.group = "GHS_indef";
+    nm.matrix = gen_banded(29995 / s, 12, 0.30, true, 101);
+  } else if (name == "Chevron1") {
+    // 37,365 rows / 330,633 nnz (~8.8 per row): seismic structured grid.
+    nm.group = "Chevron";
+    nm.matrix = gen_banded(37365 / s, 9, 0.48, false, 102);
+  } else if (name == "raefsky3") {
+    // 21,200 rows / 1,488,768 nnz (~70 per row): FEM fluid-structure with
+    // dense 8x8 vertex blocks.
+    nm.group = "Simon";
+    nm.matrix = gen_block_fem(21200 / s, 8, 9, 24, 103);
+  } else if (name == "conf5_4-8x8-10") {
+    // 49,152 rows / 1,916,928 nnz (exactly 39 per row): QCD 8^3 x 16 lattice
+    // with 3 colour dof -> here scaled lattice with dof 3.
+    nm.group = "QCD";
+    // Keep every lattice dimension >= 4 so periodic +1/-1 neighbours stay
+    // distinct and the constant row degree (9 x dof) of the original holds.
+    const int l = std::max(4, 8 / (s > 2 ? 2 : 1));
+    const int t = std::max(4, 16 / s);
+    nm.matrix = gen_lattice4d(l, l, l, t, 3, 104);
+  } else if (name == "bcsstk39") {
+    // 46,772 rows / 2,089,294 nnz (~44.7 per row): solid-element stiffness
+    // matrix, blocked band structure.
+    nm.group = "Boeing";
+    nm.matrix = gen_block_fem(46772 / s, 6, 8, 30, 105);
+  } else {
+    throw std::invalid_argument("unknown Table 4 matrix: " + name);
+  }
+  return nm;
+}
+
+std::vector<NamedMatrix> synthetic_matrix_corpus(int count, std::uint32_t seed) {
+  std::vector<NamedMatrix> corpus;
+  corpus.reserve(static_cast<std::size_t>(count));
+  Lcg rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const int family = i % 5;
+    const int n = 256 + static_cast<int>(rng.next_below(1792));
+    NamedMatrix nm;
+    nm.name = "synthetic_" + std::to_string(i);
+    const std::uint32_t s = seed + static_cast<std::uint32_t>(i) * 7919u;
+    switch (family) {
+      case 0:
+        nm.group = "banded";
+        nm.matrix = gen_banded(n, 3 + static_cast<int>(rng.next_below(30)),
+                               0.1 + 0.8 * rng.next_unit(), (i % 2) == 0, s);
+        break;
+      case 1:
+        nm.group = "fem";
+        nm.matrix = gen_block_fem(n, 2 + static_cast<int>(rng.next_below(7)),
+                                  3 + static_cast<int>(rng.next_below(10)),
+                                  8 + static_cast<int>(rng.next_below(40)), s);
+        break;
+      case 2: {
+        nm.group = "lattice";
+        const int l = 2 + static_cast<int>(rng.next_below(4));
+        nm.matrix = gen_lattice4d(l, l, l, l, 1 + static_cast<int>(rng.next_below(3)), s);
+        break;
+      }
+      case 3:
+        nm.group = "random";
+        nm.matrix = gen_random_uniform(n, 2 + static_cast<int>(rng.next_below(40)), s);
+        break;
+      default:
+        nm.group = "powerlaw";
+        nm.matrix = gen_powerlaw(n, 2.0 + 20.0 * rng.next_unit(),
+                                 0.6 + rng.next_unit(), s);
+        break;
+    }
+    corpus.push_back(std::move(nm));
+  }
+  return corpus;
+}
+
+}  // namespace cubie::sparse

@@ -1,0 +1,61 @@
+#pragma once
+// Synthetic sparse-matrix generators.
+//
+// The paper evaluates SpMV/SpGEMM on five SuiteSparse instances (Table 4).
+// Those files are not available offline, so this module provides structural
+// stand-ins: for each named instance a generator reproduces the published
+// shape (rows, nnz, nnz/row distribution, symmetry, block structure) of its
+// matrix family at a configurable scale. DESIGN.md documents the
+// substitution; values are LINPACK-style uniform in (-2, 2) exactly as the
+// paper initializes its random operands.
+
+#include "sparse/csr.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cubie::sparse {
+
+// ---- Generic structural families -------------------------------------------
+
+// Banded matrix: each row has entries within +-half_bandwidth of the
+// diagonal, each present with probability fill_prob. Always has a diagonal.
+Csr gen_banded(int n, int half_bandwidth, double fill_prob, bool symmetric,
+               std::uint32_t seed);
+
+// FEM-style blocked matrix: dense block_dim x block_dim blocks placed on the
+// block diagonal and at blocks_per_row random band positions (raefsky3 /
+// bcsstk39 family).
+Csr gen_block_fem(int n, int block_dim, int blocks_per_row, int band,
+                  std::uint32_t seed);
+
+// 4D lattice operator in the QCD family (conf5_4-8x8-10): every site couples
+// to itself and its 8 lattice neighbours with dof x dof dense couplings,
+// giving a constant row degree like the original.
+Csr gen_lattice4d(int lx, int ly, int lz, int lt, int dof, std::uint32_t seed);
+
+// Uniformly random matrix with a fixed number of nonzeros per row.
+Csr gen_random_uniform(int n, int nnz_per_row, std::uint32_t seed);
+
+// Power-law row-degree matrix (web/social family) with given average degree.
+Csr gen_powerlaw(int n, double avg_degree, double alpha, std::uint32_t seed);
+
+// ---- Table 4 named instances -------------------------------------------------
+
+struct NamedMatrix {
+  std::string name;   // SuiteSparse name (e.g. "raefsky3")
+  std::string group;  // SuiteSparse group
+  Csr matrix;         // synthetic structural stand-in
+};
+
+// All five Table 4 instances, dimensions divided by `scale_divisor`.
+std::vector<std::string> table4_names();
+NamedMatrix make_table4_matrix(const std::string& name, int scale_divisor);
+
+// ---- PCA corpus (Figure 10b) ---------------------------------------------------
+// A corpus of small matrices spanning the structural families above, used as
+// the stand-in for "the 2893 matrices in SuiteSparse".
+std::vector<NamedMatrix> synthetic_matrix_corpus(int count, std::uint32_t seed);
+
+}  // namespace cubie::sparse

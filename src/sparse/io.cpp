@@ -1,0 +1,94 @@
+#include "sparse/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cubie::sparse {
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Coo read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("mm: empty stream");
+  std::istringstream hdr(line);
+  std::string banner, object, format, field, symmetry;
+  hdr >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket")
+    throw std::runtime_error("mm: missing %%MatrixMarket banner");
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (object != "matrix" || format != "coordinate")
+    throw std::runtime_error("mm: only 'matrix coordinate' is supported");
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer")
+    throw std::runtime_error("mm: unsupported field type: " + field);
+  const bool symmetric = symmetry == "symmetric" || symmetry == "skew-symmetric";
+  const double skew = symmetry == "skew-symmetric" ? -1.0 : 1.0;
+  if (!symmetric && symmetry != "general")
+    throw std::runtime_error("mm: unsupported symmetry: " + symmetry);
+
+  // Skip comments, then read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long rows = 0, cols = 0, entries = 0;
+  if (!(size_line >> rows >> cols >> entries))
+    throw std::runtime_error("mm: malformed size line");
+
+  Coo coo;
+  coo.rows = static_cast<int>(rows);
+  coo.cols = static_cast<int>(cols);
+  coo.row.reserve(static_cast<std::size_t>(entries));
+  coo.col.reserve(static_cast<std::size_t>(entries));
+  coo.val.reserve(static_cast<std::size_t>(entries));
+  for (long e = 0; e < entries; ++e) {
+    long r = 0, c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) throw std::runtime_error("mm: truncated entries");
+    if (!pattern && !(in >> v)) throw std::runtime_error("mm: truncated value");
+    if (r < 1 || r > rows || c < 1 || c > cols)
+      throw std::runtime_error("mm: entry out of bounds");
+    coo.row.push_back(static_cast<int>(r - 1));
+    coo.col.push_back(static_cast<int>(c - 1));
+    coo.val.push_back(v);
+    if (symmetric && r != c) {
+      coo.row.push_back(static_cast<int>(c - 1));
+      coo.col.push_back(static_cast<int>(r - 1));
+      coo.val.push_back(skew * v);
+    }
+  }
+  return coo;
+}
+
+Coo read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("mm: cannot open " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const Coo& coo) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << coo.rows << ' ' << coo.cols << ' ' << coo.nnz() << '\n';
+  for (std::size_t i = 0; i < coo.nnz(); ++i) {
+    out << coo.row[i] + 1 << ' ' << coo.col[i] + 1 << ' ' << coo.val[i] << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Coo& coo) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("mm: cannot open " + path + " for write");
+  write_matrix_market(f, coo);
+}
+
+}  // namespace cubie::sparse

@@ -1,0 +1,24 @@
+#pragma once
+// Matrix Market (MM) coordinate-format I/O. The paper sources its SpMV /
+// SpGEMM matrices and BFS graphs from the SuiteSparse Matrix Collection,
+// which distributes .mtx files in this format; the reader supports the
+// subset those files use (real/pattern/integer, general/symmetric).
+
+#include "sparse/csr.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace cubie::sparse {
+
+// Parse a Matrix Market stream into COO (symmetric entries are mirrored,
+// pattern entries get value 1.0). Throws std::runtime_error on malformed
+// input.
+Coo read_matrix_market(std::istream& in);
+Coo read_matrix_market_file(const std::string& path);
+
+// Write COO as "matrix coordinate real general".
+void write_matrix_market(std::ostream& out, const Coo& coo);
+void write_matrix_market_file(const std::string& path, const Coo& coo);
+
+}  // namespace cubie::sparse

@@ -1,0 +1,89 @@
+#include "sparse/mbsr.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cubie::sparse {
+
+double Mbsr::fill_ratio() const {
+  if (blocks() == 0) return 0.0;
+  return static_cast<double>(nnz_stored()) /
+         (static_cast<double>(blocks()) * kBlock * kBlock);
+}
+
+std::size_t Mbsr::nnz_stored() const {
+  std::size_t n = 0;
+  for (double v : vals)
+    if (v != 0.0) ++n;
+  return n;
+}
+
+Mbsr mbsr_from_csr(const Csr& a) {
+  Mbsr m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.block_rows = (a.rows + kBlock - 1) / kBlock;
+  m.block_cols = (a.cols + kBlock - 1) / kBlock;
+  m.row_ptr.assign(static_cast<std::size_t>(m.block_rows) + 1, 0);
+
+  // For each block row, gather the touched block columns and fill them.
+  std::map<int, std::size_t> slot;  // block col -> index into this row's blocks
+  for (int br = 0; br < m.block_rows; ++br) {
+    slot.clear();
+    const int r_lo = br * kBlock;
+    const int r_hi = std::min(r_lo + kBlock, a.rows);
+    // First pass: identify block columns (map keeps them sorted).
+    for (int r = r_lo; r < r_hi; ++r) {
+      for (int p = a.row_ptr[static_cast<std::size_t>(r)]; p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+        slot.emplace(a.col_idx[static_cast<std::size_t>(p)] / kBlock, 0);
+      }
+    }
+    const std::size_t base = m.col_idx.size();
+    std::size_t i = 0;
+    for (auto& [bc, idx] : slot) {
+      idx = base + i++;
+      m.col_idx.push_back(bc);
+    }
+    m.vals.resize(m.col_idx.size() * kBlock * kBlock, 0.0);
+    // Second pass: scatter values into the dense blocks.
+    for (int r = r_lo; r < r_hi; ++r) {
+      for (int p = a.row_ptr[static_cast<std::size_t>(r)]; p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+        const int c = a.col_idx[static_cast<std::size_t>(p)];
+        const std::size_t blk = slot[c / kBlock];
+        const int lr = r - r_lo;
+        const int lc = c % kBlock;
+        m.vals[blk * kBlock * kBlock + static_cast<std::size_t>(lr * kBlock + lc)] =
+            a.vals[static_cast<std::size_t>(p)];
+      }
+    }
+    m.row_ptr[static_cast<std::size_t>(br) + 1] = static_cast<int>(m.col_idx.size());
+  }
+  return m;
+}
+
+Csr csr_from_mbsr(const Mbsr& a) {
+  Coo coo;
+  coo.rows = a.rows;
+  coo.cols = a.cols;
+  for (int br = 0; br < a.block_rows; ++br) {
+    for (int p = a.row_ptr[static_cast<std::size_t>(br)]; p < a.row_ptr[static_cast<std::size_t>(br) + 1]; ++p) {
+      const int bc = a.col_idx[static_cast<std::size_t>(p)];
+      const double* blk = a.vals.data() + static_cast<std::size_t>(p) * kBlock * kBlock;
+      for (int lr = 0; lr < kBlock; ++lr) {
+        for (int lc = 0; lc < kBlock; ++lc) {
+          const double v = blk[lr * kBlock + lc];
+          const int r = br * kBlock + lr;
+          const int c = bc * kBlock + lc;
+          if (v != 0.0 && r < a.rows && c < a.cols) {
+            coo.row.push_back(r);
+            coo.col.push_back(c);
+            coo.val.push_back(v);
+          }
+        }
+      }
+    }
+  }
+  return csr_from_coo(coo);
+}
+
+}  // namespace cubie::sparse

@@ -1,0 +1,33 @@
+#pragma once
+// mBSR: the modified block-sparse-row format used by AmgT's SpGEMM (paper
+// Section 3). The matrix is tiled into dense 4x4 blocks; nonempty blocks are
+// stored in a block-CSR structure. Pairs of vertically adjacent 4x4 blocks
+// are combined into the 8x4 operands of the FP64 m8n8k4 MMA.
+
+#include "sparse/csr.hpp"
+
+#include <vector>
+
+namespace cubie::sparse {
+
+inline constexpr int kBlock = 4;  // mBSR block dimension
+
+struct Mbsr {
+  int rows = 0, cols = 0;          // scalar dimensions
+  int block_rows = 0, block_cols = 0;
+  std::vector<int> row_ptr;        // block-row pointers (block_rows + 1)
+  std::vector<int> col_idx;        // block-column indices
+  std::vector<double> vals;        // 16 values per block, row-major in-block
+
+  std::size_t blocks() const { return col_idx.size(); }
+  double fill_ratio() const;       // nnz / (blocks * 16)
+  std::size_t nnz_stored() const;  // count of explicit nonzeros inside blocks
+};
+
+// Tile a CSR matrix into mBSR (zero-filling partial blocks).
+Mbsr mbsr_from_csr(const Csr& a);
+
+// Expand back to CSR, dropping the explicit zeros introduced by tiling.
+Csr csr_from_mbsr(const Mbsr& a);
+
+}  // namespace cubie::sparse

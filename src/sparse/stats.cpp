@@ -1,0 +1,68 @@
+#include "sparse/stats.hpp"
+
+#include "sparse/mbsr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cubie::sparse {
+
+std::vector<std::string> MatrixFeatures::names() {
+  return {"log_rows", "log_nnz",  "density",  "row_mean",   "row_std",
+          "row_max_ratio", "col_std", "symmetry", "block_fill", "diag_frac"};
+}
+
+MatrixFeatures matrix_features(const Csr& a) {
+  MatrixFeatures f;
+  const double nnz = static_cast<double>(a.nnz());
+  const double rows = std::max(1, a.rows);
+  const double cols = std::max(1, a.cols);
+  f.log_rows = std::log10(rows);
+  f.log_nnz = std::log10(std::max(1.0, nnz));
+  f.density = nnz / (rows * cols);
+
+  // Row-degree statistics.
+  double mean = nnz / rows, var = 0.0, mx = 0.0;
+  for (int r = 0; r < a.rows; ++r) {
+    const double d = a.row_nnz(r);
+    var += (d - mean) * (d - mean);
+    mx = std::max(mx, d);
+  }
+  f.row_mean = mean;
+  f.row_std = std::sqrt(var / rows);
+  f.row_max_ratio = mean > 0.0 ? mx / mean : 0.0;
+
+  // Column-degree statistics.
+  std::vector<int> col_deg(static_cast<std::size_t>(a.cols), 0);
+  for (int c : a.col_idx) col_deg[static_cast<std::size_t>(c)] += 1;
+  const double cmean = nnz / cols;
+  double cvar = 0.0;
+  for (int d : col_deg) cvar += (d - cmean) * (d - cmean);
+  f.col_std = std::sqrt(cvar / cols);
+
+  // Structural symmetry: fraction of off-diagonal entries whose transpose
+  // position is also present.
+  const Csr t = transpose(a);
+  std::size_t mirrored = 0, off_diag = 0, diag = 0;
+  for (int r = 0; r < a.rows; ++r) {
+    for (int p = a.row_ptr[static_cast<std::size_t>(r)]; p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      const int c = a.col_idx[static_cast<std::size_t>(p)];
+      if (c == r) {
+        ++diag;
+        continue;
+      }
+      ++off_diag;
+      const auto lo = t.col_idx.begin() + t.row_ptr[static_cast<std::size_t>(r)];
+      const auto hi = t.col_idx.begin() + t.row_ptr[static_cast<std::size_t>(r) + 1];
+      if (std::binary_search(lo, hi, c)) ++mirrored;
+    }
+  }
+  f.symmetry = off_diag > 0 ? static_cast<double>(mirrored) / static_cast<double>(off_diag) : 1.0;
+  f.diag_frac = nnz > 0.0 ? static_cast<double>(diag) / nnz : 0.0;
+
+  // 4x4 block fill ratio, the key predictor of MMU-format efficiency.
+  f.block_fill = mbsr_from_csr(a).fill_ratio();
+  return f;
+}
+
+}  // namespace cubie::sparse

@@ -1,0 +1,36 @@
+#pragma once
+// Structural feature extraction for sparse matrices, feeding the Figure 10
+// PCA: sparsity, row/column degree statistics, and 4x4 block structure —
+// the same feature families the paper standardizes before PCA.
+
+#include "sparse/csr.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace cubie::sparse {
+
+struct MatrixFeatures {
+  double log_rows = 0.0;       // log10(rows)
+  double log_nnz = 0.0;        // log10(nnz)
+  double density = 0.0;        // nnz / (rows * cols)
+  double row_mean = 0.0;       // mean nnz per row
+  double row_std = 0.0;        // stddev of nnz per row
+  double row_max_ratio = 0.0;  // max row nnz / mean row nnz
+  double col_std = 0.0;        // stddev of nnz per column
+  double symmetry = 0.0;       // fraction of entries with structural mirror
+  double block_fill = 0.0;     // avg fill of touched 4x4 blocks
+  double diag_frac = 0.0;      // fraction of nnz on the diagonal
+
+  static constexpr int kCount = 10;
+  std::array<double, kCount> as_array() const {
+    return {log_rows, log_nnz,  density,  row_mean,   row_std,
+            row_max_ratio, col_std, symmetry, block_fill, diag_frac};
+  }
+  static std::vector<std::string> names();
+};
+
+MatrixFeatures matrix_features(const Csr& a);
+
+}  // namespace cubie::sparse

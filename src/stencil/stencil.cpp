@@ -1,0 +1,111 @@
+#include "stencil/stencil.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cubie::stencil {
+
+void stencil2d_serial(const Star2D& st, const std::vector<double>& in,
+                      std::vector<double>& out, int ny, int nx) {
+  assert(in.size() == static_cast<std::size_t>(ny) * static_cast<std::size_t>(nx));
+  out.assign(in.size(), 0.0);
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) + static_cast<std::size_t>(x);
+      double acc = st.c * in[i];
+      if (y > 0) acc = acc + st.n * in[i - static_cast<std::size_t>(nx)];
+      if (y + 1 < ny) acc = acc + st.s * in[i + static_cast<std::size_t>(nx)];
+      if (x > 0) acc = acc + st.w * in[i - 1];
+      if (x + 1 < nx) acc = acc + st.e * in[i + 1];
+      out[i] = acc;
+    }
+  }
+}
+
+void stencil3d_serial(const Star3D& st, const std::vector<double>& in,
+                      std::vector<double>& out, int nz, int ny, int nx) {
+  assert(in.size() == static_cast<std::size_t>(nz) * static_cast<std::size_t>(ny) * static_cast<std::size_t>(nx));
+  out.assign(in.size(), 0.0);
+  const std::size_t plane = static_cast<std::size_t>(ny) * static_cast<std::size_t>(nx);
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const std::size_t i =
+            static_cast<std::size_t>(z) * plane + static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) + static_cast<std::size_t>(x);
+        double acc = st.c * in[i];
+        if (y > 0) acc = acc + st.n * in[i - static_cast<std::size_t>(nx)];
+        if (y + 1 < ny) acc = acc + st.s * in[i + static_cast<std::size_t>(nx)];
+        if (x > 0) acc = acc + st.w * in[i - 1];
+        if (x + 1 < nx) acc = acc + st.e * in[i + 1];
+        if (z > 0) acc = acc + st.d * in[i - plane];
+        if (z + 1 < nz) acc = acc + st.u * in[i + plane];
+        out[i] = acc;
+      }
+    }
+  }
+}
+
+mma::Mat8x8 band_diag_block(double lower, double center, double upper) {
+  mma::Mat8x8 m{};
+  for (int i = 0; i < 8; ++i) {
+    m[static_cast<std::size_t>(i * 8 + i)] = center;
+    if (i > 0) m[static_cast<std::size_t>(i * 8 + i - 1)] = lower;
+    if (i < 7) m[static_cast<std::size_t>(i * 8 + i + 1)] = upper;
+  }
+  return m;
+}
+
+mma::Mat8x8 band_sub_block(double lower) {
+  mma::Mat8x8 m{};
+  m[7] = lower;  // (0, 7): first row of this tile sees last row of previous
+  return m;
+}
+
+mma::Mat8x8 band_super_block(double upper) {
+  mma::Mat8x8 m{};
+  m[56] = upper;  // (7, 0): last row of this tile sees first row of next
+  return m;
+}
+
+
+void stencil2d_serial_fma(const Star2D& st, const std::vector<double>& in,
+                          std::vector<double>& out, int ny, int nx) {
+  assert(in.size() == static_cast<std::size_t>(ny) * static_cast<std::size_t>(nx));
+  out.assign(in.size(), 0.0);
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) + static_cast<std::size_t>(x);
+      double acc = st.c * in[i];
+      if (y > 0) acc = std::fma(st.n, in[i - static_cast<std::size_t>(nx)], acc);
+      if (y + 1 < ny) acc = std::fma(st.s, in[i + static_cast<std::size_t>(nx)], acc);
+      if (x > 0) acc = std::fma(st.w, in[i - 1], acc);
+      if (x + 1 < nx) acc = std::fma(st.e, in[i + 1], acc);
+      out[i] = acc;
+    }
+  }
+}
+
+void stencil3d_serial_fma(const Star3D& st, const std::vector<double>& in,
+                          std::vector<double>& out, int nz, int ny, int nx) {
+  assert(in.size() == static_cast<std::size_t>(nz) * static_cast<std::size_t>(ny) * static_cast<std::size_t>(nx));
+  out.assign(in.size(), 0.0);
+  const std::size_t plane = static_cast<std::size_t>(ny) * static_cast<std::size_t>(nx);
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const std::size_t i =
+            static_cast<std::size_t>(z) * plane + static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) + static_cast<std::size_t>(x);
+        double acc = st.c * in[i];
+        if (y > 0) acc = std::fma(st.n, in[i - static_cast<std::size_t>(nx)], acc);
+        if (y + 1 < ny) acc = std::fma(st.s, in[i + static_cast<std::size_t>(nx)], acc);
+        if (x > 0) acc = std::fma(st.w, in[i - 1], acc);
+        if (x + 1 < nx) acc = std::fma(st.e, in[i + 1], acc);
+        if (z > 0) acc = std::fma(st.d, in[i - plane], acc);
+        if (z + 1 < nz) acc = std::fma(st.u, in[i + plane], acc);
+        out[i] = acc;
+      }
+    }
+  }
+}
+
+}  // namespace cubie::stencil

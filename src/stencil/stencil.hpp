@@ -1,0 +1,58 @@
+#pragma once
+// Stencil substrate: star-shaped stencils (star2d1r, star3d1r) with CPU
+// serial references, plus the LoRaStencil-style separable decomposition of
+// the stencil weight matrix. A star stencil's weight matrix is (numerically)
+// rank-2: it splits into a vertical 3-tap pass and a horizontal 3-tap pass,
+//   out = A * X + X * B,
+// where A and B are tridiagonal band matrices. Tiled into 8x8 blocks, both
+// passes become chains of m8n8k4 MMAs whose banded operand blocks are
+// compile-time constants - the transformation that "enables memory-efficient
+// data gathering and reduces computation" (paper Section 3, Observation 1).
+
+#include "mma/constants.hpp"
+
+#include <vector>
+
+namespace cubie::stencil {
+
+struct Star2D {
+  double c = 0.5;   // center
+  double n = 0.125; // north (row - 1)
+  double s = 0.125; // south (row + 1)
+  double w = 0.125; // west (col - 1)
+  double e = 0.125; // east (col + 1)
+};
+
+struct Star3D {
+  double c = 0.4;
+  double n = 0.1, s = 0.1, w = 0.1, e = 0.1;
+  double d = 0.1, u = 0.1;  // z - 1 / z + 1
+};
+
+// Serial references (zero / Dirichlet boundary: out-of-range neighbours
+// contribute nothing). Grids are row-major: in[row * nx + col].
+void stencil2d_serial(const Star2D& st, const std::vector<double>& in,
+                      std::vector<double>& out, int ny, int nx);
+// 3D grid: in[(z * ny + y) * nx + x].
+void stencil3d_serial(const Star3D& st, const std::vector<double>& in,
+                      std::vector<double>& out, int nz, int ny, int nx);
+
+// FMA-ordered variants: same neighbour order but fused multiply-adds, the
+// arithmetic a tuned register-reuse GPU kernel (DRStencil baseline) emits.
+void stencil2d_serial_fma(const Star2D& st, const std::vector<double>& in,
+                          std::vector<double>& out, int ny, int nx);
+void stencil3d_serial_fma(const Star3D& st, const std::vector<double>& in,
+                          std::vector<double>& out, int nz, int ny, int nx);
+
+// --- LoRaStencil separable band blocks --------------------------------------
+// A (row pass) is tridiag(n, cv, s); B (column pass) is tridiag(w, ch, e),
+// with cv + ch = c (the center weight split across the passes).
+// Tiling A into 8x8 blocks yields three constant block types:
+//   diag block  D: tridiagonal inside the tile
+//   sub block   L: single entry at (0, 7) coupling to the previous tile
+//   super block U: single entry at (7, 0) coupling to the next tile
+mma::Mat8x8 band_diag_block(double lower, double center, double upper);
+mma::Mat8x8 band_sub_block(double lower);    // entry (0,7) = lower
+mma::Mat8x8 band_super_block(double upper);  // entry (7,0) = upper
+
+}  // namespace cubie::stencil

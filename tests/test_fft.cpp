@@ -1,0 +1,117 @@
+// FFT substrate: serial/Stockham FFTs against the naive DFT, inverse
+// round-trip, and the radix-4 butterfly matrix.
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cubie {
+namespace {
+
+using fft::cplx;
+
+std::vector<cplx> random_signal(std::size_t n, std::uint32_t seed) {
+  const auto re = common::random_vector(n, seed);
+  const auto im = common::random_vector(n, seed + 1);
+  std::vector<cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = {re[i], im[i]};
+  return x;
+}
+
+double max_err(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, SerialMatchesNaiveDft) {
+  const auto x = random_signal(GetParam(), 100);
+  EXPECT_LT(max_err(fft::fft_serial(x), fft::dft_naive(x)),
+            1e-10 * static_cast<double>(GetParam()));
+}
+
+TEST_P(FftSizes, StockhamMatchesNaiveDft) {
+  const auto x = random_signal(GetParam(), 101);
+  EXPECT_LT(max_err(fft::fft_stockham(x), fft::dft_naive(x)),
+            1e-10 * static_cast<double>(GetParam()));
+}
+
+TEST_P(FftSizes, InverseRoundTrip) {
+  const auto x = random_signal(GetParam(), 102);
+  const auto back = fft::ifft_serial(fft::fft_serial(x));
+  EXPECT_LT(max_err(back, x), 1e-12 * static_cast<double>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                           512));
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(fft::is_pow2(1));
+  EXPECT_TRUE(fft::is_pow2(64));
+  EXPECT_FALSE(fft::is_pow2(0));
+  EXPECT_FALSE(fft::is_pow2(48));
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<cplx> x(16, 0.0);
+  x[0] = 1.0;
+  for (const auto& v : fft::fft_serial(x)) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-14);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-14);
+  }
+}
+
+TEST(Fft, LinearityHolds) {
+  const auto a = random_signal(64, 103);
+  const auto b = random_signal(64, 105);
+  std::vector<cplx> sum(64);
+  for (int i = 0; i < 64; ++i) sum[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)];
+  const auto fa = fft::fft_serial(a), fb = fft::fft_serial(b),
+             fs = fft::fft_serial(sum);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(std::abs(fs[static_cast<std::size_t>(i)] - fa[static_cast<std::size_t>(i)] - fb[static_cast<std::size_t>(i)]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  const auto x = random_signal(128, 107);
+  const auto f = fft::fft_serial(x);
+  double ex = 0.0, ef = 0.0;
+  for (const auto& v : x) ex += std::norm(v);
+  for (const auto& v : f) ef += std::norm(v);
+  EXPECT_NEAR(ef, ex * 128.0, 1e-9 * ex * 128.0);
+}
+
+TEST(Radix4Butterfly, IsRealFormOfDft4) {
+  const auto m = fft::radix4_butterfly_real();
+  // Apply to a packed random 4-point complex vector and compare to dft.
+  const auto x = random_signal(4, 109);
+  double packed[8], out[8] = {};
+  for (int i = 0; i < 4; ++i) {
+    packed[2 * i] = x[static_cast<std::size_t>(i)].real();
+    packed[2 * i + 1] = x[static_cast<std::size_t>(i)].imag();
+  }
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) out[r] += m[static_cast<std::size_t>(r * 8 + c)] * packed[c];
+  const auto y = fft::dft_naive(x);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(out[2 * i], y[static_cast<std::size_t>(i)].real(), 1e-12);
+    EXPECT_NEAR(out[2 * i + 1], y[static_cast<std::size_t>(i)].imag(), 1e-12);
+  }
+}
+
+TEST(Radix4Butterfly, EntriesAreExactUnits) {
+  const auto m = fft::radix4_butterfly_real();
+  for (double v : m) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0 || v == -1.0) << v;
+  }
+}
+
+}  // namespace
+}  // namespace cubie

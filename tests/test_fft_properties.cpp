@@ -1,0 +1,120 @@
+// FFT property tests: the classical DFT identities, parameterized across
+// sizes, exercised on both the serial reference and the Stockham baseline.
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace cubie {
+namespace {
+
+using fft::cplx;
+
+std::vector<cplx> random_signal(std::size_t n, std::uint32_t seed) {
+  const auto re = common::random_vector(n, seed);
+  const auto im = common::random_vector(n, seed + 1);
+  std::vector<cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = {re[i], im[i]};
+  return x;
+}
+
+class FftProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftProperty, TimeShiftIsPhaseRamp) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 200);
+  std::vector<cplx> shifted(n);
+  for (std::size_t i = 0; i < n; ++i) shifted[i] = x[(i + 1) % n];
+  const auto fx = fft::fft_serial(x);
+  const auto fs = fft::fft_serial(shifted);
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    const cplx expect = fx[k] * cplx(std::cos(ang), std::sin(ang));
+    EXPECT_NEAR(std::abs(fs[k] - expect), 0.0, 1e-10);
+  }
+}
+
+TEST_P(FftProperty, RealInputHasConjugateSymmetry) {
+  const std::size_t n = GetParam();
+  const auto re = common::random_vector(n, 201);
+  std::vector<cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = re[i];
+  const auto f = fft::fft_serial(x);
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(std::abs(f[k] - std::conj(f[n - k])), 0.0, 1e-10);
+  }
+  EXPECT_NEAR(f[0].imag(), 0.0, 1e-10);
+}
+
+TEST_P(FftProperty, DcBinIsTheSum) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 202);
+  cplx sum = 0.0;
+  for (const auto& v : x) sum += v;
+  const auto f = fft::fft_serial(x);
+  EXPECT_NEAR(std::abs(f[0] - sum), 0.0, 1e-10);
+}
+
+TEST_P(FftProperty, PureToneHitsOneBin) {
+  const std::size_t n = GetParam();
+  if (n < 8) return;
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  const std::size_t tone = n / 4;
+  std::vector<cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = kTwoPi * static_cast<double>(tone * i) / static_cast<double>(n);
+    x[i] = {std::cos(ang), std::sin(ang)};
+  }
+  const auto f = fft::fft_serial(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expect = k == tone ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(f[k]), expect, 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftProperty, StockhamAgreesWithSerialToRounding) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 203);
+  const auto a = fft::fft_serial(x);
+  const auto b = fft::fft_stockham(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(a[k] - b[k]), 0.0,
+                1e-12 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftProperty, IfftOfFftIsIdentity) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 204);
+  const auto back = fft::ifft_serial(fft::fft_serial(x));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(back[i] - x[i]), 0.0, 1e-12 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftProperty,
+                         ::testing::Values(4, 8, 16, 64, 128, 512, 1024));
+
+TEST(FftConvolution, CircularConvolutionTheorem) {
+  const std::size_t n = 64;
+  const auto a = random_signal(n, 210);
+  const auto b = random_signal(n, 212);
+  // Direct circular convolution.
+  std::vector<cplx> conv(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) conv[(i + j) % n] += a[i] * b[j];
+  // Via FFT: ifft(fft(a) .* fft(b)).
+  auto fa = fft::fft_serial(a);
+  const auto fb = fft::fft_serial(b);
+  for (std::size_t k = 0; k < n; ++k) fa[k] *= fb[k];
+  const auto via_fft = fft::ifft_serial(fa);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(via_fft[i] - conv[i]), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cubie

@@ -1,0 +1,167 @@
+// Graph substrate: construction, BFS reference, bitmap slice-set fidelity,
+// generators' structural guarantees.
+
+#include "graph/bitmap.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cubie {
+namespace {
+
+graph::Graph path_graph(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return graph::graph_from_edges(n, edges, true);
+}
+
+TEST(Graph, FromEdgesDedupsAndSymmetrizes) {
+  const auto g = graph::graph_from_edges(
+      4, {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 3}}, true);
+  EXPECT_EQ(g.n, 4);
+  // Self-loop removed; {0,1} deduped; edges: 0-1, 1-3 in both directions.
+  EXPECT_EQ(g.edges(), 4u);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(BfsSerial, PathGraphLevels) {
+  const auto g = path_graph(10);
+  const auto lvl = graph::bfs_serial(g, 0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(lvl[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BfsSerial, UnreachableIsMinusOne) {
+  const auto g = graph::graph_from_edges(5, {{0, 1}, {2, 3}}, true);
+  const auto lvl = graph::bfs_serial(g, 0);
+  EXPECT_EQ(lvl[1], 1);
+  EXPECT_EQ(lvl[2], -1);
+  EXPECT_EQ(lvl[4], -1);
+}
+
+TEST(SliceSet, RepresentsEveryEdgeExactlyOnce) {
+  const auto g = graph::gen_rmat(8, 4, 0.57, 0.19, 0.19, 999);
+  const auto s = graph::slice_set_from_graph(g);
+  EXPECT_EQ(s.n, g.n);
+  // Collect bits back into an edge set.
+  std::set<std::pair<int, int>> from_bits;
+  for (int br = 0; br < s.block_rows; ++br) {
+    for (int p = s.row_ptr[static_cast<std::size_t>(br)]; p < s.row_ptr[static_cast<std::size_t>(br) + 1]; ++p) {
+      const auto& blk = s.blocks[static_cast<std::size_t>(p)];
+      for (int lr = 0; lr < graph::kSliceRows; ++lr) {
+        for (int w = 0; w < graph::kSliceWords; ++w) {
+          const std::uint32_t bits = blk.bits[static_cast<std::size_t>(lr * graph::kSliceWords + w)];
+          for (int b = 0; b < 32; ++b) {
+            if (bits & (1u << b)) {
+              const int dst = br * graph::kSliceRows + lr;
+              const int src = blk.block_col * graph::kSliceCols + w * 32 + b;
+              from_bits.emplace(src, dst);
+            }
+          }
+        }
+      }
+    }
+  }
+  std::set<std::pair<int, int>> from_graph;
+  for (int u = 0; u < g.n; ++u)
+    for (int p = g.offsets[static_cast<std::size_t>(u)]; p < g.offsets[static_cast<std::size_t>(u) + 1]; ++p)
+      from_graph.emplace(u, g.neighbors[static_cast<std::size_t>(p)]);
+  EXPECT_EQ(from_bits, from_graph);
+}
+
+TEST(SliceSet, BlocksSortedWithinRows) {
+  const auto g = graph::gen_web(2000, 50, 8.0, 7);
+  const auto s = graph::slice_set_from_graph(g);
+  for (int br = 0; br < s.block_rows; ++br) {
+    for (int p = s.row_ptr[static_cast<std::size_t>(br)] + 1; p < s.row_ptr[static_cast<std::size_t>(br) + 1]; ++p) {
+      EXPECT_LT(s.blocks[static_cast<std::size_t>(p) - 1].block_col,
+                s.blocks[static_cast<std::size_t>(p)].block_col);
+    }
+  }
+}
+
+TEST(BitVector, SetGetPopcount) {
+  graph::BitVector v(100);
+  EXPECT_EQ(v.popcount(), 0);
+  v.set(0);
+  v.set(31);
+  v.set(32);
+  v.set(99);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(50));
+  EXPECT_EQ(v.popcount(), 4);
+  v.clear();
+  EXPECT_EQ(v.popcount(), 0);
+}
+
+TEST(Mycielskian, SizesFollowRecurrence) {
+  // |V(M_k)| = 3 * 2^(k-2) - 1; M_2 = K_2 has 2 vertices and 1 edge.
+  const auto m2 = graph::gen_mycielskian(2);
+  EXPECT_EQ(m2.n, 2);
+  EXPECT_EQ(m2.edges(), 2u);  // directed count
+  const auto m3 = graph::gen_mycielskian(3);  // C_5
+  EXPECT_EQ(m3.n, 5);
+  EXPECT_EQ(m3.edges(), 10u);
+  const auto m4 = graph::gen_mycielskian(4);  // Groetzsch graph
+  EXPECT_EQ(m4.n, 11);
+  EXPECT_EQ(m4.edges(), 40u);
+}
+
+TEST(Mycielskian, IsTriangleFreeM4) {
+  // The Groetzsch graph is triangle-free.
+  const auto g = graph::gen_mycielskian(4);
+  for (int u = 0; u < g.n; ++u) {
+    for (int p = g.offsets[static_cast<std::size_t>(u)]; p < g.offsets[static_cast<std::size_t>(u) + 1]; ++p) {
+      const int v = g.neighbors[static_cast<std::size_t>(p)];
+      for (int q = g.offsets[static_cast<std::size_t>(v)]; q < g.offsets[static_cast<std::size_t>(v) + 1]; ++q) {
+        const int w = g.neighbors[static_cast<std::size_t>(q)];
+        if (w == u) continue;
+        // (u, w) must not be an edge.
+        bool uw = false;
+        for (int r = g.offsets[static_cast<std::size_t>(u)]; r < g.offsets[static_cast<std::size_t>(u) + 1]; ++r)
+          uw = uw || g.neighbors[static_cast<std::size_t>(r)] == w;
+        EXPECT_FALSE(uw) << "triangle " << u << "-" << v << "-" << w;
+      }
+    }
+  }
+}
+
+TEST(Rmat, ShapeAndSkew) {
+  const auto g = graph::gen_rmat(10, 8, 0.57, 0.19, 0.19, 42);
+  EXPECT_EQ(g.n, 1024);
+  EXPECT_GT(g.edges(), 1024u * 4);  // symmetrized, some dedup
+  // Degree skew: max degree well above average.
+  int max_deg = 0;
+  for (int v = 0; v < g.n; ++v) max_deg = std::max(max_deg, g.degree(v));
+  const double avg = static_cast<double>(g.edges()) / g.n;
+  EXPECT_GT(max_deg, 4 * avg);
+}
+
+TEST(Table3, AllFiveGraphsGenerate) {
+  for (const auto& name : graph::table3_names()) {
+    const auto ng = graph::make_table3_graph(name, 16);
+    EXPECT_EQ(ng.name, name);
+    EXPECT_GT(ng.graph.n, 100) << name;
+    EXPECT_GT(ng.graph.edges(), 200u) << name;
+    // Source vertex 0 should reach a nontrivial fraction of the graph.
+    const auto lvl = graph::bfs_serial(ng.graph, 0);
+    int reached = 0;
+    for (int l : lvl) reached += l >= 0;
+    EXPECT_GT(reached, ng.graph.n / 20) << name;
+  }
+}
+
+TEST(AdjacencyCsr, MatchesGraph) {
+  const auto g = path_graph(6);
+  const auto a = graph::adjacency_csr(g);
+  EXPECT_TRUE(a.structurally_valid());
+  EXPECT_EQ(a.rows, 6);
+  EXPECT_EQ(a.nnz(), g.edges());
+}
+
+}  // namespace
+}  // namespace cubie

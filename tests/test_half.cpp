@@ -1,0 +1,140 @@
+// FP16 (binary16) emulation: conversion semantics, rounding, HMMA.
+
+#include "common/rng.hpp"
+#include "mma/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cubie {
+namespace {
+
+using mma::Half;
+
+TEST(Half, ExactSmallIntegersRoundTrip) {
+  for (int i = -2048; i <= 2048; ++i) {  // all integers up to 2^11 are exact
+    EXPECT_EQ(mma::round_to_half(static_cast<double>(i)), static_cast<double>(i)) << i;
+  }
+}
+
+TEST(Half, PowersOfTwoRoundTrip) {
+  for (int e = -14; e <= 15; ++e) {
+    const double v = std::ldexp(1.0, e);
+    EXPECT_EQ(mma::round_to_half(v), v) << e;
+    EXPECT_EQ(mma::round_to_half(-v), -v) << e;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(mma::to_half(1.0).bits, 0x3C00u);
+  EXPECT_EQ(mma::to_half(-2.0).bits, 0xC000u);
+  EXPECT_EQ(mma::to_half(0.5).bits, 0x3800u);
+  EXPECT_EQ(mma::to_half(0.0).bits, 0x0000u);
+  EXPECT_EQ(mma::to_half(65504.0).bits, 0x7BFFu);  // max finite half
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_TRUE(mma::to_half(1e6).is_inf());
+  EXPECT_TRUE(mma::to_half(-1e6).is_inf());
+  EXPECT_EQ(mma::to_half(-1e6).bits, 0xFC00u);
+  // 65520 is the rounding boundary: rounds to inf.
+  EXPECT_TRUE(mma::to_half(65520.0).is_inf());
+  EXPECT_FALSE(mma::to_half(65519.0).is_inf());
+}
+
+TEST(Half, SubnormalsRepresented) {
+  const double min_subnormal = std::ldexp(1.0, -24);
+  EXPECT_EQ(mma::round_to_half(min_subnormal), min_subnormal);
+  EXPECT_EQ(mma::round_to_half(min_subnormal / 4.0), 0.0);  // underflow
+  const double min_normal = std::ldexp(1.0, -14);
+  EXPECT_EQ(mma::round_to_half(min_normal), min_normal);
+}
+
+TEST(Half, NanPropagates) {
+  EXPECT_TRUE(mma::to_half(std::nan("")).is_nan());
+  EXPECT_TRUE(std::isnan(mma::from_half(mma::to_half(std::nan("")))));
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 2049 is halfway between 2048 and 2050 (spacing 2 in [2048, 4096));
+  // RNE picks the even mantissa: 2048.
+  EXPECT_EQ(mma::round_to_half(2049.0), 2048.0);
+  EXPECT_EQ(mma::round_to_half(2051.0), 2052.0);  // halfway -> even (2052)
+  EXPECT_EQ(mma::round_to_half(2049.5), 2050.0);  // above halfway -> up
+}
+
+TEST(Half, RoundingIsMonotone) {
+  common::Lcg rng(17);
+  double prev_in = -3.0, prev_out = mma::round_to_half(prev_in);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = prev_in + rng.next_unit() * 1e-3;
+    const double r = mma::round_to_half(v);
+    EXPECT_GE(r, prev_out);
+    prev_in = v;
+    prev_out = r;
+  }
+}
+
+TEST(Half, RelativeErrorBounded) {
+  common::Lcg rng(19);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.next_linpack();
+    if (std::fabs(v) < 1e-3) continue;
+    const double r = mma::round_to_half(v);
+    // binary16 has 11 significand bits: rel error <= 2^-11.
+    EXPECT_LE(std::fabs(r - v) / std::fabs(v), std::ldexp(1.0, -11));
+  }
+}
+
+TEST(Hmma, IdentityTimesMatrix) {
+  double a[256] = {}, b[256], c[256] = {}, d[256];
+  for (int i = 0; i < 16; ++i) a[i * 16 + i] = 1.0;
+  common::Lcg rng(23);
+  for (auto& v : b) v = mma::round_to_half(rng.next_linpack());
+  mma::hmma_m16n16k16_f32acc(a, b, c, d, nullptr);
+  for (int i = 0; i < 256; ++i) {
+    // Identity times exactly-representable B: result equals B rounded
+    // through FP32 (exact here since B is FP16-exact).
+    EXPECT_DOUBLE_EQ(d[i], static_cast<double>(static_cast<float>(b[i])));
+  }
+}
+
+TEST(Hmma, AccumulatorSeedsOutput) {
+  double a[256] = {}, b[256] = {}, c[256], d[256];
+  for (int i = 0; i < 256; ++i) c[i] = static_cast<double>(i);
+  mma::hmma_m16n16k16_f32acc(a, b, c, d, nullptr);
+  for (int i = 0; i < 256; ++i) EXPECT_DOUBLE_EQ(d[i], static_cast<double>(i));
+}
+
+TEST(Hmma, CountsTensorWork) {
+  double a[256] = {}, b[256] = {}, c[256] = {};
+  sim::KernelProfile prof;
+  mma::hmma_m16n16k16_f32acc(a, b, c, c, &prof);
+  EXPECT_DOUBLE_EQ(prof.tc_flops, 2.0 * 16 * 16 * 16);
+}
+
+TEST(GemmFp16, ErrorScalesWithFp16Epsilon) {
+  const int n = 32;
+  const auto a = common::random_vector(static_cast<std::size_t>(n) * n, 29);
+  const auto b = common::random_vector(static_cast<std::size_t>(n) * n, 31);
+  std::vector<double> c16(static_cast<std::size_t>(n) * n, 0.0);
+  mma::gemm_fp16_tc(n, n, n, a.data(), b.data(), c16.data());
+  // Against a double reference.
+  double max_err = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (int k = 0; k < n; ++k)
+        ref += a[static_cast<std::size_t>(i) * n + k] * b[static_cast<std::size_t>(k) * n + j];
+      max_err = std::max(max_err, std::fabs(c16[static_cast<std::size_t>(i) * n + j] - ref));
+    }
+  }
+  // FP16 storage error ~ n * |a||b| * 2^-11: bounded well above FP64 but
+  // far below garbage.
+  EXPECT_GT(max_err, 1e-6);
+  EXPECT_LT(max_err, 1.0);
+}
+
+}  // namespace
+}  // namespace cubie

@@ -1,0 +1,195 @@
+// Cross-module integration tests: the figure pipelines end-to-end on
+// reduced inputs - workload sweeps priced on device models, EDP orderings,
+// roofline consistency, error-table invariants, and suite-PCA structure.
+
+#include "analysis/features.hpp"
+#include "analysis/pca.hpp"
+#include "common/metrics.hpp"
+#include "core/kernels.hpp"
+#include "core/suite_proxies.hpp"
+#include "sim/model.hpp"
+#include "sim/power.hpp"
+#include "sim/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace cubie {
+namespace {
+
+using core::Variant;
+constexpr int kScale = 16;
+
+TEST(Integration, Figure4ShapesAtTestScale) {
+  // The headline orderings must hold even at heavy reduction: SpGEMM TC
+  // beats its baseline; FFT TC loses to cuFFT; on H200 TC GEMM wins.
+  const sim::DeviceModel h200(sim::h200());
+  auto speedup = [&](const char* name) {
+    const auto w = core::make_workload(name);
+    const auto tc = w->cases(kScale)[w->representative_case()];
+    const double t_tc = h200.predict(w->run(Variant::TC, tc).profile).time_s;
+    const double t_base =
+        h200.predict(w->run(Variant::Baseline, tc).profile).time_s;
+    return t_base / t_tc;
+  };
+  EXPECT_GT(speedup("SpGEMM"), 1.5);
+  EXPECT_GT(speedup("GEMM"), 1.2);
+  EXPECT_LT(speedup("FFT"), 1.0);  // the paper's exception
+  EXPECT_GT(speedup("Scan"), 1.0);
+  EXPECT_GT(speedup("Reduction"), 1.0);
+}
+
+TEST(Integration, Figure5CcNeverFasterThanTc) {
+  for (const auto& w : core::make_suite()) {
+    const auto tc_case = w->cases(kScale)[w->representative_case()];
+    const auto tc = w->run(Variant::TC, tc_case);
+    const auto cc = w->run(Variant::CC, tc_case);
+    for (auto gpu : sim::all_gpus()) {
+      const sim::DeviceModel model(sim::spec_for(gpu));
+      EXPECT_LE(model.predict(tc.profile).time_s,
+                model.predict(cc.profile).time_s * 1.001)
+          << w->name() << " on " << sim::gpu_name(gpu);
+    }
+  }
+}
+
+TEST(Integration, Figure6OnlySpmvBenefitsFromEssential) {
+  const sim::DeviceModel h200(sim::h200());
+  std::map<std::string, double> ratio;
+  for (const auto& w : core::make_suite()) {
+    if (!w->cce_distinct()) continue;
+    // SpMV: use spmsrts (irregular rows) - the padding CC-E removes is
+    // negligible on the block-regular representative matrix.
+    const std::size_t ci = w->name() == "SpMV" ? 0 : w->representative_case();
+    const auto tc_case = w->cases(kScale)[ci];
+    const double t_tc = h200.predict(w->run(Variant::TC, tc_case).profile).time_s;
+    const double t_cce =
+        h200.predict(w->run(Variant::CCE, tc_case).profile).time_s;
+    ratio[w->name()] = t_tc / t_cce;  // CC-E speedup over TC
+  }
+  EXPECT_GT(ratio["SpMV"], 1.0);       // redundancy removal helps
+  EXPECT_LE(ratio["Scan"], 0.7);       // essential scalar path far slower
+  EXPECT_LE(ratio["Reduction"], 1.0);
+  EXPECT_LE(ratio["GEMV"], 1.0);
+  EXPECT_NEAR(ratio["SpGEMM"], 1.0, 0.05);
+  EXPECT_NEAR(ratio["BFS"], 1.0, 0.05);
+}
+
+TEST(Integration, Figure7TcReducesEdpWhereItWins) {
+  const sim::DeviceModel h200(sim::h200());
+  for (const char* name : {"GEMM", "Scan", "Reduction", "SpMV", "SpGEMM"}) {
+    const auto w = core::make_workload(name);
+    const auto tc_case = w->cases(kScale)[w->representative_case()];
+    const double edp_tc = h200.predict(w->run(Variant::TC, tc_case).profile).edp;
+    const double edp_base =
+        h200.predict(w->run(Variant::Baseline, tc_case).profile).edp;
+    EXPECT_LT(edp_tc, edp_base) << name;
+  }
+}
+
+TEST(Integration, Figure8TraceEnergyConsistentWithModel) {
+  const sim::DeviceModel h200(sim::h200());
+  const auto w = core::make_workload("Stencil");
+  const auto tc_case = w->cases(kScale)[w->representative_case()];
+  const auto pred = h200.predict(w->run(Variant::TC, tc_case).profile);
+  sim::PowerTraceOptions opts;
+  const auto trace = sim::synthesize_power_trace(sim::h200(), pred, opts);
+  const double e = sim::trace_energy_j(trace);
+  EXPECT_GT(e, 0.0);
+  EXPECT_LT(e, sim::h200().tdp_w * opts.duration_s);
+}
+
+TEST(Integration, Figure9PointsRespectRoofline) {
+  const sim::DeviceModel h200(sim::h200());
+  const sim::Roofline roof(sim::h200());
+  for (const auto& w : core::make_suite()) {
+    if (!w->is_floating_point()) continue;
+    const auto tc_case = w->cases(kScale)[w->representative_case()];
+    for (auto v : {Variant::TC, Variant::CC}) {
+      const auto out = w->run(v, tc_case);
+      const auto pred = h200.predict(out.profile);
+      const auto pt = roof.point("x", out.profile, pred);
+      EXPECT_LE(pt.achieved_flops, pt.attainable_flops * 1.001)
+          << w->name() << "/" << core::variant_name(v);
+      EXPECT_GT(pt.arithmetic_intensity, 0.0) << w->name();
+    }
+  }
+}
+
+TEST(Integration, Table6InvariantsAcrossSuite) {
+  for (const auto& w : core::make_suite()) {
+    if (!w->is_floating_point()) continue;
+    const auto tc_case = w->cases(kScale)[0];
+    const auto ref = w->reference(tc_case);
+    const auto tc = w->run(Variant::TC, tc_case);
+    const auto cc = w->run(Variant::CC, tc_case);
+    const auto e_tc = common::error_stats(tc.values, ref);
+    const auto e_cc = common::error_stats(cc.values, ref);
+    EXPECT_EQ(e_tc.avg, e_cc.avg) << w->name();
+    EXPECT_EQ(e_tc.max, e_cc.max) << w->name();
+  }
+}
+
+TEST(Integration, Figure11CubieSpansTensorAxis) {
+  const sim::DeviceModel h200(sim::h200());
+  std::vector<analysis::KernelMetrics> ms;
+  for (const auto& w : core::make_suite()) {
+    const auto tc_case = w->cases(kScale)[w->representative_case()];
+    const auto out = w->run(Variant::TC, tc_case);
+    ms.push_back(analysis::extract_metrics("Cubie/" + w->name(), "Cubie",
+                                           out.profile, h200.predict(out.profile)));
+  }
+  for (const auto& r : core::run_suite_proxies()) {
+    ms.push_back(analysis::extract_metrics(r.name, r.suite, r.profile,
+                                           h200.predict(r.profile)));
+  }
+  auto d = analysis::metrics_dataset(ms);
+  analysis::standardize(d);
+  const auto res = analysis::pca(d, 2);
+  EXPECT_GT(res.explained_ratio[0] + res.explained_ratio[1], 0.5);
+  // Cubie kernels are the only ones with tensor-pipe usage, so the Cubie
+  // point cloud must have strictly larger dispersion than the vector suites.
+  auto dispersion = [&](const std::string& suite) {
+    double cx = 0, cy = 0;
+    int n = 0;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      if (ms[i].suite != suite) continue;
+      cx += res.coord(i, 0);
+      cy += res.coord(i, 1);
+      ++n;
+    }
+    cx /= n;
+    cy /= n;
+    double dist = 0;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      if (ms[i].suite != suite) continue;
+      dist += std::hypot(res.coord(i, 0) - cx, res.coord(i, 1) - cy);
+    }
+    return dist / n;
+  };
+  EXPECT_GT(dispersion("Cubie"), dispersion("Rodinia"));
+  EXPECT_GT(dispersion("Cubie"), dispersion("SHOC"));
+}
+
+TEST(Integration, CrossGpuPortability) {
+  // Observation 3: where TC wins on one generation, it wins on all three
+  // (check kernels the paper reports as consistently accelerated).
+  for (const char* name : {"GEMM", "Scan", "SpMV", "SpGEMM", "BFS"}) {
+    const auto w = core::make_workload(name);
+    const auto tc_case = w->cases(kScale)[w->representative_case()];
+    const auto tc = w->run(Variant::TC, tc_case);
+    const auto base = w->run(Variant::Baseline, tc_case);
+    for (auto gpu : sim::all_gpus()) {
+      const sim::DeviceModel model(sim::spec_for(gpu));
+      EXPECT_GT(model.predict(base.profile).time_s /
+                    model.predict(tc.profile).time_s,
+                0.95)
+          << name << " on " << sim::gpu_name(gpu);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cubie

@@ -1,0 +1,61 @@
+// Error metrics and summary statistics (paper Section 8 definitions).
+
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cubie {
+namespace {
+
+TEST(ErrorStats, MatchesPaperDefinitions) {
+  const std::vector<double> gpu = {1.0, 2.5, 3.0};
+  const std::vector<double> cpu = {1.0, 2.0, 4.0};
+  const auto s = common::error_stats(gpu, cpu);
+  EXPECT_DOUBLE_EQ(s.avg, (0.0 + 0.5 + 1.0) / 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+  EXPECT_EQ(s.n, 3u);
+}
+
+TEST(ErrorStats, IdenticalInputsGiveZero) {
+  const std::vector<double> v = {1.0, -2.0, 3.5};
+  const auto s = common::error_stats(v, v);
+  EXPECT_EQ(s.avg, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(ErrorStats, EmptyIsZero) {
+  const std::vector<double> v;
+  const auto s = common::error_stats(v, v);
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.avg, 0.0);
+}
+
+TEST(Geomean, KnownValues) {
+  const std::vector<double> v = {1.0, 100.0};
+  EXPECT_NEAR(common::geomean(v), 10.0, 1e-12);
+  const std::vector<double> one = {7.0};
+  EXPECT_NEAR(common::geomean(one), 7.0, 1e-12);
+  EXPECT_EQ(common::geomean(std::vector<double>{}), 0.0);
+}
+
+TEST(Mean, KnownValues) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(common::mean(v), 2.0);
+}
+
+TEST(RelL2Error, ZeroForIdentical) {
+  const std::vector<double> v = {3.0, 4.0};
+  EXPECT_EQ(common::rel_l2_error(v, v), 0.0);
+}
+
+TEST(RelL2Error, KnownValue) {
+  const std::vector<double> a = {3.0, 0.0};
+  const std::vector<double> b = {0.0, 4.0};
+  // ||a-b|| = 5, ||b|| = 4.
+  EXPECT_DOUBLE_EQ(common::rel_l2_error(a, b), 5.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace cubie

@@ -1,0 +1,168 @@
+// Matrix Market I/O, tables, PiC substrate, suite proxies, feature
+// extraction.
+
+#include "analysis/features.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/suite_proxies.hpp"
+#include "pic/pic.hpp"
+#include "sim/model.hpp"
+#include "sparse/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace cubie {
+namespace {
+
+TEST(MatrixMarket, RoundTrip) {
+  sparse::Coo c;
+  c.rows = 3;
+  c.cols = 4;
+  c.row = {0, 1, 2};
+  c.col = {1, 3, 0};
+  c.val = {1.5, -2.25, 3.0};
+  std::stringstream ss;
+  sparse::write_matrix_market(ss, c);
+  const auto back = sparse::read_matrix_market(ss);
+  EXPECT_EQ(back.rows, 3);
+  EXPECT_EQ(back.cols, 4);
+  EXPECT_EQ(back.row, c.row);
+  EXPECT_EQ(back.col, c.col);
+  EXPECT_EQ(back.val, c.val);
+}
+
+TEST(MatrixMarket, SymmetricMirrorsEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 7.0\n");
+  const auto c = sparse::read_matrix_market(ss);
+  EXPECT_EQ(c.nnz(), 3u);  // off-diagonal mirrored, diagonal not
+}
+
+TEST(MatrixMarket, PatternGetsUnitValues) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 1\n");
+  const auto c = sparse::read_matrix_market(ss);
+  EXPECT_EQ(c.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(c.val[0], 1.0);
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  std::stringstream ss("not a matrix\n");
+  EXPECT_THROW(sparse::read_matrix_market(ss), std::runtime_error);
+  std::stringstream oob(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n");
+  EXPECT_THROW(sparse::read_matrix_market(oob), std::runtime_error);
+}
+
+TEST(Table, AlignsAndCounts) {
+  common::Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333"});  // padded
+  EXPECT_EQ(t.rows(), 2u);
+  std::stringstream ss;
+  t.print(ss);
+  EXPECT_NE(ss.str().find("333"), std::string::npos);
+  std::stringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "a,bb\n1,2\n333,\n");
+}
+
+TEST(Formatting, SiSuffixes) {
+  EXPECT_EQ(common::fmt_si(1.5e12, 2), "1.5 T");
+  EXPECT_EQ(common::fmt_si(2.0e9, 2), "2 G");
+  EXPECT_EQ(common::fmt_si(3.0e6, 2), "3 M");
+  EXPECT_EQ(common::fmt_si(500.0, 3), "500");
+}
+
+TEST(Pic, PureMagneticRotationConservesEnergy) {
+  pic::FieldConfig f;
+  f.e0 = {0, 0, 0};
+  f.e1 = {0, 0, 0};
+  f.b = {0.3, -0.2, 0.9};
+  auto p = pic::make_particles(512, 10.0, 3);
+  const double e0 = pic::kinetic_energy(p);
+  for (int s = 0; s < 50; ++s) pic::boris_push_serial(p, f);
+  const double e1 = pic::kinetic_energy(p);
+  EXPECT_NEAR(e1, e0, 1e-9 * e0);  // Boris rotation is norm-preserving
+}
+
+TEST(Pic, RotationMatrixIsOrthogonalish) {
+  pic::FieldConfig f;
+  const auto r = pic::boris_rotation_matrix(f);
+  // R R^T ~ I for the Boris rotation (exact up to rounding).
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double dot = 0.0;
+      for (int k = 0; k < 3; ++k)
+        dot += r[static_cast<std::size_t>(i * 3 + k)] * r[static_cast<std::size_t>(j * 3 + k)];
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Pic, RotationMatrixMatchesSerialPush) {
+  pic::FieldConfig f;
+  f.e0 = {0, 0, 0};
+  f.e1 = {0, 0, 0};
+  f.b = {0.1, 0.2, 0.8};
+  const auto r = pic::boris_rotation_matrix(f);
+  auto p = pic::make_particles(16, 5.0, 7);
+  auto q = p;
+  pic::boris_push_serial(q, f);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double vx = r[0] * p.vx[i] + r[1] * p.vy[i] + r[2] * p.vz[i];
+    const double vy = r[3] * p.vx[i] + r[4] * p.vy[i] + r[5] * p.vz[i];
+    const double vz = r[6] * p.vx[i] + r[7] * p.vy[i] + r[8] * p.vz[i];
+    EXPECT_NEAR(vx, q.vx[i], 1e-13);
+    EXPECT_NEAR(vy, q.vy[i], 1e-13);
+    EXPECT_NEAR(vz, q.vz[i], 1e-13);
+  }
+}
+
+TEST(SuiteProxies, AllRunAndProduceMetrics) {
+  const auto results = core::run_suite_proxies();
+  ASSERT_GE(results.size(), 12u);
+  int rodinia = 0, shoc = 0;
+  const sim::DeviceModel model(sim::h200());
+  for (const auto& r : results) {
+    rodinia += r.suite == "Rodinia";
+    shoc += r.suite == "SHOC";
+    EXPECT_GT(r.profile.dram_bytes, 0.0) << r.name;
+    EXPECT_GT(r.profile.useful_flops, 0.0) << r.name;
+    // Vector suites never touch the tensor pipe.
+    EXPECT_EQ(r.profile.tc_flops, 0.0) << r.name;
+    EXPECT_EQ(r.profile.tc_bitops, 0.0) << r.name;
+    const auto pred = model.predict(r.profile);
+    EXPECT_GT(pred.time_s, 0.0);
+    const auto m = analysis::extract_metrics(r.name, r.suite, r.profile, pred);
+    EXPECT_EQ(m.tensor_pipe_usage, 0.0);
+    EXPECT_GE(m.fma_pipe_usage, 0.0);
+  }
+  EXPECT_GE(rodinia, 5);
+  EXPECT_GE(shoc, 6);
+}
+
+TEST(Metrics, DatasetShape) {
+  const auto results = core::run_suite_proxies();
+  std::vector<analysis::KernelMetrics> ms;
+  const sim::DeviceModel model(sim::h200());
+  for (const auto& r : results)
+    ms.push_back(analysis::extract_metrics(r.name, r.suite, r.profile,
+                                           model.predict(r.profile)));
+  const auto d = analysis::metrics_dataset(ms);
+  EXPECT_EQ(d.samples, results.size());
+  EXPECT_EQ(d.features, analysis::KernelMetrics::kCount);
+}
+
+}  // namespace
+}  // namespace cubie

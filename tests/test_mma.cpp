@@ -1,0 +1,186 @@
+// MMA emulation semantics: shape, accumulation order, fragment layout,
+// event counting, and the TC == CC numerical-identity invariant.
+
+#include "mma/constants.hpp"
+#include "mma/fragment.hpp"
+#include "mma/mma.hpp"
+#include "common/rng.hpp"
+#include "sim/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cubie {
+namespace {
+
+using mma::Context;
+using mma::Pipe;
+
+TEST(Dmma, MatchesDirectProduct) {
+  common::Lcg rng(7);
+  double a[32], b[32], c[64], d[64];
+  for (auto& v : a) v = rng.next_linpack();
+  for (auto& v : b) v = rng.next_linpack();
+  for (auto& v : c) v = rng.next_linpack();
+
+  sim::KernelProfile prof;
+  Context ctx(Pipe::TensorCore, prof);
+  ctx.dmma_m8n8k4(a, b, c, d);
+
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      double expect = c[i * 8 + j];
+      for (int k = 0; k < 4; ++k) expect = std::fma(a[i * 4 + k], b[k * 8 + j], expect);
+      EXPECT_DOUBLE_EQ(d[i * 8 + j], expect) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Dmma, AccumulationIsKMajorFmaChain) {
+  // The chain ((c + a0b0) + a1b1)... differs from a pairwise tree in
+  // general; verify we implement exactly the chain.
+  double a[32] = {}, b[32] = {}, c[64] = {}, d[64];
+  a[0] = 1e16;
+  a[1] = 1.0;
+  a[2] = -1e16;
+  a[3] = 1.0;
+  for (int k = 0; k < 4; ++k) b[k * 8] = 1.0;  // column 0 of B all ones
+
+  sim::KernelProfile prof;
+  Context ctx(Pipe::TensorCore, prof);
+  ctx.dmma_m8n8k4(a, b, c, d);
+  // Chain: ((0 + 1e16) + 1) + (-1e16) + 1 = 1 exactly? (1e16 + 1 rounds to
+  // 1e16 in FP64? No: 1e16 + 1 = 1e16 exactly at that magnitude spacing 2.)
+  const double expect = std::fma(a[3], 1.0, std::fma(a[2], 1.0, std::fma(a[1], 1.0, std::fma(a[0], 1.0, 0.0))));
+  EXPECT_EQ(d[0], expect);
+}
+
+TEST(Dmma, TcAndCcBitwiseIdentical) {
+  common::Lcg rng(11);
+  double a[32], b[32], c[64], d_tc[64], d_cc[64];
+  for (auto& v : a) v = rng.next_linpack();
+  for (auto& v : b) v = rng.next_linpack();
+  for (auto& v : c) v = rng.next_linpack();
+
+  sim::KernelProfile p1, p2;
+  Context tc(Pipe::TensorCore, p1), cc(Pipe::CudaCore, p2);
+  tc.dmma_m8n8k4(a, b, c, d_tc);
+  cc.dmma_m8n8k4(a, b, c, d_cc);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(d_tc[i], d_cc[i]);
+  // ...but the counted events differ: pipe and instruction cost.
+  EXPECT_GT(p1.tc_flops, 0.0);
+  EXPECT_EQ(p1.cc_flops, 0.0);
+  EXPECT_EQ(p2.tc_flops, 0.0);
+  EXPECT_GT(p2.cc_flops, 0.0);
+  EXPECT_GT(p2.warp_instructions, p1.warp_instructions);
+}
+
+TEST(Dmma, EventCounts) {
+  double a[32] = {}, b[32] = {}, c[64] = {};
+  sim::KernelProfile prof;
+  Context ctx(Pipe::TensorCore, prof);
+  ctx.dmma_m8n8k4_acc(a, b, c);
+  EXPECT_DOUBLE_EQ(prof.tc_flops, 512.0);  // 8*8*4 FMAs * 2
+  EXPECT_DOUBLE_EQ(prof.warp_instructions, sim::cal::kTcMmaInstructions);
+}
+
+TEST(Dmma, M8n8k8CompositionMatchesFullProduct) {
+  common::Lcg rng(13);
+  double a[64], b[64], c[64] = {};
+  for (auto& v : a) v = rng.next_linpack();
+  for (auto& v : b) v = rng.next_linpack();
+
+  sim::KernelProfile prof;
+  Context ctx(Pipe::TensorCore, prof);
+  ctx.dmma_m8n8k8_acc(a, b, c);
+
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      double expect = 0.0;
+      for (int k = 0; k < 8; ++k) expect = std::fma(a[i * 8 + k], b[k * 8 + j], expect);
+      EXPECT_DOUBLE_EQ(c[i * 8 + j], expect);
+    }
+  }
+  EXPECT_DOUBLE_EQ(prof.tc_flops, 1024.0);  // two m8n8k4 MMAs
+}
+
+TEST(Bmma, AndPopcountSemantics) {
+  std::uint32_t a[32] = {}, b[32] = {}, d[64] = {};
+  a[0] = 0xFFFFFFFFu;   // row 0, word 0: 32 bits
+  a[1] = 0x1u;          // row 0, word 1: 1 bit
+  b[0] = 0x0F0F0F0Fu;   // col 0, word 0: 16 bits overlap
+  b[1] = 0x1u;          // col 0, word 1: 1 bit overlap
+  sim::KernelProfile prof;
+  Context ctx(Pipe::TensorCore, prof);
+  ctx.bmma_m8n8k128_and_popc_acc(a, b, d);
+  EXPECT_EQ(d[0], 17u);  // 16 + 1
+  EXPECT_EQ(d[1], 0u);
+  EXPECT_GT(prof.tc_bitops, 0.0);
+}
+
+TEST(Fragment, LaneMappingsAreBijective) {
+  bool seen_a[32] = {}, seen_b[32] = {};
+  for (int i = 0; i < 8; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      const int lane = mma::lane_of_a(i, k);
+      ASSERT_GE(lane, 0);
+      ASSERT_LT(lane, 32);
+      EXPECT_FALSE(seen_a[lane]);
+      seen_a[lane] = true;
+      EXPECT_EQ(mma::a_row_of_lane(lane), i);
+      EXPECT_EQ(mma::a_k_of_lane(lane), k);
+    }
+  }
+  for (int k = 0; k < 4; ++k) {
+    for (int j = 0; j < 8; ++j) {
+      const int lane = mma::lane_of_b(k, j);
+      EXPECT_FALSE(seen_b[lane]);
+      seen_b[lane] = true;
+      EXPECT_EQ(mma::b_k_of_lane(lane), k);
+      EXPECT_EQ(mma::b_col_of_lane(lane), j);
+    }
+  }
+  // C: each lane holds exactly two elements.
+  int held[32] = {};
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) held[mma::lane_of_c(i, j)] += 1;
+  for (int lane = 0; lane < 32; ++lane) EXPECT_EQ(held[lane], 2);
+}
+
+TEST(Constants, ScanMatricesHaveDocumentedShape) {
+  const auto u = mma::kUpperOnes;
+  const auto sl = mma::kStrictLowerOnes;
+  const auto j = mma::kAllOnes;
+  int u_ones = 0, sl_ones = 0;
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      u_ones += u[static_cast<std::size_t>(r * 8 + c)] == 1.0;
+      sl_ones += sl[static_cast<std::size_t>(r * 8 + c)] == 1.0;
+      EXPECT_EQ(j[static_cast<std::size_t>(r * 8 + c)], 1.0);
+      // U + SL^T partitions: U has c >= r, SL has c < r.
+      EXPECT_EQ(u[static_cast<std::size_t>(r * 8 + c)], c >= r ? 1.0 : 0.0);
+      EXPECT_EQ(sl[static_cast<std::size_t>(r * 8 + c)], c < r ? 1.0 : 0.0);
+    }
+  }
+  EXPECT_EQ(u_ones, 36);
+  EXPECT_EQ(sl_ones, 28);
+}
+
+TEST(Profile, MemoryAccountingAccumulates) {
+  sim::KernelProfile prof;
+  Context ctx(Pipe::CudaCore, prof);
+  ctx.load_global(1024.0);
+  ctx.store_global(512.0);
+  ctx.load_shared(256.0);
+  ctx.cc_fma(64.0);
+  ctx.launch(1000.0);
+  EXPECT_DOUBLE_EQ(prof.dram_bytes, 1536.0);
+  EXPECT_DOUBLE_EQ(prof.smem_bytes, 256.0);
+  EXPECT_DOUBLE_EQ(prof.cc_flops, 128.0);
+  EXPECT_EQ(prof.launches, 1);
+  EXPECT_DOUBLE_EQ(prof.threads, 1000.0);
+}
+
+}  // namespace
+}  // namespace cubie

@@ -1,0 +1,155 @@
+// PCA and the Jacobi eigensolver.
+
+#include "analysis/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cubie {
+namespace {
+
+using analysis::Dataset;
+
+TEST(Jacobi, DiagonalMatrixEigen) {
+  std::vector<double> a = {3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0};
+  std::vector<double> evals, evecs;
+  analysis::jacobi_eigen(a, 3, evals, evecs);
+  EXPECT_NEAR(evals[0], 3.0, 1e-12);
+  EXPECT_NEAR(evals[1], 2.0, 1e-12);
+  EXPECT_NEAR(evals[2], 1.0, 1e-12);
+}
+
+TEST(Jacobi, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  std::vector<double> a = {2.0, 1.0, 1.0, 2.0};
+  std::vector<double> evals, evecs;
+  analysis::jacobi_eigen(a, 2, evals, evecs);
+  EXPECT_NEAR(evals[0], 3.0, 1e-12);
+  EXPECT_NEAR(evals[1], 1.0, 1e-12);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign (fixed positive).
+  EXPECT_NEAR(evecs[0], 1.0 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(evecs[1], 1.0 / std::sqrt(2.0), 1e-10);
+}
+
+TEST(Jacobi, EigenEquationHolds) {
+  // Random symmetric 5x5; verify A v = lambda v using the original matrix.
+  const std::size_t n = 5;
+  std::vector<double> orig(n * n);
+  unsigned s = 12345;
+  auto rnd = [&]() {
+    s = s * 1103515245u + 12345u;
+    return static_cast<double>((s >> 16) & 0x7fff) / 32768.0 - 0.5;
+  };
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) orig[i * n + j] = orig[j * n + i] = rnd();
+  std::vector<double> work = orig, evals, evecs;
+  analysis::jacobi_eigen(work, n, evals, evecs);
+  for (std::size_t e = 0; e < n; ++e) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (std::size_t j = 0; j < n; ++j) av += orig[i * n + j] * evecs[e * n + j];
+      EXPECT_NEAR(av, evals[e] * evecs[e * n + i], 1e-9);
+    }
+  }
+}
+
+TEST(Standardize, ZeroMeanUnitVariance) {
+  Dataset d;
+  d.samples = 4;
+  d.features = 2;
+  d.data = {1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0};
+  analysis::standardize(d);
+  for (std::size_t f = 0; f < 2; ++f) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t s = 0; s < 4; ++s) mean += d.at(s, f);
+    mean /= 4.0;
+    for (std::size_t s = 0; s < 4; ++s) var += d.at(s, f) * d.at(s, f);
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+}
+
+TEST(Standardize, ConstantFeatureBecomesZero) {
+  Dataset d;
+  d.samples = 3;
+  d.features = 1;
+  d.data = {5.0, 5.0, 5.0};
+  analysis::standardize(d);
+  for (double v : d.data) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Points along the (1, 1) direction with small noise: PC1 must align.
+  Dataset d;
+  d.samples = 50;
+  d.features = 2;
+  d.data.resize(100);
+  unsigned s = 777;
+  auto rnd = [&]() {
+    s = s * 1103515245u + 12345u;
+    return static_cast<double>((s >> 16) & 0x7fff) / 32768.0 - 0.5;
+  };
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double t = static_cast<double>(i) - 25.0;
+    d.at(i, 0) = t + 0.01 * rnd();
+    d.at(i, 1) = t + 0.01 * rnd();
+  }
+  analysis::standardize(d);
+  const auto res = analysis::pca(d, 2);
+  EXPECT_GT(res.explained_ratio[0], 0.99);
+  // PC1 direction ~ (1,1)/sqrt(2).
+  EXPECT_NEAR(std::fabs(res.eigenvectors[0]), std::fabs(res.eigenvectors[1]),
+              1e-3);
+}
+
+TEST(Pca, ExplainedRatiosSumToAtMostOne) {
+  Dataset d;
+  d.samples = 30;
+  d.features = 4;
+  d.data.resize(120);
+  unsigned s = 31;
+  for (auto& v : d.data) {
+    s = s * 1103515245u + 12345u;
+    v = static_cast<double>((s >> 16) & 0x7fff) / 32768.0;
+  }
+  analysis::standardize(d);
+  const auto res = analysis::pca(d, 4);
+  double total = 0.0;
+  for (double r : res.explained_ratio) total += r;
+  EXPECT_LE(total, 1.0 + 1e-9);
+  EXPECT_GT(total, 0.99);  // all components requested
+  // Eigenvalues are sorted descending.
+  for (std::size_t i = 1; i < res.eigenvalues.size(); ++i)
+    EXPECT_LE(res.eigenvalues[i], res.eigenvalues[i - 1] + 1e-12);
+}
+
+TEST(Pca, ProjectionDimensions) {
+  Dataset d;
+  d.samples = 10;
+  d.features = 6;
+  d.data.assign(60, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) d.at(i, 0) = static_cast<double>(i);
+  analysis::standardize(d);
+  const auto res = analysis::pca(d, 2);
+  EXPECT_EQ(res.projected.samples, 10u);
+  EXPECT_EQ(res.projected.features, 2u);
+}
+
+TEST(Dispersion, PairwiseAndCoverage) {
+  Dataset proj;
+  proj.samples = 4;
+  proj.features = 2;
+  // Unit square corners.
+  proj.data = {0, 0, 1, 0, 0, 1, 1, 1};
+  const std::vector<std::size_t> all = {0, 1, 2, 3};
+  const double mean_d = analysis::mean_pairwise_distance(proj, all);
+  // 4 sides (1) + 2 diagonals (sqrt 2) over 6 pairs.
+  EXPECT_NEAR(mean_d, (4.0 + 2.0 * std::sqrt(2.0)) / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(analysis::coverage_fraction(proj, {0}, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(analysis::coverage_fraction(proj, {0}, 0.5), 0.25);
+}
+
+}  // namespace
+}  // namespace cubie

@@ -1,0 +1,121 @@
+// Physics property tests for the Boris pusher: cyclotron rotation, E x B
+// drift, time-reversal, and agreement of the MMA-batched workload with the
+// serial integrator over long runs.
+
+#include "core/kernels.hpp"
+#include "pic/pic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace cubie {
+namespace {
+
+TEST(PicPhysics, CyclotronFrequency) {
+  // Uniform B = z, no E: a particle gyrates at omega_c = qB/m. The Boris
+  // scheme rotates by exactly 2*atan(omega*dt/2) per step; over a full
+  // period the particle returns near its start.
+  pic::FieldConfig f;
+  f.e0 = {0, 0, 0};
+  f.e1 = {0, 0, 0};
+  f.b = {0, 0, 1.0};
+  f.qm = 1.0;
+  f.dt = 0.05;
+  pic::Particles p;
+  p.resize(1);
+  p.x[0] = p.y[0] = p.z[0] = 0.0;
+  p.vx[0] = 1.0;
+  p.vy[0] = 0.0;
+  p.vz[0] = 0.0;
+  // Boris effective rotation per step:
+  const double theta = 2.0 * std::atan(0.5 * f.qm * f.dt);
+  const int steps = static_cast<int>(std::round(2.0 * std::numbers::pi / theta));
+  const double x0 = p.x[0];
+  for (int s = 0; s < steps; ++s) pic::boris_push_serial(p, f);
+  // After ~one period the velocity is back near (1, 0) and speed unchanged.
+  EXPECT_NEAR(std::hypot(p.vx[0], p.vy[0]), 1.0, 1e-12);
+  const double angle_err = std::atan2(p.vy[0], p.vx[0]);
+  EXPECT_LT(std::fabs(angle_err), theta);  // within one step of closure
+  EXPECT_NEAR(p.vz[0], 0.0, 1e-15);
+  (void)x0;
+}
+
+TEST(PicPhysics, ExBDrift) {
+  // Uniform E = x, B = z: guiding center drifts with v_d = E x B / B^2 = -y.
+  pic::FieldConfig f;
+  f.e0 = {0.2, 0, 0};
+  f.e1 = {0, 0, 0};
+  f.b = {0, 0, 1.0};
+  f.dt = 0.02;
+  pic::Particles p;
+  p.resize(1);
+  p.x[0] = p.y[0] = p.z[0] = 0.0;
+  p.vx[0] = p.vy[0] = p.vz[0] = 0.0;
+  const int steps = 20000;
+  for (int s = 0; s < steps; ++s) pic::boris_push_serial(p, f);
+  const double t_total = steps * f.dt;
+  const double vd_expected = -0.2;  // (E x B)/B^2 = (0.2 x-hat x z-hat) = -0.2 y-hat
+  EXPECT_NEAR(p.y[0] / t_total, vd_expected, 0.02);
+  // No net drift along x or z.
+  EXPECT_LT(std::fabs(p.x[0] / t_total), 0.05);
+  EXPECT_LT(std::fabs(p.z[0] / t_total), 1e-12);
+}
+
+TEST(PicPhysics, FreeStreamingWithoutFields) {
+  pic::FieldConfig f;
+  f.e0 = {0, 0, 0};
+  f.e1 = {0, 0, 0};
+  f.b = {0, 0, 0};
+  auto p = pic::make_particles(64, 10.0, 11);
+  const auto v0x = p.vx, v0y = p.vy, v0z = p.vz;
+  const auto x0 = p.x;
+  const int steps = 100;
+  for (int s = 0; s < steps; ++s) pic::boris_push_serial(p, f);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p.vx[i], v0x[i]);
+    EXPECT_DOUBLE_EQ(p.vy[i], v0y[i]);
+    EXPECT_DOUBLE_EQ(p.vz[i], v0z[i]);
+    EXPECT_NEAR(p.x[i], x0[i] + steps * f.dt * v0x[i], 1e-9);
+  }
+}
+
+TEST(PicPhysics, MagneticFieldDoesNoWork) {
+  pic::FieldConfig f;
+  f.e0 = {0, 0, 0};
+  f.e1 = {0, 0, 0};
+  f.b = {0.5, -1.0, 2.0};
+  auto p = pic::make_particles(256, 10.0, 13);
+  const double e0 = pic::kinetic_energy(p);
+  for (int s = 0; s < 500; ++s) pic::boris_push_serial(p, f);
+  EXPECT_NEAR(pic::kinetic_energy(p), e0, 1e-9 * e0);
+}
+
+TEST(PicWorkloadProperty, AllFiveCasesTrackSerial) {
+  const auto w = core::make_workload("PiC");
+  for (const auto& tc : w->cases(16)) {
+    // Only the smallest two cases to keep runtime bounded.
+    if (tc.dims[0] > 131072) continue;
+    const auto ref = w->reference(tc);
+    const auto out = w->run(core::Variant::TC, tc);
+    ASSERT_EQ(out.values.size(), ref.size());
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      max_err = std::max(max_err, std::fabs(out.values[i] - ref[i]));
+    EXPECT_LT(max_err, 1e-12) << tc.label;
+  }
+}
+
+TEST(PicWorkloadProperty, RotationIsTheOnlyTensorWork) {
+  const auto w = core::make_workload("PiC");
+  const auto tc = w->cases(16)[0];
+  const auto out = w->run(core::Variant::TC, tc);
+  // One MMA per 8 particles per step: 512 FLOPs each.
+  const double n = static_cast<double>(tc.dims[0]);
+  const double expected = 512.0 * (n / 8.0) * 4.0;  // kSteps = 4
+  EXPECT_DOUBLE_EQ(out.profile.tc_flops, expected);
+}
+
+}  // namespace
+}  // namespace cubie

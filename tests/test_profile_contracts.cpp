@@ -1,0 +1,148 @@
+// Profile contracts: the counted-event side of each workload is as much a
+// deliverable as the numerics - the figures are computed from it. These
+// tests pin the structural relationships the device model relies on.
+
+#include "core/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cubie {
+namespace {
+
+using core::Variant;
+constexpr int kScale = 16;
+
+TEST(ProfileContract, GemmCountsExactMmaFlops) {
+  const auto w = core::make_workload("GEMM");
+  const auto tc = w->cases(kScale)[0];  // 256^3
+  const auto out = w->run(Variant::TC, tc);
+  const double n = static_cast<double>(tc.dims[0]);
+  // Every useful FLOP maps to exactly one MMA slot for dense GEMM.
+  EXPECT_DOUBLE_EQ(out.profile.tc_flops, 2.0 * n * n * n);
+  EXPECT_DOUBLE_EQ(out.profile.useful_flops, 2.0 * n * n * n);
+  // C is stored exactly once.
+  EXPECT_GE(out.profile.dram_bytes, n * n * 8.0);
+}
+
+TEST(ProfileContract, GemvRedundancyIsEightfold) {
+  const auto w = core::make_workload("GEMV");
+  const auto tc = w->cases(kScale)[0];
+  const auto out = w->run(Variant::TC, tc);
+  // The broadcast-B scheme computes 8 columns per useful diagonal element.
+  EXPECT_NEAR(out.profile.tc_flops / out.profile.useful_flops, 8.0, 0.3);
+  const auto cce = w->run(Variant::CCE, tc);
+  EXPECT_NEAR(cce.profile.cc_flops / cce.profile.useful_flops, 1.0, 0.1);
+}
+
+TEST(ProfileContract, SpmvPaddedTrafficAtLeastNnz) {
+  const auto w = core::make_workload("SpMV");
+  for (const auto& tc : w->cases(kScale)) {
+    const auto out_tc = w->run(Variant::TC, tc);
+    const auto out_cce = w->run(Variant::CCE, tc);
+    // TC loads padded slots; CC-E loads exactly the nonzeros: TC traffic
+    // must dominate, and both must cover the nonzeros.
+    EXPECT_GE(out_tc.profile.dram_bytes, out_cce.profile.dram_bytes)
+        << tc.label;
+    EXPECT_GE(out_cce.profile.dram_bytes,
+              out_cce.profile.useful_flops / 2.0 * 12.0)
+        << tc.label;
+  }
+}
+
+TEST(ProfileContract, ScanConstantOperandsAreNotLoaded) {
+  const auto w = core::make_workload("Scan");
+  const auto tc = w->cases(kScale)[0];
+  const auto out = w->run(Variant::TC, tc);
+  const double n = static_cast<double>(tc.dims[1]) / static_cast<double>(tc.dims[0]) * static_cast<double>(tc.dims[0]);
+  // Traffic is input + output only - the U/SL/J operands cost nothing
+  // (Quadrant II's defining advantage).
+  EXPECT_NEAR(out.profile.dram_bytes, 2.0 * n * 8.0, n * 0.8);
+  // Three 8x8 MMAs (six m8n8k4) per 64-element chunk.
+  EXPECT_DOUBLE_EQ(out.profile.tc_flops, (n / 64.0) * 6.0 * 512.0);
+}
+
+TEST(ProfileContract, ReductionOutputIsOnePerBlock) {
+  const auto w = core::make_workload("Reduction");
+  for (const auto& tc : w->cases(kScale)) {
+    const auto out = w->run(Variant::TC, tc);
+    const std::size_t block = static_cast<std::size_t>(tc.dims[0]);
+    const std::size_t n = static_cast<std::size_t>(tc.dims[1]) / block * block;
+    EXPECT_EQ(out.values.size(), n / block) << tc.label;
+  }
+}
+
+TEST(ProfileContract, BfsVisitedRowFilterCutsWork) {
+  // The BerryBees completed-row filter must make total bit-ops far smaller
+  // than (levels x all blocks): compare against a no-filter upper bound.
+  const auto w = core::make_workload("BFS");
+  const auto cases = w->cases(kScale);
+  const auto out = w->run(Variant::TC, cases[3]);  // kron: small diameter
+  // Upper bound if every block were multiplied at every level: levels is at
+  // least 2, so tc_bitops < 2 * blocks * 16384 would fail without a filter
+  // on a graph where most rows finish after level 1-2.
+  EXPECT_GT(out.profile.tc_bitops, 0.0);
+  EXPECT_GT(out.profile.launches, 1);  // one launch per BFS level
+}
+
+TEST(ProfileContract, FftQuadrantIReusesOperand) {
+  const auto w = core::make_workload("FFT");
+  const auto tc = w->cases(kScale)[0];
+  const auto out = w->run(Variant::TC, tc);
+  // The DFT-matrix operand is loaded once (64 doubles), a negligible share
+  // of total traffic - the Figure 2 Quadrant I reuse arrow.
+  EXPECT_GT(out.profile.dram_bytes, 64.0 * 8.0 * 100.0);
+  // Twiddle work is scalar: the CC pipe sees nonzero FLOPs even in TC mode.
+  EXPECT_GT(out.profile.cc_flops, 0.0);
+}
+
+TEST(ProfileContract, StencilConstantBlocksNotRestreamed) {
+  const auto w = core::make_workload("Stencil");
+  const auto tc = w->cases(kScale)[0];  // 2D case
+  const auto out = w->run(Variant::TC, tc);
+  const double pts = static_cast<double>(tc.dims[0]) * static_cast<double>(tc.dims[1]);
+  // DRAM traffic ~ in + out; the band-coefficient blocks live in constant
+  // memory.
+  EXPECT_NEAR(out.profile.dram_bytes, 2.0 * pts * 8.0, pts * 2.0);
+  // LoRa issues at most 6 tile-MMAs (12 m8n8k4) per 8x8 tile.
+  EXPECT_LE(out.profile.tc_flops, (pts / 64.0) * 12.0 * 512.0 + 1.0);
+}
+
+TEST(ProfileContract, PicStepsScaleLaunchesAndFlops) {
+  const auto w = core::make_workload("PiC");
+  const auto tc = w->cases(kScale)[0];
+  const auto out = w->run(Variant::TC, tc);
+  EXPECT_EQ(out.profile.launches, 4);  // kSteps launches
+  const double n = static_cast<double>(tc.dims[0]);
+  EXPECT_DOUBLE_EQ(out.profile.tc_flops, 4.0 * (n / 8.0) * 512.0);
+}
+
+TEST(ProfileContract, SpgemmSymbolicPhaseChargedToBaselineOnly) {
+  const auto w = core::make_workload("SpGEMM");
+  const auto tc = w->cases(kScale)[0];
+  const auto base = w->run(Variant::Baseline, tc);
+  const auto tcv = w->run(Variant::TC, tc);
+  // The two-phase baseline moves more integer work than the block path.
+  EXPECT_GT(base.profile.cc_intops, tcv.profile.cc_intops);
+}
+
+TEST(ProfileContract, VariantsShareUsefulFlops) {
+  // Useful work is an algorithm property, not an implementation property:
+  // all variants of a workload must report the same value.
+  for (const auto& w : core::make_suite()) {
+    const auto tc = w->cases(kScale)[0];
+    double expected = -1.0;
+    for (auto v : core::all_variants()) {
+      if (v == Variant::Baseline && !w->has_baseline()) continue;
+      if (v == Variant::CCE && !w->cce_distinct()) continue;
+      const auto out = w->run(v, tc);
+      if (expected < 0.0) expected = out.profile.useful_flops;
+      EXPECT_DOUBLE_EQ(out.profile.useful_flops, expected)
+          << w->name() << "/" << core::variant_name(v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cubie

@@ -1,0 +1,77 @@
+// LCG determinism and distribution properties.
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cubie {
+namespace {
+
+TEST(Lcg, DeterministicForSeed) {
+  common::Lcg a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_raw(), b.next_raw());
+}
+
+TEST(Lcg, DifferentSeedsDiffer) {
+  common::Lcg a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_raw() == b.next_raw();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Lcg, ZeroSeedIsCoerced) {
+  common::Lcg z(0);
+  EXPECT_NE(z.next_raw(), 0u);
+}
+
+TEST(Lcg, LinpackRangeIsOpenMinus2To2) {
+  common::Lcg rng(7);
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.next_linpack();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    ASSERT_GT(v, -2.0);
+    ASSERT_LT(v, 2.0);
+  }
+  // The sample should cover most of the interval.
+  EXPECT_LT(lo, -1.9);
+  EXPECT_GT(hi, 1.9);
+}
+
+TEST(Lcg, UnitMeanIsCentered) {
+  common::Lcg rng(123);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_unit();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Lcg, NextBelowIsInRange) {
+  common::Lcg rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(RandomVector, MatchesSeededGeneration) {
+  const auto a = common::random_vector(64, 5);
+  const auto b = common::random_vector(64, 5);
+  EXPECT_EQ(a, b);
+  const auto c = common::random_vector(64, 6);
+  EXPECT_NE(a, c);
+}
+
+TEST(RandomVector, CustomRange) {
+  const auto v = common::random_vector(1000, 3.0, 7.0, 11);
+  for (double x : v) {
+    EXPECT_GE(x, 3.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+}  // namespace
+}  // namespace cubie

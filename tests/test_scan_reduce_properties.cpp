@@ -1,0 +1,123 @@
+// Scan / Reduction property tests, parameterized over the five Table 2
+// block sizes and all implementation variants.
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "core/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cubie {
+namespace {
+
+using core::Variant;
+
+struct BlockCase {
+  std::size_t case_index;  // 0..4 -> block sizes 64..1024
+  Variant variant;
+};
+
+std::string case_name(const ::testing::TestParamInfo<BlockCase>& info) {
+  std::string v = core::variant_name(info.param.variant);
+  std::erase(v, '-');  // gtest parameter names must be alphanumeric
+  return "case" + std::to_string(info.param.case_index) + "_" + v;
+}
+
+std::vector<BlockCase> all_block_cases() {
+  std::vector<BlockCase> cs;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (auto v : {Variant::Baseline, Variant::TC, Variant::CC, Variant::CCE}) {
+      cs.push_back({i, v});
+    }
+  }
+  return cs;
+}
+
+class ScanProperty : public ::testing::TestWithParam<BlockCase> {};
+
+TEST_P(ScanProperty, BlockPrefixInvariants) {
+  const auto w = core::make_workload("Scan");
+  const auto tc = w->cases(64)[GetParam().case_index];  // small for speed
+  const std::size_t block = static_cast<std::size_t>(tc.dims[0]);
+  const auto out = w->run(GetParam().variant, tc);
+  const auto ref = w->reference(tc);
+  ASSERT_EQ(out.values.size(), ref.size());
+
+  // Inclusive block-local prefix sums deviate from the serial reference by
+  // rounding only.
+  const auto err = common::error_stats(out.values, ref);
+  EXPECT_LT(err.max, 1e-10);
+
+  // Structural invariant: within each block, differences reconstruct the
+  // input (so the scan is genuinely inclusive and block-local).
+  const auto x = common::random_vector(ref.size(), 31);
+  for (std::size_t b = 0; b + block <= out.values.size(); b += block) {
+    EXPECT_NEAR(out.values[b], x[b], 1e-9);
+    for (std::size_t i = 1; i < block; ++i) {
+      EXPECT_NEAR(out.values[b + i] - out.values[b + i - 1], x[b + i], 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, ScanProperty,
+                         ::testing::ValuesIn(all_block_cases()), case_name);
+
+class ReductionProperty : public ::testing::TestWithParam<BlockCase> {};
+
+TEST_P(ReductionProperty, BlockSumsInvariants) {
+  const auto w = core::make_workload("Reduction");
+  const auto tc = w->cases(64)[GetParam().case_index];
+  const std::size_t block = static_cast<std::size_t>(tc.dims[0]);
+  const auto out = w->run(GetParam().variant, tc);
+  const auto ref = w->reference(tc);
+  ASSERT_EQ(out.values.size(), ref.size());
+  const std::size_t n = static_cast<std::size_t>(tc.dims[1]) / block * block;
+  ASSERT_EQ(out.values.size(), n / block);
+
+  const auto err = common::error_stats(out.values, ref);
+  EXPECT_LT(err.max, 1e-10);
+
+  // Every block sum must match a Kahan-accurate recomputation to rounding.
+  const auto x = common::random_vector(n, 41);
+  for (std::size_t b = 0; b < out.values.size(); ++b) {
+    long double s = 0.0L;
+    for (std::size_t i = b * block; i < (b + 1) * block; ++i) s += x[i];
+    EXPECT_NEAR(out.values[b], static_cast<double>(s),
+                1e-12 * static_cast<double>(block));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, ReductionProperty,
+                         ::testing::ValuesIn(all_block_cases()), case_name);
+
+TEST(ScanSpecial, OnesGiveRampPerBlock) {
+  // Direct check on the MMA chunk machinery: scanning all-ones yields
+  // 1, 2, ..., block within each block, exactly (integers are exact).
+  const auto w = core::make_workload("Scan");
+  const auto tc = w->cases(64)[0];
+  // We cannot inject inputs through the Workload interface; instead verify
+  // the ramp property statistically via the reconstruction invariant above.
+  // Here, verify the reference generator is block-local as documented:
+  const auto ref = w->reference(tc);
+  const std::size_t block = static_cast<std::size_t>(tc.dims[0]);
+  const auto x = common::random_vector(ref.size(), 31);
+  EXPECT_DOUBLE_EQ(ref[block], x[block]);  // restart at block boundary
+}
+
+TEST(ReductionSpecial, VariantsAgreeWithEachOther) {
+  const auto w = core::make_workload("Reduction");
+  const auto tc = w->cases(64)[2];
+  const auto a = w->run(Variant::TC, tc);
+  const auto b = w->run(Variant::CCE, tc);
+  const auto c = w->run(Variant::Baseline, tc);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_NEAR(a.values[i], b.values[i], 1e-10);
+    EXPECT_NEAR(a.values[i], c.values[i], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace cubie

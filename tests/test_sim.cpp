@@ -1,0 +1,195 @@
+// Device model properties: bottleneck selection, monotonicity, power bounds,
+// EDP definition, power-trace synthesis, roofline geometry.
+
+#include "sim/calibration.hpp"
+#include "sim/device.hpp"
+#include "sim/model.hpp"
+#include "sim/power.hpp"
+#include "sim/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cubie {
+namespace {
+
+using sim::DeviceModel;
+using sim::KernelProfile;
+
+KernelProfile saturated_profile() {
+  KernelProfile p;
+  p.threads = 1e6;  // above saturation on every device
+  p.launches = 1;
+  return p;
+}
+
+TEST(DeviceSpecs, MatchPaperTable5) {
+  EXPECT_DOUBLE_EQ(sim::a100().fp64_tc_peak, 19.5e12);
+  EXPECT_DOUBLE_EQ(sim::a100().fp64_cc_peak, 9.7e12);
+  EXPECT_DOUBLE_EQ(sim::a100().dram_bw, 1.55e12);
+  EXPECT_DOUBLE_EQ(sim::h200().fp64_tc_peak, 66.9e12);
+  EXPECT_DOUBLE_EQ(sim::h200().fp64_cc_peak, 33.5e12);
+  EXPECT_DOUBLE_EQ(sim::h200().dram_bw, 4.0e12);
+  EXPECT_DOUBLE_EQ(sim::h200().tdp_w, 750.0);
+  EXPECT_DOUBLE_EQ(sim::b200().fp64_tc_peak, 40.0e12);
+  EXPECT_DOUBLE_EQ(sim::b200().fp64_cc_peak, 40.0e12);
+  EXPECT_DOUBLE_EQ(sim::b200().dram_bw, 8.0e12);
+}
+
+TEST(DeviceModel, ComputeBoundKernelPicksTensorPipe) {
+  auto p = saturated_profile();
+  p.tc_flops = 1e12;
+  p.dram_bytes = 1e6;
+  const auto pred = DeviceModel(sim::h200()).predict(p);
+  EXPECT_EQ(pred.bound, sim::Bottleneck::TensorPipe);
+  EXPECT_GT(pred.time_s, 0.0);
+}
+
+TEST(DeviceModel, MemoryBoundKernelPicksDram) {
+  auto p = saturated_profile();
+  p.cc_flops = 1e6;
+  p.dram_bytes = 1e10;
+  const auto pred = DeviceModel(sim::h200()).predict(p);
+  EXPECT_EQ(pred.bound, sim::Bottleneck::Dram);
+}
+
+TEST(DeviceModel, TimeMonotoneInWork) {
+  auto p1 = saturated_profile();
+  p1.tc_flops = 1e12;
+  auto p2 = p1;
+  p2.tc_flops = 2e12;
+  const DeviceModel m(sim::a100());
+  EXPECT_GT(m.predict(p2).time_s, m.predict(p1).time_s);
+}
+
+TEST(DeviceModel, SamePipeWorkFasterOnTensor) {
+  // Identical FLOPs run ~2x faster on the H200 tensor pipe than CUDA pipe.
+  auto tc = saturated_profile();
+  tc.tc_flops = 1e12;
+  auto cc = saturated_profile();
+  cc.cc_flops = 1e12;
+  const DeviceModel m(sim::h200());
+  const double ratio = m.predict(cc).time_s / m.predict(tc).time_s;
+  EXPECT_NEAR(ratio, 2.0, 0.1);
+}
+
+TEST(DeviceModel, PowerNeverExceedsTdp) {
+  auto p = saturated_profile();
+  p.tc_flops = 1e13;
+  p.cc_flops = 1e13;
+  p.dram_bytes = 1e12;
+  for (auto gpu : sim::all_gpus()) {
+    const auto pred = DeviceModel(sim::spec_for(gpu)).predict(p);
+    EXPECT_LE(pred.avg_power_w, sim::spec_for(gpu).tdp_w);
+    EXPECT_GE(pred.avg_power_w, sim::spec_for(gpu).idle_w);
+  }
+}
+
+TEST(DeviceModel, EdpIsPowerTimesTimeSquared) {
+  auto p = saturated_profile();
+  p.tc_flops = 5e11;
+  p.dram_bytes = 1e9;
+  const auto pred = DeviceModel(sim::h200()).predict(p);
+  EXPECT_NEAR(pred.edp, pred.avg_power_w * pred.time_s * pred.time_s,
+              1e-12 * pred.edp);
+  EXPECT_NEAR(pred.energy_j, pred.avg_power_w * pred.time_s,
+              1e-12 * pred.energy_j);
+}
+
+TEST(DeviceModel, LaunchOverheadDominatesTinyKernels) {
+  KernelProfile p;
+  p.cc_flops = 100.0;
+  p.dram_bytes = 100.0;
+  p.threads = 32;
+  p.launches = 1;
+  const auto pred = DeviceModel(sim::h200()).predict(p);
+  EXPECT_EQ(pred.bound, sim::Bottleneck::Launch);
+  EXPECT_GE(pred.time_s, sim::h200().launch_overhead_s);
+}
+
+TEST(DeviceModel, LowOccupancySlowsExecution) {
+  auto p_full = saturated_profile();
+  p_full.tc_flops = 1e11;
+  auto p_small = p_full;
+  p_small.threads = 1024;  // far below saturation
+  const DeviceModel m(sim::b200());
+  EXPECT_GT(m.predict(p_small).time_s, m.predict(p_full).time_s);
+}
+
+TEST(DeviceModel, IssueBoundWhenInstructionsDominate)
+{
+  auto p = saturated_profile();
+  p.cc_flops = 1.0;
+  p.warp_instructions = 1e12;
+  const auto pred = DeviceModel(sim::a100()).predict(p);
+  EXPECT_EQ(pred.bound, sim::Bottleneck::Issue);
+}
+
+TEST(PowerTrace, RampsToSteadyStateAndIntegrates) {
+  auto p = saturated_profile();
+  p.tc_flops = 1e12;
+  p.dram_bytes = 1e10;
+  const auto pred = DeviceModel(sim::h200()).predict(p);
+  sim::PowerTraceOptions opts;
+  opts.duration_s = 5.0;
+  const auto trace = sim::synthesize_power_trace(sim::h200(), pred, opts);
+  ASSERT_GT(trace.size(), 50u);
+  // Starts near idle, ends near steady state.
+  EXPECT_LT(trace.front().watts, pred.avg_power_w * 0.5);
+  EXPECT_NEAR(trace.back().watts, pred.avg_power_w,
+              pred.avg_power_w * 0.1);
+  // Energy integral is close to steady power * duration (ramp makes it less).
+  const double e = sim::trace_energy_j(trace);
+  EXPECT_LT(e, pred.avg_power_w * opts.duration_s * 1.05);
+  EXPECT_GT(e, pred.avg_power_w * opts.duration_s * 0.7);
+  // Never exceeds TDP or goes below idle.
+  for (const auto& s : trace) {
+    EXPECT_LE(s.watts, sim::h200().tdp_w);
+    EXPECT_GE(s.watts, sim::h200().idle_w);
+  }
+}
+
+TEST(Roofline, RidgeAndCeilings) {
+  const sim::Roofline r(sim::h200());
+  const double ridge = r.ridge_ai();
+  EXPECT_NEAR(ridge, 66.9e12 / 4.0e12, 1e-9);
+  // Below the ridge the roof is bandwidth; above, compute.
+  EXPECT_DOUBLE_EQ(r.attainable(ridge / 2.0), ridge / 2.0 * 4.0e12);
+  EXPECT_DOUBLE_EQ(r.attainable(ridge * 10.0), 66.9e12);
+  EXPECT_GT(r.l1_roof(1.0), r.dram_roof(1.0));  // L1 above DRAM
+}
+
+TEST(Roofline, AchievedNeverAboveAttainableForModeledKernels) {
+  auto p = saturated_profile();
+  p.tc_flops = 1e12;
+  p.useful_flops = 1e12;
+  p.dram_bytes = 1e10;
+  const DeviceModel m(sim::h200());
+  const auto pred = m.predict(p);
+  const auto pt = sim::Roofline(sim::h200()).point("x", p, pred);
+  EXPECT_LE(pt.achieved_flops, pt.attainable_flops * 1.0 + 1e-6);
+}
+
+TEST(Profile, ArithmeticIntensity) {
+  KernelProfile p;
+  p.useful_flops = 100.0;
+  p.dram_bytes = 50.0;
+  EXPECT_DOUBLE_EQ(p.arithmetic_intensity(), 2.0);
+  KernelProfile zero;
+  EXPECT_EQ(zero.arithmetic_intensity(), 0.0);
+}
+
+TEST(Profile, AccumulationOperator) {
+  KernelProfile a, b;
+  a.tc_flops = 1.0;
+  a.launches = 1;
+  b.tc_flops = 2.0;
+  b.dram_bytes = 8.0;
+  b.launches = 2;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.tc_flops, 3.0);
+  EXPECT_DOUBLE_EQ(a.dram_bytes, 8.0);
+  EXPECT_EQ(a.launches, 3);
+}
+
+}  // namespace
+}  // namespace cubie

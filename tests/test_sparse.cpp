@@ -1,0 +1,189 @@
+// Sparse substrate: COO->CSR, transpose, mBSR round trip, serial kernels.
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/mbsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cubie {
+namespace {
+
+using sparse::Coo;
+using sparse::Csr;
+
+Coo small_coo() {
+  Coo c;
+  c.rows = 4;
+  c.cols = 5;
+  // Unsorted, with one duplicate (2,1).
+  c.row = {2, 0, 2, 1, 3, 2};
+  c.col = {1, 0, 4, 2, 3, 1};
+  c.val = {1.0, 2.0, 3.0, 4.0, 5.0, 0.5};
+  return c;
+}
+
+TEST(CsrFromCoo, SortsAndMergesDuplicates) {
+  const Csr m = sparse::csr_from_coo(small_coo());
+  EXPECT_TRUE(m.structurally_valid());
+  EXPECT_EQ(m.nnz(), 5u);
+  // Row 2 has columns {1, 4} with the duplicate summed.
+  EXPECT_EQ(m.row_nnz(2), 2);
+  const int p = m.row_ptr[2];
+  EXPECT_EQ(m.col_idx[static_cast<std::size_t>(p)], 1);
+  EXPECT_DOUBLE_EQ(m.vals[static_cast<std::size_t>(p)], 1.5);
+}
+
+TEST(Transpose, IsInvolution) {
+  const Csr m = sparse::csr_from_coo(small_coo());
+  const Csr tt = sparse::transpose(sparse::transpose(m));
+  EXPECT_EQ(tt.row_ptr, m.row_ptr);
+  EXPECT_EQ(tt.col_idx, m.col_idx);
+  EXPECT_EQ(tt.vals, m.vals);
+}
+
+TEST(Transpose, SwapsDims) {
+  const Csr m = sparse::csr_from_coo(small_coo());
+  const Csr t = sparse::transpose(m);
+  EXPECT_EQ(t.rows, m.cols);
+  EXPECT_EQ(t.cols, m.rows);
+  EXPECT_TRUE(t.structurally_valid());
+}
+
+TEST(SpmvSerial, DenseEquivalence) {
+  // Dense 3x3 as sparse; compare against hand-computed product.
+  Coo c;
+  c.rows = c.cols = 3;
+  const double dense[9] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (int r = 0; r < 3; ++r)
+    for (int j = 0; j < 3; ++j) {
+      c.row.push_back(r);
+      c.col.push_back(j);
+      c.val.push_back(dense[r * 3 + j]);
+    }
+  const Csr m = sparse::csr_from_coo(c);
+  const std::vector<double> x = {1.0, -1.0, 2.0};
+  const auto y = sparse::spmv_serial(m, x);
+  EXPECT_DOUBLE_EQ(y[0], 1 - 2 + 6);
+  EXPECT_DOUBLE_EQ(y[1], 4 - 5 + 12);
+  EXPECT_DOUBLE_EQ(y[2], 7 - 8 + 18);
+}
+
+TEST(SpgemmSerial, IdentityIsNeutral) {
+  Coo id;
+  id.rows = id.cols = 4;
+  for (int i = 0; i < 4; ++i) {
+    id.row.push_back(i);
+    id.col.push_back(i);
+    id.val.push_back(1.0);
+  }
+  const Csr eye = sparse::csr_from_coo(id);
+  Coo c = small_coo();
+  c.cols = 4;
+  c.col = {1, 0, 3, 2, 3, 1};  // keep inside 4 cols
+  const Csr m = sparse::csr_from_coo(c);
+  const Csr prod = sparse::spgemm_serial(m, eye);
+  EXPECT_EQ(prod.col_idx, m.col_idx);
+  for (std::size_t i = 0; i < m.nnz(); ++i)
+    EXPECT_DOUBLE_EQ(prod.vals[i], m.vals[i]);
+}
+
+TEST(SpgemmSerial, MatchesDenseProduct) {
+  common::Lcg rng(3);
+  Coo a, b;
+  a.rows = a.cols = b.rows = b.cols = 16;
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 16; ++c) {
+      if (rng.next_unit() < 0.3) {
+        a.row.push_back(r);
+        a.col.push_back(c);
+        a.val.push_back(rng.next_linpack());
+      }
+      if (rng.next_unit() < 0.3) {
+        b.row.push_back(r);
+        b.col.push_back(c);
+        b.val.push_back(rng.next_linpack());
+      }
+    }
+  }
+  const Csr ca = sparse::csr_from_coo(a), cb = sparse::csr_from_coo(b);
+  const Csr cc = sparse::spgemm_serial(ca, cb);
+  EXPECT_TRUE(cc.structurally_valid());
+  // Dense check.
+  double da[256] = {}, db[256] = {}, dc[256] = {};
+  for (int r = 0; r < 16; ++r) {
+    for (int p = ca.row_ptr[static_cast<std::size_t>(r)]; p < ca.row_ptr[static_cast<std::size_t>(r) + 1]; ++p)
+      da[r * 16 + ca.col_idx[static_cast<std::size_t>(p)]] = ca.vals[static_cast<std::size_t>(p)];
+    for (int p = cb.row_ptr[static_cast<std::size_t>(r)]; p < cb.row_ptr[static_cast<std::size_t>(r) + 1]; ++p)
+      db[r * 16 + cb.col_idx[static_cast<std::size_t>(p)]] = cb.vals[static_cast<std::size_t>(p)];
+  }
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j)
+      for (int k = 0; k < 16; ++k) dc[i * 16 + j] += da[i * 16 + k] * db[k * 16 + j];
+  for (int r = 0; r < 16; ++r) {
+    for (int p = cc.row_ptr[static_cast<std::size_t>(r)]; p < cc.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      EXPECT_NEAR(cc.vals[static_cast<std::size_t>(p)],
+                  dc[r * 16 + cc.col_idx[static_cast<std::size_t>(p)]], 1e-12);
+    }
+  }
+}
+
+TEST(Mbsr, RoundTripPreservesMatrix) {
+  common::Lcg rng(5);
+  Coo c;
+  c.rows = 19;  // deliberately not a multiple of 4
+  c.cols = 13;
+  for (int r = 0; r < c.rows; ++r) {
+    for (int j = 0; j < c.cols; ++j) {
+      if (rng.next_unit() < 0.2) {
+        c.row.push_back(r);
+        c.col.push_back(j);
+        c.val.push_back(rng.next_linpack());
+      }
+    }
+  }
+  const Csr m = sparse::csr_from_coo(c);
+  const sparse::Mbsr blocked = sparse::mbsr_from_csr(m);
+  EXPECT_EQ(blocked.block_rows, 5);
+  EXPECT_EQ(blocked.block_cols, 4);
+  EXPECT_EQ(blocked.nnz_stored(), m.nnz());
+  const Csr back = sparse::csr_from_mbsr(blocked);
+  EXPECT_EQ(back.row_ptr, m.row_ptr);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  EXPECT_EQ(back.vals, m.vals);
+}
+
+TEST(Mbsr, FillRatioBounds) {
+  const auto m = sparse::csr_from_coo(small_coo());
+  const auto b = sparse::mbsr_from_csr(m);
+  EXPECT_GT(b.fill_ratio(), 0.0);
+  EXPECT_LE(b.fill_ratio(), 1.0);
+}
+
+TEST(GemmSerial, SmallKnownProduct) {
+  const std::vector<double> a = {1, 2, 3, 4};        // 2x2
+  const std::vector<double> b = {5, 6, 7, 8};        // 2x2
+  std::vector<double> c(4, 0.0);
+  sparse::gemm_serial(2, 2, 2, a, b, c);
+  EXPECT_DOUBLE_EQ(c[0], 19);
+  EXPECT_DOUBLE_EQ(c[1], 22);
+  EXPECT_DOUBLE_EQ(c[2], 43);
+  EXPECT_DOUBLE_EQ(c[3], 50);
+}
+
+TEST(GemvSerial, MatchesGemmColumn) {
+  common::Lcg rng(9);
+  const int m = 12, n = 7;
+  const auto a = common::random_vector(static_cast<std::size_t>(m) * n, 31);
+  const auto x = common::random_vector(static_cast<std::size_t>(n), 33);
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+  sparse::gemv_serial(m, n, a, x, y);
+  std::vector<double> c(static_cast<std::size_t>(m), 0.0);
+  sparse::gemm_serial(m, 1, n, a, x, c);
+  for (int i = 0; i < m; ++i) EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], c[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace
+}  // namespace cubie

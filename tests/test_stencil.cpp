@@ -1,0 +1,118 @@
+// Stencil substrate: serial references, band-block decomposition identity.
+
+#include "common/rng.hpp"
+#include "mma/mma.hpp"
+#include "stencil/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cubie {
+namespace {
+
+TEST(Stencil2d, ConstantFieldInterior) {
+  // On a constant field the interior result equals the weight sum.
+  const stencil::Star2D st{0.5, 0.125, 0.125, 0.125, 0.125};
+  const int n = 8;
+  std::vector<double> in(static_cast<std::size_t>(n) * n, 2.0), out;
+  stencil::stencil2d_serial(st, in, out, n, n);
+  EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(3 * n + 3)], 2.0);  // weights sum to 1
+  // Corner sees only 3 neighbours.
+  EXPECT_DOUBLE_EQ(out[0], 2.0 * (0.5 + 0.125 + 0.125));
+}
+
+TEST(Stencil3d, ConstantFieldInterior) {
+  const stencil::Star3D st{0.4, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1};
+  const int n = 6;
+  std::vector<double> in(static_cast<std::size_t>(n) * n * n, 3.0), out;
+  stencil::stencil3d_serial(st, in, out, n, n, n);
+  const std::size_t mid = static_cast<std::size_t>((2 * n + 2) * n + 2);
+  EXPECT_DOUBLE_EQ(out[mid], 3.0);
+}
+
+TEST(Stencil, FmaVariantCloseToNaive) {
+  const stencil::Star2D st{0.5, 0.125, 0.125, 0.125, 0.125};
+  const int n = 16;
+  const auto in = common::random_vector(static_cast<std::size_t>(n) * n, 55);
+  std::vector<double> a, b;
+  stencil::stencil2d_serial(st, in, a, n, n);
+  stencil::stencil2d_serial_fma(st, in, b, n, n);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-14);
+}
+
+TEST(BandBlocks, DiagBlockShape) {
+  const auto d = stencil::band_diag_block(0.1, 0.5, 0.2);
+  EXPECT_DOUBLE_EQ(d[0], 0.5);
+  EXPECT_DOUBLE_EQ(d[1], 0.2);   // (0,1) upper
+  EXPECT_DOUBLE_EQ(d[8], 0.1);   // (1,0) lower
+  EXPECT_DOUBLE_EQ(d[63], 0.5);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+}
+
+TEST(BandBlocks, CouplingBlocksSingleEntry) {
+  const auto l = stencil::band_sub_block(0.3);
+  const auto u = stencil::band_super_block(0.7);
+  int l_nonzero = 0, u_nonzero = 0;
+  for (double v : l) l_nonzero += v != 0.0;
+  for (double v : u) u_nonzero += v != 0.0;
+  EXPECT_EQ(l_nonzero, 1);
+  EXPECT_EQ(u_nonzero, 1);
+  EXPECT_DOUBLE_EQ(l[7], 0.3);    // (0,7)
+  EXPECT_DOUBLE_EQ(u[56], 0.7);   // (7,0)
+}
+
+// The LoRa identity: for a banded matrix A assembled from the three block
+// types, A (as dense) times X matches the vertical 3-tap convolution.
+TEST(BandBlocks, VerticalPassEqualsConvolution) {
+  const double wn = 0.25, wc = 0.5, ws = 0.125;
+  const int n = 16;  // two 8x8 tiles
+  // Assemble dense A.
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i) * n + i] = wc;
+    if (i > 0) a[static_cast<std::size_t>(i) * n + i - 1] = wn;
+    if (i + 1 < n) a[static_cast<std::size_t>(i) * n + i + 1] = ws;
+  }
+  // Tile-wise product using the constant blocks.
+  const auto in = common::random_vector(static_cast<std::size_t>(n) * n, 77);
+  const auto d = stencil::band_diag_block(wn, wc, ws);
+  const auto lb = stencil::band_sub_block(wn);
+  const auto ub = stencil::band_super_block(ws);
+  sim::KernelProfile prof;
+  mma::Context ctx(mma::Pipe::TensorCore, prof);
+  std::vector<double> out(static_cast<std::size_t>(n) * n, 0.0);
+  auto tile = [&](int ty, int tx, double* dst) {
+    for (int r = 0; r < 8; ++r)
+      for (int c = 0; c < 8; ++c)
+        dst[r * 8 + c] = in[static_cast<std::size_t>(ty * 8 + r) * n + static_cast<std::size_t>(tx * 8 + c)];
+  };
+  for (int ty = 0; ty < 2; ++ty) {
+    for (int tx = 0; tx < 2; ++tx) {
+      double acc[64] = {}, x[64];
+      tile(ty, tx, x);
+      ctx.dmma_m8n8k8_acc(d.data(), x, acc);
+      if (ty > 0) {
+        tile(ty - 1, tx, x);
+        ctx.dmma_m8n8k8_acc(lb.data(), x, acc);
+      }
+      if (ty < 1) {
+        tile(ty + 1, tx, x);
+        ctx.dmma_m8n8k8_acc(ub.data(), x, acc);
+      }
+      for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c)
+          out[static_cast<std::size_t>(ty * 8 + r) * n + static_cast<std::size_t>(tx * 8 + c)] = acc[r * 8 + c];
+    }
+  }
+  // Dense reference.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double expect = 0.0;
+      for (int k = 0; k < n; ++k)
+        expect += a[static_cast<std::size_t>(i) * n + k] * in[static_cast<std::size_t>(k) * n + j];
+      EXPECT_NEAR(out[static_cast<std::size_t>(i) * n + j], expect, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cubie

@@ -1,0 +1,113 @@
+// Stencil property tests: linearity, translation invariance, equivalence to
+// the assembled sparse operator, and the LoRa two-pass decomposition.
+
+#include "common/rng.hpp"
+#include "core/kernels.hpp"
+#include "stencil/stencil.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cubie {
+namespace {
+
+const stencil::Star2D kSt{0.52, 0.12, 0.12, 0.12, 0.12};
+
+TEST(StencilProperty, Linearity) {
+  const int n = 24;
+  const auto a = common::random_vector(static_cast<std::size_t>(n) * n, 501);
+  const auto b = common::random_vector(static_cast<std::size_t>(n) * n, 503);
+  std::vector<double> combo(static_cast<std::size_t>(n) * n);
+  for (std::size_t i = 0; i < combo.size(); ++i) combo[i] = 2.0 * a[i] - 3.0 * b[i];
+  std::vector<double> sa, sb, sc;
+  stencil::stencil2d_serial(kSt, a, sa, n, n);
+  stencil::stencil2d_serial(kSt, b, sb, n, n);
+  stencil::stencil2d_serial(kSt, combo, sc, n, n);
+  for (std::size_t i = 0; i < combo.size(); ++i)
+    EXPECT_NEAR(sc[i], 2.0 * sa[i] - 3.0 * sb[i], 1e-12);
+}
+
+TEST(StencilProperty, TranslationInvarianceInterior) {
+  const int n = 32;
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  a[static_cast<std::size_t>(10 * n + 10)] = 1.0;  // impulse at (10,10)
+  std::vector<double> b(static_cast<std::size_t>(n) * n, 0.0);
+  b[static_cast<std::size_t>(17 * n + 13)] = 1.0;  // impulse at (17,13)
+  std::vector<double> sa, sb;
+  stencil::stencil2d_serial(kSt, a, sa, n, n);
+  stencil::stencil2d_serial(kSt, b, sb, n, n);
+  // Responses are translated copies (both impulses far from boundaries).
+  for (int dy = -2; dy <= 2; ++dy) {
+    for (int dx = -2; dx <= 2; ++dx) {
+      EXPECT_DOUBLE_EQ(sa[static_cast<std::size_t>((10 + dy) * n + 10 + dx)],
+                       sb[static_cast<std::size_t>((17 + dy) * n + 13 + dx)]);
+    }
+  }
+}
+
+TEST(StencilProperty, ImpulseResponseIsTheStencil) {
+  const int n = 16;
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  a[static_cast<std::size_t>(8 * n + 8)] = 1.0;
+  std::vector<double> s;
+  stencil::stencil2d_serial(kSt, a, s, n, n);
+  EXPECT_DOUBLE_EQ(s[static_cast<std::size_t>(8 * n + 8)], kSt.c);
+  EXPECT_DOUBLE_EQ(s[static_cast<std::size_t>(7 * n + 8)], kSt.s);  // impulse is my south
+  EXPECT_DOUBLE_EQ(s[static_cast<std::size_t>(9 * n + 8)], kSt.n);
+  EXPECT_DOUBLE_EQ(s[static_cast<std::size_t>(8 * n + 7)], kSt.e);
+  EXPECT_DOUBLE_EQ(s[static_cast<std::size_t>(8 * n + 9)], kSt.w);
+  EXPECT_DOUBLE_EQ(s[static_cast<std::size_t>(7 * n + 7)], 0.0);  // no diagonal term
+}
+
+TEST(StencilProperty, MatchesAssembledSparseOperator) {
+  // The stencil as an explicit sparse matrix acting on the flattened grid.
+  const int n = 12;
+  const auto in = common::random_vector(static_cast<std::size_t>(n) * n, 505);
+  std::vector<double> expect;
+  stencil::stencil2d_serial(kSt, in, expect, n, n);
+  std::vector<double> out(static_cast<std::size_t>(n) * n, 0.0);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      double acc = kSt.c * in[static_cast<std::size_t>(y * n + x)];
+      if (y > 0) acc += kSt.n * in[static_cast<std::size_t>((y - 1) * n + x)];
+      if (y + 1 < n) acc += kSt.s * in[static_cast<std::size_t>((y + 1) * n + x)];
+      if (x > 0) acc += kSt.w * in[static_cast<std::size_t>(y * n + x - 1)];
+      if (x + 1 < n) acc += kSt.e * in[static_cast<std::size_t>(y * n + x + 1)];
+      out[static_cast<std::size_t>(y * n + x)] = acc;
+    }
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_NEAR(out[i], expect[i], 1e-15);
+}
+
+TEST(StencilProperty, Stencil3dReducesTo2dOnThinSlab) {
+  // A single-slab 3D grid with zero z-weights equals the 2D stencil.
+  stencil::Star3D st3{0.52, 0.12, 0.12, 0.12, 0.12, 0.0, 0.0};
+  const int n = 16;
+  const auto in = common::random_vector(static_cast<std::size_t>(n) * n, 507);
+  std::vector<double> out3, out2;
+  stencil::stencil3d_serial(st3, in, out3, 1, n, n);
+  stencil::stencil2d_serial(kSt, in, out2, n, n);
+  for (std::size_t i = 0; i < out2.size(); ++i) EXPECT_DOUBLE_EQ(out3[i], out2[i]);
+}
+
+class StencilWorkloadCases : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StencilWorkloadCases, TcMatchesReferenceOnEveryCase) {
+  const auto w = core::make_workload("Stencil");
+  const auto cases = w->cases(16);
+  const auto& tc = cases[GetParam()];
+  const auto ref = w->reference(tc);
+  const auto out = w->run(core::Variant::TC, tc);
+  ASSERT_EQ(out.values.size(), ref.size());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    max_err = std::max(max_err, std::fabs(out.values[i] - ref[i]));
+  EXPECT_LT(max_err, 1e-12) << tc.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFiveCases, StencilWorkloadCases,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace cubie

@@ -1,0 +1,106 @@
+// MMU-suitability assessor: quadrant classification and speedup-estimate
+// sanity across the trait space.
+
+#include "analysis/suitability.hpp"
+#include "sim/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cubie {
+namespace {
+
+using analysis::AlgorithmTraits;
+using analysis::UtilizationQuadrant;
+
+AlgorithmTraits gemm_like() {
+  AlgorithmTraits t;
+  t.arithmetic_intensity = 30.0;
+  t.input_block_density = 1.0;
+  t.output_utilization = 1.0;
+  t.operand_reuse = 32.0;
+  t.baseline_mem_regularity = 0.78;
+  return t;
+}
+
+TEST(Suitability, QuadrantClassification) {
+  AlgorithmTraits t = gemm_like();
+  EXPECT_EQ(analysis::assess_mmu_suitability(t, sim::h200()).quadrant,
+            UtilizationQuadrant::I);
+
+  t.constant_operands = 1.0;  // Scan-like
+  EXPECT_EQ(analysis::assess_mmu_suitability(t, sim::h200()).quadrant,
+            UtilizationQuadrant::II);
+
+  t.output_utilization = 0.1;  // Reduction-like
+  EXPECT_EQ(analysis::assess_mmu_suitability(t, sim::h200()).quadrant,
+            UtilizationQuadrant::III);
+
+  t.constant_operands = 0.0;  // SpMV-like
+  EXPECT_EQ(analysis::assess_mmu_suitability(t, sim::h200()).quadrant,
+            UtilizationQuadrant::IV);
+}
+
+TEST(Suitability, DenseComputeBoundRecommendsMmu) {
+  const auto a = analysis::assess_mmu_suitability(gemm_like(), sim::h200());
+  EXPECT_TRUE(a.recommend_mmu);
+  EXPECT_GT(a.estimated_speedup, 1.5);
+  EXPECT_FALSE(a.rationale.empty());
+}
+
+TEST(Suitability, SparseBlockDensityDegradesEstimate) {
+  AlgorithmTraits dense = gemm_like();
+  AlgorithmTraits ragged = dense;
+  ragged.input_block_density = 0.2;
+  const auto ed = analysis::assess_mmu_suitability(dense, sim::h200());
+  const auto er = analysis::assess_mmu_suitability(ragged, sim::h200());
+  EXPECT_LT(er.estimated_speedup, ed.estimated_speedup);
+}
+
+TEST(Suitability, B200NarrowsComputeBoundWins) {
+  // With a 1:1 FP64 TC:CC ratio, the compute-bound estimate collapses.
+  const auto h = analysis::assess_mmu_suitability(gemm_like(), sim::h200());
+  const auto b = analysis::assess_mmu_suitability(gemm_like(), sim::b200());
+  EXPECT_GT(h.estimated_speedup, b.estimated_speedup);
+  EXPECT_NEAR(b.estimated_speedup, 1.0, 0.2);
+}
+
+TEST(Suitability, IrregularMemoryBoundBenefitsFromLayout) {
+  AlgorithmTraits spmv;
+  spmv.arithmetic_intensity = 0.15;
+  spmv.input_block_density = 0.9;
+  spmv.output_utilization = 0.125;
+  spmv.baseline_mem_regularity = 0.45;
+  const auto a = analysis::assess_mmu_suitability(spmv, sim::h200());
+  EXPECT_EQ(a.quadrant, UtilizationQuadrant::IV);
+  EXPECT_TRUE(a.recommend_mmu);
+}
+
+TEST(Suitability, StreamingMemoryBoundBarelyBenefits) {
+  AlgorithmTraits gemv;
+  gemv.arithmetic_intensity = 0.12;
+  gemv.input_block_density = 1.0;
+  gemv.output_utilization = 0.125;
+  gemv.baseline_mem_regularity = 0.85;  // cuBLAS streams well already
+  const auto a = analysis::assess_mmu_suitability(gemv, sim::h200());
+  EXPECT_LT(a.estimated_speedup, 1.5);
+}
+
+TEST(Suitability, BitwiseUsesScatterComparison) {
+  AlgorithmTraits bfs;
+  bfs.bitwise = true;
+  bfs.output_utilization = 0.125;
+  bfs.baseline_mem_regularity = 0.3;
+  const auto a = analysis::assess_mmu_suitability(bfs, sim::h200());
+  EXPECT_TRUE(a.recommend_mmu);
+  EXPECT_NE(a.rationale.find("bitwise"), std::string::npos);
+}
+
+TEST(Suitability, LabelsAreStable) {
+  EXPECT_EQ(analysis::quadrant_label(UtilizationQuadrant::I),
+            "I (full in / full out)");
+  EXPECT_EQ(analysis::quadrant_label(UtilizationQuadrant::IV),
+            "IV (full in / partial out)");
+}
+
+}  // namespace
+}  // namespace cubie

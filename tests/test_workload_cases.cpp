@@ -1,0 +1,115 @@
+// Per-dataset sweeps: every Table 3/4 instance and every GEMV shape runs
+// the TC variant against the serial reference (the per-workload smoke in
+// test_workloads.cpp covers one case; this covers all five).
+
+#include "common/metrics.hpp"
+#include "core/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cubie {
+namespace {
+
+constexpr int kScale = 16;
+
+struct Sweep {
+  const char* workload;
+  std::size_t case_index;
+  double tolerance;
+};
+
+std::vector<Sweep> sweeps() {
+  std::vector<Sweep> s;
+  for (std::size_t i = 0; i < 5; ++i) s.push_back({"SpMV", i, 1e-11});
+  for (std::size_t i = 0; i < 5; ++i) s.push_back({"SpGEMM", i, 1e-11});
+  for (std::size_t i = 0; i < 5; ++i) s.push_back({"GEMV", i, 1e-12});
+  for (std::size_t i = 0; i < 5; ++i) s.push_back({"BFS", i, 0.0});
+  return s;
+}
+
+class DatasetSweep : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(DatasetSweep, TcMatchesReference) {
+  const auto& p = GetParam();
+  const auto w = core::make_workload(p.workload);
+  const auto cases = w->cases(kScale);
+  const auto& tc = cases[p.case_index];
+  const auto ref = w->reference(tc);
+  const auto out = w->run(core::Variant::TC, tc);
+  ASSERT_EQ(out.values.size(), ref.size()) << tc.label;
+  const auto err = common::error_stats(out.values, ref);
+  EXPECT_LE(err.max, p.tolerance) << p.workload << " " << tc.label;
+}
+
+TEST_P(DatasetSweep, CceMatchesReference) {
+  const auto& p = GetParam();
+  const auto w = core::make_workload(p.workload);
+  if (!w->cce_distinct()) return;
+  const auto cases = w->cases(kScale);
+  const auto& tc = cases[p.case_index];
+  const auto ref = w->reference(tc);
+  const auto out = w->run(core::Variant::CCE, tc);
+  ASSERT_EQ(out.values.size(), ref.size());
+  const auto err = common::error_stats(out.values, ref);
+  EXPECT_LE(err.max, std::max(p.tolerance, 1e-11)) << tc.label;
+}
+
+TEST_P(DatasetSweep, BaselineMatchesReference) {
+  const auto& p = GetParam();
+  const auto w = core::make_workload(p.workload);
+  if (!w->has_baseline()) return;
+  const auto cases = w->cases(kScale);
+  const auto& tc = cases[p.case_index];
+  const auto ref = w->reference(tc);
+  const auto out = w->run(core::Variant::Baseline, tc);
+  ASSERT_EQ(out.values.size(), ref.size());
+  const auto err = common::error_stats(out.values, ref);
+  EXPECT_LE(err.max, std::max(p.tolerance, 1e-11)) << tc.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetSweep, ::testing::ValuesIn(sweeps()),
+    [](const ::testing::TestParamInfo<Sweep>& info) {
+      return std::string(info.param.workload) + "_case" +
+             std::to_string(info.param.case_index);
+    });
+
+TEST(DatasetSweep, BfsLevelsExactOnEveryGraph) {
+  // Levels are integers: every variant must be *exactly* right.
+  const auto w = core::make_workload("BFS");
+  for (const auto& tc : w->cases(kScale)) {
+    const auto ref = w->reference(tc);
+    for (auto v : {core::Variant::Baseline, core::Variant::TC,
+                   core::Variant::CC, core::Variant::CCE}) {
+      const auto out = w->run(v, tc);
+      ASSERT_EQ(out.values.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(out.values[i], ref[i])
+            << tc.label << " " << core::variant_name(v) << " vertex " << i;
+      }
+    }
+  }
+}
+
+TEST(DatasetSweep, SpmvProfilesScaleWithNnz) {
+  // More nonzeros -> more counted work, across the dataset sweep.
+  const auto w = core::make_workload("SpMV");
+  double prev_flops = -1.0;
+  std::vector<std::pair<double, double>> points;  // (nnz-proxy, tc_flops)
+  for (const auto& tc : w->cases(kScale)) {
+    const auto out = w->run(core::Variant::TC, tc);
+    points.emplace_back(out.profile.useful_flops, out.profile.tc_flops);
+    EXPECT_GT(out.profile.tc_flops, out.profile.useful_flops)
+        << tc.label << ": MMA redundancy must exceed useful work";
+  }
+  (void)prev_flops;
+  // Padding redundancy is bounded (sanity: < 16x of useful work).
+  for (const auto& [useful, tc_flops] : points) {
+    EXPECT_LT(tc_flops, useful * 16.0);
+  }
+}
+
+}  // namespace
+}  // namespace cubie

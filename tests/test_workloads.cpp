@@ -1,0 +1,152 @@
+// End-to-end workload correctness: every variant of every Cubie workload is
+// compared against the naive CPU serial reference on a reduced test case,
+// and the central TC == CC numerical-identity invariant is verified.
+
+#include "common/metrics.hpp"
+#include "core/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cubie {
+namespace {
+
+using core::Variant;
+
+constexpr int kTestScale = 16;  // heavy reduction: unit tests must be quick
+
+struct WorkloadCase {
+  const char* name;
+  std::size_t case_index;
+  double tolerance;  // max absolute deviation allowed vs. serial reference
+};
+
+// Tolerances reflect the expected rounding-order deviations, not bugs: a
+// variant that disagrees structurally produces errors many orders of
+// magnitude above these bounds.
+const WorkloadCase kCases[] = {
+    {"GEMM", 0, 1e-11},     {"GEMV", 0, 1e-12},   {"SpMV", 0, 1e-11},
+    {"SpGEMM", 0, 1e-11},   {"FFT", 0, 1e-9},     {"FFT", 1, 1e-9},
+    {"FFT", 4, 1e-9},       {"Stencil", 0, 1e-12},
+    {"Stencil", 3, 1e-12},  {"Scan", 0, 1e-8},    {"Reduction", 0, 1e-8},
+    {"BFS", 1, 0.0},        {"PiC", 0, 1e-13},
+};
+
+class WorkloadCorrectness : public ::testing::TestWithParam<WorkloadCase> {};
+
+TEST_P(WorkloadCorrectness, AllVariantsMatchReference) {
+  const auto& wc = GetParam();
+  const auto w = core::make_workload(wc.name);
+  ASSERT_NE(w, nullptr);
+  const auto cases = w->cases(kTestScale);
+  ASSERT_LT(wc.case_index, cases.size());
+  const auto& tc = cases[wc.case_index];
+  const auto ref = w->reference(tc);
+  ASSERT_FALSE(ref.empty());
+
+  for (auto v : core::all_variants()) {
+    if (v == Variant::Baseline && !w->has_baseline()) continue;
+    if (v == Variant::CCE && !w->cce_distinct()) continue;
+    const auto out = w->run(v, tc);
+    ASSERT_EQ(out.values.size(), ref.size())
+        << w->name() << "/" << core::variant_name(v);
+    const auto err = common::error_stats(out.values, ref);
+    EXPECT_LE(err.max, wc.tolerance)
+        << w->name() << "/" << core::variant_name(v) << " case " << tc.label;
+    // The profile must describe real work.
+    EXPECT_GT(out.profile.dram_bytes, 0.0);
+    EXPECT_GT(out.profile.useful_flops, 0.0);
+    EXPECT_GE(out.profile.launches, 1);
+  }
+}
+
+TEST_P(WorkloadCorrectness, TcAndCcNumericallyIdentical) {
+  const auto& wc = GetParam();
+  const auto w = core::make_workload(wc.name);
+  ASSERT_NE(w, nullptr);
+  const auto tc = w->cases(kTestScale)[wc.case_index];
+  const auto tc_out = w->run(Variant::TC, tc);
+  const auto cc_out = w->run(Variant::CC, tc);
+  ASSERT_EQ(tc_out.values.size(), cc_out.values.size());
+  for (std::size_t i = 0; i < tc_out.values.size(); ++i) {
+    ASSERT_EQ(tc_out.values[i], cc_out.values[i])
+        << w->name() << " index " << i;
+  }
+  // Same math, different pipes: TC work lands on the tensor pipe, CC work
+  // on the CUDA pipe, and CC issues more instructions.
+  if (w->is_floating_point()) {
+    EXPECT_GT(tc_out.profile.tc_flops, 0.0) << w->name();
+    EXPECT_EQ(cc_out.profile.tc_flops, 0.0) << w->name();
+    EXPECT_GE(cc_out.profile.cc_flops, tc_out.profile.tc_flops) << w->name();
+  } else {
+    EXPECT_GT(tc_out.profile.tc_bitops, 0.0) << w->name();
+    EXPECT_GT(cc_out.profile.cc_intops, 0.0) << w->name();
+  }
+  EXPECT_GT(cc_out.profile.warp_instructions,
+            tc_out.profile.warp_instructions)
+      << w->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadCorrectness, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<WorkloadCase>& info) {
+      return std::string(info.param.name) + "_case" +
+             std::to_string(info.param.case_index);
+    });
+
+TEST(Suite, HasTenWorkloadsInQuadrantOrder) {
+  const auto suite = core::make_suite();
+  ASSERT_EQ(suite.size(), 10u);
+  int prev = 0;
+  for (const auto& w : suite) {
+    const int q = static_cast<int>(w->quadrant());
+    EXPECT_GE(q, prev);  // non-decreasing quadrant order
+    prev = q;
+    EXPECT_EQ(w->cases(kTestScale).size(), 5u) << w->name();
+    EXPECT_LT(w->representative_case(), 5u);
+  }
+}
+
+TEST(Suite, QuadrantAssignmentsMatchPaper) {
+  const auto q_of = [](const char* n) {
+    return core::make_workload(n)->quadrant();
+  };
+  using core::Quadrant;
+  EXPECT_EQ(q_of("GEMM"), Quadrant::I);
+  EXPECT_EQ(q_of("PiC"), Quadrant::I);
+  EXPECT_EQ(q_of("FFT"), Quadrant::I);
+  EXPECT_EQ(q_of("Stencil"), Quadrant::I);
+  EXPECT_EQ(q_of("Scan"), Quadrant::II);
+  EXPECT_EQ(q_of("Reduction"), Quadrant::III);
+  EXPECT_EQ(q_of("BFS"), Quadrant::IV);
+  EXPECT_EQ(q_of("GEMV"), Quadrant::IV);
+  EXPECT_EQ(q_of("SpMV"), Quadrant::IV);
+  EXPECT_EQ(q_of("SpGEMM"), Quadrant::IV);
+}
+
+TEST(Suite, CceDistinctOnlyOutsideQuadrantI) {
+  for (const auto& w : core::make_suite()) {
+    EXPECT_EQ(w->cce_distinct(), w->quadrant() != core::Quadrant::I)
+        << w->name();
+  }
+}
+
+TEST(Suite, BfsIsTheOnlyNonFloatingPointKernel) {
+  for (const auto& w : core::make_suite()) {
+    EXPECT_EQ(w->is_floating_point(), w->name() != "BFS") << w->name();
+  }
+}
+
+TEST(Suite, PicHasNoBaseline) {
+  for (const auto& w : core::make_suite()) {
+    EXPECT_EQ(w->has_baseline(), w->name() != "PiC") << w->name();
+  }
+}
+
+TEST(Suite, UnknownWorkloadReturnsNull) {
+  EXPECT_EQ(core::make_workload("NotAKernel"), nullptr);
+}
+
+}  // namespace
+}  // namespace cubie

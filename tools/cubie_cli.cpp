@@ -1,0 +1,210 @@
+// cubie: the command-line driver for the suite. Runs any workload / variant
+// / test case against any device model and reports performance, power, and
+// accuracy; also lists the suite and dumps machine-readable CSV.
+//
+//   cubie list
+//   cubie cases <workload> [--scale N]
+//   cubie run <workload> [--variant TC|CC|CC-E|Baseline|all]
+//                        [--case IDX|all] [--gpu A100|H200|B200|all]
+//                        [--scale N] [--errors] [--csv]
+
+#include "common/metrics.hpp"
+#include "common/table.hpp"
+#include "core/kernels.hpp"
+#include "sim/model.hpp"
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace cubie;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  cubie list\n"
+      "  cubie cases <workload> [--scale N]\n"
+      "  cubie run <workload> [--variant V|all] [--case I|all]\n"
+      "            [--gpu G|all] [--scale N] [--errors] [--csv]\n"
+      "            [--dataset file.mtx]   (SpMV / SpGEMM only)\n";
+  return 2;
+}
+
+std::optional<core::Variant> parse_variant(const std::string& s) {
+  if (s == "Baseline") return core::Variant::Baseline;
+  if (s == "TC") return core::Variant::TC;
+  if (s == "CC") return core::Variant::CC;
+  if (s == "CC-E" || s == "CCE") return core::Variant::CCE;
+  return std::nullopt;
+}
+
+std::optional<sim::Gpu> parse_gpu(const std::string& s) {
+  if (s == "A100") return sim::Gpu::A100;
+  if (s == "H200") return sim::Gpu::H200;
+  if (s == "B200") return sim::Gpu::B200;
+  return std::nullopt;
+}
+
+int cmd_list() {
+  common::Table t({"workload", "quadrant", "dwarf", "baseline", "variants"});
+  for (const auto& w : core::make_suite()) {
+    std::string variants = "TC CC";
+    if (w->has_baseline()) variants = "Baseline " + variants;
+    if (w->cce_distinct()) variants += " CC-E";
+    t.add_row({w->name(), core::quadrant_name(w->quadrant()), w->dwarf(),
+               w->baseline_name(), variants});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_cases(const core::Workload& w, int scale) {
+  common::Table t({"index", "label", "dataset"});
+  int i = 0;
+  for (const auto& c : w.cases(scale)) {
+    t.add_row({std::to_string(i++), c.label, c.dataset});
+  }
+  t.print(std::cout);
+  std::cout << "(representative case: " << w.representative_case() << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+
+  if (args[0] == "list") return cmd_list();
+
+  // Common flags.
+  int scale = common::scale_divisor();
+  std::string variant_arg = "all", case_arg = "rep", gpu_arg = "H200";
+  std::string dataset;  // optional .mtx path for the sparse workloads
+  bool errors = false, csv = false;
+  std::string workload_name;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (args[i] == "--scale") scale = std::max(1, std::atoi(next("--scale").c_str()));
+    else if (args[i] == "--variant") variant_arg = next("--variant");
+    else if (args[i] == "--case") case_arg = next("--case");
+    else if (args[i] == "--gpu") gpu_arg = next("--gpu");
+    else if (args[i] == "--dataset") dataset = next("--dataset");
+    else if (args[i] == "--errors") errors = true;
+    else if (args[i] == "--csv") csv = true;
+    else if (workload_name.empty()) workload_name = args[i];
+    else return usage();
+  }
+
+  if ((args[0] == "cases" || args[0] == "run") && workload_name.empty())
+    return usage();
+  const auto w = core::make_workload(workload_name);
+  if (!w) {
+    std::cerr << "unknown workload '" << workload_name << "' (try: cubie list)\n";
+    return 2;
+  }
+
+  if (args[0] == "cases") return cmd_cases(*w, scale);
+  if (args[0] != "run") return usage();
+
+  // Resolve selections.
+  std::vector<core::Variant> variants;
+  if (variant_arg == "all") {
+    for (auto v : core::all_variants()) {
+      if (v == core::Variant::Baseline && !w->has_baseline()) continue;
+      if (v == core::Variant::CCE && !w->cce_distinct()) continue;
+      variants.push_back(v);
+    }
+  } else if (auto v = parse_variant(variant_arg)) {
+    variants.push_back(*v);
+  } else {
+    std::cerr << "bad --variant\n";
+    return 2;
+  }
+
+  auto cases = w->cases(scale);
+  if (!dataset.empty()) {
+    if (cases.empty() || cases[0].dataset.empty()) {
+      std::cerr << "--dataset applies only to dataset-driven workloads "
+                   "(SpMV, SpGEMM, BFS)\n";
+      return 2;
+    }
+    // Replace the sweep with one custom case backed by the given file.
+    cases = {core::TestCase{dataset, {1}, dataset}};
+    case_arg = "0";
+  }
+  std::vector<std::size_t> case_ids;
+  if (case_arg == "all") {
+    for (std::size_t i = 0; i < cases.size(); ++i) case_ids.push_back(i);
+  } else if (case_arg == "rep") {
+    case_ids.push_back(w->representative_case());
+  } else {
+    const int idx = std::atoi(case_arg.c_str());
+    if (idx < 0 || static_cast<std::size_t>(idx) >= cases.size()) {
+      std::cerr << "case index out of range (0.." << cases.size() - 1 << ")\n";
+      return 2;
+    }
+    case_ids.push_back(static_cast<std::size_t>(idx));
+  }
+
+  std::vector<sim::Gpu> gpus;
+  if (gpu_arg == "all") {
+    gpus = sim::all_gpus();
+  } else if (auto g = parse_gpu(gpu_arg)) {
+    gpus.push_back(*g);
+  } else {
+    std::cerr << "bad --gpu\n";
+    return 2;
+  }
+
+  std::vector<std::string> header{"gpu", "case", "variant", "time_ms",
+                                  "gflops", "power_w", "energy_j", "edp",
+                                  "bound"};
+  if (errors) {
+    header.push_back("avg_err");
+    header.push_back("max_err");
+  }
+  common::Table t(std::move(header));
+
+  for (std::size_t ci : case_ids) {
+    const auto& tc = cases[ci];
+    std::vector<double> ref;
+    if (errors) ref = w->reference(tc);
+    for (auto v : variants) {
+      const auto out = w->run(v, tc);
+      for (auto g : gpus) {
+        const sim::DeviceModel model(sim::spec_for(g));
+        const auto pred = model.predict(out.profile);
+        std::vector<std::string> row{
+            sim::gpu_name(g), tc.label, core::variant_name(v),
+            common::fmt_double(pred.time_s * 1e3, 4),
+            common::fmt_double(out.profile.useful_flops / pred.time_s / 1e9, 1),
+            common::fmt_double(pred.avg_power_w, 0),
+            common::fmt_sci(pred.energy_j), common::fmt_sci(pred.edp),
+            sim::bottleneck_name(pred.bound)};
+        if (errors) {
+          const auto e = common::error_stats(out.values, ref);
+          row.push_back(common::fmt_sci(e.avg));
+          row.push_back(common::fmt_sci(e.max));
+        }
+        t.add_row(std::move(row));
+      }
+    }
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  return 0;
+}
