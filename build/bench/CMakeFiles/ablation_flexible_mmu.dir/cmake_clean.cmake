@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flexible_mmu.dir/ablation_flexible_mmu.cpp.o"
+  "CMakeFiles/ablation_flexible_mmu.dir/ablation_flexible_mmu.cpp.o.d"
+  "ablation_flexible_mmu"
+  "ablation_flexible_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flexible_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_issue_cost.dir/ablation_issue_cost.cpp.o"
+  "CMakeFiles/ablation_issue_cost.dir/ablation_issue_cost.cpp.o.d"
+  "ablation_issue_cost"
+  "ablation_issue_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_issue_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

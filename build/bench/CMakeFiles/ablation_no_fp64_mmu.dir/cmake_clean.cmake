@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_no_fp64_mmu.dir/ablation_no_fp64_mmu.cpp.o"
+  "CMakeFiles/ablation_no_fp64_mmu.dir/ablation_no_fp64_mmu.cpp.o.d"
+  "ablation_no_fp64_mmu"
+  "ablation_no_fp64_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_no_fp64_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_no_fp64_mmu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_occupancy.dir/ablation_occupancy.cpp.o"
+  "CMakeFiles/ablation_occupancy.dir/ablation_occupancy.cpp.o.d"
+  "ablation_occupancy"
+  "ablation_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

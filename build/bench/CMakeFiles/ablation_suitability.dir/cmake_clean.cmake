@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_suitability.dir/ablation_suitability.cpp.o"
+  "CMakeFiles/ablation_suitability.dir/ablation_suitability.cpp.o.d"
+  "ablation_suitability"
+  "ablation_suitability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_suitability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_variability.dir/ablation_variability.cpp.o"
+  "CMakeFiles/ablation_variability.dir/ablation_variability.cpp.o.d"
+  "ablation_variability"
+  "ablation_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

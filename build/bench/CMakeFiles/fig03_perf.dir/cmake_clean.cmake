@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_perf.dir/fig03_perf.cpp.o"
+  "CMakeFiles/fig03_perf.dir/fig03_perf.cpp.o.d"
+  "fig03_perf"
+  "fig03_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_tc_vs_baseline.dir/fig04_tc_vs_baseline.cpp.o"
+  "CMakeFiles/fig04_tc_vs_baseline.dir/fig04_tc_vs_baseline.cpp.o.d"
+  "fig04_tc_vs_baseline"
+  "fig04_tc_vs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_tc_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_cc_vs_tc.dir/fig05_cc_vs_tc.cpp.o"
+  "CMakeFiles/fig05_cc_vs_tc.dir/fig05_cc_vs_tc.cpp.o.d"
+  "fig05_cc_vs_tc"
+  "fig05_cc_vs_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cc_vs_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_cce_vs_tc.dir/fig06_cce_vs_tc.cpp.o"
+  "CMakeFiles/fig06_cce_vs_tc.dir/fig06_cce_vs_tc.cpp.o.d"
+  "fig06_cce_vs_tc"
+  "fig06_cce_vs_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cce_vs_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_edp.dir/fig07_edp.cpp.o"
+  "CMakeFiles/fig07_edp.dir/fig07_edp.cpp.o.d"
+  "fig07_edp"
+  "fig07_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

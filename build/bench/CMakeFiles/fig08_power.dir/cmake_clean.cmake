@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_power.dir/fig08_power.cpp.o"
+  "CMakeFiles/fig08_power.dir/fig08_power.cpp.o.d"
+  "fig08_power"
+  "fig08_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_roofline.dir/fig09_roofline.cpp.o"
+  "CMakeFiles/fig09_roofline.dir/fig09_roofline.cpp.o.d"
+  "fig09_roofline"
+  "fig09_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

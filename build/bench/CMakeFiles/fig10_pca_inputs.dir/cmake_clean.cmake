@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pca_inputs.dir/fig10_pca_inputs.cpp.o"
+  "CMakeFiles/fig10_pca_inputs.dir/fig10_pca_inputs.cpp.o.d"
+  "fig10_pca_inputs"
+  "fig10_pca_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pca_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pca_suites.dir/fig11_pca_suites.cpp.o"
+  "CMakeFiles/fig11_pca_suites.dir/fig11_pca_suites.cpp.o.d"
+  "fig11_pca_suites"
+  "fig11_pca_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pca_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

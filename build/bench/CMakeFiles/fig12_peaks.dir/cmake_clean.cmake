@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_peaks.dir/fig12_peaks.cpp.o"
+  "CMakeFiles/fig12_peaks.dir/fig12_peaks.cpp.o.d"
+  "fig12_peaks"
+  "fig12_peaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

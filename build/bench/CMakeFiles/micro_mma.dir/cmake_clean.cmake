@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mma.dir/micro_mma.cpp.o"
+  "CMakeFiles/micro_mma.dir/micro_mma.cpp.o.d"
+  "micro_mma"
+  "micro_mma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

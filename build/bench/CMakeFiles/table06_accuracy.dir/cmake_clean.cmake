@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_accuracy.dir/table06_accuracy.cpp.o"
+  "CMakeFiles/table06_accuracy.dir/table06_accuracy.cpp.o.d"
+  "table06_accuracy"
+  "table06_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_coverage.dir/table07_coverage.cpp.o"
+  "CMakeFiles/table07_coverage.dir/table07_coverage.cpp.o.d"
+  "table07_coverage"
+  "table07_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_poisson.dir/amg_poisson.cpp.o"
+  "CMakeFiles/amg_poisson.dir/amg_poisson.cpp.o.d"
+  "amg_poisson"
+  "amg_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

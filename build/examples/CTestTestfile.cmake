@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart" "SpMV")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cg_solver]=] "/root/repo/build/examples/cg_solver" "1024" "100")
+set_tests_properties([=[example_cg_solver]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_heat_diffusion]=] "/root/repo/build/examples/heat_diffusion" "64" "20")
+set_tests_properties([=[example_heat_diffusion]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_graph_analytics]=] "/root/repo/build/examples/graph_analytics" "rmat")
+set_tests_properties([=[example_graph_analytics]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_spectral_filter]=] "/root/repo/build/examples/spectral_filter" "1024" "0.1")
+set_tests_properties([=[example_spectral_filter]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_amg_poisson]=] "/root/repo/build/examples/amg_poisson" "32" "20")
+set_tests_properties([=[example_amg_poisson]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/features.cpp" "src/CMakeFiles/cubie.dir/analysis/features.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/analysis/features.cpp.o.d"
+  "/root/repo/src/analysis/pca.cpp" "src/CMakeFiles/cubie.dir/analysis/pca.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/analysis/pca.cpp.o.d"
+  "/root/repo/src/analysis/suitability.cpp" "src/CMakeFiles/cubie.dir/analysis/suitability.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/analysis/suitability.cpp.o.d"
+  "/root/repo/src/common/metrics.cpp" "src/CMakeFiles/cubie.dir/common/metrics.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/common/metrics.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/cubie.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/cubie.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/bfs.cpp" "src/CMakeFiles/cubie.dir/core/bfs.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/bfs.cpp.o.d"
+  "/root/repo/src/core/fft_workload.cpp" "src/CMakeFiles/cubie.dir/core/fft_workload.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/fft_workload.cpp.o.d"
+  "/root/repo/src/core/gemm.cpp" "src/CMakeFiles/cubie.dir/core/gemm.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/gemm.cpp.o.d"
+  "/root/repo/src/core/gemv.cpp" "src/CMakeFiles/cubie.dir/core/gemv.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/gemv.cpp.o.d"
+  "/root/repo/src/core/pic_workload.cpp" "src/CMakeFiles/cubie.dir/core/pic_workload.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/pic_workload.cpp.o.d"
+  "/root/repo/src/core/reduction.cpp" "src/CMakeFiles/cubie.dir/core/reduction.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/reduction.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/cubie.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/scan.cpp" "src/CMakeFiles/cubie.dir/core/scan.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/scan.cpp.o.d"
+  "/root/repo/src/core/spgemm.cpp" "src/CMakeFiles/cubie.dir/core/spgemm.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/spgemm.cpp.o.d"
+  "/root/repo/src/core/spmv.cpp" "src/CMakeFiles/cubie.dir/core/spmv.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/spmv.cpp.o.d"
+  "/root/repo/src/core/stencil_workload.cpp" "src/CMakeFiles/cubie.dir/core/stencil_workload.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/stencil_workload.cpp.o.d"
+  "/root/repo/src/core/suite_proxies.cpp" "src/CMakeFiles/cubie.dir/core/suite_proxies.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/suite_proxies.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/CMakeFiles/cubie.dir/core/workload.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/core/workload.cpp.o.d"
+  "/root/repo/src/fft/fft.cpp" "src/CMakeFiles/cubie.dir/fft/fft.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/fft/fft.cpp.o.d"
+  "/root/repo/src/graph/bitmap.cpp" "src/CMakeFiles/cubie.dir/graph/bitmap.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/graph/bitmap.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/cubie.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/cubie.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/mma/half.cpp" "src/CMakeFiles/cubie.dir/mma/half.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/mma/half.cpp.o.d"
+  "/root/repo/src/mma/mma.cpp" "src/CMakeFiles/cubie.dir/mma/mma.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/mma/mma.cpp.o.d"
+  "/root/repo/src/mma/warp.cpp" "src/CMakeFiles/cubie.dir/mma/warp.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/mma/warp.cpp.o.d"
+  "/root/repo/src/pic/pic.cpp" "src/CMakeFiles/cubie.dir/pic/pic.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/pic/pic.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/CMakeFiles/cubie.dir/sim/device.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/sim/device.cpp.o.d"
+  "/root/repo/src/sim/model.cpp" "src/CMakeFiles/cubie.dir/sim/model.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/sim/model.cpp.o.d"
+  "/root/repo/src/sim/power.cpp" "src/CMakeFiles/cubie.dir/sim/power.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/sim/power.cpp.o.d"
+  "/root/repo/src/sim/roofline.cpp" "src/CMakeFiles/cubie.dir/sim/roofline.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/sim/roofline.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/cubie.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/CMakeFiles/cubie.dir/sparse/generators.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/sparse/generators.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/CMakeFiles/cubie.dir/sparse/io.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/sparse/io.cpp.o.d"
+  "/root/repo/src/sparse/mbsr.cpp" "src/CMakeFiles/cubie.dir/sparse/mbsr.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/sparse/mbsr.cpp.o.d"
+  "/root/repo/src/sparse/stats.cpp" "src/CMakeFiles/cubie.dir/sparse/stats.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/sparse/stats.cpp.o.d"
+  "/root/repo/src/stencil/stencil.cpp" "src/CMakeFiles/cubie.dir/stencil/stencil.cpp.o" "gcc" "src/CMakeFiles/cubie.dir/stencil/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for cubie.
+# This may be replaced when dependencies are built.

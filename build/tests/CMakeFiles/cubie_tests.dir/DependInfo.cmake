@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/cubie_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_fft_properties.cpp" "tests/CMakeFiles/cubie_tests.dir/test_fft_properties.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_fft_properties.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/cubie_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/cubie_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_half.cpp" "tests/CMakeFiles/cubie_tests.dir/test_half.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_half.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/cubie_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/cubie_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/cubie_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_mma.cpp" "tests/CMakeFiles/cubie_tests.dir/test_mma.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_mma.cpp.o.d"
+  "/root/repo/tests/test_pca.cpp" "tests/CMakeFiles/cubie_tests.dir/test_pca.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_pca.cpp.o.d"
+  "/root/repo/tests/test_pic_properties.cpp" "tests/CMakeFiles/cubie_tests.dir/test_pic_properties.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_pic_properties.cpp.o.d"
+  "/root/repo/tests/test_profile_contracts.cpp" "tests/CMakeFiles/cubie_tests.dir/test_profile_contracts.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_profile_contracts.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/cubie_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scan_reduce_properties.cpp" "tests/CMakeFiles/cubie_tests.dir/test_scan_reduce_properties.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_scan_reduce_properties.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/cubie_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/cubie_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_stencil.cpp" "tests/CMakeFiles/cubie_tests.dir/test_stencil.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_stencil.cpp.o.d"
+  "/root/repo/tests/test_stencil_properties.cpp" "tests/CMakeFiles/cubie_tests.dir/test_stencil_properties.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_stencil_properties.cpp.o.d"
+  "/root/repo/tests/test_suitability.cpp" "tests/CMakeFiles/cubie_tests.dir/test_suitability.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_suitability.cpp.o.d"
+  "/root/repo/tests/test_warp.cpp" "tests/CMakeFiles/cubie_tests.dir/test_warp.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_warp.cpp.o.d"
+  "/root/repo/tests/test_workload_cases.cpp" "tests/CMakeFiles/cubie_tests.dir/test_workload_cases.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_workload_cases.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/cubie_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/cubie_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cubie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

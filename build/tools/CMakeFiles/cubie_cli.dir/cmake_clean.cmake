@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubie_cli.dir/cubie_cli.cpp.o"
+  "CMakeFiles/cubie_cli.dir/cubie_cli.cpp.o.d"
+  "cubie"
+  "cubie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubie_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_list]=] "/root/repo/build/tools/cubie" "list")
+set_tests_properties([=[cli_list]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_cases]=] "/root/repo/build/tools/cubie" "cases" "GEMV" "--scale" "16")
+set_tests_properties([=[cli_cases]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_run]=] "/root/repo/build/tools/cubie" "run" "Reduction" "--variant" "TC" "--case" "0" "--gpu" "all" "--scale" "16" "--errors")
+set_tests_properties([=[cli_run]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_run_csv]=] "/root/repo/build/tools/cubie" "run" "GEMV" "--variant" "all" "--case" "rep" "--gpu" "H200" "--scale" "16" "--csv")
+set_tests_properties([=[cli_run_csv]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_rejects_unknown]=] "/root/repo/build/tools/cubie" "run" "NotAKernel")
+set_tests_properties([=[cli_rejects_unknown]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
