@@ -13,6 +13,7 @@
 //   lanes2     - 2 strided partials (the SpMV CC-E essential order)
 // Errors are against an exact long-double Kahan reference.
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 
@@ -68,8 +69,11 @@ long double sum_exactish(const std::vector<double>& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
+  auto bench = benchutil::bench_init(
+      argc, argv, "ablation_accumulation",
+      "Ablation: accumulation-order error vs reduction length");
   std::cout << "=== Ablation: accumulation-order error vs reduction length "
                "===\n(mean |deviation from exact| over 64 trials; inputs "
                "LINPACK-uniform in (-2,2))\n\n";
@@ -96,8 +100,15 @@ int main() {
                common::fmt_sci(e_pair / trials),
                common::fmt_sci(e_l32 / trials),
                common::fmt_sci(e_l2 / trials)});
+    auto& rec = bench.record("accumulation", "", "", "n=" + std::to_string(n));
+    rec.set("naive", e_naive / trials);
+    rec.set("fused", e_fused / trials);
+    rec.set("pairwise", e_pair / trials);
+    rec.set("lanes32", e_l32 / trials);
+    rec.set("lanes2", e_l2 / trials);
   }
   t.print(std::cout);
+  bench.capture("accumulation_error", t);
   std::cout <<
       "\nReadings:\n"
       "  - fused tracks the exact sum ~2x closer than naive (one rounding per\n"
@@ -108,5 +119,5 @@ int main() {
       "    which shows up as deviation, not inaccuracy (Observation 7).\n"
       "  - chained m8n8k4 MMAs are bit-identical to `fused` (verified in\n"
       "    tests/test_mma.cpp), so TC == CC in Table 6 by construction.\n";
-  return 0;
+  return bench.finish();
 }

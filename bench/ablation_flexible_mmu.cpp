@@ -29,9 +29,12 @@ double output_utilization(const std::string& name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench = benchutil::bench_init(
+      argc, argv, "ablation_flexible_mmu",
+      "Ablation: hypothetical flexible (masked-output) MMU on H200");
   const sim::DeviceModel model(sim::h200());
-  const int s = common::scale_divisor();
+  const int s = bench.scale;
   std::cout << "=== Ablation: hypothetical flexible (masked-output) MMU on "
                "H200 ===\n\n";
   common::Table t({"Workload", "output use", "TC time (us)", "flex time (us)",
@@ -62,8 +65,13 @@ int main() {
                common::fmt_double(pred_flex.avg_power_w, 0),
                common::fmt_double(pred.energy_j / pred_flex.energy_j, 2) + "x",
                sim::bottleneck_name(pred_flex.bound)});
+    auto& rec = bench.record(w->name(), "TC", "H200", tc_case.label);
+    rec.set("output_utilization", util);
+    rec.set("time_gain", pred.time_s / pred_flex.time_s);
+    rec.set("energy_gain", pred.energy_j / pred_flex.energy_j);
   }
   t.print(std::cout);
+  bench.capture("flexible_mmu_h200", t);
   std::cout <<
       "\nReading: because the Quadrant IV kernels are bandwidth-bound, the\n"
       "flexible MMU's FLOP savings buy almost no wall-clock time on today's\n"
@@ -73,5 +81,5 @@ int main() {
       "quadrants. On a device with B200's 1:1 FP64 TC:CC ratio the masked\n"
       "mode would also start winning time, since the redundant FLOPs sit\n"
       "closer to the critical path.\n";
-  return 0;
+  return bench.finish();
 }

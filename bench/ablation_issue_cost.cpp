@@ -4,6 +4,7 @@
 // replacements across the parameter grid, showing which mechanism drives
 // the paper's Figure 5 observation for each regime.
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/kernels.hpp"
 #include "sim/calibration.hpp"
@@ -11,15 +12,18 @@
 
 #include <iostream>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
+  auto bench = benchutil::bench_init(
+      argc, argv, "ablation_issue_cost",
+      "Ablation: CC-vs-TC gap sensitivity to issue cost and mem_eff (H200)");
   const sim::DeviceModel model(sim::h200());
   std::cout << "=== Ablation: what makes CC slower than TC? (H200, Scan & "
                "SpMV) ===\n\n";
 
   for (const char* name : {"Scan", "SpMV"}) {
     const auto w = core::make_workload(name);
-    const auto tc_case = w->cases(common::scale_divisor())[w->representative_case()];
+    const auto tc_case = w->cases(bench.scale)[w->representative_case()];
     const auto tc = w->run(core::Variant::TC, tc_case);
     const double t_tc = model.predict(tc.profile).time_s;
 
@@ -40,10 +44,16 @@ int main() {
         cc.pipe_eff = sim::cal::kCcEmulationEff;
         const double ratio = t_tc / model.predict(cc).time_s;
         row.push_back(common::fmt_double(ratio, 2) + "x");
+        bench
+            .record(name, "CC", "H200",
+                    "mem_eff=" + common::fmt_double(mem_eff, 2) + ",instr_x" +
+                        common::fmt_double(instr_scale, 0))
+            .set("tc_over_cc", ratio);
       }
       t.add_row(std::move(row));
     }
     t.print(std::cout);
+    bench.capture(std::string("issue_cost_") + name, t);
     std::cout << '\n';
   }
   std::cout <<
@@ -52,5 +62,5 @@ int main() {
       "instruction count until the x16-x64 regime - supporting the model's\n"
       "choice to encode the Section 6.2 gap as a bandwidth-efficiency loss\n"
       "(kMemEffCcEmulation / kMemEffCcSmall in calibration.hpp).\n";
-  return 0;
+  return bench.finish();
 }

@@ -9,9 +9,12 @@
 
 #include <iostream>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
-  const int s = common::scale_divisor();
+  auto bench = benchutil::bench_init(
+      argc, argv, "ablation_no_fp64_mmu",
+      "Ablation: TC kernels with vs without FP64 MMU hardware");
+  const int s = bench.scale;
   std::cout << "=== Ablation: TC kernels with vs without FP64 MMU hardware "
                "===\nTC-variant speedup over the same GPU's baseline; V100 "
                "has no FP64 MMU\n(its \"TC\" runs at CUDA-core rate), so its "
@@ -26,21 +29,27 @@ int main() {
     const auto tc = w->run(core::Variant::TC, tc_case);
     const auto base = w->run(core::Variant::Baseline, tc_case);
     std::vector<std::string> row{w->name()};
-    auto cell = [&](const sim::DeviceModel& model) {
+    auto cell = [&](const sim::DeviceModel& model, const std::string& gpu) {
       const double speedup = model.predict(base.profile).time_s /
                              model.predict(tc.profile).time_s;
+      bench.record(w->name(), "TC/Baseline", gpu, tc_case.label)
+          .set("speedup", speedup);
       return common::fmt_double(speedup, 2) + "x";
     };
-    row.push_back(cell(v100));
-    for (auto g : sim::all_gpus()) row.push_back(cell(sim::DeviceModel(sim::spec_for(g))));
+    row.push_back(cell(v100, "V100"));
+    for (auto g : sim::all_gpus()) {
+      const auto& spec = sim::spec_for(g);
+      row.push_back(cell(sim::DeviceModel(spec), spec.name));
+    }
     t.add_row(std::move(row));
   }
   t.print(std::cout);
+  bench.capture("no_fp64_mmu", t);
   std::cout <<
       "\nReading: on V100 the layout/algorithm benefits survive (sparse\n"
       "kernels keep most of their win - Observation 8's memory effects),\n"
       "but the compute-bound Quadrant I gains collapse without the 2x FP64\n"
       "MMU peak. B200's 1:1 FP64 TC:CC ratio sits partway back toward the\n"
       "V100 regime - the regression the paper's conclusion warns about.\n";
-  return 0;
+  return bench.finish();
 }

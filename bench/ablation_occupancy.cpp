@@ -4,14 +4,18 @@
 // the small-case rise in every Figure 3 subplot. Documents the model's
 // kSaturationFraction / sqrt-rolloff choices (DESIGN.md Section 5).
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "sim/calibration.hpp"
 #include "sim/model.hpp"
 
 #include <iostream>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
+  auto bench = benchutil::bench_init(
+      argc, argv, "ablation_occupancy",
+      "Ablation: occupancy rolloff and launch overhead");
   std::cout << "=== Ablation: occupancy rolloff and launch overhead ===\n\n";
   for (auto g : sim::all_gpus()) {
     const sim::DeviceModel model(sim::spec_for(g));
@@ -41,17 +45,24 @@ int main() {
       t.add_row({common::fmt_si(threads, 3),
                  common::fmt_double(pct_flop, 1),
                  common::fmt_double(pct_mem, 1)});
+      auto& rec = bench.record("occupancy", "", d.name,
+                               "threads=" + common::fmt_si(threads, 3));
+      rec.set("compute_pct_of_peak", pct_flop);
+      rec.set("memory_pct_of_peak_bw", pct_mem);
     }
     t.print(std::cout);
+    bench.capture(std::string("occupancy_") + d.name, t);
 
     // Launch-overhead floor: time of a near-empty kernel.
     sim::KernelProfile tiny;
     tiny.cc_flops = 32.0;
     tiny.threads = 32.0;
     tiny.launches = 1;
-    std::cout << "  empty-kernel floor: "
-              << common::fmt_double(model.predict(tiny).time_s * 1e6, 2)
+    const double floor_us = model.predict(tiny).time_s * 1e6;
+    std::cout << "  empty-kernel floor: " << common::fmt_double(floor_us, 2)
               << " us\n\n";
+    bench.record("occupancy", "", d.name, "empty kernel")
+        .set("floor_us", floor_us);
   }
-  return 0;
+  return bench.finish();
 }

@@ -4,6 +4,7 @@
 // FP16 storage actually cost in accuracy, and what does it buy in modeled
 // time on each generation?
 
+#include "bench_util.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -16,8 +17,11 @@
 #include <iostream>
 #include <vector>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
+  auto bench = benchutil::bench_init(
+      argc, argv, "ablation_precision",
+      "Ablation: FP64 tensor-core GEMM vs FP16 (FP32-acc) GEMM");
   std::cout << "=== Ablation: FP64 tensor-core GEMM vs FP16 (FP32-acc) "
                "GEMM ===\n\n";
 
@@ -62,8 +66,13 @@ int main() {
                  common::fmt_sci(e64.max), common::fmt_sci(e16.avg),
                  common::fmt_sci(e16.max),
                  common::fmt_sci(e16.avg / std::max(e64.avg, 1e-300))});
+    auto& rec = bench.record("GEMM", "", "", "n=" + std::to_string(n));
+    rec.set("fp64_avg_err", e64.avg);
+    rec.set("fp16_avg_err", e16.avg);
+    rec.set("err_ratio", e16.avg / std::max(e64.avg, 1e-300));
   }
   acc.print(std::cout);
+  bench.capture("precision_error", acc);
 
   // Modeled time ratio per generation for a 4K^3 GEMM at the respective
   // peaks (Figure 12 numbers).
@@ -79,12 +88,17 @@ int main() {
     perf.add_row({d.name, common::fmt_double(t64, 2),
                   common::fmt_double(t16, 2),
                   common::fmt_double(t64 / t16, 1) + "x"});
+    auto& rec = bench.record("GEMM", "", d.name, "4096^3 peak");
+    rec.set("fp64_tc_ms", t64);
+    rec.set("fp16_tc_ms", t16);
+    rec.set("fp16_speedup", t64 / t16);
   }
   perf.print(std::cout);
+  bench.capture("precision_peak_time", perf);
   std::cout <<
       "\nReading: FP16 storage costs ~12 orders of magnitude in GEMM error -\n"
       "unusable for FP64-grade science without iterative refinement - while\n"
       "the FP16 MMU advantage grows from 16x (A100) to 45x (B200). This is\n"
       "the divergence the paper's conclusion warns about.\n";
-  return 0;
+  return bench.finish();
 }

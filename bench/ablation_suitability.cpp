@@ -56,10 +56,13 @@ const char* plain_label(analysis::UtilizationQuadrant q) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench = benchutil::bench_init(
+      argc, argv, "ablation_suitability",
+      "Ablation: algorithm-level MMU suitability vs measured (H200)");
   const auto& dev = sim::h200();
   const sim::DeviceModel model(dev);
-  const int s = common::scale_divisor();
+  const int s = bench.scale;
 
   std::cout << "=== Ablation: algorithm-level MMU suitability vs measured "
                "(H200) ===\n\n";
@@ -89,11 +92,21 @@ int main() {
                common::fmt_double(assessment.estimated_speedup, 2) + "x",
                common::fmt_double(measured, 2) + "x",
                verdict_ok ? "yes" : "NO"});
+    auto& rec = bench.record(row.workload, "", "H200", tc_case.label);
+    rec.set("estimated_speedup", assessment.estimated_speedup);
+    rec.set("measured_speedup", measured);
+    rec.set("quadrant_ok", q_ok ? 1.0 : 0.0);
+    rec.set("verdict_ok", verdict_ok ? 1.0 : 0.0);
   }
   t.print(std::cout);
+  bench.capture("suitability", t);
   std::cout << "\nQuadrant prediction: " << correct_quadrant << "/" << n_rows
             << "; accelerate-or-not verdict: " << correct_verdict << "/"
             << n_rows << "\n"
             << "(PiC omitted: no baseline to compare against.)\n";
-  return 0;
+  auto& summary = bench.record("suitability", "", "H200", "summary");
+  summary.set("quadrant_correct", correct_quadrant);
+  summary.set("verdict_correct", correct_verdict);
+  summary.set("n", n_rows);
+  return bench.finish();
 }

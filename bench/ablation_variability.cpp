@@ -34,8 +34,11 @@ sim::DeviceSpec perturbed(const sim::DeviceSpec& base, double f_clock,
 
 }  // namespace
 
-int main() {
-  const int s = common::scale_divisor();
+int main(int argc, char** argv) {
+  auto bench = benchutil::bench_init(
+      argc, argv, "ablation_variability",
+      "Ablation: +-5% device variability (H200 binning corners)");
+  const int s = bench.scale;
   std::cout << "=== Ablation: +-5% device variability (Section 5.1's "
                "single-GPU rationale) ===\nTC speedup over baseline on the "
                "nominal H200 vs the slow/fast corners.\n\n";
@@ -69,8 +72,15 @@ int main() {
                common::fmt_double(sf, 2) + "x",
                common::fmt_double(sk, 2) + "x",
                verdict_stable ? "yes" : "NO"});
+    auto& rec = bench.record(w->name(), "TC/Baseline", "H200", tc_case.label);
+    rec.set("speedup_nominal", sn);
+    rec.set("speedup_slow", ss);
+    rec.set("speedup_fast", sf);
+    rec.set("speedup_skew", sk);
+    rec.set("verdict_stable", verdict_stable ? 1.0 : 0.0);
   }
   t.print(std::cout);
+  bench.capture("variability", t);
   std::cout << "\nVerdicts stable under +-5% binning: " << stable << "/"
             << total
             << "\nReading: uniform clock/bandwidth binning cancels out of "
@@ -78,5 +88,5 @@ int main() {
                "(clock vs bandwidth moving\nopposite ways) shifts the "
                "compute/memory balance, and by far less than\nany win/loss "
                "margin - supporting the paper's single-GPU methodology.\n";
-  return 0;
+  return bench.finish();
 }

@@ -5,15 +5,88 @@
 // from scratch.
 
 #include "common/metrics.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 #include "core/kernels.hpp"
 #include "sim/model.hpp"
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 namespace cubie::benchutil {
+
+// ---------------------------------------------------------------------------
+// Shared bench command line: every fig*/table*/ablation* binary accepts
+//   --json <path>   write a schema-versioned report::MetricsReport
+//                   ("-" for stdout) alongside the human-readable tables
+//   --scale <N>     override the CUBIE_SCALE divisor
+//   --help          print usage
+// and the Bench object collects records / captured tables as the binary
+// computes them. finish() writes the report and is the binary's exit code.
+
+struct Bench {
+  report::MetricsReport report;
+  std::string json_path;  // empty = human output only
+  int scale = 1;
+
+  report::MetricRecord& record(const std::string& workload,
+                               const std::string& variant,
+                               const std::string& gpu,
+                               const std::string& case_label) {
+    return report.add_record(workload, variant, gpu, case_label);
+  }
+
+  // Capture a printed table verbatim (cells as strings) under `name`.
+  void capture(const std::string& name, const common::Table& t) {
+    report.tables.push_back({name, t.header(), t.data()});
+  }
+
+  int finish() {
+    if (json_path.empty()) return 0;
+    if (!report.write_file(json_path)) {
+      std::cerr << report.tool << ": cannot write " << json_path << "\n";
+      return 1;
+    }
+    if (json_path != "-") {
+      std::cerr << "[json report: " << json_path << "]\n";
+    }
+    return 0;
+  }
+};
+
+inline Bench bench_init(int argc, char** argv, const std::string& tool,
+                        const std::string& title) {
+  Bench b;
+  b.report.tool = tool;
+  b.report.title = title;
+  b.scale = common::scale_divisor();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << tool << ": " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      b.json_path = next();
+    } else if (arg == "--scale") {
+      b.scale = std::max(1, std::atoi(next().c_str()));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << tool << ": " << title << "\n"
+                << "usage: " << tool << " [--json <path>] [--scale <N>]\n";
+      std::exit(0);
+    } else {
+      std::cerr << tool << ": unknown argument '" << arg << "'\n";
+      std::exit(2);
+    }
+  }
+  b.report.scale_divisor = b.scale;
+  return b;
+}
 
 inline std::vector<core::Variant> available_variants(const core::Workload& w) {
   std::vector<core::Variant> vs;
@@ -24,12 +97,32 @@ inline std::vector<core::Variant> available_variants(const core::Workload& w) {
   return vs;
 }
 
-// Performance metric for Figure 3: useful work rate. FLOP/s for
-// floating-point kernels, traversed edges/s (TEPS) for BFS.
+// Performance metric for Figure 3: useful work rate per second. For
+// floating-point workloads `useful_flops` counts FLOPs and the rate is
+// FLOP/s; for non-floating-point workloads (BFS) the Workload contract
+// stores traversed edges there, so the same ratio is edges/s (TEPS). The
+// workload decides which convention applies via is_floating_point() —
+// tests/test_benchutil.cpp pins the BFS metric to edges/s.
 inline double perf_metric(const core::Workload& w,
                           const sim::KernelProfile& prof, double time_s) {
-  (void)w;
-  return time_s > 0.0 ? prof.useful_flops / time_s : 0.0;
+  if (time_s <= 0.0) return 0.0;
+  if (!w.is_floating_point()) {
+    // Workload contract: useful_flops carries the traversed-edge count for
+    // non-floating-point workloads (BfsWorkload::run).
+    const double traversed_edges = prof.useful_flops;
+    return traversed_edges / time_s;  // TEPS
+  }
+  return prof.useful_flops / time_s;  // FLOP/s
+}
+
+// Unit label matching perf_metric, at giga scale (Figure 3 axis labels and
+// JSON metric names).
+inline std::string perf_unit(const core::Workload& w) {
+  return w.is_floating_point() ? "GFLOP/s" : "GTEPS";
+}
+
+inline std::string perf_metric_name(const core::Workload& w) {
+  return w.is_floating_point() ? "gflops" : "gteps";
 }
 
 // Case-averaged speedup of variant `num` over variant `den` on one device.
@@ -85,6 +178,22 @@ inline void print_speedup_table(const std::string& title,
   std::cout << "\nCSV:\n";
   t.print_csv(std::cout);
   std::cout << '\n';
+}
+
+// JSON records for a speedup sweep: one record per (workload, gpu), variant
+// labeled "num/den", metric "speedup" (case geomean).
+inline void record_speedup(Bench& b, core::Variant num, core::Variant den,
+                           const std::vector<SpeedupRow>& rows) {
+  const auto gpus = sim::all_gpus();
+  const std::string variant =
+      core::variant_name(num) + "/" + core::variant_name(den);
+  for (const auto& r : rows) {
+    for (std::size_t g = 0; g < gpus.size() && g < r.per_gpu.size(); ++g) {
+      auto& rec =
+          b.record(r.workload, variant, sim::gpu_name(gpus[g]), "geomean");
+      rec.set("speedup", r.per_gpu[g]);
+    }
+  }
 }
 
 }  // namespace cubie::benchutil

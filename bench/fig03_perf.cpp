@@ -1,15 +1,19 @@
 // Figure 3: absolute performance of all ten workloads across their five
 // test cases and four implementation variants on the A100, H200, and B200
-// device models. Values are useful-work rates (GFLOP/s; GTEPS for BFS),
-// predicted by the analytic device model from functionally-counted events.
+// device models. Values are useful-work rates (GFLOP/s for floating-point
+// workloads, GTEPS for BFS), predicted by the analytic device model from
+// functionally-counted events.
 
 #include "bench_util.hpp"
 
 #include <iostream>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
-  const int s = common::scale_divisor();
+  auto bench = benchutil::bench_init(
+      argc, argv, "fig03_perf",
+      "Figure 3: performance of Baseline/TC/CC/CC-E across workloads");
+  const int s = bench.scale;
   std::cout << "=== Figure 3: performance of Baseline/TC/CC/CC-E across "
                "workloads (scale 1/" << s << ") ===\n"
             << "units: GFLOP/s (BFS: GTEPS)\n\n";
@@ -17,7 +21,8 @@ int main() {
   for (const auto& w : core::make_suite()) {
     std::cout << "--- " << w->name() << " (Quadrant "
               << core::quadrant_name(w->quadrant())
-              << ", baseline: " << w->baseline_name() << ") ---\n";
+              << ", baseline: " << w->baseline_name()
+              << ", unit: " << benchutil::perf_unit(*w) << ") ---\n";
     const auto variants = benchutil::available_variants(*w);
     for (auto gpu : sim::all_gpus()) {
       const sim::DeviceModel model(sim::spec_for(gpu));
@@ -29,8 +34,16 @@ int main() {
         for (auto v : variants) {
           const auto out = w->run(v, tc);
           const auto pred = model.predict(out.profile);
-          row.push_back(common::fmt_double(
-              benchutil::perf_metric(*w, out.profile, pred.time_s) / 1e9, 1));
+          const double rate =
+              benchutil::perf_metric(*w, out.profile, pred.time_s);
+          row.push_back(common::fmt_double(rate / 1e9, 1));
+          auto& rec = bench.record(w->name(), core::variant_name(v),
+                                   sim::gpu_name(gpu), tc.label);
+          rec.set(benchutil::perf_metric_name(*w), rate / 1e9);
+          rec.set("time_ms", pred.time_s * 1e3);
+          rec.set("dram_bytes", out.profile.dram_bytes);
+          rec.set("useful_flops", out.profile.useful_flops);
+          rec.set("launches", out.profile.launches);
         }
         t.add_row(std::move(row));
       }
@@ -39,5 +52,5 @@ int main() {
     }
     std::cout << '\n';
   }
-  return 0;
+  return bench.finish();
 }

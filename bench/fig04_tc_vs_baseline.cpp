@@ -4,12 +4,17 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
+  auto bench = benchutil::bench_init(
+      argc, argv, "fig04_tc_vs_baseline",
+      "Figure 4: TC speedup over Baseline (case geomean)");
   const auto rows = benchutil::speedup_sweep(
-      core::Variant::TC, core::Variant::Baseline, common::scale_divisor());
+      core::Variant::TC, core::Variant::Baseline, bench.scale);
   benchutil::print_speedup_table(
       "=== Figure 4: TC speedup over Baseline (case geomean) ===", rows);
+  benchutil::record_speedup(bench, core::Variant::TC, core::Variant::Baseline,
+                            rows);
 
   // Quadrant summary, as the paper's prose reports.
   std::cout << "Quadrant geomeans (A100/H200/B200):\n";
@@ -22,9 +27,16 @@ int main() {
     }
     if (per_gpu[0].empty()) continue;
     std::cout << "  Quadrant " << core::quadrant_name(q) << ": ";
-    for (int g = 0; g < 3; ++g)
-      std::cout << common::fmt_double(common::geomean(per_gpu[g]), 2)
-                << (g < 2 ? "x / " : "x\n");
+    const auto gpus = sim::all_gpus();
+    for (int g = 0; g < 3; ++g) {
+      const double gm = common::geomean(per_gpu[g]);
+      std::cout << common::fmt_double(gm, 2) << (g < 2 ? "x / " : "x\n");
+      auto& rec = bench.record("Quadrant " + core::quadrant_name(q),
+                               "TC/Baseline",
+                               sim::gpu_name(gpus[static_cast<std::size_t>(g)]),
+                               "geomean");
+      rec.set("speedup", gm);
+    }
   }
-  return 0;
+  return bench.finish();
 }

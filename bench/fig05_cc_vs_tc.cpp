@@ -5,12 +5,16 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
-  const auto rows = benchutil::speedup_sweep(
-      core::Variant::CC, core::Variant::TC, common::scale_divisor());
+  auto bench = benchutil::bench_init(
+      argc, argv, "fig05_cc_vs_tc",
+      "Figure 5: CC speedup over TC (case geomean)");
+  const auto rows = benchutil::speedup_sweep(core::Variant::CC,
+                                             core::Variant::TC, bench.scale);
   benchutil::print_speedup_table(
       "=== Figure 5: CC speedup over TC (case geomean; <1 = slower) ===",
       rows);
-  return 0;
+  benchutil::record_speedup(bench, core::Variant::CC, core::Variant::TC, rows);
+  return bench.finish();
 }

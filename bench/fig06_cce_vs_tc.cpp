@@ -4,12 +4,17 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
-  const auto rows = benchutil::speedup_sweep(
-      core::Variant::CCE, core::Variant::TC, common::scale_divisor());
+  auto bench = benchutil::bench_init(
+      argc, argv, "fig06_cce_vs_tc",
+      "Figure 6: CC-E speedup over TC (Quadrants II-IV)");
+  const auto rows = benchutil::speedup_sweep(core::Variant::CCE,
+                                             core::Variant::TC, bench.scale);
   benchutil::print_speedup_table(
       "=== Figure 6: CC-E speedup over TC (Quadrants II-IV; <1 = slower) ===",
       rows);
-  return 0;
+  benchutil::record_speedup(bench, core::Variant::CCE, core::Variant::TC,
+                            rows);
+  return bench.finish();
 }

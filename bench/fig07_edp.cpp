@@ -10,9 +10,12 @@
 #include <iostream>
 #include <map>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
-  const int s = common::scale_divisor();
+  auto bench = benchutil::bench_init(
+      argc, argv, "fig07_edp",
+      "Figure 7: EDP on H200 (representative case each)");
+  const int s = bench.scale;
   const sim::DeviceModel model(sim::h200());
   std::cout << "=== Figure 7: EDP on H200 (representative case each; J*s per "
                "kernel execution) ===\n\n";
@@ -25,7 +28,14 @@ int main() {
     std::map<core::Variant, double> edp;
     for (auto v : benchutil::available_variants(*w)) {
       const auto out = w->run(v, tc_case);
-      edp[v] = model.predict(out.profile).edp;
+      const auto pred = model.predict(out.profile);
+      edp[v] = pred.edp;
+      auto& rec = bench.record(w->name(), core::variant_name(v), "H200",
+                               tc_case.label);
+      rec.set("edp", pred.edp);
+      rec.set("energy_j", pred.energy_j);
+      rec.set("time_ms", pred.time_s * 1e3);
+      rec.set("avg_power_w", pred.avg_power_w);
     }
     auto cell = [&](core::Variant v) {
       return edp.count(v) ? common::fmt_sci(edp[v]) : std::string("-");
@@ -47,6 +57,9 @@ int main() {
     std::cout << "  Quadrant " << q << ": " << common::fmt_double(g, 2)
               << " (" << common::fmt_double((1.0 - g) * 100.0, 0)
               << "% EDP reduction)\n";
+    bench.record("Quadrant " + q, "TC/Baseline", "H200", "geomean")
+        .set("edp_ratio", g);
   }
-  return 0;
+  bench.capture("edp_h200", t);
+  return bench.finish();
 }

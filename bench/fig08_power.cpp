@@ -10,9 +10,11 @@
 
 #include <iostream>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
-  const int s = common::scale_divisor();
+  auto bench = benchutil::bench_init(argc, argv, "fig08_power",
+                                     "Figure 8: power over time on H200");
+  const int s = bench.scale;
   const sim::DeviceModel model(sim::h200());
   std::cout << "=== Figure 8: power over time on H200 (750 W TDP) ===\n\n";
 
@@ -35,6 +37,12 @@ int main() {
                        common::fmt_double(peak, 0),
                        common::fmt_double(pred.time_s * 1e3, 3),
                        common::fmt_double(sim::trace_energy_j(trace), 0)});
+      auto& rec = bench.record(w->name(), core::variant_name(v), "H200",
+                               tc_case.label);
+      rec.set("avg_power_w", pred.avg_power_w);
+      rec.set("peak_power_w", peak);
+      rec.set("time_ms", pred.time_s * 1e3);
+      rec.set("window_energy_j", sim::trace_energy_j(trace));
       // Decimate the trace to ~20 samples for the CSV.
       const std::size_t step = std::max<std::size_t>(1, trace.size() / 20);
       for (std::size_t i = 0; i < trace.size(); i += step) {
@@ -46,5 +54,6 @@ int main() {
   }
   summary.print(std::cout);
   std::cout << "\n" << csv;
-  return 0;
+  bench.capture("power_summary_h200", summary);
+  return bench.finish();
 }

@@ -9,9 +9,11 @@
 
 #include <iostream>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
-  const int s = common::scale_divisor();
+  auto bench = benchutil::bench_init(argc, argv, "fig09_roofline",
+                                     "Figure 9: cache-aware roofline, H200");
+  const int s = bench.scale;
   const sim::DeviceModel model(sim::h200());
   const sim::Roofline roof(sim::h200());
 
@@ -45,10 +47,15 @@ int main() {
                      100.0 * pt.achieved_flops /
                          std::max(1.0, pt.attainable_flops), 1),
                  sim::bottleneck_name(pred.bound)});
+      auto& rec = bench.record(w->name(), core::variant_name(v), "H200",
+                               tc_case.label);
+      rec.set("arithmetic_intensity", pt.arithmetic_intensity);
+      rec.set("achieved_gflops", pt.achieved_flops / 1e9);
+      rec.set("attainable_gflops", pt.attainable_flops / 1e9);
     }
   }
   t.print(std::cout);
   std::cout << "\nCSV:\n";
   t.print_csv(std::cout);
-  return 0;
+  return bench.finish();
 }

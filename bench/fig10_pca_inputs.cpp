@@ -6,6 +6,7 @@
 // fraction - the quantities behind the paper's representativeness claims.
 
 #include "analysis/pca.hpp"
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "graph/generators.hpp"
 #include "sparse/generators.hpp"
@@ -17,7 +18,8 @@ namespace {
 
 using namespace cubie;
 
-void analyze(const std::string& title,
+void analyze(benchutil::Bench& bench, const std::string& corpus_name,
+             const std::string& title,
              const std::vector<sparse::MatrixFeatures>& corpus_features,
              const std::vector<sparse::MatrixFeatures>& selected_features,
              const std::vector<std::string>& selected_names) {
@@ -69,11 +71,20 @@ void analyze(const std::string& title,
             << "\n  fraction of corpus within r=" << common::fmt_double(radius, 2)
             << " of a representative: "
             << common::fmt_double(cov * 100.0, 1) << "%\n\n";
+  bench.capture(corpus_name + "_coords", t);
+  auto& rec = bench.record(corpus_name, "", "", "corpus");
+  rec.set("pc1_explained", res.explained_ratio[0]);
+  rec.set("pc2_explained", res.explained_ratio[1]);
+  rec.set("representative_dispersion", disp);
+  rec.set("coverage_fraction", cov);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto bench = benchutil::bench_init(
+      argc, argv, "fig10_pca_inputs",
+      "Figure 10: PCA of graph and matrix corpora");
   std::cout << "=== Figure 10: PCA of graph and matrix corpora ===\n\n";
 
   // (a) graphs.
@@ -90,7 +101,8 @@ int main() {
       sf.push_back(sparse::matrix_features(graph::adjacency_csr(g.graph)));
       names.push_back(nm);
     }
-    analyze("(a) graphs: corpus of 96 + 5 Table 3 representatives", cf, sf,
+    analyze(bench, "graphs",
+            "(a) graphs: corpus of 96 + 5 Table 3 representatives", cf, sf,
             names);
   }
 
@@ -107,8 +119,9 @@ int main() {
           sparse::make_table4_matrix(nm, 16).matrix));
       names.push_back(nm);
     }
-    analyze("(b) matrices: corpus of 120 + 5 Table 4 representatives", cf, sf,
+    analyze(bench, "matrices",
+            "(b) matrices: corpus of 120 + 5 Table 4 representatives", cf, sf,
             names);
   }
-  return 0;
+  return bench.finish();
 }

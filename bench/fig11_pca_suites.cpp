@@ -7,6 +7,7 @@
 
 #include "analysis/features.hpp"
 #include "analysis/pca.hpp"
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/kernels.hpp"
 #include "core/suite_proxies.hpp"
@@ -16,9 +17,12 @@
 #include <iostream>
 #include <map>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
-  const int s = common::scale_divisor();
+  auto bench = benchutil::bench_init(
+      argc, argv, "fig11_pca_suites",
+      "Figure 11: PCA of Cubie vs Rodinia vs SHOC kernel behaviour (H200)");
+  const int s = bench.scale;
   const sim::DeviceModel model(sim::h200());
   std::vector<analysis::KernelMetrics> metrics;
 
@@ -74,6 +78,10 @@ int main() {
     std::cout << "  " << suite << ": "
               << common::fmt_double(dist / static_cast<double>(idx.size()), 2)
               << '\n';
+    bench.record(suite, "", "H200", "dispersion")
+        .set("mean_centroid_distance",
+             dist / static_cast<double>(idx.size()));
   }
-  return 0;
+  bench.capture("pca_coords", t);
+  return bench.finish();
 }

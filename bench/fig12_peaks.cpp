@@ -3,13 +3,17 @@
 // that FP16 MMU throughput keeps scaling while FP64 MMU throughput regresses
 // on Blackwell.
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "sim/device.hpp"
 
 #include <iostream>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
+  auto bench = benchutil::bench_init(
+      argc, argv, "fig12_peaks",
+      "Figure 12: peak throughput across GPU generations");
   std::cout << "=== Figure 12: peak throughput across GPU generations (TFLOPS) ===\n\n";
   common::Table t({"GPU", "FP16 TC", "FP16 CC", "FP64 TC", "FP64 CC",
                    "FP64 TC/CC ratio"});
@@ -20,6 +24,11 @@ int main() {
                common::fmt_double(d.fp64_tc_peak / 1e12, 1),
                common::fmt_double(d.fp64_cc_peak / 1e12, 1),
                common::fmt_double(d.fp64_tc_peak / d.fp64_cc_peak, 2)});
+    auto& rec = bench.record("peaks", "", d.name, "Table 5");
+    rec.set("fp16_tc_tflops", d.fp16_tc_peak / 1e12);
+    rec.set("fp16_cc_tflops", d.fp16_cc_peak / 1e12);
+    rec.set("fp64_tc_tflops", d.fp64_tc_peak / 1e12);
+    rec.set("fp64_cc_tflops", d.fp64_cc_peak / 1e12);
   }
   t.print(std::cout);
   std::cout <<
@@ -30,5 +39,6 @@ int main() {
       "1800 TFLOPS, the divergence the paper highlights.\n\n";
   std::cout << "CSV:\n";
   t.print_csv(std::cout);
-  return 0;
+  bench.capture("peaks", t);
+  return bench.finish();
 }

@@ -13,9 +13,12 @@
 
 #include <iostream>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
-  const int s = common::scale_divisor();
+  auto bench = benchutil::bench_init(
+      argc, argv, "table06_accuracy",
+      "Table 6: FP64 numerical error vs. CPU serial reference");
+  const int s = bench.scale;
   std::cout << "=== Table 6: FP64 numerical error vs. CPU serial reference "
                "===\n\n";
   common::Table t({"Workload", "n", "Baseline avg", "Baseline max",
@@ -27,7 +30,13 @@ int main() {
 
     auto err_of = [&](core::Variant v) {
       const auto out = w->run(v, tc_case);
-      return common::error_stats(out.values, ref);
+      const auto e = common::error_stats(out.values, ref);
+      auto& rec = bench.record(w->name(), core::variant_name(v), "",
+                               tc_case.label);
+      rec.set("avg_err", e.avg);
+      rec.set("max_err", e.max);
+      rec.set("n", static_cast<double>(e.n));
+      return e;
     };
     const auto tc_err = err_of(core::Variant::TC);
     // Verify the TC == CC invariant rather than assuming it.
@@ -54,5 +63,6 @@ int main() {
   t.print(std::cout);
   std::cout << "\nCSV (all_error.csv format):\n";
   t.print_csv(std::cout);
-  return 0;
+  bench.capture("all_error", t);
+  return bench.finish();
 }

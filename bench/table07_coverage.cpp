@@ -3,14 +3,17 @@
 // workload registry; the Rodinia/SHOC columns are the paper's published
 // counts for those suites.
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/kernels.hpp"
 
 #include <iostream>
 #include <map>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cubie;
+  auto bench = benchutil::bench_init(argc, argv, "table07_coverage",
+                                     "Table 7: Berkeley dwarf coverage");
   std::cout << "=== Table 7: Berkeley dwarf coverage ===\n\n";
 
   // Count Cubie workloads per dwarf from the registry.
@@ -48,5 +51,12 @@ int main() {
   f.add_row({"Memory bandwidth", "-", "yes", "yes"});
   f.add_row({"CPU-GPU data transfer", "yes", "yes", "-"});
   f.print(std::cout);
-  return 0;
+  bench.capture("dwarf_coverage", t);
+  bench.capture("feature_checklist", f);
+  bench.record("coverage", "", "", "dwarfs covered")
+      .set("cubie", cubie_covered);
+  bench.record("coverage", "", "", "dwarfs covered")
+      .set("rodinia", rodinia_covered);
+  bench.record("coverage", "", "", "dwarfs covered").set("shoc", shoc_covered);
+  return bench.finish();
 }

@@ -1,0 +1,683 @@
+#include "common/report.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+
+namespace cubie::report {
+
+// ---------------------------------------------------------------------------
+// Json construction / access.
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.type_ = Type::Bool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.type_ = Type::Number;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.type_ = Type::String;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::Array;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::Object;
+  return j;
+}
+
+std::size_t Json::size() const { return items_.size(); }
+
+void Json::push_back(Json v) {
+  type_ = Type::Array;
+  items_.emplace_back(std::string(), std::move(v));
+}
+
+Json& Json::operator[](const std::string& key) {
+  type_ = Type::Object;
+  for (auto& [k, v] : items_) {
+    if (k == key) return v;
+  }
+  items_.emplace_back(key, Json());
+  return items_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : items_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization.
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string format_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  // Integers (the common case for counters) print without a fraction.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Shortest round-trip representation.
+  char buf[32];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+             : "";
+  const std::string close_pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: out += format_number(number_); break;
+    case Type::String:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Type::Array: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        if (pretty) {
+          out += '\n';
+          out += pad;
+        }
+        items_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out += '\n';
+        out += close_pad;
+      }
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (items_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        if (pretty) {
+          out += '\n';
+          out += pad;
+        }
+        out += '"';
+        out += json_escape(items_[i].first);
+        out += "\":";
+        if (pretty) out += ' ';
+        items_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out += '\n';
+        out += close_pad;
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing: a small recursive-descent parser over the full document.
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) {
+      error = msg + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Json::string(std::move(s));
+      return true;
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      out = Json::boolean(true);
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      out = Json::boolean(false);
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      out = Json();
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      eat_digits();
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+      eat_digits();
+    }
+    if (!digits) {
+      pos = start;
+      return fail("invalid number");
+    }
+    out = Json::number(std::strtod(text.c_str() + start, nullptr));
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos + 1 >= text.size()) return fail("dangling escape");
+        const char e = text[pos + 1];
+        pos += 2;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            pos += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // produced by our writer; decode them permissively as-is).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      out += c;
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(Json& out) {
+    if (!consume('[')) return false;
+    out = Json::array();
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      Json v;
+      if (!parse_value(v)) return false;
+      out.push_back(std::move(v));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parse_object(Json& out) {
+    if (!consume('{')) return false;
+    out = Json::object();
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      Json v;
+      if (!parse_value(v)) return false;
+      out[key] = std::move(v);
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text, std::string* error) {
+  Parser p{text, 0, {}};
+  Json root;
+  if (!p.parse_value(root)) {
+    if (error) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error) *error = "trailing garbage at offset " + std::to_string(p.pos);
+    return std::nullopt;
+  }
+  return root;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsReport.
+
+void MetricRecord::set(const std::string& name, double value) {
+  for (auto& [k, v] : metrics) {
+    if (k == name) {
+      v = value;
+      return;
+    }
+  }
+  metrics.emplace_back(name, value);
+}
+
+const double* MetricRecord::get(const std::string& name) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string MetricRecord::key() const {
+  return workload + "|" + variant + "|" + gpu + "|" + case_label;
+}
+
+MetricRecord& MetricsReport::add_record(std::string workload,
+                                        std::string variant, std::string gpu,
+                                        std::string case_label) {
+  // Find-or-create: repeated calls with the same key merge their metrics
+  // into one record, keeping (workload, variant, gpu, case) keys unique so
+  // bench_diff can match records across reports unambiguously.
+  for (auto& r : records) {
+    if (r.workload == workload && r.variant == variant && r.gpu == gpu &&
+        r.case_label == case_label) {
+      return r;
+    }
+  }
+  records.push_back(MetricRecord{std::move(workload), std::move(variant),
+                                 std::move(gpu), std::move(case_label),
+                                 {}});
+  return records.back();
+}
+
+Json to_json(const sim::KernelProfile& p) {
+  Json j = Json::object();
+  j["tc_flops"] = Json::number(p.tc_flops);
+  j["cc_flops"] = Json::number(p.cc_flops);
+  j["tc_bitops"] = Json::number(p.tc_bitops);
+  j["cc_intops"] = Json::number(p.cc_intops);
+  j["dram_bytes"] = Json::number(p.dram_bytes);
+  j["smem_bytes"] = Json::number(p.smem_bytes);
+  j["warp_instructions"] = Json::number(p.warp_instructions);
+  j["threads"] = Json::number(p.threads);
+  j["launches"] = Json::number(p.launches);
+  j["mem_eff"] = Json::number(p.mem_eff);
+  j["pipe_eff"] = Json::number(p.pipe_eff);
+  j["useful_flops"] = Json::number(p.useful_flops);
+  return j;
+}
+
+Json to_json(const sim::Prediction& p) {
+  Json j = Json::object();
+  j["time_s"] = Json::number(p.time_s);
+  j["avg_power_w"] = Json::number(p.avg_power_w);
+  j["energy_j"] = Json::number(p.energy_j);
+  j["edp"] = Json::number(p.edp);
+  j["bound"] = Json::string(sim::bottleneck_name(p.bound));
+  j["u_tensor"] = Json::number(p.u_tensor);
+  j["u_cuda"] = Json::number(p.u_cuda);
+  j["u_mem"] = Json::number(p.u_mem);
+  return j;
+}
+
+Json to_json(const common::ErrorStats& e) {
+  Json j = Json::object();
+  j["avg"] = Json::number(e.avg);
+  j["max"] = Json::number(e.max);
+  j["n"] = Json::number(static_cast<double>(e.n));
+  return j;
+}
+
+Json to_json(const sim::TraceNode& n) {
+  Json j = Json::object();
+  j["name"] = Json::string(n.name);
+  j["wall_s"] = Json::number(n.wall_s);
+  j["peak_rss_kb"] = Json::number(static_cast<double>(n.peak_rss_kb));
+  j["profile"] = to_json(n.inclusive);
+  Json kids = Json::array();
+  for (const auto& c : n.children) kids.push_back(to_json(c));
+  j["children"] = std::move(kids);
+  return j;
+}
+
+Json MetricsReport::to_json() const {
+  Json j = Json::object();
+  j["schema_version"] = Json::number(kSchemaVersion);
+  j["tool"] = Json::string(tool);
+  j["title"] = Json::string(title);
+  j["scale_divisor"] = Json::number(scale_divisor);
+  Json recs = Json::array();
+  for (const auto& r : records) {
+    Json rec = Json::object();
+    rec["workload"] = Json::string(r.workload);
+    rec["variant"] = Json::string(r.variant);
+    rec["gpu"] = Json::string(r.gpu);
+    rec["case"] = Json::string(r.case_label);
+    Json m = Json::object();
+    for (const auto& [k, v] : r.metrics) m[k] = Json::number(v);
+    rec["metrics"] = std::move(m);
+    recs.push_back(std::move(rec));
+  }
+  j["records"] = std::move(recs);
+  Json tabs = Json::array();
+  for (const auto& t : tables) {
+    Json tab = Json::object();
+    tab["name"] = Json::string(t.name);
+    Json cols = Json::array();
+    for (const auto& c : t.columns) cols.push_back(Json::string(c));
+    tab["columns"] = std::move(cols);
+    Json rows = Json::array();
+    for (const auto& row : t.rows) {
+      Json jr = Json::array();
+      for (const auto& cell : row) jr.push_back(Json::string(cell));
+      rows.push_back(std::move(jr));
+    }
+    tab["rows"] = std::move(rows);
+    tabs.push_back(std::move(tab));
+  }
+  j["tables"] = std::move(tabs);
+  Json trs = Json::array();
+  for (const auto& t : traces) trs.push_back(report::to_json(t));
+  j["traces"] = std::move(trs);
+  return j;
+}
+
+namespace {
+
+std::string get_string(const Json& j, const std::string& key) {
+  const Json* v = j.find(key);
+  return v && v->is_string() ? v->as_string() : std::string();
+}
+
+double get_number(const Json& j, const char* key, double fallback) {
+  const Json* v = j.find(key);
+  return v && v->is_number() ? v->as_number() : fallback;
+}
+
+sim::KernelProfile profile_from_json(const Json& j) {
+  sim::KernelProfile p;
+  p.tc_flops = get_number(j, "tc_flops", 0.0);
+  p.cc_flops = get_number(j, "cc_flops", 0.0);
+  p.tc_bitops = get_number(j, "tc_bitops", 0.0);
+  p.cc_intops = get_number(j, "cc_intops", 0.0);
+  p.dram_bytes = get_number(j, "dram_bytes", 0.0);
+  p.smem_bytes = get_number(j, "smem_bytes", 0.0);
+  p.warp_instructions = get_number(j, "warp_instructions", 0.0);
+  p.threads = get_number(j, "threads", 0.0);
+  p.launches = static_cast<int>(get_number(j, "launches", 0.0));
+  p.mem_eff = get_number(j, "mem_eff", 1.0);
+  p.pipe_eff = get_number(j, "pipe_eff", 1.0);
+  p.useful_flops = get_number(j, "useful_flops", 0.0);
+  return p;
+}
+
+sim::TraceNode trace_from_json(const Json& j) {
+  sim::TraceNode n;
+  n.name = get_string(j, "name");
+  n.wall_s = get_number(j, "wall_s", 0.0);
+  n.peak_rss_kb = static_cast<long>(get_number(j, "peak_rss_kb", 0.0));
+  if (const Json* p = j.find("profile"); p && p->is_object()) {
+    n.inclusive = profile_from_json(*p);
+  }
+  if (const Json* kids = j.find("children"); kids && kids->is_array()) {
+    for (std::size_t i = 0; i < kids->size(); ++i) {
+      if (kids->at(i).is_object()) n.children.push_back(trace_from_json(kids->at(i)));
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+std::optional<MetricsReport> MetricsReport::from_json(const Json& j,
+                                                      std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<MetricsReport> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  if (!j.is_object()) return fail("report root is not an object");
+  const Json* sv = j.find("schema_version");
+  if (!sv || !sv->is_number()) return fail("missing schema_version");
+  if (static_cast<int>(sv->as_number()) > kSchemaVersion) {
+    return fail("report schema_version " +
+                std::to_string(static_cast<int>(sv->as_number())) +
+                " is newer than supported " + std::to_string(kSchemaVersion));
+  }
+  MetricsReport rep;
+  rep.tool = get_string(j, "tool");
+  rep.title = get_string(j, "title");
+  if (const Json* s = j.find("scale_divisor"); s && s->is_number()) {
+    rep.scale_divisor = static_cast<int>(s->as_number());
+  }
+  if (const Json* recs = j.find("records")) {
+    if (!recs->is_array()) return fail("records is not an array");
+    for (std::size_t i = 0; i < recs->size(); ++i) {
+      const Json& r = recs->at(i);
+      if (!r.is_object()) return fail("record is not an object");
+      MetricRecord rec;
+      rec.workload = get_string(r, "workload");
+      rec.variant = get_string(r, "variant");
+      rec.gpu = get_string(r, "gpu");
+      rec.case_label = get_string(r, "case");
+      if (const Json* m = r.find("metrics"); m && m->is_object()) {
+        for (const auto& [k, v] : m->members()) {
+          if (v.is_number()) rec.metrics.emplace_back(k, v.as_number());
+        }
+      }
+      rep.records.push_back(std::move(rec));
+    }
+  }
+  if (const Json* tabs = j.find("tables"); tabs && tabs->is_array()) {
+    for (std::size_t i = 0; i < tabs->size(); ++i) {
+      const Json& t = tabs->at(i);
+      CapturedTable tab;
+      tab.name = get_string(t, "name");
+      if (const Json* cols = t.find("columns"); cols && cols->is_array()) {
+        for (std::size_t c = 0; c < cols->size(); ++c) {
+          tab.columns.push_back(cols->at(c).as_string());
+        }
+      }
+      if (const Json* rows = t.find("rows"); rows && rows->is_array()) {
+        for (std::size_t r = 0; r < rows->size(); ++r) {
+          std::vector<std::string> row;
+          const Json& jr = rows->at(r);
+          for (std::size_t c = 0; jr.is_array() && c < jr.size(); ++c) {
+            row.push_back(jr.at(c).as_string());
+          }
+          tab.rows.push_back(std::move(row));
+        }
+      }
+      rep.tables.push_back(std::move(tab));
+    }
+  }
+  if (const Json* trs = j.find("traces"); trs && trs->is_array()) {
+    for (std::size_t i = 0; i < trs->size(); ++i) {
+      if (trs->at(i).is_object()) rep.traces.push_back(trace_from_json(trs->at(i)));
+    }
+  }
+  return rep;
+}
+
+bool MetricsReport::write_file(const std::string& path) const {
+  const std::string text = to_json().dump(2) + "\n";
+  if (path == "-") {
+    std::cout << text;
+    return static_cast<bool>(std::cout);
+  }
+  std::ofstream os(path);
+  if (!os) return false;
+  os << text;
+  return static_cast<bool>(os);
+}
+
+std::optional<MetricsReport> MetricsReport::read_file(const std::string& path,
+                                                      std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  auto j = Json::parse(text, error);
+  if (!j) return std::nullopt;
+  return from_json(*j, error);
+}
+
+}  // namespace cubie::report

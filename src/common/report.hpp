@@ -1,0 +1,157 @@
+#pragma once
+// Cubie-Trace reporting: a dependency-free JSON value (writer + parser) and
+// the MetricsReport schema every bench binary emits behind `--json <path>`.
+//
+// Schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "tool":   "<bench binary name>",
+//     "title":  "<human title>",
+//     "scale_divisor": <int>,
+//     "records": [
+//       {"workload": "...", "variant": "...", "gpu": "...", "case": "...",
+//        "metrics": {"<name>": <number>, ...}},
+//       ...
+//     ],
+//     "tables": [
+//       {"name": "...", "columns": ["...", ...], "rows": [["...", ...], ...]},
+//       ...
+//     ],
+//     "traces": [ <trace node>, ... ]   // only when tracing was on
+//   }
+// A trace node is {"name", "wall_s", "peak_rss_kb", "profile": {...},
+// "children": [...]}. Consumers must ignore unknown keys; producers may only
+// add keys (bump schema_version for anything else). tools/bench_diff
+// compares two such files record by record (see docs/OBSERVABILITY.md).
+
+#include "common/metrics.hpp"
+#include "sim/model.hpp"
+#include "sim/profile.hpp"
+#include "sim/trace.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cubie::report {
+
+// ---------------------------------------------------------------------------
+// Json: a minimal ordered value tree. Objects preserve insertion order so
+// serialized reports are stable (golden-file friendly).
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;  // null
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+
+  // Array access.
+  std::size_t size() const;  // elements (array) or members (object)
+  const Json& at(std::size_t i) const { return items_[i].second; }
+  void push_back(Json v);
+
+  // Object access. operator[] inserts a null member on first use.
+  Json& operator[](const std::string& key);
+  const Json* find(const std::string& key) const;  // nullptr if absent
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return items_;
+  }
+
+  // Serialize. indent < 0 emits compact single-line JSON; otherwise
+  // pretty-print with `indent` spaces per level.
+  std::string dump(int indent = 2) const;
+
+  // Parse a complete JSON document; nullopt (with *error set when given)
+  // on malformed input or trailing garbage.
+  static std::optional<Json> parse(const std::string& text,
+                                   std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Array elements (first empty) or object members, in insertion order.
+  std::vector<std::pair<std::string, Json>> items_;
+};
+
+std::string json_escape(const std::string& s);
+
+// ---------------------------------------------------------------------------
+// MetricsReport: the structured payload behind `--json`.
+
+struct MetricRecord {
+  std::string workload;
+  std::string variant;
+  std::string gpu;
+  std::string case_label;
+  // Insertion-ordered metric name -> value.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void set(const std::string& name, double value);
+  const double* get(const std::string& name) const;  // nullptr if absent
+  // Identity used to match records across two reports.
+  std::string key() const;
+};
+
+struct MetricsReport {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string tool;
+  std::string title;
+  int scale_divisor = 1;
+  std::vector<MetricRecord> records;
+  // Captured human-readable tables: (name, columns, rows).
+  struct CapturedTable {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::vector<CapturedTable> tables;
+  std::vector<sim::TraceNode> traces;
+
+  // Find-or-create the record with this (workload, variant, gpu, case) key.
+  // The returned reference is invalidated by the next add_record call -
+  // finish setting a record's metrics before starting the next one.
+  MetricRecord& add_record(std::string workload, std::string variant,
+                           std::string gpu, std::string case_label);
+
+  Json to_json() const;
+  // Parse back the full report: metadata, records, captured tables, and
+  // trace trees (including per-span profiles).
+  static std::optional<MetricsReport> from_json(const Json& j,
+                                                std::string* error = nullptr);
+
+  // Write to `path` ("-" = stdout). Returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+  static std::optional<MetricsReport> read_file(const std::string& path,
+                                                std::string* error = nullptr);
+};
+
+// Serialization helpers shared by the report and the CLI profile printer.
+Json to_json(const sim::KernelProfile& p);
+Json to_json(const sim::Prediction& p);
+Json to_json(const common::ErrorStats& e);
+Json to_json(const sim::TraceNode& n);
+
+}  // namespace cubie::report

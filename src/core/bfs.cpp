@@ -42,7 +42,8 @@ graph::Graph load_graph(const TestCase& tc) {
 // accounting (functional result is identical).
 std::vector<int> run_berrybees(const graph::Graph& g,
                                const graph::BitmapSliceSet& s, int source,
-                               mma::Context& ctx, bool essential) {
+                               mma::Context& ctx, bool essential,
+                               sim::Tracer* tr) {
   std::vector<int> level(static_cast<std::size_t>(g.n), -1);
   graph::BitVector frontier(g.n), visited(g.n), next(g.n);
   frontier.set(source);
@@ -54,6 +55,9 @@ std::vector<int> run_berrybees(const graph::Graph& g,
   int depth = 0;
   while (frontier.popcount() > 0) {
     ++depth;
+    // One span per frontier iteration: the per-level work profile is the
+    // quantity BerryBees' completed-row filter is designed to shrink.
+    sim::Span level_span(tr, "level_" + std::to_string(depth), ctx.profile());
     next.clear();
     ctx.launch(static_cast<double>(s.block_rows) * 32.0);
     for (int br = 0; br < s.block_rows; ++br) {
@@ -127,13 +131,14 @@ std::vector<int> run_berrybees(const graph::Graph& g,
 
 // Gunrock-style push BFS proxy.
 std::vector<int> run_gunrock(const graph::Graph& g, int source,
-                             mma::Context& ctx) {
+                             mma::Context& ctx, sim::Tracer* tr) {
   std::vector<int> level(static_cast<std::size_t>(g.n), -1);
   std::vector<int> frontier{source}, next;
   level[static_cast<std::size_t>(source)] = 0;
   int depth = 0;
   while (!frontier.empty()) {
     ++depth;
+    sim::Span level_span(tr, "level_" + std::to_string(depth), ctx.profile());
     next.clear();
     ctx.launch(static_cast<double>(frontier.size()) * 32.0);
     for (int u : frontier) {
@@ -173,21 +178,28 @@ class BfsWorkload final : public Workload {
     return cs;
   }
 
-  RunOutput run(Variant v, const TestCase& tc) const override {
-    const graph::Graph g = load_graph(tc);
-    const int source = 0;
+  RunOutput run(Variant v, const TestCase& tc,
+                const RunOptions& opts) const override {
     RunOutput out;
+    sim::Span total(opts.tracer, "BFS/" + variant_name(v), out.profile);
+    sim::Span setup(opts.tracer, "setup", out.profile);
+    const graph::Graph g = load_graph(tc);
+    setup.finish();
+    const int source = 0;
     mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
                                       : mma::Pipe::CudaCore,
                      out.profile);
     std::vector<int> level;
     if (v == Variant::Baseline) {
-      level = run_gunrock(g, source, ctx);
+      level = run_gunrock(g, source, ctx, opts.tracer);
       out.profile.pipe_eff = scal::kCcLibraryEff;
       out.profile.mem_eff = scal::kMemEffScatter;
     } else {
+      sim::Span slice(opts.tracer, "build_slices", out.profile);
       const graph::BitmapSliceSet s = graph::slice_set_from_graph(g);
-      level = run_berrybees(g, s, source, ctx, v == Variant::CCE);
+      slice.finish();
+      level = run_berrybees(g, s, source, ctx, v == Variant::CCE,
+                            opts.tracer);
       out.profile.pipe_eff = v == Variant::TC ? scal::kTcSmallBlockEff
                              : v == Variant::CC ? scal::kCcEmulationEff
                                                 : scal::kCcEssentialEff;

@@ -227,14 +227,19 @@ class FftWorkload final : public Workload {
     return cs;
   }
 
-  RunOutput run(Variant v, const TestCase& tc) const override {
-    FftProblem p = make_problem(tc);
+  RunOutput run(Variant v, const TestCase& tc,
+                const RunOptions& opts) const override {
     RunOutput out;
+    sim::Span span_total(opts.tracer, "FFT/" + variant_name(v), out.profile);
+    sim::Span setup(opts.tracer, "setup", out.profile);
+    FftProblem p = make_problem(tc);
+    setup.finish();
     mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
                                       : mma::Pipe::CudaCore,
                      out.profile);
     const double n2d = static_cast<double>(p.ny) * p.nx;
     const double total = n2d * p.batch;
+    sim::Span kernel(opts.tracer, "kernel", out.profile);
     std::vector<cplx> result;
     if (v == Variant::Baseline) {
       result = run_baseline_fft(std::move(p), ctx);

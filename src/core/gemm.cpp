@@ -43,69 +43,88 @@ GemmProblem make_problem(const TestCase& tc) {
 }
 
 // TC / CC path: 8x8 output tiles, k-major MMA accumulation.
-std::vector<double> run_mma_gemm(const GemmProblem& p, mma::Context& ctx) {
+std::vector<double> run_mma_gemm(const GemmProblem& p, mma::Context& ctx,
+                                 sim::Tracer* tr) {
   const int m = p.m, n = p.n, k = p.k;
   std::vector<double> c(static_cast<std::size_t>(m) * static_cast<std::size_t>(n), 0.0);
 
-  // One launch; 64x64 C tiles per block, 8 warps of 32 threads each.
-  const double blocks = (m / 64.0) * (n / 64.0);
-  ctx.launch(blocks * 256.0);
-  // Global traffic: each 64x64 block tile stages a 64xK panel of A and a
-  // Kx64 panel of B through shared memory once, then streams the C tile out.
-  ctx.load_global(blocks * (64.0 * k + static_cast<double>(k) * 64.0) * 8.0);
-  ctx.store_global(static_cast<double>(m) * n * 8.0);
+  {
+    sim::Span stage(tr, "stage_panels", ctx.profile());
+    // One launch; 64x64 C tiles per block, 8 warps of 32 threads each.
+    const double blocks = (m / 64.0) * (n / 64.0);
+    ctx.launch(blocks * 256.0);
+    // Global traffic: each 64x64 block tile stages a 64xK panel of A and a
+    // Kx64 panel of B through shared memory once, then streams the C tile
+    // out (the store is charged to the epilogue below).
+    ctx.load_global(blocks * (64.0 * k + static_cast<double>(k) * 64.0) * 8.0);
+  }
 
-  double a_frag[32], b_frag[32];
-  for (int i0 = 0; i0 + 8 <= m; i0 += 8) {
-    for (int j0 = 0; j0 + 8 <= n; j0 += 8) {
-      double acc[64] = {};
-      for (int k0 = 0; k0 + 4 <= k; k0 += 4) {
-        for (int i = 0; i < 8; ++i)
+  {
+    sim::Span loop(tr, "tile_loop", ctx.profile());
+    double a_frag[32], b_frag[32];
+    for (int i0 = 0; i0 + 8 <= m; i0 += 8) {
+      for (int j0 = 0; j0 + 8 <= n; j0 += 8) {
+        double acc[64] = {};
+        for (int k0 = 0; k0 + 4 <= k; k0 += 4) {
+          for (int i = 0; i < 8; ++i)
+            for (int kk = 0; kk < 4; ++kk)
+              a_frag[i * 4 + kk] = p.a[static_cast<std::size_t>(i0 + i) * k + k0 + kk];
           for (int kk = 0; kk < 4; ++kk)
-            a_frag[i * 4 + kk] = p.a[static_cast<std::size_t>(i0 + i) * k + k0 + kk];
-        for (int kk = 0; kk < 4; ++kk)
+            for (int j = 0; j < 8; ++j)
+              b_frag[kk * 8 + j] = p.b[static_cast<std::size_t>(k0 + kk) * n + j0 + j];
+          // Operand fetches from shared memory (per-warp fragment loads).
+          ctx.load_shared((32.0 + 32.0) * 8.0);
+          ctx.dmma_m8n8k4_acc(a_frag, b_frag, acc);
+        }
+        for (int i = 0; i < 8; ++i)
           for (int j = 0; j < 8; ++j)
-            b_frag[kk * 8 + j] = p.b[static_cast<std::size_t>(k0 + kk) * n + j0 + j];
-        // Operand fetches from shared memory (per-warp fragment loads).
-        ctx.load_shared((32.0 + 32.0) * 8.0);
-        ctx.dmma_m8n8k4_acc(a_frag, b_frag, acc);
+            c[static_cast<std::size_t>(i0 + i) * n + j0 + j] = acc[i * 8 + j];
       }
-      for (int i = 0; i < 8; ++i)
-        for (int j = 0; j < 8; ++j)
-          c[static_cast<std::size_t>(i0 + i) * n + j0 + j] = acc[i * 8 + j];
     }
   }
+
+  sim::Span epi(tr, "epilogue", ctx.profile());
+  ctx.store_global(static_cast<double>(m) * n * 8.0);
   return c;
 }
 
 // Baseline path: 32x32 CUDA-core tiles with per-tile partial sums.
-std::vector<double> run_baseline_gemm(const GemmProblem& p, mma::Context& ctx) {
+std::vector<double> run_baseline_gemm(const GemmProblem& p, mma::Context& ctx,
+                                      sim::Tracer* tr) {
   const int m = p.m, n = p.n, k = p.k;
   constexpr int kTile = 32;
   std::vector<double> c(static_cast<std::size_t>(m) * static_cast<std::size_t>(n), 0.0);
 
-  const double blocks = (m / static_cast<double>(kTile)) * (n / static_cast<double>(kTile));
-  ctx.launch(blocks * 1024.0);
-  ctx.load_global(blocks * (static_cast<double>(kTile) * k * 2.0) * 8.0);
-  ctx.store_global(static_cast<double>(m) * n * 8.0);
-  ctx.cc_fma(static_cast<double>(m) * n * k);
-  ctx.load_shared(static_cast<double>(m) * n * k * 2.0 * 8.0 / kTile);
+  {
+    sim::Span stage(tr, "stage_tiles", ctx.profile());
+    const double blocks = (m / static_cast<double>(kTile)) * (n / static_cast<double>(kTile));
+    ctx.launch(blocks * 1024.0);
+    ctx.load_global(blocks * (static_cast<double>(kTile) * k * 2.0) * 8.0);
+  }
 
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) {
-      double acc = 0.0;
-      for (int kt = 0; kt < k; kt += kTile) {
-        double part = 0.0;  // per-shared-tile partial sum (register)
-        const int k_hi = std::min(kt + kTile, k);
-        for (int kk = kt; kk < k_hi; ++kk) {
-          part = std::fma(p.a[static_cast<std::size_t>(i) * k + kk],
-                          p.b[static_cast<std::size_t>(kk) * n + j], part);
+  {
+    sim::Span loop(tr, "tile_loop", ctx.profile());
+    ctx.cc_fma(static_cast<double>(m) * n * k);
+    ctx.load_shared(static_cast<double>(m) * n * k * 2.0 * 8.0 / kTile);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int kt = 0; kt < k; kt += kTile) {
+          double part = 0.0;  // per-shared-tile partial sum (register)
+          const int k_hi = std::min(kt + kTile, k);
+          for (int kk = kt; kk < k_hi; ++kk) {
+            part = std::fma(p.a[static_cast<std::size_t>(i) * k + kk],
+                            p.b[static_cast<std::size_t>(kk) * n + j], part);
+          }
+          acc += part;
         }
-        acc += part;
+        c[static_cast<std::size_t>(i) * n + j] = acc;
       }
-      c[static_cast<std::size_t>(i) * n + j] = acc;
     }
   }
+
+  sim::Span epi(tr, "epilogue", ctx.profile());
+  ctx.store_global(static_cast<double>(m) * n * 8.0);
   return c;
 }
 
@@ -133,14 +152,21 @@ class GemmWorkload final : public Workload {
     return cs;
   }
 
-  RunOutput run(Variant v, const TestCase& tc) const override {
-    GemmProblem p = make_problem(tc);
+  RunOutput run(Variant v, const TestCase& tc,
+                const RunOptions& opts) const override {
     RunOutput out;
+    sim::Span total(opts.tracer, "GEMM/" + variant_name(v), out.profile);
+    GemmProblem p;
+    {
+      sim::Span setup(opts.tracer, "setup", out.profile);
+      p = make_problem(tc);
+    }
     const bool mma_path = v != Variant::Baseline;
     mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
                                       : mma::Pipe::CudaCore,
                      out.profile);
-    out.values = mma_path ? run_mma_gemm(p, ctx) : run_baseline_gemm(p, ctx);
+    out.values = mma_path ? run_mma_gemm(p, ctx, opts.tracer)
+                          : run_baseline_gemm(p, ctx, opts.tracer);
     out.profile.useful_flops =
         2.0 * p.m * static_cast<double>(p.n) * p.k;
     out.profile.pipe_eff =

@@ -137,12 +137,17 @@ class GemvWorkload final : public Workload {
     return cs;
   }
 
-  RunOutput run(Variant v, const TestCase& tc) const override {
-    GemvProblem p = make_problem(tc);
+  RunOutput run(Variant v, const TestCase& tc,
+                const RunOptions& opts) const override {
     RunOutput out;
+    sim::Span total(opts.tracer, "GEMV/" + variant_name(v), out.profile);
+    sim::Span setup(opts.tracer, "setup", out.profile);
+    GemvProblem p = make_problem(tc);
+    setup.finish();
     mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
                                       : mma::Pipe::CudaCore,
                      out.profile);
+    sim::Span kernel(opts.tracer, "kernel", out.profile);
     switch (v) {
       case Variant::TC:
       case Variant::CC:

@@ -115,16 +115,24 @@ class PicWorkload final : public Workload {
     return cs;
   }
 
-  RunOutput run(Variant v, const TestCase& tc) const override {
+  RunOutput run(Variant v, const TestCase& tc,
+                const RunOptions& opts) const override {
+    RunOutput out;
+    sim::Span total(opts.tracer, "PiC/" + variant_name(v), out.profile);
+    sim::Span setup(opts.tracer, "setup", out.profile);
     pic::Particles p =
         pic::make_particles(static_cast<std::size_t>(tc.dims[0]), 10.0, 81);
     const auto f = field_config();
-    RunOutput out;
+    setup.finish();
     mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
                                       : mma::Pipe::CudaCore,
                      out.profile);
     ctx.load_global(static_cast<double>(p.size()) * 6.0 * 8.0);
-    for (int s = 0; s < kSteps; ++s) push_mma(p, f, ctx);
+    for (int s = 0; s < kSteps; ++s) {
+      sim::Span step(opts.tracer, "step_" + std::to_string(s + 1),
+                     out.profile);
+      push_mma(p, f, ctx);
+    }
     ctx.store_global(static_cast<double>(p.size()) * 6.0 * 8.0);
     out.profile.pipe_eff =
         v == Variant::TC ? scal::kTcGemmEff : scal::kCcEmulationEff;

@@ -100,16 +100,21 @@ class ScanWorkload final : public Workload {
     return cs;
   }
 
-  RunOutput run(Variant v, const TestCase& tc) const override {
+  RunOutput run(Variant v, const TestCase& tc,
+                const RunOptions& opts) const override {
     const std::size_t block = static_cast<std::size_t>(tc.dims[0]);
     const std::size_t n = static_cast<std::size_t>(tc.dims[1]) / block * block;
-    const auto x = common::random_vector(n, 31);
     RunOutput out;
+    sim::Span total(opts.tracer, "Scan/" + variant_name(v), out.profile);
+    sim::Span setup(opts.tracer, "setup", out.profile);
+    const auto x = common::random_vector(n, 31);
+    setup.finish();
     mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
                                       : mma::Pipe::CudaCore,
                      out.profile);
     out.values.assign(n, 0.0);
 
+    sim::Span kernel(opts.tracer, "kernel", out.profile);
     ctx.launch(static_cast<double>(n / block) * 256.0);
     ctx.load_global(static_cast<double>(n) * 8.0);
     ctx.store_global(static_cast<double>(n) * 8.0);

@@ -65,11 +65,12 @@ std::vector<double> values_at(const sparse::Csr& result,
 
 // AmgT-style block SpGEMM on the MMA path. Returns C in CSR.
 sparse::Csr run_amgt(const sparse::Mbsr& a, mma::Context& ctx,
-                     bool essential) {
+                     bool essential, sim::Tracer* tr) {
   const int nbr = a.block_rows;
   sparse::Coo c_coo;
   c_coo.rows = c_coo.cols = a.rows;
 
+  sim::Span numeric(tr, "numeric", ctx.profile());
   ctx.launch((nbr / 2.0) * 64.0);
   // mBSR traffic: A blocks streamed once per pair-row sweep; B blocks
   // gathered per (k, j) product; C blocks written once.
@@ -163,35 +164,42 @@ sparse::Csr run_amgt(const sparse::Mbsr& a, mma::Context& ctx,
       }
     }
   }
+  numeric.finish();
+  sim::Span compact(tr, "compact_csr", ctx.profile());
   return sparse::csr_from_coo(c_coo);
 }
 
 // cuSPARSE-style hash SpGEMM proxy: per-row accumulation with hash-order
 // (modeled as reverse A-row traversal) and FMA.
-sparse::Csr run_hash_baseline(const sparse::Csr& a, mma::Context& ctx) {
+sparse::Csr run_hash_baseline(const sparse::Csr& a, mma::Context& ctx,
+                              sim::Tracer* tr) {
   sparse::Csr c;
   c.rows = a.rows;
   c.cols = a.cols;
   c.row_ptr.assign(static_cast<std::size_t>(c.rows) + 1, 0);
 
-  ctx.launch(static_cast<double>(a.rows) * 32.0);
-  ctx.load_global(static_cast<double>(a.nnz()) * (4.0 + 8.0));
   // Heavily-referenced B rows are served from L2 after the first touch;
   // the achievable reuse grows with the average row degree (dense-block
   // matrices like raefsky3 re-read each B row many times).
   const double avg_row = static_cast<double>(a.nnz()) / std::max(1, a.rows);
   const double b_row_reuse = std::clamp(avg_row / 8.0, 1.0, 4.0);
-  // cuSPARSE SpGEMM is two-phase: a symbolic pass sizes C by re-streaming
-  // the column indices of every contributing B row before the numeric pass
-  // (counted up front; the numeric pass is counted per product below).
-  double products = 0.0;
-  for (int r = 0; r < a.rows; ++r)
-    for (int pa = a.row_ptr[static_cast<std::size_t>(r)]; pa < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++pa)
-      products += a.row_nnz(a.col_idx[static_cast<std::size_t>(pa)]);
-  ctx.load_global(static_cast<double>(a.nnz()) * 4.0 +
-                  products * 4.0 / b_row_reuse);
-  ctx.cc_int(products);  // symbolic hash inserts
+  {
+    // cuSPARSE SpGEMM is two-phase: a symbolic pass sizes C by re-streaming
+    // the column indices of every contributing B row before the numeric pass
+    // (counted up front; the numeric pass is counted per product below).
+    sim::Span symbolic(tr, "symbolic", ctx.profile());
+    ctx.launch(static_cast<double>(a.rows) * 32.0);
+    ctx.load_global(static_cast<double>(a.nnz()) * (4.0 + 8.0));
+    double products = 0.0;
+    for (int r = 0; r < a.rows; ++r)
+      for (int pa = a.row_ptr[static_cast<std::size_t>(r)]; pa < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++pa)
+        products += a.row_nnz(a.col_idx[static_cast<std::size_t>(pa)]);
+    ctx.load_global(static_cast<double>(a.nnz()) * 4.0 +
+                    products * 4.0 / b_row_reuse);
+    ctx.cc_int(products);  // symbolic hash inserts
+  }
 
+  sim::Span numeric(tr, "numeric", ctx.profile());
   std::vector<double> acc(static_cast<std::size_t>(a.cols), 0.0);
   std::vector<int> marker(static_cast<std::size_t>(a.cols), -1);
   std::vector<int> touched;
@@ -242,33 +250,34 @@ class SpgemmWorkload final : public Workload {
     return cs;
   }
 
-  RunOutput run(Variant v, const TestCase& tc) const override {
-    const sparse::Csr a = load_matrix(tc);
+  RunOutput run(Variant v, const TestCase& tc,
+                const RunOptions& opts) const override {
     RunOutput out;
+    sim::Span total(opts.tracer, "SpGEMM/" + variant_name(v), out.profile);
+    sim::Span setup(opts.tracer, "setup", out.profile);
+    const sparse::Csr a = load_matrix(tc);
+    setup.finish();
     mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
                                       : mma::Pipe::CudaCore,
                      out.profile);
     sparse::Csr c;
     switch (v) {
       case Variant::TC:
-      case Variant::CC: {
-        const sparse::Mbsr am = sparse::mbsr_from_csr(a);
-        c = run_amgt(am, ctx, /*essential=*/false);
-        out.profile.pipe_eff = v == Variant::TC ? scal::kTcSmallBlockEff
-                                                : scal::kCcEmulationEff;
-        out.profile.mem_eff = v == Variant::TC ? scal::kMemEffTcLayout
-                                               : scal::kMemEffCcEmulation;
-        break;
-      }
+      case Variant::CC:
       case Variant::CCE: {
+        sim::Span conv(opts.tracer, "convert_mbsr", out.profile);
         const sparse::Mbsr am = sparse::mbsr_from_csr(a);
-        c = run_amgt(am, ctx, /*essential=*/true);
-        out.profile.pipe_eff = scal::kCcEssentialEff;
-        out.profile.mem_eff = scal::kMemEffTcLayout;
+        conv.finish();
+        c = run_amgt(am, ctx, /*essential=*/v == Variant::CCE, opts.tracer);
+        out.profile.pipe_eff = v == Variant::TC   ? scal::kTcSmallBlockEff
+                               : v == Variant::CC ? scal::kCcEmulationEff
+                                                  : scal::kCcEssentialEff;
+        out.profile.mem_eff = v == Variant::CC ? scal::kMemEffCcEmulation
+                                               : scal::kMemEffTcLayout;
         break;
       }
       case Variant::Baseline:
-        c = run_hash_baseline(a, ctx);
+        c = run_hash_baseline(a, ctx, opts.tracer);
         out.profile.pipe_eff = scal::kCcLibraryEff;
         out.profile.mem_eff = scal::kMemEffHash;
         break;

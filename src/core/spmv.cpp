@@ -176,13 +176,18 @@ class SpmvWorkload final : public Workload {
     return cs;
   }
 
-  RunOutput run(Variant v, const TestCase& tc) const override {
+  RunOutput run(Variant v, const TestCase& tc,
+                const RunOptions& opts) const override {
+    RunOutput out;
+    sim::Span total(opts.tracer, "SpMV/" + variant_name(v), out.profile);
+    sim::Span setup(opts.tracer, "setup", out.profile);
     const sparse::Csr a = load_matrix(tc);
     const auto x = common::random_vector(static_cast<std::size_t>(a.cols), 51);
-    RunOutput out;
+    setup.finish();
     mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
                                       : mma::Pipe::CudaCore,
                      out.profile);
+    sim::Span kernel(opts.tracer, "kernel", out.profile);
     switch (v) {
       case Variant::TC:
       case Variant::CC:

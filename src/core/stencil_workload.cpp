@@ -188,12 +188,17 @@ class StencilWorkload final : public Workload {
     return cs;
   }
 
-  RunOutput run(Variant v, const TestCase& tc) const override {
-    StencilProblem p = make_problem(tc);
+  RunOutput run(Variant v, const TestCase& tc,
+                const RunOptions& opts) const override {
     RunOutput out;
+    sim::Span total(opts.tracer, "Stencil/" + variant_name(v), out.profile);
+    sim::Span setup(opts.tracer, "setup", out.profile);
+    StencilProblem p = make_problem(tc);
+    setup.finish();
     mma::Context ctx(v == Variant::TC ? mma::Pipe::TensorCore
                                       : mma::Pipe::CudaCore,
                      out.profile);
+    sim::Span kernel(opts.tracer, "kernel", out.profile);
     if (v == Variant::Baseline) {
       out.values = run_drstencil(p, ctx);
       out.profile.pipe_eff = scal::kCcLibraryEff;

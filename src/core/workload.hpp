@@ -14,6 +14,7 @@
 // KernelProfile; sim::DeviceModel then prices the profile on any GPU model.
 
 #include "sim/profile.hpp"
+#include "sim/trace.hpp"
 
 #include <memory>
 #include <string>
@@ -35,6 +36,13 @@ struct TestCase {
   std::string label;
   std::vector<long> dims;
   std::string dataset;
+};
+
+// Per-run execution context. Default-constructed options reproduce the
+// historical behaviour (no tracing); passing a Tracer turns on Cubie-Trace
+// span recording inside run() (see sim/trace.hpp and docs/OBSERVABILITY.md).
+struct RunOptions {
+  sim::Tracer* tracer = nullptr;
 };
 
 struct RunOutput {
@@ -67,8 +75,14 @@ class Workload {
   // Index of the representative case used by Figures 7-8 and Table 6.
   virtual std::size_t representative_case() const { return 2; }
 
-  // Execute one variant functionally and return profile + outputs.
-  virtual RunOutput run(Variant v, const TestCase& tc) const = 0;
+  // Execute one variant functionally and return profile + outputs. Spans
+  // for the workload's phases are recorded into opts.tracer when set.
+  virtual RunOutput run(Variant v, const TestCase& tc,
+                        const RunOptions& opts) const = 0;
+  // Convenience overload: run without tracing.
+  RunOutput run(Variant v, const TestCase& tc) const {
+    return run(v, tc, RunOptions{});
+  }
   // Naive CPU serial ground truth (Section 8).
   virtual std::vector<double> reference(const TestCase& tc) const = 0;
 };

@@ -42,6 +42,25 @@ struct KernelProfile {
   double useful_flops = 0.0;
 
   KernelProfile& operator+=(const KernelProfile& o) {
+    // Efficiency hints are not additive: a merged profile achieves each
+    // side's efficiency only on that side's share of the work. Merge as
+    // work-weighted averages — DRAM traffic weights the memory efficiency,
+    // executed pipe ops weight the pipe efficiency — so a multi-launch
+    // kernel reports the efficiency of where its bytes/FLOPs actually went
+    // instead of whichever launch happened to be recorded last. Weights are
+    // taken before the counters are summed.
+    const double mw_self = dram_bytes, mw_o = o.dram_bytes;
+    if (mw_self + mw_o > 0.0) {
+      mem_eff = (mem_eff * mw_self + o.mem_eff * mw_o) / (mw_self + mw_o);
+    } else if (o.mem_eff != 1.0) {
+      mem_eff = o.mem_eff;
+    }
+    const double pw_self = total_pipe_ops(), pw_o = o.total_pipe_ops();
+    if (pw_self + pw_o > 0.0) {
+      pipe_eff = (pipe_eff * pw_self + o.pipe_eff * pw_o) / (pw_self + pw_o);
+    } else if (o.pipe_eff != 1.0) {
+      pipe_eff = o.pipe_eff;
+    }
     tc_flops += o.tc_flops;
     cc_flops += o.cc_flops;
     tc_bitops += o.tc_bitops;
@@ -52,13 +71,16 @@ struct KernelProfile {
     threads += o.threads;
     launches += o.launches;
     useful_flops += o.useful_flops;
-    // Efficiency hints are not additive; keep the most recent explicit value.
-    if (o.mem_eff != 1.0) mem_eff = o.mem_eff;
-    if (o.pipe_eff != 1.0) pipe_eff = o.pipe_eff;
     return *this;
   }
 
   double total_flops() const { return tc_flops + cc_flops; }
+
+  // All ops executed on a compute pipe (FP, bit-MMA, and integer work);
+  // the weight used when merging pipe_eff across launches.
+  double total_pipe_ops() const {
+    return tc_flops + cc_flops + tc_bitops + cc_intops;
+  }
 
   // Arithmetic intensity (useful FLOPs per DRAM byte), the x-axis of the
   // cache-aware roofline in Figure 9.

@@ -1,0 +1,105 @@
+#include "sim/trace.hpp"
+
+#include <atomic>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace cubie::sim {
+
+namespace {
+std::atomic<std::size_t> g_spans_recorded{0};
+}  // namespace
+
+KernelProfile profile_delta(const KernelProfile& a, const KernelProfile& b) {
+  KernelProfile d;
+  d.tc_flops = a.tc_flops - b.tc_flops;
+  d.cc_flops = a.cc_flops - b.cc_flops;
+  d.tc_bitops = a.tc_bitops - b.tc_bitops;
+  d.cc_intops = a.cc_intops - b.cc_intops;
+  d.dram_bytes = a.dram_bytes - b.dram_bytes;
+  d.smem_bytes = a.smem_bytes - b.smem_bytes;
+  d.warp_instructions = a.warp_instructions - b.warp_instructions;
+  d.threads = a.threads - b.threads;
+  d.launches = a.launches - b.launches;
+  d.useful_flops = a.useful_flops - b.useful_flops;
+  d.mem_eff = a.mem_eff;
+  d.pipe_eff = a.pipe_eff;
+  return d;
+}
+
+KernelProfile TraceNode::exclusive() const {
+  KernelProfile e = inclusive;
+  for (const auto& c : children) {
+    const KernelProfile d = profile_delta(e, c.inclusive);
+    const double mem = e.mem_eff, pipe = e.pipe_eff;
+    e = d;
+    e.mem_eff = mem;
+    e.pipe_eff = pipe;
+  }
+  return e;
+}
+
+std::size_t TraceNode::tree_size() const {
+  std::size_t n = 1;
+  for (const auto& c : children) n += c.tree_size();
+  return n;
+}
+
+void Tracer::clear() {
+  roots_.clear();
+  stack_.clear();
+}
+
+std::size_t Tracer::total_spans_recorded() { return g_spans_recorded.load(); }
+
+TraceNode* Tracer::open(std::string name) {
+  std::vector<TraceNode>& siblings =
+      stack_.empty() ? roots_ : stack_.back()->children;
+  siblings.push_back(TraceNode{});
+  TraceNode* node = &siblings.back();
+  node->name = std::move(name);
+  stack_.push_back(node);
+  g_spans_recorded.fetch_add(1, std::memory_order_relaxed);
+  return node;
+}
+
+void Tracer::close(TraceNode* node) {
+  // Tolerate out-of-order destruction by unwinding to the closed node.
+  while (!stack_.empty()) {
+    TraceNode* top = stack_.back();
+    stack_.pop_back();
+    if (top == node) break;
+  }
+}
+
+long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<long>(ru.ru_maxrss / 1024);  // bytes on macOS
+#else
+    return static_cast<long>(ru.ru_maxrss);  // KiB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+void Span::finish() {
+  if (!tracer_ || !node_) {
+    tracer_ = nullptr;
+    return;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  node_->wall_s = std::chrono::duration<double>(t1 - t0_).count();
+  node_->inclusive = profile_delta(*profile_, start_);
+  node_->peak_rss_kb = peak_rss_kb();
+  tracer_->close(node_);
+  tracer_ = nullptr;
+  node_ = nullptr;
+}
+
+}  // namespace cubie::sim

@@ -1,0 +1,105 @@
+#pragma once
+// Cubie-Trace: structured profiling of workload executions.
+//
+// A Tracer owns a tree of named spans. Workload code opens RAII Spans around
+// its phases (tile loop, symbolic pass, one BFS frontier, ...); each Span
+// snapshots the bound KernelProfile on entry and attributes the delta of all
+// counted events — plus host wall-clock and peak RSS — to its node on exit.
+// Nesting follows lexical scope, so the span tree mirrors the phase
+// structure of the kernel and per-span profiles sum to the whole-kernel
+// profile the DeviceModel prices (see docs/MODEL.md).
+//
+// The disabled path is a null Tracer pointer: a Span constructed with
+// `tracer == nullptr` stores two pointers and returns — no clock read, no
+// snapshot, no allocation — so always-on instrumentation costs nothing in
+// the bench sweeps (pinned by tests/test_trace.cpp).
+
+#include "sim/profile.hpp"
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cubie::sim {
+
+// One closed span. `inclusive` is the KernelProfile delta observed between
+// span open and close (children included); `exclusive()` subtracts the
+// children, i.e. the events attributable to this phase alone.
+struct TraceNode {
+  std::string name;
+  KernelProfile inclusive;
+  double wall_s = 0.0;      // host wall-clock spent inside the span
+  long peak_rss_kb = 0;     // process peak RSS at span close (0 if unknown)
+  std::vector<TraceNode> children;
+
+  KernelProfile exclusive() const;
+  // Total number of nodes in this subtree (including this one).
+  std::size_t tree_size() const;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Closed top-level spans, in open order. Open spans are not visible.
+  const std::vector<TraceNode>& roots() const { return roots_; }
+  void clear();
+
+  // True while at least one span is open (sanity checks in tests).
+  bool in_span() const { return !stack_.empty(); }
+
+  // Process-wide count of spans ever recorded, across all tracers. Used by
+  // tests to pin the disabled path to "records nothing".
+  static std::size_t total_spans_recorded();
+
+ private:
+  friend class Span;
+  // Stack discipline keeps these pointers stable: a node's containing
+  // vector only grows while the node is *closed* (new spans always attach
+  // to the innermost open node).
+  std::vector<TraceNode> roots_;
+  std::vector<TraceNode*> stack_;
+
+  TraceNode* open(std::string name);
+  void close(TraceNode* node);
+};
+
+// Current process peak RSS in KiB (0 where unsupported).
+long peak_rss_kb();
+
+// RAII span. Constructed against the profile being accumulated into; the
+// delta between construction and destruction is attributed to the span.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string name, const KernelProfile& profile)
+      : tracer_(tracer), profile_(&profile) {
+    if (!tracer_) return;  // disabled path: no snapshot, no clock, no node
+    start_ = profile;
+    node_ = tracer_->open(std::move(name));
+    t0_ = std::chrono::steady_clock::now();
+  }
+
+  ~Span() { finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Close early (before end of scope). Idempotent.
+  void finish();
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const KernelProfile* profile_ = nullptr;
+  TraceNode* node_ = nullptr;
+  KernelProfile start_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+// Difference a - b of every additive counter (efficiency hints are carried
+// over from `a`, the later snapshot).
+KernelProfile profile_delta(const KernelProfile& a, const KernelProfile& b);
+
+}  // namespace cubie::sim

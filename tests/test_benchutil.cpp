@@ -1,0 +1,48 @@
+// bench_util contracts: the per-workload performance metric reported in
+// Figure 3. BFS has no floating-point work, so its "useful_flops" counter
+// carries traversed edges and the reported rate is TEPS, not FLOP/s - this
+// pins the workload-aware branch of benchutil::perf_metric.
+
+#include "bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cubie {
+namespace {
+
+TEST(BenchUtil, BfsMetricIsTraversedEdgesPerSecond) {
+  const auto w = core::make_workload("BFS");
+  ASSERT_FALSE(w->is_floating_point());
+  const auto tc = w->cases(16)[w->representative_case()];
+  const auto out = w->run(core::Variant::TC, tc);
+  // BFS counts one useful "flop" per traversed edge, but executes no FP work.
+  EXPECT_GT(out.profile.useful_flops, 0.0);
+  EXPECT_DOUBLE_EQ(out.profile.tc_flops, 0.0);
+  EXPECT_DOUBLE_EQ(out.profile.cc_flops, 0.0);
+
+  const double rate = benchutil::perf_metric(*w, out.profile, 2.0);
+  EXPECT_DOUBLE_EQ(rate, out.profile.useful_flops / 2.0);
+  EXPECT_EQ(benchutil::perf_unit(*w), "GTEPS");
+  EXPECT_EQ(benchutil::perf_metric_name(*w), "gteps");
+}
+
+TEST(BenchUtil, FpMetricIsUsefulFlopsPerSecond) {
+  const auto w = core::make_workload("GEMM");
+  ASSERT_TRUE(w->is_floating_point());
+  const auto tc = w->cases(16)[0];
+  const auto out = w->run(core::Variant::TC, tc);
+  const double rate = benchutil::perf_metric(*w, out.profile, 0.5);
+  EXPECT_DOUBLE_EQ(rate, out.profile.useful_flops / 0.5);
+  EXPECT_EQ(benchutil::perf_unit(*w), "GFLOP/s");
+  EXPECT_EQ(benchutil::perf_metric_name(*w), "gflops");
+}
+
+TEST(BenchUtil, ZeroTimeYieldsZeroRate) {
+  const auto w = core::make_workload("GEMM");
+  sim::KernelProfile prof;
+  prof.useful_flops = 100.0;
+  EXPECT_DOUBLE_EQ(benchutil::perf_metric(*w, prof, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace cubie

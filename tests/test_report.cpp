@@ -1,0 +1,166 @@
+// Report contracts: JSON escaping, writer/parser round-trips, and the
+// schema_version-1 golden shape every bench binary emits behind --json.
+// bench_diff and external consumers parse these files; the golden test is
+// the tripwire that schema changes must bump kSchemaVersion.
+
+#include "common/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cubie {
+namespace {
+
+TEST(Json, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(report::json_escape("plain"), "plain");
+  EXPECT_EQ(report::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(report::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(report::json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(report::json_escape(std::string("\x01", 1)), "\\u0001");
+  // UTF-8 bytes pass through untouched.
+  EXPECT_EQ(report::json_escape("\xc3\xa9"), "\xc3\xa9");
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  report::Json j = report::Json::object();
+  j["int"] = report::Json::number(42.0);
+  j["neg"] = report::Json::number(-0.125);
+  j["tiny"] = report::Json::number(3.0303049973792811e-05);
+  j["s"] = report::Json::string("he said \"hi\"\n");
+  j["flag"] = report::Json::boolean(true);
+  j["nothing"] = report::Json();
+  auto arr = report::Json::array();
+  arr.push_back(report::Json::number(1.0));
+  arr.push_back(report::Json::string("two"));
+  j["arr"] = std::move(arr);
+
+  for (int indent : {-1, 0, 2}) {
+    std::string err;
+    const auto parsed = report::Json::parse(j.dump(indent), &err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    // Numbers round-trip exactly and member order is preserved.
+    EXPECT_EQ(parsed->dump(2), j.dump(2));
+  }
+  const auto parsed = report::Json::parse(j.dump(2));
+  EXPECT_DOUBLE_EQ(parsed->find("tiny")->as_number(),
+                   3.0303049973792811e-05);
+  EXPECT_EQ(parsed->find("s")->as_string(), "he said \"hi\"\n");
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "1 2", "{'a':1}",
+                          "\"unterminated", "nul", "{\"a\":1,}"}) {
+    std::string err;
+    EXPECT_FALSE(report::Json::parse(bad, &err).has_value()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  const auto j = report::Json::parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->as_string(), "A\xc3\xa9");
+}
+
+TEST(MetricsReport, RoundTripsThroughJson) {
+  report::MetricsReport rep;
+  rep.tool = "unit_test";
+  rep.title = "round trip";
+  rep.scale_divisor = 4;
+  // Note: references returned by add_record are invalidated by the next
+  // add_record call (vector growth) - finish each record before the next.
+  {
+    auto& r1 = rep.add_record("GEMM", "TC", "H200", "512^3");
+    r1.set("time_ms", 1.25);
+    r1.set("gflops", 812.5);
+  }
+  rep.add_record("BFS", "CC", "", "roadNet").set("gteps", 0.75);
+  rep.tables.push_back({"t", {"a", "b"}, {{"1", "x"}, {"2", "y"}}});
+  sim::TraceNode node;
+  node.name = "root";
+  node.wall_s = 0.5;
+  node.inclusive.tc_flops = 7.0;
+  sim::TraceNode child;
+  child.name = "leaf";
+  node.children.push_back(child);
+  rep.traces.push_back(node);
+
+  std::string err;
+  const auto back =
+      report::MetricsReport::from_json(rep.to_json(), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->tool, "unit_test");
+  EXPECT_EQ(back->scale_divisor, 4);
+  ASSERT_EQ(back->records.size(), 2u);
+  EXPECT_EQ(back->records[0].key(), "GEMM|TC|H200|512^3");
+  ASSERT_NE(back->records[0].get("gflops"), nullptr);
+  EXPECT_DOUBLE_EQ(*back->records[0].get("gflops"), 812.5);
+  EXPECT_EQ(back->records[1].case_label, "roadNet");
+  ASSERT_EQ(back->tables.size(), 1u);
+  EXPECT_EQ(back->tables[0].rows[1][1], "y");
+  ASSERT_EQ(back->traces.size(), 1u);
+  EXPECT_EQ(back->traces[0].name, "root");
+  EXPECT_DOUBLE_EQ(back->traces[0].inclusive.tc_flops, 7.0);
+  ASSERT_EQ(back->traces[0].children.size(), 1u);
+  EXPECT_EQ(back->traces[0].children[0].name, "leaf");
+}
+
+TEST(MetricsReport, SchemaGoldenIsStable) {
+  // Golden serialized form of a minimal report. If this test breaks, the
+  // schema changed: either restore compatibility or bump kSchemaVersion
+  // and update docs/OBSERVABILITY.md alongside this string.
+  report::MetricsReport rep;
+  rep.tool = "golden";
+  rep.title = "Golden";
+  rep.scale_divisor = 2;
+  rep.add_record("GEMM", "TC", "H200", "256^3").set("time_ms", 0.5);
+
+  const std::string expected =
+      "{\n"
+      "  \"schema_version\": 1,\n"
+      "  \"tool\": \"golden\",\n"
+      "  \"title\": \"Golden\",\n"
+      "  \"scale_divisor\": 2,\n"
+      "  \"records\": [\n"
+      "    {\n"
+      "      \"workload\": \"GEMM\",\n"
+      "      \"variant\": \"TC\",\n"
+      "      \"gpu\": \"H200\",\n"
+      "      \"case\": \"256^3\",\n"
+      "      \"metrics\": {\n"
+      "        \"time_ms\": 0.5\n"
+      "      }\n"
+      "    }\n"
+      "  ],\n"
+      "  \"tables\": [],\n"
+      "  \"traces\": []\n"
+      "}";
+  EXPECT_EQ(rep.to_json().dump(2), expected);
+  EXPECT_EQ(report::MetricsReport::kSchemaVersion, 1);
+}
+
+TEST(MetricsReport, AddRecordMergesByKey) {
+  report::MetricsReport rep;
+  rep.add_record("W", "V", "G", "c").set("a", 1.0);
+  rep.add_record("W", "V", "G", "c").set("b", 2.0);
+  rep.add_record("W", "V", "G", "other").set("a", 3.0);
+  ASSERT_EQ(rep.records.size(), 2u);
+  EXPECT_EQ(rep.records[0].metrics.size(), 2u);
+  EXPECT_DOUBLE_EQ(*rep.records[0].get("b"), 2.0);
+}
+
+TEST(MetricsReport, FromJsonIgnoresUnknownKeysAndChecksVersion) {
+  auto j = report::Json::parse(
+      "{\"schema_version\":1,\"tool\":\"t\",\"title\":\"T\","
+      "\"scale_divisor\":1,\"future_key\":[1,2,3],\"records\":[]}");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_TRUE(report::MetricsReport::from_json(*j).has_value());
+
+  auto v2 = report::Json::parse("{\"schema_version\":99,\"records\":[]}");
+  ASSERT_TRUE(v2.has_value());
+  std::string err;
+  EXPECT_FALSE(report::MetricsReport::from_json(*v2, &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace cubie

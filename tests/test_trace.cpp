@@ -1,0 +1,221 @@
+// Cubie-Trace contracts: span nesting mirrors lexical scope, profile deltas
+// are attributed to the innermost span, and the disabled (null-tracer) path
+// records nothing and allocates nothing.
+
+#include "core/kernels.hpp"
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// Replaceable global operator new, counting every heap allocation in the
+// test binary. The default operator new[] forwards here, so array news are
+// counted too. Used to pin the null-tracer Span to "no allocation".
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace cubie {
+namespace {
+
+TEST(Trace, SpansNestByLexicalScope) {
+  sim::Tracer tracer;
+  sim::KernelProfile prof;
+  {
+    sim::Span outer(&tracer, "outer", prof);
+    EXPECT_TRUE(tracer.in_span());
+    { sim::Span a(&tracer, "a", prof); }
+    {
+      sim::Span b(&tracer, "b", prof);
+      { sim::Span b1(&tracer, "b1", prof); }
+    }
+  }
+  EXPECT_FALSE(tracer.in_span());
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  const auto& outer = tracer.roots()[0];
+  EXPECT_EQ(outer.name, "outer");
+  ASSERT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(outer.children[0].name, "a");
+  EXPECT_EQ(outer.children[1].name, "b");
+  ASSERT_EQ(outer.children[1].children.size(), 1u);
+  EXPECT_EQ(outer.children[1].children[0].name, "b1");
+  EXPECT_EQ(outer.tree_size(), 4u);
+
+  tracer.clear();
+  EXPECT_TRUE(tracer.roots().empty());
+}
+
+TEST(Trace, ProfileDeltasAttributeToInnermostSpan) {
+  sim::Tracer tracer;
+  sim::KernelProfile prof;
+  {
+    sim::Span outer(&tracer, "outer", prof);
+    prof.cc_flops += 5.0;
+    prof.dram_bytes += 100.0;
+    {
+      sim::Span inner(&tracer, "inner", prof);
+      prof.tc_flops += 7.0;
+      prof.launches += 1;
+    }
+    prof.cc_flops += 1.0;
+  }
+  const auto& outer = tracer.roots()[0];
+  const auto& inner = outer.children[0];
+  // Inclusive: the outer span saw everything, the inner span only its own.
+  EXPECT_DOUBLE_EQ(outer.inclusive.cc_flops, 6.0);
+  EXPECT_DOUBLE_EQ(outer.inclusive.tc_flops, 7.0);
+  EXPECT_DOUBLE_EQ(outer.inclusive.dram_bytes, 100.0);
+  EXPECT_EQ(outer.inclusive.launches, 1);
+  EXPECT_DOUBLE_EQ(inner.inclusive.tc_flops, 7.0);
+  EXPECT_DOUBLE_EQ(inner.inclusive.cc_flops, 0.0);
+  // Exclusive subtracts the children: outer keeps only its own work.
+  const auto excl = outer.exclusive();
+  EXPECT_DOUBLE_EQ(excl.cc_flops, 6.0);
+  EXPECT_DOUBLE_EQ(excl.tc_flops, 0.0);
+  EXPECT_EQ(excl.launches, 0);
+  // Host-side observations are present.
+  EXPECT_GE(outer.wall_s, inner.wall_s);
+  EXPECT_GE(outer.peak_rss_kb, 0);
+}
+
+TEST(Trace, FinishIsIdempotentAndClosesEarly) {
+  sim::Tracer tracer;
+  sim::KernelProfile prof;
+  sim::Span s(&tracer, "early", prof);
+  prof.cc_flops += 3.0;
+  s.finish();
+  EXPECT_FALSE(tracer.in_span());
+  prof.cc_flops += 40.0;  // after finish: must not be attributed
+  s.finish();             // second call is a no-op
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  EXPECT_DOUBLE_EQ(tracer.roots()[0].inclusive.cc_flops, 3.0);
+}
+
+TEST(Trace, DisabledSpanRecordsNothingAndAllocatesNothing) {
+  sim::KernelProfile prof;
+  const std::size_t spans_before = sim::Tracer::total_spans_recorded();
+  const std::size_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    sim::Span s(nullptr, "off", prof);
+    prof.cc_flops += 1.0;
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), allocs_before);
+  EXPECT_EQ(sim::Tracer::total_spans_recorded(), spans_before);
+  EXPECT_DOUBLE_EQ(prof.cc_flops, 1000.0);  // the workload itself still ran
+}
+
+TEST(Trace, WorkloadRunEmitsSpanTreeMatchingProfile) {
+  const auto w = core::make_workload("GEMM");
+  const auto tc = w->cases(16)[0];
+  sim::Tracer tracer;
+  core::RunOptions opts;
+  opts.tracer = &tracer;
+  const auto out = w->run(core::Variant::TC, tc, opts);
+
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  const auto& root = tracer.roots()[0];
+  EXPECT_EQ(root.name, "GEMM/TC");
+  EXPECT_GE(root.children.size(), 2u);
+  // The root span wraps the whole run: its inclusive profile is the run's.
+  EXPECT_DOUBLE_EQ(root.inclusive.tc_flops, out.profile.tc_flops);
+  EXPECT_DOUBLE_EQ(root.inclusive.dram_bytes, out.profile.dram_bytes);
+  EXPECT_EQ(root.inclusive.launches, out.profile.launches);
+
+  // Tracing must not perturb the computed numerics or the counted events.
+  const auto plain = w->run(core::Variant::TC, tc);
+  EXPECT_EQ(plain.values, out.values);
+  EXPECT_DOUBLE_EQ(plain.profile.tc_flops, out.profile.tc_flops);
+  EXPECT_DOUBLE_EQ(plain.profile.dram_bytes, out.profile.dram_bytes);
+}
+
+TEST(Trace, BfsEmitsPerFrontierLevelSpans) {
+  const auto w = core::make_workload("BFS");
+  const auto tc = w->cases(16)[w->representative_case()];
+  sim::Tracer tracer;
+  core::RunOptions opts;
+  opts.tracer = &tracer;
+  (void)w->run(core::Variant::TC, tc, opts);
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  int levels = 0;
+  for (const auto& c : tracer.roots()[0].children) {
+    if (c.name.rfind("level_", 0) == 0) ++levels;
+  }
+  EXPECT_GE(levels, 2) << "BFS should trace one span per frontier iteration";
+}
+
+TEST(Trace, SpGemmTracesSymbolicAndNumericPhases) {
+  const auto w = core::make_workload("SpGEMM");
+  const auto tc = w->cases(16)[w->representative_case()];
+  sim::Tracer tracer;
+  core::RunOptions opts;
+  opts.tracer = &tracer;
+  (void)w->run(core::Variant::Baseline, tc, opts);
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  bool symbolic = false, numeric = false;
+  for (const auto& c : tracer.roots()[0].children) {
+    symbolic |= c.name == "symbolic";
+    numeric |= c.name == "numeric";
+  }
+  EXPECT_TRUE(symbolic);
+  EXPECT_TRUE(numeric);
+}
+
+TEST(ProfileMerge, EfficiencyHintsAreWorkWeighted) {
+  sim::KernelProfile a;
+  a.dram_bytes = 300.0;
+  a.mem_eff = 0.9;
+  a.tc_flops = 100.0;
+  a.pipe_eff = 0.8;
+
+  sim::KernelProfile b;
+  b.dram_bytes = 100.0;
+  b.mem_eff = 0.5;
+  b.cc_flops = 300.0;
+  b.pipe_eff = 0.4;
+
+  a += b;
+  // mem_eff: (0.9*300 + 0.5*100) / 400; pipe_eff: (0.8*100 + 0.4*300) / 400.
+  EXPECT_DOUBLE_EQ(a.mem_eff, 0.8);
+  EXPECT_DOUBLE_EQ(a.pipe_eff, 0.5);
+  EXPECT_DOUBLE_EQ(a.dram_bytes, 400.0);
+  EXPECT_DOUBLE_EQ(a.total_pipe_ops(), 400.0);
+}
+
+TEST(ProfileMerge, ZeroWorkSideDoesNotDiluteHints) {
+  // Merging an empty profile (all counters zero, default hints 1.0) must
+  // leave the accumulated efficiencies untouched - the regression the
+  // work-weighted merge fixes.
+  sim::KernelProfile a;
+  a.dram_bytes = 100.0;
+  a.mem_eff = 0.6;
+  a.tc_flops = 50.0;
+  a.pipe_eff = 0.7;
+  a += sim::KernelProfile{};
+  EXPECT_DOUBLE_EQ(a.mem_eff, 0.6);
+  EXPECT_DOUBLE_EQ(a.pipe_eff, 0.7);
+
+  // And an all-hint no-work profile (a config-only record) still carries
+  // its hint into an empty accumulator.
+  sim::KernelProfile acc;
+  sim::KernelProfile hint_only;
+  hint_only.mem_eff = 0.25;
+  hint_only.pipe_eff = 0.33;
+  acc += hint_only;
+  EXPECT_DOUBLE_EQ(acc.mem_eff, 0.25);
+  EXPECT_DOUBLE_EQ(acc.pipe_eff, 0.33);
+}
+
+}  // namespace
+}  // namespace cubie

@@ -1,0 +1,151 @@
+// bench_diff: compare two Cubie JSON metric reports and flag regressions.
+//
+//   bench_diff <baseline.json> <candidate.json> [--tol FRAC] [--metric NAME]
+//
+// Records are matched by (workload, variant, gpu, case). For every metric
+// present in both, the relative change is evaluated against the tolerance
+// in the metric's "good" direction: time/energy/error-like metrics regress
+// when they grow, throughput/speedup-like metrics regress when they shrink.
+// Exit status: 0 = no regressions, 1 = at least one regression beyond
+// tolerance, 2 = usage or parse failure. Improvements and new/missing
+// records are reported but never fail the comparison.
+
+#include "common/report.hpp"
+#include "common/table.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace cubie;
+
+int usage() {
+  std::cerr << "usage: bench_diff <baseline.json> <candidate.json> "
+               "[--tol FRAC] [--metric NAME]\n";
+  return 2;
+}
+
+// True if a smaller value of this metric is better. Time-, energy-, and
+// error-like quantities regress upward; everything else (throughput,
+// speedup, utilization, coverage) regresses downward.
+bool lower_is_better(const std::string& name) {
+  static const char* kPrefixes[] = {"time", "t_", "wall", "host_wall",
+                                    "energy", "edp", "power", "avg_power",
+                                    "peak_power", "err", "avg_err", "max_err",
+                                    "pad", "floor", "dram_bytes", "naive",
+                                    "fused", "pairwise", "lanes"};
+  for (const char* p : kPrefixes) {
+    if (name.rfind(p, 0) == 0) return true;
+  }
+  // Suffix forms like fp64_avg_err, fp16_tc_ms, window_energy_j.
+  static const char* kSuffixes[] = {"_err", "_ms", "_us", "_s", "_j", "_w"};
+  for (const char* s : kSuffixes) {
+    const std::size_t len = std::string(s).size();
+    if (name.size() >= len && name.compare(name.size() - len, len, s) == 0)
+      return true;
+  }
+  return false;
+}
+
+struct Change {
+  std::string key;
+  std::string metric;
+  double base = 0.0;
+  double cand = 0.0;
+  double rel = 0.0;  // signed relative change toward "worse"
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string base_path, cand_path, only_metric;
+  double tol = 0.10;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--tol") {
+      if (i + 1 >= args.size()) return usage();
+      tol = std::atof(args[++i].c_str());
+    } else if (args[i] == "--metric") {
+      if (i + 1 >= args.size()) return usage();
+      only_metric = args[++i];
+    } else if (args[i] == "--help" || args[i] == "-h") {
+      usage();
+      return 0;
+    } else if (base_path.empty()) {
+      base_path = args[i];
+    } else if (cand_path.empty()) {
+      cand_path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (base_path.empty() || cand_path.empty()) return usage();
+
+  std::string err;
+  const auto base = report::MetricsReport::read_file(base_path, &err);
+  if (!base) {
+    std::cerr << "bench_diff: " << base_path << ": " << err << '\n';
+    return 2;
+  }
+  const auto cand = report::MetricsReport::read_file(cand_path, &err);
+  if (!cand) {
+    std::cerr << "bench_diff: " << cand_path << ": " << err << '\n';
+    return 2;
+  }
+
+  std::vector<Change> regressions, improvements;
+  std::size_t compared = 0, missing = 0;
+  for (const auto& b : base->records) {
+    const report::MetricRecord* c = nullptr;
+    for (const auto& r : cand->records) {
+      if (r.key() == b.key()) {
+        c = &r;
+        break;
+      }
+    }
+    if (!c) {
+      ++missing;
+      std::cout << "  [missing] " << b.key() << " not in candidate\n";
+      continue;
+    }
+    for (const auto& [name, bv] : b.metrics) {
+      if (!only_metric.empty() && name != only_metric) continue;
+      const auto cv = c->get(name);
+      if (!cv) {
+        ++missing;
+        continue;
+      }
+      ++compared;
+      if (bv == 0.0 || !std::isfinite(bv) || !std::isfinite(*cv)) continue;
+      const double delta = (*cv - bv) / std::fabs(bv);
+      // Positive `worse` means the candidate moved in the bad direction.
+      const double worse = lower_is_better(name) ? delta : -delta;
+      if (worse > tol) {
+        regressions.push_back({b.key(), name, bv, *cv, worse});
+      } else if (worse < -tol) {
+        improvements.push_back({b.key(), name, bv, *cv, worse});
+      }
+    }
+  }
+
+  auto print = [](const char* tag, const std::vector<Change>& list) {
+    for (const auto& ch : list) {
+      std::cout << "  [" << tag << "] " << ch.key << " :: " << ch.metric
+                << "  " << common::fmt_sci(ch.base) << " -> "
+                << common::fmt_sci(ch.cand) << "  ("
+                << common::fmt_double(ch.rel * 100.0, 1) << "% worse)\n";
+    }
+  };
+  std::cout << "bench_diff: " << base_path << " vs " << cand_path << " (tol "
+            << common::fmt_double(tol * 100.0, 1) << "%)\n";
+  print("REGRESSION", regressions);
+  print("improved", improvements);
+  std::cout << compared << " metrics compared, " << regressions.size()
+            << " regression(s), " << improvements.size()
+            << " improvement(s), " << missing << " missing\n";
+  return regressions.empty() ? 0 : 1;
+}

@@ -7,13 +7,19 @@
 //   cubie run <workload> [--variant TC|CC|CC-E|Baseline|all]
 //                        [--case IDX|all] [--gpu A100|H200|B200|all]
 //                        [--scale N] [--errors] [--csv]
+//   cubie profile <workload> [--variant TC] [--case IDX] [--gpu H200]
+//                        [--scale N] [--json file]
 
 #include "common/metrics.hpp"
+#include "common/report.hpp"
 #include "common/table.hpp"
 #include "core/kernels.hpp"
 #include "sim/model.hpp"
+#include "sim/trace.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -30,7 +36,9 @@ int usage() {
       "  cubie cases <workload> [--scale N]\n"
       "  cubie run <workload> [--variant V|all] [--case I|all]\n"
       "            [--gpu G|all] [--scale N] [--errors] [--csv]\n"
-      "            [--dataset file.mtx]   (SpMV / SpGEMM only)\n";
+      "            [--dataset file.mtx]   (SpMV / SpGEMM only)\n"
+      "  cubie profile <workload> [--variant V] [--case I] [--gpu G]\n"
+      "            [--scale N] [--json file]\n";
   return 2;
 }
 
@@ -62,6 +70,83 @@ int cmd_list() {
   return 0;
 }
 
+// One line per span: modeled time of the span's inclusive profile, its
+// share of the root's modeled time, and per-pipe utilizations.
+void print_span_tree(const sim::TraceNode& n, const sim::DeviceModel& model,
+                     double root_time_s, int depth) {
+  const auto pred = model.predict(n.inclusive);
+  std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+  label += n.name;
+  if (label.size() < 30) label.resize(30, ' ');
+  const double share =
+      root_time_s > 0.0 ? 100.0 * pred.time_s / root_time_s : 0.0;
+  auto pct = [](double u) { return common::fmt_double(u * 100.0, 1) + "%"; };
+  std::cout << label << std::setw(10)
+            << common::fmt_double(pred.time_s * 1e6, 2) << " us "
+            << std::setw(6) << common::fmt_double(share, 1) << "%"
+            << "  tensor " << std::setw(6) << pct(pred.u_tensor)
+            << "  cuda " << std::setw(6) << pct(pred.u_cuda)
+            << "  mem " << std::setw(6) << pct(pred.u_mem)
+            << "  bound " << sim::bottleneck_name(pred.bound) << '\n';
+  for (const auto& c : n.children)
+    print_span_tree(c, model, root_time_s, depth + 1);
+}
+
+int cmd_profile(const core::Workload& w, core::Variant v,
+                const core::TestCase& tc, sim::Gpu gpu,
+                const std::string& json_path) {
+  sim::Tracer tracer;
+  core::RunOptions opts;
+  opts.tracer = &tracer;
+  const auto out = w.run(v, tc, opts);
+  const sim::DeviceModel model(sim::spec_for(gpu));
+  const auto pred = model.predict(out.profile);
+
+  std::cout << "profile: " << w.name() << " / " << core::variant_name(v)
+            << " / case " << tc.label << " on " << sim::gpu_name(gpu)
+            << "\nmodeled kernel time "
+            << common::fmt_double(pred.time_s * 1e6, 2) << " us, avg power "
+            << common::fmt_double(pred.avg_power_w, 0) << " W, bound "
+            << sim::bottleneck_name(pred.bound) << "\n\n"
+            << "span tree (inclusive per span; % = share of root's modeled "
+               "time):\n";
+  double root_time = 0.0;
+  for (const auto& r : tracer.roots())
+    root_time += model.predict(r.inclusive).time_s;
+  std::size_t spans = 0;
+  double host_wall = 0.0;
+  long rss = 0;
+  for (const auto& r : tracer.roots()) {
+    print_span_tree(r, model, root_time, 0);
+    spans += r.tree_size();
+    host_wall += r.wall_s;
+    rss = std::max(rss, r.peak_rss_kb);
+  }
+  std::cout << "\n" << spans << " spans; host wall "
+            << common::fmt_double(host_wall * 1e3, 1) << " ms; peak RSS "
+            << rss / 1024 << " MiB\n";
+
+  if (!json_path.empty()) {
+    report::MetricsReport rep;
+    rep.tool = "cubie_profile";
+    rep.title = "cubie profile " + w.name();
+    auto& rec = rep.add_record(w.name(), core::variant_name(v),
+                               sim::gpu_name(gpu), tc.label);
+    rec.set("time_ms", pred.time_s * 1e3);
+    rec.set("avg_power_w", pred.avg_power_w);
+    rec.set("energy_j", pred.energy_j);
+    rec.set("host_wall_ms", host_wall * 1e3);
+    rec.set("spans", static_cast<double>(spans));
+    rep.traces = tracer.roots();
+    if (!rep.write_file(json_path)) {
+      std::cerr << "cannot write " << json_path << '\n';
+      return 1;
+    }
+    std::cerr << "[json report: " << json_path << "]\n";
+  }
+  return 0;
+}
+
 int cmd_cases(const core::Workload& w, int scale) {
   common::Table t({"index", "label", "dataset"});
   int i = 0;
@@ -85,6 +170,7 @@ int main(int argc, char** argv) {
   int scale = common::scale_divisor();
   std::string variant_arg = "all", case_arg = "rep", gpu_arg = "H200";
   std::string dataset;  // optional .mtx path for the sparse workloads
+  std::string json_path;
   bool errors = false, csv = false;
   std::string workload_name;
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -100,13 +186,15 @@ int main(int argc, char** argv) {
     else if (args[i] == "--case") case_arg = next("--case");
     else if (args[i] == "--gpu") gpu_arg = next("--gpu");
     else if (args[i] == "--dataset") dataset = next("--dataset");
+    else if (args[i] == "--json") json_path = next("--json");
     else if (args[i] == "--errors") errors = true;
     else if (args[i] == "--csv") csv = true;
     else if (workload_name.empty()) workload_name = args[i];
     else return usage();
   }
 
-  if ((args[0] == "cases" || args[0] == "run") && workload_name.empty())
+  if ((args[0] == "cases" || args[0] == "run" || args[0] == "profile") &&
+      workload_name.empty())
     return usage();
   const auto w = core::make_workload(workload_name);
   if (!w) {
@@ -115,6 +203,33 @@ int main(int argc, char** argv) {
   }
 
   if (args[0] == "cases") return cmd_cases(*w, scale);
+
+  if (args[0] == "profile") {
+    // Single workload / variant / case / gpu: "all" is not meaningful here.
+    const auto v = parse_variant(variant_arg == "all" ? "TC" : variant_arg);
+    if (!v) {
+      std::cerr << "bad --variant (profile needs a single variant)\n";
+      return 2;
+    }
+    const auto g = parse_gpu(gpu_arg);
+    if (!g) {
+      std::cerr << "bad --gpu (profile needs a single GPU)\n";
+      return 2;
+    }
+    const auto cases = w->cases(scale);
+    std::size_t ci = w->representative_case();
+    if (case_arg != "rep" && case_arg != "all") {
+      const int idx = std::atoi(case_arg.c_str());
+      if (idx < 0 || static_cast<std::size_t>(idx) >= cases.size()) {
+        std::cerr << "case index out of range (0.." << cases.size() - 1
+                  << ")\n";
+        return 2;
+      }
+      ci = static_cast<std::size_t>(idx);
+    }
+    return cmd_profile(*w, *v, cases[ci], *g, json_path);
+  }
+
   if (args[0] != "run") return usage();
 
   // Resolve selections.

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Integration test for bench_diff, run from ctest:
+#   test_bench_diff.sh <cubie-binary> <bench_diff-binary>
+# Generates a baseline report, checks self-comparison passes, then injects
+# a 2x time_ms regression and checks bench_diff flags it with exit 1.
+set -eu
+
+CUBIE="$1"
+DIFF="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CUBIE" profile GEMM --scale 16 --json "$WORK/base.json" > /dev/null
+
+python3 - "$WORK/base.json" "$WORK/slow.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+for r in d["records"]:
+    if "time_ms" in r["metrics"]:
+        r["metrics"]["time_ms"] *= 2.0  # inject a 100% time regression
+with open(sys.argv[2], "w") as f:
+    json.dump(d, f)
+EOF
+
+# Identical reports: no regression, exit 0.
+"$DIFF" "$WORK/base.json" "$WORK/base.json"
+
+# 2x slower candidate: must exit 1 (and only 1 - not a usage/parse error).
+set +e
+"$DIFF" "$WORK/base.json" "$WORK/slow.json" --tol 0.10
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+  echo "FAIL: expected exit 1 on injected regression, got $rc" >&2
+  exit 1
+fi
+
+# The regression direction matters: the same pair reversed is an
+# improvement, which must not fail the comparison.
+"$DIFF" "$WORK/slow.json" "$WORK/base.json" --tol 0.10
+
+echo "bench_diff integration test OK"
