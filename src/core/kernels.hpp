@@ -23,7 +23,11 @@ WorkloadPtr make_spgemm();     // Quadrant IV, baseline: cuSPARSE SpGEMM proxy
 // All ten, in the paper's presentation order (Quadrant I -> IV).
 std::vector<WorkloadPtr> make_suite();
 
-// Lookup by (case-sensitive) name; returns nullptr if unknown.
+// Canonical workload names, in suite order.
+std::vector<std::string> workload_names();
+
+// Factory lookup by name (case-insensitive: "spmv" == "SpMV"); constructs
+// only the requested workload. Returns nullptr if unknown.
 WorkloadPtr make_workload(const std::string& name);
 
 }  // namespace cubie::core

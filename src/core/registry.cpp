@@ -1,29 +1,70 @@
 #include "core/kernels.hpp"
 
+#include <array>
+#include <cctype>
+#include <utility>
+
 namespace cubie::core {
+namespace {
+
+using Factory = WorkloadPtr (*)();
+
+// Name -> factory, in the paper's presentation order (Quadrant I -> IV).
+// make_suite() iterates this table, so the two entry points can never
+// disagree about which workloads exist.
+constexpr std::array<std::pair<const char*, Factory>, 10> kRegistry{{
+    // Quadrant I.
+    {"GEMM", make_gemm},
+    {"PiC", make_pic},
+    {"FFT", make_fft},
+    {"Stencil", make_stencil},
+    // Quadrant II.
+    {"Scan", make_scan},
+    // Quadrant III.
+    {"Reduction", make_reduction},
+    // Quadrant IV.
+    {"BFS", make_bfs},
+    {"GEMV", make_gemv},
+    {"SpMV", make_spmv},
+    {"SpGEMM", make_spgemm},
+}};
+
+// Case-insensitive fold for CLI-friendly lookup ("spmv" == "SpMV").
+std::string fold(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s)
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+}  // namespace
 
 std::vector<WorkloadPtr> make_suite() {
   std::vector<WorkloadPtr> suite;
-  // Quadrant I.
-  suite.push_back(make_gemm());
-  suite.push_back(make_pic());
-  suite.push_back(make_fft());
-  suite.push_back(make_stencil());
-  // Quadrant II.
-  suite.push_back(make_scan());
-  // Quadrant III.
-  suite.push_back(make_reduction());
-  // Quadrant IV.
-  suite.push_back(make_bfs());
-  suite.push_back(make_gemv());
-  suite.push_back(make_spmv());
-  suite.push_back(make_spgemm());
+  suite.reserve(kRegistry.size());
+  for (const auto& [name, factory] : kRegistry) {
+    (void)name;
+    suite.push_back(factory());
+  }
   return suite;
 }
 
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  names.reserve(kRegistry.size());
+  for (const auto& [name, factory] : kRegistry) {
+    (void)factory;
+    names.emplace_back(name);
+  }
+  return names;
+}
+
 WorkloadPtr make_workload(const std::string& name) {
-  for (auto& w : make_suite()) {
-    if (w->name() == name) return std::move(w);
+  const std::string want = fold(name);
+  for (const auto& [canonical, factory] : kRegistry) {
+    if (fold(canonical) == want) return factory();
   }
   return nullptr;
 }
