@@ -535,6 +535,18 @@ Json MetricsReport::to_json() const {
   Json trs = Json::array();
   for (const auto& t : traces) trs.push_back(report::to_json(t));
   j["traces"] = std::move(trs);
+  if (engine) j["engine"] = report::to_json(*engine);
+  return j;
+}
+
+Json to_json(const EngineStats& s) {
+  Json j = Json::object();
+  j["cells"] = Json::number(s.cells);
+  j["memo_hits"] = Json::number(s.memo_hits);
+  j["disk_hits"] = Json::number(s.disk_hits);
+  j["misses"] = Json::number(s.misses);
+  j["exec_wall_s"] = Json::number(s.exec_wall_s);
+  j["max_cell_wall_s"] = Json::number(s.max_cell_wall_s);
   return j;
 }
 
@@ -549,6 +561,8 @@ double get_number(const Json& j, const char* key, double fallback) {
   const Json* v = j.find(key);
   return v && v->is_number() ? v->as_number() : fallback;
 }
+
+}  // namespace
 
 sim::KernelProfile profile_from_json(const Json& j) {
   sim::KernelProfile p;
@@ -566,6 +580,8 @@ sim::KernelProfile profile_from_json(const Json& j) {
   p.useful_flops = get_number(j, "useful_flops", 0.0);
   return p;
 }
+
+namespace {
 
 sim::TraceNode trace_from_json(const Json& j) {
   sim::TraceNode n;
@@ -650,6 +666,16 @@ std::optional<MetricsReport> MetricsReport::from_json(const Json& j,
     for (std::size_t i = 0; i < trs->size(); ++i) {
       if (trs->at(i).is_object()) rep.traces.push_back(trace_from_json(trs->at(i)));
     }
+  }
+  if (const Json* eng = j.find("engine"); eng && eng->is_object()) {
+    EngineStats s;
+    s.cells = get_number(*eng, "cells", 0.0);
+    s.memo_hits = get_number(*eng, "memo_hits", 0.0);
+    s.disk_hits = get_number(*eng, "disk_hits", 0.0);
+    s.misses = get_number(*eng, "misses", 0.0);
+    s.exec_wall_s = get_number(*eng, "exec_wall_s", 0.0);
+    s.max_cell_wall_s = get_number(*eng, "max_cell_wall_s", 0.0);
+    rep.engine = s;
   }
   return rep;
 }

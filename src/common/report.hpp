@@ -17,7 +17,10 @@
 //       {"name": "...", "columns": ["...", ...], "rows": [["...", ...], ...]},
 //       ...
 //     ],
-//     "traces": [ <trace node>, ... ]   // only when tracing was on
+//     "traces": [ <trace node>, ... ],  // only when tracing was on
+//     "engine": {"cells": N, "memo_hits": N, "disk_hits": N, "misses": N,
+//                "exec_wall_s": S, "max_cell_wall_s": S}
+//                                       // only when Cubie-Engine executed
 //   }
 // A trace node is {"name", "wall_s", "peak_rss_kb", "profile": {...},
 // "children": [...]}. Consumers must ignore unknown keys; producers may only
@@ -114,6 +117,21 @@ struct MetricRecord {
   std::string key() const;
 };
 
+// Cubie-Engine execution counters, exported as the report's "engine" block
+// (see src/engine/engine.hpp). `misses` counts functional cell executions
+// in the producing process; `memo_hits`/`disk_hits` count requests served
+// from the in-process and on-disk cell caches. Wall-clock fields measure
+// host time inside Workload::run — the engine's own overhead is everything
+// the report's modeled times do not account for.
+struct EngineStats {
+  double cells = 0.0;      // unique cells materialized in the process
+  double memo_hits = 0.0;
+  double disk_hits = 0.0;
+  double misses = 0.0;
+  double exec_wall_s = 0.0;
+  double max_cell_wall_s = 0.0;
+};
+
 struct MetricsReport {
   static constexpr int kSchemaVersion = 1;
 
@@ -129,6 +147,9 @@ struct MetricsReport {
   };
   std::vector<CapturedTable> tables;
   std::vector<sim::TraceNode> traces;
+  // Engine execution counters; absent when the producer ran no cells
+  // through Cubie-Engine (the block is then omitted from the JSON).
+  std::optional<EngineStats> engine;
 
   // Find-or-create the record with this (workload, variant, gpu, case) key.
   // The returned reference is invalidated by the next add_record call -
@@ -153,5 +174,9 @@ Json to_json(const sim::KernelProfile& p);
 Json to_json(const sim::Prediction& p);
 Json to_json(const common::ErrorStats& e);
 Json to_json(const sim::TraceNode& n);
+Json to_json(const EngineStats& s);
+// Inverse of to_json(KernelProfile); missing fields take their defaults.
+// Shared with the engine's disk cell cache (src/engine/cache.cpp).
+sim::KernelProfile profile_from_json(const Json& j);
 
 }  // namespace cubie::report

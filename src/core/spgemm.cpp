@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -301,9 +302,14 @@ class SpgemmWorkload final : public Workload {
 
  private:
   static const sparse::Csr& pattern(const TestCase& tc, const sparse::Csr& a) {
-    // Cache the symbolic pattern per dataset (used by every variant).
+    // Cache the symbolic pattern per dataset (used by every variant). The
+    // mutex keeps concurrent engine cells (--jobs) from racing on the map;
+    // node references stay valid after rehash, so returning a reference
+    // outside the lock is safe.
+    static std::mutex mu;
     static std::map<std::string, sparse::Csr> cache;
     const std::string key = tc.dataset + "@" + std::to_string(tc.dims[0]);
+    std::lock_guard<std::mutex> lk(mu);
     auto it = cache.find(key);
     if (it == cache.end()) {
       it = cache.emplace(key, sparse::spgemm_serial(a, a)).first;

@@ -26,4 +26,13 @@ std::vector<Variant> all_variants() {
   return {Variant::Baseline, Variant::TC, Variant::CC, Variant::CCE};
 }
 
+std::vector<Variant> available_variants(const Workload& w) {
+  std::vector<Variant> vs;
+  if (w.has_baseline()) vs.push_back(Variant::Baseline);
+  vs.push_back(Variant::TC);
+  vs.push_back(Variant::CC);
+  if (w.cce_distinct()) vs.push_back(Variant::CCE);
+  return vs;
+}
+
 }  // namespace cubie::core

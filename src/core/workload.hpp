@@ -29,6 +29,12 @@ std::string variant_name(Variant v);
 std::string quadrant_name(Quadrant q);
 std::vector<Variant> all_variants();
 
+class Workload;
+// The variants a workload actually implements: Baseline only when it has
+// one, CC-E only where it differs from CC (Section 5.2). The single source
+// of truth shared by the engine, the benches, and the CLI.
+std::vector<Variant> available_variants(const Workload& w);
+
 // One of the five per-workload test cases of Table 2. `dims` is interpreted
 // by the workload (e.g. {M, N, K} for GEMM); `dataset` names a Table 3/4
 // instance for the sparse/graph workloads.

@@ -1,0 +1,94 @@
+#include "engine/cache.hpp"
+
+#include "common/report.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cubie::engine {
+namespace {
+
+std::string fnv1a_hex(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+DiskCache::DiskCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);  // best effort
+  }
+}
+
+std::string DiskCache::path_for(const std::string& key) const {
+  return dir_ + "/cell-" + fnv1a_hex(key) + ".json";
+}
+
+std::optional<core::RunOutput> DiskCache::load(const std::string& key) const {
+  if (!enabled()) return std::nullopt;
+  std::ifstream in(path_for(key));
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto j = report::Json::parse(ss.str());
+  if (!j || !j->is_object()) return std::nullopt;
+  const report::Json* kind = j->find("kind");
+  if (!kind || !kind->is_string() || kind->as_string() != "cubie-cell")
+    return std::nullopt;
+  const report::Json* stored = j->find("key");
+  if (!stored || !stored->is_string() || stored->as_string() != key)
+    return std::nullopt;  // hash collision or stale file: treat as miss
+  core::RunOutput out;
+  if (const report::Json* p = j->find("profile"); p && p->is_object()) {
+    out.profile = report::profile_from_json(*p);
+  } else {
+    return std::nullopt;
+  }
+  if (const report::Json* vals = j->find("values"); vals && vals->is_array()) {
+    out.values.reserve(vals->size());
+    for (std::size_t i = 0; i < vals->size(); ++i) {
+      if (!vals->at(i).is_number()) return std::nullopt;
+      out.values.push_back(vals->at(i).as_number());
+    }
+  }
+  return out;
+}
+
+bool DiskCache::store(const std::string& key,
+                      const core::RunOutput& out) const {
+  if (!enabled()) return false;
+  report::Json j = report::Json::object();
+  j["schema_version"] = report::Json::number(1);
+  j["kind"] = report::Json::string("cubie-cell");
+  j["key"] = report::Json::string(key);
+  j["profile"] = report::to_json(out.profile);
+  report::Json vals = report::Json::array();
+  for (double v : out.values) vals.push_back(report::Json::number(v));
+  j["values"] = std::move(vals);
+
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) return false;
+    os << j.dump(-1) << '\n';
+    if (!os) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+}  // namespace cubie::engine

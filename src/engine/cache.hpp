@@ -1,0 +1,47 @@
+#pragma once
+// Disk persistence for Cubie-Engine cells. Each cell's RunOutput is stored
+// as one JSON file (common/report's writer, schema below) under a cache
+// directory, keyed by the cell's content key:
+//
+//   {
+//     "schema_version": 1,
+//     "kind": "cubie-cell",
+//     "key":  "<cell_key>",
+//     "profile": { ...KernelProfile... },
+//     "values": [ <double>, ... ]
+//   }
+//
+// File names are a 64-bit FNV-1a hash of the key; the key stored inside the
+// file is verified on load, so a hash collision degrades to a cache miss,
+// never a wrong result. Numbers round-trip exactly (shortest-representation
+// printing), so a cell served from disk is bit-identical to a fresh run.
+
+#include "core/workload.hpp"
+
+#include <optional>
+#include <string>
+
+namespace cubie::engine {
+
+class DiskCache {
+ public:
+  DiskCache() = default;
+  // Creates `dir` (one level) if it does not exist yet.
+  explicit DiskCache(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  // nullopt on miss, unreadable file, or key mismatch.
+  std::optional<core::RunOutput> load(const std::string& key) const;
+  // Best-effort write-through (tmp file + rename); false on I/O failure.
+  bool store(const std::string& key, const core::RunOutput& out) const;
+
+  // Path a key maps to (exposed for tests and tooling).
+  std::string path_for(const std::string& key) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace cubie::engine

@@ -1,0 +1,275 @@
+#include "engine/engine.hpp"
+
+#include "common/report.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cctype>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+namespace cubie::engine {
+namespace {
+
+std::string fold(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s)
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::string cell_key(const std::string& workload, core::Variant v,
+                     const core::TestCase& tc, int scale) {
+  std::string k = workload;
+  k += '|';
+  k += core::variant_name(v);
+  k += '|';
+  k += tc.label;
+  k += '|';
+  k += tc.dataset;
+  k += "|dims=";
+  for (std::size_t i = 0; i < tc.dims.size(); ++i) {
+    if (i) k += ',';
+    k += std::to_string(tc.dims[i]);
+  }
+  k += "|s";
+  k += std::to_string(scale);
+  return k;
+}
+
+struct ExperimentEngine::Impl {
+  std::mutex mu;
+  std::vector<core::WorkloadPtr> suite;
+  bool suite_built = false;
+  // Cell key -> result. unique_ptr keeps returned references stable across
+  // rehashes; entries are inserted fully formed under `mu`.
+  std::unordered_map<std::string, std::unique_ptr<core::RunOutput>> cells;
+  EngineCounters counters;
+  DiskCache disk;
+};
+
+ExperimentEngine::ExperimentEngine() : impl_(std::make_unique<Impl>()) {}
+
+ExperimentEngine::ExperimentEngine(EngineOptions opts)
+    : opts_(std::move(opts)), impl_(std::make_unique<Impl>()) {
+  impl_->disk = DiskCache(opts_.cache_dir);
+}
+
+ExperimentEngine::~ExperimentEngine() = default;
+ExperimentEngine::ExperimentEngine(ExperimentEngine&&) noexcept = default;
+ExperimentEngine& ExperimentEngine::operator=(ExperimentEngine&&) noexcept =
+    default;
+
+const std::vector<core::WorkloadPtr>& ExperimentEngine::suite() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  if (!impl_->suite_built) {
+    impl_->suite = core::make_suite();
+    impl_->suite_built = true;
+  }
+  return impl_->suite;
+}
+
+const core::Workload* ExperimentEngine::workload(const std::string& name) {
+  const std::string want = fold(name);
+  for (const auto& w : suite()) {
+    if (fold(w->name()) == want) return w.get();
+  }
+  return nullptr;
+}
+
+const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
+                                             core::Variant v,
+                                             const core::TestCase& tc,
+                                             int scale) {
+  const std::string key = cell_key(w.name(), v, tc, scale);
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    auto it = impl_->cells.find(key);
+    if (it != impl_->cells.end()) {
+      ++impl_->counters.memo_hits;
+      return *it->second;
+    }
+  }
+  if (impl_->disk.enabled()) {
+    if (auto loaded = impl_->disk.load(key)) {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      auto [it, inserted] = impl_->cells.try_emplace(key, nullptr);
+      if (inserted) {
+        it->second = std::make_unique<core::RunOutput>(std::move(*loaded));
+        ++impl_->counters.disk_hits;
+      } else {
+        ++impl_->counters.memo_hits;  // raced with another thread
+      }
+      return *it->second;
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  core::RunOutput out = w.run(v, tc);
+  const double dt = seconds_since(t0);
+  const core::RunOutput* res = nullptr;
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    auto [it, ins] = impl_->cells.try_emplace(key, nullptr);
+    if (ins) {
+      it->second = std::make_unique<core::RunOutput>(std::move(out));
+      ++impl_->counters.misses;
+      impl_->counters.exec_wall_s += dt;
+      impl_->counters.max_cell_wall_s =
+          std::max(impl_->counters.max_cell_wall_s, dt);
+    } else {
+      ++impl_->counters.memo_hits;  // another thread finished first
+    }
+    inserted = ins;
+    res = it->second.get();
+  }
+  if (inserted && impl_->disk.enabled()) impl_->disk.store(key, *res);
+  return *res;
+}
+
+const core::RunOutput& ExperimentEngine::run_traced(const core::Workload& w,
+                                                    core::Variant v,
+                                                    const core::TestCase& tc,
+                                                    int scale,
+                                                    sim::Tracer& tracer) {
+  const std::string key = cell_key(w.name(), v, tc, scale);
+  core::RunOptions opts;
+  opts.tracer = &tracer;
+  const auto t0 = std::chrono::steady_clock::now();
+  core::RunOutput out = w.run(v, tc, opts);
+  const double dt = seconds_since(t0);
+  const core::RunOutput* res = nullptr;
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    auto [it, ins] = impl_->cells.try_emplace(key, nullptr);
+    // A memoized cell is identical to the traced re-run (deterministic
+    // per-cell RNG); keep the existing entry so outstanding references
+    // stay valid.
+    if (ins) it->second = std::make_unique<core::RunOutput>(std::move(out));
+    ++impl_->counters.misses;
+    impl_->counters.exec_wall_s += dt;
+    impl_->counters.max_cell_wall_s =
+        std::max(impl_->counters.max_cell_wall_s, dt);
+    inserted = ins;
+    res = it->second.get();
+  }
+  if (inserted && impl_->disk.enabled()) impl_->disk.store(key, *res);
+  return *res;
+}
+
+std::vector<Cell> ExperimentEngine::expand(const Plan& p) {
+  std::vector<Cell> cells;
+  std::unordered_set<std::string> seen;
+
+  std::vector<const core::Workload*> ws;
+  if (p.workloads.empty()) {
+    for (const auto& w : suite()) ws.push_back(w.get());
+  } else {
+    for (const auto& name : p.workloads) {
+      if (const auto* w = workload(name)) ws.push_back(w);
+    }
+  }
+
+  for (const auto* w : ws) {
+    const auto avail = core::available_variants(*w);
+    std::vector<core::Variant> vs;
+    if (p.variants.empty()) {
+      vs = avail;
+    } else {
+      for (auto v : p.variants) {
+        if (std::find(avail.begin(), avail.end(), v) != avail.end())
+          vs.push_back(v);
+      }
+    }
+    const auto cases = w->cases(p.scale);
+    std::vector<std::size_t> idx;
+    switch (p.cases) {
+      case CaseSet::All:
+        for (std::size_t i = 0; i < cases.size(); ++i) idx.push_back(i);
+        break;
+      case CaseSet::Representative:
+        if (w->representative_case() < cases.size())
+          idx.push_back(w->representative_case());
+        break;
+      case CaseSet::Explicit:
+        for (std::size_t i : p.case_indices)
+          if (i < cases.size()) idx.push_back(i);
+        break;
+    }
+    for (std::size_t ci : idx) {
+      for (auto v : vs) {
+        Cell c;
+        c.workload = w;
+        c.variant = v;
+        c.test_case = cases[ci];
+        c.scale = p.scale;
+        c.key = cell_key(w->name(), v, cases[ci], p.scale);
+        if (seen.insert(c.key).second) cells.push_back(std::move(c));
+      }
+    }
+  }
+  return cells;
+}
+
+std::size_t ExperimentEngine::execute(const Plan& p) {
+  const auto cells = expand(p);
+  const std::size_t jobs = static_cast<std::size_t>(std::max(1, opts_.jobs));
+  if (jobs <= 1 || cells.size() <= 1) {
+    for (const auto& c : cells) run(*c.workload, c.variant, c.test_case, c.scale);
+    return cells.size();
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= cells.size()) return;
+      const auto& c = cells[i];
+      run(*c.workload, c.variant, c.test_case, c.scale);
+    }
+  };
+  std::vector<std::thread> pool;
+  const std::size_t n = std::min(jobs, cells.size());
+  pool.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return cells.size();
+}
+
+EngineCounters ExperimentEngine::counters() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->counters;
+}
+
+report::EngineStats ExperimentEngine::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  report::EngineStats s;
+  s.cells = static_cast<double>(impl_->cells.size());
+  s.memo_hits = static_cast<double>(impl_->counters.memo_hits);
+  s.disk_hits = static_cast<double>(impl_->counters.disk_hits);
+  s.misses = static_cast<double>(impl_->counters.misses);
+  s.exec_wall_s = impl_->counters.exec_wall_s;
+  s.max_cell_wall_s = impl_->counters.max_cell_wall_s;
+  return s;
+}
+
+bool ExperimentEngine::active() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->counters.memo_hits + impl_->counters.disk_hits +
+             impl_->counters.misses >
+         0;
+}
+
+}  // namespace cubie::engine

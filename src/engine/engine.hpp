@@ -1,0 +1,103 @@
+#pragma once
+// Cubie-Engine: memoized, optionally parallel execution of experiment
+// Plans. One engine instance per process unifies suite execution across
+// the bench binaries, the CLI, and the tests:
+//
+//   * every unique cell (workload, variant, case, scale) is functionally
+//     executed at most once per process — an in-process content-keyed
+//     cache serves repeated requests (e.g. per-GPU pricing loops);
+//   * with a cache directory configured, cells persist across processes
+//     via engine::DiskCache, so consecutive bench runs share work;
+//   * Plan execution can fan out over a thread pool (`jobs`); results are
+//     bit-identical to serial order because each cell's run is
+//     deterministic (per-cell seeded RNG) and pricing happens afterwards,
+//     serially, in the caller's iteration order.
+//
+// Hit/miss and wall-clock counters are exported through the Cubie-Trace
+// MetricsReport ("engine" block) so `cubie profile` and every bench's
+// --json report show what the engine did. See docs/ARCHITECTURE.md.
+
+#include "core/kernels.hpp"
+#include "core/workload.hpp"
+#include "engine/cache.hpp"
+#include "engine/plan.hpp"
+#include "sim/trace.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cubie::report {
+struct EngineStats;
+}
+
+namespace cubie::engine {
+
+struct EngineOptions {
+  int jobs = 1;           // thread-pool width for Plan execution
+  std::string cache_dir;  // empty = no disk persistence
+};
+
+// Process-lifetime counters (see report::EngineStats for the exported form).
+struct EngineCounters {
+  std::size_t memo_hits = 0;   // served from the in-process cell cache
+  std::size_t disk_hits = 0;   // served from the disk cache
+  std::size_t misses = 0;      // functional executions in this process
+  double exec_wall_s = 0.0;    // host wall-clock spent inside Workload::run
+  double max_cell_wall_s = 0.0;  // slowest single cell
+};
+
+class ExperimentEngine {
+ public:
+  ExperimentEngine();
+  explicit ExperimentEngine(EngineOptions opts);
+  ~ExperimentEngine();
+
+  ExperimentEngine(ExperimentEngine&&) noexcept;
+  ExperimentEngine& operator=(ExperimentEngine&&) noexcept;
+  ExperimentEngine(const ExperimentEngine&) = delete;
+  ExperimentEngine& operator=(const ExperimentEngine&) = delete;
+
+  const EngineOptions& options() const { return opts_; }
+
+  // The registry suite, constructed once and owned by the engine.
+  const std::vector<core::WorkloadPtr>& suite();
+  // Case-insensitive name lookup into the engine-owned suite; nullptr if
+  // unknown.
+  const core::Workload* workload(const std::string& name);
+
+  // Memoized execution of one cell. The returned reference stays valid for
+  // the engine's lifetime. Thread-safe.
+  const core::RunOutput& run(const core::Workload& w, core::Variant v,
+                             const core::TestCase& tc, int scale);
+
+  // Traced execution: always runs (a memoized result has no spans to
+  // record), stores the result in the cell cache afterwards. Counted as a
+  // miss in the engine statistics.
+  const core::RunOutput& run_traced(const core::Workload& w, core::Variant v,
+                                    const core::TestCase& tc, int scale,
+                                    sim::Tracer& tracer);
+
+  // Expand a Plan into its unique cells, in deterministic
+  // (workload, case, variant) order. Unknown workload names are skipped.
+  std::vector<Cell> expand(const Plan& p);
+
+  // Execute every cell of the Plan (opts.jobs threads), warming the cell
+  // cache. Returns the number of unique cells.
+  std::size_t execute(const Plan& p);
+
+  EngineCounters counters() const;
+  // Counters in the MetricsReport exchange form ("engine" block).
+  report::EngineStats stats() const;
+  // True once any cell has been requested (hit or miss).
+  bool active() const;
+
+ private:
+  struct Impl;
+  EngineOptions opts_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cubie::engine

@@ -1,0 +1,87 @@
+#pragma once
+// Cubie-Engine plans: the declarative description of a suite experiment.
+//
+// A Plan names *what* to evaluate — sets of workloads, variants, test cases,
+// a scale divisor, and the device models to price on. The engine expands a
+// Plan into unique **cells** `(workload, variant, case, scale)`, the atomic
+// unit of functional execution: a cell's RunOutput (KernelProfile + output
+// values) is device-independent, so it is executed exactly once per process
+// and re-priced on every requested DeviceModel. See docs/ARCHITECTURE.md.
+
+#include "core/workload.hpp"
+#include "sim/device.hpp"
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cubie::engine {
+
+// Which of a workload's test cases a Plan covers.
+enum class CaseSet {
+  All,             // every case from Workload::cases(scale)
+  Representative,  // only Workload::representative_case()
+  Explicit,        // the indices listed in Plan::case_indices
+};
+
+struct Plan {
+  // Workload names (registry lookup, case-insensitive). Empty = full suite.
+  std::vector<std::string> workloads;
+  // Requested variants; unavailable ones (Baseline without a baseline,
+  // CC-E where it equals CC) are skipped per workload during expansion.
+  // Empty = all available variants of each workload.
+  std::vector<core::Variant> variants;
+  CaseSet cases = CaseSet::All;
+  std::vector<std::size_t> case_indices;  // used when cases == Explicit
+  int scale = 1;
+  // Device models the caller intends to price on. Pricing is outside the
+  // cell (profiles are device-independent); this is carried so a Plan is a
+  // complete, self-describing record of an experiment. Empty = all GPUs.
+  std::vector<sim::Gpu> gpus;
+
+  // The full figure-3 style sweep: every workload, variant, and case.
+  static Plan suite(int scale) {
+    Plan p;
+    p.scale = scale;
+    return p;
+  }
+  // One representative case per workload (Figures 7-9, Table 6 shape).
+  static Plan representative(int scale) {
+    Plan p;
+    p.scale = scale;
+    p.cases = CaseSet::Representative;
+    return p;
+  }
+
+  Plan& with_workloads(std::vector<std::string> names) {
+    workloads = std::move(names);
+    return *this;
+  }
+  Plan& with_variants(std::vector<core::Variant> vs) {
+    variants = std::move(vs);
+    return *this;
+  }
+  Plan& with_gpus(std::vector<sim::Gpu> gs) {
+    gpus = std::move(gs);
+    return *this;
+  }
+};
+
+// One expanded unit of functional execution.
+struct Cell {
+  const core::Workload* workload = nullptr;  // owned by the engine
+  core::Variant variant = core::Variant::TC;
+  core::TestCase test_case;
+  int scale = 1;
+  std::string key;  // content key (cell_key)
+};
+
+// Content key of a cell. Includes the case dimensions and dataset in
+// addition to the label, so two cases that share a label (e.g. clamped
+// dimensions at extreme scales) can never collide, and distinct
+// scale/variant/case always map to distinct cache entries.
+std::string cell_key(const std::string& workload, core::Variant v,
+                     const core::TestCase& tc, int scale);
+
+}  // namespace cubie::engine

@@ -1,0 +1,252 @@
+// Cubie-Engine contracts: cell-key uniqueness, memoized-vs-fresh equality,
+// disk round-trip exactness, registry lookup, and the bit-identical-to-
+// serial guarantee of --jobs parallel Plan execution.
+
+#include "engine/cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/plan.hpp"
+
+#include "common/report.hpp"
+#include "core/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cubie {
+namespace {
+
+// Exact equality of two RunOutputs: every profile counter and every output
+// value. The engine's contract is bit-identity, so no tolerances here.
+void expect_identical(const core::RunOutput& a, const core::RunOutput& b) {
+  const auto pa = report::to_json(a.profile).dump(-1);
+  const auto pb = report::to_json(b.profile).dump(-1);
+  EXPECT_EQ(pa, pb);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t i = 0; i < a.values.size(); ++i)
+    EXPECT_EQ(a.values[i], b.values[i]) << "value " << i;
+}
+
+TEST(EngineKey, DistinctCellsNeverCollide) {
+  engine::ExperimentEngine eng;
+  std::set<std::string> keys;
+  std::size_t cells = 0;
+  for (int scale : {16, 32}) {
+    for (const auto& w : eng.suite()) {
+      for (const auto& tc : w->cases(scale)) {
+        for (auto v : core::available_variants(*w)) {
+          keys.insert(engine::cell_key(w->name(), v, tc, scale));
+          ++cells;
+        }
+      }
+    }
+  }
+  // Distinct (workload, variant, case, scale) must map to distinct keys.
+  // Cases whose dimensions clamp to the same values at a given scale are
+  // genuinely the same work, so count unique (dims, dataset, label) tuples.
+  std::set<std::string> distinct;
+  for (int scale : {16, 32}) {
+    for (const auto& w : eng.suite()) {
+      for (const auto& tc : w->cases(scale)) {
+        for (auto v : core::available_variants(*w)) {
+          std::string id = w->name() + '\n' + core::variant_name(v) + '\n' +
+                           tc.label + '\n' + tc.dataset + '\n' +
+                           std::to_string(scale);
+          for (auto d : tc.dims) id += '\n' + std::to_string(d);
+          distinct.insert(id);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), distinct.size());
+  EXPECT_LE(keys.size(), cells);
+}
+
+TEST(EngineKey, ScaleVariantAndCaseAllFeedTheKey) {
+  engine::ExperimentEngine eng;
+  const auto* w = eng.workload("GEMM");
+  ASSERT_NE(w, nullptr);
+  const auto c16 = w->cases(16);
+  ASSERT_GE(c16.size(), 2u);
+  const auto k = engine::cell_key(w->name(), core::Variant::TC, c16[0], 16);
+  EXPECT_NE(k, engine::cell_key(w->name(), core::Variant::CC, c16[0], 16));
+  EXPECT_NE(k, engine::cell_key(w->name(), core::Variant::TC, c16[1], 16));
+  EXPECT_NE(k, engine::cell_key("GEMV", core::Variant::TC, c16[0], 16));
+  // Same case content at a different scale divisor is a different cell only
+  // through the dims/label; the key must still separate scales explicitly.
+  EXPECT_NE(k, engine::cell_key(w->name(), core::Variant::TC, c16[0], 32));
+}
+
+TEST(EngineRegistry, CaseInsensitiveLookupAndNames) {
+  const auto names = core::workload_names();
+  EXPECT_EQ(names.size(), core::make_suite().size());
+  EXPECT_EQ(names.front(), "GEMM");  // paper order preserved
+
+  engine::ExperimentEngine eng;
+  EXPECT_NE(eng.workload("SpMV"), nullptr);
+  EXPECT_EQ(eng.workload("SpMV"), eng.workload("spmv"));
+  EXPECT_EQ(eng.workload("SpMV"), eng.workload("SPMV"));
+  EXPECT_EQ(eng.workload("no-such-workload"), nullptr);
+  EXPECT_EQ(core::make_workload("gemm")->name(), "GEMM");
+}
+
+TEST(EngineMemo, CachedEqualsFreshAndCountsHits) {
+  engine::ExperimentEngine eng;
+  const auto* w = eng.workload("Scan");
+  ASSERT_NE(w, nullptr);
+  const auto tc = w->cases(64)[w->representative_case()];
+
+  const auto& first = eng.run(*w, core::Variant::TC, tc, 64);
+  const auto& again = eng.run(*w, core::Variant::TC, tc, 64);
+  EXPECT_EQ(&first, &again);  // memoized: same object, not a re-run
+
+  const auto fresh = w->run(core::Variant::TC, tc);
+  expect_identical(first, fresh);
+
+  const auto c = eng.counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.memo_hits, 1u);
+  EXPECT_EQ(c.disk_hits, 0u);
+  EXPECT_GT(c.exec_wall_s, 0.0);
+  EXPECT_TRUE(eng.active());
+}
+
+TEST(EngineDisk, RoundTripIsExact) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "cubie_engine_disk_test";
+  std::filesystem::remove_all(dir);
+  engine::DiskCache cache(dir.string());
+  ASSERT_TRUE(cache.enabled());
+
+  const auto w = core::make_workload("Reduction");
+  const auto tc = w->cases(64)[w->representative_case()];
+  const auto out = w->run(core::Variant::CC, tc);
+  const auto key = engine::cell_key("Reduction", core::Variant::CC, tc, 64);
+
+  EXPECT_FALSE(cache.load(key).has_value());
+  ASSERT_TRUE(cache.store(key, out));
+  ASSERT_TRUE(std::filesystem::exists(cache.path_for(key)));
+  const auto back = cache.load(key);
+  ASSERT_TRUE(back.has_value());
+  expect_identical(out, *back);
+
+  // A different key must not alias onto this file's contents.
+  const auto other = engine::cell_key("Reduction", core::Variant::TC, tc, 64);
+  EXPECT_FALSE(cache.load(other).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineDisk, SecondEngineServesFromDisk) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "cubie_engine_disk_test2";
+  std::filesystem::remove_all(dir);
+  engine::EngineOptions opts;
+  opts.cache_dir = dir.string();
+
+  const auto plan = engine::Plan::representative(64).with_workloads({"Scan"});
+  engine::ExperimentEngine first(opts);
+  const std::size_t cells = first.execute(plan);
+  EXPECT_GT(cells, 0u);
+  EXPECT_EQ(first.counters().misses, cells);
+
+  engine::ExperimentEngine second(opts);
+  EXPECT_EQ(second.execute(plan), cells);
+  const auto c = second.counters();
+  EXPECT_EQ(c.misses, 0u);
+  EXPECT_EQ(c.disk_hits, cells);
+
+  // Disk-served outputs must be bit-identical to freshly computed ones.
+  const auto* w = second.workload("Scan");
+  const auto tc = w->cases(64)[w->representative_case()];
+  for (auto v : core::available_variants(*w))
+    expect_identical(second.run(*w, v, tc, 64), w->run(v, tc));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EnginePlan, ExpandDeduplicatesAndOrdersDeterministically) {
+  engine::ExperimentEngine eng;
+  auto plan = engine::Plan::representative(64).with_workloads(
+      {"Scan", "scan", "GEMM"});
+  const auto cells = eng.expand(plan);
+  // "scan" duplicates "Scan"; every surviving cell is unique.
+  std::set<std::string> keys;
+  for (const auto& c : cells) keys.insert(c.key);
+  EXPECT_EQ(keys.size(), cells.size());
+  ASSERT_FALSE(cells.empty());
+  EXPECT_EQ(cells.front().workload->name(), "Scan");
+
+  const auto again = eng.expand(plan);
+  ASSERT_EQ(again.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    EXPECT_EQ(again[i].key, cells[i].key);
+}
+
+// The tentpole guarantee: a report produced with --jobs 4 is byte-identical
+// to the serial one. Counters are deterministic; only the wall-clock fields
+// may differ between schedules, so those are zeroed before comparison.
+TEST(EngineJobs, ParallelReportMatchesSerialByteForByte) {
+  auto build_report = [](int jobs) {
+    engine::EngineOptions opts;
+    opts.jobs = jobs;
+    engine::ExperimentEngine eng(opts);
+    auto plan = engine::Plan::representative(64).with_workloads(
+        {"GEMM", "Scan", "SpMV", "BFS"});
+    eng.execute(plan);
+
+    report::MetricsReport rep;
+    rep.tool = "test_engine";
+    rep.title = "jobs determinism";
+    rep.scale_divisor = 64;
+    for (const auto& cell : eng.expand(plan)) {
+      const auto& out =
+          eng.run(*cell.workload, cell.variant, cell.test_case, cell.scale);
+      for (auto g : sim::all_gpus()) {
+        const sim::DeviceModel model(sim::spec_for(g));
+        const auto pred = model.predict(out.profile);
+        auto& rec = rep.add_record(cell.workload->name(),
+                                   core::variant_name(cell.variant),
+                                   sim::gpu_name(g), cell.test_case.label);
+        rec.set("time_ms", pred.time_s * 1e3);
+        rec.set("energy_j", pred.energy_j);
+        rec.set("checksum", out.values.empty() ? 0.0 : out.values.front());
+      }
+    }
+    auto stats = eng.stats();
+    stats.exec_wall_s = 0.0;      // the only schedule-dependent fields
+    stats.max_cell_wall_s = 0.0;
+    rep.engine = stats;
+    return rep.to_json().dump(2);
+  };
+
+  const std::string serial = build_report(1);
+  const std::string parallel = build_report(4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(EngineStats, ExportedBlockRoundTrips) {
+  engine::ExperimentEngine eng;
+  const auto* w = eng.workload("BFS");
+  const auto tc = w->cases(64)[w->representative_case()];
+  eng.run(*w, core::Variant::TC, tc, 64);
+  eng.run(*w, core::Variant::TC, tc, 64);
+
+  report::MetricsReport rep;
+  rep.tool = "test_engine";
+  rep.engine = eng.stats();
+  const auto j = rep.to_json();
+  ASSERT_NE(j.find("engine"), nullptr);
+
+  const auto back = report::MetricsReport::from_json(j);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back->engine.has_value());
+  EXPECT_EQ(back->engine->cells, 1.0);
+  EXPECT_EQ(back->engine->misses, 1.0);
+  EXPECT_EQ(back->engine->memo_hits, 1.0);
+}
+
+}  // namespace
+}  // namespace cubie
