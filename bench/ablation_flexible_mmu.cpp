@@ -40,9 +40,12 @@ int main(int argc, char** argv) {
   common::Table t({"Workload", "output use", "TC time (us)", "flex time (us)",
                    "time gain", "TC power (W)", "flex power (W)",
                    "energy gain", "new bound"});
-  for (const auto& w : core::make_suite()) {
+  bench.warm(engine::Plan::representative(s)
+                 .with_variants({core::Variant::TC})
+                 .with_gpus({sim::Gpu::H200}));
+  for (const auto& w : bench.suite()) {
     const auto tc_case = w->cases(s)[w->representative_case()];
-    const auto tc = w->run(core::Variant::TC, tc_case);
+    const auto& tc = bench.run(*w, core::Variant::TC, tc_case);
     const auto pred = model.predict(tc.profile);
 
     const double util = output_utilization(w->name());

@@ -21,10 +21,16 @@ int main(int argc, char** argv) {
   std::cout << "=== Ablation: what makes CC slower than TC? (H200, Scan & "
                "SpMV) ===\n\n";
 
+  engine::Plan plan = engine::Plan::representative(bench.scale)
+                          .with_workloads({"Scan", "SpMV"})
+                          .with_variants({core::Variant::TC})
+                          .with_gpus({sim::Gpu::H200});
+  bench.warm(plan);
+
   for (const char* name : {"Scan", "SpMV"}) {
-    const auto w = core::make_workload(name);
+    const auto* w = bench.workload(name);
     const auto tc_case = w->cases(bench.scale)[w->representative_case()];
-    const auto tc = w->run(core::Variant::TC, tc_case);
+    const auto& tc = bench.run(*w, core::Variant::TC, tc_case);
     const double t_tc = model.predict(tc.profile).time_s;
 
     std::cout << name << " (TC time " << common::fmt_double(t_tc * 1e6, 1)

@@ -21,13 +21,21 @@ int main(int argc, char** argv) {
                "column shows what remains\nof the MMU advantage: only the "
                "data-layout benefits.\n\n";
 
+  // Only the workloads with a distinct baseline participate.
+  engine::Plan plan = engine::Plan::representative(s).with_variants(
+      {core::Variant::TC, core::Variant::Baseline});
+  for (const auto& w : bench.suite()) {
+    if (w->has_baseline()) plan.workloads.push_back(w->name());
+  }
+  bench.warm(plan);
+
   const sim::DeviceModel v100(sim::v100());
   common::Table t({"Workload", "V100 (no FP64 MMU)", "A100", "H200", "B200"});
-  for (const auto& w : core::make_suite()) {
+  for (const auto& w : bench.suite()) {
     if (!w->has_baseline()) continue;
     const auto tc_case = w->cases(s)[w->representative_case()];
-    const auto tc = w->run(core::Variant::TC, tc_case);
-    const auto base = w->run(core::Variant::Baseline, tc_case);
+    const auto& tc = bench.run(*w, core::Variant::TC, tc_case);
+    const auto& base = bench.run(*w, core::Variant::Baseline, tc_case);
     std::vector<std::string> row{w->name()};
     auto cell = [&](const sim::DeviceModel& model, const std::string& gpu) {
       const double speedup = model.predict(base.profile).time_s /

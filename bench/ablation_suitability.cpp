@@ -66,19 +66,27 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Ablation: algorithm-level MMU suitability vs measured "
                "(H200) ===\n\n";
+  engine::Plan plan = engine::Plan::representative(s)
+                          .with_variants({core::Variant::TC,
+                                          core::Variant::Baseline})
+                          .with_gpus({sim::Gpu::H200});
+  for (const auto& row : kTraits) plan.workloads.push_back(row.workload);
+  bench.warm(plan);
+
   common::Table t({"workload", "predicted quadrant", "actual", "est speedup",
                    "measured", "verdict ok?"});
   int correct_quadrant = 0, correct_verdict = 0, n_rows = 0;
   for (const auto& row : kTraits) {
-    const auto w = core::make_workload(row.workload);
+    const auto* w = bench.workload(row.workload);
     const auto assessment = analysis::assess_mmu_suitability(row.traits, dev);
 
     // Measured TC-vs-baseline factor (representative case).
     const auto tc_case = w->cases(s)[w->representative_case()];
     const double t_tc =
-        model.predict(w->run(core::Variant::TC, tc_case).profile).time_s;
+        model.predict(bench.run(*w, core::Variant::TC, tc_case).profile).time_s;
     const double t_base =
-        model.predict(w->run(core::Variant::Baseline, tc_case).profile).time_s;
+        model.predict(bench.run(*w, core::Variant::Baseline, tc_case).profile)
+            .time_s;
     const double measured = t_base / t_tc;
 
     const std::string predicted_q = plain_label(assessment.quadrant);

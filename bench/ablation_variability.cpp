@@ -49,14 +49,23 @@ int main(int argc, char** argv) {
   const auto skew_spec = perturbed(sim::h200(), 1.05, 0.95);  // clock-up, bw-down
   const sim::DeviceModel slow(slow_spec), fast(fast_spec), skew(skew_spec);
 
+  engine::Plan plan = engine::Plan::representative(s)
+                          .with_variants({core::Variant::TC,
+                                          core::Variant::Baseline})
+                          .with_gpus({sim::Gpu::H200});
+  for (const auto& w : bench.suite()) {
+    if (w->has_baseline()) plan.workloads.push_back(w->name());
+  }
+  bench.warm(plan);
+
   common::Table t({"Workload", "nominal", "slow bin", "fast bin",
                    "skewed bin", "verdict stable?"});
   int stable = 0, total = 0;
-  for (const auto& w : core::make_suite()) {
+  for (const auto& w : bench.suite()) {
     if (!w->has_baseline()) continue;
     const auto tc_case = w->cases(s)[w->representative_case()];
-    const auto tc = w->run(core::Variant::TC, tc_case);
-    const auto base = w->run(core::Variant::Baseline, tc_case);
+    const auto& tc = bench.run(*w, core::Variant::TC, tc_case);
+    const auto& base = bench.run(*w, core::Variant::Baseline, tc_case);
     auto speedup = [&](const sim::DeviceModel& m) {
       return m.predict(base.profile).time_s / m.predict(tc.profile).time_s;
     };

@@ -1,18 +1,25 @@
 #pragma once
-// Shared helpers for the figure/table bench binaries: variant availability,
-// suite sweeps, and formatting. Each binary stays standalone (no cross-bench
-// caching) so `for b in build/bench/*; do $b; done` reproduces every figure
-// from scratch.
+// Shared helpers for the figure/table bench binaries: the Cubie-Engine
+// harness, variant availability, suite sweeps, and formatting. Each binary
+// stays standalone (`for b in build/bench/*; do $b; done` reproduces every
+// figure) but routes all functional execution through one per-process
+// ExperimentEngine, so no (workload, variant, case, scale) cell runs more
+// than once per process — per-GPU pricing loops re-price the memoized
+// profile. With `--cache DIR` cells persist across binaries too, and
+// `--jobs N` fans Plan execution out over a thread pool with bit-identical
+// results (deterministic per-cell RNG). See docs/ARCHITECTURE.md.
 
 #include "common/metrics.hpp"
 #include "common/report.hpp"
 #include "common/table.hpp"
 #include "core/kernels.hpp"
+#include "engine/engine.hpp"
 #include "sim/model.hpp"
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cubie::benchutil {
@@ -22,14 +29,36 @@ namespace cubie::benchutil {
 //   --json <path>   write a schema-versioned report::MetricsReport
 //                   ("-" for stdout) alongside the human-readable tables
 //   --scale <N>     override the CUBIE_SCALE divisor
+//   --jobs <N>      thread-pool width for engine Plan execution
+//   --cache <dir>   persist engine cells to disk, shared across binaries
 //   --help          print usage
 // and the Bench object collects records / captured tables as the binary
-// computes them. finish() writes the report and is the binary's exit code.
+// computes them. finish() writes the report (with the engine-stats block
+// when any cell ran) and is the binary's exit code.
 
 struct Bench {
   report::MetricsReport report;
   std::string json_path;  // empty = human output only
   int scale = 1;
+  engine::ExperimentEngine engine;
+
+  // Engine-owned suite, built once per process.
+  const std::vector<core::WorkloadPtr>& suite() { return engine.suite(); }
+
+  // Case-insensitive registry lookup (nullptr if unknown).
+  const core::Workload* workload(const std::string& name) {
+    return engine.workload(name);
+  }
+
+  // Memoized cell execution at this bench's scale.
+  const core::RunOutput& run(const core::Workload& w, core::Variant v,
+                             const core::TestCase& tc) {
+    return engine.run(w, v, tc, scale);
+  }
+
+  // Execute every unique cell of the plan up front (parallel with --jobs);
+  // subsequent run() calls are cache hits.
+  std::size_t warm(const engine::Plan& plan) { return engine.execute(plan); }
 
   report::MetricRecord& record(const std::string& workload,
                                const std::string& variant,
@@ -44,6 +73,7 @@ struct Bench {
   }
 
   int finish() {
+    if (engine.active()) report.engine = engine.stats();
     if (json_path.empty()) return 0;
     if (!report.write_file(json_path)) {
       std::cerr << report.tool << ": cannot write " << json_path << "\n";
@@ -62,6 +92,7 @@ inline Bench bench_init(int argc, char** argv, const std::string& tool,
   b.report.tool = tool;
   b.report.title = title;
   b.scale = common::scale_divisor();
+  engine::EngineOptions eng;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -75,9 +106,14 @@ inline Bench bench_init(int argc, char** argv, const std::string& tool,
       b.json_path = next();
     } else if (arg == "--scale") {
       b.scale = std::max(1, std::atoi(next().c_str()));
+    } else if (arg == "--jobs") {
+      eng.jobs = std::max(1, std::atoi(next().c_str()));
+    } else if (arg == "--cache") {
+      eng.cache_dir = next();
     } else if (arg == "--help" || arg == "-h") {
       std::cout << tool << ": " << title << "\n"
-                << "usage: " << tool << " [--json <path>] [--scale <N>]\n";
+                << "usage: " << tool << " [--json <path>] [--scale <N>]"
+                << " [--jobs <N>] [--cache <dir>]\n";
       std::exit(0);
     } else {
       std::cerr << tool << ": unknown argument '" << arg << "'\n";
@@ -85,16 +121,12 @@ inline Bench bench_init(int argc, char** argv, const std::string& tool,
     }
   }
   b.report.scale_divisor = b.scale;
+  b.engine = engine::ExperimentEngine(std::move(eng));
   return b;
 }
 
 inline std::vector<core::Variant> available_variants(const core::Workload& w) {
-  std::vector<core::Variant> vs;
-  if (w.has_baseline()) vs.push_back(core::Variant::Baseline);
-  vs.push_back(core::Variant::TC);
-  vs.push_back(core::Variant::CC);
-  if (w.cce_distinct()) vs.push_back(core::Variant::CCE);
-  return vs;
+  return core::available_variants(w);
 }
 
 // Performance metric for Figure 3: useful work rate per second. For
@@ -132,11 +164,18 @@ struct SpeedupRow {
   std::vector<double> per_gpu;  // indexed like sim::all_gpus()
 };
 
-inline std::vector<SpeedupRow> speedup_sweep(core::Variant num,
-                                             core::Variant den,
-                                             int scale_divisor) {
+// The Plan a variant-pair sweep executes: both variants over every case of
+// every workload that implements them.
+inline engine::Plan speedup_plan(core::Variant num, core::Variant den,
+                                 int scale_divisor) {
+  return engine::Plan::suite(scale_divisor).with_variants({num, den});
+}
+
+inline std::vector<SpeedupRow> speedup_sweep(Bench& b, core::Variant num,
+                                             core::Variant den) {
+  b.warm(speedup_plan(num, den, b.scale));
   std::vector<SpeedupRow> rows;
-  for (const auto& w : core::make_suite()) {
+  for (const auto& w : b.suite()) {
     const bool have_num = num != core::Variant::Baseline || w->has_baseline();
     const bool have_den = den != core::Variant::Baseline || w->has_baseline();
     if (!have_num || !have_den) continue;
@@ -148,9 +187,9 @@ inline std::vector<SpeedupRow> speedup_sweep(core::Variant num,
     row.quadrant = w->quadrant();
     const auto gpus = sim::all_gpus();
     std::vector<std::vector<double>> ratios(gpus.size());
-    for (const auto& tc : w->cases(scale_divisor)) {
-      const auto out_num = w->run(num, tc);
-      const auto out_den = w->run(den, tc);
+    for (const auto& tc : w->cases(b.scale)) {
+      const auto& out_num = b.run(*w, num, tc);
+      const auto& out_den = b.run(*w, den, tc);
       for (std::size_t g = 0; g < gpus.size(); ++g) {
         const sim::DeviceModel model(sim::spec_for(gpus[g]));
         const double t_num = model.predict(out_num.profile).time_s;

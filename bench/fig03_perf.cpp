@@ -3,6 +3,11 @@
 // device models. Values are useful-work rates (GFLOP/s for floating-point
 // workloads, GTEPS for BFS), predicted by the analytic device model from
 // functionally-counted events.
+//
+// Expressed as an engine Plan: the full suite sweep executes each unique
+// (workload, variant, case, scale) cell exactly once — the KernelProfile
+// is device-independent, so the per-GPU loop below only re-prices memoized
+// cells (engine misses == suite x variants x cases, pinned by CI).
 
 #include "bench_util.hpp"
 
@@ -18,32 +23,24 @@ int main(int argc, char** argv) {
                "workloads (scale 1/" << s << ") ===\n"
             << "units: GFLOP/s (BFS: GTEPS)\n\n";
 
-  for (const auto& w : core::make_suite()) {
+  bench.warm(engine::Plan::suite(s));
+
+  for (const auto& w : bench.suite()) {
     std::cout << "--- " << w->name() << " (Quadrant "
               << core::quadrant_name(w->quadrant())
               << ", baseline: " << w->baseline_name()
               << ", unit: " << benchutil::perf_unit(*w) << ") ---\n";
     const auto variants = benchutil::available_variants(*w);
     const auto cases = w->cases(s);
-    // Run every variant x case once, before the GPU loop: a RunOutput's
-    // profile is device-independent, so the per-GPU tables below only need
-    // to re-price it. Executing inside the GPU loop tripled the functional
-    // work for identical results.
-    std::vector<std::vector<core::RunOutput>> outs(cases.size());
-    for (std::size_t c = 0; c < cases.size(); ++c) {
-      for (auto v : variants) outs[c].push_back(w->run(v, cases[c]));
-    }
     for (auto gpu : sim::all_gpus()) {
       const sim::DeviceModel model(sim::spec_for(gpu));
       std::vector<std::string> header{"case"};
       for (auto v : variants) header.push_back(core::variant_name(v));
       common::Table t(std::move(header));
-      for (std::size_t c = 0; c < cases.size(); ++c) {
-        const auto& tc = cases[c];
+      for (const auto& tc : cases) {
         std::vector<std::string> row{tc.label};
-        for (std::size_t vi = 0; vi < variants.size(); ++vi) {
-          const auto v = variants[vi];
-          const auto& out = outs[c][vi];
+        for (auto v : variants) {
+          const auto& out = bench.run(*w, v, tc);
           const auto pred = model.predict(out.profile);
           const double rate =
               benchutil::perf_metric(*w, out.profile, pred.time_s);

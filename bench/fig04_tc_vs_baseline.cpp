@@ -9,8 +9,8 @@ int main(int argc, char** argv) {
   auto bench = benchutil::bench_init(
       argc, argv, "fig04_tc_vs_baseline",
       "Figure 4: TC speedup over Baseline (case geomean)");
-  const auto rows = benchutil::speedup_sweep(
-      core::Variant::TC, core::Variant::Baseline, bench.scale);
+  const auto rows = benchutil::speedup_sweep(bench, core::Variant::TC,
+                                             core::Variant::Baseline);
   benchutil::print_speedup_table(
       "=== Figure 4: TC speedup over Baseline (case geomean) ===", rows);
   benchutil::record_speedup(bench, core::Variant::TC, core::Variant::Baseline,

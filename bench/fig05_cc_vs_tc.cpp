@@ -10,8 +10,8 @@ int main(int argc, char** argv) {
   auto bench = benchutil::bench_init(
       argc, argv, "fig05_cc_vs_tc",
       "Figure 5: CC speedup over TC (case geomean)");
-  const auto rows = benchutil::speedup_sweep(core::Variant::CC,
-                                             core::Variant::TC, bench.scale);
+  const auto rows =
+      benchutil::speedup_sweep(bench, core::Variant::CC, core::Variant::TC);
   benchutil::print_speedup_table(
       "=== Figure 5: CC speedup over TC (case geomean; <1 = slower) ===",
       rows);

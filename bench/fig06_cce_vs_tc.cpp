@@ -9,8 +9,8 @@ int main(int argc, char** argv) {
   auto bench = benchutil::bench_init(
       argc, argv, "fig06_cce_vs_tc",
       "Figure 6: CC-E speedup over TC (Quadrants II-IV)");
-  const auto rows = benchutil::speedup_sweep(core::Variant::CCE,
-                                             core::Variant::TC, bench.scale);
+  const auto rows =
+      benchutil::speedup_sweep(bench, core::Variant::CCE, core::Variant::TC);
   benchutil::print_speedup_table(
       "=== Figure 6: CC-E speedup over TC (Quadrants II-IV; <1 = slower) ===",
       rows);

@@ -20,14 +20,16 @@ int main(int argc, char** argv) {
   std::cout << "=== Figure 7: EDP on H200 (representative case each; J*s per "
                "kernel execution) ===\n\n";
 
+  bench.warm(engine::Plan::representative(s).with_gpus({sim::Gpu::H200}));
+
   common::Table t({"Quadrant", "Workload", "Case", "Baseline", "TC", "CC",
                    "CC-E"});
   std::map<std::string, std::vector<double>> quad_ratios;  // TC/Baseline EDP
-  for (const auto& w : core::make_suite()) {
+  for (const auto& w : bench.suite()) {
     const auto tc_case = w->cases(s)[w->representative_case()];
     std::map<core::Variant, double> edp;
     for (auto v : benchutil::available_variants(*w)) {
-      const auto out = w->run(v, tc_case);
+      const auto& out = bench.run(*w, v, tc_case);
       const auto pred = model.predict(out.profile);
       edp[v] = pred.edp;
       auto& rec = bench.record(w->name(), core::variant_name(v), "H200",

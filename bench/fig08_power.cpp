@@ -23,10 +23,12 @@ int main(int argc, char** argv) {
   std::cout << "trace CSV (t_s, watts) at the end of output.\n\n";
   std::string csv = "workload,variant,t_s,watts\n";
 
-  for (const auto& w : core::make_suite()) {
+  bench.warm(engine::Plan::representative(s).with_gpus({sim::Gpu::H200}));
+
+  for (const auto& w : bench.suite()) {
     const auto tc_case = w->cases(s)[w->representative_case()];
     for (auto v : benchutil::available_variants(*w)) {
-      const auto out = w->run(v, tc_case);
+      const auto& out = bench.run(*w, v, tc_case);
       const auto pred = model.predict(out.profile);
       sim::PowerTraceOptions opts;
       const auto trace = sim::synthesize_power_trace(model.spec(), pred, opts);

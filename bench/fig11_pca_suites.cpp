@@ -26,10 +26,14 @@ int main(int argc, char** argv) {
   const sim::DeviceModel model(sim::h200());
   std::vector<analysis::KernelMetrics> metrics;
 
+  bench.warm(engine::Plan::representative(s)
+                 .with_variants({core::Variant::TC})
+                 .with_gpus({sim::Gpu::H200}));
+
   // Cubie: TC implementations (the suite's own kernels).
-  for (const auto& w : core::make_suite()) {
+  for (const auto& w : bench.suite()) {
     const auto tc_case = w->cases(s)[w->representative_case()];
-    const auto out = w->run(core::Variant::TC, tc_case);
+    const auto& out = bench.run(*w, core::Variant::TC, tc_case);
     metrics.push_back(analysis::extract_metrics(
         "Cubie/" + w->name(), "Cubie", out.profile, model.predict(out.profile)));
   }

@@ -21,15 +21,22 @@ int main(int argc, char** argv) {
   const int s = bench.scale;
   std::cout << "=== Table 6: FP64 numerical error vs. CPU serial reference "
                "===\n\n";
+  // The error analysis covers the floating-point workloads only.
+  engine::Plan plan = engine::Plan::representative(s);
+  for (const auto& w : bench.suite()) {
+    if (w->is_floating_point()) plan.workloads.push_back(w->name());
+  }
+  bench.warm(plan);
+
   common::Table t({"Workload", "n", "Baseline avg", "Baseline max",
                    "TC/CC avg", "TC/CC max", "CC-E avg", "CC-E max"});
-  for (const auto& w : core::make_suite()) {
+  for (const auto& w : bench.suite()) {
     if (!w->is_floating_point()) continue;  // BFS excluded, as in the paper
     const auto tc_case = w->cases(s)[w->representative_case()];
     const auto ref = w->reference(tc_case);
 
     auto err_of = [&](core::Variant v) {
-      const auto out = w->run(v, tc_case);
+      const auto& out = bench.run(*w, v, tc_case);
       const auto e = common::error_stats(out.values, ref);
       auto& rec = bench.record(w->name(), core::variant_name(v), "",
                                tc_case.label);

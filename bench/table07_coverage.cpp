@@ -16,9 +16,9 @@ int main(int argc, char** argv) {
                                      "Table 7: Berkeley dwarf coverage");
   std::cout << "=== Table 7: Berkeley dwarf coverage ===\n\n";
 
-  // Count Cubie workloads per dwarf from the registry.
+  // Count Cubie workloads per dwarf from the engine-owned registry suite.
   std::map<std::string, int> cubie_dwarfs;
-  for (const auto& w : core::make_suite()) cubie_dwarfs[w->dwarf()] += 1;
+  for (const auto& w : bench.suite()) cubie_dwarfs[w->dwarf()] += 1;
 
   // Published counts for the two comparison suites (paper Table 7).
   const std::map<std::string, std::pair<int, int>> published = {

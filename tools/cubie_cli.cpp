@@ -7,13 +7,20 @@
 //   cubie run <workload> [--variant TC|CC|CC-E|Baseline|all]
 //                        [--case IDX|all] [--gpu A100|H200|B200|all]
 //                        [--scale N] [--errors] [--csv]
+//                        [--jobs N] [--cache DIR]
 //   cubie profile <workload> [--variant TC] [--case IDX] [--gpu H200]
-//                        [--scale N] [--json file]
+//                        [--scale N] [--json file] [--cache DIR]
+//
+// Both run and profile go through engine::ExperimentEngine: each unique
+// (workload, variant, case, scale) cell executes once and is re-priced on
+// every requested GPU; --cache persists cells across invocations and
+// --jobs fans the functional runs out over a thread pool.
 
 #include "common/metrics.hpp"
 #include "common/report.hpp"
 #include "common/table.hpp"
 #include "core/kernels.hpp"
+#include "engine/engine.hpp"
 #include "sim/model.hpp"
 #include "sim/trace.hpp"
 
@@ -36,9 +43,10 @@ int usage() {
       "  cubie cases <workload> [--scale N]\n"
       "  cubie run <workload> [--variant V|all] [--case I|all]\n"
       "            [--gpu G|all] [--scale N] [--errors] [--csv]\n"
+      "            [--jobs N] [--cache DIR]\n"
       "            [--dataset file.mtx]   (SpMV / SpGEMM only)\n"
       "  cubie profile <workload> [--variant V] [--case I] [--gpu G]\n"
-      "            [--scale N] [--json file]\n";
+      "            [--scale N] [--json file] [--cache DIR]\n";
   return 2;
 }
 
@@ -57,9 +65,9 @@ std::optional<sim::Gpu> parse_gpu(const std::string& s) {
   return std::nullopt;
 }
 
-int cmd_list() {
+int cmd_list(engine::ExperimentEngine& eng) {
   common::Table t({"workload", "quadrant", "dwarf", "baseline", "variants"});
-  for (const auto& w : core::make_suite()) {
+  for (const auto& w : eng.suite()) {
     std::string variants = "TC CC";
     if (w->has_baseline()) variants = "Baseline " + variants;
     if (w->cce_distinct()) variants += " CC-E";
@@ -92,13 +100,11 @@ void print_span_tree(const sim::TraceNode& n, const sim::DeviceModel& model,
     print_span_tree(c, model, root_time_s, depth + 1);
 }
 
-int cmd_profile(const core::Workload& w, core::Variant v,
-                const core::TestCase& tc, sim::Gpu gpu,
-                const std::string& json_path) {
+int cmd_profile(engine::ExperimentEngine& eng, const core::Workload& w,
+                core::Variant v, const core::TestCase& tc, int scale,
+                sim::Gpu gpu, const std::string& json_path) {
   sim::Tracer tracer;
-  core::RunOptions opts;
-  opts.tracer = &tracer;
-  const auto out = w.run(v, tc, opts);
+  const auto& out = eng.run_traced(w, v, tc, scale, tracer);
   const sim::DeviceModel model(sim::spec_for(gpu));
   const auto pred = model.predict(out.profile);
 
@@ -125,6 +131,10 @@ int cmd_profile(const core::Workload& w, core::Variant v,
   std::cout << "\n" << spans << " spans; host wall "
             << common::fmt_double(host_wall * 1e3, 1) << " ms; peak RSS "
             << rss / 1024 << " MiB\n";
+  const auto ec = eng.counters();
+  std::cout << "engine: " << ec.misses << " functional run(s), "
+            << common::fmt_double(ec.exec_wall_s * 1e3, 1)
+            << " ms inside Workload::run\n";
 
   if (!json_path.empty()) {
     report::MetricsReport rep;
@@ -138,6 +148,7 @@ int cmd_profile(const core::Workload& w, core::Variant v,
     rec.set("host_wall_ms", host_wall * 1e3);
     rec.set("spans", static_cast<double>(spans));
     rep.traces = tracer.roots();
+    rep.engine = eng.stats();
     if (!rep.write_file(json_path)) {
       std::cerr << "cannot write " << json_path << '\n';
       return 1;
@@ -164,13 +175,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage();
 
-  if (args[0] == "list") return cmd_list();
-
   // Common flags.
   int scale = common::scale_divisor();
   std::string variant_arg = "all", case_arg = "rep", gpu_arg = "H200";
   std::string dataset;  // optional .mtx path for the sparse workloads
   std::string json_path;
+  engine::EngineOptions eng_opts;
   bool errors = false, csv = false;
   std::string workload_name;
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -187,16 +197,22 @@ int main(int argc, char** argv) {
     else if (args[i] == "--gpu") gpu_arg = next("--gpu");
     else if (args[i] == "--dataset") dataset = next("--dataset");
     else if (args[i] == "--json") json_path = next("--json");
+    else if (args[i] == "--jobs")
+      eng_opts.jobs = std::max(1, std::atoi(next("--jobs").c_str()));
+    else if (args[i] == "--cache") eng_opts.cache_dir = next("--cache");
     else if (args[i] == "--errors") errors = true;
     else if (args[i] == "--csv") csv = true;
     else if (workload_name.empty()) workload_name = args[i];
     else return usage();
   }
 
+  engine::ExperimentEngine eng(eng_opts);
+  if (args[0] == "list") return cmd_list(eng);
+
   if ((args[0] == "cases" || args[0] == "run" || args[0] == "profile") &&
       workload_name.empty())
     return usage();
-  const auto w = core::make_workload(workload_name);
+  const auto* w = eng.workload(workload_name);
   if (!w) {
     std::cerr << "unknown workload '" << workload_name << "' (try: cubie list)\n";
     return 2;
@@ -227,7 +243,7 @@ int main(int argc, char** argv) {
       }
       ci = static_cast<std::size_t>(idx);
     }
-    return cmd_profile(*w, *v, cases[ci], *g, json_path);
+    return cmd_profile(eng, *w, *v, cases[ci], scale, *g, json_path);
   }
 
   if (args[0] != "run") return usage();
@@ -291,12 +307,26 @@ int main(int argc, char** argv) {
   }
   common::Table t(std::move(header));
 
+  // Warm the cell cache through a Plan so --jobs parallelism applies. A
+  // custom --dataset case is not in Workload::cases() and therefore not
+  // Plan-expressible; it goes straight through engine.run below.
+  if (dataset.empty()) {
+    engine::Plan plan;
+    plan.scale = scale;
+    plan.workloads = {w->name()};
+    plan.variants = variants;
+    plan.cases = engine::CaseSet::Explicit;
+    plan.case_indices = case_ids;
+    plan.gpus = gpus;
+    eng.execute(plan);
+  }
+
   for (std::size_t ci : case_ids) {
     const auto& tc = cases[ci];
     std::vector<double> ref;
     if (errors) ref = w->reference(tc);
     for (auto v : variants) {
-      const auto out = w->run(v, tc);
+      const auto& out = eng.run(*w, v, tc, scale);
       for (auto g : gpus) {
         const sim::DeviceModel model(sim::spec_for(g));
         const auto pred = model.predict(out.profile);
@@ -321,5 +351,9 @@ int main(int argc, char** argv) {
   } else {
     t.print(std::cout);
   }
+  const auto ec = eng.counters();
+  std::cerr << "[engine: " << ec.misses << " run(s), " << ec.memo_hits
+            << " memo hit(s), " << ec.disk_hits << " disk hit(s), "
+            << common::fmt_double(ec.exec_wall_s * 1e3, 1) << " ms exec]\n";
   return 0;
 }
