@@ -9,6 +9,7 @@
 // `--jobs N` fans Plan execution out over a thread pool with bit-identical
 // results (deterministic per-cell RNG). See docs/ARCHITECTURE.md.
 
+#include "check/check.hpp"
 #include "common/metrics.hpp"
 #include "common/report.hpp"
 #include "common/table.hpp"
@@ -31,6 +32,10 @@ namespace cubie::benchutil {
 //   --scale <N>     override the CUBIE_SCALE divisor
 //   --jobs <N>      thread-pool width for engine Plan execution
 //   --cache <dir>   persist engine cells to disk, shared across binaries
+//   --check         run the Cubie-Check conformance harness over every cell
+//                   this bench executed (src/check/); violations make the
+//                   exit code 1 and the verdict table is appended to the
+//                   --json report under "conformance"
 //   --help          print usage
 // and the Bench object collects records / captured tables as the binary
 // computes them. finish() writes the report (with the engine-stats block
@@ -40,6 +45,7 @@ struct Bench {
   report::MetricsReport report;
   std::string json_path;  // empty = human output only
   int scale = 1;
+  bool check = false;  // --check: differential conformance after the bench
   engine::ExperimentEngine engine;
 
   // Engine-owned suite, built once per process.
@@ -73,8 +79,21 @@ struct Bench {
   }
 
   int finish() {
+    int rc = 0;
+    if (check) {
+      // Judge every cell this bench materialized against its baseline /
+      // reference (Cubie-Check; see docs/ARCHITECTURE.md). The verdict
+      // table rides along in the JSON report; a violation fails the run.
+      const auto conf = check::verify_report(engine);
+      const auto t = conf.to_table();
+      std::cout << "\nconformance (" << report.tool << "):\n";
+      t.print(std::cout);
+      conf.print_summary(std::cerr);
+      report.tables.push_back({"conformance", t.header(), t.data()});
+      if (!conf.pass()) rc = 1;
+    }
     if (engine.active()) report.engine = engine.stats();
-    if (json_path.empty()) return 0;
+    if (json_path.empty()) return rc;
     if (!report.write_file(json_path)) {
       std::cerr << report.tool << ": cannot write " << json_path << "\n";
       return 1;
@@ -82,7 +101,7 @@ struct Bench {
     if (json_path != "-") {
       std::cerr << "[json report: " << json_path << "]\n";
     }
-    return 0;
+    return rc;
   }
 };
 
@@ -110,10 +129,12 @@ inline Bench bench_init(int argc, char** argv, const std::string& tool,
       eng.jobs = std::max(1, std::atoi(next().c_str()));
     } else if (arg == "--cache") {
       eng.cache_dir = next();
+    } else if (arg == "--check") {
+      b.check = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << tool << ": " << title << "\n"
                 << "usage: " << tool << " [--json <path>] [--scale <N>]"
-                << " [--jobs <N>] [--cache <dir>]\n";
+                << " [--jobs <N>] [--cache <dir>] [--check]\n";
       std::exit(0);
     } else {
       std::cerr << tool << ": unknown argument '" << arg << "'\n";

@@ -1,0 +1,351 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <tuple>
+#include <utility>
+
+namespace cubie::check {
+namespace {
+
+std::string fold(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s)
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+// Map a double onto a monotonically ordered integer line so that the
+// difference of two mapped values counts the representable doubles between
+// them (the classic ULP trick; -0.0 maps next to +0.0).
+std::int64_t ordered_bits(double x) {
+  std::int64_t i;
+  std::memcpy(&i, &x, sizeof(i));
+  return i < 0 ? std::numeric_limits<std::int64_t>::min() - i : i;
+}
+
+}  // namespace
+
+double ulp_distance(double a, double b) {
+  if (a == b) return 0.0;  // covers +0 vs -0 and equal infinities
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<double>::infinity();
+  const std::int64_t ra = ordered_bits(a), rb = ordered_bits(b);
+  // Two's-complement subtraction in unsigned space avoids signed overflow.
+  const std::uint64_t d =
+      ra > rb ? static_cast<std::uint64_t>(ra) - static_cast<std::uint64_t>(rb)
+              : static_cast<std::uint64_t>(rb) - static_cast<std::uint64_t>(ra);
+  return static_cast<double>(d);
+}
+
+Tolerance tolerance_for(const core::Workload& w) {
+  // BFS values are per-vertex traversal levels — no floating-point
+  // arithmetic, so every variant must agree exactly.
+  if (!w.is_floating_point()) return Tolerance{};
+  // Absolute-error floors derived from Table 6 (table06_accuracy at
+  // scales 4-16): the differential variant-vs-baseline error is bounded by
+  // the sum of both columns' max error vs the CPU reference; the floors
+  // below carry ~50-100x headroom over that bound. The relative and ULP
+  // gates are shared: variants must agree to 9 significant digits OR be
+  // within the absolute floor OR within 1e6 representable doubles.
+  static const std::map<std::string, double> abs_floor = {
+      {"gemm", 2e-11},       // 2.49e-13 + 7.82e-14
+      {"pic", 1e-13},        // vs CPU-serial: 1.78e-15
+      {"fft", 5e-11},        // 3.41e-13 + 3.98e-13
+      {"stencil", 1e-13},    // 6.66e-16 + 6.66e-16
+      {"scan", 1e-11},       // 7.82e-14 + 7.82e-14
+      {"reduction", 1e-11},  // 7.11e-14 + 7.11e-14
+      {"gemv", 1e-12},       // 7.11e-15 + 7.11e-15
+      {"spmv", 1e-11},       // 7.11e-14 + 8.53e-14
+      {"spgemm", 1e-10},     // 1.14e-12 + 2.27e-13
+  };
+  Tolerance t;
+  const auto it = abs_floor.find(fold(w.name()));
+  t.max_abs = it != abs_floor.end() ? it->second : 1e-10;
+  t.max_rel = 1e-9;
+  t.max_ulp = 1e6;
+  return t;
+}
+
+Verdict compare_values(const std::vector<double>& out,
+                       const std::vector<double>& ref, const Tolerance& tol) {
+  Verdict v;
+  v.tolerance = tol;
+  v.n = out.size();
+  if (out.size() != ref.size()) {
+    v.pass = false;
+    v.reason = "size mismatch: " + std::to_string(out.size()) + " vs " +
+               std::to_string(ref.size()) + " reference values";
+    return v;
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double o = out[i], r = ref[i];
+    const bool o_fin = std::isfinite(o), r_fin = std::isfinite(r);
+    if (!o_fin || !r_fin) {
+      if (std::isnan(o)) ++v.census.out_nan;
+      else if (!o_fin) ++v.census.out_inf;
+      if (std::isnan(r)) ++v.census.ref_nan;
+      else if (!r_fin) ++v.census.ref_inf;
+      // Matched non-finites (NaN vs NaN, same-signed Inf) conform; any
+      // other combination is a violation regardless of tolerances.
+      const bool matched =
+          !o_fin && !r_fin &&
+          ((std::isnan(o) && std::isnan(r)) ||
+           (std::isinf(o) && std::isinf(r) &&
+            std::signbit(o) == std::signbit(r)));
+      if (!matched) {
+        ++v.census.mismatched;
+        ++v.violations;
+      }
+      continue;
+    }
+    const double abs_err = std::fabs(o - r);
+    const double rel_err =
+        r != 0.0 ? abs_err / std::fabs(r)
+                 : (o == 0.0 ? 0.0 : std::numeric_limits<double>::infinity());
+    const double ulp = ulp_distance(o, r);
+    v.max_abs_err = std::max(v.max_abs_err, abs_err);
+    v.max_rel_err = std::max(v.max_rel_err, rel_err);
+    v.max_ulp = std::max(v.max_ulp, ulp);
+    // Each gate is an independent excuse: only exceeding all three fails.
+    if (abs_err > tol.max_abs && rel_err > tol.max_rel && ulp > tol.max_ulp)
+      ++v.violations;
+  }
+  if (v.violations > 0) {
+    v.pass = false;
+    v.reason = std::to_string(v.violations) + " element(s) beyond tolerance";
+    if (v.census.mismatched > 0)
+      v.reason += " (" + std::to_string(v.census.mismatched) +
+                  " mismatched non-finite)";
+  }
+  return v;
+}
+
+namespace {
+
+// One (workload, case, scale) group of cells awaiting a verdict.
+struct Group {
+  const core::Workload* workload = nullptr;
+  core::TestCase test_case;
+  int scale = 1;
+  std::vector<core::Variant> variants;
+};
+
+std::string group_key(const std::string& workload, const core::TestCase& tc,
+                      int scale) {
+  std::string k = workload;
+  k += '|';
+  k += tc.label;
+  k += '|';
+  k += tc.dataset;
+  k += "|dims=";
+  for (std::size_t i = 0; i < tc.dims.size(); ++i) {
+    if (i) k += ',';
+    k += std::to_string(tc.dims[i]);
+  }
+  k += "|s";
+  k += std::to_string(scale);
+  return k;
+}
+
+std::vector<double> perturbed(const std::vector<double>& values,
+                              double perturb) {
+  if (perturb == 0.0) return values;
+  std::vector<double> out = values;
+  for (double& v : out)
+    if (std::isfinite(v)) v *= 1.0 + perturb;
+  return out;
+}
+
+int variant_rank(const std::string& name) {
+  if (name == "Baseline") return 0;
+  if (name == "TC") return 1;
+  if (name == "CC") return 2;
+  return 3;  // CC-E and anything future
+}
+
+}  // namespace
+
+ConformanceReport verify_cells(engine::ExperimentEngine& eng,
+                               const std::vector<engine::Cell>& cells,
+                               double perturb) {
+  // Group cells by (workload, case, scale), preserving first-seen order.
+  std::map<std::string, Group> groups;
+  std::vector<std::string> order;
+  for (const auto& c : cells) {
+    if (c.workload == nullptr) continue;
+    const std::string gk = group_key(c.workload->name(), c.test_case, c.scale);
+    auto [it, inserted] = groups.try_emplace(gk);
+    if (inserted) {
+      it->second.workload = c.workload;
+      it->second.test_case = c.test_case;
+      it->second.scale = c.scale;
+      order.push_back(gk);
+    }
+    auto& vs = it->second.variants;
+    if (std::find(vs.begin(), vs.end(), c.variant) == vs.end())
+      vs.push_back(c.variant);
+  }
+
+  ConformanceReport rep;
+  rep.groups = order.size();
+  for (const auto& gk : order) {
+    const Group& g = groups.at(gk);
+    const core::Workload& w = *g.workload;
+    const Tolerance tol = tolerance_for(w);
+
+    // The group's reference: the Baseline variant when the workload has
+    // one (memoized through the engine like any cell), the CPU serial
+    // ground truth otherwise.
+    std::vector<double> ref;
+    std::string ref_name;
+    if (w.has_baseline()) {
+      ref = eng.run(w, core::Variant::Baseline, g.test_case, g.scale).values;
+      ref_name = "Baseline";
+    } else {
+      ref = w.reference(g.test_case);
+      ref_name = "CPU-serial";
+    }
+
+    auto add_verdict = [&](core::Variant v, const std::vector<double>& out,
+                           const std::vector<double>& target,
+                           const std::string& target_name,
+                           const Tolerance& t) {
+      Verdict verdict = compare_values(out, target, t);
+      verdict.workload = w.name();
+      verdict.variant = core::variant_name(v);
+      verdict.reference = target_name;
+      verdict.case_label = g.test_case.label;
+      verdict.scale = g.scale;
+      if (!verdict.pass) ++rep.violations;
+      rep.verdicts.push_back(std::move(verdict));
+    };
+
+    for (core::Variant v : g.variants) {
+      if (v == core::Variant::Baseline) continue;  // it IS the reference
+      const auto out =
+          perturbed(eng.run(w, v, g.test_case, g.scale).values, perturb);
+      add_verdict(v, out, ref, ref_name, tol);
+    }
+
+    // The construction invariant: TC and CC are numerically identical
+    // (Section 5.2) — judged bit-exactly whenever both are present.
+    const auto& vs = g.variants;
+    const bool has_tc =
+        std::find(vs.begin(), vs.end(), core::Variant::TC) != vs.end();
+    const bool has_cc =
+        std::find(vs.begin(), vs.end(), core::Variant::CC) != vs.end();
+    if (has_tc && has_cc) {
+      const auto tc_out = perturbed(
+          eng.run(w, core::Variant::TC, g.test_case, g.scale).values, perturb);
+      const auto cc_out = perturbed(
+          eng.run(w, core::Variant::CC, g.test_case, g.scale).values, perturb);
+      add_verdict(core::Variant::CC, cc_out, tc_out, "TC", exact_tolerance());
+    }
+  }
+
+  // Deterministic output order regardless of execution schedule.
+  std::sort(rep.verdicts.begin(), rep.verdicts.end(),
+            [](const Verdict& a, const Verdict& b) {
+              return std::tie(a.workload, a.case_label, a.scale) <
+                         std::tie(b.workload, b.case_label, b.scale) ||
+                     (std::tie(a.workload, a.case_label, a.scale) ==
+                          std::tie(b.workload, b.case_label, b.scale) &&
+                      std::make_tuple(variant_rank(a.variant), a.reference) <
+                          std::make_tuple(variant_rank(b.variant),
+                                          b.reference));
+            });
+  return rep;
+}
+
+ConformanceReport verify_plan(engine::ExperimentEngine& eng,
+                              const engine::Plan& plan, double perturb) {
+  const auto cells = eng.expand(plan);
+  eng.execute(cells);
+  return verify_cells(eng, cells, perturb);
+}
+
+ConformanceReport verify_report(engine::ExperimentEngine& eng) {
+  std::vector<engine::Cell> cells;
+  for (const auto& m : eng.materialized()) {
+    const core::Workload* w = eng.workload(m.workload);
+    if (w == nullptr) continue;  // caller-owned workload: not verifiable
+    engine::Cell c;
+    c.workload = w;
+    c.variant = m.variant;
+    c.test_case = m.test_case;
+    c.scale = m.scale;
+    c.key = m.key;
+    cells.push_back(std::move(c));
+  }
+  return verify_cells(eng, cells);
+}
+
+common::Table ConformanceReport::to_table() const {
+  common::Table t({"Workload", "Variant", "vs", "Case", "n", "max_abs",
+                   "max_rel", "max_ulp", "nonfinite", "verdict"});
+  for (const auto& v : verdicts) {
+    std::string nonfinite = "-";
+    const std::size_t nf = v.census.out_nan + v.census.out_inf;
+    if (nf > 0 || v.census.mismatched > 0) {
+      nonfinite = std::to_string(nf);
+      if (v.census.mismatched > 0)
+        nonfinite += " (" + std::to_string(v.census.mismatched) +
+                     " mismatched)";
+    }
+    t.add_row({v.workload, v.variant, v.reference, v.case_label,
+               std::to_string(v.n), common::fmt_sci(v.max_abs_err),
+               common::fmt_sci(v.max_rel_err), common::fmt_sci(v.max_ulp),
+               nonfinite, v.pass ? "PASS" : "FAIL: " + v.reason});
+  }
+  return t;
+}
+
+void ConformanceReport::print_summary(std::ostream& os) const {
+  os << "cubie-check: " << verdicts.size() << " verdict(s) over " << groups
+     << " group(s), " << violations << " violation(s)\n";
+}
+
+report::MetricsReport ConformanceReport::to_metrics_report(
+    const std::string& tool, const std::string& title,
+    int scale_divisor) const {
+  report::MetricsReport rep;
+  rep.tool = tool;
+  rep.title = title;
+  rep.scale_divisor = scale_divisor;
+  for (const auto& v : verdicts) {
+    // The gpu slot carries the comparison reference: conformance is
+    // device-independent, and (workload, variant, gpu, case) keys must stay
+    // unique when one variant is judged against two references (Baseline
+    // and the TC invariant).
+    auto& rec =
+        rep.add_record(v.workload, v.variant, "vs " + v.reference,
+                       v.case_label);
+    rec.set("n", static_cast<double>(v.n));
+    rec.set("max_abs_err", v.max_abs_err);
+    rec.set("max_rel_err", v.max_rel_err);
+    rec.set("max_ulp", v.max_ulp);
+    rec.set("violations", static_cast<double>(v.violations));
+    rec.set("nonfinite",
+            static_cast<double>(v.census.out_nan + v.census.out_inf));
+    rec.set("nonfinite_mismatched",
+            static_cast<double>(v.census.mismatched));
+    rec.set("tol_abs", v.tolerance.max_abs);
+    rec.set("tol_rel", v.tolerance.max_rel);
+    rec.set("tol_ulp", v.tolerance.max_ulp);
+    rec.set("pass", v.pass ? 1.0 : 0.0);
+  }
+  const common::Table t = to_table();
+  rep.tables.push_back({"conformance", t.header(), t.data()});
+  return rep;
+}
+
+}  // namespace cubie::check

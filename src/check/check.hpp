@@ -1,0 +1,149 @@
+#pragma once
+// Cubie-Check: the differential conformance harness behind the paper's
+// Table 6 correctness claim — every TC / CC / CC-E variant computes the
+// *same answer* as the baseline up to characterized FP64 error.
+//
+// For each engine cell group (workload, case, scale), the harness compares
+// each non-baseline variant's RunOutput.values element-wise against the
+// reference of that group:
+//
+//   * the Baseline variant of the same group when the workload has one
+//     (run through the engine, so it is memoized like any other cell);
+//   * the naive CPU serial ground truth (Workload::reference) otherwise
+//     (PiC has no library baseline — Table 2: "-").
+//
+// Additionally, whenever both TC and CC are present in a group they are
+// compared against each other *bit-exactly*: "CC replaces MMAs with scalar
+// work preserving per-lane responsibilities (identical numerics)" is the
+// paper's construction invariant, so any difference at all is a violation.
+//
+// Each comparison produces a Verdict — max abs/rel error, max ULP
+// distance, a NaN/Inf census — judged against per-workload Tolerances
+// derived from Table 6 (see tolerance_for). An element violates tolerance
+// only if it exceeds *all three* gates (abs AND rel AND ulp); non-finite
+// values must match in class and sign exactly. Entry points:
+//
+//   * `cubie check` (tools/cubie_cli.cpp) — CLI sweep, exit 1 on violation;
+//   * verify_report(engine) — benches opt in via --check (bench_util.hpp);
+//   * verify_plan(engine, plan) — execute a Plan, then verify its cells.
+//
+// See docs/ARCHITECTURE.md ("Cubie-Check") for the tolerance derivation.
+
+#include "common/report.hpp"
+#include "common/table.hpp"
+#include "engine/engine.hpp"
+#include "engine/plan.hpp"
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cubie::check {
+
+// Per-workload conformance tolerances. An element (out vs ref) is a
+// violation only when |out-ref| > max_abs AND |out-ref|/|ref| > max_rel
+// AND ulp_distance(out, ref) > max_ulp — each gate is an independent
+// excuse, so tiny absolute wobble on large values and tiny relative wobble
+// near zero both pass. All-zero tolerances demand bit-exact equality.
+struct Tolerance {
+  double max_abs = 0.0;
+  double max_rel = 0.0;
+  double max_ulp = 0.0;
+};
+
+// Table 6-derived tolerance for a workload (differential bound: the sum of
+// the baseline's and the variant's max error vs the CPU reference, with
+// ~50-100x headroom). Non-floating-point workloads (BFS) get the exact
+// tolerance: their values are traversal levels, identical by construction.
+Tolerance tolerance_for(const core::Workload& w);
+// The bit-exact tolerance used for the TC-vs-CC invariant.
+inline Tolerance exact_tolerance() { return Tolerance{}; }
+
+// Distance between two doubles in units of representable values (0 when
+// a == b, including +0 vs -0; +inf when exactly one of them is NaN).
+double ulp_distance(double a, double b);
+
+// Count of non-finite values seen on each side of a comparison.
+// `mismatched` counts element positions whose non-finiteness class or sign
+// differs between the two sides (always a violation).
+struct Census {
+  std::size_t out_nan = 0, out_inf = 0;
+  std::size_t ref_nan = 0, ref_inf = 0;
+  std::size_t mismatched = 0;
+};
+
+// The per-cell verdict of one variant-vs-reference comparison.
+struct Verdict {
+  std::string workload;
+  std::string variant;    // the variant under test
+  std::string reference;  // "Baseline", "CPU-serial", or "TC" (invariant)
+  std::string case_label;
+  int scale = 1;
+  std::size_t n = 0;             // elements compared
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  double max_ulp = 0.0;
+  std::size_t violations = 0;    // elements beyond tolerance
+  Census census;
+  Tolerance tolerance;
+  bool pass = true;
+  std::string reason;  // set when !pass
+
+  std::string key() const {
+    return workload + "|" + variant + "|" + case_label + "|" + reference;
+  }
+};
+
+// Element-wise differential comparison of `out` against `ref`, judged
+// against `tol`. Fills the metric fields of a default Verdict; callers add
+// identity (workload/variant/case). A size mismatch fails outright.
+Verdict compare_values(const std::vector<double>& out,
+                       const std::vector<double>& ref, const Tolerance& tol);
+
+// A full conformance run: one Verdict per (variant, reference) pair of
+// every checked cell group, in deterministic (workload, case, variant)
+// order.
+struct ConformanceReport {
+  std::vector<Verdict> verdicts;
+  std::size_t groups = 0;      // (workload, case, scale) groups checked
+  std::size_t violations = 0;  // failing verdicts
+
+  bool pass() const { return violations == 0; }
+
+  // Human-readable verdict table (one row per Verdict).
+  common::Table to_table() const;
+  // One-line summary ("conformance: 42 verdicts over 12 groups, 0
+  // violations") written to `os`.
+  void print_summary(std::ostream& os) const;
+  // The --json form: reuses the MetricsReport schema, one record per
+  // Verdict. Conformance is device-independent, so the record's gpu slot
+  // carries the comparison reference ("vs Baseline", "vs TC", ...) to keep
+  // record keys unique. The verdict table is captured under "conformance".
+  report::MetricsReport to_metrics_report(const std::string& tool,
+                                          const std::string& title,
+                                          int scale_divisor) const;
+};
+
+// Verify every cell the engine has materialized so far (grouped by
+// workload/case/scale). This is what bench --check runs after the bench
+// body: it judges exactly the cells the bench executed. Cells whose
+// workload is not in the registry (caller-owned Workload instances) are
+// skipped. Reference cells (Baseline) are run through the engine on demand
+// if the bench did not execute them itself.
+ConformanceReport verify_report(engine::ExperimentEngine& eng);
+
+// Execute `plan` through the engine (honoring its --jobs/--cache options),
+// then verify the plan's cells. `perturb` != 0 multiplies every finite
+// element of each non-reference variant's values by (1 + perturb) before
+// judging — a fault-injection aid that lets tests and the CLI prove the
+// harness actually rejects out-of-tolerance outputs.
+ConformanceReport verify_plan(engine::ExperimentEngine& eng,
+                              const engine::Plan& plan, double perturb = 0.0);
+
+// The shared core: verify caller-supplied cells (grouped as above).
+ConformanceReport verify_cells(engine::ExperimentEngine& eng,
+                               const std::vector<engine::Cell>& cells,
+                               double perturb = 0.0);
+
+}  // namespace cubie::check

@@ -1,9 +1,9 @@
 #include "common/report.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <iterator>
@@ -100,21 +100,22 @@ std::string json_escape(const std::string& s) {
 
 namespace {
 
+// Locale-independent: snprintf("%g")/strtod honor LC_NUMERIC and would
+// emit/expect ',' decimal separators under e.g. de_DE, corrupting every
+// --json report and the engine's disk cache. std::to_chars always writes
+// the C-locale form (tests/test_report.cpp pins this under setlocale).
 std::string format_number(double v) {
   if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[40];
   // Integers (the common case for counters) print without a fraction.
   if (v == std::floor(v) && std::fabs(v) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0f", v);
-    return buf;
+    const auto r =
+        std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::fixed, 0);
+    return std::string(buf, r.ptr);
   }
-  // Shortest round-trip representation.
-  char buf[32];
-  for (int prec = 15; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  return buf;
+  // Shortest representation that round-trips exactly.
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, r.ptr);
 }
 
 }  // namespace
@@ -277,7 +278,18 @@ struct Parser {
       pos = start;
       return fail("invalid number");
     }
-    out = Json::number(std::strtod(text.c_str() + start, nullptr));
+    // std::from_chars is locale-independent (strtod would reject '.' under a
+    // non-C LC_NUMERIC). It does not accept a leading '+', so skip one.
+    std::size_t first = start;
+    if (text[first] == '+') ++first;
+    double value = 0.0;
+    const auto r =
+        std::from_chars(text.data() + first, text.data() + pos, value);
+    if (r.ec != std::errc()) {
+      pos = start;
+      return fail("invalid number");
+    }
+    out = Json::number(value);
     return true;
   }
 
@@ -545,6 +557,8 @@ Json to_json(const EngineStats& s) {
   j["memo_hits"] = Json::number(s.memo_hits);
   j["disk_hits"] = Json::number(s.disk_hits);
   j["misses"] = Json::number(s.misses);
+  j["traced_reruns"] = Json::number(s.traced_reruns);
+  j["disk_errors"] = Json::number(s.disk_errors);
   j["exec_wall_s"] = Json::number(s.exec_wall_s);
   j["max_cell_wall_s"] = Json::number(s.max_cell_wall_s);
   return j;
@@ -673,6 +687,8 @@ std::optional<MetricsReport> MetricsReport::from_json(const Json& j,
     s.memo_hits = get_number(*eng, "memo_hits", 0.0);
     s.disk_hits = get_number(*eng, "disk_hits", 0.0);
     s.misses = get_number(*eng, "misses", 0.0);
+    s.traced_reruns = get_number(*eng, "traced_reruns", 0.0);
+    s.disk_errors = get_number(*eng, "disk_errors", 0.0);
     s.exec_wall_s = get_number(*eng, "exec_wall_s", 0.0);
     s.max_cell_wall_s = get_number(*eng, "max_cell_wall_s", 0.0);
     rep.engine = s;

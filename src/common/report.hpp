@@ -128,6 +128,8 @@ struct EngineStats {
   double memo_hits = 0.0;
   double disk_hits = 0.0;
   double misses = 0.0;
+  double traced_reruns = 0.0;  // traced re-runs of already-memoized cells
+  double disk_errors = 0.0;    // unusable/unwritable disk-cache files
   double exec_wall_s = 0.0;
   double max_cell_wall_s = 0.0;
 };

@@ -2,9 +2,12 @@
 
 #include "common/report.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <limits>
 #include <fstream>
 #include <sstream>
 
@@ -23,7 +26,135 @@ std::string fnv1a_hex(const std::string& s) {
   return buf;
 }
 
+// --- Lossless non-finite encoding -----------------------------------------
+// JSON numbers cannot carry NaN/Inf; common/report prints them as null,
+// which would reload as 0.0 and break the cache's bit-identity contract.
+// Cell files therefore encode non-finite doubles as string sentinels that
+// preserve the exact bit pattern (including NaN payloads).
+
+constexpr std::uint64_t kCanonicalNan = 0x7ff8000000000000ull;
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double double_of(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+std::string encode_nonfinite(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  const std::uint64_t b = bits_of(v);
+  if (b == kCanonicalNan) return "nan";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "nan:%016llx",
+                static_cast<unsigned long long>(b));
+  return buf;
+}
+
+bool decode_nonfinite(const std::string& s, double* out) {
+  if (s == "inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "-inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "nan") {
+    *out = double_of(kCanonicalNan);
+    return true;
+  }
+  if (s.rfind("nan:", 0) == 0 && s.size() == 20) {
+    std::uint64_t b = 0;
+    for (char c : s.substr(4)) {
+      b <<= 4;
+      if (c >= '0' && c <= '9') b |= static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') b |= static_cast<std::uint64_t>(c - 'a' + 10);
+      else return false;
+    }
+    *out = double_of(b);
+    return true;
+  }
+  return false;
+}
+
+// Recursively copy a Json tree, replacing non-finite numbers with their
+// sentinel strings (encode) or sentinel strings with numbers (decode).
+report::Json encode_tree(const report::Json& j) {
+  using report::Json;
+  switch (j.type()) {
+    case Json::Type::Number:
+      if (!std::isfinite(j.as_number()))
+        return Json::string(encode_nonfinite(j.as_number()));
+      return Json::number(j.as_number());
+    case Json::Type::Array: {
+      Json out = Json::array();
+      for (std::size_t i = 0; i < j.size(); ++i)
+        out.push_back(encode_tree(j.at(i)));
+      return out;
+    }
+    case Json::Type::Object: {
+      Json out = Json::object();
+      for (const auto& [k, v] : j.members()) out[k] = encode_tree(v);
+      return out;
+    }
+    default: return j;
+  }
+}
+
+// Decode applies only inside the "profile" / "values" subtrees (the cell
+// envelope's own strings — kind, key — must stay untouched).
+report::Json decode_tree(const report::Json& j) {
+  using report::Json;
+  switch (j.type()) {
+    case Json::Type::String: {
+      double v = 0.0;
+      if (decode_nonfinite(j.as_string(), &v)) return Json::number(v);
+      return j;
+    }
+    case Json::Type::Array: {
+      Json out = Json::array();
+      for (std::size_t i = 0; i < j.size(); ++i)
+        out.push_back(decode_tree(j.at(i)));
+      return out;
+    }
+    case Json::Type::Object: {
+      Json out = Json::object();
+      for (const auto& [k, v] : j.members()) out[k] = decode_tree(v);
+      return out;
+    }
+    default: return j;
+  }
+}
+
+CacheLoad load_failure(CacheStatus status, std::string detail) {
+  CacheLoad r;
+  r.status = status;
+  r.detail = std::move(detail);
+  return r;
+}
+
 }  // namespace
+
+const char* cache_status_name(CacheStatus s) {
+  switch (s) {
+    case CacheStatus::Hit: return "hit";
+    case CacheStatus::Stored: return "stored";
+    case CacheStatus::Disabled: return "disabled";
+    case CacheStatus::Miss: return "miss";
+    case CacheStatus::IoError: return "io-error";
+    case CacheStatus::ParseError: return "parse-error";
+    case CacheStatus::KindMismatch: return "kind-mismatch";
+    case CacheStatus::KeyMismatch: return "key-mismatch";
+    case CacheStatus::BadValue: return "bad-value";
+  }
+  return "unknown";
+}
 
 DiskCache::DiskCache(std::string dir) : dir_(std::move(dir)) {
   if (!dir_.empty()) {
@@ -36,59 +167,129 @@ std::string DiskCache::path_for(const std::string& key) const {
   return dir_ + "/cell-" + fnv1a_hex(key) + ".json";
 }
 
-std::optional<core::RunOutput> DiskCache::load(const std::string& key) const {
-  if (!enabled()) return std::nullopt;
-  std::ifstream in(path_for(key));
-  if (!in) return std::nullopt;
+CacheLoad DiskCache::load(const std::string& key) const {
+  if (!enabled()) return load_failure(CacheStatus::Disabled, "");
+  const std::string path = path_for(key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec))
+    return load_failure(CacheStatus::Miss, "");
+  std::ifstream in(path);
+  if (!in) return load_failure(CacheStatus::IoError, "cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  const auto j = report::Json::parse(ss.str());
-  if (!j || !j->is_object()) return std::nullopt;
+  if (in.bad())
+    return load_failure(CacheStatus::IoError, "cannot read " + path);
+  std::string perr;
+  const auto j = report::Json::parse(ss.str(), &perr);
+  if (!j || !j->is_object())
+    return load_failure(CacheStatus::ParseError,
+                        path + ": " + (perr.empty() ? "not an object" : perr));
   const report::Json* kind = j->find("kind");
   if (!kind || !kind->is_string() || kind->as_string() != "cubie-cell")
-    return std::nullopt;
+    return load_failure(CacheStatus::KindMismatch,
+                        path + ": not a cubie-cell document");
   const report::Json* stored = j->find("key");
   if (!stored || !stored->is_string() || stored->as_string() != key)
-    return std::nullopt;  // hash collision or stale file: treat as miss
+    return load_failure(
+        CacheStatus::KeyMismatch,
+        path + ": stored key '" +
+            (stored && stored->is_string() ? stored->as_string() : "") +
+            "' != requested key");
   core::RunOutput out;
   if (const report::Json* p = j->find("profile"); p && p->is_object()) {
-    out.profile = report::profile_from_json(*p);
+    out.profile = report::profile_from_json(decode_tree(*p));
   } else {
-    return std::nullopt;
+    return load_failure(CacheStatus::BadValue, path + ": missing profile");
   }
   if (const report::Json* vals = j->find("values"); vals && vals->is_array()) {
     out.values.reserve(vals->size());
     for (std::size_t i = 0; i < vals->size(); ++i) {
-      if (!vals->at(i).is_number()) return std::nullopt;
-      out.values.push_back(vals->at(i).as_number());
+      const report::Json v = decode_tree(vals->at(i));
+      if (!v.is_number())
+        return load_failure(CacheStatus::BadValue,
+                            path + ": undecodable values[" +
+                                std::to_string(i) + "]");
+      out.values.push_back(v.as_number());
     }
   }
-  return out;
+  CacheLoad r;
+  r.status = CacheStatus::Hit;
+  r.output = std::move(out);
+  return r;
 }
 
-bool DiskCache::store(const std::string& key,
-                      const core::RunOutput& out) const {
-  if (!enabled()) return false;
+CacheStore DiskCache::store(const std::string& key,
+                            const core::RunOutput& out) const {
+  if (!enabled()) return {CacheStatus::Disabled, ""};
   report::Json j = report::Json::object();
   j["schema_version"] = report::Json::number(1);
   j["kind"] = report::Json::string("cubie-cell");
   j["key"] = report::Json::string(key);
-  j["profile"] = report::to_json(out.profile);
+  j["profile"] = encode_tree(report::to_json(out.profile));
   report::Json vals = report::Json::array();
-  for (double v : out.values) vals.push_back(report::Json::number(v));
+  for (double v : out.values) {
+    if (std::isfinite(v)) {
+      vals.push_back(report::Json::number(v));
+    } else {
+      vals.push_back(report::Json::string(encode_nonfinite(v)));
+    }
+  }
   j["values"] = std::move(vals);
 
   const std::string path = path_for(key);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream os(tmp);
-    if (!os) return false;
+    if (!os) return {CacheStatus::IoError, "cannot open " + tmp};
     os << j.dump(-1) << '\n';
-    if (!os) return false;
+    if (!os) return {CacheStatus::IoError, "cannot write " + tmp};
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
-  return !ec;
+  if (ec)
+    return {CacheStatus::IoError,
+            "cannot rename " + tmp + ": " + ec.message()};
+  return {CacheStatus::Stored, ""};
+}
+
+bool DiskCache::inject_fault(const std::string& key, Fault f) const {
+  if (!enabled()) return false;
+  const std::string path = path_for(key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return false;
+
+  if (f == Fault::Truncate) {
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) return false;
+    std::filesystem::resize_file(path, size / 2, ec);
+    return !ec;
+  }
+
+  std::string text;
+  switch (f) {
+    case Fault::CorruptJson:
+      text = "{\"kind\": \"cubie-cell\", !!corrupt!!";
+      break;
+    case Fault::WrongKind:
+      text = "{\"schema_version\": 1, \"kind\": \"not-a-cell\", \"key\": \"" +
+             report::json_escape(key) + "\"}";
+      break;
+    case Fault::WrongKey:
+      text = "{\"schema_version\": 1, \"kind\": \"cubie-cell\", "
+             "\"key\": \"some-other-cell-key\", \"profile\": {}, "
+             "\"values\": []}";
+      break;
+    case Fault::BadValue:
+      text = "{\"schema_version\": 1, \"kind\": \"cubie-cell\", \"key\": \"" +
+             report::json_escape(key) +
+             "\", \"profile\": {}, \"values\": [\"not-a-number\"]}";
+      break;
+    case Fault::Truncate: return false;  // handled above
+  }
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << text << '\n';
+  return static_cast<bool>(os);
 }
 
 }  // namespace cubie::engine

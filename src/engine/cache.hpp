@@ -13,8 +13,18 @@
 //
 // File names are a 64-bit FNV-1a hash of the key; the key stored inside the
 // file is verified on load, so a hash collision degrades to a cache miss,
-// never a wrong result. Numbers round-trip exactly (shortest-representation
-// printing), so a cell served from disk is bit-identical to a fresh run.
+// never a wrong result. Numbers round-trip exactly: finite values use
+// shortest-representation printing, and non-finite values — which JSON
+// cannot represent as numbers — are encoded as bit-exact string sentinels
+// ("inf", "-inf", "nan", or "nan:<16 hex digits>" for non-canonical NaN
+// payloads), so a cell served from disk is bit-identical to a fresh run
+// even when a metric is NaN or infinite.
+//
+// Every failure path is typed (CacheStatus): a caller can distinguish a
+// plain miss from a corrupt file, a foreign file kind, a hash-collision key
+// mismatch, or an undecodable value, and report accordingly instead of
+// silently recomputing. inject_fault() deliberately damages a stored cell
+// so each path stays tested (tests/test_engine.cpp).
 
 #include "core/workload.hpp"
 
@@ -23,8 +33,61 @@
 
 namespace cubie::engine {
 
+// Outcome of a DiskCache operation. Hit/Stored are success; Disabled/Miss
+// are benign; everything else names why the cache could not serve or
+// persist the cell.
+enum class CacheStatus {
+  Hit,           // load: cell served from disk
+  Stored,        // store: cell persisted
+  Disabled,      // no cache directory configured
+  Miss,          // load: no file for this key
+  IoError,       // file exists but cannot be read / written
+  ParseError,    // file is not valid JSON (truncated or corrupt)
+  KindMismatch,  // valid JSON but not a "cubie-cell" document
+  KeyMismatch,   // hash collision or stale file: stored key differs
+  BadValue,      // missing profile or an undecodable values entry
+};
+
+// Stable name for logs and error messages ("hit", "parse-error", ...).
+const char* cache_status_name(CacheStatus s);
+
+// Typed result of DiskCache::load. `output` is engaged iff hit().
+struct CacheLoad {
+  CacheStatus status = CacheStatus::Miss;
+  std::optional<core::RunOutput> output;
+  std::string detail;  // human-readable context for failures
+
+  bool hit() const { return status == CacheStatus::Hit; }
+  // True for the typed failure paths (not Hit/Miss/Disabled): the file was
+  // there but could not be used.
+  bool failed() const {
+    return status != CacheStatus::Hit && status != CacheStatus::Miss &&
+           status != CacheStatus::Disabled;
+  }
+  explicit operator bool() const { return hit(); }
+};
+
+// Typed result of DiskCache::store.
+struct CacheStore {
+  CacheStatus status = CacheStatus::Disabled;
+  std::string detail;
+
+  bool ok() const { return status == CacheStatus::Stored; }
+  explicit operator bool() const { return ok(); }
+};
+
 class DiskCache {
  public:
+  // Fault kinds inject_fault can apply to a stored cell file, one per typed
+  // load-failure path.
+  enum class Fault {
+    Truncate,     // cut the file mid-document -> ParseError
+    CorruptJson,  // overwrite with non-JSON bytes -> ParseError
+    WrongKind,    // valid JSON, kind != "cubie-cell" -> KindMismatch
+    WrongKey,     // valid cell, stored key differs -> KeyMismatch
+    BadValue,     // valid cell, undecodable values entry -> BadValue
+  };
+
   DiskCache() = default;
   // Creates `dir` (one level) if it does not exist yet.
   explicit DiskCache(std::string dir);
@@ -32,13 +95,19 @@ class DiskCache {
   bool enabled() const { return !dir_.empty(); }
   const std::string& dir() const { return dir_; }
 
-  // nullopt on miss, unreadable file, or key mismatch.
-  std::optional<core::RunOutput> load(const std::string& key) const;
-  // Best-effort write-through (tmp file + rename); false on I/O failure.
-  bool store(const std::string& key, const core::RunOutput& out) const;
+  // Typed load: Hit with the cell, Miss when absent, or a failure status
+  // naming why the file could not be used.
+  CacheLoad load(const std::string& key) const;
+  // Write-through (tmp file + rename); IoError with detail on failure.
+  CacheStore store(const std::string& key, const core::RunOutput& out) const;
 
   // Path a key maps to (exposed for tests and tooling).
   std::string path_for(const std::string& key) const;
+
+  // Test hook: damage the stored file for `key` so the matching load
+  // failure path can be exercised. Returns false if the file is absent or
+  // cannot be rewritten.
+  bool inject_fault(const std::string& key, Fault f) const;
 
  private:
   std::string dir_;

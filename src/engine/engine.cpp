@@ -56,8 +56,16 @@ struct ExperimentEngine::Impl {
   // Cell key -> result. unique_ptr keeps returned references stable across
   // rehashes; entries are inserted fully formed under `mu`.
   std::unordered_map<std::string, std::unique_ptr<core::RunOutput>> cells;
+  // One record per cells entry, in insertion order (see materialized()).
+  std::vector<MaterializedCell> order;
   EngineCounters counters;
   DiskCache disk;
+
+  // Record a newly inserted cell's identity. Caller holds `mu`.
+  void record(const core::Workload& w, core::Variant v,
+              const core::TestCase& tc, int scale, const std::string& key) {
+    order.push_back(MaterializedCell{w.name(), v, tc, scale, key});
+  }
 };
 
 ExperimentEngine::ExperimentEngine() : impl_(std::make_unique<Impl>()) {}
@@ -103,16 +111,26 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
     }
   }
   if (impl_->disk.enabled()) {
-    if (auto loaded = impl_->disk.load(key)) {
+    auto loaded = impl_->disk.load(key);
+    if (loaded.hit()) {
       std::lock_guard<std::mutex> lk(impl_->mu);
       auto [it, inserted] = impl_->cells.try_emplace(key, nullptr);
       if (inserted) {
-        it->second = std::make_unique<core::RunOutput>(std::move(*loaded));
+        it->second =
+            std::make_unique<core::RunOutput>(std::move(*loaded.output));
+        impl_->record(w, v, tc, scale, key);
         ++impl_->counters.disk_hits;
       } else {
         ++impl_->counters.memo_hits;  // raced with another thread
       }
       return *it->second;
+    }
+    if (loaded.failed()) {
+      // Typed failure (corrupt file, key mismatch, undecodable value):
+      // fall through to a fresh run, but account for it — a silent miss
+      // would hide cache damage forever.
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      ++impl_->counters.disk_errors;
     }
   }
   const auto t0 = std::chrono::steady_clock::now();
@@ -125,6 +143,7 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
     auto [it, ins] = impl_->cells.try_emplace(key, nullptr);
     if (ins) {
       it->second = std::make_unique<core::RunOutput>(std::move(out));
+      impl_->record(w, v, tc, scale, key);
       ++impl_->counters.misses;
       impl_->counters.exec_wall_s += dt;
       impl_->counters.max_cell_wall_s =
@@ -135,7 +154,12 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
     inserted = ins;
     res = it->second.get();
   }
-  if (inserted && impl_->disk.enabled()) impl_->disk.store(key, *res);
+  if (inserted && impl_->disk.enabled()) {
+    if (!impl_->disk.store(key, *res).ok()) {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      ++impl_->counters.disk_errors;
+    }
+  }
   return *res;
 }
 
@@ -158,15 +182,27 @@ const core::RunOutput& ExperimentEngine::run_traced(const core::Workload& w,
     // A memoized cell is identical to the traced re-run (deterministic
     // per-cell RNG); keep the existing entry so outstanding references
     // stay valid.
-    if (ins) it->second = std::make_unique<core::RunOutput>(std::move(out));
-    ++impl_->counters.misses;
+    if (ins) {
+      it->second = std::make_unique<core::RunOutput>(std::move(out));
+      impl_->record(w, v, tc, scale, key);
+      ++impl_->counters.misses;
+    } else {
+      // Re-running a memoized cell for its spans is not a cache miss;
+      // count it separately so warm-cache profiling reports honestly.
+      ++impl_->counters.traced_reruns;
+    }
     impl_->counters.exec_wall_s += dt;
     impl_->counters.max_cell_wall_s =
         std::max(impl_->counters.max_cell_wall_s, dt);
     inserted = ins;
     res = it->second.get();
   }
-  if (inserted && impl_->disk.enabled()) impl_->disk.store(key, *res);
+  if (inserted && impl_->disk.enabled()) {
+    if (!impl_->disk.store(key, *res).ok()) {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      ++impl_->counters.disk_errors;
+    }
+  }
   return *res;
 }
 
@@ -225,19 +261,48 @@ std::vector<Cell> ExperimentEngine::expand(const Plan& p) {
 }
 
 std::size_t ExperimentEngine::execute(const Plan& p) {
-  const auto cells = expand(p);
+  return execute(expand(p));
+}
+
+std::size_t ExperimentEngine::execute(const std::vector<Cell>& cells) {
+  // Wrap a cell's execution so any exception is typed with the cell that
+  // failed — identically on the serial and the pool path.
+  auto run_cell = [&](const Cell& c) {
+    try {
+      run(*c.workload, c.variant, c.test_case, c.scale);
+    } catch (const EngineError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw EngineError(c.key, e.what());
+    } catch (...) {
+      throw EngineError(c.key, "unknown exception");
+    }
+  };
   const std::size_t jobs = static_cast<std::size_t>(std::max(1, opts_.jobs));
   if (jobs <= 1 || cells.size() <= 1) {
-    for (const auto& c : cells) run(*c.workload, c.variant, c.test_case, c.scale);
+    for (const auto& c : cells) run_cell(c);
     return cells.size();
   }
   std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  // An exception escaping a thread's start function would std::terminate
+  // the process. Capture the first failure, drain the queue so the other
+  // workers finish their in-flight cell and exit, join, then rethrow.
   auto worker = [&]() {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= cells.size()) return;
-      const auto& c = cells[i];
-      run(*c.workload, c.variant, c.test_case, c.scale);
+      try {
+        run_cell(cells[i]);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        next.store(cells.size());  // drain: no worker picks up new cells
+        return;
+      }
     }
   };
   std::vector<std::thread> pool;
@@ -245,7 +310,13 @@ std::size_t ExperimentEngine::execute(const Plan& p) {
   pool.reserve(n);
   for (std::size_t t = 0; t < n; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
   return cells.size();
+}
+
+std::vector<MaterializedCell> ExperimentEngine::materialized() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->order;
 }
 
 EngineCounters ExperimentEngine::counters() const {
@@ -260,6 +331,8 @@ report::EngineStats ExperimentEngine::stats() const {
   s.memo_hits = static_cast<double>(impl_->counters.memo_hits);
   s.disk_hits = static_cast<double>(impl_->counters.disk_hits);
   s.misses = static_cast<double>(impl_->counters.misses);
+  s.traced_reruns = static_cast<double>(impl_->counters.traced_reruns);
+  s.disk_errors = static_cast<double>(impl_->counters.disk_errors);
   s.exec_wall_s = impl_->counters.exec_wall_s;
   s.max_cell_wall_s = impl_->counters.max_cell_wall_s;
   return s;
@@ -268,7 +341,7 @@ report::EngineStats ExperimentEngine::stats() const {
 bool ExperimentEngine::active() const {
   std::lock_guard<std::mutex> lk(impl_->mu);
   return impl_->counters.memo_hits + impl_->counters.disk_hits +
-             impl_->counters.misses >
+             impl_->counters.misses + impl_->counters.traced_reruns >
          0;
 }
 

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,13 +41,48 @@ struct EngineOptions {
   std::string cache_dir;  // empty = no disk persistence
 };
 
+// Typed failure of a cell execution: carries the content key of the cell
+// whose Workload::run threw, so callers know *which* cell failed. Thrown by
+// execute() on both the serial and the thread-pool path — a worker-thread
+// exception is captured, the queue drained, the pool joined, and the first
+// failure rethrown here (never std::terminate).
+class EngineError : public std::runtime_error {
+ public:
+  EngineError(std::string cell_key, const std::string& what_msg)
+      : std::runtime_error("cell '" + cell_key + "': " + what_msg),
+        cell_(std::move(cell_key)) {}
+  const std::string& cell() const noexcept { return cell_; }
+
+ private:
+  std::string cell_;
+};
+
 // Process-lifetime counters (see report::EngineStats for the exported form).
 struct EngineCounters {
   std::size_t memo_hits = 0;   // served from the in-process cell cache
   std::size_t disk_hits = 0;   // served from the disk cache
-  std::size_t misses = 0;      // functional executions in this process
+  std::size_t misses = 0;      // first functional executions in this process
+  // Traced re-runs of already-memoized cells (run_traced must re-execute to
+  // record spans; counted separately so `cubie profile` on a warm cache
+  // does not over-report misses).
+  std::size_t traced_reruns = 0;
+  // Disk-cache files that existed but could not be used (corrupt, wrong
+  // kind, key mismatch, undecodable value) plus failed stores — each is a
+  // typed CacheStatus, surfaced here instead of a silent miss.
+  std::size_t disk_errors = 0;
   double exec_wall_s = 0.0;    // host wall-clock spent inside Workload::run
   double max_cell_wall_s = 0.0;  // slowest single cell
+};
+
+// A cell the engine has materialized (executed or loaded), in insertion
+// order. The workload is identified by name so the record stays valid even
+// for cells run against caller-owned Workload instances.
+struct MaterializedCell {
+  std::string workload;
+  core::Variant variant = core::Variant::TC;
+  core::TestCase test_case;
+  int scale = 1;
+  std::string key;
 };
 
 class ExperimentEngine {
@@ -74,8 +110,10 @@ class ExperimentEngine {
                              const core::TestCase& tc, int scale);
 
   // Traced execution: always runs (a memoized result has no spans to
-  // record), stores the result in the cell cache afterwards. Counted as a
-  // miss in the engine statistics.
+  // record), stores the result in the cell cache afterwards. A first
+  // execution counts as a miss; a traced re-run of an already-memoized cell
+  // counts as traced_reruns (its wall time still accrues to exec_wall_s —
+  // the run really happened).
   const core::RunOutput& run_traced(const core::Workload& w, core::Variant v,
                                     const core::TestCase& tc, int scale,
                                     sim::Tracer& tracer);
@@ -85,8 +123,18 @@ class ExperimentEngine {
   std::vector<Cell> expand(const Plan& p);
 
   // Execute every cell of the Plan (opts.jobs threads), warming the cell
-  // cache. Returns the number of unique cells.
+  // cache. Returns the number of unique cells. Throws EngineError naming
+  // the failed cell if any Workload::run throws (on the pool path the first
+  // exception is captured, the queue drained, the threads joined, then the
+  // error rethrown — worker exceptions never reach std::terminate).
   std::size_t execute(const Plan& p);
+  // Same, over caller-supplied cells (e.g. cases outside Workload::cases()).
+  std::size_t execute(const std::vector<Cell>& cells);
+
+  // Every cell materialized so far (executed, traced, or disk-loaded), in
+  // insertion order. The conformance harness (src/check/) uses this to
+  // verify whatever a bench actually ran.
+  std::vector<MaterializedCell> materialized() const;
 
   EngineCounters counters() const;
   // Counters in the MetricsReport exchange form ("engine" block).

@@ -1,0 +1,185 @@
+// Cubie-Check contracts: ULP distance, tolerance selection, element-wise
+// differential comparison (including the non-finite census), the
+// verify_plan sweep on real workloads, perturbation rejection, and the
+// MetricsReport export shape.
+
+#include "check/check.hpp"
+#include "engine/engine.hpp"
+#include "engine/plan.hpp"
+
+#include "common/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cubie {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(CheckUlp, CountsRepresentableDoubles) {
+  EXPECT_EQ(check::ulp_distance(1.0, 1.0), 0.0);
+  EXPECT_EQ(check::ulp_distance(0.0, -0.0), 0.0);
+  EXPECT_EQ(check::ulp_distance(1.0, std::nextafter(1.0, 2.0)), 1.0);
+  EXPECT_EQ(check::ulp_distance(std::nextafter(1.0, 2.0), 1.0), 1.0);
+  EXPECT_EQ(check::ulp_distance(-1.0, std::nextafter(-1.0, -2.0)), 1.0);
+  // Straddling zero: distance is the sum of both sides' offsets from 0.
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(check::ulp_distance(tiny, -tiny), 2.0);
+  EXPECT_EQ(check::ulp_distance(kInf, kInf), 0.0);
+  EXPECT_EQ(check::ulp_distance(kNan, 1.0), kInf);
+  EXPECT_EQ(check::ulp_distance(1.0, kNan), kInf);
+}
+
+TEST(CheckTolerance, PerWorkloadSelection) {
+  engine::ExperimentEngine eng;
+  // BFS is not floating-point: exact tolerance, every gate zero.
+  const auto* bfs = eng.workload("BFS");
+  ASSERT_NE(bfs, nullptr);
+  const auto bt = check::tolerance_for(*bfs);
+  EXPECT_EQ(bt.max_abs, 0.0);
+  EXPECT_EQ(bt.max_rel, 0.0);
+  EXPECT_EQ(bt.max_ulp, 0.0);
+  // Floating-point workloads get Table 6-derived non-zero gates.
+  const auto* gemm = eng.workload("GEMM");
+  ASSERT_NE(gemm, nullptr);
+  const auto gt = check::tolerance_for(*gemm);
+  EXPECT_GT(gt.max_abs, 0.0);
+  EXPECT_GT(gt.max_rel, 0.0);
+  EXPECT_GT(gt.max_ulp, 0.0);
+  // SpGEMM accumulates more error than Stencil; the floors reflect that.
+  EXPECT_GT(check::tolerance_for(*eng.workload("SpGEMM")).max_abs,
+            check::tolerance_for(*eng.workload("Stencil")).max_abs);
+}
+
+TEST(CheckCompare, IdenticalValuesPass) {
+  const std::vector<double> v{1.0, -2.5, 0.0, 1e300};
+  const auto verdict = check::compare_values(v, v, check::exact_tolerance());
+  EXPECT_TRUE(verdict.pass);
+  EXPECT_EQ(verdict.n, 4u);
+  EXPECT_EQ(verdict.violations, 0u);
+  EXPECT_EQ(verdict.max_abs_err, 0.0);
+  EXPECT_EQ(verdict.max_ulp, 0.0);
+}
+
+TEST(CheckCompare, EachGateIsAnIndependentExcuse) {
+  check::Tolerance tol;
+  tol.max_abs = 1e-6;
+  tol.max_rel = 1e-9;
+  tol.max_ulp = 4;
+  // 1 ULP off at 1.0: fails abs? no (2e-16 < 1e-6). Passes.
+  auto v = check::compare_values({std::nextafter(1.0, 2.0)}, {1.0}, tol);
+  EXPECT_TRUE(v.pass);
+  // Large value, tiny relative error: abs gate fails, rel gate excuses it.
+  v = check::compare_values({1e12 * (1.0 + 1e-12)}, {1e12}, tol);
+  EXPECT_TRUE(v.pass);
+  // Beyond all three gates: violation.
+  v = check::compare_values({1.001}, {1.0}, tol);
+  EXPECT_FALSE(v.pass);
+  EXPECT_EQ(v.violations, 1u);
+  EXPECT_FALSE(v.reason.empty());
+}
+
+TEST(CheckCompare, SizeMismatchFailsOutright) {
+  const auto v =
+      check::compare_values({1.0, 2.0}, {1.0}, check::Tolerance{1, 1, 1});
+  EXPECT_FALSE(v.pass);
+  EXPECT_NE(v.reason.find("size mismatch"), std::string::npos);
+}
+
+TEST(CheckCompare, NonFiniteCensusAndMatching) {
+  check::Tolerance tol{1e-6, 1e-9, 4};
+  // Matched non-finites conform: NaN vs NaN, same-signed infinity.
+  auto v = check::compare_values({kNan, kInf, -kInf, 1.0},
+                                 {kNan, kInf, -kInf, 1.0}, tol);
+  EXPECT_TRUE(v.pass);
+  EXPECT_EQ(v.census.out_nan, 1u);
+  EXPECT_EQ(v.census.out_inf, 2u);
+  EXPECT_EQ(v.census.ref_nan, 1u);
+  EXPECT_EQ(v.census.ref_inf, 2u);
+  EXPECT_EQ(v.census.mismatched, 0u);
+  // Any class or sign mismatch is a violation regardless of tolerances.
+  v = check::compare_values({kNan, kInf, 1.0}, {1.0, -kInf, kNan}, tol);
+  EXPECT_FALSE(v.pass);
+  EXPECT_EQ(v.census.mismatched, 3u);
+  EXPECT_EQ(v.violations, 3u);
+}
+
+// The acceptance sweep in miniature: representative cases of a workload
+// from each reference style — Baseline-backed (GEMM, Scan), CPU-serial
+// (PiC, no baseline), and exact non-floating-point (BFS).
+TEST(CheckSweep, RepresentativeSubsetConforms) {
+  engine::ExperimentEngine eng;
+  const auto plan = engine::Plan::representative(64).with_workloads(
+      {"GEMM", "Scan", "BFS", "PiC"});
+  const auto rep = check::verify_plan(eng, plan);
+  EXPECT_EQ(rep.groups, 4u);
+  EXPECT_GT(rep.verdicts.size(), 4u);
+  EXPECT_EQ(rep.violations, 0u);
+  EXPECT_TRUE(rep.pass());
+  // PiC has no baseline: apart from the TC-vs-CC invariant, its verdicts
+  // must be judged against the CPU serial ground truth.
+  bool saw_pic_serial = false;
+  for (const auto& v : rep.verdicts) {
+    if (v.workload == "PiC" && v.reference != "TC") {
+      EXPECT_EQ(v.reference, "CPU-serial");
+      saw_pic_serial = true;
+    }
+  }
+  EXPECT_TRUE(saw_pic_serial);
+  // The TC-vs-CC construction invariant is judged bit-exactly.
+  bool saw_invariant = false;
+  for (const auto& v : rep.verdicts) {
+    if (v.reference == "TC") {
+      EXPECT_EQ(v.variant, "CC");
+      EXPECT_EQ(v.tolerance.max_abs, 0.0);
+      EXPECT_EQ(v.max_ulp, 0.0) << v.workload << " " << v.case_label;
+      saw_invariant = true;
+    }
+  }
+  EXPECT_TRUE(saw_invariant);
+}
+
+// The harness must reject outputs skewed beyond tolerance — this is the
+// fault-injection proof that a PASS means something.
+TEST(CheckSweep, PerturbationIsRejected) {
+  engine::ExperimentEngine eng;
+  const auto plan = engine::Plan::representative(64).with_workloads({"GEMM"});
+  const auto rep = check::verify_plan(eng, plan, 1e-3);
+  EXPECT_FALSE(rep.pass());
+  EXPECT_GT(rep.violations, 0u);
+}
+
+TEST(CheckReport, MetricsExportShape) {
+  engine::ExperimentEngine eng;
+  const auto plan = engine::Plan::representative(64).with_workloads({"Scan"});
+  const auto conf = check::verify_plan(eng, plan);
+  const auto rep = conf.to_metrics_report("cubie_check", "test", 64);
+  EXPECT_EQ(rep.tool, "cubie_check");
+  ASSERT_EQ(rep.records.size(), conf.verdicts.size());
+  for (std::size_t i = 0; i < rep.records.size(); ++i) {
+    const auto& rec = rep.records[i];
+    const auto& v = conf.verdicts[i];
+    EXPECT_EQ(rec.workload, v.workload);
+    EXPECT_EQ(rec.gpu, "vs " + v.reference);
+    ASSERT_NE(rec.get("pass"), nullptr);
+    EXPECT_EQ(*rec.get("pass"), v.pass ? 1.0 : 0.0);
+    ASSERT_NE(rec.get("n"), nullptr);
+    EXPECT_EQ(*rec.get("n"), static_cast<double>(v.n));
+  }
+  // The verdict table rides along, and the whole thing round-trips through
+  // the schema-versioned JSON reader.
+  ASSERT_EQ(rep.tables.size(), 1u);
+  EXPECT_EQ(rep.tables[0].name, "conformance");
+  const auto back = report::MetricsReport::from_json(rep.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->records.size(), rep.records.size());
+}
+
+}  // namespace
+}  // namespace cubie

@@ -1,6 +1,8 @@
 // Cubie-Engine contracts: cell-key uniqueness, memoized-vs-fresh equality,
-// disk round-trip exactness, registry lookup, and the bit-identical-to-
-// serial guarantee of --jobs parallel Plan execution.
+// disk round-trip exactness (including non-finite values), typed cache
+// failure paths, worker-exception capture, traced-rerun accounting,
+// registry lookup, and the bit-identical-to-serial guarantee of --jobs
+// parallel Plan execution.
 
 #include "engine/cache.hpp"
 #include "engine/engine.hpp"
@@ -11,9 +13,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <limits>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -127,16 +134,125 @@ TEST(EngineDisk, RoundTripIsExact) {
   const auto out = w->run(core::Variant::CC, tc);
   const auto key = engine::cell_key("Reduction", core::Variant::CC, tc, 64);
 
-  EXPECT_FALSE(cache.load(key).has_value());
-  ASSERT_TRUE(cache.store(key, out));
+  EXPECT_EQ(cache.load(key).status, engine::CacheStatus::Miss);
+  ASSERT_TRUE(cache.store(key, out).ok());
   ASSERT_TRUE(std::filesystem::exists(cache.path_for(key)));
   const auto back = cache.load(key);
-  ASSERT_TRUE(back.has_value());
-  expect_identical(out, *back);
+  ASSERT_TRUE(back.hit());
+  expect_identical(out, *back.output);
 
   // A different key must not alias onto this file's contents.
   const auto other = engine::cell_key("Reduction", core::Variant::TC, tc, 64);
-  EXPECT_FALSE(cache.load(other).has_value());
+  EXPECT_EQ(cache.load(other).status, engine::CacheStatus::Miss);
+  std::filesystem::remove_all(dir);
+}
+
+// NaN and Inf have no JSON number representation; the cache encodes them as
+// bit-exact string sentinels. A cell whose values include non-finite
+// doubles (any sign, any NaN payload) must reload with the same bits — the
+// old behaviour silently turned them into null and reloaded 0.0.
+TEST(EngineDisk, NonFiniteValuesRoundTripBitExactly) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "cubie_engine_disk_nonfinite";
+  std::filesystem::remove_all(dir);
+  engine::DiskCache cache(dir.string());
+  ASSERT_TRUE(cache.enabled());
+
+  auto from_bits = [](std::uint64_t b) {
+    double v;
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+  };
+  core::RunOutput out;
+  out.profile.useful_flops = 1.0;
+  out.values = {std::numeric_limits<double>::quiet_NaN(),   // canonical NaN
+                from_bits(0xfff8dead'beef0001ull),          // payload NaN
+                std::numeric_limits<double>::infinity(),
+                -std::numeric_limits<double>::infinity(),
+                0.0,
+                -0.0,
+                1.0 / 3.0};
+
+  const std::string key = "nonfinite-test-cell";
+  ASSERT_TRUE(cache.store(key, out).ok());
+  const auto back = cache.load(key);
+  ASSERT_TRUE(back.hit());
+  ASSERT_EQ(back.output->values.size(), out.values.size());
+  for (std::size_t i = 0; i < out.values.size(); ++i) {
+    // Bit-level comparison: catches NaN payload loss and -0.0 vs +0.0.
+    EXPECT_EQ(0, std::memcmp(&out.values[i], &back.output->values[i],
+                             sizeof(double)))
+        << "values[" << i << "]";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Every damaged-file shape maps to its own CacheStatus instead of a silent
+// miss (or a crash). inject_fault() is the production test hook for this.
+TEST(EngineDisk, TypedFailurePathsAreDistinguished) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "cubie_engine_disk_faults";
+  std::filesystem::remove_all(dir);
+  engine::DiskCache cache(dir.string());
+  ASSERT_TRUE(cache.enabled());
+
+  core::RunOutput out;
+  out.profile.useful_flops = 2.0;
+  out.values = {1.0, 2.0, 3.0};
+  const std::string key = "fault-injection-cell";
+
+  const std::pair<engine::DiskCache::Fault, engine::CacheStatus> faults[] = {
+      {engine::DiskCache::Fault::Truncate, engine::CacheStatus::ParseError},
+      {engine::DiskCache::Fault::CorruptJson, engine::CacheStatus::ParseError},
+      {engine::DiskCache::Fault::WrongKind, engine::CacheStatus::KindMismatch},
+      {engine::DiskCache::Fault::WrongKey, engine::CacheStatus::KeyMismatch},
+      {engine::DiskCache::Fault::BadValue, engine::CacheStatus::BadValue},
+  };
+  for (const auto& [fault, want] : faults) {
+    ASSERT_TRUE(cache.store(key, out).ok());  // restore a healthy file
+    ASSERT_TRUE(cache.inject_fault(key, fault));
+    const auto r = cache.load(key);
+    EXPECT_EQ(r.status, want)
+        << "fault " << static_cast<int>(fault) << " -> "
+        << engine::cache_status_name(r.status) << " (" << r.detail << ")";
+    EXPECT_FALSE(r.hit());
+    EXPECT_TRUE(r.failed());
+    EXPECT_FALSE(r.detail.empty());
+  }
+  // Faults on a key that was never stored are reported as such.
+  EXPECT_FALSE(cache.inject_fault("never-stored",
+                                  engine::DiskCache::Fault::Truncate));
+  std::filesystem::remove_all(dir);
+}
+
+// A corrupt cache file must not poison the engine: the cell is recomputed
+// (bit-identical to fresh) and the failure is surfaced in disk_errors
+// rather than counted as an ordinary miss-with-no-file.
+TEST(EngineDisk, CorruptFileRecomputesAndCountsDiskError) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "cubie_engine_disk_corrupt";
+  std::filesystem::remove_all(dir);
+  engine::EngineOptions opts;
+  opts.cache_dir = dir.string();
+
+  engine::ExperimentEngine first(opts);
+  const auto* w = first.workload("Scan");
+  ASSERT_NE(w, nullptr);
+  const auto tc = w->cases(64)[w->representative_case()];
+  first.run(*w, core::Variant::TC, tc, 64);
+  const auto key = engine::cell_key("Scan", core::Variant::TC, tc, 64);
+
+  engine::DiskCache cache(dir.string());
+  ASSERT_TRUE(cache.inject_fault(key, engine::DiskCache::Fault::CorruptJson));
+
+  engine::ExperimentEngine second(opts);
+  const auto* w2 = second.workload("Scan");
+  const auto& out = second.run(*w2, core::Variant::TC, tc, 64);
+  expect_identical(out, w2->run(core::Variant::TC, tc));
+  const auto c = second.counters();
+  EXPECT_EQ(c.disk_hits, 0u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.disk_errors, 1u);
   std::filesystem::remove_all(dir);
 }
 
@@ -227,12 +343,106 @@ TEST(EngineJobs, ParallelReportMatchesSerialByteForByte) {
   EXPECT_EQ(serial, parallel);
 }
 
+// A workload whose run() throws for a designated case label, for exercising
+// the engine's exception capture. Caller-owned: never enters the registry.
+class ThrowingWorkload final : public core::Workload {
+ public:
+  std::string name() const override { return "Throwing"; }
+  core::Quadrant quadrant() const override { return core::Quadrant::I; }
+  std::string dwarf() const override { return "test"; }
+  std::string baseline_name() const override { return "-"; }
+  bool has_baseline() const override { return false; }
+  std::vector<core::TestCase> cases(int) const override {
+    return {core::TestCase{"ok", {8}, ""}, core::TestCase{"boom", {8}, ""}};
+  }
+  core::RunOutput run(core::Variant, const core::TestCase& tc,
+                      const core::RunOptions&) const override {
+    if (tc.label == "boom") throw std::runtime_error("injected failure");
+    core::RunOutput out;
+    out.profile.useful_flops = 8.0;
+    out.values = {1.0};
+    return out;
+  }
+  std::vector<double> reference(const core::TestCase&) const override {
+    return {1.0};
+  }
+};
+
+// A Workload::run exception inside execute() must surface as EngineError
+// naming the failed cell — on the thread-pool path it previously escaped a
+// worker thread and hit std::terminate.
+TEST(EngineExec, WorkerExceptionIsCapturedAndNamed) {
+  const ThrowingWorkload w;
+  const auto cases = w.cases(1);
+  auto make_cell = [&](const core::TestCase& tc) {
+    engine::Cell c;
+    c.workload = &w;
+    c.variant = core::Variant::TC;
+    c.test_case = tc;
+    c.scale = 1;
+    c.key = engine::cell_key(w.name(), c.variant, tc, c.scale);
+    return c;
+  };
+
+  for (int jobs : {1, 4}) {
+    engine::EngineOptions opts;
+    opts.jobs = jobs;
+    engine::ExperimentEngine eng(opts);
+    // Several healthy cells around the single failing one so the pool has
+    // queued work to drain after the exception.
+    std::vector<engine::Cell> cells;
+    cells.push_back(make_cell(cases[0]));
+    cells.push_back(make_cell(cases[1]));  // the one that throws
+    try {
+      eng.execute(cells);
+      FAIL() << "expected EngineError (jobs=" << jobs << ")";
+    } catch (const engine::EngineError& e) {
+      EXPECT_EQ(e.cell(), cells[1].key) << "jobs=" << jobs;
+      EXPECT_NE(std::string(e.what()).find("injected failure"),
+                std::string::npos);
+    }
+    // The engine must stay usable after a failed execute.
+    const auto& out = eng.run(w, core::Variant::TC, cases[0], 1);
+    EXPECT_EQ(out.values, std::vector<double>{1.0});
+  }
+}
+
+// run_traced on an already-memoized cell really re-executes (spans must be
+// recorded) but is counted as a traced re-run, not a miss — `cubie profile`
+// on a warm cache must not inflate the miss counter.
+TEST(EngineMemo, TracedRerunsAreCountedSeparately) {
+  engine::ExperimentEngine eng;
+  const auto* w = eng.workload("Scan");
+  ASSERT_NE(w, nullptr);
+  const auto tc = w->cases(64)[w->representative_case()];
+
+  const auto& plain = eng.run(*w, core::Variant::TC, tc, 64);
+  sim::Tracer tracer;
+  const auto& traced = eng.run_traced(*w, core::Variant::TC, tc, 64, tracer);
+  expect_identical(plain, traced);
+  EXPECT_FALSE(tracer.roots().empty());  // the re-run really happened
+
+  const auto c = eng.counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.traced_reruns, 1u);
+  EXPECT_EQ(c.disk_hits, 0u);
+
+  // A traced *first* execution is an ordinary miss, not a traced re-run.
+  engine::ExperimentEngine fresh;
+  sim::Tracer t2;
+  fresh.run_traced(*fresh.workload("Scan"), core::Variant::TC, tc, 64, t2);
+  EXPECT_EQ(fresh.counters().misses, 1u);
+  EXPECT_EQ(fresh.counters().traced_reruns, 0u);
+}
+
 TEST(EngineStats, ExportedBlockRoundTrips) {
   engine::ExperimentEngine eng;
   const auto* w = eng.workload("BFS");
   const auto tc = w->cases(64)[w->representative_case()];
   eng.run(*w, core::Variant::TC, tc, 64);
   eng.run(*w, core::Variant::TC, tc, 64);
+  sim::Tracer tracer;
+  eng.run_traced(*w, core::Variant::TC, tc, 64, tracer);
 
   report::MetricsReport rep;
   rep.tool = "test_engine";
@@ -246,6 +456,8 @@ TEST(EngineStats, ExportedBlockRoundTrips) {
   EXPECT_EQ(back->engine->cells, 1.0);
   EXPECT_EQ(back->engine->misses, 1.0);
   EXPECT_EQ(back->engine->memo_hits, 1.0);
+  EXPECT_EQ(back->engine->traced_reruns, 1.0);
+  EXPECT_EQ(back->engine->disk_errors, 0.0);
 }
 
 }  // namespace

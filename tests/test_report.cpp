@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <optional>
+#include <string>
+
 namespace cubie {
 namespace {
 
@@ -146,6 +150,43 @@ TEST(MetricsReport, AddRecordMergesByKey) {
   ASSERT_EQ(rep.records.size(), 2u);
   EXPECT_EQ(rep.records[0].metrics.size(), 2u);
   EXPECT_DOUBLE_EQ(*rep.records[0].get("b"), 2.0);
+}
+
+// JSON must be locale-independent: number formatting and parsing go through
+// std::to_chars / std::from_chars, so a host program (or embedding) that
+// calls setlocale(LC_NUMERIC, "de_DE") — where printf("%g") would emit
+// "0,5" and strtod would stop at the comma — gets byte-identical reports.
+TEST(MetricsReport, NumbersAreLocaleIndependent) {
+  report::MetricsReport rep;
+  rep.tool = "locale";
+  rep.title = "Locale";
+  rep.scale_divisor = 3;
+  auto& rec = rep.add_record("GEMM", "TC", "H200", "c");
+  rec.set("frac", 0.5);                        // "0,5" under de_DE %g
+  rec.set("sci", 3.0303049973792811e-05);      // exponent + fraction
+  rec.set("neg", -1234.0625);
+  const std::string c_locale_dump = rep.to_json().dump(2);
+
+  const char* saved = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string restore = saved ? saved : "C";
+  if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") == nullptr &&
+      std::setlocale(LC_NUMERIC, "de_DE") == nullptr) {
+    GTEST_SKIP() << "no de_DE locale available on this host";
+  }
+  // Both the dump and the parse happen under the comma-decimal locale.
+  const std::string de_dump = rep.to_json().dump(2);
+  const auto parsed_json = report::Json::parse(de_dump);
+  std::optional<report::MetricsReport> parsed;
+  if (parsed_json.has_value())
+    parsed = report::MetricsReport::from_json(*parsed_json);
+  std::setlocale(LC_NUMERIC, restore.c_str());
+
+  EXPECT_EQ(de_dump, c_locale_dump);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->records.size(), 1u);
+  EXPECT_EQ(*parsed->records[0].get("frac"), 0.5);
+  EXPECT_EQ(*parsed->records[0].get("sci"), 3.0303049973792811e-05);
+  EXPECT_EQ(*parsed->records[0].get("neg"), -1234.0625);
 }
 
 TEST(MetricsReport, FromJsonIgnoresUnknownKeysAndChecksVersion) {

@@ -10,12 +10,21 @@
 //                        [--jobs N] [--cache DIR]
 //   cubie profile <workload> [--variant TC] [--case IDX] [--gpu H200]
 //                        [--scale N] [--json file] [--cache DIR]
+//   cubie check [workload...] [--case rep|all] [--scale N] [--json file]
+//                        [--jobs N] [--cache DIR] [--perturb EPS]
 //
-// Both run and profile go through engine::ExperimentEngine: each unique
+// run, profile, and check go through engine::ExperimentEngine: each unique
 // (workload, variant, case, scale) cell executes once and is re-priced on
 // every requested GPU; --cache persists cells across invocations and
 // --jobs fans the functional runs out over a thread pool.
+//
+// check is the Cubie-Check differential conformance harness (src/check/):
+// it judges every non-baseline variant against the baseline variant (or
+// the CPU serial reference) under Table 6-derived tolerances and exits 1
+// on any violation. --perturb deliberately skews the outputs to prove the
+// harness rejects out-of-tolerance results (used by ctest).
 
+#include "check/check.hpp"
 #include "common/metrics.hpp"
 #include "common/report.hpp"
 #include "common/table.hpp"
@@ -46,7 +55,9 @@ int usage() {
       "            [--jobs N] [--cache DIR]\n"
       "            [--dataset file.mtx]   (SpMV / SpGEMM only)\n"
       "  cubie profile <workload> [--variant V] [--case I] [--gpu G]\n"
-      "            [--scale N] [--json file] [--cache DIR]\n";
+      "            [--scale N] [--json file] [--cache DIR]\n"
+      "  cubie check [workload...] [--case rep|all] [--scale N]\n"
+      "            [--json file] [--jobs N] [--cache DIR] [--perturb EPS]\n";
   return 2;
 }
 
@@ -132,7 +143,8 @@ int cmd_profile(engine::ExperimentEngine& eng, const core::Workload& w,
             << common::fmt_double(host_wall * 1e3, 1) << " ms; peak RSS "
             << rss / 1024 << " MiB\n";
   const auto ec = eng.counters();
-  std::cout << "engine: " << ec.misses << " functional run(s), "
+  std::cout << "engine: " << ec.misses + ec.traced_reruns
+            << " functional run(s), "
             << common::fmt_double(ec.exec_wall_s * 1e3, 1)
             << " ms inside Workload::run\n";
 
@@ -156,6 +168,39 @@ int cmd_profile(engine::ExperimentEngine& eng, const core::Workload& w,
     std::cerr << "[json report: " << json_path << "]\n";
   }
   return 0;
+}
+
+// The Cubie-Check conformance sweep: execute the plan's cells, judge every
+// non-baseline variant against the group's reference, exit 1 on violation.
+int cmd_check(engine::ExperimentEngine& eng,
+              const std::vector<std::string>& workloads, int scale,
+              bool all_cases, const std::string& json_path, double perturb) {
+  // Unknown names would be silently skipped during Plan expansion; a
+  // conformance run must not report PASS for a workload it never checked.
+  for (const auto& name : workloads) {
+    if (eng.workload(name) == nullptr) {
+      std::cerr << "unknown workload '" << name << "' (try: cubie list)\n";
+      return 2;
+    }
+  }
+  engine::Plan plan = all_cases ? engine::Plan::suite(scale)
+                                : engine::Plan::representative(scale);
+  plan.workloads = workloads;  // empty = full suite
+  const auto conf = check::verify_plan(eng, plan, perturb);
+
+  conf.to_table().print(std::cout);
+  conf.print_summary(std::cerr);
+  if (!json_path.empty()) {
+    auto rep = conf.to_metrics_report(
+        "cubie_check", "Cubie-Check conformance sweep", scale);
+    if (eng.active()) rep.engine = eng.stats();
+    if (!rep.write_file(json_path)) {
+      std::cerr << "cannot write " << json_path << '\n';
+      return 1;
+    }
+    if (json_path != "-") std::cerr << "[json report: " << json_path << "]\n";
+  }
+  return conf.pass() ? 0 : 1;
 }
 
 int cmd_cases(const core::Workload& w, int scale) {
@@ -182,7 +227,10 @@ int main(int argc, char** argv) {
   std::string json_path;
   engine::EngineOptions eng_opts;
   bool errors = false, csv = false;
-  std::string workload_name;
+  double perturb = 0.0;
+  // check accepts any number of workload names; every other command takes
+  // at most one.
+  std::vector<std::string> positionals;
   for (std::size_t i = 1; i < args.size(); ++i) {
     auto next = [&](const char* flag) -> std::string {
       if (i + 1 >= args.size()) {
@@ -200,14 +248,22 @@ int main(int argc, char** argv) {
     else if (args[i] == "--jobs")
       eng_opts.jobs = std::max(1, std::atoi(next("--jobs").c_str()));
     else if (args[i] == "--cache") eng_opts.cache_dir = next("--cache");
+    else if (args[i] == "--perturb") perturb = std::atof(next("--perturb").c_str());
     else if (args[i] == "--errors") errors = true;
     else if (args[i] == "--csv") csv = true;
-    else if (workload_name.empty()) workload_name = args[i];
-    else return usage();
+    else if (!args[i].empty() && args[i][0] == '-') return usage();
+    else positionals.push_back(args[i]);
   }
+  if (args[0] != "check" && positionals.size() > 1) return usage();
+  const std::string workload_name =
+      positionals.empty() ? std::string() : positionals[0];
 
   engine::ExperimentEngine eng(eng_opts);
   if (args[0] == "list") return cmd_list(eng);
+
+  if (args[0] == "check")
+    return cmd_check(eng, positionals, scale, case_arg == "all", json_path,
+                     perturb);
 
   if ((args[0] == "cases" || args[0] == "run" || args[0] == "profile") &&
       workload_name.empty())
