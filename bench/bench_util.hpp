@@ -16,6 +16,7 @@
 #include "core/kernels.hpp"
 #include "engine/engine.hpp"
 #include "sim/model.hpp"
+#include "telemetry/sinks.hpp"
 
 #include <cstdlib>
 #include <iostream>
@@ -36,7 +37,12 @@ namespace cubie::benchutil {
 //                   this bench executed (src/check/); violations make the
 //                   exit code 1 and the verdict table is appended to the
 //                   --json report under "conformance"
+//   --events <path> stream Cubie-Scope telemetry events as JSONL
+//   --trace-out <p> write a Chrome trace_event timeline (chrome://tracing,
+//                   Perfetto) of engine cells and sim spans
+//   --progress      live cells-done/hit-rate/ETA line on stderr
 //   --help          print usage
+// (see docs/OBSERVABILITY.md for the event schema and timeline walkthrough)
 // and the Bench object collects records / captured tables as the binary
 // computes them. finish() writes the report (with the engine-stats block
 // when any cell ran) and is the binary's exit code.
@@ -47,6 +53,9 @@ struct Bench {
   int scale = 1;
   bool check = false;  // --check: differential conformance after the bench
   engine::ExperimentEngine engine;
+  // Cubie-Scope sinks installed by --events/--trace-out/--progress; they
+  // deregister from the process bus (flushing) when the Bench dies.
+  telemetry::SinkSet sinks;
 
   // Engine-owned suite, built once per process.
   const std::vector<core::WorkloadPtr>& suite() { return engine.suite(); }
@@ -93,6 +102,9 @@ struct Bench {
       if (!conf.pass()) rc = 1;
     }
     if (engine.active()) report.engine = engine.stats();
+    // Flush telemetry before the report write so a consumer watching the
+    // JSON file never sees it ahead of the event log it summarizes.
+    sinks.flush();
     if (json_path.empty()) return rc;
     if (!report.write_file(json_path)) {
       std::cerr << report.tool << ": cannot write " << json_path << "\n";
@@ -112,6 +124,8 @@ inline Bench bench_init(int argc, char** argv, const std::string& tool,
   b.report.title = title;
   b.scale = common::scale_divisor();
   engine::EngineOptions eng;
+  telemetry::SinkConfig scope;
+  scope.tool = tool;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -131,10 +145,17 @@ inline Bench bench_init(int argc, char** argv, const std::string& tool,
       eng.cache_dir = next();
     } else if (arg == "--check") {
       b.check = true;
+    } else if (arg == "--events") {
+      scope.events_path = next();
+    } else if (arg == "--trace-out") {
+      scope.trace_path = next();
+    } else if (arg == "--progress") {
+      scope.progress = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << tool << ": " << title << "\n"
                 << "usage: " << tool << " [--json <path>] [--scale <N>]"
-                << " [--jobs <N>] [--cache <dir>] [--check]\n";
+                << " [--jobs <N>] [--cache <dir>] [--check]"
+                << " [--events <path>] [--trace-out <path>] [--progress]\n";
       std::exit(0);
     } else {
       std::cerr << tool << ": unknown argument '" << arg << "'\n";
@@ -142,7 +163,9 @@ inline Bench bench_init(int argc, char** argv, const std::string& tool,
     }
   }
   b.report.scale_divisor = b.scale;
+  scope.jobs = eng.jobs;
   b.engine = engine::ExperimentEngine(std::move(eng));
+  b.sinks = telemetry::install(scope);
   return b;
 }
 

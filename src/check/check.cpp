@@ -1,5 +1,7 @@
 #include "check/check.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <cmath>
@@ -263,6 +265,18 @@ ConformanceReport verify_cells(engine::ExperimentEngine& eng,
                           std::make_tuple(variant_rank(b.variant),
                                           b.reference));
             });
+  // Emit verdict events in the sorted order so the event stream is as
+  // deterministic as the report itself.
+  if (auto& bus = telemetry::bus(); bus.enabled()) {
+    for (const auto& v : rep.verdicts) {
+      telemetry::Event e;
+      e.kind = telemetry::EventKind::CheckVerdict;
+      e.name = v.key();
+      e.ok = v.pass ? 1 : 0;
+      e.detail = v.reason;
+      bus.emit(std::move(e));
+    }
+  }
   return rep;
 }
 

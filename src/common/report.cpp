@@ -440,6 +440,26 @@ std::string MetricRecord::key() const {
   return workload + "|" + variant + "|" + gpu + "|" + case_label;
 }
 
+bool lower_is_better(const std::string& metric_name) {
+  static const char* kPrefixes[] = {"time", "t_", "wall", "host_wall",
+                                    "energy", "edp", "power", "avg_power",
+                                    "peak_power", "err", "avg_err", "max_err",
+                                    "pad", "floor", "dram_bytes", "naive",
+                                    "fused", "pairwise", "lanes"};
+  for (const char* p : kPrefixes) {
+    if (metric_name.rfind(p, 0) == 0) return true;
+  }
+  // Suffix forms like fp64_avg_err, fp16_tc_ms, window_energy_j.
+  static const char* kSuffixes[] = {"_err", "_ms", "_us", "_s", "_j", "_w"};
+  for (const char* s : kSuffixes) {
+    const std::size_t len = std::string(s).size();
+    if (metric_name.size() >= len &&
+        metric_name.compare(metric_name.size() - len, len, s) == 0)
+      return true;
+  }
+  return false;
+}
+
 MetricRecord& MetricsReport::add_record(std::string workload,
                                         std::string variant, std::string gpu,
                                         std::string case_label) {
@@ -500,7 +520,10 @@ Json to_json(const sim::TraceNode& n) {
   Json j = Json::object();
   j["name"] = Json::string(n.name);
   j["wall_s"] = Json::number(n.wall_s);
-  j["peak_rss_kb"] = Json::number(static_cast<double>(n.peak_rss_kb));
+  // Optional: absent when the platform reported no RSS (0 means "unknown",
+  // not "zero kilobytes"); readers default it to 0.
+  if (n.peak_rss_kb > 0)
+    j["peak_rss_kb"] = Json::number(static_cast<double>(n.peak_rss_kb));
   j["profile"] = to_json(n.inclusive);
   Json kids = Json::array();
   for (const auto& c : n.children) kids.push_back(to_json(c));

@@ -22,8 +22,10 @@
 //                "exec_wall_s": S, "max_cell_wall_s": S}
 //                                       // only when Cubie-Engine executed
 //   }
-// A trace node is {"name", "wall_s", "peak_rss_kb", "profile": {...},
-// "children": [...]}. Consumers must ignore unknown keys; producers may only
+// A trace node is {"name", "wall_s", "peak_rss_kb"?, "profile": {...},
+// "children": [...]}; peak_rss_kb is optional and omitted when the platform
+// could not measure it (readers default it to 0).
+// Consumers must ignore unknown keys; producers may only
 // add keys (bump schema_version for anything else). tools/bench_diff
 // compares two such files record by record (see docs/OBSERVABILITY.md).
 
@@ -170,6 +172,13 @@ struct MetricsReport {
   static std::optional<MetricsReport> read_file(const std::string& path,
                                                 std::string* error = nullptr);
 };
+
+// True if a smaller value of this metric is better. Time-, energy-, and
+// error-like quantities regress upward; everything else (throughput,
+// speedup, utilization, coverage) regresses downward. Shared by
+// tools/bench_diff and the bench-history trend comparator
+// (src/telemetry/history.hpp) so both judge regressions identically.
+bool lower_is_better(const std::string& metric_name);
 
 // Serialization helpers shared by the report and the CLI profile printer.
 Json to_json(const sim::KernelProfile& p);

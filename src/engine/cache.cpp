@@ -1,6 +1,7 @@
 #include "engine/cache.hpp"
 
 #include "common/report.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <cmath>
 #include <cstdint>
@@ -167,9 +168,27 @@ std::string DiskCache::path_for(const std::string& key) const {
   return dir_ + "/cell-" + fnv1a_hex(key) + ".json";
 }
 
-CacheLoad DiskCache::load(const std::string& key) const {
-  if (!enabled()) return load_failure(CacheStatus::Disabled, "");
-  const std::string path = path_for(key);
+namespace {
+
+// Every non-disabled cache outcome becomes one telemetry event carrying
+// the typed CacheStatus name, so damaged files and failed stores show up
+// on the timeline, not only in the aggregate disk_errors counter.
+void emit_cache_event(telemetry::EventKind kind, const std::string& key,
+                      CacheStatus status, bool ok) {
+  if (status == CacheStatus::Disabled) return;
+  auto& bus = telemetry::bus();
+  if (!bus.enabled()) return;
+  telemetry::Event e;
+  e.kind = kind;
+  e.name = key;
+  e.status = cache_status_name(status);
+  e.ok = ok ? 1 : 0;
+  bus.emit(std::move(e));
+}
+
+CacheLoad do_load(const DiskCache& cache, const std::string& key) {
+  if (!cache.enabled()) return load_failure(CacheStatus::Disabled, "");
+  const std::string path = cache.path_for(key);
   std::error_code ec;
   if (!std::filesystem::exists(path, ec))
     return load_failure(CacheStatus::Miss, "");
@@ -218,9 +237,9 @@ CacheLoad DiskCache::load(const std::string& key) const {
   return r;
 }
 
-CacheStore DiskCache::store(const std::string& key,
-                            const core::RunOutput& out) const {
-  if (!enabled()) return {CacheStatus::Disabled, ""};
+CacheStore do_store(const DiskCache& cache, const std::string& key,
+                    const core::RunOutput& out) {
+  if (!cache.enabled()) return {CacheStatus::Disabled, ""};
   report::Json j = report::Json::object();
   j["schema_version"] = report::Json::number(1);
   j["kind"] = report::Json::string("cubie-cell");
@@ -236,7 +255,7 @@ CacheStore DiskCache::store(const std::string& key,
   }
   j["values"] = std::move(vals);
 
-  const std::string path = path_for(key);
+  const std::string path = cache.path_for(key);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream os(tmp);
@@ -250,6 +269,21 @@ CacheStore DiskCache::store(const std::string& key,
     return {CacheStatus::IoError,
             "cannot rename " + tmp + ": " + ec.message()};
   return {CacheStatus::Stored, ""};
+}
+
+}  // namespace
+
+CacheLoad DiskCache::load(const std::string& key) const {
+  CacheLoad r = do_load(*this, key);
+  emit_cache_event(telemetry::EventKind::CacheLoad, key, r.status, r.hit());
+  return r;
+}
+
+CacheStore DiskCache::store(const std::string& key,
+                            const core::RunOutput& out) const {
+  CacheStore r = do_store(*this, key, out);
+  emit_cache_event(telemetry::EventKind::CacheStore, key, r.status, r.ok());
+  return r;
 }
 
 bool DiskCache::inject_fault(const std::string& key, Fault f) const {

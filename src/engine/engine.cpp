@@ -1,6 +1,8 @@
 #include "engine/engine.hpp"
 
 #include "common/report.hpp"
+#include "sim/model.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -26,6 +28,35 @@ std::string fold(const std::string& s) {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+// Modeled kernel time of a cell on the reference device (H200, the paper's
+// primary evaluation GPU). Deterministic — a pure function of the profile —
+// so telemetry payloads stay identical across schedules and reruns.
+double modeled_time_s(const core::RunOutput& out) {
+  static const sim::DeviceModel model(sim::spec_for(sim::Gpu::H200));
+  return model.predict(out.profile).time_s;
+}
+
+// Every cell request emits exactly one cell_start/cell_finish pair, tagged
+// with where it was served from. Callers gate on bus().enabled() so the
+// disabled path never reaches here.
+void emit_cell_start(const std::string& key) {
+  telemetry::Event e;
+  e.kind = telemetry::EventKind::CellStart;
+  e.name = key;
+  telemetry::bus().emit(std::move(e));
+}
+
+void emit_cell_finish(const std::string& key, const char* source,
+                      double wall_s, const core::RunOutput& out) {
+  telemetry::Event e;
+  e.kind = telemetry::EventKind::CellFinish;
+  e.name = key;
+  e.source = source;
+  e.wall_s = wall_s;
+  e.modeled_s = modeled_time_s(out);
+  telemetry::bus().emit(std::move(e));
 }
 
 }  // namespace
@@ -102,28 +133,56 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
                                              const core::TestCase& tc,
                                              int scale) {
   const std::string key = cell_key(w.name(), v, tc, scale);
+  // Telemetry (Cubie-Scope): each request emits one cell_start/cell_finish
+  // pair, tagged "memo" / "disk" / "compute" by where it was served from —
+  // the per-source finish counts match the EngineCounters exactly. Events
+  // are emitted outside `mu`; the bus has its own ordering lock.
+  const bool scoped = telemetry::bus().enabled();
+  const auto t_req =
+      scoped ? std::chrono::steady_clock::now()
+             : std::chrono::steady_clock::time_point{};
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
-    auto it = impl_->cells.find(key);
-    if (it != impl_->cells.end()) {
-      ++impl_->counters.memo_hits;
-      return *it->second;
+    const core::RunOutput* res = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      auto it = impl_->cells.find(key);
+      if (it != impl_->cells.end()) {
+        ++impl_->counters.memo_hits;
+        res = it->second.get();
+      }
+    }
+    if (res) {
+      if (scoped) {
+        emit_cell_start(key);
+        emit_cell_finish(key, "memo", seconds_since(t_req), *res);
+      }
+      return *res;
     }
   }
   if (impl_->disk.enabled()) {
     auto loaded = impl_->disk.load(key);
     if (loaded.hit()) {
-      std::lock_guard<std::mutex> lk(impl_->mu);
-      auto [it, inserted] = impl_->cells.try_emplace(key, nullptr);
-      if (inserted) {
-        it->second =
-            std::make_unique<core::RunOutput>(std::move(*loaded.output));
-        impl_->record(w, v, tc, scale, key);
-        ++impl_->counters.disk_hits;
-      } else {
-        ++impl_->counters.memo_hits;  // raced with another thread
+      const core::RunOutput* res = nullptr;
+      const char* source = "disk";
+      {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        auto [it, inserted] = impl_->cells.try_emplace(key, nullptr);
+        if (inserted) {
+          it->second =
+              std::make_unique<core::RunOutput>(std::move(*loaded.output));
+          impl_->record(w, v, tc, scale, key);
+          ++impl_->counters.disk_hits;
+        } else {
+          ++impl_->counters.memo_hits;  // raced with another thread
+          source = "memo";
+        }
+        res = it->second.get();
       }
-      return *it->second;
+      if (scoped) {
+        emit_cell_start(key);
+        emit_cell_finish(key, source, seconds_since(t_req), *res);
+      }
+      return *res;
     }
     if (loaded.failed()) {
       // Typed failure (corrupt file, key mismatch, undecodable value):
@@ -133,11 +192,13 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
       ++impl_->counters.disk_errors;
     }
   }
+  if (scoped) emit_cell_start(key);
   const auto t0 = std::chrono::steady_clock::now();
   core::RunOutput out = w.run(v, tc);
   const double dt = seconds_since(t0);
   const core::RunOutput* res = nullptr;
   bool inserted = false;
+  const char* source = "compute";
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     auto [it, ins] = impl_->cells.try_emplace(key, nullptr);
@@ -150,10 +211,12 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
           std::max(impl_->counters.max_cell_wall_s, dt);
     } else {
       ++impl_->counters.memo_hits;  // another thread finished first
+      source = "memo";
     }
     inserted = ins;
     res = it->second.get();
   }
+  if (scoped) emit_cell_finish(key, source, dt, *res);
   if (inserted && impl_->disk.enabled()) {
     if (!impl_->disk.store(key, *res).ok()) {
       std::lock_guard<std::mutex> lk(impl_->mu);
@@ -171,6 +234,10 @@ const core::RunOutput& ExperimentEngine::run_traced(const core::Workload& w,
   const std::string key = cell_key(w.name(), v, tc, scale);
   core::RunOptions opts;
   opts.tracer = &tracer;
+  // A traced run always executes, so it is always a "compute" cell pair;
+  // the span open/close events it emits nest inside this cell_start.
+  const bool scoped = telemetry::bus().enabled();
+  if (scoped) emit_cell_start(key);
   const auto t0 = std::chrono::steady_clock::now();
   core::RunOutput out = w.run(v, tc, opts);
   const double dt = seconds_since(t0);
@@ -197,6 +264,7 @@ const core::RunOutput& ExperimentEngine::run_traced(const core::Workload& w,
     inserted = ins;
     res = it->second.get();
   }
+  if (scoped) emit_cell_finish(key, "compute", dt, *res);
   if (inserted && impl_->disk.enabled()) {
     if (!impl_->disk.store(key, *res).ok()) {
       std::lock_guard<std::mutex> lk(impl_->mu);
@@ -265,6 +333,12 @@ std::size_t ExperimentEngine::execute(const Plan& p) {
 }
 
 std::size_t ExperimentEngine::execute(const std::vector<Cell>& cells) {
+  if (telemetry::bus().enabled()) {
+    telemetry::Event e;
+    e.kind = telemetry::EventKind::PlanStart;
+    e.count = cells.size();
+    telemetry::bus().emit(std::move(e));
+  }
   // Wrap a cell's execution so any exception is typed with the cell that
   // failed — identically on the serial and the pool path.
   auto run_cell = [&](const Cell& c) {
@@ -280,7 +354,14 @@ std::size_t ExperimentEngine::execute(const std::vector<Cell>& cells) {
   };
   const std::size_t jobs = static_cast<std::size_t>(std::max(1, opts_.jobs));
   if (jobs <= 1 || cells.size() <= 1) {
-    for (const auto& c : cells) run_cell(c);
+    try {
+      for (const auto& c : cells) run_cell(c);
+    } catch (...) {
+      // A failed run must still leave a usable event log and timeline:
+      // flush every sink before the EngineError reaches the caller.
+      telemetry::bus().flush();
+      throw;
+    }
     return cells.size();
   }
   std::atomic<std::size_t> next{0};
@@ -310,7 +391,12 @@ std::size_t ExperimentEngine::execute(const std::vector<Cell>& cells) {
   pool.reserve(n);
   for (std::size_t t = 0; t < n; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    // Same contract as the serial path: sinks see a complete, flushed
+    // stream of everything that ran before the failure.
+    telemetry::bus().flush();
+    std::rethrow_exception(first_error);
+  }
   return cells.size();
 }
 

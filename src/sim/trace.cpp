@@ -1,5 +1,7 @@
 #include "sim/trace.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <atomic>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -62,6 +64,16 @@ TraceNode* Tracer::open(std::string name) {
   node->name = std::move(name);
   stack_.push_back(node);
   g_spans_recorded.fetch_add(1, std::memory_order_relaxed);
+  // Cubie-Scope: mirror the span onto the telemetry bus so trace sinks can
+  // nest it under the enclosing engine cell. Only reached with a live
+  // tracer, and gated again on installed sinks, so the bench sweeps'
+  // untraced hot paths never pay for it.
+  if (auto& bus = telemetry::bus(); bus.enabled()) {
+    telemetry::Event e;
+    e.kind = telemetry::EventKind::SpanOpen;
+    e.name = node->name;
+    bus.emit(std::move(e));
+  }
   return node;
 }
 
@@ -70,6 +82,15 @@ void Tracer::close(TraceNode* node) {
   while (!stack_.empty()) {
     TraceNode* top = stack_.back();
     stack_.pop_back();
+    // Implicitly closed intermediates emit too, keeping open/close events
+    // balanced for every sink (their wall_s is still the default 0).
+    if (auto& bus = telemetry::bus(); bus.enabled()) {
+      telemetry::Event e;
+      e.kind = telemetry::EventKind::SpanClose;
+      e.name = top->name;
+      e.wall_s = top->wall_s;
+      bus.emit(std::move(e));
+    }
     if (top == node) break;
   }
 }

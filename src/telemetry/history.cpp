@@ -1,0 +1,193 @@
+#include "telemetry/history.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace cubie::telemetry {
+
+using report::Json;
+
+const double* HistoryEntry::get(const std::string& name) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+HistoryEntry summarize(const report::MetricsReport& rep, std::string sha) {
+  HistoryEntry e;
+  e.sha = std::move(sha);
+  e.tool = rep.tool;
+  e.scale = rep.scale_divisor;
+  e.records = rep.records.size();
+  // Mean of every metric over the records that carry it, in first-seen
+  // order so rerecording the same report is byte-stable.
+  std::vector<std::pair<double, std::size_t>> acc;  // sum, count
+  for (const auto& r : rep.records) {
+    for (const auto& [name, value] : r.metrics) {
+      if (!std::isfinite(value)) continue;
+      std::size_t i = 0;
+      for (; i < e.metrics.size(); ++i)
+        if (e.metrics[i].first == name) break;
+      if (i == e.metrics.size()) {
+        e.metrics.emplace_back(name, 0.0);
+        acc.emplace_back(0.0, 0);
+      }
+      acc[i].first += value;
+      ++acc[i].second;
+    }
+  }
+  for (std::size_t i = 0; i < e.metrics.size(); ++i) {
+    e.metrics[i].second =
+        acc[i].first / static_cast<double>(std::max<std::size_t>(1, acc[i].second));
+  }
+  return e;
+}
+
+Json to_json(const HistoryEntry& e) {
+  Json j = Json::object();
+  j["schema_version"] = Json::number(kHistorySchemaVersion);
+  j["kind"] = Json::string("cubie-bench-history");
+  j["sha"] = Json::string(e.sha);
+  j["tool"] = Json::string(e.tool);
+  j["scale"] = Json::number(e.scale);
+  j["records"] = Json::number(static_cast<double>(e.records));
+  Json m = Json::object();
+  for (const auto& [k, v] : e.metrics) m[k] = Json::number(v);
+  j["metrics"] = std::move(m);
+  return j;
+}
+
+std::optional<HistoryEntry> entry_from_json(const Json& j,
+                                            std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<HistoryEntry> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  if (!j.is_object()) return fail("history entry is not an object");
+  const Json* kind = j.find("kind");
+  if (!kind || !kind->is_string() ||
+      kind->as_string() != "cubie-bench-history")
+    return fail("not a cubie-bench-history entry");
+  const Json* sv = j.find("schema_version");
+  if (!sv || !sv->is_number()) return fail("missing schema_version");
+  if (static_cast<int>(sv->as_number()) > kHistorySchemaVersion)
+    return fail("history schema_version " +
+                std::to_string(static_cast<int>(sv->as_number())) +
+                " is newer than supported " +
+                std::to_string(kHistorySchemaVersion));
+  HistoryEntry e;
+  if (const Json* s = j.find("sha"); s && s->is_string())
+    e.sha = s->as_string();
+  if (const Json* t = j.find("tool"); t && t->is_string())
+    e.tool = t->as_string();
+  if (const Json* s = j.find("scale"); s && s->is_number())
+    e.scale = static_cast<int>(s->as_number());
+  if (const Json* r = j.find("records"); r && r->is_number())
+    e.records = static_cast<std::size_t>(r->as_number());
+  if (const Json* m = j.find("metrics"); m && m->is_object()) {
+    for (const auto& [k, v] : m->members())
+      if (v.is_number()) e.metrics.emplace_back(k, v.as_number());
+  }
+  return e;
+}
+
+bool append_entry(const std::string& path, const HistoryEntry& e,
+                  std::string* error) {
+  std::ofstream os(path, std::ios::app);
+  if (!os) {
+    if (error) *error = "cannot open " + path + " for append";
+    return false;
+  }
+  os << to_json(e).dump(-1) << '\n';
+  if (!os) {
+    if (error) *error = "cannot write " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<HistoryEntry>> load_history(const std::string& path,
+                                                      std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::vector<HistoryEntry> entries;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string perr;
+    const auto j = Json::parse(line, &perr);
+    if (!j) {
+      if (error)
+        *error = path + ":" + std::to_string(lineno) + ": " + perr;
+      return std::nullopt;
+    }
+    auto e = entry_from_json(*j, &perr);
+    if (!e) {
+      if (error)
+        *error = path + ":" + std::to_string(lineno) + ": " + perr;
+      return std::nullopt;
+    }
+    entries.push_back(std::move(*e));
+  }
+  return entries;
+}
+
+namespace {
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+TrendReport trend(const std::vector<HistoryEntry>& entries, double tol,
+                  const std::string& only_metric) {
+  TrendReport rep;
+  if (entries.empty()) return rep;
+  const HistoryEntry& latest = entries.back();
+  rep.tool = latest.tool;
+  rep.sha = latest.sha;
+  rep.scale = latest.scale;
+
+  std::vector<const HistoryEntry*> priors;
+  for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
+    if (entries[i].tool == latest.tool && entries[i].scale == latest.scale)
+      priors.push_back(&entries[i]);
+  }
+  rep.prior = priors.size();
+  if (priors.empty()) return rep;
+
+  for (const auto& [name, value] : latest.metrics) {
+    if (!only_metric.empty() && name != only_metric) continue;
+    std::vector<double> history;
+    for (const HistoryEntry* p : priors) {
+      if (const double* v = p->get(name); v && std::isfinite(*v))
+        history.push_back(*v);
+    }
+    if (history.empty()) continue;  // metric is new: nothing to judge
+    const double med = median(std::move(history));
+    if (med == 0.0 || !std::isfinite(med) || !std::isfinite(value)) continue;
+    TrendDelta d;
+    d.metric = name;
+    d.latest = value;
+    d.median = med;
+    const double delta = (value - med) / std::fabs(med);
+    d.worse = report::lower_is_better(name) ? delta : -delta;
+    d.regression = d.worse > tol;
+    rep.deltas.push_back(std::move(d));
+  }
+  return rep;
+}
+
+}  // namespace cubie::telemetry

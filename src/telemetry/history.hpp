@@ -1,0 +1,98 @@
+#pragma once
+// Cubie-Scope bench history: a JSONL store of per-run MetricsReport
+// summaries and a rolling-median trend comparator over it.
+//
+// `cubie record` collapses one --json report into a HistoryEntry — the
+// arithmetic mean of every metric over the report's records, keyed by git
+// SHA, producing tool, and scale divisor — and appends it as one line of
+// BENCH_history.jsonl. `cubie trend` then compares the newest entry
+// against the per-metric rolling median of all prior entries with the same
+// (tool, scale): each metric's relative change is judged in its "good"
+// direction (report::lower_is_better, the same rule tools/bench_diff
+// applies), and any change past the tolerance is a regression — exit 1.
+// This turns the bench history into a CI regression gate: every push
+// appends one entry, and the median of the trailing window absorbs normal
+// run-to-run noise that a single-baseline diff would trip over.
+//
+// One JSONL line:
+//   {"schema_version": 1, "kind": "cubie-bench-history", "sha": "...",
+//    "tool": "fig03_perf", "scale": 16, "records": 120,
+//    "metrics": {"gflops": 123.4, "time_ms": 0.56, ...}}
+//
+// Consumers must ignore unknown keys; producers may only add keys (bump
+// kHistorySchemaVersion for anything else).
+
+#include "common/report.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cubie::telemetry {
+
+inline constexpr int kHistorySchemaVersion = 1;
+inline constexpr const char* kDefaultHistoryPath = "BENCH_history.jsonl";
+
+// One recorded run: per-metric means over every record of one report.
+struct HistoryEntry {
+  std::string sha;   // git commit id ("local" when unknown)
+  std::string tool;  // producing bench binary
+  int scale = 1;
+  std::size_t records = 0;  // records the means were taken over
+  // Insertion-ordered metric name -> mean value.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  const double* get(const std::string& name) const;
+};
+
+// Collapse a report into its history summary. Only finite metric values
+// contribute to the means.
+HistoryEntry summarize(const report::MetricsReport& rep, std::string sha);
+
+report::Json to_json(const HistoryEntry& e);
+std::optional<HistoryEntry> entry_from_json(const report::Json& j,
+                                            std::string* error = nullptr);
+
+// Append one entry as a JSONL line (creates the file). False on I/O error.
+bool append_entry(const std::string& path, const HistoryEntry& e,
+                  std::string* error = nullptr);
+
+// Every entry, in file (= recording) order. nullopt when the file cannot
+// be read or any line is not a valid history entry.
+std::optional<std::vector<HistoryEntry>> load_history(
+    const std::string& path, std::string* error = nullptr);
+
+// One metric of the newest entry vs the rolling median of prior entries.
+struct TrendDelta {
+  std::string metric;
+  double latest = 0.0;
+  double median = 0.0;  // over prior entries carrying this metric
+  double worse = 0.0;   // signed relative change toward "worse"
+  bool regression = false;
+};
+
+struct TrendReport {
+  std::string tool;
+  std::string sha;  // the judged (newest) entry
+  int scale = 1;
+  std::size_t prior = 0;  // prior entries with the same (tool, scale)
+  std::vector<TrendDelta> deltas;
+
+  bool pass() const {
+    for (const auto& d : deltas)
+      if (d.regression) return false;
+    return true;
+  }
+};
+
+// Judge the newest entry against the per-metric rolling median of every
+// earlier entry with the same (tool, scale). A metric regresses when its
+// direction-aware relative change exceeds `tol`. With no prior entries (or
+// an empty history) nothing is compared and the report passes. Non-empty
+// `only_metric` restricts the comparison to that metric.
+TrendReport trend(const std::vector<HistoryEntry>& entries, double tol,
+                  const std::string& only_metric = "");
+
+}  // namespace cubie::telemetry

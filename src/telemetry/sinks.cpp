@@ -1,0 +1,324 @@
+#include "telemetry/sinks.hpp"
+
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace cubie::telemetry {
+
+using report::Json;
+
+Json event_to_json(const Event& e) {
+  Json j = Json::object();
+  j["kind"] = Json::string(event_kind_name(e.kind));
+  j["seq"] = Json::number(static_cast<double>(e.seq));
+  j["tid"] = Json::number(e.tid);
+  j["t_s"] = Json::number(e.t_s);
+  if (!e.name.empty()) j["name"] = Json::string(e.name);
+  if (!e.source.empty()) j["source"] = Json::string(e.source);
+  if (!e.status.empty()) j["status"] = Json::string(e.status);
+  if (!e.detail.empty()) j["detail"] = Json::string(e.detail);
+  if (e.wall_s >= 0.0) j["wall_s"] = Json::number(e.wall_s);
+  if (e.modeled_s >= 0.0) j["modeled_s"] = Json::number(e.modeled_s);
+  if (e.kind == EventKind::PlanStart)
+    j["count"] = Json::number(static_cast<double>(e.count));
+  if (e.ok >= 0) j["ok"] = Json::boolean(e.ok != 0);
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// JsonlSink.
+
+JsonlSink::JsonlSink(const std::string& path, const std::string& tool)
+    : os_(path, std::ios::trunc) {
+  if (!os_) return;
+  Json header = Json::object();
+  header["schema_version"] = Json::number(kEventSchemaVersion);
+  header["kind"] = Json::string("cubie-events");
+  header["tool"] = Json::string(tool);
+  os_ << header.dump(-1) << '\n';
+}
+
+void JsonlSink::on_event(const Event& e) {
+  if (!os_) return;
+  os_ << event_to_json(e).dump(-1) << '\n';
+}
+
+void JsonlSink::flush() {
+  if (os_) os_.flush();
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceSink.
+
+ChromeTraceSink::ChromeTraceSink(std::string path) : path_(std::move(path)) {}
+
+void ChromeTraceSink::on_event(const Event& e) { events_.push_back(e); }
+
+namespace {
+
+Json trace_common(const char* ph, const std::string& name, double ts_us,
+                  int tid) {
+  Json j = Json::object();
+  j["name"] = Json::string(name);
+  j["ph"] = Json::string(ph);
+  j["ts"] = Json::number(ts_us);
+  j["pid"] = Json::number(0);
+  j["tid"] = Json::number(tid);
+  return j;
+}
+
+Json slice(const std::string& name, const char* cat, double t0_s, double t1_s,
+           int tid) {
+  Json j = trace_common("X", name, t0_s * 1e6, tid);
+  j["cat"] = Json::string(cat);
+  j["dur"] = Json::number(std::max(0.0, (t1_s - t0_s) * 1e6));
+  return j;
+}
+
+Json instant(const std::string& name, const Event& e) {
+  Json j = trace_common("i", name, e.t_s * 1e6, e.tid);
+  j["s"] = Json::string("t");  // thread-scoped
+  return j;
+}
+
+}  // namespace
+
+void ChromeTraceSink::flush() {
+  // A pending cell_start / span_open, waiting for its closing event.
+  struct Open {
+    EventKind kind;
+    std::string name;
+    double t_s;
+  };
+  std::map<int, std::vector<Open>> stacks;
+  std::set<int> tids;
+  double last_t = 0.0;
+
+  Json evs = Json::array();
+  {
+    Json meta = trace_common("M", "process_name", 0.0, 0);
+    Json args = Json::object();
+    args["name"] = Json::string("cubie");
+    meta["args"] = std::move(args);
+    evs.push_back(std::move(meta));
+  }
+
+  // Pop the innermost pending open of `kind` with this name. Searching from
+  // the top tolerates the Tracer's implicit closes (out-of-order span
+  // destruction unwinds through intermediate nodes).
+  auto pop_open = [&](int tid, EventKind kind, const std::string& name,
+                      Open* out) {
+    auto& st = stacks[tid];
+    for (auto it = st.rbegin(); it != st.rend(); ++it) {
+      if (it->kind == kind && it->name == name) {
+        *out = *it;
+        st.erase(std::next(it).base());
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const Event& e : events_) {
+    tids.insert(e.tid);
+    last_t = std::max(last_t, e.t_s);
+    switch (e.kind) {
+      case EventKind::CellStart:
+        stacks[e.tid].push_back({EventKind::CellStart, e.name, e.t_s});
+        break;
+      case EventKind::SpanOpen:
+        stacks[e.tid].push_back({EventKind::SpanOpen, e.name, e.t_s});
+        break;
+      case EventKind::CellFinish: {
+        Open o{EventKind::CellStart, e.name,
+               e.t_s - std::max(0.0, e.wall_s)};
+        pop_open(e.tid, EventKind::CellStart, e.name, &o);
+        Json j = slice(e.name, "cell", o.t_s, e.t_s, e.tid);
+        Json args = Json::object();
+        args["source"] = Json::string(e.source);
+        if (e.wall_s >= 0.0) args["wall_s"] = Json::number(e.wall_s);
+        if (e.modeled_s >= 0.0) args["modeled_s"] = Json::number(e.modeled_s);
+        j["args"] = std::move(args);
+        evs.push_back(std::move(j));
+        break;
+      }
+      case EventKind::SpanClose: {
+        Open o{EventKind::SpanOpen, e.name, e.t_s - std::max(0.0, e.wall_s)};
+        pop_open(e.tid, EventKind::SpanOpen, e.name, &o);
+        evs.push_back(slice(e.name, "span", o.t_s, e.t_s, e.tid));
+        break;
+      }
+      case EventKind::CacheLoad:
+      case EventKind::CacheStore: {
+        const char* what =
+            e.kind == EventKind::CacheLoad ? "cache_load" : "cache_store";
+        Json j = instant(std::string(what) + ":" + e.status, e);
+        Json args = Json::object();
+        args["key"] = Json::string(e.name);
+        args["status"] = Json::string(e.status);
+        j["args"] = std::move(args);
+        evs.push_back(std::move(j));
+        break;
+      }
+      case EventKind::CheckVerdict: {
+        Json j = instant(e.ok == 1 ? "check_pass" : "check_FAIL", e);
+        Json args = Json::object();
+        args["key"] = Json::string(e.name);
+        if (!e.detail.empty()) args["detail"] = Json::string(e.detail);
+        j["args"] = std::move(args);
+        evs.push_back(std::move(j));
+        break;
+      }
+      case EventKind::PlanStart: {
+        Json j = instant("plan_start", e);
+        Json args = Json::object();
+        args["cells"] = Json::number(static_cast<double>(e.count));
+        j["args"] = std::move(args);
+        evs.push_back(std::move(j));
+        break;
+      }
+    }
+  }
+
+  // Close anything still open (mid-stream flush on an error unwind) at the
+  // last seen timestamp so the timeline stays loadable.
+  for (auto& [tid, st] : stacks) {
+    for (auto it = st.rbegin(); it != st.rend(); ++it) {
+      Json j = slice(it->name,
+                     it->kind == EventKind::CellStart ? "cell" : "span",
+                     it->t_s, last_t, tid);
+      Json args = Json::object();
+      args["unfinished"] = Json::boolean(true);
+      j["args"] = std::move(args);
+      evs.push_back(std::move(j));
+    }
+  }
+
+  for (int tid : tids) {
+    Json meta = trace_common("M", "thread_name", 0.0, tid);
+    Json args = Json::object();
+    args["name"] = Json::string(tid == 0 ? std::string("main")
+                                         : "worker-" + std::to_string(tid));
+    meta["args"] = std::move(args);
+    evs.push_back(std::move(meta));
+  }
+
+  Json root = Json::object();
+  root["traceEvents"] = std::move(evs);
+  root["displayTimeUnit"] = Json::string("ms");
+
+  std::ofstream os(path_, std::ios::trunc);
+  if (!os) {
+    std::cerr << "telemetry: cannot write trace file " << path_ << '\n';
+    return;
+  }
+  os << root.dump(-1) << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// ProgressSink.
+
+ProgressSink::ProgressSink(std::ostream& os, std::string label, int jobs)
+    : os_(&os), label_(std::move(label)), jobs_(std::max(1, jobs)) {}
+
+void ProgressSink::on_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::PlanStart:
+      total_ += e.count;
+      print_line(e.t_s, true);
+      break;
+    case EventKind::CellFinish: {
+      // With a plan total, finishes beyond it are post-plan memoized
+      // re-reads (per-GPU repricing loops), not progress.
+      if (total_ > 0 && done_ >= total_) break;
+      ++done_;
+      if (e.source != "compute") ++hits_;
+      if (e.wall_s >= 0.0) {
+        ewma_wall_s_ = ewma_wall_s_ == 0.0
+                           ? e.wall_s
+                           : 0.8 * ewma_wall_s_ + 0.2 * e.wall_s;
+      }
+      print_line(e.t_s, done_ == total_);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ProgressSink::print_line(double now_s, bool force) {
+  // Redraw at most ~10x/s: the line is cosmetic, the events are the record.
+  if (!force && last_print_s_ >= 0.0 && now_s - last_print_s_ < 0.1) return;
+  last_print_s_ = now_s;
+  std::string line = "[" + label_ + "] " + std::to_string(done_);
+  if (total_ > 0) line += "/" + std::to_string(total_);
+  line += " cells";
+  if (done_ > 0) {
+    line += "  " +
+            common::fmt_double(100.0 * static_cast<double>(hits_) /
+                                   static_cast<double>(done_),
+                               0) +
+            "% hits";
+  }
+  if (total_ > done_ && ewma_wall_s_ > 0.0) {
+    const double eta_s = ewma_wall_s_ *
+                         static_cast<double>(total_ - done_) /
+                         static_cast<double>(jobs_);
+    line += "  eta " + common::fmt_double(eta_s, 1) + "s";
+  }
+  const std::size_t width = line.size();
+  if (width < line_width_) line.append(line_width_ - width, ' ');
+  line_width_ = std::max(line_width_, width);
+  *os_ << '\r' << line << std::flush;
+  wrote_ = true;
+}
+
+void ProgressSink::flush() {
+  if (!wrote_) return;
+  print_line(last_print_s_, true);
+  *os_ << '\n' << std::flush;
+  wrote_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// SinkSet / install.
+
+void SinkSet::add(std::shared_ptr<Sink> s) {
+  if (!s) return;
+  bus().add_sink(s);
+  sinks_.push_back(std::move(s));
+}
+
+void SinkSet::flush() {
+  for (const auto& s : sinks_) s->flush();
+}
+
+void SinkSet::release() {
+  for (const auto& s : sinks_) bus().remove_sink(s.get());
+  sinks_.clear();
+}
+
+SinkSet install(const SinkConfig& cfg) {
+  SinkSet set;
+  if (!cfg.events_path.empty()) {
+    auto s = std::make_shared<JsonlSink>(cfg.events_path, cfg.tool);
+    if (s->ok()) {
+      set.add(std::move(s));
+    } else {
+      std::cerr << cfg.tool << ": cannot open " << cfg.events_path
+                << " for --events\n";
+    }
+  }
+  if (!cfg.trace_path.empty())
+    set.add(std::make_shared<ChromeTraceSink>(cfg.trace_path));
+  if (cfg.progress)
+    set.add(std::make_shared<ProgressSink>(std::cerr, cfg.tool, cfg.jobs));
+  return set;
+}
+
+}  // namespace cubie::telemetry

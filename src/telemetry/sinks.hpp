@@ -1,0 +1,157 @@
+#pragma once
+// Cubie-Scope sinks: the bundled consumers of the telemetry event bus and
+// the RAII plumbing that installs them for one run.
+//
+//   JsonlSink       --events FILE   deterministic JSONL event log
+//   ChromeTraceSink --trace-out F   Chrome trace_event timeline (Perfetto)
+//   ProgressSink    --progress      live stderr progress line
+//   MemorySink      (tests)         in-memory event capture
+//
+// install() builds the sinks a command line asked for and registers them on
+// the global bus; the returned SinkSet removes (and flushes) them when it
+// goes out of scope, so a bench binary's sinks never outlive its run. See
+// telemetry.hpp for the bus and docs/OBSERVABILITY.md for the file formats.
+
+#include "common/report.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include <cstddef>
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cubie::telemetry {
+
+// One event as a compact JSON object — the JSONL line form. Fields that do
+// not apply to the event's kind are omitted (never emitted as sentinel
+// values); see docs/OBSERVABILITY.md for the per-kind field table.
+report::Json event_to_json(const Event& e);
+
+// ---------------------------------------------------------------------------
+// JsonlSink: one compact JSON object per line. The first line is a header
+// record carrying the event schema version and the producing tool; every
+// following line is one event, in global sequence order. Deterministic: a
+// serial rerun of the same work produces byte-identical output once the
+// wall-clock fields (t_s, wall_s) are masked.
+class JsonlSink : public Sink {
+ public:
+  JsonlSink(const std::string& path, const std::string& tool);
+
+  bool ok() const { return static_cast<bool>(os_); }
+  void on_event(const Event& e) override;
+  void flush() override;
+
+ private:
+  std::ofstream os_;
+};
+
+// ---------------------------------------------------------------------------
+// ChromeTraceSink: accumulates the event stream and renders it as a Chrome
+// trace_event JSON document on flush. Engine cells become complete ("X")
+// slices in per-thread lanes; traced spans nest beneath their cell's slice
+// (same lane, contained interval); cache outcomes and check verdicts become
+// thread-scoped instant events. Load the file in chrome://tracing or
+// https://ui.perfetto.dev. flush() rewrites the whole document and may be
+// called mid-stream (EngineError unwind) — open slices are closed at the
+// last seen timestamp so the timeline stays loadable.
+class ChromeTraceSink : public Sink {
+ public:
+  explicit ChromeTraceSink(std::string path);
+
+  void on_event(const Event& e) override;
+  void flush() override;
+
+ private:
+  std::string path_;
+  std::vector<Event> events_;
+};
+
+// ---------------------------------------------------------------------------
+// ProgressSink: a live one-line progress display for long --jobs N runs.
+// plan_start events accumulate the total; each cell_finish updates cells
+// done, the cache-hit share, and an EWMA per-cell wall time that feeds the
+// ETA (scaled by the worker count). Output is throttled and rewritten in
+// place with '\r'; flush() finishes the line.
+class ProgressSink : public Sink {
+ public:
+  // `os` must outlive the sink (stderr in production, a stringstream in
+  // tests). `jobs` scales the ETA to the pool width.
+  ProgressSink(std::ostream& os, std::string label, int jobs);
+
+  void on_event(const Event& e) override;
+  void flush() override;
+
+ private:
+  void print_line(double now_s, bool force);
+
+  std::ostream* os_;
+  std::string label_;
+  int jobs_ = 1;
+  std::size_t total_ = 0;
+  std::size_t done_ = 0;
+  std::size_t hits_ = 0;
+  double ewma_wall_s_ = 0.0;
+  double last_print_s_ = -1.0;
+  std::size_t line_width_ = 0;
+  bool wrote_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// MemorySink: captures every event for inspection. Read events() only after
+// the instrumented work has finished (delivery happens under the bus mutex,
+// but the accessor does not take it).
+class MemorySink : public Sink {
+ public:
+  void on_event(const Event& e) override { events_.push_back(e); }
+  const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+// ---------------------------------------------------------------------------
+// SinkSet: RAII ownership of sinks installed on the global bus. Destruction
+// flushes and removes them; moving transfers ownership.
+class SinkSet {
+ public:
+  SinkSet() = default;
+  SinkSet(SinkSet&&) noexcept = default;
+  SinkSet& operator=(SinkSet&& other) noexcept {
+    if (this != &other) {
+      release();
+      sinks_ = std::move(other.sinks_);
+    }
+    return *this;
+  }
+  SinkSet(const SinkSet&) = delete;
+  SinkSet& operator=(const SinkSet&) = delete;
+  ~SinkSet() { release(); }
+
+  void add(std::shared_ptr<Sink> s);
+  bool empty() const { return sinks_.empty(); }
+  void flush();
+  // Flush and deregister every owned sink from the bus.
+  void release();
+
+ private:
+  std::vector<std::shared_ptr<Sink>> sinks_;
+};
+
+// The sinks a command line asked for (--events / --trace-out / --progress).
+struct SinkConfig {
+  std::string events_path;  // JSONL event log ("" = off)
+  std::string trace_path;   // Chrome trace_event file ("" = off)
+  bool progress = false;    // live stderr progress line
+  int jobs = 1;             // pool width, for the progress ETA
+  std::string tool;         // producing binary, for headers and labels
+};
+
+// Build and register the configured sinks. Unopenable output paths are
+// reported on stderr and skipped rather than failing the run.
+SinkSet install(const SinkConfig& cfg);
+
+}  // namespace cubie::telemetry

@@ -1,0 +1,128 @@
+#include "telemetry/telemetry.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace cubie::telemetry {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::PlanStart: return "plan_start";
+    case EventKind::CellStart: return "cell_start";
+    case EventKind::CellFinish: return "cell_finish";
+    case EventKind::CacheLoad: return "cache_load";
+    case EventKind::CacheStore: return "cache_store";
+    case EventKind::SpanOpen: return "span_open";
+    case EventKind::SpanClose: return "span_close";
+    case EventKind::CheckVerdict: return "check_verdict";
+  }
+  return "unknown";
+}
+
+std::string event_payload(const Event& e) {
+  // Deliberately excludes seq / t_s / tid (bus stamps) and wall_s (host
+  // timing): what remains is a pure function of the work performed.
+  std::string p = event_kind_name(e.kind);
+  p += '|';
+  p += e.name;
+  p += '|';
+  p += e.source;
+  p += '|';
+  p += e.status;
+  p += "|ok=";
+  p += std::to_string(e.ok);
+  p += "|count=";
+  p += std::to_string(e.count);
+  if (e.modeled_s >= 0.0) {
+    // Modeled time is a pure function of the cell's profile, so it belongs
+    // to the payload. std::to_chars is locale-independent (shortest exact
+    // form), like every number the repo serializes.
+    char buf[40];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), e.modeled_s);
+    p += "|modeled=";
+    p.append(buf, r.ptr);
+  }
+  return p;
+}
+
+struct EventBus::Impl {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Sink>> sinks;
+  std::atomic<int> sink_count{0};
+  std::uint64_t next_seq = 1;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  // Dense thread lanes: the first thread to emit gets lane 0 (the main
+  // thread in every current caller), pool workers 1..N in first-emit order.
+  std::unordered_map<std::thread::id, int> lanes;
+};
+
+EventBus::EventBus() : impl_(std::make_shared<Impl>()) {}
+
+EventBus& bus() {
+  static EventBus b;
+  return b;
+}
+
+bool EventBus::enabled() const noexcept {
+  return impl_->sink_count.load(std::memory_order_relaxed) > 0;
+}
+
+std::size_t EventBus::sink_count() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->sinks.size();
+}
+
+void EventBus::emit(Event e) {
+  const auto tid = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  if (impl_->sinks.empty()) return;
+  e.seq = impl_->next_seq++;
+  e.t_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        impl_->epoch)
+              .count();
+  const auto [it, inserted] =
+      impl_->lanes.try_emplace(tid, static_cast<int>(impl_->lanes.size()));
+  e.tid = it->second;
+  for (const auto& s : impl_->sinks) s->on_event(e);
+}
+
+void EventBus::add_sink(std::shared_ptr<Sink> s) {
+  if (!s) return;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->sinks.push_back(std::move(s));
+  impl_->sink_count.store(static_cast<int>(impl_->sinks.size()),
+                          std::memory_order_relaxed);
+}
+
+void EventBus::remove_sink(const Sink* s) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (auto it = impl_->sinks.begin(); it != impl_->sinks.end(); ++it) {
+    if (it->get() == s) {
+      (*it)->flush();
+      impl_->sinks.erase(it);
+      break;
+    }
+  }
+  impl_->sink_count.store(static_cast<int>(impl_->sinks.size()),
+                          std::memory_order_relaxed);
+}
+
+void EventBus::flush() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (const auto& s : impl_->sinks) s->flush();
+}
+
+void EventBus::reset_clock() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->next_seq = 1;
+  impl_->epoch = std::chrono::steady_clock::now();
+  impl_->lanes.clear();
+}
+
+}  // namespace cubie::telemetry

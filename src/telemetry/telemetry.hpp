@@ -1,0 +1,130 @@
+#pragma once
+// Cubie-Scope: a process-wide telemetry event bus.
+//
+// The runtime layers (Cubie-Engine, its disk cache, Cubie-Check, and the
+// sim::Tracer span machinery) emit typed Events to one global EventBus,
+// which fans them out to pluggable Sinks. Everything that used to surface
+// only as end-of-run aggregate counters — cell executions and where they
+// were served from, cache load/store outcomes, conformance verdicts, span
+// open/close — becomes an ordered, timestamped stream:
+//
+//   * telemetry::JsonlSink      — deterministic JSONL event log (one JSON
+//                                 object per line, --events FILE);
+//   * telemetry::ChromeTraceSink — Chrome trace_event JSON with engine
+//                                 cells laid out in per-worker-thread lanes
+//                                 and traced span trees nested beneath them
+//                                 (--trace-out FILE, load in chrome://tracing
+//                                 or Perfetto);
+//   * telemetry::ProgressSink   — live stderr progress for --jobs N runs
+//                                 (cells done/total, hit rate, EWMA ETA).
+//
+// The disabled path is one relaxed atomic load: with no sinks installed,
+// emit() callers check bus().enabled() and skip event construction
+// entirely, so always-on instrumentation costs nothing in the bench
+// sweeps. With sinks installed, events are stamped (sequence number, time
+// since bus epoch, dense thread lane) and delivered under one mutex, so
+// the global sequence order matches the sink output order exactly.
+//
+// Event stream invariants (pinned by tests/test_telemetry.cpp):
+//   * every ExperimentEngine cell request emits exactly one
+//     cell_start/cell_finish pair, tagged with where it was served from
+//     ("compute" | "memo" | "disk") — so the number of cell_finish events
+//     equals memo_hits + disk_hits + misses + traced_reruns;
+//   * a --jobs N run's event stream is a permutation of the serial run's,
+//     with identical per-cell payloads (wall-clock fields aside);
+//   * sinks are flushed on the EngineError unwind path, so a failed run
+//     still leaves a complete event log and a loadable timeline.
+//
+// See docs/OBSERVABILITY.md ("Cubie-Scope") for the schema.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace cubie::telemetry {
+
+// Event stream schema version (JSONL header line; bump on any change that
+// is not purely additive, mirroring report::MetricsReport::kSchemaVersion).
+inline constexpr int kEventSchemaVersion = 1;
+
+enum class EventKind {
+  PlanStart,     // engine Plan execution begins; count = cells in the plan
+  CellStart,     // a cell request begins; name = cell content key
+  CellFinish,    // cell served; source, wall_s, modeled_s, ok
+  CacheLoad,     // DiskCache::load outcome; status = CacheStatus name
+  CacheStore,    // DiskCache::store outcome; status, ok
+  SpanOpen,      // sim::Tracer span opened; name = span name
+  SpanClose,     // span closed; wall_s = host wall inside the span
+  CheckVerdict,  // conformance verdict; name = verdict key, ok, detail
+};
+
+// Stable wire name ("cell_start", "cache_load", ...).
+const char* event_kind_name(EventKind k);
+
+// One telemetry event. Only the fields meaningful for `kind` are set;
+// numeric fields use negative sentinels for "not applicable" so sinks can
+// omit them. seq / t_s / tid are stamped by the bus at emit time.
+struct Event {
+  EventKind kind = EventKind::CellStart;
+  std::uint64_t seq = 0;    // global emission order (1-based)
+  double t_s = 0.0;         // host wall-clock seconds since the bus epoch
+  int tid = 0;              // dense thread lane (0 = first-emitting thread)
+  std::string name;         // cell key, span name, or verdict key
+  std::string source;       // cell_finish: "compute" | "memo" | "disk"
+  std::string status;       // cache events: engine::cache_status_name
+  std::string detail;       // human-readable context (verdict reason, ...)
+  double wall_s = -1.0;     // host wall interval; < 0 = n/a
+  double modeled_s = -1.0;  // modeled kernel time (reference device); < 0 = n/a
+  std::size_t count = 0;    // plan_start: number of cells
+  int ok = -1;              // tri-state: -1 n/a, 0 fail, 1 pass
+};
+
+// The deterministic part of an event: everything except the bus stamps
+// (seq, t_s, tid) and the host wall-clock fields. Two functionally
+// identical runs produce identical payload multisets regardless of thread
+// schedule — the identity tests/test_telemetry.cpp builds on.
+std::string event_payload(const Event& e);
+
+// A telemetry consumer. on_event is called under the bus mutex, in global
+// sequence order; flush() must leave the sink's output usable (it may be
+// called more than once, including mid-stream on an error unwind).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_event(const Event& e) = 0;
+  virtual void flush() {}
+};
+
+// The process-wide bus. Sinks are installed per run (see sinks.hpp's
+// install()); with none installed, enabled() is a single relaxed atomic
+// load and emit() is never reached by instrumentation call sites.
+class EventBus {
+ public:
+  // Cheap gate for instrumentation: true iff any sink is installed.
+  bool enabled() const noexcept;
+
+  // Stamp (seq, t_s, tid) and deliver to every sink, in install order.
+  void emit(Event e);
+
+  void add_sink(std::shared_ptr<Sink> s);
+  void remove_sink(const Sink* s);  // flushes the sink before removal
+  std::size_t sink_count() const;
+
+  // Flush every installed sink (EngineError unwind path, end of run).
+  void flush();
+
+  // Reset the epoch and sequence counter (tests; not needed between runs).
+  void reset_clock();
+
+ private:
+  friend EventBus& bus();
+  EventBus();
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+// The process-wide instance.
+EventBus& bus();
+
+}  // namespace cubie::telemetry

@@ -1,0 +1,604 @@
+// Cubie-Scope contracts: the telemetry event stream is a faithful,
+// schedule-independent record of the work performed. Pinned here:
+//   * a --jobs N run's stream is a permutation of the serial run's with
+//     identical per-cell payloads;
+//   * cell_finish counts by source equal the engine's aggregate counters;
+//   * the JSONL log is byte-stable across serial reruns once wall-clock
+//     fields are masked, and every line round-trips through report::Json;
+//   * the Chrome trace is valid JSON with non-overlapping per-lane cell
+//     slices and nested span slices;
+//   * cache load/store events carry the typed CacheStatus outcome;
+//   * the bench history store round-trips and `trend` judges regressions
+//     direction-aware.
+
+#include "engine/cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/plan.hpp"
+#include "telemetry/history.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include "common/report.hpp"
+#include "core/kernels.hpp"
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cubie {
+namespace {
+
+engine::Plan small_plan() {
+  return engine::Plan::representative(64).with_workloads({"Scan", "Reduction"});
+}
+
+// Capture every event of `body` through a MemorySink on the global bus.
+std::vector<telemetry::Event> capture(const std::function<void()>& body) {
+  auto sink = std::make_shared<telemetry::MemorySink>();
+  telemetry::bus().reset_clock();
+  telemetry::bus().add_sink(sink);
+  body();
+  std::vector<telemetry::Event> events = sink->events();
+  telemetry::bus().remove_sink(sink.get());
+  return events;
+}
+
+std::vector<std::string> payloads(const std::vector<telemetry::Event>& evs) {
+  std::vector<std::string> p;
+  p.reserve(evs.size());
+  for (const auto& e : evs) p.push_back(telemetry::event_payload(e));
+  return p;
+}
+
+TEST(TelemetryBus, DisabledWithoutSinksAndStampsInOrder) {
+  EXPECT_FALSE(telemetry::bus().enabled());
+  const auto evs = capture([] {
+    EXPECT_TRUE(telemetry::bus().enabled());
+    for (int i = 0; i < 3; ++i) {
+      telemetry::Event e;
+      e.kind = telemetry::EventKind::SpanOpen;
+      e.name = "s" + std::to_string(i);
+      telemetry::bus().emit(std::move(e));
+    }
+  });
+  EXPECT_FALSE(telemetry::bus().enabled());
+  ASSERT_EQ(evs.size(), 3u);
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].seq, i + 1);  // reset_clock restarted the sequence
+    EXPECT_EQ(evs[i].tid, 0);      // single-threaded: the first (main) lane
+    EXPECT_GE(evs[i].t_s, 0.0);
+  }
+}
+
+TEST(TelemetryEngine, ParallelStreamIsPermutationOfSerial) {
+  const auto plan = small_plan();
+  const auto serial = capture([&] {
+    engine::ExperimentEngine eng;
+    eng.execute(plan);
+  });
+  engine::EngineOptions opt;
+  opt.jobs = 4;
+  const auto parallel = capture([&] {
+    engine::ExperimentEngine eng(opt);
+    eng.execute(plan);
+  });
+
+  // Serial runs entirely on the main lane; both streams carry the same
+  // events up to reordering, with identical deterministic payloads
+  // (including the modeled time of every cell).
+  for (const auto& e : serial) EXPECT_EQ(e.tid, 0);
+  auto ps = payloads(serial);
+  auto pp = payloads(parallel);
+  ASSERT_EQ(ps.size(), pp.size());
+  std::sort(ps.begin(), ps.end());
+  std::sort(pp.begin(), pp.end());
+  EXPECT_EQ(ps, pp);
+
+  // Global sequence order is contiguous in both schedules.
+  for (std::size_t i = 0; i < parallel.size(); ++i)
+    EXPECT_EQ(parallel[i].seq, i + 1);
+}
+
+TEST(TelemetryEngine, FinishCountsMatchEngineCounters) {
+  const auto dir = (std::filesystem::temp_directory_path() /
+                    "cubie_telemetry_counts")
+                       .string();
+  std::filesystem::remove_all(dir);
+  const auto plan = small_plan();
+
+  auto count_sources = [](const std::vector<telemetry::Event>& evs) {
+    std::map<std::string, std::size_t> n;
+    for (const auto& e : evs)
+      if (e.kind == telemetry::EventKind::CellFinish) ++n[e.source];
+    return n;
+  };
+
+  // Fresh compute, then a memoized re-execute, in one engine.
+  engine::EngineOptions opt;
+  opt.cache_dir = dir;
+  {
+    engine::ExperimentEngine eng(opt);
+    const auto evs = capture([&] {
+      eng.execute(plan);
+      eng.execute(plan);
+    });
+    const auto n = count_sources(evs);
+    const auto c = eng.counters();
+    EXPECT_GT(c.misses, 0u);
+    EXPECT_GT(c.memo_hits, 0u);
+    EXPECT_EQ(n.count("disk") ? n.at("disk") : 0u, c.disk_hits);
+    EXPECT_EQ(n.at("compute"), c.misses + c.traced_reruns);
+    EXPECT_EQ(n.at("memo"), c.memo_hits);
+    std::size_t total = 0;
+    for (const auto& [src, k] : n) total += k;
+    EXPECT_EQ(total,
+              c.misses + c.traced_reruns + c.memo_hits + c.disk_hits);
+  }
+
+  // A second engine over the same cache dir serves every cell from disk.
+  {
+    engine::ExperimentEngine eng(opt);
+    const auto evs = capture([&] { eng.execute(plan); });
+    const auto n = count_sources(evs);
+    const auto c = eng.counters();
+    EXPECT_GT(c.disk_hits, 0u);
+    EXPECT_EQ(c.misses, 0u);
+    EXPECT_EQ(n.at("disk"), c.disk_hits);
+    EXPECT_EQ(n.count("compute") ? n.at("compute") : 0u, 0u);
+    // Every disk hit was observed as a typed cache_load hit event too.
+    std::size_t load_hits = 0;
+    for (const auto& e : evs)
+      if (e.kind == telemetry::EventKind::CacheLoad && e.status == "hit")
+        ++load_hits;
+    EXPECT_EQ(load_hits, c.disk_hits);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryEngine, EveryStartHasOneFinish) {
+  const auto evs = capture([&] {
+    engine::ExperimentEngine eng;
+    eng.execute(small_plan());
+  });
+  std::map<std::string, int> open;
+  std::size_t starts = 0, finishes = 0;
+  for (const auto& e : evs) {
+    if (e.kind == telemetry::EventKind::CellStart) {
+      ++open[e.name];
+      ++starts;
+    } else if (e.kind == telemetry::EventKind::CellFinish) {
+      --open[e.name];
+      ++finishes;
+      EXPECT_GE(e.wall_s, 0.0);
+      EXPECT_GE(e.modeled_s, 0.0);
+    }
+  }
+  EXPECT_GT(starts, 0u);
+  EXPECT_EQ(starts, finishes);
+  for (const auto& [key, n] : open) EXPECT_EQ(n, 0) << key;
+}
+
+// Run `plan` serially with a JsonlSink and return the file's lines.
+std::vector<std::string> jsonl_lines_for(const engine::Plan& plan,
+                                         const std::string& path) {
+  {
+    telemetry::bus().reset_clock();
+    auto sink = std::make_shared<telemetry::JsonlSink>(path, "test");
+    EXPECT_TRUE(sink->ok());
+    telemetry::bus().add_sink(sink);
+    engine::ExperimentEngine eng;
+    eng.execute(plan);
+    telemetry::bus().remove_sink(sink.get());
+  }
+  std::ifstream is(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+// Mask the wall-clock fields (t_s, wall_s) of one JSONL line via the
+// in-repo parser, leaving everything else byte-exact.
+std::string mask_wall_clock(const std::string& line) {
+  std::string err;
+  auto j = report::Json::parse(line, &err);
+  EXPECT_TRUE(j) << err;
+  if (!j) return line;
+  if (j->find("t_s") != nullptr) (*j)["t_s"] = report::Json::number(0.0);
+  if (j->find("wall_s") != nullptr)
+    (*j)["wall_s"] = report::Json::number(0.0);
+  return j->dump(-1);
+}
+
+TEST(TelemetryJsonl, ByteStableAcrossSerialRerunsOnceClockMasked) {
+  const auto base =
+      (std::filesystem::temp_directory_path() / "cubie_events").string();
+  const auto plan = small_plan();
+  auto a = jsonl_lines_for(plan, base + "_a.jsonl");
+  auto b = jsonl_lines_for(plan, base + "_b.jsonl");
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  // Header line carries the schema version and is fully deterministic.
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_NE(a[0].find("\"cubie-events\""), std::string::npos);
+  EXPECT_NE(a[0].find("\"schema_version\":1"), std::string::npos);
+  for (std::size_t i = 1; i < a.size(); ++i)
+    EXPECT_EQ(mask_wall_clock(a[i]), mask_wall_clock(b[i])) << "line " << i;
+  std::remove((base + "_a.jsonl").c_str());
+  std::remove((base + "_b.jsonl").c_str());
+}
+
+TEST(TelemetryJsonl, EveryLineRoundTripsThroughParser) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cubie_events_rt.jsonl")
+          .string();
+  const auto lines = jsonl_lines_for(small_plan(), path);
+  ASSERT_GT(lines.size(), 1u);
+  for (const auto& line : lines) {
+    std::string err;
+    const auto j = report::Json::parse(line, &err);
+    ASSERT_TRUE(j) << err << ": " << line;
+    ASSERT_TRUE(j->is_object());
+    const auto* kind = j->find("kind");
+    ASSERT_NE(kind, nullptr);
+    EXPECT_TRUE(kind->is_string());
+    // Re-dumping the parsed object reproduces the line: the sink emits
+    // exactly the writer's compact form.
+    EXPECT_EQ(j->dump(-1), line);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryTrace, ChromeTraceIsValidWithDisjointCellLanes) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cubie_trace.json").string();
+  {
+    telemetry::bus().reset_clock();
+    auto sink = std::make_shared<telemetry::ChromeTraceSink>(path);
+    telemetry::bus().add_sink(sink);
+    engine::EngineOptions opt;
+    opt.jobs = 4;
+    engine::ExperimentEngine eng(opt);
+    eng.execute(small_plan());
+    // One traced rerun so the timeline carries nested span slices.
+    const auto* w = eng.workload("Scan");
+    ASSERT_NE(w, nullptr);
+    sim::Tracer tracer;
+    eng.run_traced(*w, core::Variant::TC, w->cases(64)[0], 64, tracer);
+    telemetry::bus().remove_sink(sink.get());
+  }
+
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  std::string err;
+  const auto j = report::Json::parse(ss.str(), &err);
+  ASSERT_TRUE(j) << err;
+  const auto* evs = j->find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  ASSERT_TRUE(evs->is_array());
+
+  std::map<int, std::vector<std::pair<double, double>>> cell_lanes;
+  std::size_t spans = 0, metas = 0;
+  for (std::size_t i = 0; i < evs->size(); ++i) {
+    const auto& e = evs->at(i);
+    ASSERT_TRUE(e.is_object());
+    const auto* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->as_string() == "M") {
+      ++metas;
+      continue;
+    }
+    if (ph->as_string() != "X") continue;
+    const double ts = e.find("ts")->as_number();
+    const double dur = e.find("dur")->as_number();
+    EXPECT_GE(dur, 0.0);
+    const int tid = static_cast<int>(e.find("tid")->as_number());
+    const std::string cat = e.find("cat")->as_string();
+    if (cat == "cell") {
+      cell_lanes[tid].emplace_back(ts, ts + dur);
+    } else {
+      EXPECT_EQ(cat, "span");
+      ++spans;
+    }
+  }
+  EXPECT_GT(spans, 0u);
+  EXPECT_GE(metas, 2u);  // process_name + at least one thread_name
+  ASSERT_FALSE(cell_lanes.empty());
+  // Cells in one lane never overlap: each worker thread runs serially.
+  for (auto& [tid, iv] : cell_lanes) {
+    std::sort(iv.begin(), iv.end());
+    for (std::size_t i = 1; i < iv.size(); ++i)
+      EXPECT_LE(iv[i - 1].second, iv[i].first) << "lane " << tid;
+  }
+  std::remove(path.c_str());
+}
+
+// A caller-owned workload whose run() throws for one case label, mirroring
+// tests/test_engine.cpp's EngineError coverage.
+class ThrowingWorkload final : public core::Workload {
+ public:
+  std::string name() const override { return "Throwing"; }
+  core::Quadrant quadrant() const override { return core::Quadrant::I; }
+  std::string dwarf() const override { return "test"; }
+  std::string baseline_name() const override { return "-"; }
+  bool has_baseline() const override { return false; }
+  std::vector<core::TestCase> cases(int) const override {
+    return {core::TestCase{"ok", {8}, ""}, core::TestCase{"boom", {8}, ""}};
+  }
+  core::RunOutput run(core::Variant, const core::TestCase& tc,
+                      const core::RunOptions&) const override {
+    if (tc.label == "boom") throw std::runtime_error("injected failure");
+    core::RunOutput out;
+    out.profile.useful_flops = 8.0;
+    out.values = {1.0};
+    return out;
+  }
+  std::vector<double> reference(const core::TestCase&) const override {
+    return {1.0};
+  }
+};
+
+// A sink that records how often it was flushed.
+class FlushCountingSink final : public telemetry::Sink {
+ public:
+  void on_event(const telemetry::Event& e) override { events.push_back(e); }
+  void flush() override { ++flushes; }
+  std::vector<telemetry::Event> events;
+  int flushes = 0;
+};
+
+TEST(TelemetryEngine, SinksFlushOnEngineErrorUnwind) {
+  const ThrowingWorkload w;
+  const auto cases = w.cases(1);
+  auto make_cell = [&](const core::TestCase& tc) {
+    engine::Cell c;
+    c.workload = &w;
+    c.variant = core::Variant::TC;
+    c.test_case = tc;
+    c.scale = 1;
+    c.key = engine::cell_key(w.name(), c.variant, tc, c.scale);
+    return c;
+  };
+  for (int jobs : {1, 4}) {
+    auto sink = std::make_shared<FlushCountingSink>();
+    telemetry::bus().reset_clock();
+    telemetry::bus().add_sink(sink);
+    engine::EngineOptions opt;
+    opt.jobs = jobs;
+    engine::ExperimentEngine eng(opt);
+    std::vector<engine::Cell> cells = {make_cell(cases[0]),
+                                       make_cell(cases[1])};
+    EXPECT_THROW(eng.execute(cells), engine::EngineError) << "jobs=" << jobs;
+    // The unwind path flushed every installed sink before rethrowing, so
+    // a failed run still leaves complete, usable sink output.
+    EXPECT_GE(sink->flushes, 1) << "jobs=" << jobs;
+    EXPECT_FALSE(sink->events.empty());
+    telemetry::bus().remove_sink(sink.get());
+  }
+}
+
+TEST(TelemetryCache, LoadAndStoreEventsCarryTypedStatus) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "cubie_telemetry_cache")
+          .string();
+  std::filesystem::remove_all(dir);
+  engine::DiskCache cache(dir);
+  core::RunOutput out;
+  out.values = {1.0, 2.0};
+
+  const auto evs = capture([&] {
+    EXPECT_EQ(cache.load("cell-a").status, engine::CacheStatus::Miss);
+    EXPECT_TRUE(cache.store("cell-a", out).ok());
+    EXPECT_TRUE(cache.load("cell-a").hit());
+    ASSERT_TRUE(cache.inject_fault("cell-a", engine::DiskCache::Fault::CorruptJson));
+    EXPECT_EQ(cache.load("cell-a").status, engine::CacheStatus::ParseError);
+  });
+
+  std::vector<std::pair<std::string, std::string>> got;
+  for (const auto& e : evs)
+    got.emplace_back(telemetry::event_kind_name(e.kind), e.status);
+  const std::vector<std::pair<std::string, std::string>> want = {
+      {"cache_load", "miss"},
+      {"cache_store", "stored"},
+      {"cache_load", "hit"},
+      {"cache_load", "parse-error"},
+  };
+  EXPECT_EQ(got, want);
+  for (const auto& e : evs) EXPECT_EQ(e.name, "cell-a");
+
+  // A disabled cache stays silent (status Disabled is not an outcome).
+  engine::DiskCache off("");
+  const auto quiet = capture([&] {
+    EXPECT_EQ(off.load("cell-a").status, engine::CacheStatus::Disabled);
+  });
+  EXPECT_TRUE(quiet.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryPayload, ExcludesScheduleStampsIncludesModeledTime) {
+  telemetry::Event a;
+  a.kind = telemetry::EventKind::CellFinish;
+  a.name = "k";
+  a.source = "compute";
+  a.modeled_s = 0.25;
+  telemetry::Event b = a;
+  b.seq = 99;
+  b.tid = 3;
+  b.t_s = 123.0;
+  b.wall_s = 7.0;
+  EXPECT_EQ(telemetry::event_payload(a), telemetry::event_payload(b));
+  b.modeled_s = 0.5;
+  EXPECT_NE(telemetry::event_payload(a), telemetry::event_payload(b));
+}
+
+TEST(TelemetryProgress, RendersDoneTotalAndHitRate) {
+  std::ostringstream os;
+  telemetry::ProgressSink sink(os, "t", 2);
+  telemetry::Event plan;
+  plan.kind = telemetry::EventKind::PlanStart;
+  plan.count = 2;
+  plan.t_s = 0.0;
+  sink.on_event(plan);
+  telemetry::Event f;
+  f.kind = telemetry::EventKind::CellFinish;
+  f.source = "compute";
+  f.wall_s = 0.5;
+  f.t_s = 0.5;
+  sink.on_event(f);
+  f.source = "memo";
+  f.t_s = 1.0;
+  sink.on_event(f);
+  // Post-plan memoized re-reads are not progress.
+  f.t_s = 1.5;
+  sink.on_event(f);
+  sink.flush();
+  const std::string text = os.str();
+  EXPECT_NE(text.find("2/2 cells"), std::string::npos);
+  EXPECT_NE(text.find("50% hits"), std::string::npos);
+  EXPECT_EQ(text.find("3/2"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(TraceNodeJson, PeakRssOmittedWhenUnknown) {
+  sim::TraceNode n;
+  n.name = "root";
+  n.wall_s = 0.5;
+  n.peak_rss_kb = 0;  // platform could not measure
+  const auto absent = report::to_json(n).dump(-1);
+  EXPECT_EQ(absent.find("peak_rss_kb"), std::string::npos);
+  n.peak_rss_kb = 2048;
+  const auto present = report::to_json(n).dump(-1);
+  EXPECT_NE(present.find("\"peak_rss_kb\":2048"), std::string::npos);
+}
+
+TEST(ReportMetrics, LowerIsBetterDirectionTable) {
+  EXPECT_TRUE(report::lower_is_better("time_ms"));
+  EXPECT_TRUE(report::lower_is_better("energy_j"));
+  EXPECT_TRUE(report::lower_is_better("max_err"));
+  EXPECT_TRUE(report::lower_is_better("host_wall_ms"));
+  EXPECT_TRUE(report::lower_is_better("fp16_tc_ms"));
+  EXPECT_FALSE(report::lower_is_better("gflops"));
+  EXPECT_FALSE(report::lower_is_better("speedup"));
+  EXPECT_FALSE(report::lower_is_better("gteps"));
+}
+
+report::MetricsReport history_report(double time_ms, double gflops) {
+  report::MetricsReport rep;
+  rep.tool = "fig_test";
+  rep.title = "history test";
+  rep.scale_divisor = 16;
+  auto& a = rep.add_record("GEMM", "TC", "H200", "c0");
+  a.set("time_ms", time_ms);
+  a.set("gflops", gflops);
+  auto& b = rep.add_record("GEMM", "TC", "H200", "c1");
+  b.set("time_ms", time_ms);
+  b.set("gflops", gflops);
+  return rep;
+}
+
+TEST(TelemetryHistory, SummarizeAppendLoadRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cubie_history.jsonl")
+          .string();
+  std::remove(path.c_str());
+  const auto e1 =
+      telemetry::summarize(history_report(2.0, 100.0), "sha-one");
+  EXPECT_EQ(e1.tool, "fig_test");
+  EXPECT_EQ(e1.scale, 16);
+  EXPECT_EQ(e1.records, 2u);
+  ASSERT_NE(e1.get("time_ms"), nullptr);
+  EXPECT_DOUBLE_EQ(*e1.get("time_ms"), 2.0);
+
+  std::string err;
+  ASSERT_TRUE(telemetry::append_entry(path, e1, &err)) << err;
+  ASSERT_TRUE(telemetry::append_entry(
+      path, telemetry::summarize(history_report(2.2, 98.0), "sha-two"),
+      &err))
+      << err;
+  const auto loaded = telemetry::load_history(path, &err);
+  ASSERT_TRUE(loaded) << err;
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].sha, "sha-one");
+  EXPECT_EQ((*loaded)[1].sha, "sha-two");
+  ASSERT_NE((*loaded)[1].get("gflops"), nullptr);
+  EXPECT_DOUBLE_EQ(*(*loaded)[1].get("gflops"), 98.0);
+  std::remove(path.c_str());
+}
+
+std::vector<telemetry::HistoryEntry> history_with_latest(double time_ms,
+                                                         double gflops) {
+  std::vector<telemetry::HistoryEntry> entries;
+  for (int i = 0; i < 3; ++i)
+    entries.push_back(telemetry::summarize(
+        history_report(1.0 + 0.01 * i, 100.0 - i), "prior"));
+  entries.push_back(
+      telemetry::summarize(history_report(time_ms, gflops), "latest"));
+  return entries;
+}
+
+TEST(TelemetryTrend, FlagsDirectionAwareRegressions) {
+  // Slower time (lower-is-better) regresses; faster does not.
+  auto rep = telemetry::trend(history_with_latest(1.3, 99.0), 0.10);
+  EXPECT_EQ(rep.prior, 3u);
+  EXPECT_FALSE(rep.pass());
+  bool time_flagged = false;
+  for (const auto& d : rep.deltas) {
+    if (d.metric == "time_ms") {
+      time_flagged = d.regression;
+      EXPECT_GT(d.worse, 0.10);
+    }
+    if (d.metric == "gflops") EXPECT_FALSE(d.regression);
+  }
+  EXPECT_TRUE(time_flagged);
+
+  // Lower throughput (higher-is-better) regresses.
+  rep = telemetry::trend(history_with_latest(1.0, 80.0), 0.10);
+  EXPECT_FALSE(rep.pass());
+
+  // Within tolerance: no regression either way.
+  rep = telemetry::trend(history_with_latest(1.05, 97.0), 0.10);
+  EXPECT_TRUE(rep.pass());
+  EXPECT_FALSE(rep.deltas.empty());
+
+  // Improvements never fail, however large.
+  rep = telemetry::trend(history_with_latest(0.2, 500.0), 0.10);
+  EXPECT_TRUE(rep.pass());
+
+  // --metric restricts the judgement.
+  rep = telemetry::trend(history_with_latest(1.3, 80.0), 0.10, "gflops");
+  ASSERT_EQ(rep.deltas.size(), 1u);
+  EXPECT_EQ(rep.deltas[0].metric, "gflops");
+}
+
+TEST(TelemetryTrend, NoPriorsMeansNothingToJudge) {
+  std::vector<telemetry::HistoryEntry> entries = {
+      telemetry::summarize(history_report(1.0, 100.0), "only")};
+  const auto rep = telemetry::trend(entries, 0.10);
+  EXPECT_EQ(rep.prior, 0u);
+  EXPECT_TRUE(rep.deltas.empty());
+  EXPECT_TRUE(rep.pass());
+
+  // A different tool's history does not judge this one.
+  auto other = telemetry::summarize(history_report(10.0, 1.0), "other");
+  other.tool = "other_tool";
+  entries.insert(entries.begin(), other);
+  const auto rep2 = telemetry::trend(entries, 0.10);
+  EXPECT_EQ(rep2.prior, 0u);
+  EXPECT_TRUE(rep2.pass());
+}
+
+}  // namespace
+}  // namespace cubie

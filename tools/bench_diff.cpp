@@ -29,28 +29,6 @@ int usage() {
   return 2;
 }
 
-// True if a smaller value of this metric is better. Time-, energy-, and
-// error-like quantities regress upward; everything else (throughput,
-// speedup, utilization, coverage) regresses downward.
-bool lower_is_better(const std::string& name) {
-  static const char* kPrefixes[] = {"time", "t_", "wall", "host_wall",
-                                    "energy", "edp", "power", "avg_power",
-                                    "peak_power", "err", "avg_err", "max_err",
-                                    "pad", "floor", "dram_bytes", "naive",
-                                    "fused", "pairwise", "lanes"};
-  for (const char* p : kPrefixes) {
-    if (name.rfind(p, 0) == 0) return true;
-  }
-  // Suffix forms like fp64_avg_err, fp16_tc_ms, window_energy_j.
-  static const char* kSuffixes[] = {"_err", "_ms", "_us", "_s", "_j", "_w"};
-  for (const char* s : kSuffixes) {
-    const std::size_t len = std::string(s).size();
-    if (name.size() >= len && name.compare(name.size() - len, len, s) == 0)
-      return true;
-  }
-  return false;
-}
-
 struct Change {
   std::string key;
   std::string metric;
@@ -98,6 +76,8 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Change> regressions, improvements;
+  Change max_change;
+  double max_abs_worse = -1.0;
   std::size_t compared = 0, missing = 0;
   for (const auto& b : base->records) {
     const report::MetricRecord* c = nullptr;
@@ -122,8 +102,13 @@ int main(int argc, char** argv) {
       ++compared;
       if (bv == 0.0 || !std::isfinite(bv) || !std::isfinite(*cv)) continue;
       const double delta = (*cv - bv) / std::fabs(bv);
-      // Positive `worse` means the candidate moved in the bad direction.
-      const double worse = lower_is_better(name) ? delta : -delta;
+      // Positive `worse` means the candidate moved in the bad direction
+      // (direction table shared with `cubie trend` via common/report).
+      const double worse = report::lower_is_better(name) ? delta : -delta;
+      if (std::fabs(worse) > max_abs_worse) {
+        max_abs_worse = std::fabs(worse);
+        max_change = {b.key(), name, bv, *cv, worse};
+      }
       if (worse > tol) {
         regressions.push_back({b.key(), name, bv, *cv, worse});
       } else if (worse < -tol) {
@@ -147,5 +132,18 @@ int main(int argc, char** argv) {
   std::cout << compared << " metrics compared, " << regressions.size()
             << " regression(s), " << improvements.size()
             << " improvement(s), " << missing << " missing\n";
+  if (regressions.empty()) {
+    // One-line success summary: the largest observed move (either
+    // direction), so a quiet diff still says how quiet it was.
+    if (max_abs_worse >= 0.0) {
+      std::cout << "OK: max |delta| "
+                << common::fmt_double(max_abs_worse * 100.0, 2) << "% ("
+                << max_change.key << " :: " << max_change.metric
+                << ") within tol "
+                << common::fmt_double(tol * 100.0, 1) << "%\n";
+    } else {
+      std::cout << "OK: no overlapping finite metrics to compare\n";
+    }
+  }
   return regressions.empty() ? 0 : 1;
 }

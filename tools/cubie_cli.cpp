@@ -12,17 +12,29 @@
 //                        [--scale N] [--json file] [--cache DIR]
 //   cubie check [workload...] [--case rep|all] [--scale N] [--json file]
 //                        [--jobs N] [--cache DIR] [--perturb EPS]
+//   cubie record --json report.json [--history FILE] [--sha SHA]
+//                        [--perturb EPS]
+//   cubie trend [--history FILE] [--tol FRAC] [--metric NAME]
 //
 // run, profile, and check go through engine::ExperimentEngine: each unique
 // (workload, variant, case, scale) cell executes once and is re-priced on
 // every requested GPU; --cache persists cells across invocations and
-// --jobs fans the functional runs out over a thread pool.
+// --jobs fans the functional runs out over a thread pool. They also accept
+// the Cubie-Scope flags --events FILE (JSONL event log), --trace-out FILE
+// (Chrome trace_event timeline), and --progress (live stderr progress).
 //
 // check is the Cubie-Check differential conformance harness (src/check/):
 // it judges every non-baseline variant against the baseline variant (or
 // the CPU serial reference) under Table 6-derived tolerances and exits 1
 // on any violation. --perturb deliberately skews the outputs to prove the
 // harness rejects out-of-tolerance results (used by ctest).
+//
+// record / trend are the Cubie-Scope bench-history regression store
+// (src/telemetry/history.hpp): record appends one summarized report to
+// BENCH_history.jsonl; trend judges the newest entry against the rolling
+// median of its predecessors and exits 1 past the tolerance. record's
+// --perturb skews the metrics before appending so CI can prove trend
+// rejects a regressed entry. See docs/OBSERVABILITY.md.
 
 #include "check/check.hpp"
 #include "common/metrics.hpp"
@@ -32,8 +44,11 @@
 #include "engine/engine.hpp"
 #include "sim/model.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/history.hpp"
+#include "telemetry/sinks.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
@@ -57,7 +72,12 @@ int usage() {
       "  cubie profile <workload> [--variant V] [--case I] [--gpu G]\n"
       "            [--scale N] [--json file] [--cache DIR]\n"
       "  cubie check [workload...] [--case rep|all] [--scale N]\n"
-      "            [--json file] [--jobs N] [--cache DIR] [--perturb EPS]\n";
+      "            [--json file] [--jobs N] [--cache DIR] [--perturb EPS]\n"
+      "  cubie record --json report.json [--history FILE] [--sha SHA]\n"
+      "            [--perturb EPS]\n"
+      "  cubie trend [--history FILE] [--tol FRAC] [--metric NAME]\n"
+      "run/profile/check also accept [--events FILE] [--trace-out FILE]\n"
+      "[--progress] (Cubie-Scope telemetry; see docs/OBSERVABILITY.md)\n";
   return 2;
 }
 
@@ -86,6 +106,25 @@ int cmd_list(engine::ExperimentEngine& eng) {
                w->baseline_name(), variants});
   }
   t.print(std::cout);
+
+  // The modeled devices (paper Table 5): every spec the run/profile/check
+  // commands can price cells on via --gpu.
+  std::cout << "\ndevices:\n";
+  common::Table d({"gpu", "SMs", "clock_GHz", "fp64_tc_TFLOPs",
+                   "fp64_cc_TFLOPs", "fp16_tc_TFLOPs", "dram_GB/s",
+                   "dram_GiB", "tdp_W"});
+  for (sim::Gpu g : sim::all_gpus()) {
+    const sim::DeviceSpec& s = sim::spec_for(g);
+    d.add_row({s.name, std::to_string(s.num_sm),
+               common::fmt_double(s.clock_hz / 1e9, 2),
+               common::fmt_double(s.fp64_tc_peak / 1e12, 1),
+               common::fmt_double(s.fp64_cc_peak / 1e12, 1),
+               common::fmt_double(s.fp16_tc_peak / 1e12, 0),
+               common::fmt_double(s.dram_bw / 1e9, 0),
+               common::fmt_double(s.dram_capacity / (1024.0 * 1024 * 1024), 0),
+               common::fmt_double(s.tdp_w, 0)});
+  }
+  d.print(std::cout);
   return 0;
 }
 
@@ -203,6 +242,78 @@ int cmd_check(engine::ExperimentEngine& eng,
   return conf.pass() ? 0 : 1;
 }
 
+// Append one summarized --json report to the bench history. `perturb`
+// multiplies every metric mean by (1 + perturb) before appending — the
+// falsifiability hook ctest/CI use to prove `cubie trend` rejects a
+// regressed entry.
+int cmd_record(const std::string& json_path, const std::string& history_path,
+               std::string sha, double perturb) {
+  if (json_path.empty()) {
+    std::cerr << "cubie record needs --json <report.json>\n";
+    return 2;
+  }
+  std::string err;
+  const auto rep = report::MetricsReport::read_file(json_path, &err);
+  if (!rep) {
+    std::cerr << "cubie record: " << json_path << ": " << err << '\n';
+    return 2;
+  }
+  if (sha.empty()) {
+    const char* env = std::getenv("GITHUB_SHA");
+    sha = env != nullptr && *env != '\0' ? env : "local";
+  }
+  telemetry::HistoryEntry e = telemetry::summarize(*rep, std::move(sha));
+  if (perturb != 0.0) {
+    for (auto& [name, value] : e.metrics) value *= 1.0 + perturb;
+  }
+  if (!telemetry::append_entry(history_path, e, &err)) {
+    std::cerr << "cubie record: " << err << '\n';
+    return 1;
+  }
+  std::cout << "recorded " << e.tool << " @ " << e.sha << " (scale "
+            << e.scale << ", " << e.metrics.size() << " metric(s) over "
+            << e.records << " record(s)) -> " << history_path << '\n';
+  return 0;
+}
+
+// Judge the newest history entry against the rolling median of its
+// predecessors; exit 1 on any direction-aware regression beyond `tol`.
+int cmd_trend(const std::string& history_path, double tol,
+              const std::string& only_metric) {
+  std::string err;
+  const auto entries = telemetry::load_history(history_path, &err);
+  if (!entries) {
+    std::cerr << "cubie trend: " << err << '\n';
+    return 2;
+  }
+  if (entries->empty()) {
+    std::cout << "cubie trend: " << history_path << " is empty\n";
+    return 0;
+  }
+  const auto rep = telemetry::trend(*entries, tol, only_metric);
+  std::cout << "cubie trend: " << rep.tool << " @ " << rep.sha << " (scale "
+            << rep.scale << ") vs median of " << rep.prior
+            << " prior entr" << (rep.prior == 1 ? "y" : "ies") << " (tol "
+            << common::fmt_double(tol * 100.0, 1) << "%)\n";
+  if (rep.prior == 0) {
+    std::cout << "no prior entries with this (tool, scale): nothing to "
+                 "judge\n";
+    return 0;
+  }
+  common::Table t({"metric", "median", "latest", "worse_%", "verdict"});
+  std::size_t regressions = 0;
+  for (const auto& d : rep.deltas) {
+    if (d.regression) ++regressions;
+    t.add_row({d.metric, common::fmt_sci(d.median), common::fmt_sci(d.latest),
+               common::fmt_double(d.worse * 100.0, 2),
+               d.regression ? "REGRESSION" : "ok"});
+  }
+  t.print(std::cout);
+  std::cout << rep.deltas.size() << " metric(s) judged, " << regressions
+            << " regression(s)\n";
+  return rep.pass() ? 0 : 1;
+}
+
 int cmd_cases(const core::Workload& w, int scale) {
   common::Table t({"index", "label", "dataset"});
   int i = 0;
@@ -226,8 +337,13 @@ int main(int argc, char** argv) {
   std::string dataset;  // optional .mtx path for the sparse workloads
   std::string json_path;
   engine::EngineOptions eng_opts;
+  telemetry::SinkConfig scope;
+  scope.tool = "cubie";
   bool errors = false, csv = false;
   double perturb = 0.0;
+  std::string history_path = telemetry::kDefaultHistoryPath;
+  std::string sha, trend_metric;
+  double tol = 0.10;
   // check accepts any number of workload names; every other command takes
   // at most one.
   std::vector<std::string> positionals;
@@ -249,6 +365,13 @@ int main(int argc, char** argv) {
       eng_opts.jobs = std::max(1, std::atoi(next("--jobs").c_str()));
     else if (args[i] == "--cache") eng_opts.cache_dir = next("--cache");
     else if (args[i] == "--perturb") perturb = std::atof(next("--perturb").c_str());
+    else if (args[i] == "--events") scope.events_path = next("--events");
+    else if (args[i] == "--trace-out") scope.trace_path = next("--trace-out");
+    else if (args[i] == "--progress") scope.progress = true;
+    else if (args[i] == "--history") history_path = next("--history");
+    else if (args[i] == "--sha") sha = next("--sha");
+    else if (args[i] == "--tol") tol = std::atof(next("--tol").c_str());
+    else if (args[i] == "--metric") trend_metric = next("--metric");
     else if (args[i] == "--errors") errors = true;
     else if (args[i] == "--csv") csv = true;
     else if (!args[i].empty() && args[i][0] == '-') return usage();
@@ -258,7 +381,14 @@ int main(int argc, char** argv) {
   const std::string workload_name =
       positionals.empty() ? std::string() : positionals[0];
 
+  // The history commands never touch the engine.
+  if (args[0] == "record")
+    return cmd_record(json_path, history_path, std::move(sha), perturb);
+  if (args[0] == "trend") return cmd_trend(history_path, tol, trend_metric);
+
+  scope.jobs = eng_opts.jobs;
   engine::ExperimentEngine eng(eng_opts);
+  const telemetry::SinkSet sinks = telemetry::install(scope);
   if (args[0] == "list") return cmd_list(eng);
 
   if (args[0] == "check")

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Integration test for the Cubie-Scope bench-history store, run from ctest:
+#   test_trend.sh <cubie-binary>
+# Records a small report three times to seed a history, checks an
+# unperturbed fourth entry passes `cubie trend`, then appends a perturbed
+# entry (every metric skewed 30% — past tolerance in at least one
+# direction) and checks trend flags it with exit 1.
+set -eu
+
+CUBIE="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+HIST="$WORK/history.jsonl"
+
+"$CUBIE" profile GEMM --scale 16 --json "$WORK/rep.json" > /dev/null
+
+for sha in aaa bbb ccc; do
+  "$CUBIE" record --json "$WORK/rep.json" --history "$HIST" --sha "$sha"
+done
+
+# Same report again: zero delta against the median, exit 0.
+"$CUBIE" record --json "$WORK/rep.json" --history "$HIST" --sha ddd
+"$CUBIE" trend --history "$HIST" --tol 0.10
+
+# A 30% across-the-board skew: time-like metrics regress, must exit 1
+# (and only 1 - not a usage/parse error).
+"$CUBIE" record --json "$WORK/rep.json" --history "$HIST" --sha eee \
+         --perturb 0.30
+set +e
+"$CUBIE" trend --history "$HIST" --tol 0.10
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+  echo "FAIL: expected exit 1 on perturbed history entry, got $rc" >&2
+  exit 1
+fi
+
+# Restricted to a higher-is-better metric, the same skew is an improvement.
+"$CUBIE" trend --history "$HIST" --tol 0.10 --metric spans
+
+echo "trend integration test OK"
