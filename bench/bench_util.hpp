@@ -11,6 +11,7 @@
 
 #include "check/check.hpp"
 #include "common/metrics.hpp"
+#include "common/perf.hpp"
 #include "common/report.hpp"
 #include "common/table.hpp"
 #include "core/kernels.hpp"
@@ -173,33 +174,13 @@ inline std::vector<core::Variant> available_variants(const core::Workload& w) {
   return core::available_variants(w);
 }
 
-// Performance metric for Figure 3: useful work rate per second. For
-// floating-point workloads `useful_flops` counts FLOPs and the rate is
-// FLOP/s; for non-floating-point workloads (BFS) the Workload contract
-// stores traversed edges there, so the same ratio is edges/s (TEPS). The
-// workload decides which convention applies via is_floating_point() —
-// tests/test_benchutil.cpp pins the BFS metric to edges/s.
-inline double perf_metric(const core::Workload& w,
-                          const sim::KernelProfile& prof, double time_s) {
-  if (time_s <= 0.0) return 0.0;
-  if (!w.is_floating_point()) {
-    // Workload contract: useful_flops carries the traversed-edge count for
-    // non-floating-point workloads (BfsWorkload::run).
-    const double traversed_edges = prof.useful_flops;
-    return traversed_edges / time_s;  // TEPS
-  }
-  return prof.useful_flops / time_s;  // FLOP/s
-}
-
-// Unit label matching perf_metric, at giga scale (Figure 3 axis labels and
-// JSON metric names).
-inline std::string perf_unit(const core::Workload& w) {
-  return w.is_floating_point() ? "GFLOP/s" : "GTEPS";
-}
-
-inline std::string perf_metric_name(const core::Workload& w) {
-  return w.is_floating_point() ? "gflops" : "gteps";
-}
+// Performance metric for Figure 3: useful work rate per second (FLOP/s, or
+// TEPS for BFS). The implementations moved to src/common/perf.hpp so the
+// Cubie-Serve report builder prices and labels rates identically to the
+// benches; these aliases keep every bench binary source-compatible.
+using perf::perf_metric;
+using perf::perf_metric_name;
+using perf::perf_unit;
 
 // Case-averaged speedup of variant `num` over variant `den` on one device.
 struct SpeedupRow {

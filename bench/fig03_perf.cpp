@@ -10,6 +10,7 @@
 // cells (engine misses == suite x variants x cases, pinned by CI).
 
 #include "bench_util.hpp"
+#include "serve/service.hpp"
 
 #include <iostream>
 
@@ -24,6 +25,11 @@ int main(int argc, char** argv) {
             << "units: GFLOP/s (BFS: GTEPS)\n\n";
 
   bench.warm(engine::Plan::suite(s));
+  // The JSON records are built by the same routine Cubie-Serve uses for a
+  // "suite" request, so a served sweep bench_diffs cleanly against this
+  // binary's report; the loop below only renders the human tables from the
+  // memoized cells.
+  serve::add_suite_perf_records(bench.engine, s, bench.report);
 
   for (const auto& w : bench.suite()) {
     std::cout << "--- " << w->name() << " (Quadrant "
@@ -45,13 +51,6 @@ int main(int argc, char** argv) {
           const double rate =
               benchutil::perf_metric(*w, out.profile, pred.time_s);
           row.push_back(common::fmt_double(rate / 1e9, 1));
-          auto& rec = bench.record(w->name(), core::variant_name(v),
-                                   sim::gpu_name(gpu), tc.label);
-          rec.set(benchutil::perf_metric_name(*w), rate / 1e9);
-          rec.set("time_ms", pred.time_s * 1e3);
-          rec.set("dram_bytes", out.profile.dram_bytes);
-          rec.set("useful_flops", out.profile.useful_flops);
-          rec.set("launches", out.profile.launches);
         }
         t.add_row(std::move(row));
       }

@@ -1,0 +1,43 @@
+#pragma once
+// Workload-aware performance-metric helpers, shared by the bench harness
+// (bench/bench_util.hpp) and the Cubie-Serve report builder
+// (src/serve/service.cpp). Both must label and compute the Figure-3 rate
+// identically, or a served report could never be byte-identical to the
+// bench-produced one.
+
+#include "core/workload.hpp"
+#include "sim/profile.hpp"
+
+#include <string>
+
+namespace cubie::perf {
+
+// Useful work rate per second. For floating-point workloads `useful_flops`
+// counts FLOPs and the rate is FLOP/s; for non-floating-point workloads
+// (BFS) the Workload contract stores traversed edges there, so the same
+// ratio is edges/s (TEPS). The workload decides which convention applies
+// via is_floating_point() — tests/test_benchutil.cpp pins the BFS metric
+// to edges/s.
+inline double perf_metric(const core::Workload& w,
+                          const sim::KernelProfile& prof, double time_s) {
+  if (time_s <= 0.0) return 0.0;
+  if (!w.is_floating_point()) {
+    // Workload contract: useful_flops carries the traversed-edge count for
+    // non-floating-point workloads (BfsWorkload::run).
+    const double traversed_edges = prof.useful_flops;
+    return traversed_edges / time_s;  // TEPS
+  }
+  return prof.useful_flops / time_s;  // FLOP/s
+}
+
+// Unit label matching perf_metric, at giga scale (Figure 3 axis labels and
+// JSON metric names).
+inline std::string perf_unit(const core::Workload& w) {
+  return w.is_floating_point() ? "GFLOP/s" : "GTEPS";
+}
+
+inline std::string perf_metric_name(const core::Workload& w) {
+  return w.is_floating_point() ? "gflops" : "gteps";
+}
+
+}  // namespace cubie::perf

@@ -441,11 +441,25 @@ std::string MetricRecord::key() const {
 }
 
 bool lower_is_better(const std::string& metric_name) {
+  // Throughput metrics first: "req_per_s" would otherwise be caught by the
+  // "_s" (seconds) suffix below, flipping its regression direction. Any
+  // "<work>_per_<time>" rate is higher-is-better by construction.
+  static const char* kHigherPrefixes[] = {"req_per", "throughput",
+                                          "completed"};
+  for (const char* p : kHigherPrefixes) {
+    if (metric_name.rfind(p, 0) == 0) return false;
+  }
+  if (metric_name.find("_per_") != std::string::npos) return false;
   static const char* kPrefixes[] = {"time", "t_", "wall", "host_wall",
                                     "energy", "edp", "power", "avg_power",
                                     "peak_power", "err", "avg_err", "max_err",
                                     "pad", "floor", "dram_bytes", "naive",
-                                    "fused", "pairwise", "lanes"};
+                                    "fused", "pairwise", "lanes",
+                                    // Cubie-Serve load-generator metrics:
+                                    // latency quantiles and failure counts
+                                    // regress upward.
+                                    "p50", "p95", "p99", "latency",
+                                    "rejected"};
   for (const char* p : kPrefixes) {
     if (metric_name.rfind(p, 0) == 0) return true;
   }
@@ -579,6 +593,7 @@ Json to_json(const EngineStats& s) {
   j["cells"] = Json::number(s.cells);
   j["memo_hits"] = Json::number(s.memo_hits);
   j["disk_hits"] = Json::number(s.disk_hits);
+  j["coalesced_hits"] = Json::number(s.coalesced_hits);
   j["misses"] = Json::number(s.misses);
   j["traced_reruns"] = Json::number(s.traced_reruns);
   j["disk_errors"] = Json::number(s.disk_errors);
@@ -709,6 +724,7 @@ std::optional<MetricsReport> MetricsReport::from_json(const Json& j,
     s.cells = get_number(*eng, "cells", 0.0);
     s.memo_hits = get_number(*eng, "memo_hits", 0.0);
     s.disk_hits = get_number(*eng, "disk_hits", 0.0);
+    s.coalesced_hits = get_number(*eng, "coalesced_hits", 0.0);
     s.misses = get_number(*eng, "misses", 0.0);
     s.traced_reruns = get_number(*eng, "traced_reruns", 0.0);
     s.disk_errors = get_number(*eng, "disk_errors", 0.0);

@@ -18,7 +18,8 @@
 //       ...
 //     ],
 //     "traces": [ <trace node>, ... ],  // only when tracing was on
-//     "engine": {"cells": N, "memo_hits": N, "disk_hits": N, "misses": N,
+//     "engine": {"cells": N, "memo_hits": N, "disk_hits": N,
+//                "coalesced_hits": N, "misses": N,
 //                "exec_wall_s": S, "max_cell_wall_s": S}
 //                                       // only when Cubie-Engine executed
 //   }
@@ -129,6 +130,9 @@ struct EngineStats {
   double cells = 0.0;      // unique cells materialized in the process
   double memo_hits = 0.0;
   double disk_hits = 0.0;
+  // Requests served by another thread's in-flight computation of the same
+  // cell (single-flight coalescing; Cubie-Serve's concurrency guarantee).
+  double coalesced_hits = 0.0;
   double misses = 0.0;
   double traced_reruns = 0.0;  // traced re-runs of already-memoized cells
   double disk_errors = 0.0;    // unusable/unwritable disk-cache files

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cctype>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
@@ -87,6 +88,11 @@ struct ExperimentEngine::Impl {
   // Cell key -> result. unique_ptr keeps returned references stable across
   // rehashes; entries are inserted fully formed under `mu`.
   std::unordered_map<std::string, std::unique_ptr<core::RunOutput>> cells;
+  // Single-flight: keys whose disk load / functional execution is currently
+  // owned by some thread. Other threads requesting the same key wait on
+  // `flight_cv` instead of computing redundantly (coalesced_hits).
+  std::unordered_set<std::string> inflight;
+  std::condition_variable flight_cv;
   // One record per cells entry, in insertion order (see materialized()).
   std::vector<MaterializedCell> order;
   EngineCounters counters;
@@ -134,31 +140,60 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
                                              int scale) {
   const std::string key = cell_key(w.name(), v, tc, scale);
   // Telemetry (Cubie-Scope): each request emits one cell_start/cell_finish
-  // pair, tagged "memo" / "disk" / "compute" by where it was served from —
-  // the per-source finish counts match the EngineCounters exactly. Events
-  // are emitted outside `mu`; the bus has its own ordering lock.
+  // pair, tagged "memo" / "disk" / "coalesced" / "compute" by where it was
+  // served from — the per-source finish counts match the EngineCounters
+  // exactly. Events are emitted outside `mu`; the bus has its own ordering
+  // lock.
   const bool scoped = telemetry::bus().enabled();
   const auto t_req =
       scoped ? std::chrono::steady_clock::now()
              : std::chrono::steady_clock::time_point{};
+  // Admission: serve from the memo cache, coalesce onto an in-flight
+  // computation of the same key, or become its single-flight leader.
   {
-    const core::RunOutput* res = nullptr;
-    {
-      std::lock_guard<std::mutex> lk(impl_->mu);
-      auto it = impl_->cells.find(key);
-      if (it != impl_->cells.end()) {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    for (;;) {
+      if (auto it = impl_->cells.find(key); it != impl_->cells.end()) {
         ++impl_->counters.memo_hits;
-        res = it->second.get();
+        const core::RunOutput* res = it->second.get();
+        lk.unlock();
+        if (scoped) {
+          emit_cell_start(key);
+          emit_cell_finish(key, "memo", seconds_since(t_req), *res);
+        }
+        return *res;
+      }
+      if (impl_->inflight.count(key) == 0) break;  // become the leader
+      // Another thread owns this cell's disk load / execution: wait for it
+      // instead of computing redundantly. A wake-up with the cell present
+      // is a coalesced hit; a wake-up with the leader gone and no cell
+      // (the leader's run threw) loops around and takes over leadership.
+      impl_->flight_cv.wait(lk);
+      if (auto it = impl_->cells.find(key); it != impl_->cells.end()) {
+        ++impl_->counters.coalesced_hits;
+        const core::RunOutput* res = it->second.get();
+        lk.unlock();
+        if (scoped) {
+          emit_cell_start(key);
+          emit_cell_finish(key, "coalesced", seconds_since(t_req), *res);
+        }
+        return *res;
       }
     }
-    if (res) {
-      if (scoped) {
-        emit_cell_start(key);
-        emit_cell_finish(key, "memo", seconds_since(t_req), *res);
-      }
-      return *res;
-    }
+    impl_->inflight.insert(key);
   }
+  // Leadership is released on every exit path — including a throwing
+  // Workload::run — so waiters are never stranded on the condition
+  // variable.
+  struct FlightGuard {
+    Impl* impl;
+    const std::string& key;
+    ~FlightGuard() {
+      std::lock_guard<std::mutex> lk(impl->mu);
+      impl->inflight.erase(key);
+      impl->flight_cv.notify_all();
+    }
+  } flight_guard{impl_.get(), key};
   if (impl_->disk.enabled()) {
     auto loaded = impl_->disk.load(key);
     if (loaded.hit()) {
@@ -173,7 +208,9 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
           impl_->record(w, v, tc, scale, key);
           ++impl_->counters.disk_hits;
         } else {
-          ++impl_->counters.memo_hits;  // raced with another thread
+          // Lost a race with run_traced (which executes unconditionally
+          // and does not take the in-flight lease).
+          ++impl_->counters.memo_hits;
           source = "memo";
         }
         res = it->second.get();
@@ -210,7 +247,7 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
       impl_->counters.max_cell_wall_s =
           std::max(impl_->counters.max_cell_wall_s, dt);
     } else {
-      ++impl_->counters.memo_hits;  // another thread finished first
+      ++impl_->counters.memo_hits;  // a concurrent run_traced finished first
       source = "memo";
     }
     inserted = ins;
@@ -416,6 +453,7 @@ report::EngineStats ExperimentEngine::stats() const {
   s.cells = static_cast<double>(impl_->cells.size());
   s.memo_hits = static_cast<double>(impl_->counters.memo_hits);
   s.disk_hits = static_cast<double>(impl_->counters.disk_hits);
+  s.coalesced_hits = static_cast<double>(impl_->counters.coalesced_hits);
   s.misses = static_cast<double>(impl_->counters.misses);
   s.traced_reruns = static_cast<double>(impl_->counters.traced_reruns);
   s.disk_errors = static_cast<double>(impl_->counters.disk_errors);
@@ -427,7 +465,8 @@ report::EngineStats ExperimentEngine::stats() const {
 bool ExperimentEngine::active() const {
   std::lock_guard<std::mutex> lk(impl_->mu);
   return impl_->counters.memo_hits + impl_->counters.disk_hits +
-             impl_->counters.misses + impl_->counters.traced_reruns >
+             impl_->counters.coalesced_hits + impl_->counters.misses +
+             impl_->counters.traced_reruns >
          0;
 }
 

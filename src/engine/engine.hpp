@@ -61,6 +61,12 @@ class EngineError : public std::runtime_error {
 struct EngineCounters {
   std::size_t memo_hits = 0;   // served from the in-process cell cache
   std::size_t disk_hits = 0;   // served from the disk cache
+  // Requests that arrived while another thread was already computing the
+  // same cell and were served by that single-flight computation: N
+  // concurrent identical requests perform exactly one Workload::run, the
+  // leader counts one miss and the N-1 waiters count here (Cubie-Serve's
+  // request coalescing is built on this).
+  std::size_t coalesced_hits = 0;
   std::size_t misses = 0;      // first functional executions in this process
   // Traced re-runs of already-memoized cells (run_traced must re-execute to
   // record spans; counted separately so `cubie profile` on a warm cache
@@ -105,7 +111,12 @@ class ExperimentEngine {
   const core::Workload* workload(const std::string& name);
 
   // Memoized execution of one cell. The returned reference stays valid for
-  // the engine's lifetime. Thread-safe.
+  // the engine's lifetime. Thread-safe, and single-flight per cell: when N
+  // threads request the same un-memoized cell concurrently, exactly one
+  // executes Workload::run (one miss) while the other N-1 block until the
+  // result lands and are counted as coalesced_hits. If the leader's run
+  // throws, one waiter is promoted to retry rather than caching the
+  // failure.
   const core::RunOutput& run(const core::Workload& w, core::Variant v,
                              const core::TestCase& tc, int scale);
 

@@ -1,0 +1,270 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace cubie::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buf_ = std::move(other.buf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::optional<Client> Client::connect(const Endpoint& ep,
+                                      std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<Client> {
+    if (error) *error = msg + ": " + std::strerror(errno);
+    return std::nullopt;
+  };
+  int fd = -1;
+  if (!ep.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.socket_path.size() >= sizeof(addr.sun_path)) {
+      if (error) *error = "socket path too long: " + ep.socket_path;
+      return std::nullopt;
+    }
+    std::strncpy(addr.sun_path, ep.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return fail("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return fail("connect " + ep.socket_path);
+    }
+  } else {
+    if (ep.tcp_port < 0) {
+      if (error) *error = "no endpoint: set socket_path or tcp_port";
+      return std::nullopt;
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return fail("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(ep.tcp_port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return fail("connect 127.0.0.1:" + std::to_string(ep.tcp_port));
+    }
+  }
+  Client c;
+  c.fd_ = fd;
+  return c;
+}
+
+bool Client::send_line(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> Client::recv_line() {
+  for (;;) {
+    const std::size_t pos = buf_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buf_.substr(0, pos);
+      buf_.erase(0, pos + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<report::Json> Client::call(const Request& r,
+                                         std::string* error) {
+  if (!send_line(request_to_json(r).dump(-1))) {
+    if (error) *error = "send failed: " + std::string(std::strerror(errno));
+    return std::nullopt;
+  }
+  auto line = recv_line();
+  if (!line) {
+    if (error) *error = "connection closed before a response arrived";
+    return std::nullopt;
+  }
+  std::string parse_err;
+  auto j = report::Json::parse(*line, &parse_err);
+  if (!j) {
+    if (error) *error = "unparseable response: " + parse_err;
+    return std::nullopt;
+  }
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// Load generator.
+
+double LoadgenResult::req_per_s() const {
+  return wall_s > 0 ? static_cast<double>(completed) / wall_s : 0.0;
+}
+
+double LoadgenResult::percentile_ms(double q) const {
+  if (latencies_ms.empty()) return 0.0;
+  // Nearest-rank: the smallest value with at least q% of samples at or
+  // below it.
+  const std::size_t n = latencies_ms.size();
+  std::size_t rank =
+      static_cast<std::size_t>(std::ceil(q / 100.0 * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return latencies_ms[rank - 1];
+}
+
+bool run_loadgen(const LoadgenOptions& opts, LoadgenResult& out,
+                 std::string* error) {
+  const int concurrency = std::max(1, opts.concurrency);
+  const int total = std::max(0, opts.requests);
+  if (opts.mix.empty()) {
+    if (error) *error = "empty request mix";
+    return false;
+  }
+
+  // Connect every worker up front so a dead server fails fast instead of
+  // counting as N transport errors.
+  std::vector<Client> clients;
+  clients.reserve(static_cast<std::size_t>(concurrency));
+  for (int i = 0; i < concurrency; ++i) {
+    auto c = Client::connect(opts.endpoint, error);
+    if (!c) return false;
+    clients.push_back(std::move(*c));
+  }
+
+  struct ThreadTally {
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    std::size_t transport_errors = 0;
+    std::vector<std::pair<std::string, std::size_t>> by_code;
+    std::vector<double> latencies_ms;
+  };
+  std::vector<ThreadTally> tallies(static_cast<std::size_t>(concurrency));
+  std::atomic<int> next{0};
+
+  auto fire = [&](int ti) {
+    Client& client = clients[static_cast<std::size_t>(ti)];
+    ThreadTally& tally = tallies[static_cast<std::size_t>(ti)];
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      Request req = opts.mix[static_cast<std::size_t>(i) % opts.mix.size()];
+      req.id = "lg-" + std::to_string(i);
+      if (opts.deadline_ms > 0) req.deadline_ms = opts.deadline_ms;
+      const auto t0 = Clock::now();
+      auto resp = client.call(req, nullptr);
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      if (!resp) {
+        ++tally.transport_errors;
+        return;  // this connection is dead; let the others finish
+      }
+      const report::Json* ok = resp->find("ok");
+      if (ok != nullptr && ok->is_bool() && ok->as_bool()) {
+        ++tally.completed;
+        tally.latencies_ms.push_back(ms);
+        continue;
+      }
+      ++tally.rejected;
+      std::string code = "unknown";
+      if (const report::Json* err = resp->find("error"))
+        if (const report::Json* c = err->find("code"); c && c->is_string())
+          code = c->as_string();
+      auto it = std::find_if(
+          tally.by_code.begin(), tally.by_code.end(),
+          [&](const auto& kv) { return kv.first == code; });
+      if (it == tally.by_code.end())
+        tally.by_code.emplace_back(code, 1);
+      else
+        ++it->second;
+    }
+  };
+
+  const auto t_start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(concurrency));
+  for (int i = 0; i < concurrency; ++i) threads.emplace_back(fire, i);
+  for (auto& t : threads) t.join();
+  out.wall_s = std::chrono::duration<double>(Clock::now() - t_start).count();
+
+  for (const auto& tally : tallies) {
+    out.completed += tally.completed;
+    out.rejected += tally.rejected;
+    out.transport_errors += tally.transport_errors;
+    out.latencies_ms.insert(out.latencies_ms.end(),
+                            tally.latencies_ms.begin(),
+                            tally.latencies_ms.end());
+    for (const auto& [code, n] : tally.by_code) {
+      auto it = std::find_if(
+          out.by_code.begin(), out.by_code.end(),
+          [&](const auto& kv) { return kv.first == code; });
+      if (it == out.by_code.end())
+        out.by_code.emplace_back(code, n);
+      else
+        it->second += n;
+    }
+  }
+  std::sort(out.latencies_ms.begin(), out.latencies_ms.end());
+  return true;
+}
+
+report::MetricsReport loadgen_report(const LoadgenResult& r) {
+  report::MetricsReport rep;
+  rep.tool = "cubie_loadgen";
+  rep.title = "Cubie-Serve load generator";
+  auto& rec = rep.add_record("loadgen", "mix", "-", "aggregate");
+  rec.set("req_per_s", r.req_per_s());
+  rec.set("p50_ms", r.percentile_ms(50));
+  rec.set("p95_ms", r.percentile_ms(95));
+  rec.set("p99_ms", r.percentile_ms(99));
+  rec.set("completed", static_cast<double>(r.completed));
+  rec.set("rejected", static_cast<double>(r.rejected));
+  return rep;
+}
+
+}  // namespace cubie::serve

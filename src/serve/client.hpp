@@ -1,0 +1,89 @@
+#pragma once
+// Cubie-Serve client side: a blocking line-protocol client plus the
+// `cubie loadgen` load generator. The load generator fires a configurable
+// request mix at a target concurrency and reduces the observed latencies
+// to a MetricsReport (tool "cubie_loadgen": req_per_s, p50/p95/p99_ms,
+// completed, rejected) so serving performance rides the same bench_diff /
+// `cubie trend` gating as every other benchmark.
+
+#include "common/report.hpp"
+#include "serve/protocol.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cubie::serve {
+
+// Where to connect: a Unix-domain socket path, or (when empty) localhost
+// TCP on `tcp_port`.
+struct Endpoint {
+  std::string socket_path;
+  int tcp_port = -1;
+};
+
+// A blocking client over one connection. One outstanding request at a time
+// (call() pairs one sent line with one received line).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static std::optional<Client> connect(const Endpoint& ep,
+                                       std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+  bool send_line(const std::string& line);
+  // Next response line (without the '\n'); nullopt on EOF / error.
+  std::optional<std::string> recv_line();
+  // send + recv + parse. nullopt (with *error) on transport or JSON
+  // failure; protocol-level errors come back as the parsed envelope
+  // (ok=false) for the caller to inspect.
+  std::optional<report::Json> call(const Request& r, std::string* error);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes received past the last returned line
+};
+
+struct LoadgenOptions {
+  Endpoint endpoint;
+  int concurrency = 4;  // client threads, one connection each
+  int requests = 64;    // total requests across all threads
+  // The request mix, assigned round-robin by global request index. Request
+  // ids are overwritten with "lg-<index>".
+  std::vector<Request> mix;
+  double deadline_ms = 0;  // applied to every request when > 0
+};
+
+struct LoadgenResult {
+  std::size_t completed = 0;  // ok=true responses
+  std::size_t rejected = 0;   // ok=false responses, by typed code below
+  std::size_t transport_errors = 0;
+  // (error code name, count), insertion-ordered.
+  std::vector<std::pair<std::string, std::size_t>> by_code;
+  std::vector<double> latencies_ms;  // per completed request, sorted
+  double wall_s = 0.0;  // first send to last response across all threads
+
+  double req_per_s() const;
+  // Nearest-rank percentile over the completed-request latencies (q in
+  // (0, 100]); 0 when nothing completed.
+  double percentile_ms(double q) const;
+};
+
+// Fire the mix. False (with *error) only when no connection could be
+// established; per-request failures are counted in the result instead.
+bool run_loadgen(const LoadgenOptions& opts, LoadgenResult& out,
+                 std::string* error);
+
+// The result as a MetricsReport: tool "cubie_loadgen", one record
+// ("loadgen", "mix", "-", "aggregate") with req_per_s, p50_ms, p95_ms,
+// p99_ms, completed, rejected.
+report::MetricsReport loadgen_report(const LoadgenResult& r);
+
+}  // namespace cubie::serve

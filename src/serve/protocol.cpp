@@ -1,0 +1,170 @@
+#include "serve/protocol.hpp"
+
+#include <utility>
+
+namespace cubie::serve {
+
+using report::Json;
+
+const char* cmd_name(Cmd c) {
+  switch (c) {
+    case Cmd::Run: return "run";
+    case Cmd::Suite: return "suite";
+    case Cmd::Check: return "check";
+    case Cmd::Stats: return "stats";
+    case Cmd::Ping: return "ping";
+    case Cmd::Sleep: return "sleep";
+    case Cmd::Shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::optional<Cmd> parse_cmd(const std::string& s) {
+  if (s == "run") return Cmd::Run;
+  if (s == "suite") return Cmd::Suite;
+  if (s == "check") return Cmd::Check;
+  if (s == "stats") return Cmd::Stats;
+  if (s == "ping") return Cmd::Ping;
+  if (s == "sleep") return Cmd::Sleep;
+  if (s == "shutdown") return Cmd::Shutdown;
+  return std::nullopt;
+}
+
+const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::BadRequest: return "bad_request";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::ShuttingDown: return "shutting_down";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "internal";
+}
+
+std::string request_key(const Request& r) {
+  switch (r.cmd) {
+    case Cmd::Run:
+    case Cmd::Check:
+      return std::string(cmd_name(r.cmd)) + " " + spec_key(r.spec);
+    case Cmd::Suite:
+      return "suite s" + std::to_string(r.spec.scale);
+    default:
+      return cmd_name(r.cmd);
+  }
+}
+
+namespace {
+
+const std::string* get_string(const Json& j, const char* key) {
+  const Json* v = j.find(key);
+  return v != nullptr && v->is_string() ? &v->as_string() : nullptr;
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error) {
+  std::string parse_err;
+  auto j = Json::parse(line, &parse_err);
+  if (!j) {
+    if (error) *error = "malformed JSON: " + parse_err;
+    return std::nullopt;
+  }
+  if (!j->is_object()) {
+    if (error) *error = "request must be a JSON object";
+    return std::nullopt;
+  }
+  Request r;
+  if (const auto* id = get_string(*j, "id")) r.id = *id;
+  const auto* cmd = get_string(*j, "cmd");
+  if (cmd == nullptr) {
+    if (error) *error = "missing required field 'cmd'";
+    return std::nullopt;
+  }
+  const auto parsed = parse_cmd(*cmd);
+  if (!parsed) {
+    if (error) *error = "unknown cmd '" + *cmd + "'";
+    return std::nullopt;
+  }
+  r.cmd = *parsed;
+  if (const auto* w = get_string(*j, "workload")) r.spec.workload = *w;
+  if (const auto* v = get_string(*j, "variant")) r.spec.variant = *v;
+  if (const auto* c = get_string(*j, "case")) r.spec.case_sel = *c;
+  if (const auto* g = get_string(*j, "gpu")) r.spec.gpu = *g;
+  if (const Json* s = j->find("scale"); s != nullptr && s->is_number())
+    r.spec.scale = s->as_number() >= 1 ? static_cast<int>(s->as_number()) : 1;
+  if (const Json* e = j->find("errors"); e != nullptr && e->is_bool())
+    r.spec.errors = e->as_bool();
+  if (const Json* c = j->find("check"); c != nullptr && c->is_bool())
+    r.spec.check = c->as_bool();
+  if (const Json* m = j->find("ms"); m != nullptr && m->is_number())
+    r.sleep_ms = m->as_number();
+  if (const Json* d = j->find("deadline_ms"); d != nullptr && d->is_number())
+    r.deadline_ms = d->as_number();
+  if ((r.cmd == Cmd::Run || r.cmd == Cmd::Check) && r.spec.workload.empty()) {
+    if (error) *error = "cmd '" + std::string(cmd_name(r.cmd)) +
+                        "' needs a 'workload'";
+    return std::nullopt;
+  }
+  return r;
+}
+
+Json request_to_json(const Request& r) {
+  Json j = Json::object();
+  if (!r.id.empty()) j["id"] = Json::string(r.id);
+  j["cmd"] = Json::string(cmd_name(r.cmd));
+  if (r.cmd == Cmd::Run || r.cmd == Cmd::Check || r.cmd == Cmd::Suite) {
+    if (!r.spec.workload.empty())
+      j["workload"] = Json::string(r.spec.workload);
+    j["variant"] = Json::string(r.spec.variant);
+    j["case"] = Json::string(r.spec.case_sel);
+    j["gpu"] = Json::string(r.spec.gpu);
+    j["scale"] = Json::number(r.spec.scale);
+    if (r.spec.errors) j["errors"] = Json::boolean(true);
+    if (r.spec.check) j["check"] = Json::boolean(true);
+  }
+  if (r.cmd == Cmd::Sleep) j["ms"] = Json::number(r.sleep_ms);
+  if (r.deadline_ms > 0) j["deadline_ms"] = Json::number(r.deadline_ms);
+  return j;
+}
+
+namespace {
+
+Json envelope(const std::string& id, bool ok) {
+  Json j = Json::object();
+  j["id"] = Json::string(id);
+  j["ok"] = Json::boolean(ok);
+  j["protocol_version"] = Json::number(kProtocolVersion);
+  return j;
+}
+
+}  // namespace
+
+std::string ok_line(const std::string& id, Json body) {
+  Json j = envelope(id, true);
+  for (auto& [k, v] : body.members()) j[k] = v;
+  return j.dump(-1);
+}
+
+std::string report_line(const std::string& id,
+                        const report::MetricsReport& rep,
+                        const report::EngineStats& engine,
+                        std::optional<bool> check_pass) {
+  Json j = envelope(id, true);
+  j["report"] = rep.to_json();
+  j["engine"] = report::to_json(engine);
+  if (check_pass) j["check_pass"] = Json::boolean(*check_pass);
+  return j.dump(-1);
+}
+
+std::string error_line(const std::string& id, ErrorCode code,
+                       const std::string& message) {
+  Json j = envelope(id, false);
+  Json err = Json::object();
+  err["code"] = Json::string(error_code_name(code));
+  err["message"] = Json::string(message);
+  j["error"] = std::move(err);
+  return j.dump(-1);
+}
+
+}  // namespace cubie::serve

@@ -1,0 +1,94 @@
+#pragma once
+// Cubie-Serve wire protocol: line-delimited JSON over a Unix-domain or
+// localhost TCP socket. One request per line, one response per line, in
+// request order per connection (concurrent requests on one connection are
+// answered as they finish; match them by `id`).
+//
+// Request (all fields beyond "cmd" optional; defaults mirror `cubie run`):
+//   {"id": "r1", "cmd": "run", "workload": "GEMM", "variant": "all",
+//    "case": "rep", "gpu": "H200", "scale": 16, "errors": false,
+//    "check": false, "deadline_ms": 250}
+//
+//   cmd = "run"      execute one workload plan, respond with its
+//                    MetricsReport — byte-identical to what
+//                    `cubie run <workload> --json` writes for the same
+//                    plan (see serve::run_report);
+//         "suite"    the full Figure-3 suite sweep (fig03_perf's records);
+//         "check"    Cubie-Check conformance over the requested plan;
+//         "stats"    engine + server counters, no execution;
+//         "ping"     liveness probe;
+//         "sleep"    {"ms": N} hold a worker for N ms — a diagnostic load
+//                    for exercising queueing, deadlines, and drain;
+//         "shutdown" begin graceful drain: queued work completes, new
+//                    requests are rejected, the process exits.
+//
+// Response:
+//   {"id": "r1", "ok": true, "report": {...schema-v1 MetricsReport...}}
+//   {"id": "r1", "ok": true, "engine": {...}, "server": {...}}   (stats)
+//   {"id": "r1", "ok": false,
+//    "error": {"code": "overloaded", "message": "..."}}
+//
+// Typed error codes (ErrorCode below): "bad_request", "overloaded"
+// (bounded admission queue full — explicit backpressure, never unbounded
+// queueing), "deadline_exceeded" (the request's deadline passed while it
+// waited), "shutting_down" (drain in progress), "internal".
+//
+// See docs/SERVING.md for the full schema and semantics.
+
+#include "common/report.hpp"
+#include "serve/service.hpp"
+
+#include <optional>
+#include <string>
+
+namespace cubie::serve {
+
+inline constexpr int kProtocolVersion = 1;
+
+// Hard cap on one request line; longer lines poison the connection
+// (bad_request + close) rather than buffering unboundedly.
+inline constexpr std::size_t kMaxRequestBytes = 1 << 20;
+
+enum class Cmd { Run, Suite, Check, Stats, Ping, Sleep, Shutdown };
+const char* cmd_name(Cmd c);
+std::optional<Cmd> parse_cmd(const std::string& s);
+
+enum class ErrorCode {
+  BadRequest,
+  Overloaded,
+  DeadlineExceeded,
+  ShuttingDown,
+  Internal,
+};
+const char* error_code_name(ErrorCode c);
+
+struct Request {
+  std::string id;  // echoed back verbatim; client-chosen
+  Cmd cmd = Cmd::Ping;
+  RunSpec spec;            // run / suite / check
+  double sleep_ms = 0.0;   // sleep
+  double deadline_ms = 0;  // <= 0: no deadline
+};
+
+// Deterministic display key for telemetry ("run GEMM/all/rep/H200/s16").
+std::string request_key(const Request& r);
+
+// Parse one request line. nullopt (with *error set) on malformed JSON, an
+// unknown cmd, or a non-object document; the message names the offending
+// field so clients can fix the call site.
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error);
+
+// The request's wire form (used by clients; parse_request's inverse).
+report::Json request_to_json(const Request& r);
+
+// Response envelopes. Each returns a complete single-line document.
+std::string ok_line(const std::string& id, report::Json body);
+std::string report_line(const std::string& id,
+                        const report::MetricsReport& rep,
+                        const report::EngineStats& engine,
+                        std::optional<bool> check_pass);
+std::string error_line(const std::string& id, ErrorCode code,
+                       const std::string& message);
+
+}  // namespace cubie::serve

@@ -1,0 +1,540 @@
+#include "serve/server.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cubie::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// One client connection. The fd is owned here and closed by the destructor,
+// so a worker holding a Job's shared_ptr can still respond after the reader
+// thread has gone away (client half-closed) without racing fd reuse.
+struct Conn {
+  explicit Conn(int fd) : fd(fd) {}
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  // Write one response line (+ '\n'). Serialized per connection so two
+  // workers finishing requests from the same client never interleave
+  // bytes. Returns false once the peer is gone (EPIPE et al.).
+  bool send_line(const std::string& line) {
+    std::lock_guard<std::mutex> lk(write_mu);
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  int fd;
+  std::mutex write_mu;
+};
+
+struct Job {
+  std::shared_ptr<Conn> conn;
+  Request req;
+  std::string key;  // request_key(req), reused for every lifecycle event
+  Clock::time_point deadline{};
+  bool has_deadline = false;
+};
+
+void emit_request_event(telemetry::EventKind kind, const Job& job,
+                        std::size_t count = 0, double wall_s = -1.0,
+                        const char* code = nullptr, int ok = -1) {
+  auto& bus = telemetry::bus();
+  if (!bus.enabled()) return;
+  telemetry::Event e;
+  e.kind = kind;
+  e.name = job.key;
+  e.detail = job.req.id;
+  e.count = count;
+  e.wall_s = wall_s;
+  if (code != nullptr) e.source = code;
+  e.ok = ok;
+  bus.emit(std::move(e));
+}
+
+}  // namespace
+
+report::Json to_json(const ServerStats& s) {
+  using report::Json;
+  Json j = Json::object();
+  j["connections"] = Json::number(static_cast<double>(s.connections));
+  j["accepted"] = Json::number(static_cast<double>(s.accepted));
+  j["started"] = Json::number(static_cast<double>(s.started));
+  j["completed"] = Json::number(static_cast<double>(s.completed));
+  j["rejected_overloaded"] =
+      Json::number(static_cast<double>(s.rejected_overloaded));
+  j["rejected_deadline"] =
+      Json::number(static_cast<double>(s.rejected_deadline));
+  j["rejected_shutdown"] =
+      Json::number(static_cast<double>(s.rejected_shutdown));
+  j["bad_requests"] = Json::number(static_cast<double>(s.bad_requests));
+  j["max_queue_depth"] = Json::number(static_cast<double>(s.max_queue_depth));
+  return j;
+}
+
+struct Server::Impl {
+  explicit Impl(ServerOptions o) : opts(std::move(o)), eng(opts.engine) {}
+
+  ServerOptions opts;
+  engine::ExperimentEngine eng;
+
+  int listen_fd = -1;
+  int wake_rd = -1;  // self-pipe: request_shutdown() -> accept loop
+  int wake_wr = -1;
+  int bound_port = -1;
+  std::string endpoint;
+  bool started = false;
+
+  std::atomic<bool> shutdown_flag{false};
+
+  std::mutex mu;  // guards queue, draining, server_stats, conns, readers
+  std::condition_variable cv;
+  std::deque<Job> queue;
+  bool draining = false;
+  ServerStats server_stats;
+  std::vector<std::weak_ptr<Conn>> conns;
+  std::vector<std::thread> readers;
+  std::vector<std::thread> workers;
+
+  // --- admission (reader threads) ------------------------------------
+  void reject(const Job& job, ErrorCode code, const std::string& msg) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      switch (code) {
+        case ErrorCode::Overloaded: ++server_stats.rejected_overloaded; break;
+        case ErrorCode::DeadlineExceeded:
+          ++server_stats.rejected_deadline;
+          break;
+        case ErrorCode::ShuttingDown: ++server_stats.rejected_shutdown; break;
+        default: ++server_stats.bad_requests; break;
+      }
+    }
+    emit_request_event(telemetry::EventKind::RequestRejected, job, 0, -1.0,
+                       error_code_name(code), 0);
+    job.conn->send_line(error_line(job.req.id, code, msg));
+  }
+
+  void admit(Job job) {
+    bool rejected = false;
+    ErrorCode code = ErrorCode::Internal;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (draining) {
+        rejected = true;
+        code = ErrorCode::ShuttingDown;
+      } else if (queue.size() >= static_cast<std::size_t>(opts.queue_limit)) {
+        rejected = true;
+        code = ErrorCode::Overloaded;
+      } else {
+        ++server_stats.accepted;
+        emit_request_event(telemetry::EventKind::RequestAccepted, job);
+        const std::size_t depth = queue.size() + 1;
+        if (depth > server_stats.max_queue_depth)
+          server_stats.max_queue_depth = depth;
+        emit_request_event(telemetry::EventKind::RequestQueued, job, depth);
+        queue.push_back(std::move(job));
+        cv.notify_one();
+        return;
+      }
+    }
+    if (rejected && code == ErrorCode::Overloaded) {
+      reject(job, code,
+             "admission queue full (" + std::to_string(opts.queue_limit) +
+                 " waiting); retry later");
+    } else {
+      reject(job, ErrorCode::ShuttingDown, "server is draining");
+    }
+  }
+
+  // --- request execution (worker threads) ----------------------------
+  void handle(const Job& job) {
+    const Request& r = job.req;
+    switch (r.cmd) {
+      case Cmd::Run:
+      case Cmd::Check: {
+        RunSpec spec = r.spec;
+        if (r.cmd == Cmd::Check) spec.check = true;
+        std::string err;
+        check::ConformanceReport conf;
+        std::optional<report::MetricsReport> rep;
+        try {
+          rep = run_report(eng, spec, &err, spec.check ? &conf : nullptr);
+        } catch (const std::exception& ex) {
+          job.conn->send_line(
+              error_line(r.id, ErrorCode::Internal, ex.what()));
+          return;
+        }
+        if (!rep) {
+          job.conn->send_line(error_line(r.id, ErrorCode::BadRequest, err));
+          return;
+        }
+        std::optional<bool> check_pass;
+        if (spec.check) check_pass = conf.pass();
+        job.conn->send_line(report_line(r.id, *rep, eng.stats(), check_pass));
+        return;
+      }
+      case Cmd::Suite: {
+        std::optional<report::MetricsReport> rep;
+        try {
+          rep = suite_report(eng, r.spec.scale);
+        } catch (const std::exception& ex) {
+          job.conn->send_line(
+              error_line(r.id, ErrorCode::Internal, ex.what()));
+          return;
+        }
+        job.conn->send_line(
+            report_line(r.id, *rep, eng.stats(), std::nullopt));
+        return;
+      }
+      case Cmd::Sleep: {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(r.sleep_ms));
+        report::Json body = report::Json::object();
+        body["slept_ms"] = report::Json::number(r.sleep_ms);
+        job.conn->send_line(ok_line(r.id, std::move(body)));
+        return;
+      }
+      default: {  // control cmds never reach the queue
+        job.conn->send_line(error_line(r.id, ErrorCode::Internal,
+                                       "control command in worker"));
+        return;
+      }
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return !queue.empty() || draining; });
+        if (queue.empty()) return;  // draining && nothing left
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      if (job.has_deadline && Clock::now() >= job.deadline) {
+        reject(job, ErrorCode::DeadlineExceeded,
+               "deadline expired while queued");
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        ++server_stats.started;
+      }
+      emit_request_event(telemetry::EventKind::RequestStarted, job);
+      const auto t0 = Clock::now();
+      handle(job);
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        ++server_stats.completed;
+      }
+      emit_request_event(telemetry::EventKind::RequestFinished, job, 0,
+                         seconds_since(t0), nullptr, 1);
+    }
+  }
+
+  // --- control commands: answered inline by the reader ----------------
+  void handle_inline(const std::shared_ptr<Conn>& conn, Job& job) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++server_stats.started;
+    }
+    emit_request_event(telemetry::EventKind::RequestStarted, job);
+    const auto t0 = Clock::now();
+    switch (job.req.cmd) {
+      case Cmd::Ping: {
+        report::Json body = report::Json::object();
+        body["pong"] = report::Json::boolean(true);
+        conn->send_line(ok_line(job.req.id, std::move(body)));
+        break;
+      }
+      case Cmd::Stats: {
+        report::Json body = report::Json::object();
+        body["engine"] = report::to_json(eng.stats());
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          body["server"] = to_json(server_stats);
+        }
+        conn->send_line(ok_line(job.req.id, std::move(body)));
+        break;
+      }
+      case Cmd::Shutdown: {
+        report::Json body = report::Json::object();
+        body["draining"] = report::Json::boolean(true);
+        conn->send_line(ok_line(job.req.id, std::move(body)));
+        request_shutdown_impl();
+        break;
+      }
+      default: break;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++server_stats.completed;
+    }
+    emit_request_event(telemetry::EventKind::RequestFinished, job, 0,
+                       seconds_since(t0), nullptr, 1);
+  }
+
+  void handle_line(const std::shared_ptr<Conn>& conn,
+                   const std::string& line) {
+    std::string err;
+    auto req = parse_request(line, &err);
+    if (!req) {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        ++server_stats.bad_requests;
+      }
+      conn->send_line(error_line("", ErrorCode::BadRequest, err));
+      return;
+    }
+    Job job;
+    job.conn = conn;
+    job.req = std::move(*req);
+    job.key = request_key(job.req);
+    if (job.req.deadline_ms > 0) {
+      job.has_deadline = true;
+      job.deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 job.req.deadline_ms));
+    }
+    switch (job.req.cmd) {
+      case Cmd::Ping:
+      case Cmd::Stats:
+      case Cmd::Shutdown:
+        handle_inline(conn, job);
+        return;
+      default:
+        admit(std::move(job));
+        return;
+    }
+  }
+
+  void reader_loop(std::shared_ptr<Conn> conn) {
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // EOF, error, or drain-time ::shutdown
+      buf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos;
+      while ((pos = buf.find('\n')) != std::string::npos) {
+        std::string line = buf.substr(0, pos);
+        buf.erase(0, pos + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (!line.empty()) handle_line(conn, line);
+      }
+      if (buf.size() > kMaxRequestBytes) {
+        // A line this long is hostile or broken; poison the connection
+        // instead of buffering without bound.
+        std::lock_guard<std::mutex> lk(mu);
+        ++server_stats.bad_requests;
+        conn->send_line(error_line("", ErrorCode::BadRequest,
+                                   "request line exceeds 1 MiB"));
+        return;
+      }
+    }
+  }
+
+  void request_shutdown_impl() {
+    shutdown_flag.store(true, std::memory_order_release);
+    if (wake_wr >= 0) {
+      const char b = 'x';
+      // EAGAIN (pipe already full of wake bytes) is as good as written.
+      [[maybe_unused]] ssize_t n = ::write(wake_wr, &b, 1);
+    }
+  }
+};
+
+Server::Server(ServerOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts))) {}
+
+Server::~Server() {
+  if (impl_->started) {
+    // serve() normally joins everything; this covers start()-without-serve().
+    {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      impl_->draining = true;
+    }
+    impl_->cv.notify_all();
+    for (auto& t : impl_->workers)
+      if (t.joinable()) t.join();
+    for (auto& t : impl_->readers)
+      if (t.joinable()) t.join();
+  }
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+  if (impl_->wake_rd >= 0) ::close(impl_->wake_rd);
+  if (impl_->wake_wr >= 0) ::close(impl_->wake_wr);
+  if (!impl_->opts.socket_path.empty())
+    ::unlink(impl_->opts.socket_path.c_str());
+}
+
+bool Server::start(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg + ": " + std::strerror(errno);
+    return false;
+  };
+  Impl& im = *impl_;
+  if (im.opts.workers < 1) im.opts.workers = 1;
+  if (im.opts.queue_limit < 1) im.opts.queue_limit = 1;
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) return fail("pipe");
+  im.wake_rd = pipefd[0];
+  im.wake_wr = pipefd[1];
+  ::fcntl(im.wake_wr, F_SETFL, O_NONBLOCK);
+
+  if (!im.opts.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (im.opts.socket_path.size() >= sizeof(addr.sun_path)) {
+      if (error) *error = "socket path too long: " + im.opts.socket_path;
+      return false;
+    }
+    std::strncpy(addr.sun_path, im.opts.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    im.listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (im.listen_fd < 0) return fail("socket");
+    ::unlink(im.opts.socket_path.c_str());  // stale socket from a crash
+    if (::bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      return fail("bind " + im.opts.socket_path);
+    im.endpoint = "unix:" + im.opts.socket_path;
+  } else {
+    if (im.opts.tcp_port < 0) {
+      if (error) *error = "no endpoint: set socket_path or tcp_port";
+      return false;
+    }
+    im.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (im.listen_fd < 0) return fail("socket");
+    const int one = 1;
+    ::setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(im.opts.tcp_port));
+    if (::bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      return fail("bind 127.0.0.1:" + std::to_string(im.opts.tcp_port));
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    ::getsockname(im.listen_fd, reinterpret_cast<sockaddr*>(&bound), &blen);
+    im.bound_port = ntohs(bound.sin_port);
+    im.endpoint = "tcp:127.0.0.1:" + std::to_string(im.bound_port);
+  }
+  if (::listen(im.listen_fd, 64) != 0) return fail("listen");
+
+  for (int i = 0; i < im.opts.workers; ++i)
+    im.workers.emplace_back([&im] { im.worker_loop(); });
+  im.started = true;
+  return true;
+}
+
+void Server::serve() {
+  Impl& im = *impl_;
+  for (;;) {
+    pollfd fds[2] = {{im.listen_fd, POLLIN, 0}, {im.wake_rd, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        if (im.shutdown_flag.load(std::memory_order_acquire)) break;
+        continue;
+      }
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        im.shutdown_flag.load(std::memory_order_acquire))
+      break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int cfd = ::accept(im.listen_fd, nullptr, nullptr);
+    if (cfd < 0) continue;
+    auto conn = std::make_shared<Conn>(cfd);
+    std::lock_guard<std::mutex> lk(im.mu);
+    ++im.server_stats.connections;
+    im.conns.erase(
+        std::remove_if(im.conns.begin(), im.conns.end(),
+                       [](const std::weak_ptr<Conn>& w) { return w.expired(); }),
+        im.conns.end());
+    im.conns.push_back(conn);
+    im.readers.emplace_back(
+        [&im, conn = std::move(conn)]() mutable { im.reader_loop(conn); });
+  }
+
+  // Drain: stop admitting, let workers finish queued + in-flight work.
+  ::close(im.listen_fd);
+  im.listen_fd = -1;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    im.draining = true;
+  }
+  im.cv.notify_all();
+  for (auto& t : im.workers)
+    if (t.joinable()) t.join();
+  im.workers.clear();
+  // Every response is out; unblock the readers and join them.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    for (auto& w : im.conns)
+      if (auto c = w.lock()) ::shutdown(c->fd, SHUT_RDWR);
+    readers.swap(im.readers);
+  }
+  for (auto& t : readers)
+    if (t.joinable()) t.join();
+  if (!im.opts.socket_path.empty()) ::unlink(im.opts.socket_path.c_str());
+  im.started = false;
+}
+
+void Server::request_shutdown() { impl_->request_shutdown_impl(); }
+
+int Server::tcp_port() const { return impl_->bound_port; }
+
+const std::string& Server::endpoint() const { return impl_->endpoint; }
+
+engine::ExperimentEngine& Server::engine() { return impl_->eng; }
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->server_stats;
+}
+
+}  // namespace cubie::serve

@@ -1,0 +1,98 @@
+#pragma once
+// Cubie-Serve daemon: a long-running experiment service around one warm
+// ExperimentEngine. Clients speak the line-delimited JSON protocol
+// (serve/protocol.hpp) over a Unix-domain socket or localhost TCP.
+//
+// Concurrency model:
+//   * one reader thread per connection parses requests and admits work;
+//   * control commands (ping / stats / shutdown) are answered inline by
+//     the reader — they must work even when the queue is full;
+//   * plan commands (run / suite / check / sleep) pass a **bounded
+//     admission queue**: when `queue_limit` requests are already waiting,
+//     new ones are rejected with the typed "overloaded" error instead of
+//     queueing unboundedly — backpressure is explicit and immediate;
+//   * `workers` worker threads drain the queue. A request's deadline is
+//     checked when it is dequeued: if it already expired while waiting,
+//     the worker answers "deadline_exceeded" without executing;
+//   * identical concurrent plans coalesce inside the engine: N requests
+//     for the same cells trigger exactly one execution, and the N-1
+//     waiters are visible as `coalesced_hits` in the engine stats block
+//     every response carries.
+//
+// Shutdown (SIGINT or a "shutdown" request) is a graceful drain:
+// request_shutdown() is async-signal-safe (atomic flag + self-pipe); the
+// accept loop then stops admitting, workers finish every queued and
+// in-flight request, late arrivals get "shutting_down", and serve()
+// returns once all threads are joined.
+//
+// The request lifecycle is published on the Cubie-Scope bus
+// (request_accepted / queued / started / finished / rejected), so
+// --events, --trace-out, and --progress work for a serving process
+// exactly as they do for a bench sweep. See docs/SERVING.md.
+
+#include "engine/engine.hpp"
+#include "serve/protocol.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace cubie::serve {
+
+struct ServerOptions {
+  // Endpoint: a Unix-domain socket path, or (when empty) localhost TCP on
+  // `tcp_port` (0 = pick an ephemeral port; see Server::tcp_port()).
+  std::string socket_path;
+  int tcp_port = -1;
+  int workers = 2;       // worker threads draining the admission queue
+  int queue_limit = 16;  // waiting requests beyond which we reject
+  engine::EngineOptions engine;  // jobs / cache_dir for the warm engine
+};
+
+// Admission/service counters, exported by the "stats" command.
+struct ServerStats {
+  std::size_t connections = 0;
+  std::size_t accepted = 0;   // admitted past the bounded queue
+  std::size_t started = 0;    // dequeued by a worker (or answered inline)
+  std::size_t completed = 0;  // responses sent for executed requests
+  std::size_t rejected_overloaded = 0;
+  std::size_t rejected_deadline = 0;
+  std::size_t rejected_shutdown = 0;
+  std::size_t bad_requests = 0;
+  std::size_t max_queue_depth = 0;
+};
+
+report::Json to_json(const ServerStats& s);
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Bind + listen + start the worker pool. False (with *error) on socket
+  // failure; the options are validated here (workers/queue_limit >= 1).
+  bool start(std::string* error);
+
+  // Accept loop; blocks until a drain completes. Call start() first.
+  void serve();
+
+  // Begin a graceful drain. Async-signal-safe: sets an atomic flag and
+  // writes one byte to a self-pipe the accept loop polls.
+  void request_shutdown();
+
+  // The bound TCP port (after start(); ephemeral binds resolve here).
+  int tcp_port() const;
+  // Human-readable endpoint ("unix:/tmp/cubie.sock", "tcp:127.0.0.1:7070").
+  const std::string& endpoint() const;
+
+  engine::ExperimentEngine& engine();
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cubie::serve

@@ -1,0 +1,183 @@
+#include "serve/service.hpp"
+
+#include "common/metrics.hpp"
+#include "common/perf.hpp"
+#include "sim/model.hpp"
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace cubie::serve {
+namespace {
+
+std::optional<core::Variant> parse_variant(const std::string& s) {
+  if (s == "Baseline") return core::Variant::Baseline;
+  if (s == "TC") return core::Variant::TC;
+  if (s == "CC") return core::Variant::CC;
+  if (s == "CC-E" || s == "CCE") return core::Variant::CCE;
+  return std::nullopt;
+}
+
+std::optional<sim::Gpu> parse_gpu(const std::string& s) {
+  if (s == "A100") return sim::Gpu::A100;
+  if (s == "H200") return sim::Gpu::H200;
+  if (s == "B200") return sim::Gpu::B200;
+  return std::nullopt;
+}
+
+bool fail(std::string* error, std::string msg) {
+  if (error) *error = std::move(msg);
+  return false;
+}
+
+// Resolve the spec's selector strings against the engine's suite. All-or-
+// nothing: any unknown name fails the whole request (a serving layer must
+// not silently narrow a plan).
+struct Resolved {
+  const core::Workload* w = nullptr;
+  std::vector<core::Variant> variants;
+  std::vector<core::TestCase> cases;
+  std::vector<std::size_t> case_ids;
+  std::vector<sim::Gpu> gpus;
+};
+
+bool resolve(engine::ExperimentEngine& eng, const RunSpec& spec, Resolved& r,
+             std::string* error) {
+  r.w = eng.workload(spec.workload);
+  if (r.w == nullptr)
+    return fail(error,
+                "unknown workload '" + spec.workload + "' (try: cubie list)");
+
+  if (spec.variant == "all") {
+    r.variants = core::available_variants(*r.w);
+  } else if (auto v = parse_variant(spec.variant)) {
+    r.variants.push_back(*v);
+  } else {
+    return fail(error, "bad variant '" + spec.variant + "'");
+  }
+
+  r.cases = r.w->cases(spec.scale);
+  if (spec.case_sel == "all") {
+    for (std::size_t i = 0; i < r.cases.size(); ++i) r.case_ids.push_back(i);
+  } else if (spec.case_sel == "rep") {
+    r.case_ids.push_back(r.w->representative_case());
+  } else {
+    const int idx = std::atoi(spec.case_sel.c_str());
+    if (idx < 0 || static_cast<std::size_t>(idx) >= r.cases.size())
+      return fail(error, "case index '" + spec.case_sel +
+                             "' out of range (0.." +
+                             std::to_string(r.cases.size() - 1) + ")");
+    r.case_ids.push_back(static_cast<std::size_t>(idx));
+  }
+
+  if (spec.gpu == "all") {
+    r.gpus = sim::all_gpus();
+  } else if (auto g = parse_gpu(spec.gpu)) {
+    r.gpus.push_back(*g);
+  } else {
+    return fail(error, "bad gpu '" + spec.gpu + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string spec_key(const RunSpec& spec) {
+  return spec.workload + "/" + spec.variant + "/" + spec.case_sel + "/" +
+         spec.gpu + "/s" + std::to_string(spec.scale);
+}
+
+std::optional<report::MetricsReport> run_report(
+    engine::ExperimentEngine& eng, const RunSpec& spec, std::string* error,
+    check::ConformanceReport* conformance) {
+  Resolved r;
+  if (!resolve(eng, spec, r, error)) return std::nullopt;
+
+  // Warm every unique cell through a Plan first: --jobs parallelism applies
+  // and concurrent identical requests single-flight on the same cells.
+  engine::Plan plan;
+  plan.scale = spec.scale;
+  plan.workloads = {r.w->name()};
+  plan.variants = r.variants;
+  plan.cases = engine::CaseSet::Explicit;
+  plan.case_indices = r.case_ids;
+  plan.gpus = r.gpus;
+  eng.execute(plan);
+
+  report::MetricsReport rep;
+  rep.tool = "cubie_run";
+  rep.title = "cubie run " + r.w->name();
+  rep.scale_divisor = spec.scale;
+  for (std::size_t ci : r.case_ids) {
+    const auto& tc = r.cases[ci];
+    std::vector<double> ref;
+    if (spec.errors) ref = r.w->reference(tc);
+    for (auto v : r.variants) {
+      const auto& out = eng.run(*r.w, v, tc, spec.scale);
+      for (auto g : r.gpus) {
+        const sim::DeviceModel model(sim::spec_for(g));
+        const auto pred = model.predict(out.profile);
+        auto& rec = rep.add_record(r.w->name(), core::variant_name(v),
+                                   sim::gpu_name(g), tc.label);
+        rec.set(perf::perf_metric_name(*r.w),
+                perf::perf_metric(*r.w, out.profile, pred.time_s) / 1e9);
+        rec.set("time_ms", pred.time_s * 1e3);
+        rec.set("power_w", pred.avg_power_w);
+        rec.set("energy_j", pred.energy_j);
+        rec.set("edp", pred.edp);
+        if (spec.errors) {
+          const auto e = common::error_stats(out.values, ref);
+          rec.set("avg_err", e.avg);
+          rec.set("max_err", e.max);
+        }
+      }
+    }
+  }
+
+  if (spec.check) {
+    auto conf = check::verify_cells(eng, eng.expand(plan));
+    const auto t = conf.to_table();
+    rep.tables.push_back({"conformance", t.header(), t.data()});
+    if (conformance) *conformance = std::move(conf);
+  }
+  return rep;
+}
+
+void add_suite_perf_records(engine::ExperimentEngine& eng, int scale,
+                            report::MetricsReport& rep) {
+  for (const auto& w : eng.suite()) {
+    const auto variants = core::available_variants(*w);
+    const auto cases = w->cases(scale);
+    for (auto gpu : sim::all_gpus()) {
+      const sim::DeviceModel model(sim::spec_for(gpu));
+      for (const auto& tc : cases) {
+        for (auto v : variants) {
+          const auto& out = eng.run(*w, v, tc, scale);
+          const auto pred = model.predict(out.profile);
+          auto& rec = rep.add_record(w->name(), core::variant_name(v),
+                                     sim::gpu_name(gpu), tc.label);
+          rec.set(perf::perf_metric_name(*w),
+                  perf::perf_metric(*w, out.profile, pred.time_s) / 1e9);
+          rec.set("time_ms", pred.time_s * 1e3);
+          rec.set("dram_bytes", out.profile.dram_bytes);
+          rec.set("useful_flops", out.profile.useful_flops);
+          rec.set("launches", out.profile.launches);
+        }
+      }
+    }
+  }
+}
+
+report::MetricsReport suite_report(engine::ExperimentEngine& eng,
+                                   int scale) {
+  eng.execute(engine::Plan::suite(scale));
+  report::MetricsReport rep;
+  rep.tool = "fig03_perf";
+  rep.title = "Figure 3: performance of Baseline/TC/CC/CC-E across workloads";
+  rep.scale_divisor = scale;
+  add_suite_perf_records(eng, scale, rep);
+  return rep;
+}
+
+}  // namespace cubie::serve

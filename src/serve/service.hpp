@@ -1,0 +1,64 @@
+#pragma once
+// Cubie-Serve service layer: the one place a "plan request" — workload,
+// variant, case, GPU, scale selections — is resolved and turned into a
+// schema-v1 MetricsReport. `cubie run --json` and the Cubie-Serve daemon
+// both call run_report(), which is what makes a served response
+// byte-identical to the direct CLI run of the same plan: same resolution,
+// same record order, same metrics, same serializer.
+
+#include "check/check.hpp"
+#include "common/report.hpp"
+#include "engine/engine.hpp"
+
+#include <optional>
+#include <string>
+
+namespace cubie::serve {
+
+// One plan request, with `cubie run`'s defaults. Selector strings use the
+// CLI's vocabulary: variant "Baseline|TC|CC|CC-E|all", case "rep|all|<idx>",
+// gpu "A100|H200|B200|all".
+struct RunSpec {
+  std::string workload;
+  std::string variant = "all";
+  std::string case_sel = "rep";
+  std::string gpu = "H200";
+  int scale = 1;
+  bool errors = false;  // include avg_err/max_err vs the CPU reference
+  bool check = false;   // run Cubie-Check over the plan's cells afterwards
+};
+
+// Stable identity of the spec ("GEMM/all/rep/H200/s16"), used in telemetry
+// event names and client labels.
+std::string spec_key(const RunSpec& spec);
+
+// Execute the spec through the engine (cells are memoized / single-flight
+// coalesced, so repeated and concurrent requests share work) and build its
+// report: tool "cubie_run", one record per (case, variant, gpu) in that
+// nesting order, metrics {gflops|gteps, time_ms, power_w, energy_j, edp}
+// (+ avg_err/max_err with spec.errors). With spec.check the conformance
+// verdict table is appended to report.tables under "conformance" (exactly
+// like a bench's --check) and *conformance carries the verdicts.
+//
+// Returns nullopt with *error set on an unresolvable spec (unknown
+// workload / variant / gpu, case index out of range). The report
+// deliberately has no "engine" block: the block describes a producing
+// process, not a plan, and omitting it keeps a served report byte-equal
+// to a cold CLI run's.
+std::optional<report::MetricsReport> run_report(
+    engine::ExperimentEngine& eng, const RunSpec& spec, std::string* error,
+    check::ConformanceReport* conformance = nullptr);
+
+// Append the Figure-3 full-suite records (every workload, variant, case,
+// GPU; metrics {gflops|gteps, time_ms, dram_bytes, useful_flops,
+// launches}) to `rep`, in fig03_perf's workload -> gpu -> case -> variant
+// order. Shared by bench/fig03_perf.cpp and suite_report so the served
+// suite sweep bench_diffs cleanly against the bench's own report.
+void add_suite_perf_records(engine::ExperimentEngine& eng, int scale,
+                            report::MetricsReport& rep);
+
+// The served form of fig03_perf: tool/title/records identical to the bench
+// binary's --json output (no engine block, no human tables).
+report::MetricsReport suite_report(engine::ExperimentEngine& eng, int scale);
+
+}  // namespace cubie::serve

@@ -24,7 +24,7 @@ Json event_to_json(const Event& e) {
   if (!e.detail.empty()) j["detail"] = Json::string(e.detail);
   if (e.wall_s >= 0.0) j["wall_s"] = Json::number(e.wall_s);
   if (e.modeled_s >= 0.0) j["modeled_s"] = Json::number(e.modeled_s);
-  if (e.kind == EventKind::PlanStart)
+  if (e.kind == EventKind::PlanStart || e.kind == EventKind::RequestQueued)
     j["count"] = Json::number(static_cast<double>(e.count));
   if (e.ok >= 0) j["ok"] = Json::boolean(e.ok != 0);
   return j;
@@ -182,6 +182,44 @@ void ChromeTraceSink::flush() {
         evs.push_back(std::move(j));
         break;
       }
+      // Cubie-Serve request lifecycle: started/finished bracket a
+      // per-worker-lane "request" slice (engine cell slices nest beneath
+      // it); admission and rejection show as instant markers.
+      case EventKind::RequestStarted:
+        stacks[e.tid].push_back({EventKind::RequestStarted, e.name, e.t_s});
+        break;
+      case EventKind::RequestFinished: {
+        Open o{EventKind::RequestStarted, e.name,
+               e.t_s - std::max(0.0, e.wall_s)};
+        pop_open(e.tid, EventKind::RequestStarted, e.name, &o);
+        Json j = slice(e.name, "request", o.t_s, e.t_s, e.tid);
+        Json args = Json::object();
+        if (!e.detail.empty()) args["request_id"] = Json::string(e.detail);
+        if (e.wall_s >= 0.0) args["wall_s"] = Json::number(e.wall_s);
+        if (e.ok >= 0) args["ok"] = Json::boolean(e.ok != 0);
+        j["args"] = std::move(args);
+        evs.push_back(std::move(j));
+        break;
+      }
+      case EventKind::RequestAccepted:
+      case EventKind::RequestQueued:
+      case EventKind::RequestRejected: {
+        const char* what = e.kind == EventKind::RequestAccepted
+                               ? "request_accepted"
+                               : e.kind == EventKind::RequestQueued
+                                     ? "request_queued"
+                                     : "request_rejected";
+        Json j = instant(std::string(what) + ":" + e.name, e);
+        Json args = Json::object();
+        if (!e.detail.empty()) args["request_id"] = Json::string(e.detail);
+        if (e.kind == EventKind::RequestQueued)
+          args["queue_depth"] = Json::number(static_cast<double>(e.count));
+        if (e.kind == EventKind::RequestRejected)
+          args["code"] = Json::string(e.source);
+        j["args"] = std::move(args);
+        evs.push_back(std::move(j));
+        break;
+      }
     }
   }
 
@@ -189,9 +227,10 @@ void ChromeTraceSink::flush() {
   // last seen timestamp so the timeline stays loadable.
   for (auto& [tid, st] : stacks) {
     for (auto it = st.rbegin(); it != st.rend(); ++it) {
-      Json j = slice(it->name,
-                     it->kind == EventKind::CellStart ? "cell" : "span",
-                     it->t_s, last_t, tid);
+      const char* cat = it->kind == EventKind::CellStart ? "cell"
+                        : it->kind == EventKind::RequestStarted ? "request"
+                                                                : "span";
+      Json j = slice(it->name, cat, it->t_s, last_t, tid);
       Json args = Json::object();
       args["unfinished"] = Json::boolean(true);
       j["args"] = std::move(args);

@@ -19,6 +19,7 @@
 #include <fstream>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -105,11 +106,23 @@ class ProgressSink : public Sink {
 // but the accessor does not take it).
 class MemorySink : public Sink {
  public:
-  void on_event(const Event& e) override { events_.push_back(e); }
-  const std::vector<Event>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  void on_event(const Event& e) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(e);
+  }
+  // A snapshot copy: safe to call while other threads are still emitting
+  // (the Cubie-Serve tests poll mid-run).
+  std::vector<Event> events() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_;
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::vector<Event> events_;
 };
 

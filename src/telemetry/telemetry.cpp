@@ -20,6 +20,11 @@ const char* event_kind_name(EventKind k) {
     case EventKind::SpanOpen: return "span_open";
     case EventKind::SpanClose: return "span_close";
     case EventKind::CheckVerdict: return "check_verdict";
+    case EventKind::RequestAccepted: return "request_accepted";
+    case EventKind::RequestQueued: return "request_queued";
+    case EventKind::RequestStarted: return "request_started";
+    case EventKind::RequestFinished: return "request_finished";
+    case EventKind::RequestRejected: return "request_rejected";
   }
   return "unknown";
 }

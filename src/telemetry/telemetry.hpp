@@ -57,6 +57,13 @@ enum class EventKind {
   SpanOpen,      // sim::Tracer span opened; name = span name
   SpanClose,     // span closed; wall_s = host wall inside the span
   CheckVerdict,  // conformance verdict; name = verdict key, ok, detail
+  // Cubie-Serve request lifecycle (src/serve/server.cpp). name = the
+  // request's plan key, detail = the client-chosen request id.
+  RequestAccepted,  // parsed and admitted past the bounded queue
+  RequestQueued,    // enqueued; count = queue depth after the push
+  RequestStarted,   // a worker began executing it
+  RequestFinished,  // response written; wall_s = service time, ok
+  RequestRejected,  // refused; source = typed error code, ok = 0
 };
 
 // Stable wire name ("cell_start", "cache_load", ...).

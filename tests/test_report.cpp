@@ -203,5 +203,26 @@ TEST(MetricsReport, FromJsonIgnoresUnknownKeysAndChecksVersion) {
   EXPECT_FALSE(err.empty());
 }
 
+TEST(MetricsReport, RegressionDirectionsForServingMetrics) {
+  // The Cubie-Serve load-generator metrics: latency quantiles and failure
+  // counts regress upward, throughput regresses downward. req_per_s in
+  // particular must not be misread as a seconds quantity by its _s suffix.
+  EXPECT_FALSE(report::lower_is_better("req_per_s"));
+  EXPECT_FALSE(report::lower_is_better("throughput_gbps"));
+  EXPECT_FALSE(report::lower_is_better("completed"));
+  EXPECT_FALSE(report::lower_is_better("cells_per_s"));
+  EXPECT_TRUE(report::lower_is_better("p50_ms"));
+  EXPECT_TRUE(report::lower_is_better("p95_ms"));
+  EXPECT_TRUE(report::lower_is_better("p99_ms"));
+  EXPECT_TRUE(report::lower_is_better("latency_ms"));
+  EXPECT_TRUE(report::lower_is_better("rejected"));
+  // The pre-existing directions are unchanged.
+  EXPECT_TRUE(report::lower_is_better("time_ms"));
+  EXPECT_TRUE(report::lower_is_better("energy_j"));
+  EXPECT_TRUE(report::lower_is_better("max_err"));
+  EXPECT_FALSE(report::lower_is_better("gflops"));
+  EXPECT_FALSE(report::lower_is_better("gteps"));
+}
+
 }  // namespace
 }  // namespace cubie

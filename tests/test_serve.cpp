@@ -1,0 +1,618 @@
+// Cubie-Serve contracts, pinned end to end:
+//   * engine single-flight coalescing: K concurrent requests for the same
+//     un-memoized cell perform exactly one Workload::run — one miss, K-1
+//     coalesced_hits — and a throwing leader promotes a waiter instead of
+//     stranding it;
+//   * the wire protocol parses strictly (typed bad_request messages) and
+//     round-trips its own request encoding;
+//   * a served "run" response is byte-identical to serve::run_report on a
+//     fresh local engine (the `cubie run --json` path);
+//   * bounded-queue admission rejects with "overloaded", expired deadlines
+//     reject with "deadline_exceeded" at dequeue, and a drain completes
+//     in-flight work before serve() returns;
+//   * the request lifecycle is published on the telemetry bus;
+//   * the load generator's percentile reduction and MetricsReport shape.
+
+#include "engine/engine.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cubie {
+namespace {
+
+using namespace std::chrono_literals;
+
+// A workload whose run() blocks until released, so tests can hold a cell
+// in flight while other threads pile onto it.
+class BlockingWorkload : public core::Workload {
+ public:
+  std::string name() const override { return "Blocking"; }
+  core::Quadrant quadrant() const override { return core::Quadrant::I; }
+  std::string dwarf() const override { return "test"; }
+  std::string baseline_name() const override { return "-"; }
+  std::vector<core::TestCase> cases(int) const override {
+    return {core::TestCase{"blk", {4}, ""}};
+  }
+  std::size_t representative_case() const override { return 0; }
+  std::vector<double> reference(const core::TestCase&) const override {
+    return {1.0};
+  }
+
+  core::RunOutput run(core::Variant, const core::TestCase&,
+                      const core::RunOptions&) const override {
+    const int n = runs.fetch_add(1);
+    if (n == 0) entered.set_value();
+    release.wait();
+    if (throw_first && n == 0) throw std::runtime_error("leader failed");
+    core::RunOutput out;
+    out.profile.useful_flops = 1.0;
+    out.values = {1.0};
+    return out;
+  }
+
+  mutable std::atomic<int> runs{0};
+  mutable std::promise<void> entered;
+  std::shared_future<void> release;
+  bool throw_first = false;
+};
+
+TEST(ServeCoalescing, KConcurrentRequestsOneComputeKMinus1Coalesced) {
+  BlockingWorkload w;
+  std::promise<void> release;
+  w.release = release.get_future().share();
+  engine::ExperimentEngine eng;
+  const auto tc = w.cases(1)[0];
+
+  constexpr int kThreads = 6;
+  std::atomic<int> arrived{0};
+  std::vector<const core::RunOutput*> results(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      arrived.fetch_add(1);
+      results[static_cast<std::size_t>(i)] =
+          &eng.run(w, core::Variant::TC, tc, 1);
+    });
+  }
+  // The leader is inside run(); wait for every other thread to reach the
+  // engine, give them time to park on the in-flight wait, then release.
+  w.entered.get_future().wait();
+  while (arrived.load() < kThreads) std::this_thread::sleep_for(1ms);
+  std::this_thread::sleep_for(250ms);
+  release.set_value();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(w.runs.load(), 1);  // exactly one Workload::run
+  const auto c = eng.counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.coalesced_hits, static_cast<std::size_t>(kThreads - 1));
+  EXPECT_EQ(c.memo_hits, 0u);
+  for (const auto* r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r, results[0]);  // all served the same memoized cell
+  }
+  // The exported stats block carries the counter.
+  EXPECT_EQ(eng.stats().coalesced_hits,
+            static_cast<double>(kThreads - 1));
+}
+
+TEST(ServeCoalescing, ThrowingLeaderPromotesAWaiter) {
+  BlockingWorkload w;
+  w.throw_first = true;
+  std::promise<void> release;
+  w.release = release.get_future().share();
+  engine::ExperimentEngine eng;
+  const auto tc = w.cases(1)[0];
+
+  std::atomic<int> exceptions{0};
+  const core::RunOutput* ok_result = nullptr;
+  std::thread leader([&] {
+    try {
+      eng.run(w, core::Variant::TC, tc, 1);
+    } catch (const std::exception&) {
+      exceptions.fetch_add(1);
+    }
+  });
+  w.entered.get_future().wait();
+  std::thread waiter([&] {
+    try {
+      ok_result = &eng.run(w, core::Variant::TC, tc, 1);
+    } catch (const std::exception&) {
+      exceptions.fetch_add(1);
+    }
+  });
+  std::this_thread::sleep_for(100ms);  // park the waiter on the cv
+  release.set_value();
+  leader.join();
+  waiter.join();
+
+  // The leader threw; the waiter was promoted and re-ran rather than being
+  // stranded or served a failure.
+  EXPECT_EQ(exceptions.load(), 1);
+  EXPECT_EQ(w.runs.load(), 2);
+  ASSERT_NE(ok_result, nullptr);
+  EXPECT_EQ(ok_result->values, std::vector<double>{1.0});
+  const auto c = eng.counters();
+  EXPECT_EQ(c.misses, 1u);  // the failed attempt is not a miss
+  EXPECT_EQ(c.coalesced_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol.
+
+TEST(ServeProtocol, ParseRejectsBadRequestsWithNamedFields) {
+  std::string err;
+  EXPECT_FALSE(serve::parse_request("{nope", &err));
+  EXPECT_NE(err.find("malformed JSON"), std::string::npos);
+  EXPECT_FALSE(serve::parse_request("[1,2]", &err));
+  EXPECT_NE(err.find("must be a JSON object"), std::string::npos);
+  EXPECT_FALSE(serve::parse_request("{\"id\":\"x\"}", &err));
+  EXPECT_NE(err.find("'cmd'"), std::string::npos);
+  EXPECT_FALSE(serve::parse_request("{\"cmd\":\"launch\"}", &err));
+  EXPECT_NE(err.find("launch"), std::string::npos);
+  EXPECT_FALSE(serve::parse_request("{\"cmd\":\"run\"}", &err));
+  EXPECT_NE(err.find("workload"), std::string::npos);
+}
+
+TEST(ServeProtocol, RequestRoundTripsThroughItsWireForm) {
+  serve::Request r;
+  r.id = "r42";
+  r.cmd = serve::Cmd::Run;
+  r.spec.workload = "GEMM";
+  r.spec.variant = "TC";
+  r.spec.case_sel = "1";
+  r.spec.gpu = "B200";
+  r.spec.scale = 8;
+  r.spec.errors = true;
+  r.spec.check = true;
+  r.deadline_ms = 125.0;
+  std::string err;
+  const auto back =
+      serve::parse_request(serve::request_to_json(r).dump(-1), &err);
+  ASSERT_TRUE(back) << err;
+  EXPECT_EQ(back->id, r.id);
+  EXPECT_EQ(back->cmd, serve::Cmd::Run);
+  EXPECT_EQ(back->spec.workload, "GEMM");
+  EXPECT_EQ(back->spec.variant, "TC");
+  EXPECT_EQ(back->spec.case_sel, "1");
+  EXPECT_EQ(back->spec.gpu, "B200");
+  EXPECT_EQ(back->spec.scale, 8);
+  EXPECT_TRUE(back->spec.errors);
+  EXPECT_TRUE(back->spec.check);
+  EXPECT_EQ(back->deadline_ms, 125.0);
+  EXPECT_EQ(serve::request_key(*back), "run GEMM/TC/1/B200/s8");
+}
+
+TEST(ServeProtocol, ErrorLineCarriesTypedCode) {
+  const auto j =
+      report::Json::parse(serve::error_line("r1", serve::ErrorCode::Overloaded,
+                                            "queue full"));
+  ASSERT_TRUE(j);
+  EXPECT_FALSE(j->find("ok")->as_bool());
+  EXPECT_EQ(j->find("error")->find("code")->as_string(), "overloaded");
+  EXPECT_EQ(j->find("error")->find("message")->as_string(), "queue full");
+  EXPECT_EQ(std::string(serve::error_code_name(
+                serve::ErrorCode::DeadlineExceeded)),
+            "deadline_exceeded");
+}
+
+// ---------------------------------------------------------------------------
+// Service layer: the report `cubie run --json` and the daemon share.
+
+TEST(ServeService, RunReportIsDeterministicAcrossEngines) {
+  serve::RunSpec spec;
+  spec.workload = "GEMM";
+  spec.scale = 64;
+  std::string err;
+  engine::ExperimentEngine eng1, eng2;
+  const auto a = serve::run_report(eng1, spec, &err);
+  const auto b = serve::run_report(eng2, spec, &err);
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(a->to_json().dump(2), b->to_json().dump(2));
+  EXPECT_EQ(a->tool, "cubie_run");
+  EXPECT_FALSE(a->engine.has_value());  // byte-identity: no producer block
+  ASSERT_FALSE(a->records.empty());
+  EXPECT_NE(a->records[0].get("gflops"), nullptr);
+  EXPECT_NE(a->records[0].get("time_ms"), nullptr);
+}
+
+TEST(ServeService, RunReportRejectsUnknownSelectors) {
+  engine::ExperimentEngine eng;
+  std::string err;
+  serve::RunSpec spec;
+  spec.workload = "NotAWorkload";
+  EXPECT_FALSE(serve::run_report(eng, spec, &err));
+  EXPECT_NE(err.find("unknown workload"), std::string::npos);
+  spec.workload = "GEMM";
+  spec.variant = "XXL";
+  EXPECT_FALSE(serve::run_report(eng, spec, &err));
+  EXPECT_NE(err.find("variant"), std::string::npos);
+  spec.variant = "all";
+  spec.case_sel = "99";
+  EXPECT_FALSE(serve::run_report(eng, spec, &err));
+  EXPECT_NE(err.find("out of range"), std::string::npos);
+  spec.case_sel = "rep";
+  spec.gpu = "V100";
+  EXPECT_FALSE(serve::run_report(eng, spec, &err));
+  EXPECT_NE(err.find("gpu"), std::string::npos);
+  // All-or-nothing: nothing was executed along the way.
+  EXPECT_FALSE(eng.active());
+}
+
+// ---------------------------------------------------------------------------
+// Server: admission, deadlines, drain — over a real Unix socket.
+
+struct LiveServer {
+  explicit LiveServer(serve::ServerOptions opts)
+      : server(std::move(opts)) {
+    std::string err;
+    if (!server.start(&err)) throw std::runtime_error(err);
+    thread = std::thread([this] { server.serve(); });
+  }
+  ~LiveServer() {
+    if (thread.joinable()) {
+      server.request_shutdown();
+      thread.join();
+    }
+  }
+  void shutdown_and_join() {
+    server.request_shutdown();
+    thread.join();
+  }
+
+  serve::Server server;
+  std::thread thread;
+};
+
+std::string temp_socket(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("cubie_serve_") + tag + ".sock"))
+      .string();
+}
+
+serve::Request sleep_request(const std::string& id, double ms,
+                             double deadline_ms = 0) {
+  serve::Request r;
+  r.id = id;
+  r.cmd = serve::Cmd::Sleep;
+  r.sleep_ms = ms;
+  r.deadline_ms = deadline_ms;
+  return r;
+}
+
+std::string error_code_of(const report::Json& resp) {
+  const auto* e = resp.find("error");
+  if (e == nullptr) return "";
+  const auto* c = e->find("code");
+  return c != nullptr && c->is_string() ? c->as_string() : "";
+}
+
+TEST(ServeServer, PingAndStatsOverUnixSocket) {
+  serve::ServerOptions opts;
+  opts.socket_path = temp_socket("ping");
+  LiveServer live(opts);
+  std::string err;
+  auto client = serve::Client::connect({opts.socket_path, -1}, &err);
+  ASSERT_TRUE(client) << err;
+  serve::Request ping;
+  ping.id = "p1";
+  ping.cmd = serve::Cmd::Ping;
+  const auto resp = client->call(ping, &err);
+  ASSERT_TRUE(resp) << err;
+  EXPECT_TRUE(resp->find("ok")->as_bool());
+  EXPECT_EQ(resp->find("id")->as_string(), "p1");
+  EXPECT_EQ(resp->find("protocol_version")->as_number(),
+            serve::kProtocolVersion);
+
+  serve::Request stats;
+  stats.cmd = serve::Cmd::Stats;
+  const auto st = client->call(stats, &err);
+  ASSERT_TRUE(st) << err;
+  EXPECT_NE(st->find("engine"), nullptr);
+  EXPECT_NE(st->find("server"), nullptr);
+  EXPECT_GE(st->find("server")->find("connections")->as_number(), 1.0);
+}
+
+TEST(ServeServer, TcpEphemeralPortWorks) {
+  serve::ServerOptions opts;
+  opts.tcp_port = 0;  // ephemeral
+  LiveServer live(opts);
+  EXPECT_GT(live.server.tcp_port(), 0);
+  std::string err;
+  auto client = serve::Client::connect({"", live.server.tcp_port()}, &err);
+  ASSERT_TRUE(client) << err;
+  serve::Request ping;
+  ping.cmd = serve::Cmd::Ping;
+  const auto resp = client->call(ping, &err);
+  ASSERT_TRUE(resp) << err;
+  EXPECT_TRUE(resp->find("ok")->as_bool());
+}
+
+TEST(ServeServer, ServedRunMatchesLocalRunReportByteForByte) {
+  serve::ServerOptions opts;
+  opts.socket_path = temp_socket("bytes");
+  LiveServer live(opts);
+  std::string err;
+  auto client = serve::Client::connect({opts.socket_path, -1}, &err);
+  ASSERT_TRUE(client) << err;
+
+  serve::Request req;
+  req.id = "b1";
+  req.cmd = serve::Cmd::Run;
+  req.spec.workload = "GEMM";
+  req.spec.scale = 64;
+  const auto resp = client->call(req, &err);
+  ASSERT_TRUE(resp) << err;
+  ASSERT_TRUE(resp->find("ok")->as_bool());
+  ASSERT_NE(resp->find("report"), nullptr);
+  // The envelope also carries the engine stats the report omits.
+  ASSERT_NE(resp->find("engine"), nullptr);
+  EXPECT_GT(resp->find("engine")->find("misses")->as_number(), 0.0);
+
+  engine::ExperimentEngine local;
+  serve::RunSpec spec;
+  spec.workload = "GEMM";
+  spec.scale = 64;
+  const auto direct = serve::run_report(local, spec, &err);
+  ASSERT_TRUE(direct) << err;
+  EXPECT_EQ(resp->find("report")->dump(2), direct->to_json().dump(2));
+}
+
+TEST(ServeServer, BoundedQueueRejectsWithOverloaded) {
+  serve::ServerOptions opts;
+  opts.socket_path = temp_socket("queue");
+  opts.workers = 1;
+  opts.queue_limit = 1;
+  LiveServer live(opts);
+
+  auto sink = std::make_shared<telemetry::MemorySink>();
+  telemetry::bus().add_sink(sink);
+
+  std::string err;
+  auto a = serve::Client::connect({opts.socket_path, -1}, &err);
+  auto b = serve::Client::connect({opts.socket_path, -1}, &err);
+  auto c = serve::Client::connect({opts.socket_path, -1}, &err);
+  ASSERT_TRUE(a && b && c) << err;
+
+  // A occupies the single worker...
+  ASSERT_TRUE(a->send_line(
+      serve::request_to_json(sleep_request("a", 700)).dump(-1)));
+  for (int i = 0; i < 500 && live.server.stats().started < 1; ++i)
+    std::this_thread::sleep_for(2ms);
+  ASSERT_EQ(live.server.stats().started, 1u);
+  // ...B fills the queue (limit 1)...
+  ASSERT_TRUE(b->send_line(
+      serve::request_to_json(sleep_request("b", 10)).dump(-1)));
+  for (int i = 0; i < 500 && live.server.stats().accepted < 2; ++i)
+    std::this_thread::sleep_for(2ms);
+  ASSERT_EQ(live.server.stats().accepted, 2u);
+  // ...so C is rejected at admission: explicit backpressure, no waiting.
+  const auto rejected = c->call(sleep_request("c", 10), &err);
+  ASSERT_TRUE(rejected) << err;
+  EXPECT_FALSE(rejected->find("ok")->as_bool());
+  EXPECT_EQ(error_code_of(*rejected), "overloaded");
+
+  // A and B still complete normally.
+  EXPECT_TRUE(a->recv_line());
+  EXPECT_TRUE(b->recv_line());
+  const auto st = live.server.stats();
+  EXPECT_EQ(st.rejected_overloaded, 1u);
+  EXPECT_EQ(st.max_queue_depth, 1u);
+
+  bool saw_rejected_event = false;
+  for (const auto& e : sink->events())
+    if (e.kind == telemetry::EventKind::RequestRejected &&
+        e.detail == "c" && e.source == "overloaded" && e.ok == 0)
+      saw_rejected_event = true;
+  EXPECT_TRUE(saw_rejected_event);
+  telemetry::bus().remove_sink(sink.get());
+}
+
+TEST(ServeServer, ExpiredDeadlineRejectsAtDequeue) {
+  serve::ServerOptions opts;
+  opts.socket_path = temp_socket("deadline");
+  opts.workers = 1;
+  LiveServer live(opts);
+  std::string err;
+  auto a = serve::Client::connect({opts.socket_path, -1}, &err);
+  auto b = serve::Client::connect({opts.socket_path, -1}, &err);
+  ASSERT_TRUE(a && b) << err;
+
+  // A holds the worker for 400 ms; B's 50 ms deadline expires while queued.
+  ASSERT_TRUE(a->send_line(
+      serve::request_to_json(sleep_request("a", 400)).dump(-1)));
+  for (int i = 0; i < 500 && live.server.stats().started < 1; ++i)
+    std::this_thread::sleep_for(2ms);
+  ASSERT_EQ(live.server.stats().started, 1u);
+  const auto resp = b->call(sleep_request("b", 10, /*deadline_ms=*/50), &err);
+  ASSERT_TRUE(resp) << err;
+  EXPECT_FALSE(resp->find("ok")->as_bool());
+  EXPECT_EQ(error_code_of(*resp), "deadline_exceeded");
+  EXPECT_TRUE(a->recv_line());  // A is unaffected
+  EXPECT_EQ(live.server.stats().rejected_deadline, 1u);
+}
+
+TEST(ServeServer, DrainCompletesInFlightWork) {
+  serve::ServerOptions opts;
+  opts.socket_path = temp_socket("drain");
+  opts.workers = 1;
+  LiveServer live(opts);
+  std::string err;
+  auto a = serve::Client::connect({opts.socket_path, -1}, &err);
+  ASSERT_TRUE(a) << err;
+  ASSERT_TRUE(a->send_line(
+      serve::request_to_json(sleep_request("a", 300)).dump(-1)));
+  for (int i = 0; i < 500 && live.server.stats().accepted < 1; ++i)
+    std::this_thread::sleep_for(2ms);
+
+  live.shutdown_and_join();  // graceful: returns only after A's response
+
+  const auto line = a->recv_line();
+  ASSERT_TRUE(line);  // the in-flight response was written before the join
+  const auto resp = report::Json::parse(*line);
+  ASSERT_TRUE(resp);
+  EXPECT_TRUE(resp->find("ok")->as_bool());
+  EXPECT_EQ(resp->find("id")->as_string(), "a");
+  EXPECT_EQ(live.server.stats().completed, 1u);
+}
+
+TEST(ServeServer, ConcurrentIdenticalRunsComputeEachCellOnce) {
+  serve::ServerOptions opts;
+  opts.socket_path = temp_socket("coalesce");
+  opts.workers = 4;
+  LiveServer live(opts);
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      std::string err;
+      auto client = serve::Client::connect({opts.socket_path, -1}, &err);
+      ASSERT_TRUE(client) << err;
+      serve::Request req;
+      req.id = "k" + std::to_string(i);
+      req.cmd = serve::Cmd::Run;
+      req.spec.workload = "GEMV";
+      req.spec.scale = 16;
+      const auto resp = client->call(req, &err);
+      ASSERT_TRUE(resp) << err;
+      if (resp->find("ok")->as_bool()) ok_count.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(ok_count.load(), kClients);
+
+  // Single-flight + memoization: the K identical plans computed each unique
+  // cell exactly once; every other request for it was a memo or coalesced
+  // hit. With 4 workers racing the same plan, coalescing is what keeps the
+  // "exactly once" true while cells are still in flight.
+  const auto c = live.server.engine().counters();
+  const std::size_t cells = live.server.engine().materialized().size();
+  EXPECT_EQ(c.misses, cells);
+  EXPECT_GT(c.memo_hits + c.coalesced_hits, 0u);
+}
+
+TEST(ServeServer, RequestLifecycleOnTheBus) {
+  auto sink = std::make_shared<telemetry::MemorySink>();
+  telemetry::bus().add_sink(sink);
+  {
+    serve::ServerOptions opts;
+    opts.socket_path = temp_socket("events");
+    LiveServer live(opts);
+    std::string err;
+    auto client = serve::Client::connect({opts.socket_path, -1}, &err);
+    ASSERT_TRUE(client) << err;
+    const auto resp = client->call(sleep_request("e1", 5), &err);
+    ASSERT_TRUE(resp) << err;
+    EXPECT_TRUE(resp->find("ok")->as_bool());
+  }
+  telemetry::bus().remove_sink(sink.get());
+
+  int accepted = 0, queued = 0, started = 0, finished = 0;
+  for (const auto& e : sink->events()) {
+    if (e.detail != "e1") continue;
+    EXPECT_EQ(e.name, "sleep");
+    switch (e.kind) {
+      case telemetry::EventKind::RequestAccepted: ++accepted; break;
+      case telemetry::EventKind::RequestQueued:
+        ++queued;
+        EXPECT_GE(e.count, 1u);
+        break;
+      case telemetry::EventKind::RequestStarted: ++started; break;
+      case telemetry::EventKind::RequestFinished:
+        ++finished;
+        EXPECT_GE(e.wall_s, 0.0);
+        EXPECT_EQ(e.ok, 1);
+        break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(accepted, 1);
+  EXPECT_EQ(queued, 1);
+  EXPECT_EQ(started, 1);
+  EXPECT_EQ(finished, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Load generator.
+
+TEST(ServeLoadgen, PercentilesAreNearestRank) {
+  serve::LoadgenResult r;
+  r.latencies_ms = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  r.completed = 10;
+  r.wall_s = 2.0;
+  EXPECT_DOUBLE_EQ(r.percentile_ms(50), 5.0);
+  EXPECT_DOUBLE_EQ(r.percentile_ms(95), 10.0);
+  EXPECT_DOUBLE_EQ(r.percentile_ms(99), 10.0);
+  EXPECT_DOUBLE_EQ(r.percentile_ms(100), 10.0);
+  EXPECT_DOUBLE_EQ(r.req_per_s(), 5.0);
+  serve::LoadgenResult empty;
+  EXPECT_DOUBLE_EQ(empty.percentile_ms(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.req_per_s(), 0.0);
+}
+
+TEST(ServeLoadgen, FiresMixAndReduces) {
+  serve::ServerOptions opts;
+  opts.socket_path = temp_socket("loadgen");
+  opts.workers = 2;
+  LiveServer live(opts);
+
+  serve::LoadgenOptions lo;
+  lo.endpoint = {opts.socket_path, -1};
+  lo.concurrency = 3;
+  lo.requests = 12;
+  serve::Request ping;
+  ping.cmd = serve::Cmd::Ping;
+  lo.mix = {ping};
+  serve::LoadgenResult res;
+  std::string err;
+  ASSERT_TRUE(serve::run_loadgen(lo, res, &err)) << err;
+  EXPECT_EQ(res.completed, 12u);
+  EXPECT_EQ(res.rejected, 0u);
+  EXPECT_EQ(res.transport_errors, 0u);
+  EXPECT_EQ(res.latencies_ms.size(), 12u);
+  EXPECT_LE(res.percentile_ms(50), res.percentile_ms(95));
+  EXPECT_LE(res.percentile_ms(95), res.percentile_ms(99));
+  EXPECT_GT(res.req_per_s(), 0.0);
+
+  const auto rep = serve::loadgen_report(res);
+  EXPECT_EQ(rep.tool, "cubie_loadgen");
+  ASSERT_EQ(rep.records.size(), 1u);
+  const auto& rec = rep.records[0];
+  EXPECT_EQ(rec.key(), "loadgen|mix|-|aggregate");
+  for (const char* m :
+       {"req_per_s", "p50_ms", "p95_ms", "p99_ms", "completed", "rejected"})
+    EXPECT_NE(rec.get(m), nullptr) << m;
+}
+
+TEST(ServeLoadgen, ConnectFailureIsAnError) {
+  serve::LoadgenOptions lo;
+  lo.endpoint = {temp_socket("nonexistent"), -1};
+  serve::Request ping;
+  ping.cmd = serve::Cmd::Ping;
+  lo.mix = {ping};
+  serve::LoadgenResult res;
+  std::string err;
+  EXPECT_FALSE(serve::run_loadgen(lo, res, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace cubie

@@ -141,10 +141,12 @@ TEST(TelemetryEngine, FinishCountsMatchEngineCounters) {
     EXPECT_EQ(n.count("disk") ? n.at("disk") : 0u, c.disk_hits);
     EXPECT_EQ(n.at("compute"), c.misses + c.traced_reruns);
     EXPECT_EQ(n.at("memo"), c.memo_hits);
+    EXPECT_EQ(n.count("coalesced") ? n.at("coalesced") : 0u,
+              c.coalesced_hits);
     std::size_t total = 0;
     for (const auto& [src, k] : n) total += k;
-    EXPECT_EQ(total,
-              c.misses + c.traced_reruns + c.memo_hits + c.disk_hits);
+    EXPECT_EQ(total, c.misses + c.traced_reruns + c.memo_hits + c.disk_hits +
+                         c.coalesced_hits);
   }
 
   // A second engine over the same cache dir serves every cell from disk.

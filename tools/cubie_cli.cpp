@@ -1,13 +1,14 @@
 // cubie: the command-line driver for the suite. Runs any workload / variant
 // / test case against any device model and reports performance, power, and
-// accuracy; also lists the suite and dumps machine-readable CSV.
+// accuracy; also lists the suite, dumps machine-readable CSV, and fronts
+// the Cubie-Serve experiment daemon.
 //
 //   cubie list
 //   cubie cases <workload> [--scale N]
 //   cubie run <workload> [--variant TC|CC|CC-E|Baseline|all]
 //                        [--case IDX|all] [--gpu A100|H200|B200|all]
-//                        [--scale N] [--errors] [--csv]
-//                        [--jobs N] [--cache DIR]
+//                        [--scale N] [--errors] [--csv] [--check]
+//                        [--json file] [--jobs N] [--cache DIR]
 //   cubie profile <workload> [--variant TC] [--case IDX] [--gpu H200]
 //                        [--scale N] [--json file] [--cache DIR]
 //   cubie check [workload...] [--case rep|all] [--scale N] [--json file]
@@ -15,6 +16,13 @@
 //   cubie record --json report.json [--history FILE] [--sha SHA]
 //                        [--perturb EPS]
 //   cubie trend [--history FILE] [--tol FRAC] [--metric NAME]
+//   cubie serve [--socket PATH | --port N] [--workers N] [--queue-limit N]
+//                        [--jobs N] [--cache DIR]
+//   cubie loadgen [workload...] [--socket PATH | --port N]
+//                        [--concurrency N] [--requests N] [--sleep-ms MS]
+//                        [--deadline MS] [--json file]
+//   cubie request <cmd> [workload] [--socket PATH | --port N]
+//                        [--deadline MS] [--json file]
 //
 // run, profile, and check go through engine::ExperimentEngine: each unique
 // (workload, variant, case, scale) cell executes once and is re-priced on
@@ -22,6 +30,11 @@
 // --jobs fans the functional runs out over a thread pool. They also accept
 // the Cubie-Scope flags --events FILE (JSONL event log), --trace-out FILE
 // (Chrome trace_event timeline), and --progress (live stderr progress).
+//
+// run's --json writes the schema-v1 MetricsReport built by
+// serve::run_report — the same routine the Cubie-Serve daemon answers
+// "run" requests with, so a served response is byte-identical to the file
+// this command writes for the same plan.
 //
 // check is the Cubie-Check differential conformance harness (src/check/):
 // it judges every non-baseline variant against the baseline variant (or
@@ -32,9 +45,17 @@
 // record / trend are the Cubie-Scope bench-history regression store
 // (src/telemetry/history.hpp): record appends one summarized report to
 // BENCH_history.jsonl; trend judges the newest entry against the rolling
-// median of its predecessors and exits 1 past the tolerance. record's
-// --perturb skews the metrics before appending so CI can prove trend
-// rejects a regressed entry. See docs/OBSERVABILITY.md.
+// median of its predecessors and exits 1 past the tolerance. record
+// resolves the sha to attribute as --sha, then $GITHUB_SHA, then
+// `git rev-parse --short HEAD`, and records the documented "unknown" when
+// all three are unavailable. record's --perturb skews the metrics before
+// appending so CI can prove trend rejects a regressed entry.
+//
+// serve / loadgen / request are the Cubie-Serve daemon and its clients
+// (src/serve/, docs/SERVING.md): serve hosts one warm engine behind a
+// line-delimited JSON socket protocol with bounded-queue backpressure and
+// request coalescing; loadgen measures serving throughput and latency
+// percentiles; request is a one-shot scripting client.
 
 #include "check/check.hpp"
 #include "common/metrics.hpp"
@@ -42,14 +63,19 @@
 #include "common/table.hpp"
 #include "core/kernels.hpp"
 #include "engine/engine.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "sim/model.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/history.hpp"
 #include "telemetry/sinks.hpp"
 
 #include <algorithm>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <optional>
@@ -60,14 +86,28 @@ namespace {
 
 using namespace cubie;
 
+constexpr const char* kSubcommands[] = {
+    "list", "cases",  "run",   "profile", "check",
+    "record", "trend", "serve", "loadgen", "request",
+};
+
+constexpr const char* kFlags[] = {
+    "--scale",  "--variant",     "--case",    "--gpu",      "--dataset",
+    "--json",   "--jobs",        "--cache",   "--perturb",  "--events",
+    "--trace-out", "--progress", "--history", "--sha",      "--tol",
+    "--metric", "--errors",      "--csv",     "--check",    "--socket",
+    "--port",   "--workers",     "--queue-limit", "--concurrency",
+    "--requests", "--sleep-ms",  "--deadline",
+};
+
 int usage() {
   std::cerr <<
       "usage:\n"
       "  cubie list\n"
       "  cubie cases <workload> [--scale N]\n"
       "  cubie run <workload> [--variant V|all] [--case I|all]\n"
-      "            [--gpu G|all] [--scale N] [--errors] [--csv]\n"
-      "            [--jobs N] [--cache DIR]\n"
+      "            [--gpu G|all] [--scale N] [--errors] [--csv] [--check]\n"
+      "            [--json file] [--jobs N] [--cache DIR]\n"
       "            [--dataset file.mtx]   (SpMV / SpGEMM only)\n"
       "  cubie profile <workload> [--variant V] [--case I] [--gpu G]\n"
       "            [--scale N] [--json file] [--cache DIR]\n"
@@ -76,9 +116,58 @@ int usage() {
       "  cubie record --json report.json [--history FILE] [--sha SHA]\n"
       "            [--perturb EPS]\n"
       "  cubie trend [--history FILE] [--tol FRAC] [--metric NAME]\n"
-      "run/profile/check also accept [--events FILE] [--trace-out FILE]\n"
-      "[--progress] (Cubie-Scope telemetry; see docs/OBSERVABILITY.md)\n";
+      "  cubie serve [--socket PATH | --port N] [--workers N]\n"
+      "            [--queue-limit N] [--jobs N] [--cache DIR]\n"
+      "  cubie loadgen [workload...] [--socket PATH | --port N]\n"
+      "            [--concurrency N] [--requests N] [--sleep-ms MS]\n"
+      "            [--deadline MS] [--json file]\n"
+      "  cubie request <cmd> [workload] [--socket PATH | --port N]\n"
+      "            [--deadline MS] [--json file]\n"
+      "run/profile/check/serve also accept [--events FILE]\n"
+      "[--trace-out FILE] [--progress] (Cubie-Scope telemetry; see\n"
+      "docs/OBSERVABILITY.md; serving: docs/SERVING.md)\n";
   return 2;
+}
+
+// Classic dynamic-programming edit distance, for "did you mean" hints.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+template <std::size_t N>
+std::string nearest(const std::string& word, const char* const (&cands)[N]) {
+  std::string best;
+  std::size_t best_d = std::string::npos;
+  for (const char* c : cands) {
+    const std::size_t d = edit_distance(word, c);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+int unknown_subcommand(const std::string& arg) {
+  std::cerr << "cubie: unknown subcommand '" << arg << "' (did you mean '"
+            << nearest(arg, kSubcommands) << "'?)\n";
+  return usage();
+}
+
+int unknown_flag(const std::string& cmd, const std::string& arg) {
+  std::cerr << "cubie " << cmd << ": unknown flag '" << arg
+            << "' (did you mean '" << nearest(arg, kFlags) << "'?)\n";
+  return usage();
 }
 
 std::optional<core::Variant> parse_variant(const std::string& s) {
@@ -242,6 +331,27 @@ int cmd_check(engine::ExperimentEngine& eng,
   return conf.pass() ? 0 : 1;
 }
 
+// The sha a history entry is attributed to: --sha wins, then $GITHUB_SHA
+// (CI), then the working tree's `git rev-parse --short HEAD`. Outside a
+// git checkout (or with git missing) the recorded sha is the documented
+// "unknown" — never an error, so `cubie record` works on unpacked
+// tarballs and in containers without git.
+std::string resolve_sha(std::string sha) {
+  if (!sha.empty()) return sha;
+  if (const char* env = std::getenv("GITHUB_SHA"); env != nullptr && *env)
+    return env;
+  if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    std::string out;
+    char buf[128];
+    while (std::fgets(buf, sizeof buf, p) != nullptr) out += buf;
+    const int rc = ::pclose(p);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+      out.pop_back();
+    if (rc == 0 && !out.empty()) return out;
+  }
+  return "unknown";
+}
+
 // Append one summarized --json report to the bench history. `perturb`
 // multiplies every metric mean by (1 + perturb) before appending — the
 // falsifiability hook ctest/CI use to prove `cubie trend` rejects a
@@ -258,11 +368,8 @@ int cmd_record(const std::string& json_path, const std::string& history_path,
     std::cerr << "cubie record: " << json_path << ": " << err << '\n';
     return 2;
   }
-  if (sha.empty()) {
-    const char* env = std::getenv("GITHUB_SHA");
-    sha = env != nullptr && *env != '\0' ? env : "local";
-  }
-  telemetry::HistoryEntry e = telemetry::summarize(*rep, std::move(sha));
+  telemetry::HistoryEntry e =
+      telemetry::summarize(*rep, resolve_sha(std::move(sha)));
   if (perturb != 0.0) {
     for (auto& [name, value] : e.metrics) value *= 1.0 + perturb;
   }
@@ -325,11 +432,137 @@ int cmd_cases(const core::Workload& w, int scale) {
   return 0;
 }
 
+// --- Cubie-Serve ----------------------------------------------------------
+
+serve::Server* g_server = nullptr;  // for the signal handler only
+
+extern "C" void on_shutdown_signal(int) {
+  // Async-signal-safe: request_shutdown is an atomic store + pipe write.
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+int cmd_serve(serve::ServerOptions sopts) {
+  serve::Server server(std::move(sopts));
+  std::string err;
+  if (!server.start(&err)) {
+    std::cerr << "cubie serve: " << err << '\n';
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+  std::cerr << "cubie serve: listening on " << server.endpoint() << " ("
+            << "workers " << server.engine().options().jobs << "x engine jobs"
+            << "; SIGINT or a 'shutdown' request drains)\n";
+  server.serve();
+  g_server = nullptr;
+  const auto st = server.stats();
+  const auto ec = server.engine().counters();
+  std::cerr << "cubie serve: drained. " << st.completed << " completed, "
+            << st.rejected_overloaded << " overloaded, "
+            << st.rejected_deadline << " deadline, " << st.rejected_shutdown
+            << " shutting-down, " << st.bad_requests
+            << " bad request(s); engine " << ec.misses << " run(s), "
+            << ec.memo_hits << " memo, " << ec.disk_hits << " disk, "
+            << ec.coalesced_hits << " coalesced\n";
+  return 0;
+}
+
+int cmd_loadgen(const serve::LoadgenOptions& lopts,
+                const std::string& json_path) {
+  serve::LoadgenResult res;
+  std::string err;
+  if (!serve::run_loadgen(lopts, res, &err)) {
+    std::cerr << "cubie loadgen: " << err << '\n';
+    return 1;
+  }
+  common::Table t({"metric", "value"});
+  t.add_row({"completed", std::to_string(res.completed)});
+  t.add_row({"rejected", std::to_string(res.rejected)});
+  for (const auto& [code, n] : res.by_code)
+    t.add_row({"  " + code, std::to_string(n)});
+  t.add_row({"transport_errors", std::to_string(res.transport_errors)});
+  t.add_row({"wall_s", common::fmt_double(res.wall_s, 3)});
+  t.add_row({"req_per_s", common::fmt_double(res.req_per_s(), 1)});
+  t.add_row({"p50_ms", common::fmt_double(res.percentile_ms(50), 3)});
+  t.add_row({"p95_ms", common::fmt_double(res.percentile_ms(95), 3)});
+  t.add_row({"p99_ms", common::fmt_double(res.percentile_ms(99), 3)});
+  t.print(std::cout);
+  if (!json_path.empty()) {
+    if (!serve::loadgen_report(res).write_file(json_path)) {
+      std::cerr << "cannot write " << json_path << '\n';
+      return 1;
+    }
+    if (json_path != "-") std::cerr << "[json report: " << json_path << "]\n";
+  }
+  if (res.completed == 0) {
+    std::cerr << "cubie loadgen: no request completed\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_request(const serve::Endpoint& ep, serve::Request req,
+                const std::string& json_path) {
+  std::string err;
+  auto client = serve::Client::connect(ep, &err);
+  if (!client) {
+    std::cerr << "cubie request: " << err << '\n';
+    return 1;
+  }
+  auto resp = client->call(req, &err);
+  if (!resp) {
+    std::cerr << "cubie request: " << err << '\n';
+    return 1;
+  }
+  const report::Json* ok = resp->find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    std::string code = "internal", msg;
+    if (const report::Json* e = resp->find("error")) {
+      if (const report::Json* c = e->find("code"); c && c->is_string())
+        code = c->as_string();
+      if (const report::Json* m = e->find("message"); m && m->is_string())
+        msg = m->as_string();
+    }
+    std::cerr << "cubie request: " << code << ": " << msg << '\n';
+    return 1;
+  }
+  if (!json_path.empty()) {
+    // Write just the MetricsReport, formatted exactly like write_file so
+    // the file is byte-comparable (cmp) with a direct `cubie run --json`.
+    const report::Json* rep = resp->find("report");
+    if (rep == nullptr) {
+      std::cerr << "cubie request: response has no report to write\n";
+      return 1;
+    }
+    const std::string text = rep->dump(2) + "\n";
+    if (json_path == "-") {
+      std::cout << text;
+    } else {
+      std::ofstream os(json_path);
+      if (!os || !(os << text)) {
+        std::cerr << "cannot write " << json_path << '\n';
+        return 1;
+      }
+      std::cerr << "[json report: " << json_path << "]\n";
+    }
+    return 0;
+  }
+  std::cout << resp->dump(2) << '\n';
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage();
+  const std::string cmd = args[0];
+  const bool known_cmd =
+      std::find_if(std::begin(kSubcommands), std::end(kSubcommands),
+                   [&](const char* c) { return cmd == c; }) !=
+      std::end(kSubcommands);
+  if (!known_cmd) return unknown_subcommand(cmd);
 
   // Common flags.
   int scale = common::scale_divisor();
@@ -339,13 +572,18 @@ int main(int argc, char** argv) {
   engine::EngineOptions eng_opts;
   telemetry::SinkConfig scope;
   scope.tool = "cubie";
-  bool errors = false, csv = false;
+  bool errors = false, csv = false, check_flag = false;
   double perturb = 0.0;
   std::string history_path = telemetry::kDefaultHistoryPath;
   std::string sha, trend_metric;
   double tol = 0.10;
-  // check accepts any number of workload names; every other command takes
-  // at most one.
+  // Cubie-Serve endpoint + shape.
+  std::string socket_path;
+  int port = -1, workers = 2, queue_limit = 16;
+  int concurrency = 4, requests = 64;
+  double sleep_ms = 0.0, deadline_ms = 0.0;
+  // check / loadgen / request accept several positionals; every other
+  // command takes at most one.
   std::vector<std::string> positionals;
   for (std::size_t i = 1; i < args.size(); ++i) {
     auto next = [&](const char* flag) -> std::string {
@@ -374,39 +612,137 @@ int main(int argc, char** argv) {
     else if (args[i] == "--metric") trend_metric = next("--metric");
     else if (args[i] == "--errors") errors = true;
     else if (args[i] == "--csv") csv = true;
-    else if (!args[i].empty() && args[i][0] == '-') return usage();
+    else if (args[i] == "--check") check_flag = true;
+    else if (args[i] == "--socket") socket_path = next("--socket");
+    else if (args[i] == "--port")
+      port = std::max(0, std::atoi(next("--port").c_str()));
+    else if (args[i] == "--workers")
+      workers = std::max(1, std::atoi(next("--workers").c_str()));
+    else if (args[i] == "--queue-limit")
+      queue_limit = std::max(1, std::atoi(next("--queue-limit").c_str()));
+    else if (args[i] == "--concurrency")
+      concurrency = std::max(1, std::atoi(next("--concurrency").c_str()));
+    else if (args[i] == "--requests")
+      requests = std::max(0, std::atoi(next("--requests").c_str()));
+    else if (args[i] == "--sleep-ms") sleep_ms = std::atof(next("--sleep-ms").c_str());
+    else if (args[i] == "--deadline")
+      deadline_ms = std::atof(next("--deadline").c_str());
+    else if (!args[i].empty() && args[i][0] == '-')
+      return unknown_flag(cmd, args[i]);
     else positionals.push_back(args[i]);
   }
-  if (args[0] != "check" && positionals.size() > 1) return usage();
+  const bool multi_positional =
+      cmd == "check" || cmd == "loadgen" || cmd == "request";
+  if (!multi_positional && positionals.size() > 1) {
+    std::cerr << "cubie " << cmd << ": unexpected argument '" << positionals[1]
+              << "'\n";
+    return usage();
+  }
   const std::string workload_name =
       positionals.empty() ? std::string() : positionals[0];
 
   // The history commands never touch the engine.
-  if (args[0] == "record")
+  if (cmd == "record")
     return cmd_record(json_path, history_path, std::move(sha), perturb);
-  if (args[0] == "trend") return cmd_trend(history_path, tol, trend_metric);
+  if (cmd == "trend") return cmd_trend(history_path, tol, trend_metric);
+
+  // The client commands talk to a daemon's engine, not their own.
+  const serve::Endpoint ep{socket_path, port};
+  if (cmd == "loadgen") {
+    serve::LoadgenOptions lo;
+    lo.endpoint = ep;
+    lo.concurrency = concurrency;
+    lo.requests = requests;
+    lo.deadline_ms = deadline_ms;
+    for (const auto& name : positionals) {
+      serve::Request r;
+      r.cmd = serve::Cmd::Run;
+      r.spec.workload = name;
+      r.spec.variant = variant_arg;
+      r.spec.case_sel = case_arg;
+      r.spec.gpu = gpu_arg;
+      r.spec.scale = scale;
+      lo.mix.push_back(std::move(r));
+    }
+    if (sleep_ms > 0) {
+      serve::Request r;
+      r.cmd = serve::Cmd::Sleep;
+      r.sleep_ms = sleep_ms;
+      lo.mix.push_back(std::move(r));
+    }
+    if (lo.mix.empty()) {
+      serve::Request r;
+      r.cmd = serve::Cmd::Ping;
+      lo.mix.push_back(std::move(r));
+    }
+    return cmd_loadgen(lo, json_path);
+  }
+  if (cmd == "request") {
+    if (positionals.empty()) {
+      std::cerr << "cubie request needs a protocol cmd "
+                   "(run|suite|check|stats|ping|sleep|shutdown)\n";
+      return 2;
+    }
+    const auto pc = serve::parse_cmd(positionals[0]);
+    if (!pc) {
+      std::cerr << "cubie request: unknown protocol cmd '" << positionals[0]
+                << "' (run|suite|check|stats|ping|sleep|shutdown)\n";
+      return 2;
+    }
+    serve::Request r;
+    r.id = "cli";
+    r.cmd = *pc;
+    if (positionals.size() > 1) r.spec.workload = positionals[1];
+    r.spec.variant = variant_arg;
+    r.spec.case_sel = case_arg;
+    r.spec.gpu = gpu_arg;
+    r.spec.scale = scale;
+    r.spec.errors = errors;
+    r.spec.check = check_flag;
+    r.sleep_ms = sleep_ms;
+    r.deadline_ms = deadline_ms;
+    return cmd_request(ep, std::move(r), json_path);
+  }
 
   scope.jobs = eng_opts.jobs;
+  if (cmd == "serve") {
+    const telemetry::SinkSet sinks = telemetry::install(scope);
+    serve::ServerOptions sopts;
+    sopts.socket_path = socket_path;
+    sopts.tcp_port = port;
+    sopts.workers = workers;
+    sopts.queue_limit = queue_limit;
+    sopts.engine = eng_opts;
+    if (sopts.socket_path.empty() && sopts.tcp_port < 0) {
+      std::cerr << "cubie serve needs an endpoint: --socket PATH or "
+                   "--port N (0 = ephemeral)\n";
+      return 2;
+    }
+    return cmd_serve(std::move(sopts));
+  }
+
   engine::ExperimentEngine eng(eng_opts);
   const telemetry::SinkSet sinks = telemetry::install(scope);
-  if (args[0] == "list") return cmd_list(eng);
+  if (cmd == "list") return cmd_list(eng);
 
-  if (args[0] == "check")
+  if (cmd == "check")
     return cmd_check(eng, positionals, scale, case_arg == "all", json_path,
                      perturb);
 
-  if ((args[0] == "cases" || args[0] == "run" || args[0] == "profile") &&
-      workload_name.empty())
+  if ((cmd == "cases" || cmd == "run" || cmd == "profile") &&
+      workload_name.empty()) {
+    std::cerr << "cubie " << cmd << " needs a workload (try: cubie list)\n";
     return usage();
+  }
   const auto* w = eng.workload(workload_name);
   if (!w) {
     std::cerr << "unknown workload '" << workload_name << "' (try: cubie list)\n";
     return 2;
   }
 
-  if (args[0] == "cases") return cmd_cases(*w, scale);
+  if (cmd == "cases") return cmd_cases(*w, scale);
 
-  if (args[0] == "profile") {
+  if (cmd == "profile") {
     // Single workload / variant / case / gpu: "all" is not meaningful here.
     const auto v = parse_variant(variant_arg == "all" ? "TC" : variant_arg);
     if (!v) {
@@ -432,7 +768,50 @@ int main(int argc, char** argv) {
     return cmd_profile(eng, *w, *v, cases[ci], scale, *g, json_path);
   }
 
-  if (args[0] != "run") return usage();
+  // cmd == "run" from here on.
+  int exit_code = 0;
+  if (!json_path.empty() || check_flag) {
+    // The structured path: serve::run_report, shared verbatim with the
+    // Cubie-Serve daemon (byte-identical served responses).
+    if (!dataset.empty()) {
+      std::cerr << "cubie run: --dataset cannot be combined with --json/"
+                   "--check (a custom dataset case is not Plan-expressible; "
+                   "drop one of the flags)\n";
+      return 2;
+    }
+    serve::RunSpec spec;
+    spec.workload = workload_name;
+    spec.variant = variant_arg;
+    spec.case_sel = case_arg;
+    spec.gpu = gpu_arg;
+    spec.scale = scale;
+    spec.errors = errors;
+    spec.check = check_flag;
+    std::string err;
+    check::ConformanceReport conf;
+    std::optional<report::MetricsReport> rep;
+    try {
+      rep = serve::run_report(eng, spec, &err, check_flag ? &conf : nullptr);
+    } catch (const engine::EngineError& ex) {
+      std::cerr << "cubie run: " << ex.what() << '\n';
+      return 1;
+    }
+    if (!rep) {
+      std::cerr << "cubie run: " << err << '\n';
+      return 2;
+    }
+    if (check_flag) {
+      conf.print_summary(std::cerr);
+      if (!conf.pass()) exit_code = 1;
+    }
+    if (!json_path.empty()) {
+      if (!rep->write_file(json_path)) {
+        std::cerr << "cannot write " << json_path << '\n';
+        return 1;
+      }
+      if (json_path != "-") std::cerr << "[json report: " << json_path << "]\n";
+    }
+  }
 
   // Resolve selections.
   std::vector<core::Variant> variants;
@@ -541,5 +920,5 @@ int main(int argc, char** argv) {
   std::cerr << "[engine: " << ec.misses << " run(s), " << ec.memo_hits
             << " memo hit(s), " << ec.disk_hits << " disk hit(s), "
             << common::fmt_double(ec.exec_wall_s * 1e3, 1) << " ms exec]\n";
-  return 0;
+  return exit_code;
 }

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the Cubie-Serve daemon, run from ctest:
+#   test_serve.sh <cubie-binary> <bench_diff-binary>
+# Starts `cubie serve` on a Unix socket, then proves the serving contract:
+#   * a served run is byte-identical (cmp) to a direct `cubie run --json`;
+#   * repeated + concurrent identical requests never recompute a cell
+#     (engine misses == materialized cells; memo/coalesced hits observed);
+#   * the loadgen emits a schema-v1 MetricsReport bench_diff can consume;
+#   * a bad request fails the client but not the daemon;
+#   * a `shutdown` request drains the daemon to a clean exit 0.
+set -eu
+
+CUBIE="$1"
+DIFF="$2"
+WORK="$(mktemp -d)"
+SOCK="$WORK/serve.sock"
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$CUBIE" serve --socket "$SOCK" --workers 2 --queue-limit 8 \
+         2> "$WORK/serve.log" &
+SERVER_PID=$!
+
+# Wait (up to ~10 s) for the daemon to answer ping.
+ok=0
+for _ in $(seq 1 100); do
+  if "$CUBIE" request ping --socket "$SOCK" > /dev/null 2>&1; then
+    ok=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$ok" -ne 1 ]; then
+  echo "FAIL: daemon never answered ping" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+
+# A served run must be byte-identical to a direct local run of the same
+# plan, and bench_diff must see zero delta between the two reports.
+"$CUBIE" request run GEMV --variant all --gpu all --scale 16 \
+         --socket "$SOCK" --json "$WORK/served.json" 2> /dev/null
+"$CUBIE" run GEMV --variant all --gpu all --scale 16 \
+         --json "$WORK/direct.json" > /dev/null 2>&1
+cmp "$WORK/served.json" "$WORK/direct.json"
+"$DIFF" "$WORK/served.json" "$WORK/direct.json" > /dev/null
+
+# The daemon's engine stays warm: the same request again is identical and
+# served from memo, and identical concurrent requests coalesce instead of
+# recomputing. Fire four at once, then read the stats envelope.
+"$CUBIE" request run GEMV --variant all --gpu all --scale 16 \
+         --socket "$SOCK" --json "$WORK/served2.json" 2> /dev/null
+cmp "$WORK/served.json" "$WORK/served2.json"
+pids=""
+for i in 1 2 3 4; do
+  "$CUBIE" request run GEMM --scale 16 --socket "$SOCK" \
+           --json "$WORK/conc_$i.json" 2> /dev/null &
+  pids="$pids $!"
+done
+for p in $pids; do wait "$p"; done
+cmp "$WORK/conc_1.json" "$WORK/conc_2.json"
+cmp "$WORK/conc_1.json" "$WORK/conc_4.json"
+
+"$CUBIE" request stats --socket "$SOCK" > "$WORK/stats.json"
+python3 - "$WORK/stats.json" <<'EOF'
+import json, sys
+env = json.load(open(sys.argv[1]))
+assert env["ok"] is True, env
+eng, srv = env["engine"], env["server"]
+# Every materialized cell was computed exactly once across all requests;
+# the repeats above were served as memo or coalesced hits.
+assert eng["misses"] == eng["cells"], eng
+assert eng["memo_hits"] + eng["coalesced_hits"] > 0, eng
+assert srv["completed"] >= 6, srv
+assert srv["rejected_overloaded"] == 0, srv
+print("stats ok: %d cells computed once, %d memo + %d coalesced" %
+      (eng["misses"], eng["memo_hits"], eng["coalesced_hits"]))
+EOF
+
+# The load generator produces a schema-v1 MetricsReport whose self-diff is
+# clean, with the latency/throughput metrics present.
+"$CUBIE" loadgen GEMV --socket "$SOCK" --concurrency 4 --requests 32 \
+         --scale 16 --sleep-ms 0.2 --json "$WORK/load.json" > /dev/null 2>&1
+"$DIFF" "$WORK/load.json" "$WORK/load.json" > /dev/null
+python3 - "$WORK/load.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+assert rep["schema_version"] == 1, rep
+assert rep["tool"] == "cubie_loadgen", rep
+(rec,) = rep["records"]
+for m in ("completed", "rejected", "req_per_s", "p50_ms", "p95_ms", "p99_ms"):
+    assert m in rec["metrics"], (m, rec)
+assert rec["metrics"]["completed"] == 32, rec
+assert rec["metrics"]["rejected"] == 0, rec
+print("loadgen report ok: %.0f req/s, p99 %.3f ms" %
+      (rec["metrics"]["req_per_s"], rec["metrics"]["p99_ms"]))
+EOF
+
+# A bad request fails the client (exit 1) without taking the daemon down.
+if "$CUBIE" request run NoSuchKernel --socket "$SOCK" > /dev/null 2>&1; then
+  echo "FAIL: unknown workload request did not fail" >&2
+  exit 1
+fi
+"$CUBIE" request ping --socket "$SOCK" > /dev/null
+
+# Graceful drain: a shutdown request ends `serve` with exit status 0.
+"$CUBIE" request shutdown --socket "$SOCK" > /dev/null
+rc=0
+wait "$SERVER_PID" || rc=$?
+SERVER_PID=""
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: daemon exited $rc after shutdown request" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+grep -q "drained" "$WORK/serve.log"
+
+echo "serve integration test OK"

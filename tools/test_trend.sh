@@ -38,4 +38,24 @@ fi
 # Restricted to a higher-is-better metric, the same skew is an improvement.
 "$CUBIE" trend --history "$HIST" --tol 0.10 --metric spans
 
+# Sha attribution fallback chain: --sha > $GITHUB_SHA > git rev-parse.
+# With no --sha, the CI-provided GITHUB_SHA wins.
+SHAHIST="$WORK/sha-history.jsonl"
+env GITHUB_SHA=ci0ffee "$CUBIE" record --json "$WORK/rep.json" \
+    --history "$SHAHIST"
+if ! tail -n 1 "$SHAHIST" | grep -q '"sha": *"ci0ffee"'; then
+  echo "FAIL: expected GITHUB_SHA to be recorded when --sha is absent" >&2
+  exit 1
+fi
+
+# With no --sha, no GITHUB_SHA, and git unable to locate a repository,
+# the recorded sha is the documented "unknown" — and record still exits 0.
+env -u GITHUB_SHA GIT_DIR="$WORK/no-such-repo" \
+    GIT_CEILING_DIRECTORIES="$WORK" \
+    "$CUBIE" record --json "$WORK/rep.json" --history "$SHAHIST"
+if ! tail -n 1 "$SHAHIST" | grep -q '"sha": *"unknown"'; then
+  echo "FAIL: expected sha \"unknown\" outside a git checkout" >&2
+  exit 1
+fi
+
 echo "trend integration test OK"
