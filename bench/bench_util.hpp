@@ -41,7 +41,12 @@ namespace cubie::benchutil {
 //   --events <path> stream Cubie-Scope telemetry events as JSONL
 //   --trace-out <p> write a Chrome trace_event timeline (chrome://tracing,
 //                   Perfetto) of engine cells and sim spans
-//   --progress      live cells-done/hit-rate/ETA line on stderr
+//   --metrics-out <p> write a final Cubie-Pulse snapshot (Prometheus text
+//                   exposition) when the run finishes; the report also
+//                   gains the "hw" block (hardware counters or the typed
+//                   unavailable fallback)
+//   --progress      live cells-done/hit-rate/ETA line on stderr (suppressed
+//                   when stderr is not a TTY; --progress=force overrides)
 //   --help          print usage
 // (see docs/OBSERVABILITY.md for the event schema and timeline walkthrough)
 // and the Bench object collects records / captured tables as the binary
@@ -53,6 +58,9 @@ struct Bench {
   std::string json_path;  // empty = human output only
   int scale = 1;
   bool check = false;  // --check: differential conformance after the bench
+  // --metrics-out: the report additionally carries the "hw" block (the
+  // pulse snapshot itself is written by the MetricsSink's flush).
+  bool metrics_out = false;
   engine::ExperimentEngine engine;
   // Cubie-Scope sinks installed by --events/--trace-out/--progress; they
   // deregister from the process bus (flushing) when the Bench dies.
@@ -103,6 +111,7 @@ struct Bench {
       if (!conf.pass()) rc = 1;
     }
     if (engine.active()) report.engine = engine.stats();
+    if (metrics_out) report.hw = engine.hw_stats();
     // Flush telemetry before the report write so a consumer watching the
     // JSON file never sees it ahead of the event log it summarizes.
     sinks.flush();
@@ -150,13 +159,20 @@ inline Bench bench_init(int argc, char** argv, const std::string& tool,
       scope.events_path = next();
     } else if (arg == "--trace-out") {
       scope.trace_path = next();
+    } else if (arg == "--metrics-out") {
+      scope.metrics_path = next();
+      b.metrics_out = true;
     } else if (arg == "--progress") {
       scope.progress = true;
+    } else if (arg == "--progress=force") {
+      scope.progress = true;
+      scope.progress_force = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << tool << ": " << title << "\n"
                 << "usage: " << tool << " [--json <path>] [--scale <N>]"
                 << " [--jobs <N>] [--cache <dir>] [--check]"
-                << " [--events <path>] [--trace-out <path>] [--progress]\n";
+                << " [--events <path>] [--trace-out <path>]"
+                << " [--metrics-out <path>] [--progress[=force]]\n";
       std::exit(0);
     } else {
       std::cerr << tool << ": unknown argument '" << arg << "'\n";

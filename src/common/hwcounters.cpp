@@ -1,0 +1,215 @@
+#include "common/hwcounters.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace cubie::hw {
+
+HwSample& HwSample::operator+=(const HwSample& o) {
+  if (!o.available) return *this;
+  available = true;
+  cycles += o.cycles;
+  instructions += o.instructions;
+  cache_references += o.cache_references;
+  cache_misses += o.cache_misses;
+  task_clock_s += o.task_clock_s;
+  return *this;
+}
+
+namespace {
+
+enum class State { Unknown, Available, Unavailable };
+std::atomic<State> g_state{State::Unknown};
+std::mutex g_reason_mu;
+std::string g_reason;  // guarded by g_reason_mu
+
+void set_unavailable(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lk(g_reason_mu);
+    if (g_reason.empty()) g_reason = reason;
+  }
+  g_state.store(State::Unavailable, std::memory_order_release);
+}
+
+#if defined(__linux__)
+
+long perf_open(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.inherit = 0;  // per-thread: the engine samples on the worker thread
+  return syscall(__NR_perf_event_open, &attr, 0, -1, group_fd, 0);
+}
+
+const char* errno_tag(int err) {
+  switch (err) {
+    case EPERM: return "EPERM";
+    case EACCES: return "EACCES";
+    case ENOSYS: return "ENOSYS";
+    case ENOENT: return "ENOENT";
+    case ENODEV: return "ENODEV";
+    case EOPNOTSUPP: return "EOPNOTSUPP";
+    default: return "errno";
+  }
+}
+
+// The per-thread counter group: cycles leads, the rest are siblings so
+// they are scheduled (and multiplexed) together; task-clock is a software
+// event and opened standalone. fds stay open for the thread's lifetime.
+struct ThreadCounters {
+  int cycles = -1;
+  int instructions = -1;
+  int cache_refs = -1;
+  int cache_misses = -1;
+  int task_clock = -1;
+  bool ok = false;
+
+  ThreadCounters() {
+    if (!available()) return;
+    cycles = static_cast<int>(
+        perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1));
+    if (cycles < 0) {
+      // The probe succeeded earlier but this thread cannot open the group
+      // (fd limits, late paranoid clamp): degrade process-wide.
+      set_unavailable(std::string("perf_event_open: ") + std::strerror(errno) +
+                      " (" + errno_tag(errno) + ")");
+      return;
+    }
+    instructions = static_cast<int>(
+        perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, cycles));
+    cache_refs = static_cast<int>(
+        perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES, cycles));
+    cache_misses = static_cast<int>(
+        perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, cycles));
+    task_clock = static_cast<int>(
+        perf_open(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, -1));
+    ok = true;
+  }
+
+  ~ThreadCounters() {
+    for (int fd : {cycles, instructions, cache_refs, cache_misses, task_clock}) {
+      if (fd >= 0) close(fd);
+    }
+  }
+
+  void start() {
+    ioctl(cycles, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(cycles, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    if (task_clock >= 0) {
+      ioctl(task_clock, PERF_EVENT_IOC_RESET, 0);
+      ioctl(task_clock, PERF_EVENT_IOC_ENABLE, 0);
+    }
+  }
+
+  static std::uint64_t read_fd(int fd) {
+    if (fd < 0) return 0;
+    std::uint64_t v = 0;
+    if (read(fd, &v, sizeof(v)) != static_cast<ssize_t>(sizeof(v))) return 0;
+    return v;
+  }
+
+  HwSample stop() {
+    ioctl(cycles, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    if (task_clock >= 0) ioctl(task_clock, PERF_EVENT_IOC_DISABLE, 0);
+    HwSample s;
+    s.available = true;
+    s.cycles = read_fd(cycles);
+    s.instructions = read_fd(instructions);
+    s.cache_references = read_fd(cache_refs);
+    s.cache_misses = read_fd(cache_misses);
+    // PERF_COUNT_SW_TASK_CLOCK reports nanoseconds of on-CPU time.
+    s.task_clock_s = static_cast<double>(read_fd(task_clock)) * 1e-9;
+    return s;
+  }
+};
+
+ThreadCounters* thread_counters() {
+  thread_local ThreadCounters tc;
+  return tc.ok ? &tc : nullptr;
+}
+
+bool probe() {
+  long fd = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (fd < 0) {
+    set_unavailable(std::string("perf_event_open: ") + std::strerror(errno) +
+                    " (" + errno_tag(errno) + ")");
+    return false;
+  }
+  close(static_cast<int>(fd));
+  g_state.store(State::Available, std::memory_order_release);
+  return true;
+}
+
+#else  // !__linux__
+
+bool probe() {
+  set_unavailable("perf_event_open: not supported on this platform");
+  return false;
+}
+
+struct ThreadCounters {
+  void start() {}
+  HwSample stop() { return {}; }
+};
+
+ThreadCounters* thread_counters() { return nullptr; }
+
+#endif
+
+}  // namespace
+
+bool available() {
+  State s = g_state.load(std::memory_order_acquire);
+  if (s == State::Unknown) {
+    // At most one thread probes; a lost race just re-reads the settled state.
+    static std::once_flag probed;
+    std::call_once(probed, [] { probe(); });
+    s = g_state.load(std::memory_order_acquire);
+  }
+  return s == State::Available;
+}
+
+std::string unavailable_reason() {
+  if (available()) return "";
+  std::lock_guard<std::mutex> lk(g_reason_mu);
+  return g_reason;
+}
+
+void force_unavailable(const std::string& reason) {
+  set_unavailable(reason);
+}
+
+ScopedSample::ScopedSample() {
+  if (!available()) return;
+  if (ThreadCounters* tc = thread_counters()) {
+    tc->start();
+    active_ = true;
+  }
+}
+
+HwSample ScopedSample::stop() {
+  if (!active_) return {};
+  active_ = false;
+  if (ThreadCounters* tc = thread_counters()) return tc->stop();
+  return {};
+}
+
+ScopedSample::~ScopedSample() {
+  if (active_) (void)stop();
+}
+
+}  // namespace cubie::hw

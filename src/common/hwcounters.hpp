@@ -1,0 +1,82 @@
+#pragma once
+// Cubie-Pulse hardware counters: a thin perf_event_open wrapper that gives
+// the analytical device model measured ground truth.
+//
+// The ExperimentEngine wraps every *computed* cell (memo/disk/coalesced
+// hits execute nothing) in a ScopedSample, which counts CPU cycles,
+// retired instructions, last-level cache references/misses, and task-clock
+// time for the calling thread. The per-cell samples aggregate into the
+// MetricsReport `hw` block (report::HwStats) and back `cubie roofline`'s
+// modeled-vs-measured comparison.
+//
+// perf_event_open is frequently unpermitted (containers, CI runners with
+// kernel.perf_event_paranoid clamped, non-Linux). All of that degrades to
+// a *typed* unavailable state — available() turns false, every sample
+// reports available=false, and unavailable_reason() says why — rather than
+// an error. The fallback serializes as {"available": false, "reason": ...}
+// and must round-trip byte-identically like any other report block.
+
+#include <cstdint>
+#include <string>
+
+namespace cubie::hw {
+
+// One measurement interval (or an aggregate of many). When available is
+// false the numeric fields are zero and meaningless.
+struct HwSample {
+  bool available = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  double task_clock_s = 0.0;
+
+  // Instructions per cycle; 0 when unavailable or no cycles counted.
+  double ipc() const {
+    return cycles ? static_cast<double>(instructions) / static_cast<double>(cycles)
+                  : 0.0;
+  }
+  // Cache miss ratio in [0,1]; 0 when no references counted.
+  double miss_ratio() const {
+    return cache_references
+               ? static_cast<double>(cache_misses) /
+                     static_cast<double>(cache_references)
+               : 0.0;
+  }
+
+  HwSample& operator+=(const HwSample& o);
+};
+
+// Whether this process can open the counter group. The first call probes
+// perf_event_open once; the verdict (and its reason) is process-global.
+bool available();
+
+// Why counters are off ("" while available). Stable strings like
+// "perf_event_open: Permission denied (EPERM)" or the force_unavailable
+// reason — surfaced in reports and `cubie roofline`.
+std::string unavailable_reason();
+
+// Test hook: force the unavailable path (as if perf_event_open were
+// denied) without needing a restricted kernel. Irreversible for the
+// process, like a real probe failure.
+void force_unavailable(const std::string& reason);
+
+// RAII measurement of the enclosing scope on the *current thread*. Opens
+// (or reuses, via thread-local caching) the per-thread counter group,
+// resets and enables it on construction, disables and reads it on stop().
+class ScopedSample {
+ public:
+  ScopedSample();
+  ~ScopedSample();
+  ScopedSample(const ScopedSample&) = delete;
+  ScopedSample& operator=(const ScopedSample&) = delete;
+
+  // Stop counting and return the interval sample (available=false when the
+  // counters are off). Idempotent; the destructor stops implicitly.
+  HwSample stop();
+
+ private:
+  bool active_ = false;
+};
+
+}  // namespace cubie::hw

@@ -585,6 +585,7 @@ Json MetricsReport::to_json() const {
   for (const auto& t : traces) trs.push_back(report::to_json(t));
   j["traces"] = std::move(trs);
   if (engine) j["engine"] = report::to_json(*engine);
+  if (hw) j["hw"] = report::to_json(*hw);
   return j;
 }
 
@@ -599,6 +600,23 @@ Json to_json(const EngineStats& s) {
   j["disk_errors"] = Json::number(s.disk_errors);
   j["exec_wall_s"] = Json::number(s.exec_wall_s);
   j["max_cell_wall_s"] = Json::number(s.max_cell_wall_s);
+  return j;
+}
+
+Json to_json(const HwStats& s) {
+  Json j = Json::object();
+  j["available"] = Json::boolean(s.available);
+  if (!s.available) {
+    // Typed fallback: reason only, no meaningless zero counters.
+    j["reason"] = Json::string(s.unavailable_reason);
+    return j;
+  }
+  j["cells"] = Json::number(s.cells);
+  j["cycles"] = Json::number(s.cycles);
+  j["instructions"] = Json::number(s.instructions);
+  j["cache_references"] = Json::number(s.cache_references);
+  j["cache_misses"] = Json::number(s.cache_misses);
+  j["task_clock_s"] = Json::number(s.task_clock_s);
   return j;
 }
 
@@ -731,6 +749,23 @@ std::optional<MetricsReport> MetricsReport::from_json(const Json& j,
     s.exec_wall_s = get_number(*eng, "exec_wall_s", 0.0);
     s.max_cell_wall_s = get_number(*eng, "max_cell_wall_s", 0.0);
     rep.engine = s;
+  }
+  if (const Json* hw = j.find("hw"); hw && hw->is_object()) {
+    HwStats s;
+    if (const Json* a = hw->find("available"); a && a->is_bool()) {
+      s.available = a->as_bool();
+    }
+    if (s.available) {
+      s.cells = get_number(*hw, "cells", 0.0);
+      s.cycles = get_number(*hw, "cycles", 0.0);
+      s.instructions = get_number(*hw, "instructions", 0.0);
+      s.cache_references = get_number(*hw, "cache_references", 0.0);
+      s.cache_misses = get_number(*hw, "cache_misses", 0.0);
+      s.task_clock_s = get_number(*hw, "task_clock_s", 0.0);
+    } else {
+      s.unavailable_reason = get_string(*hw, "reason");
+    }
+    rep.hw = s;
   }
   return rep;
 }

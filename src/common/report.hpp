@@ -20,8 +20,12 @@
 //     "traces": [ <trace node>, ... ],  // only when tracing was on
 //     "engine": {"cells": N, "memo_hits": N, "disk_hits": N,
 //                "coalesced_hits": N, "misses": N,
-//                "exec_wall_s": S, "max_cell_wall_s": S}
+//                "exec_wall_s": S, "max_cell_wall_s": S},
 //                                       // only when Cubie-Engine executed
+//     "hw": {"available": true, "cells": N, "cycles": N, "instructions": N,
+//            "cache_references": N, "cache_misses": N, "task_clock_s": S}
+//           // or {"available": false, "reason": "..."} when perf_event_open
+//           // is unpermitted; only when the producer attached hw counters
 //   }
 // A trace node is {"name", "wall_s", "peak_rss_kb"?, "profile": {...},
 // "children": [...]}; peak_rss_kb is optional and omitted when the platform
@@ -140,6 +144,22 @@ struct EngineStats {
   double max_cell_wall_s = 0.0;
 };
 
+// Measured hardware-counter totals over the computed cells of a run, the
+// report's optional "hw" block (Cubie-Pulse; src/common/hwcounters.hpp).
+// When perf_event_open is unpermitted the block degrades to the typed
+// fallback {"available": false, "reason": "..."} — still present, still
+// byte-identical through a parse/serialize round trip.
+struct HwStats {
+  bool available = false;
+  std::string unavailable_reason;  // set only when !available
+  double cells = 0.0;              // computed cells sampled
+  double cycles = 0.0;
+  double instructions = 0.0;
+  double cache_references = 0.0;
+  double cache_misses = 0.0;
+  double task_clock_s = 0.0;       // on-CPU seconds inside sampled cells
+};
+
 struct MetricsReport {
   static constexpr int kSchemaVersion = 1;
 
@@ -158,6 +178,9 @@ struct MetricsReport {
   // Engine execution counters; absent when the producer ran no cells
   // through Cubie-Engine (the block is then omitted from the JSON).
   std::optional<EngineStats> engine;
+  // Hardware-counter totals (or the typed unavailable fallback); absent
+  // unless the producer attached them (--metrics-out runs, cubie profile).
+  std::optional<HwStats> hw;
 
   // Find-or-create the record with this (workload, variant, gpu, case) key.
   // The returned reference is invalidated by the next add_record call -
@@ -190,6 +213,7 @@ Json to_json(const sim::Prediction& p);
 Json to_json(const common::ErrorStats& e);
 Json to_json(const sim::TraceNode& n);
 Json to_json(const EngineStats& s);
+Json to_json(const HwStats& s);
 // Inverse of to_json(KernelProfile); missing fields take their defaults.
 // Shared with the engine's disk cell cache (src/engine/cache.cpp).
 sim::KernelProfile profile_from_json(const Json& j);

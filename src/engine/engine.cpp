@@ -98,10 +98,20 @@ struct ExperimentEngine::Impl {
   EngineCounters counters;
   DiskCache disk;
 
-  // Record a newly inserted cell's identity. Caller holds `mu`.
+  // Record a newly inserted cell's identity (and, for computed cells, its
+  // hardware-counter sample). Caller holds `mu`.
   void record(const core::Workload& w, core::Variant v,
-              const core::TestCase& tc, int scale, const std::string& key) {
-    order.push_back(MaterializedCell{w.name(), v, tc, scale, key});
+              const core::TestCase& tc, int scale, const std::string& key,
+              const hw::HwSample& hw = {}) {
+    order.push_back(MaterializedCell{w.name(), v, tc, scale, key, hw});
+  }
+
+  // Fold one computed cell's sample into the process totals. Caller holds
+  // `mu`. No-op when counters are unavailable (sample.available == false).
+  void add_hw(const hw::HwSample& sample) {
+    if (!sample.available) return;
+    counters.hw_total += sample;
+    ++counters.hw_cells;
   }
 };
 
@@ -231,7 +241,9 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
   }
   if (scoped) emit_cell_start(key);
   const auto t0 = std::chrono::steady_clock::now();
+  hw::ScopedSample hw_scope;
   core::RunOutput out = w.run(v, tc);
+  const hw::HwSample hw_sample = hw_scope.stop();
   const double dt = seconds_since(t0);
   const core::RunOutput* res = nullptr;
   bool inserted = false;
@@ -241,11 +253,12 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
     auto [it, ins] = impl_->cells.try_emplace(key, nullptr);
     if (ins) {
       it->second = std::make_unique<core::RunOutput>(std::move(out));
-      impl_->record(w, v, tc, scale, key);
+      impl_->record(w, v, tc, scale, key, hw_sample);
       ++impl_->counters.misses;
       impl_->counters.exec_wall_s += dt;
       impl_->counters.max_cell_wall_s =
           std::max(impl_->counters.max_cell_wall_s, dt);
+      impl_->add_hw(hw_sample);
     } else {
       ++impl_->counters.memo_hits;  // a concurrent run_traced finished first
       source = "memo";
@@ -276,7 +289,9 @@ const core::RunOutput& ExperimentEngine::run_traced(const core::Workload& w,
   const bool scoped = telemetry::bus().enabled();
   if (scoped) emit_cell_start(key);
   const auto t0 = std::chrono::steady_clock::now();
+  hw::ScopedSample hw_scope;
   core::RunOutput out = w.run(v, tc, opts);
+  const hw::HwSample hw_sample = hw_scope.stop();
   const double dt = seconds_since(t0);
   const core::RunOutput* res = nullptr;
   bool inserted = false;
@@ -288,13 +303,16 @@ const core::RunOutput& ExperimentEngine::run_traced(const core::Workload& w,
     // stay valid.
     if (ins) {
       it->second = std::make_unique<core::RunOutput>(std::move(out));
-      impl_->record(w, v, tc, scale, key);
+      impl_->record(w, v, tc, scale, key, hw_sample);
       ++impl_->counters.misses;
     } else {
       // Re-running a memoized cell for its spans is not a cache miss;
       // count it separately so warm-cache profiling reports honestly.
       ++impl_->counters.traced_reruns;
     }
+    // Like exec_wall_s, hw totals accrue for every execution that really
+    // happened — including traced re-runs of memoized cells.
+    impl_->add_hw(hw_sample);
     impl_->counters.exec_wall_s += dt;
     impl_->counters.max_cell_wall_s =
         std::max(impl_->counters.max_cell_wall_s, dt);
@@ -459,6 +477,27 @@ report::EngineStats ExperimentEngine::stats() const {
   s.disk_errors = static_cast<double>(impl_->counters.disk_errors);
   s.exec_wall_s = impl_->counters.exec_wall_s;
   s.max_cell_wall_s = impl_->counters.max_cell_wall_s;
+  return s;
+}
+
+report::HwStats ExperimentEngine::hw_stats() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  report::HwStats s;
+  const EngineCounters& c = impl_->counters;
+  if (c.hw_cells == 0 || !c.hw_total.available) {
+    s.available = false;
+    s.unavailable_reason = hw::available()
+                               ? "no computed cells sampled"
+                               : hw::unavailable_reason();
+    return s;
+  }
+  s.available = true;
+  s.cells = static_cast<double>(c.hw_cells);
+  s.cycles = static_cast<double>(c.hw_total.cycles);
+  s.instructions = static_cast<double>(c.hw_total.instructions);
+  s.cache_references = static_cast<double>(c.hw_total.cache_references);
+  s.cache_misses = static_cast<double>(c.hw_total.cache_misses);
+  s.task_clock_s = c.hw_total.task_clock_s;
   return s;
 }
 

@@ -17,6 +17,7 @@
 // MetricsReport ("engine" block) so `cubie profile` and every bench's
 // --json report show what the engine did. See docs/ARCHITECTURE.md.
 
+#include "common/hwcounters.hpp"
 #include "core/kernels.hpp"
 #include "core/workload.hpp"
 #include "engine/cache.hpp"
@@ -32,6 +33,7 @@
 
 namespace cubie::report {
 struct EngineStats;
+struct HwStats;
 }
 
 namespace cubie::engine {
@@ -78,6 +80,11 @@ struct EngineCounters {
   std::size_t disk_errors = 0;
   double exec_wall_s = 0.0;    // host wall-clock spent inside Workload::run
   double max_cell_wall_s = 0.0;  // slowest single cell
+  // Hardware-counter totals over computed cells (Cubie-Pulse). hw_cells
+  // counts the cells that actually produced a sample; hw_total.available
+  // stays false when perf_event_open is unpermitted.
+  hw::HwSample hw_total;
+  std::size_t hw_cells = 0;
 };
 
 // A cell the engine has materialized (executed or loaded), in insertion
@@ -89,6 +96,9 @@ struct MaterializedCell {
   core::TestCase test_case;
   int scale = 1;
   std::string key;
+  // The hardware-counter sample of this cell's functional execution;
+  // available=false for disk-loaded cells and when counters are off.
+  hw::HwSample hw;
 };
 
 class ExperimentEngine {
@@ -150,6 +160,10 @@ class ExperimentEngine {
   EngineCounters counters() const;
   // Counters in the MetricsReport exchange form ("engine" block).
   report::EngineStats stats() const;
+  // Hardware-counter totals in the MetricsReport exchange form ("hw"
+  // block); the typed unavailable fallback when counters are off or no
+  // cell was computed in this process.
+  report::HwStats hw_stats() const;
   // True once any cell has been requested (hit or miss).
   bool active() const;
 

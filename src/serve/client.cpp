@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -147,14 +148,22 @@ double LoadgenResult::req_per_s() const {
 
 double LoadgenResult::percentile_ms(double q) const {
   if (latencies_ms.empty()) return 0.0;
-  // Nearest-rank: the smallest value with at least q% of samples at or
-  // below it.
   const std::size_t n = latencies_ms.size();
-  std::size_t rank =
-      static_cast<std::size_t>(std::ceil(q / 100.0 * static_cast<double>(n)));
-  if (rank < 1) rank = 1;
-  if (rank > n) rank = n;
-  return latencies_ms[rank - 1];
+  if (n == 1) return latencies_ms[0];
+  q = std::min(100.0, std::max(0.0, q));
+  // Linear interpolation between closest ranks (numpy/type-7): the
+  // fractional position h lies between floor(h) and floor(h)+1.
+  const double h = (static_cast<double>(n) - 1.0) * q / 100.0;
+  const std::size_t lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = h - static_cast<double>(lo);
+  return latencies_ms[lo] + frac * (latencies_ms[hi] - latencies_ms[lo]);
+}
+
+telemetry::HistogramSnapshot LoadgenResult::latency_histogram() const {
+  telemetry::Histogram h(telemetry::latency_bucket_bounds());
+  for (double ms : latencies_ms) h.observe(ms / 1e3);
+  return h.snapshot();
 }
 
 bool run_loadgen(const LoadgenOptions& opts, LoadgenResult& out,
@@ -264,6 +273,23 @@ report::MetricsReport loadgen_report(const LoadgenResult& r) {
   rec.set("p99_ms", r.percentile_ms(99));
   rec.set("completed", static_cast<double>(r.completed));
   rec.set("rejected", static_cast<double>(r.rejected));
+  // The client-side latency distribution, in the daemon's fixed buckets
+  // and cumulative (Prometheus-style) counts, as a captured table — so it
+  // rides the MetricsReport byte-stability contract without adding
+  // one metric per bucket to the trend gate.
+  const telemetry::HistogramSnapshot hist = r.latency_histogram();
+  report::MetricsReport::CapturedTable table;
+  table.name = "latency_histogram";
+  table.columns = {"le_seconds", "cumulative_count"};
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+    cum += hist.counts[i];
+    const std::string le = i < hist.bounds.size()
+                               ? telemetry::prometheus_bound_label(hist.bounds[i])
+                               : "+Inf";
+    table.rows.push_back({le, std::to_string(cum)});
+  }
+  rep.tables.push_back(std::move(table));
   return rep;
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/report.hpp"
 #include "serve/protocol.hpp"
+#include "telemetry/metrics_registry.hpp"
 
 #include <cstddef>
 #include <optional>
@@ -71,9 +72,16 @@ struct LoadgenResult {
   double wall_s = 0.0;  // first send to last response across all threads
 
   double req_per_s() const;
-  // Nearest-rank percentile over the completed-request latencies (q in
-  // (0, 100]); 0 when nothing completed.
+  // Linear-interpolated percentile (numpy's default) over the
+  // completed-request latencies, q in [0, 100]. Well-defined for any
+  // sample count — a single sample answers every q with itself, and small
+  // N no longer collapses distinct ranks the way nearest-rank did
+  // (p95 == p99 == p100 for N < 100). 0 when nothing completed.
   double percentile_ms(double q) const;
+  // The client-observed latency distribution in the daemon's fixed bucket
+  // ladder (telemetry::latency_bucket_bounds()), so both sides of the wire
+  // are directly comparable.
+  telemetry::HistogramSnapshot latency_histogram() const;
 };
 
 // Fire the mix. False (with *error) only when no connection could be
@@ -83,7 +91,9 @@ bool run_loadgen(const LoadgenOptions& opts, LoadgenResult& out,
 
 // The result as a MetricsReport: tool "cubie_loadgen", one record
 // ("loadgen", "mix", "-", "aggregate") with req_per_s, p50_ms, p95_ms,
-// p99_ms, completed, rejected.
+// p99_ms, completed, rejected — plus a "latency_histogram" captured table
+// (cumulative counts per fixed bucket, same ladder as the daemon's
+// cubie_request_latency_seconds).
 report::MetricsReport loadgen_report(const LoadgenResult& r);
 
 }  // namespace cubie::serve

@@ -12,6 +12,7 @@ const char* cmd_name(Cmd c) {
     case Cmd::Suite: return "suite";
     case Cmd::Check: return "check";
     case Cmd::Stats: return "stats";
+    case Cmd::Metrics: return "metrics";
     case Cmd::Ping: return "ping";
     case Cmd::Sleep: return "sleep";
     case Cmd::Shutdown: return "shutdown";
@@ -24,6 +25,7 @@ std::optional<Cmd> parse_cmd(const std::string& s) {
   if (s == "suite") return Cmd::Suite;
   if (s == "check") return Cmd::Check;
   if (s == "stats") return Cmd::Stats;
+  if (s == "metrics") return Cmd::Metrics;
   if (s == "ping") return Cmd::Ping;
   if (s == "sleep") return Cmd::Sleep;
   if (s == "shutdown") return Cmd::Shutdown;

@@ -16,6 +16,10 @@
 //         "suite"    the full Figure-3 suite sweep (fig03_perf's records);
 //         "check"    Cubie-Check conformance over the requested plan;
 //         "stats"    engine + server counters, no execution;
+//         "metrics"  Cubie-Pulse registry snapshot as Prometheus text
+//                    exposition (version 0.0.4), no execution — answered
+//                    inline on the reader thread, so a scrape succeeds
+//                    even while the admission queue is full;
 //         "ping"     liveness probe;
 //         "sleep"    {"ms": N} hold a worker for N ms — a diagnostic load
 //                    for exercising queueing, deadlines, and drain;
@@ -25,6 +29,8 @@
 // Response:
 //   {"id": "r1", "ok": true, "report": {...schema-v1 MetricsReport...}}
 //   {"id": "r1", "ok": true, "engine": {...}, "server": {...}}   (stats)
+//   {"id": "r1", "ok": true, "content_type": "text/plain; version=0.0.4",
+//    "metrics": "<exposition text>"}                             (metrics)
 //   {"id": "r1", "ok": false,
 //    "error": {"code": "overloaded", "message": "..."}}
 //
@@ -49,7 +55,7 @@ inline constexpr int kProtocolVersion = 1;
 // (bad_request + close) rather than buffering unboundedly.
 inline constexpr std::size_t kMaxRequestBytes = 1 << 20;
 
-enum class Cmd { Run, Suite, Check, Stats, Ping, Sleep, Shutdown };
+enum class Cmd { Run, Suite, Check, Stats, Metrics, Ping, Sleep, Shutdown };
 const char* cmd_name(Cmd c);
 std::optional<Cmd> parse_cmd(const std::string& s);
 

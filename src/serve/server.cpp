@@ -1,5 +1,7 @@
 #include "serve/server.hpp"
 
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/sinks.hpp"
 #include "telemetry/telemetry.hpp"
 
 #include <arpa/inet.h>
@@ -107,14 +109,32 @@ report::Json to_json(const ServerStats& s) {
       Json::number(static_cast<double>(s.rejected_shutdown));
   j["bad_requests"] = Json::number(static_cast<double>(s.bad_requests));
   j["max_queue_depth"] = Json::number(static_cast<double>(s.max_queue_depth));
+  j["uptime_s"] = Json::number(s.uptime_s);
+  Json rej = Json::object();
+  rej["overloaded"] = Json::number(static_cast<double>(s.rejected_overloaded));
+  rej["deadline_exceeded"] =
+      Json::number(static_cast<double>(s.rejected_deadline));
+  rej["shutting_down"] =
+      Json::number(static_cast<double>(s.rejected_shutdown));
+  rej["bad_request"] = Json::number(static_cast<double>(s.bad_requests));
+  j["rejections"] = std::move(rej);
   return j;
 }
 
 struct Server::Impl {
-  explicit Impl(ServerOptions o) : opts(std::move(o)), eng(opts.engine) {}
+  explicit Impl(ServerOptions o)
+      : opts(std::move(o)),
+        eng(opts.engine),
+        registry(std::make_shared<telemetry::MetricsRegistry>()) {}
 
   ServerOptions opts;
   engine::ExperimentEngine eng;
+  // Cubie-Pulse: the daemon-lifetime registry and the bus sink that folds
+  // the event stream into it. The sink is installed in start() and removed
+  // when the SinkSet (and with it the Impl) is destroyed.
+  std::shared_ptr<telemetry::MetricsRegistry> registry;
+  telemetry::SinkSet pulse_sinks;
+  Clock::time_point start_time{};
 
   int listen_fd = -1;
   int wake_rd = -1;  // self-pipe: request_shutdown() -> accept loop
@@ -266,8 +286,11 @@ struct Server::Impl {
         std::lock_guard<std::mutex> lk(mu);
         ++server_stats.completed;
       }
+      // Tagged "worker" so the Pulse latency histogram only observes the
+      // queued execution path (what a loadgen client reconciles against),
+      // never the inline control scrapes.
       emit_request_event(telemetry::EventKind::RequestFinished, job, 0,
-                         seconds_since(t0), nullptr, 1);
+                         seconds_since(t0), "worker", 1);
     }
   }
 
@@ -291,8 +314,28 @@ struct Server::Impl {
         body["engine"] = report::to_json(eng.stats());
         {
           std::lock_guard<std::mutex> lk(mu);
-          body["server"] = to_json(server_stats);
+          ServerStats s = server_stats;
+          s.uptime_s = seconds_since(start_time);
+          body["server"] = to_json(s);
         }
+        conn->send_line(ok_line(job.req.id, std::move(body)));
+        break;
+      }
+      case Cmd::Metrics: {
+        // The queued-depth gauge otherwise only moves on enqueue; refresh
+        // it from the live queue so an idle scrape reads 0, a full one
+        // reads queue_limit.
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          registry->gauge("cubie_queue_depth",
+                          "Admission queue depth after the last enqueue.")
+              .set(static_cast<double>(queue.size()));
+        }
+        report::Json body = report::Json::object();
+        body["content_type"] =
+            report::Json::string("text/plain; version=0.0.4");
+        body["metrics"] =
+            report::Json::string(telemetry::prometheus_text(*registry));
         conn->send_line(ok_line(job.req.id, std::move(body)));
         break;
       }
@@ -310,7 +353,7 @@ struct Server::Impl {
       ++server_stats.completed;
     }
     emit_request_event(telemetry::EventKind::RequestFinished, job, 0,
-                       seconds_since(t0), nullptr, 1);
+                       seconds_since(t0), "inline", 1);
   }
 
   void handle_line(const std::shared_ptr<Conn>& conn,
@@ -339,6 +382,7 @@ struct Server::Impl {
     switch (job.req.cmd) {
       case Cmd::Ping:
       case Cmd::Stats:
+      case Cmd::Metrics:
       case Cmd::Shutdown:
         handle_inline(conn, job);
         return;
@@ -463,6 +507,13 @@ bool Server::start(std::string* error) {
   }
   if (::listen(im.listen_fd, 64) != 0) return fail("listen");
 
+  // Install the Cubie-Pulse sink: from here on every bus event (request
+  // lifecycle, engine cells, cache outcomes) folds into the registry the
+  // `metrics` command snapshots. Installing a sink also enables the bus
+  // for the whole serving process — intended: a daemon is observable.
+  im.pulse_sinks.add(std::make_shared<telemetry::MetricsSink>(im.registry));
+  im.start_time = Clock::now();
+
   for (int i = 0; i < im.opts.workers; ++i)
     im.workers.emplace_back([&im] { im.worker_loop(); });
   im.started = true;
@@ -534,7 +585,13 @@ engine::ExperimentEngine& Server::engine() { return impl_->eng; }
 
 ServerStats Server::stats() const {
   std::lock_guard<std::mutex> lk(impl_->mu);
-  return impl_->server_stats;
+  ServerStats s = impl_->server_stats;
+  if (impl_->started) s.uptime_s = seconds_since(impl_->start_time);
+  return s;
+}
+
+telemetry::MetricsRegistry& Server::metrics_registry() {
+  return *impl_->registry;
 }
 
 }  // namespace cubie::serve

@@ -5,8 +5,9 @@
 //
 // Concurrency model:
 //   * one reader thread per connection parses requests and admits work;
-//   * control commands (ping / stats / shutdown) are answered inline by
-//     the reader — they must work even when the queue is full;
+//   * control commands (ping / stats / metrics / shutdown) are answered
+//     inline by the reader — they must work even when the queue is full,
+//     which is exactly when a scrape matters most;
 //   * plan commands (run / suite / check / sleep) pass a **bounded
 //     admission queue**: when `queue_limit` requests are already waiting,
 //     new ones are rejected with the typed "overloaded" error instead of
@@ -32,6 +33,7 @@
 
 #include "engine/engine.hpp"
 #include "serve/protocol.hpp"
+#include "telemetry/metrics_registry.hpp"
 
 #include <cstddef>
 #include <memory>
@@ -59,9 +61,13 @@ struct ServerStats {
   std::size_t rejected_deadline = 0;
   std::size_t rejected_shutdown = 0;
   std::size_t bad_requests = 0;
-  std::size_t max_queue_depth = 0;
+  std::size_t max_queue_depth = 0;  // queue-depth high-watermark
+  double uptime_s = 0.0;            // seconds since start() succeeded
 };
 
+// The stats wire form: the flat counters, plus a "rejections" object keyed
+// by wire error code ("overloaded", "deadline_exceeded", "shutting_down",
+// "bad_request") so clients need not know the flat field names.
 report::Json to_json(const ServerStats& s);
 
 class Server {
@@ -89,6 +95,10 @@ class Server {
 
   engine::ExperimentEngine& engine();
   ServerStats stats() const;
+
+  // The Cubie-Pulse registry the daemon's MetricsSink folds events into
+  // (installed on the bus by start(); the `metrics` command snapshots it).
+  telemetry::MetricsRegistry& metrics_registry();
 
  private:
   struct Impl;

@@ -1,0 +1,583 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace cubie::telemetry {
+
+namespace {
+
+// Canonical sorted-label encoding, shared by series keys and sample lookup.
+Labels sorted_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += prometheus_escape(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Prometheus sample values: integers render without a decimal point (so
+// counter reconciliation in CI is exact string-wise), everything else with
+// enough digits to round-trip a double.
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) &&
+      std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const std::vector<double>& latency_bucket_bounds() {
+  static const std::vector<double> kBounds = {
+      0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+      0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+  return kBounds;
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot / Histogram.
+
+std::uint64_t HistogramSnapshot::total() const {
+  std::uint64_t n = 0;
+  for (auto c : counts) n += c;
+  return n;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (counts.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.counts.empty()) return;
+  if (other.bounds != bounds || other.counts.size() != counts.size()) return;
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  sum += other.sum;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+std::size_t Histogram::bucket_index(double v) const {
+  // le semantics: bucket i covers v <= bounds_[i].
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::observe(double v) {
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  // No portable fetch_add for atomic<double> before C++20 library support
+  // everywhere; a CAS loop is equivalent and contention here is tiny.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) s.counts.push_back(c.load(std::memory_order_relaxed));
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry.
+
+std::string MetricSnapshot::series_key() const {
+  return name + label_block(labels);
+}
+
+namespace {
+
+struct Series {
+  std::string name;
+  std::string help;
+  MetricType type;
+  Labels labels;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+constexpr std::size_t kStripes = 8;
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  struct Stripe {
+    mutable std::mutex mu;
+    // series_key -> series; unique_ptr keeps instrument addresses stable
+    // across rehashes so returned references never dangle.
+    std::map<std::string, std::unique_ptr<Series>> series;
+  };
+  std::array<Stripe, kStripes> stripes;
+
+  Stripe& stripe_for(const std::string& key) {
+    return stripes[std::hash<std::string>{}(key) % kStripes];
+  }
+
+  Series& find_or_create(const std::string& name, const std::string& help,
+                         MetricType type, Labels labels,
+                         const std::vector<double>* bounds) {
+    labels = sorted_labels(std::move(labels));
+    std::string key = name + label_block(labels);
+    Stripe& st = stripe_for(key);
+    std::lock_guard<std::mutex> lk(st.mu);
+    auto it = st.series.find(key);
+    if (it != st.series.end()) return *it->second;
+    auto s = std::make_unique<Series>();
+    s->name = name;
+    s->help = help;
+    s->type = type;
+    s->labels = std::move(labels);
+    switch (type) {
+      case MetricType::Counter:
+        s->counter = std::make_unique<Counter>();
+        break;
+      case MetricType::Gauge:
+        s->gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::Histogram:
+        s->histogram = std::make_unique<Histogram>(
+            bounds ? *bounds : latency_bucket_bounds());
+        break;
+    }
+    return *st.series.emplace(std::move(key), std::move(s)).first->second;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help, Labels labels) {
+  return *impl_->find_or_create(name, help, MetricType::Counter,
+                                std::move(labels), nullptr)
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              Labels labels) {
+  return *impl_->find_or_create(name, help, MetricType::Gauge,
+                                std::move(labels), nullptr)
+              .gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const std::vector<double>& bounds,
+                                      Labels labels) {
+  return *impl_->find_or_create(name, help, MetricType::Histogram,
+                                std::move(labels), &bounds)
+              .histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  for (const auto& st : impl_->stripes) {
+    std::lock_guard<std::mutex> lk(st.mu);
+    for (const auto& [key, s] : st.series) {
+      MetricSnapshot m;
+      m.name = s->name;
+      m.help = s->help;
+      m.type = s->type;
+      m.labels = s->labels;
+      switch (s->type) {
+        case MetricType::Counter:
+          m.value = static_cast<double>(s->counter->value());
+          break;
+        case MetricType::Gauge:
+          m.value = s->gauge->value();
+          break;
+        case MetricType::Histogram:
+          m.hist = s->histogram->snapshot();
+          break;
+      }
+      out.push_back(std::move(m));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.series_key() < b.series_key();
+            });
+  return out;
+}
+
+std::vector<MetricSnapshot> merge_snapshots(
+    std::vector<MetricSnapshot> a, const std::vector<MetricSnapshot>& b) {
+  for (const auto& mb : b) {
+    auto it = std::find_if(a.begin(), a.end(), [&](const MetricSnapshot& ma) {
+      return ma.series_key() == mb.series_key();
+    });
+    if (it == a.end()) {
+      a.push_back(mb);
+      continue;
+    }
+    switch (mb.type) {
+      case MetricType::Counter:
+        it->value += mb.value;
+        break;
+      case MetricType::Gauge:
+        it->value = mb.value;  // right side wins (latest observation)
+        break;
+      case MetricType::Histogram:
+        it->hist.merge(mb.hist);
+        break;
+    }
+  }
+  std::sort(a.begin(), a.end(),
+            [](const MetricSnapshot& x, const MetricSnapshot& y) {
+              return x.series_key() < y.series_key();
+            });
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+
+std::string prometheus_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_bound_label(double bound) {
+  if (std::isinf(bound)) return "+Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", bound);
+  return buf;
+}
+
+std::string prometheus_text(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const auto& m : snapshot) {
+    if (m.name != last_family) {
+      last_family = m.name;
+      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + " ";
+      switch (m.type) {
+        case MetricType::Counter: out += "counter"; break;
+        case MetricType::Gauge: out += "gauge"; break;
+        case MetricType::Histogram: out += "histogram"; break;
+      }
+      out += "\n";
+    }
+    if (m.type == MetricType::Histogram) {
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < m.hist.counts.size(); ++i) {
+        cum += m.hist.counts[i];
+        Labels labels = m.labels;
+        labels.emplace_back("le", i < m.hist.bounds.size()
+                                      ? prometheus_bound_label(m.hist.bounds[i])
+                                      : "+Inf");
+        out += m.name + "_bucket" + label_block(labels) + " " +
+               format_value(static_cast<double>(cum)) + "\n";
+      }
+      out += m.name + "_sum" + label_block(m.labels) + " " +
+             format_value(m.hist.sum) + "\n";
+      out += m.name + "_count" + label_block(m.labels) + " " +
+             format_value(static_cast<double>(cum)) + "\n";
+    } else {
+      out += m.name + label_block(m.labels) + " " + format_value(m.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsRegistry& reg) {
+  return prometheus_text(reg.snapshot());
+}
+
+// ---------------------------------------------------------------------------
+// Exposition parsing.
+
+namespace {
+
+// Parses one `name{k="v",...} value` line into `s`; false on malformed.
+bool parse_sample_line(const std::string& line, ExpositionSample* s,
+                       std::string* error) {
+  std::size_t i = 0;
+  while (i < line.size() && (std::isalnum(static_cast<unsigned char>(line[i])) ||
+                             line[i] == '_' || line[i] == ':')) {
+    ++i;
+  }
+  if (i == 0) {
+    if (error) *error = "missing metric name: " + line;
+    return false;
+  }
+  s->name = line.substr(0, i);
+  s->labels.clear();
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      std::size_t eq = line.find('=', i);
+      if (eq == std::string::npos || eq + 1 >= line.size() ||
+          line[eq + 1] != '"') {
+        if (error) *error = "malformed label: " + line;
+        return false;
+      }
+      std::string key = line.substr(i, eq - i);
+      std::string val;
+      std::size_t j = eq + 2;
+      for (; j < line.size() && line[j] != '"'; ++j) {
+        if (line[j] == '\\' && j + 1 < line.size()) {
+          ++j;
+          if (line[j] == 'n') {
+            val += '\n';
+          } else {
+            val += line[j];  // \" and \\ unescape to the raw char
+          }
+        } else {
+          val += line[j];
+        }
+      }
+      if (j >= line.size()) {
+        if (error) *error = "unterminated label value: " + line;
+        return false;
+      }
+      s->labels.emplace_back(std::move(key), std::move(val));
+      i = j + 1;
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size()) {
+      if (error) *error = "unterminated label block: " + line;
+      return false;
+    }
+    ++i;  // '}'
+  }
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size()) {
+    if (error) *error = "missing value: " + line;
+    return false;
+  }
+  std::string value_str = line.substr(i);
+  if (value_str == "+Inf") {
+    s->value = std::numeric_limits<double>::infinity();
+  } else {
+    try {
+      std::size_t pos = 0;
+      s->value = std::stod(value_str, &pos);
+      if (pos != value_str.size()) throw std::invalid_argument(value_str);
+    } catch (const std::exception&) {
+      if (error) *error = "bad sample value: " + line;
+      return false;
+    }
+  }
+  std::sort(s->labels.begin(), s->labels.end());
+  return true;
+}
+
+}  // namespace
+
+const ExpositionSample* Exposition::find(const std::string& name,
+                                         const Labels& labels) const {
+  Labels want = sorted_labels(labels);
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == want) return &s;
+  }
+  return nullptr;
+}
+
+double Exposition::value_or(const std::string& name, const Labels& labels,
+                            double fallback) const {
+  const ExpositionSample* s = find(name, labels);
+  return s ? s->value : fallback;
+}
+
+double Exposition::sum_over(const std::string& name) const {
+  double total = 0.0;
+  for (const auto& s : samples) {
+    if (s.name == name) total += s.value;
+  }
+  return total;
+}
+
+std::vector<std::pair<double, double>> Exposition::buckets(
+    const std::string& base) const {
+  const std::string bucket_name = base + "_bucket";
+  std::vector<std::pair<double, double>> out;
+  for (const auto& s : samples) {
+    if (s.name != bucket_name) continue;
+    for (const auto& [k, v] : s.labels) {
+      if (k != "le") continue;
+      double le = v == "+Inf" ? std::numeric_limits<double>::infinity()
+                              : std::stod(v);
+      out.emplace_back(le, s.value);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<Exposition> parse_prometheus_text(const std::string& text,
+                                                std::string* error) {
+  Exposition exp;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ExpositionSample s;
+    if (!parse_sample_line(line, &s, error)) return std::nullopt;
+    exp.samples.push_back(std::move(s));
+  }
+  return exp;
+}
+
+double histogram_quantile(
+    const std::vector<std::pair<double, double>>& buckets, double q) {
+  if (buckets.empty()) return 0.0;
+  const double total = buckets.back().second;
+  if (total <= 0.0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * total;
+  double prev_le = 0.0, prev_count = 0.0;
+  for (const auto& [le, count] : buckets) {
+    if (count >= rank) {
+      if (std::isinf(le)) return prev_le;  // resolve +Inf to last finite edge
+      const double in_bucket = count - prev_count;
+      if (in_bucket <= 0.0) return le;
+      return prev_le + (le - prev_le) * ((rank - prev_count) / in_bucket);
+    }
+    prev_le = le;
+    prev_count = count;
+  }
+  return prev_le;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSink.
+
+MetricsSink::MetricsSink(std::shared_ptr<MetricsRegistry> reg,
+                         std::string out_path)
+    : reg_(reg ? std::move(reg) : std::make_shared<MetricsRegistry>()),
+      out_path_(std::move(out_path)) {
+  // Pre-register the hot and reconciliation-critical series so a scrape of
+  // an idle daemon already exposes them at 0 (CI takes a pre-loadgen
+  // baseline and diffs against a post-loadgen scrape).
+  cell_wall_ = &reg_->histogram("cubie_cell_wall_seconds",
+                                "Host wall seconds per engine cell request.",
+                                latency_bucket_bounds());
+  request_latency_ = &reg_->histogram(
+      "cubie_request_latency_seconds",
+      "Service time of worker-path daemon requests, accept to response.",
+      latency_bucket_bounds());
+  plans_ = &reg_->counter("cubie_plans_total", "Engine plan executions.");
+  accepted_ = &reg_->counter("cubie_requests_accepted_total",
+                             "Requests admitted past the bounded queue.");
+  queued_ = &reg_->counter("cubie_requests_queued_total", "Requests enqueued.");
+  started_ = &reg_->counter("cubie_requests_started_total",
+                            "Requests a worker began executing.");
+  const char* finished_help = "Responses sent, by serving path.";
+  finished_worker_ = &reg_->counter("cubie_requests_finished_total",
+                                    finished_help, {{"path", "worker"}});
+  finished_inline_ = &reg_->counter("cubie_requests_finished_total",
+                                    finished_help, {{"path", "inline"}});
+  queue_depth_ = &reg_->gauge("cubie_queue_depth",
+                              "Admission queue depth after the last enqueue.");
+  const char* cells_help = "Engine cell_finish events by serving source.";
+  for (const char* source : {"compute", "memo", "disk", "coalesced"}) {
+    reg_->counter("cubie_cells_finished_total", cells_help,
+                  {{"source", source}});
+  }
+}
+
+void MetricsSink::on_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::PlanStart:
+      plans_->inc();
+      break;
+    case EventKind::CellFinish:
+      reg_->counter("cubie_cells_finished_total",
+                    "Engine cell_finish events by serving source.",
+                    {{"source", e.source}})
+          .inc();
+      if (e.wall_s >= 0.0) cell_wall_->observe(e.wall_s);
+      break;
+    case EventKind::CacheLoad:
+      reg_->counter("cubie_cache_loads_total",
+                    "DiskCache load outcomes by status.",
+                    {{"status", e.status}})
+          .inc();
+      break;
+    case EventKind::CacheStore:
+      reg_->counter("cubie_cache_stores_total",
+                    "DiskCache store outcomes by status.",
+                    {{"status", e.status}})
+          .inc();
+      break;
+    case EventKind::RequestAccepted:
+      accepted_->inc();
+      break;
+    case EventKind::RequestQueued:
+      queued_->inc();
+      queue_depth_->set(static_cast<double>(e.count));
+      break;
+    case EventKind::RequestStarted:
+      started_->inc();
+      break;
+    case EventKind::RequestFinished:
+      // The server tags e.source "worker" or "inline"; only worker-path
+      // latency feeds the histogram loadgen clients reconcile against.
+      if (e.source == "inline") {
+        finished_inline_->inc();
+      } else {
+        finished_worker_->inc();
+        if (e.wall_s >= 0.0) request_latency_->observe(e.wall_s);
+      }
+      break;
+    case EventKind::RequestRejected:
+      reg_->counter("cubie_requests_rejected_total",
+                    "Requests refused, by typed error code.",
+                    {{"code", e.source}})
+          .inc();
+      break;
+    default:
+      break;
+  }
+}
+
+void MetricsSink::flush() {
+  if (out_path_.empty()) return;
+  std::ofstream os(out_path_, std::ios::trunc);
+  if (!os) return;
+  os << prometheus_text(*reg_);
+}
+
+}  // namespace cubie::telemetry

@@ -1,0 +1,247 @@
+#pragma once
+// Cubie-Pulse: a process-wide metrics layer on top of the Cubie-Scope bus.
+//
+//   MetricsRegistry  typed counters / gauges / fixed-boundary histograms,
+//                    lock-striped for concurrent writers, snapshot-able with
+//                    deterministic (name, labels) ordering, and merge-able
+//                    (snapshot merge is associative — pinned by tests);
+//   MetricsSink      a bus sink that folds the existing event stream into a
+//                    registry: cell_finish by source, cache load/store
+//                    outcomes, the request lifecycle, queue depth, and the
+//                    request-latency / cell-wall histograms;
+//   prometheus_text  the text exposition (version 0.0.4) serializer the
+//                    daemon answers `metrics` requests with, plus a small
+//                    parser (`cubie top`, tests, CI reconciliation).
+//
+// The latency histograms share one fixed bucket ladder
+// (latency_bucket_bounds()) on both sides of the wire, so a loadgen's
+// client-side distribution is directly comparable to the daemon's
+// server-side one. See docs/OBSERVABILITY.md ("Cubie-Pulse").
+
+#include "telemetry/telemetry.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cubie::telemetry {
+
+// Label name -> value pairs. Registries sort them at series creation so the
+// same logical series is one entry regardless of caller ordering.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// The shared fixed bucket upper bounds (seconds) for every latency / wall
+// histogram: daemon request latency, engine cell wall, loadgen client
+// latency. 100 us .. 10 s, roughly 1-2.5-5 per decade.
+const std::vector<double>& latency_bucket_bounds();
+
+// ---------------------------------------------------------------------------
+// Instruments. All mutation is lock-free; creation goes through the
+// registry (lock-striped) and the returned references stay valid for the
+// registry's lifetime.
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// One histogram's state at a point in time. counts are per-bucket (NOT
+// cumulative): counts[i] observations fell in (bounds[i-1], bounds[i]], and
+// counts.back() is the +Inf overflow bucket, so counts.size() ==
+// bounds.size() + 1. merge() is associative and commutative in counts/sum.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  double sum = 0.0;
+
+  std::uint64_t total() const;
+  // Add `other` into this snapshot. Bounds must match (callers share the
+  // fixed ladders); mismatched bounds are ignored rather than corrupting.
+  void merge(const HistogramSnapshot& other);
+};
+
+class Histogram {
+ public:
+  // `bounds` are strictly increasing upper bucket edges; an implicit +Inf
+  // bucket is appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  // The bucket `v` lands in: the first i with v <= bounds[i], else the
+  // overflow bucket bounds.size(). Exposed for the bucket-assignment tests.
+  std::size_t bucket_index(double v) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+enum class MetricType { Counter, Gauge, Histogram };
+
+// One series in a snapshot. For counters/gauges `value` is set; for
+// histograms `hist` is.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::Counter;
+  Labels labels;  // sorted by label name
+  double value = 0.0;
+  HistogramSnapshot hist;
+
+  // "name{k1=\"v1\",k2=\"v2\"}" — the deterministic sort key.
+  std::string series_key() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. The first registration of a name fixes its help text
+  // and type; later calls with the same (name, labels) return the same
+  // instrument. Creation takes one stripe lock; the hot path afterwards is
+  // the caller holding the returned reference.
+  Counter& counter(const std::string& name, const std::string& help,
+                   Labels labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               Labels labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const std::vector<double>& bounds, Labels labels = {});
+
+  // Every series, sorted by (name, labels) — deterministic across runs and
+  // independent of creation / stripe order.
+  std::vector<MetricSnapshot> snapshot() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Pointwise merge of two snapshots (counters and histogram buckets add;
+// for gauges the right side wins). Associative: merge(merge(a,b),c) ==
+// merge(a,merge(b,c)) — the property the test suite pins.
+std::vector<MetricSnapshot> merge_snapshots(std::vector<MetricSnapshot> a,
+                                            const std::vector<MetricSnapshot>& b);
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (version 0.0.4).
+
+// Label-value escaping: backslash, double quote, newline.
+std::string prometheus_escape(const std::string& v);
+// Bucket edge rendered for an le="..." label ("0.0025", "+Inf").
+std::string prometheus_bound_label(double bound);
+
+// Serialize: one # HELP / # TYPE pair per family, series in snapshot
+// (sorted) order, histograms as cumulative _bucket{le=...} + _sum + _count.
+std::string prometheus_text(const std::vector<MetricSnapshot>& snapshot);
+std::string prometheus_text(const MetricsRegistry& reg);
+
+// A parsed exposition: flat samples ("name{labels} value"), histogram
+// buckets included as <name>_bucket samples with their le label.
+struct ExpositionSample {
+  std::string name;
+  Labels labels;  // sorted by label name
+  double value = 0.0;
+};
+
+struct Exposition {
+  std::vector<ExpositionSample> samples;
+
+  const ExpositionSample* find(const std::string& name,
+                               const Labels& labels = {}) const;
+  double value_or(const std::string& name, const Labels& labels,
+                  double fallback) const;
+  // Sum over every sample with this exact metric name (any labels).
+  double sum_over(const std::string& name) const;
+  // The (le, cumulative_count) pairs of <base>_bucket, sorted by le
+  // (+Inf parsed as infinity). Extra labels beyond le are ignored.
+  std::vector<std::pair<double, double>> buckets(const std::string& base) const;
+};
+
+// nullopt (with *error) on a malformed line; comments and blanks skipped.
+std::optional<Exposition> parse_prometheus_text(const std::string& text,
+                                                std::string* error = nullptr);
+
+// Linear-interpolated quantile (q in [0,1]) from cumulative (le, count)
+// pairs as returned by Exposition::buckets(). Prometheus-style: the +Inf
+// bucket resolves to the highest finite edge. 0 when the histogram is empty.
+double histogram_quantile(const std::vector<std::pair<double, double>>& buckets,
+                          double q);
+
+// ---------------------------------------------------------------------------
+// MetricsSink: folds the Cubie-Scope event stream into a registry.
+//
+//   cubie_cells_finished_total{source}   cell_finish by compute|memo|disk|
+//                                        coalesced
+//   cubie_cell_wall_seconds              histogram of cell_finish wall_s
+//   cubie_cache_loads_total{status}      DiskCache::load outcomes
+//   cubie_cache_stores_total{status}     DiskCache::store outcomes
+//   cubie_plans_total                    plan_start events
+//   cubie_requests_accepted_total        admission past the bounded queue
+//   cubie_requests_queued_total          enqueues (also sets queue depth)
+//   cubie_requests_started_total         worker/inline execution begins
+//   cubie_requests_finished_total{path}  responses sent, worker|inline
+//   cubie_requests_rejected_total{code}  typed rejections
+//   cubie_request_latency_seconds        histogram of worker-path service
+//                                        time (what a loadgen client sees)
+//   cubie_queue_depth                    gauge, depth after the last enqueue
+//                                        (the daemon refreshes it at scrape)
+class MetricsSink : public Sink {
+ public:
+  // Shares `reg` (a fresh registry is created when null). With a non-empty
+  // `out_path`, flush() writes the exposition snapshot there — the
+  // `--metrics-out FILE` final snapshot for batch runs.
+  explicit MetricsSink(std::shared_ptr<MetricsRegistry> reg = nullptr,
+                       std::string out_path = "");
+
+  MetricsRegistry& registry() { return *reg_; }
+  std::shared_ptr<MetricsRegistry> shared_registry() const { return reg_; }
+
+  void on_event(const Event& e) override;
+  void flush() override;
+
+ private:
+  std::shared_ptr<MetricsRegistry> reg_;
+  std::string out_path_;
+  // Hot series, resolved once in the constructor (on_event runs under the
+  // bus mutex but scrapers read concurrently; the instruments are atomic).
+  Histogram* cell_wall_ = nullptr;
+  Histogram* request_latency_ = nullptr;
+  Counter* plans_ = nullptr;
+  Counter* accepted_ = nullptr;
+  Counter* queued_ = nullptr;
+  Counter* started_ = nullptr;
+  Counter* finished_worker_ = nullptr;
+  Counter* finished_inline_ = nullptr;
+  Gauge* queue_depth_ = nullptr;
+};
+
+}  // namespace cubie::telemetry

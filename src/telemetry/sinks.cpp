@@ -1,8 +1,12 @@
 #include "telemetry/sinks.hpp"
 
 #include "common/table.hpp"
+#include "telemetry/metrics_registry.hpp"
+
+#include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <iostream>
 #include <map>
 #include <set>
@@ -342,6 +346,12 @@ void SinkSet::release() {
   sinks_.clear();
 }
 
+bool progress_enabled(bool progress, bool force) {
+  if (!progress) return false;
+  if (force) return true;
+  return ::isatty(::fileno(stderr)) == 1;
+}
+
 SinkSet install(const SinkConfig& cfg) {
   SinkSet set;
   if (!cfg.events_path.empty()) {
@@ -355,7 +365,9 @@ SinkSet install(const SinkConfig& cfg) {
   }
   if (!cfg.trace_path.empty())
     set.add(std::make_shared<ChromeTraceSink>(cfg.trace_path));
-  if (cfg.progress)
+  if (!cfg.metrics_path.empty())
+    set.add(std::make_shared<MetricsSink>(nullptr, cfg.metrics_path));
+  if (progress_enabled(cfg.progress, cfg.progress_force))
     set.add(std::make_shared<ProgressSink>(std::cerr, cfg.tool, cfg.jobs));
   return set;
 }

@@ -154,17 +154,28 @@ class SinkSet {
   std::vector<std::shared_ptr<Sink>> sinks_;
 };
 
-// The sinks a command line asked for (--events / --trace-out / --progress).
+// The sinks a command line asked for (--events / --trace-out / --progress /
+// --metrics-out).
 struct SinkConfig {
-  std::string events_path;  // JSONL event log ("" = off)
-  std::string trace_path;   // Chrome trace_event file ("" = off)
-  bool progress = false;    // live stderr progress line
-  int jobs = 1;             // pool width, for the progress ETA
-  std::string tool;         // producing binary, for headers and labels
+  std::string events_path;   // JSONL event log ("" = off)
+  std::string trace_path;    // Chrome trace_event file ("" = off)
+  std::string metrics_path;  // Prometheus text snapshot on flush ("" = off)
+  bool progress = false;     // live stderr progress line
+  // --progress is suppressed when stderr is not a TTY (CI logs would
+  // accumulate one carriage-return frame per repaint); --progress=force
+  // keeps the line regardless.
+  bool progress_force = false;
+  int jobs = 1;              // pool width, for the progress ETA
+  std::string tool;          // producing binary, for headers and labels
 };
 
 // Build and register the configured sinks. Unopenable output paths are
 // reported on stderr and skipped rather than failing the run.
 SinkSet install(const SinkConfig& cfg);
+
+// Whether the live progress line should render: progress requested, and
+// stderr is a TTY (or force overrides the check). Exposed for the CLI's
+// flag parsing tests.
+bool progress_enabled(bool progress, bool force);
 
 }  // namespace cubie::telemetry

@@ -18,6 +18,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "telemetry/metrics_registry.hpp"
 #include "telemetry/sinks.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -329,6 +330,87 @@ TEST(ServeServer, PingAndStatsOverUnixSocket) {
   EXPECT_GE(st->find("server")->find("connections")->as_number(), 1.0);
 }
 
+TEST(ServeServer, MetricsScrapeIsValidExpositionAndReconciles) {
+  serve::ServerOptions opts;
+  opts.socket_path = temp_socket("metrics");
+  LiveServer live(opts);
+  std::string err;
+  auto client = serve::Client::connect({opts.socket_path, -1}, &err);
+  ASSERT_TRUE(client) << err;
+
+  // An idle daemon already exposes the reconciliation series (at zero).
+  serve::Request mreq;
+  mreq.id = "m0";
+  mreq.cmd = serve::Cmd::Metrics;
+  auto resp = client->call(mreq, &err);
+  ASSERT_TRUE(resp) << err;
+  ASSERT_TRUE(resp->find("ok")->as_bool());
+  ASSERT_NE(resp->find("metrics"), nullptr);
+  EXPECT_EQ(resp->find("content_type")->as_string(),
+            "text/plain; version=0.0.4");
+  auto exp0 =
+      telemetry::parse_prometheus_text(resp->find("metrics")->as_string(), &err);
+  ASSERT_TRUE(exp0) << err;
+  EXPECT_EQ(exp0->value_or("cubie_requests_finished_total",
+                           {{"path", "worker"}}, -1.0),
+            0.0);
+
+  // One worker-path run, then re-scrape: counters move in lockstep with
+  // the engine block.
+  serve::Request run;
+  run.id = "m1";
+  run.cmd = serve::Cmd::Run;
+  run.spec.workload = "GEMV";
+  run.spec.variant = "TC";
+  run.spec.case_sel = "rep";
+  run.spec.scale = 64;
+  resp = client->call(run, &err);
+  ASSERT_TRUE(resp) << err;
+  ASSERT_TRUE(resp->find("ok")->as_bool());
+
+  resp = client->call(mreq, &err);
+  ASSERT_TRUE(resp) << err;
+  auto exp =
+      telemetry::parse_prometheus_text(resp->find("metrics")->as_string(), &err);
+  ASSERT_TRUE(exp) << err;
+  EXPECT_EQ(exp->value_or("cubie_requests_finished_total",
+                          {{"path", "worker"}}, -1.0),
+            1.0);
+  EXPECT_EQ(exp->value_or("cubie_request_latency_seconds_count", {}, -1.0),
+            1.0);
+  const auto ec = live.server.engine().counters();
+  EXPECT_EQ(exp->value_or("cubie_cells_finished_total",
+                          {{"source", "compute"}}, -1.0),
+            static_cast<double>(ec.misses));
+  // Queue is empty between requests, and the depth gauge is refreshed at
+  // scrape time.
+  EXPECT_EQ(exp->value_or("cubie_queue_depth", {}, -1.0), 0.0);
+}
+
+TEST(ServeServer, StatsCarryUptimeAndRejectionBreakdown) {
+  serve::ServerOptions opts;
+  opts.socket_path = temp_socket("uptime");
+  LiveServer live(opts);
+  std::string err;
+  auto client = serve::Client::connect({opts.socket_path, -1}, &err);
+  ASSERT_TRUE(client) << err;
+  serve::Request stats;
+  stats.cmd = serve::Cmd::Stats;
+  const auto st = client->call(stats, &err);
+  ASSERT_TRUE(st) << err;
+  const auto* srv = st->find("server");
+  ASSERT_NE(srv, nullptr);
+  ASSERT_NE(srv->find("uptime_s"), nullptr);
+  EXPECT_GE(srv->find("uptime_s")->as_number(), 0.0);
+  const auto* rej = srv->find("rejections");
+  ASSERT_NE(rej, nullptr);
+  for (const char* code :
+       {"overloaded", "deadline_exceeded", "shutting_down", "bad_request"}) {
+    ASSERT_NE(rej->find(code), nullptr) << code;
+    EXPECT_EQ(rej->find(code)->as_number(), 0.0);
+  }
+}
+
 TEST(ServeServer, TcpEphemeralPortWorks) {
   serve::ServerOptions opts;
   opts.tcp_port = 0;  // ephemeral
@@ -553,16 +635,24 @@ TEST(ServeServer, RequestLifecycleOnTheBus) {
 // ---------------------------------------------------------------------------
 // Load generator.
 
-TEST(ServeLoadgen, PercentilesAreNearestRank) {
+TEST(ServeLoadgen, PercentilesInterpolateLinearly) {
   serve::LoadgenResult r;
   r.latencies_ms = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
   r.completed = 10;
   r.wall_s = 2.0;
-  EXPECT_DOUBLE_EQ(r.percentile_ms(50), 5.0);
-  EXPECT_DOUBLE_EQ(r.percentile_ms(95), 10.0);
-  EXPECT_DOUBLE_EQ(r.percentile_ms(99), 10.0);
+  // numpy-default (type-7) interpolation: h = (n-1) * q / 100. The old
+  // nearest-rank rule collapsed p95 == p99 == p100 for every N < 100.
+  EXPECT_DOUBLE_EQ(r.percentile_ms(50), 5.5);
+  EXPECT_DOUBLE_EQ(r.percentile_ms(95), 9.55);
+  EXPECT_DOUBLE_EQ(r.percentile_ms(99), 9.91);
   EXPECT_DOUBLE_EQ(r.percentile_ms(100), 10.0);
   EXPECT_DOUBLE_EQ(r.req_per_s(), 5.0);
+  // Degenerate inputs stay well-defined: one sample answers every q with
+  // itself; no samples answer 0.
+  serve::LoadgenResult one;
+  one.latencies_ms = {7.5};
+  EXPECT_DOUBLE_EQ(one.percentile_ms(50), 7.5);
+  EXPECT_DOUBLE_EQ(one.percentile_ms(99), 7.5);
   serve::LoadgenResult empty;
   EXPECT_DOUBLE_EQ(empty.percentile_ms(50), 0.0);
   EXPECT_DOUBLE_EQ(empty.req_per_s(), 0.0);
@@ -600,6 +690,16 @@ TEST(ServeLoadgen, FiresMixAndReduces) {
   for (const char* m :
        {"req_per_s", "p50_ms", "p95_ms", "p99_ms", "completed", "rejected"})
     EXPECT_NE(rec.get(m), nullptr) << m;
+  // The client-side latency distribution rides along as a captured table
+  // in the daemon's fixed bucket ladder, cumulative counts.
+  ASSERT_EQ(rep.tables.size(), 1u);
+  const auto& table = rep.tables[0];
+  EXPECT_EQ(table.name, "latency_histogram");
+  ASSERT_EQ(table.columns,
+            (std::vector<std::string>{"le_seconds", "cumulative_count"}));
+  ASSERT_EQ(table.rows.size(), telemetry::latency_bucket_bounds().size() + 1);
+  EXPECT_EQ(table.rows.back()[0], "+Inf");
+  EXPECT_EQ(table.rows.back()[1], std::to_string(res.completed));
 }
 
 TEST(ServeLoadgen, ConnectFailureIsAnError) {

@@ -23,13 +23,19 @@
 //                        [--deadline MS] [--json file]
 //   cubie request <cmd> [workload] [--socket PATH | --port N]
 //                        [--deadline MS] [--json file]
+//   cubie top [--socket PATH | --port N] [--interval MS] [--iterations N]
+//   cubie roofline <workload> [--variant V|all] [--case I|all] [--gpu G]
+//                        [--scale N] [--json file] [--jobs N] [--cache DIR]
 //
 // run, profile, and check go through engine::ExperimentEngine: each unique
 // (workload, variant, case, scale) cell executes once and is re-priced on
 // every requested GPU; --cache persists cells across invocations and
 // --jobs fans the functional runs out over a thread pool. They also accept
 // the Cubie-Scope flags --events FILE (JSONL event log), --trace-out FILE
-// (Chrome trace_event timeline), and --progress (live stderr progress).
+// (Chrome trace_event timeline), --progress (live stderr progress; it
+// auto-suppresses when stderr is not a TTY, --progress=force overrides),
+// and --metrics-out FILE (final Cubie-Pulse Prometheus-text snapshot; the
+// --json report additionally gains the "hw" hardware-counter block).
 //
 // run's --json writes the schema-v1 MetricsReport built by
 // serve::run_report — the same routine the Cubie-Serve daemon answers
@@ -51,11 +57,19 @@
 // all three are unavailable. record's --perturb skews the metrics before
 // appending so CI can prove trend rejects a regressed entry.
 //
-// serve / loadgen / request are the Cubie-Serve daemon and its clients
-// (src/serve/, docs/SERVING.md): serve hosts one warm engine behind a
-// line-delimited JSON socket protocol with bounded-queue backpressure and
-// request coalescing; loadgen measures serving throughput and latency
-// percentiles; request is a one-shot scripting client.
+// serve / loadgen / request / top are the Cubie-Serve daemon and its
+// clients (src/serve/, docs/SERVING.md): serve hosts one warm engine
+// behind a line-delimited JSON socket protocol with bounded-queue
+// backpressure and request coalescing; loadgen measures serving throughput
+// and latency percentiles; request is a one-shot scripting client
+// (`request metrics` prints the raw Prometheus exposition, `request stats`
+// a human-readable table — --json for the machine form); top polls a
+// running daemon's metrics/stats and renders a live dashboard.
+//
+// roofline executes cells like run, then prints modeled-vs-measured per
+// cell: arithmetic intensity and the modeled bottleneck next to the
+// measured IPC / cache-miss% / task-clock from the Cubie-Pulse hardware
+// counters (typed unavailable fallback when perf_event_open is denied).
 
 #include "check/check.hpp"
 #include "common/metrics.hpp"
@@ -68,9 +82,13 @@
 #include "sim/model.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/history.hpp"
+#include "telemetry/metrics_registry.hpp"
 #include "telemetry/sinks.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +98,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -87,8 +106,8 @@ namespace {
 using namespace cubie;
 
 constexpr const char* kSubcommands[] = {
-    "list", "cases",  "run",   "profile", "check",
-    "record", "trend", "serve", "loadgen", "request",
+    "list", "cases",  "run",   "profile", "check",   "record", "trend",
+    "serve", "loadgen", "request", "top",  "roofline",
 };
 
 constexpr const char* kFlags[] = {
@@ -97,7 +116,8 @@ constexpr const char* kFlags[] = {
     "--trace-out", "--progress", "--history", "--sha",      "--tol",
     "--metric", "--errors",      "--csv",     "--check",    "--socket",
     "--port",   "--workers",     "--queue-limit", "--concurrency",
-    "--requests", "--sleep-ms",  "--deadline",
+    "--requests", "--sleep-ms",  "--deadline", "--metrics-out",
+    "--interval", "--iterations",
 };
 
 int usage() {
@@ -123,9 +143,15 @@ int usage() {
       "            [--deadline MS] [--json file]\n"
       "  cubie request <cmd> [workload] [--socket PATH | --port N]\n"
       "            [--deadline MS] [--json file]\n"
-      "run/profile/check/serve also accept [--events FILE]\n"
-      "[--trace-out FILE] [--progress] (Cubie-Scope telemetry; see\n"
-      "docs/OBSERVABILITY.md; serving: docs/SERVING.md)\n";
+      "  cubie top [--socket PATH | --port N] [--interval MS]\n"
+      "            [--iterations N]\n"
+      "  cubie roofline <workload> [--variant V|all] [--case I|all]\n"
+      "            [--gpu G] [--scale N] [--json file] [--jobs N]\n"
+      "            [--cache DIR]\n"
+      "run/profile/check/serve/roofline also accept [--events FILE]\n"
+      "[--trace-out FILE] [--metrics-out FILE] [--progress[=force]]\n"
+      "(Cubie-Scope/Pulse telemetry; see docs/OBSERVABILITY.md;\n"
+      "serving: docs/SERVING.md)\n";
   return 2;
 }
 
@@ -289,6 +315,7 @@ int cmd_profile(engine::ExperimentEngine& eng, const core::Workload& w,
     rec.set("spans", static_cast<double>(spans));
     rep.traces = tracer.roots();
     rep.engine = eng.stats();
+    rep.hw = eng.hw_stats();
     if (!rep.write_file(json_path)) {
       std::cerr << "cannot write " << json_path << '\n';
       return 1;
@@ -502,6 +529,47 @@ int cmd_loadgen(const serve::LoadgenOptions& lopts,
   return 0;
 }
 
+// Number lookup with a 0 default, for the stats table renderer.
+double jnum(const report::Json* obj, const std::string& key) {
+  if (obj == nullptr) return 0.0;
+  const report::Json* v = obj->find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+}
+
+std::string jint(const report::Json* obj, const std::string& key) {
+  return std::to_string(static_cast<long long>(jnum(obj, key)));
+}
+
+// `cubie request stats` human form: the daemon's server + engine counters
+// as one table. Scripts keep the raw envelope via --json.
+void print_stats_table(const report::Json& resp) {
+  const report::Json* srv = resp.find("server");
+  const report::Json* eng = resp.find("engine");
+  common::Table t({"counter", "value"});
+  t.add_row({"uptime_s", common::fmt_double(jnum(srv, "uptime_s"), 1)});
+  t.add_row({"connections", jint(srv, "connections")});
+  t.add_row({"accepted", jint(srv, "accepted")});
+  t.add_row({"started", jint(srv, "started")});
+  t.add_row({"completed", jint(srv, "completed")});
+  t.add_row({"max_queue_depth", jint(srv, "max_queue_depth")});
+  if (const report::Json* rej = srv ? srv->find("rejections") : nullptr;
+      rej != nullptr && rej->is_object()) {
+    t.add_row({"rejections", ""});
+    for (const auto& [code, n] : rej->members())
+      t.add_row({"  " + code,
+                 std::to_string(static_cast<long long>(
+                     n.is_number() ? n.as_number() : 0.0))});
+  }
+  t.add_row({"engine_runs", jint(eng, "misses")});
+  t.add_row({"engine_memo_hits", jint(eng, "memo_hits")});
+  t.add_row({"engine_disk_hits", jint(eng, "disk_hits")});
+  t.add_row({"engine_coalesced", jint(eng, "coalesced_hits")});
+  t.add_row({"engine_cells", jint(eng, "cells")});
+  t.add_row(
+      {"engine_exec_ms", common::fmt_double(jnum(eng, "exec_wall_s") * 1e3, 1)});
+  t.print(std::cout);
+}
+
 int cmd_request(const serve::Endpoint& ep, serve::Request req,
                 const std::string& json_path) {
   std::string err;
@@ -510,6 +578,7 @@ int cmd_request(const serve::Endpoint& ep, serve::Request req,
     std::cerr << "cubie request: " << err << '\n';
     return 1;
   }
+  const serve::Cmd cmd = req.cmd;
   auto resp = client->call(req, &err);
   if (!resp) {
     std::cerr << "cubie request: " << err << '\n';
@@ -528,14 +597,14 @@ int cmd_request(const serve::Endpoint& ep, serve::Request req,
     return 1;
   }
   if (!json_path.empty()) {
-    // Write just the MetricsReport, formatted exactly like write_file so
-    // the file is byte-comparable (cmp) with a direct `cubie run --json`.
+    // With a MetricsReport in the response, write just the report,
+    // formatted exactly like write_file — byte-comparable (cmp) with a
+    // direct `cubie run --json`. Control responses (stats, metrics, ping)
+    // carry no report; write the full envelope instead so scripts can
+    // still consume them machine-readably.
     const report::Json* rep = resp->find("report");
-    if (rep == nullptr) {
-      std::cerr << "cubie request: response has no report to write\n";
-      return 1;
-    }
-    const std::string text = rep->dump(2) + "\n";
+    const std::string text =
+        (rep != nullptr ? rep->dump(2) : resp->dump(2)) + "\n";
     if (json_path == "-") {
       std::cout << text;
     } else {
@@ -548,7 +617,231 @@ int cmd_request(const serve::Endpoint& ep, serve::Request req,
     }
     return 0;
   }
+  if (cmd == serve::Cmd::Metrics) {
+    // The raw Prometheus exposition, ready to pipe into a file or promtool.
+    if (const report::Json* m = resp->find("metrics");
+        m != nullptr && m->is_string()) {
+      std::cout << m->as_string();
+      return 0;
+    }
+    std::cerr << "cubie request: metrics response carried no exposition\n";
+    return 1;
+  }
+  if (cmd == serve::Cmd::Stats) {
+    print_stats_table(*resp);
+    return 0;
+  }
   std::cout << resp->dump(2) << '\n';
+  return 0;
+}
+
+// --- cubie top -------------------------------------------------------------
+// A small live dashboard over a running daemon: polls the inline `metrics`
+// and `stats` commands every --interval ms and renders request rate (from
+// the finished-counter delta between polls), the engine cache-hit share,
+// queue depth, and latency quantiles interpolated from the
+// cubie_request_latency_seconds histogram. On a TTY each frame repaints the
+// screen; otherwise one block per poll, pipe-friendly. --iterations N stops
+// after N frames (0 = run until interrupted).
+int cmd_top(const serve::Endpoint& ep, double interval_ms, int iterations) {
+  std::string err;
+  auto client = serve::Client::connect(ep, &err);
+  if (!client) {
+    std::cerr << "cubie top: " << err << '\n';
+    return 1;
+  }
+  const std::string where = !ep.socket_path.empty()
+                                ? "unix:" + ep.socket_path
+                                : "127.0.0.1:" + std::to_string(ep.tcp_port);
+  const bool tty = ::isatty(::fileno(stdout)) == 1;
+  using Clock = std::chrono::steady_clock;
+  double prev_finished = -1.0;
+  Clock::time_point prev_t = Clock::now();
+  for (int frame = 0; iterations <= 0 || frame < iterations; ++frame) {
+    if (frame > 0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(interval_ms));
+    serve::Request mreq;
+    mreq.id = "top-metrics";
+    mreq.cmd = serve::Cmd::Metrics;
+    auto mresp = client->call(mreq, &err);
+    if (!mresp) {
+      std::cerr << "cubie top: " << err << '\n';
+      return 1;
+    }
+    const report::Json* mtext = mresp->find("metrics");
+    if (mtext == nullptr || !mtext->is_string()) {
+      std::cerr << "cubie top: daemon answered without an exposition\n";
+      return 1;
+    }
+    const auto exp = telemetry::parse_prometheus_text(mtext->as_string(), &err);
+    if (!exp) {
+      std::cerr << "cubie top: unparseable exposition: " << err << '\n';
+      return 1;
+    }
+    serve::Request sreq;
+    sreq.id = "top-stats";
+    sreq.cmd = serve::Cmd::Stats;
+    auto sresp = client->call(sreq, &err);
+    if (!sresp) {
+      std::cerr << "cubie top: " << err << '\n';
+      return 1;
+    }
+    const report::Json* srv = sresp->find("server");
+
+    const Clock::time_point now = Clock::now();
+    const double dt = std::chrono::duration<double>(now - prev_t).count();
+    const double worker = exp->value_or("cubie_requests_finished_total",
+                                        {{"path", "worker"}}, 0.0);
+    const double inl = exp->value_or("cubie_requests_finished_total",
+                                     {{"path", "inline"}}, 0.0);
+    const double finished = worker + inl;
+    const double rate =
+        prev_finished >= 0.0 && dt > 0.0 ? (finished - prev_finished) / dt
+                                         : 0.0;
+    prev_finished = finished;
+    prev_t = now;
+
+    auto cells_from = [&](const char* src) {
+      return exp->value_or("cubie_cells_finished_total",
+                           {{"source", src}}, 0.0);
+    };
+    const double compute = cells_from("compute");
+    const double memo = cells_from("memo");
+    const double disk = cells_from("disk");
+    const double coalesced = cells_from("coalesced");
+    const double cells = compute + memo + disk + coalesced;
+    const double hit_pct =
+        cells > 0 ? 100.0 * (cells - compute) / cells : 0.0;
+
+    const auto lat = exp->buckets("cubie_request_latency_seconds");
+    const double n_lat =
+        exp->value_or("cubie_request_latency_seconds_count", {}, 0.0);
+    const double p50 = telemetry::histogram_quantile(lat, 0.50) * 1e3;
+    const double p95 = telemetry::histogram_quantile(lat, 0.95) * 1e3;
+    const double p99 = telemetry::histogram_quantile(lat, 0.99) * 1e3;
+    const double depth = exp->value_or("cubie_queue_depth", {}, 0.0);
+    const double rejected =
+        exp->sum_over("cubie_requests_rejected_total");
+
+    if (tty) std::cout << "\033[H\033[2J";
+    std::cout << "cubie top | " << where << " | uptime "
+              << common::fmt_double(jnum(srv, "uptime_s"), 1) << " s\n"
+              << "requests  " << common::fmt_double(rate, 1)
+              << " req/s | finished "
+              << static_cast<long long>(finished) << " (worker "
+              << static_cast<long long>(worker) << ", inline "
+              << static_cast<long long>(inl) << ") | rejected "
+              << static_cast<long long>(rejected) << "\n"
+              << "queue     depth " << static_cast<long long>(depth)
+              << " (high-watermark " << jint(srv, "max_queue_depth")
+              << ")\n"
+              << "cells     " << static_cast<long long>(cells)
+              << " | cache-hit " << common::fmt_double(hit_pct, 1)
+              << "% (compute " << static_cast<long long>(compute)
+              << ", memo " << static_cast<long long>(memo) << ", disk "
+              << static_cast<long long>(disk) << ", coalesced "
+              << static_cast<long long>(coalesced) << ")\n"
+              << "latency   p50 " << common::fmt_double(p50, 3)
+              << " ms  p95 " << common::fmt_double(p95, 3) << " ms  p99 "
+              << common::fmt_double(p99, 3) << " ms  (n="
+              << static_cast<long long>(n_lat) << ")\n";
+    if (!tty) std::cout << '\n';
+    std::cout.flush();
+  }
+  return 0;
+}
+
+// --- cubie roofline --------------------------------------------------------
+// Modeled-vs-measured per cell: the device model's arithmetic-intensity /
+// bottleneck view of each (case, variant) next to the measured IPC,
+// cache-miss ratio, and task-clock from the Cubie-Pulse hardware counters.
+// When perf_event_open is unavailable (unprivileged CI) the measured
+// columns degrade to "-" and the typed reason is printed once.
+int cmd_roofline(engine::ExperimentEngine& eng, const core::Workload& w,
+                 const std::vector<core::Variant>& variants,
+                 const std::vector<core::TestCase>& cases,
+                 const std::vector<std::size_t>& case_ids, int scale,
+                 sim::Gpu gpu, const std::string& json_path) {
+  const sim::DeviceSpec& spec = sim::spec_for(gpu);
+  const sim::DeviceModel model(spec);
+  engine::Plan plan;
+  plan.scale = scale;
+  plan.workloads = {w.name()};
+  plan.variants = variants;
+  plan.cases = engine::CaseSet::Explicit;
+  plan.case_indices = case_ids;
+  plan.gpus = {gpu};
+  eng.execute(plan);
+
+  const auto materialized = eng.materialized();
+  auto hw_for = [&](const std::string& key) -> const hw::HwSample* {
+    for (const auto& c : materialized)
+      if (c.key == key) return &c.hw;
+    return nullptr;
+  };
+
+  std::cout << "roofline: " << w.name() << " on " << spec.name
+            << " (ridge fp64-CC "
+            << common::fmt_double(spec.fp64_cc_peak / spec.dram_bw, 1)
+            << " FLOP/B, fp64-TC "
+            << common::fmt_double(spec.fp64_tc_peak / spec.dram_bw, 1)
+            << " FLOP/B)\n\n";
+
+  report::MetricsReport rep;
+  rep.tool = "cubie_roofline";
+  rep.title = "cubie roofline " + w.name();
+  rep.scale_divisor = scale;
+
+  common::Table t({"case", "variant", "AI_flop_B", "modeled_us", "bound",
+                   "IPC", "miss_%", "task_ms"});
+  for (std::size_t ci : case_ids) {
+    const auto& tc = cases[ci];
+    for (core::Variant v : variants) {
+      const auto& out = eng.run(w, v, tc, scale);
+      const auto pred = model.predict(out.profile);
+      const double ai = out.profile.dram_bytes > 0
+                            ? out.profile.useful_flops / out.profile.dram_bytes
+                            : 0.0;
+      const std::string key = engine::cell_key(w.name(), v, tc, scale);
+      const hw::HwSample* sample = hw_for(key);
+      const bool measured = sample != nullptr && sample->available;
+      t.add_row({tc.label, core::variant_name(v), common::fmt_double(ai, 3),
+                 common::fmt_double(pred.time_s * 1e6, 2),
+                 sim::bottleneck_name(pred.bound),
+                 measured ? common::fmt_double(sample->ipc(), 2) : "-",
+                 measured
+                     ? common::fmt_double(sample->miss_ratio() * 100.0, 1)
+                     : "-",
+                 measured
+                     ? common::fmt_double(sample->task_clock_s * 1e3, 2)
+                     : "-"});
+      auto& rec = rep.add_record(w.name(), core::variant_name(v), spec.name,
+                                 tc.label);
+      rec.set("ai_flop_per_byte", ai);
+      rec.set("modeled_us", pred.time_s * 1e6);
+      if (measured) {
+        rec.set("ipc", sample->ipc());
+        rec.set("cache_miss_ratio", sample->miss_ratio());
+        rec.set("task_clock_ms", sample->task_clock_s * 1e3);
+      }
+    }
+  }
+  t.print(std::cout);
+  if (!hw::available()) {
+    std::cerr << "[hw counters unavailable: " << hw::unavailable_reason()
+              << " — measured columns omitted]\n";
+  }
+
+  if (!json_path.empty()) {
+    rep.engine = eng.stats();
+    rep.hw = eng.hw_stats();
+    if (!rep.write_file(json_path)) {
+      std::cerr << "cannot write " << json_path << '\n';
+      return 1;
+    }
+    if (json_path != "-") std::cerr << "[json report: " << json_path << "]\n";
+  }
   return 0;
 }
 
@@ -582,6 +875,10 @@ int main(int argc, char** argv) {
   int port = -1, workers = 2, queue_limit = 16;
   int concurrency = 4, requests = 64;
   double sleep_ms = 0.0, deadline_ms = 0.0;
+  // cubie top / --metrics-out.
+  double interval_ms = 1000.0;
+  int iterations = 0;  // 0 = until interrupted
+  bool metrics_out = false;
   // check / loadgen / request accept several positionals; every other
   // command takes at most one.
   std::vector<std::string> positionals;
@@ -605,7 +902,19 @@ int main(int argc, char** argv) {
     else if (args[i] == "--perturb") perturb = std::atof(next("--perturb").c_str());
     else if (args[i] == "--events") scope.events_path = next("--events");
     else if (args[i] == "--trace-out") scope.trace_path = next("--trace-out");
+    else if (args[i] == "--metrics-out") {
+      scope.metrics_path = next("--metrics-out");
+      metrics_out = true;
+    }
     else if (args[i] == "--progress") scope.progress = true;
+    else if (args[i] == "--progress=force") {
+      scope.progress = true;
+      scope.progress_force = true;
+    }
+    else if (args[i] == "--interval")
+      interval_ms = std::max(10.0, std::atof(next("--interval").c_str()));
+    else if (args[i] == "--iterations")
+      iterations = std::max(0, std::atoi(next("--iterations").c_str()));
     else if (args[i] == "--history") history_path = next("--history");
     else if (args[i] == "--sha") sha = next("--sha");
     else if (args[i] == "--tol") tol = std::atof(next("--tol").c_str());
@@ -648,6 +957,13 @@ int main(int argc, char** argv) {
 
   // The client commands talk to a daemon's engine, not their own.
   const serve::Endpoint ep{socket_path, port};
+  if (cmd == "top") {
+    if (socket_path.empty() && port < 0) {
+      std::cerr << "cubie top needs an endpoint: --socket PATH or --port N\n";
+      return 2;
+    }
+    return cmd_top(ep, interval_ms, iterations);
+  }
   if (cmd == "loadgen") {
     serve::LoadgenOptions lo;
     lo.endpoint = ep;
@@ -680,13 +996,13 @@ int main(int argc, char** argv) {
   if (cmd == "request") {
     if (positionals.empty()) {
       std::cerr << "cubie request needs a protocol cmd "
-                   "(run|suite|check|stats|ping|sleep|shutdown)\n";
+                   "(run|suite|check|stats|metrics|ping|sleep|shutdown)\n";
       return 2;
     }
     const auto pc = serve::parse_cmd(positionals[0]);
     if (!pc) {
       std::cerr << "cubie request: unknown protocol cmd '" << positionals[0]
-                << "' (run|suite|check|stats|ping|sleep|shutdown)\n";
+                << "' (run|suite|check|stats|metrics|ping|sleep|shutdown)\n";
       return 2;
     }
     serve::Request r;
@@ -729,7 +1045,8 @@ int main(int argc, char** argv) {
     return cmd_check(eng, positionals, scale, case_arg == "all", json_path,
                      perturb);
 
-  if ((cmd == "cases" || cmd == "run" || cmd == "profile") &&
+  if ((cmd == "cases" || cmd == "run" || cmd == "profile" ||
+       cmd == "roofline") &&
       workload_name.empty()) {
     std::cerr << "cubie " << cmd << " needs a workload (try: cubie list)\n";
     return usage();
@@ -768,9 +1085,9 @@ int main(int argc, char** argv) {
     return cmd_profile(eng, *w, *v, cases[ci], scale, *g, json_path);
   }
 
-  // cmd == "run" from here on.
+  // cmd == "run" or "roofline" from here on.
   int exit_code = 0;
-  if (!json_path.empty() || check_flag) {
+  if (cmd == "run" && (!json_path.empty() || check_flag)) {
     // The structured path: serve::run_report, shared verbatim with the
     // Cubie-Serve daemon (byte-identical served responses).
     if (!dataset.empty()) {
@@ -805,6 +1122,11 @@ int main(int argc, char** argv) {
       if (!conf.pass()) exit_code = 1;
     }
     if (!json_path.empty()) {
+      // With --metrics-out the report additionally carries the "hw"
+      // hardware-counter block (or its typed unavailable fallback). Only
+      // then: a plain `cubie run --json` stays byte-identical to the
+      // served response (the CI cmp contract).
+      if (metrics_out) rep->hw = eng.hw_stats();
       if (!rep->write_file(json_path)) {
         std::cerr << "cannot write " << json_path << '\n';
         return 1;
@@ -861,6 +1183,20 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "bad --gpu\n";
     return 2;
+  }
+
+  if (cmd == "roofline") {
+    if (!dataset.empty()) {
+      std::cerr << "cubie roofline: --dataset is not supported (custom "
+                   "cases are not Plan-expressible)\n";
+      return 2;
+    }
+    if (gpus.size() != 1) {
+      std::cerr << "roofline needs a single --gpu\n";
+      return 2;
+    }
+    return cmd_roofline(eng, *w, variants, cases, case_ids, scale, gpus[0],
+                        json_path);
   }
 
   std::vector<std::string> header{"gpu", "case", "variant", "time_ms",

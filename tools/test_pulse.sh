@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Cubie-Pulse batch-mode smoke, run from ctest:
+#   test_pulse.sh <cubie-binary>
+# Proves the --metrics-out / hw-block contract for non-daemon runs:
+#   * `cubie run --metrics-out` writes a parseable Prometheus text snapshot
+#     whose cell counters reconcile with the plan that produced it;
+#   * the report gains an `hw` block with a typed availability state (on
+#     unprivileged runners: available=false plus a non-empty reason);
+#   * without --metrics-out the report carries NO hw block, so served and
+#     direct runs stay byte-identical;
+#   * the whole report (hw block included) is deterministic: a second
+#     identical run reproduces it byte-for-byte;
+#   * --progress auto-suppresses on a non-TTY stderr, and --progress=force
+#     overrides the suppression.
+set -eu
+
+CUBIE="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# One plan, run twice with a metrics snapshot, once without.
+run_flags="run GEMV --variant all --case rep --gpu H200 --scale 16"
+"$CUBIE" $run_flags --json "$WORK/a.json" \
+         --metrics-out "$WORK/a.prom" > /dev/null 2>&1
+"$CUBIE" $run_flags --json "$WORK/b.json" \
+         --metrics-out "$WORK/b.prom" > /dev/null 2>&1
+"$CUBIE" $run_flags --json "$WORK/plain.json" > /dev/null 2>&1
+
+# The hw block (typed unavailable fallback included) must not perturb
+# determinism: identical plans yield byte-identical reports.
+cmp "$WORK/a.json" "$WORK/b.json"
+
+python3 - "$WORK/a.json" "$WORK/plain.json" "$WORK/a.prom" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+plain = json.load(open(sys.argv[2]))
+
+# The hw block is opt-in: only --metrics-out runs carry it, keeping the
+# daemon's byte-identity contract for plain --json runs intact.
+assert "hw" in rep, sorted(rep)
+assert "hw" not in plain, sorted(plain)
+hw = rep["hw"]
+assert isinstance(hw["available"], bool), hw
+if hw["available"]:
+    assert hw["cells"] >= 1 and hw["task_clock_ms"] > 0, hw
+else:
+    assert hw["reason"], hw
+
+# The snapshot is one metric per line, `name{labels} value`, with every
+# family announced by # HELP / # TYPE and counters reconciling with the
+# plan: each unique (variant) cell computed exactly once, one wall
+# observation per finish, one plan executed.
+series, helped, typed = {}, set(), set()
+for line in open(sys.argv[3]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# HELP "):
+        helped.add(line.split(" ")[2])
+        continue
+    if line.startswith("# TYPE "):
+        typed.add(line.split(" ")[2])
+        continue
+    name, value = line.rsplit(" ", 1)
+    series[name] = float(value)
+assert helped == typed and helped, (helped, typed)
+for name in series:
+    fam = name.split("{")[0]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if fam.endswith(suffix) and fam[: -len(suffix)] in typed:
+            fam = fam[: -len(suffix)]
+    assert fam in typed, (fam, sorted(typed))
+
+cells = int(len(rep["records"]))
+compute = series['cubie_cells_finished_total{source="compute"}']
+assert compute == cells, (compute, cells)
+wall = series["cubie_cell_wall_seconds_count"]
+assert wall >= compute, (wall, compute)
+# `run --json` executes the shared run_report plan, then the table path
+# re-warms through a second plan: two PlanStarts, repeats all memo hits.
+assert series["cubie_plans_total"] == 2, series["cubie_plans_total"]
+assert series['cubie_cells_finished_total{source="memo"}'] >= compute
+print("pulse snapshot ok: %d series, %d cells, hw available=%s"
+      % (len(series), cells, hw["available"]))
+EOF
+
+# --progress repaints with '\r'; on a redirected (non-TTY) stderr it must
+# stay silent unless forced.
+"$CUBIE" $run_flags --progress > /dev/null 2> "$WORK/quiet.err"
+if grep -q "$(printf '\r')" "$WORK/quiet.err"; then
+  echo "FAIL: --progress repainted on a non-TTY stderr" >&2
+  exit 1
+fi
+"$CUBIE" $run_flags --progress=force > /dev/null 2> "$WORK/forced.err"
+grep -q "$(printf '\r')" "$WORK/forced.err"
+grep -q "cells" "$WORK/forced.err"
+
+echo "pulse batch test OK"

@@ -68,7 +68,10 @@ for p in $pids; do wait "$p"; done
 cmp "$WORK/conc_1.json" "$WORK/conc_2.json"
 cmp "$WORK/conc_1.json" "$WORK/conc_4.json"
 
-"$CUBIE" request stats --socket "$SOCK" > "$WORK/stats.json"
+# `request stats` renders a human table by default; scripts keep the full
+# machine envelope via --json.
+"$CUBIE" request stats --socket "$SOCK" 2> /dev/null | grep -q "uptime_s"
+"$CUBIE" request stats --socket "$SOCK" --json "$WORK/stats.json" 2> /dev/null
 python3 - "$WORK/stats.json" <<'EOF'
 import json, sys
 env = json.load(open(sys.argv[1]))
@@ -80,9 +83,47 @@ assert eng["misses"] == eng["cells"], eng
 assert eng["memo_hits"] + eng["coalesced_hits"] > 0, eng
 assert srv["completed"] >= 6, srv
 assert srv["rejected_overloaded"] == 0, srv
+assert srv["uptime_s"] > 0, srv
+assert srv["rejections"]["overloaded"] == 0, srv
 print("stats ok: %d cells computed once, %d memo + %d coalesced" %
       (eng["misses"], eng["memo_hits"], eng["coalesced_hits"]))
 EOF
+
+# Cubie-Pulse: the daemon answers `metrics` inline with a Prometheus text
+# exposition whose counters reconcile exactly with the stats envelope.
+"$CUBIE" request metrics --socket "$SOCK" > "$WORK/scrape.prom" 2> /dev/null
+python3 - "$WORK/scrape.prom" "$WORK/stats.json" <<'EOF'
+import json, sys
+series = {}
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line or line.startswith("#"):
+        continue
+    name, value = line.rsplit(" ", 1)
+    series[name] = float(value)
+env = json.load(open(sys.argv[2]))
+eng = env["engine"]
+assert series['cubie_cells_finished_total{source="compute"}'] == eng["misses"]
+assert series['cubie_cells_finished_total{source="memo"}'] == eng["memo_hits"]
+assert (series['cubie_cells_finished_total{source="coalesced"}']
+        == eng["coalesced_hits"])
+# The metrics scrape itself runs inline; at least the worker-path requests
+# so far are finished, and every cell_finish landed one wall observation.
+assert series['cubie_requests_finished_total{path="worker"}'] >= 6
+total_cells = (eng["misses"] + eng["memo_hits"] + eng["disk_hits"]
+               + eng["coalesced_hits"])
+assert series["cubie_cell_wall_seconds_count"] == total_cells
+print("metrics scrape ok: %d series, %d cell finishes" %
+      (len(series), total_cells))
+EOF
+
+# `cubie top` consumes the same metrics/stats pair; one frame must render
+# the dashboard lines even with stdout piped (non-TTY block mode).
+"$CUBIE" top --socket "$SOCK" --interval 50 --iterations 1 \
+         > "$WORK/top.out" 2> /dev/null
+grep -q "req/s" "$WORK/top.out"
+grep -q "cache-hit" "$WORK/top.out"
+grep -q "p99" "$WORK/top.out"
 
 # The load generator produces a schema-v1 MetricsReport whose self-diff is
 # clean, with the latency/throughput metrics present.
