@@ -1,0 +1,71 @@
+// Ablation: the cachesim backend's L2 geometry. Sweeps cache capacity and
+// associativity over the memory-bound representative cells and reports the
+// simulated hit rate and the resulting modeled time, isolating how much of
+// the "no TC win for memory-bound kernels" conclusion depends on the
+// hierarchy the stream is replayed through. The sweep always prices with
+// CacheSimModel directly (custom CacheSimConfig per point); --model still
+// selects the backend the engine keys its cells under.
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/cachesim/cachesim_model.hpp"
+
+#include <iostream>
+#include <string>
+
+int main(int argc, char** argv) {
+  using namespace cubie;
+  auto bench = benchutil::bench_init(
+      argc, argv, "ablation_cache",
+      "Ablation: cachesim L2 size/associativity sweep");
+  const int s = bench.scale;
+  std::cout << "=== Ablation: cachesim L2 geometry (memory-bound cells, "
+               "H200) ===\nSimulated L2 hit rate and modeled time per "
+               "(capacity, associativity).\n\n";
+
+  const std::size_t sizes_mb[] = {8, 16, 32, 50, 96};
+  const int ways[] = {4, 8, 16};
+
+  for (const char* name : {"GEMV", "SpMV", "Scan", "Reduction"}) {
+    const auto* w = bench.engine.workload(name);
+    if (!w) continue;
+    const auto tc_case = w->cases(s)[w->representative_case()];
+    const auto& out = bench.run(*w, core::Variant::TC, tc_case);
+
+    common::Table t({"L2 MiB", "ways", "hit rate", "t_dram us", "time us",
+                     "bound"});
+    for (std::size_t mb : sizes_mb) {
+      for (int wy : ways) {
+        sim::CacheSimConfig cfg;
+        cfg.l2_bytes = mb << 20;
+        cfg.l2_ways = wy;
+        const sim::CacheSimModel model(sim::h200(), cfg);
+        const auto stats = model.simulate(out.profile);
+        const auto pred = model.predict(out.profile);
+        t.add_row({std::to_string(mb), std::to_string(wy),
+                   common::fmt_double(stats.hit_rate, 3),
+                   common::fmt_double(pred.t_dram * 1e6, 2),
+                   common::fmt_double(pred.time_s * 1e6, 2),
+                   sim::bottleneck_name(pred.bound)});
+        const std::string label = tc_case.label + " l2=" +
+                                  std::to_string(mb) + "MiB ways=" +
+                                  std::to_string(wy);
+        auto& rec = bench.record(w->name(), "TC", "H200", label);
+        rec.set("l2_hit_rate", stats.hit_rate);
+        rec.set("t_dram_us", pred.t_dram * 1e6);
+        rec.set("time_us", pred.time_s * 1e6);
+      }
+    }
+    std::cout << name << " / TC / " << tc_case.label << ":\n";
+    t.print(std::cout);
+    bench.capture(std::string("cache_") + name, t);
+    std::cout << '\n';
+  }
+
+  std::cout << "Reading: memory-bound cells are streaming-dominated - hit "
+               "rates move with\ncapacity only once the working set fits, "
+               "and associativity is second-order;\nthe modeled time floor "
+               "is DRAM bandwidth either way, which is why simulated\nhit "
+               "rates leave the paper's memory-bound verdicts intact.\n";
+  return bench.finish();
+}

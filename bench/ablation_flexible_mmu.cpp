@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   auto bench = benchutil::bench_init(
       argc, argv, "ablation_flexible_mmu",
       "Ablation: hypothetical flexible (masked-output) MMU on H200");
-  const sim::DeviceModel model(sim::h200());
+  const auto model = bench.model_for(sim::Gpu::H200);
   const int s = bench.scale;
   std::cout << "=== Ablation: hypothetical flexible (masked-output) MMU on "
                "H200 ===\n\n";
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   for (const auto& w : bench.suite()) {
     const auto tc_case = w->cases(s)[w->representative_case()];
     const auto& tc = bench.run(*w, core::Variant::TC, tc_case);
-    const auto pred = model.predict(tc.profile);
+    const auto pred = model->predict(tc.profile);
 
     const double util = output_utilization(w->name());
     sim::KernelProfile flex = tc.profile;
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
     // the redundant operand staging; approximate as the same factor on
     // shared-memory traffic.
     flex.smem_bytes *= std::max(util, 0.5);
-    const auto pred_flex = model.predict(flex);
+    const auto pred_flex = model->predict(flex);
 
     t.add_row({w->name(), common::fmt_double(util, 3),
                common::fmt_double(pred.time_s * 1e6, 1),

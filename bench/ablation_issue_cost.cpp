@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   auto bench = benchutil::bench_init(
       argc, argv, "ablation_issue_cost",
       "Ablation: CC-vs-TC gap sensitivity to issue cost and mem_eff (H200)");
-  const sim::DeviceModel model(sim::h200());
+  const auto model = bench.model_for(sim::Gpu::H200);
   std::cout << "=== Ablation: what makes CC slower than TC? (H200, Scan & "
                "SpMV) ===\n\n";
 
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     const auto* w = bench.workload(name);
     const auto tc_case = w->cases(bench.scale)[w->representative_case()];
     const auto& tc = bench.run(*w, core::Variant::TC, tc_case);
-    const double t_tc = model.predict(tc.profile).time_s;
+    const double t_tc = model->predict(tc.profile).time_s;
 
     std::cout << name << " (TC time " << common::fmt_double(t_tc * 1e6, 1)
               << " us):\n";
@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
         cc.warp_instructions *= instr_scale;
         cc.mem_eff = mem_eff;
         cc.pipe_eff = sim::cal::kCcEmulationEff;
-        const double ratio = t_tc / model.predict(cc).time_s;
+        const double ratio = t_tc / model->predict(cc).time_s;
         row.push_back(common::fmt_double(ratio, 2) + "x");
         bench
             .record(name, "CC", "H200",

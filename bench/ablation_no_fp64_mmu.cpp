@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   }
   bench.warm(plan);
 
-  const sim::DeviceModel v100(sim::v100());
+  const auto v100 = bench.model_for(sim::v100());
   common::Table t({"Workload", "V100 (no FP64 MMU)", "A100", "H200", "B200"});
   for (const auto& w : bench.suite()) {
     if (!w->has_baseline()) continue;
@@ -44,10 +44,10 @@ int main(int argc, char** argv) {
           .set("speedup", speedup);
       return common::fmt_double(speedup, 2) + "x";
     };
-    row.push_back(cell(v100, "V100"));
+    row.push_back(cell(*v100, "V100"));
     for (auto g : sim::all_gpus()) {
       const auto& spec = sim::spec_for(g);
-      row.push_back(cell(sim::DeviceModel(spec), spec.name));
+      row.push_back(cell(*bench.model_for(spec), spec.name));
     }
     t.add_row(std::move(row));
   }

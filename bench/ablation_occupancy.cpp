@@ -18,8 +18,8 @@ int main(int argc, char** argv) {
       "Ablation: occupancy rolloff and launch overhead");
   std::cout << "=== Ablation: occupancy rolloff and launch overhead ===\n\n";
   for (auto g : sim::all_gpus()) {
-    const sim::DeviceModel model(sim::spec_for(g));
-    const auto& d = model.spec();
+    const auto model = bench.model_for(g);
+    const auto& d = model->spec();
     std::cout << d.name << " (saturation at "
               << static_cast<long>(d.max_threads * sim::cal::kSaturationFraction)
               << " threads, launch " << d.launch_overhead_s * 1e6
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       flop.tc_flops = 1e9;  // large enough to dwarf launch overhead
       flop.threads = threads;
       flop.launches = 1;
-      const double t_flop = model.predict(flop).time_s;
+      const double t_flop = model->predict(flop).time_s;
       const double pct_flop =
           100.0 * (flop.tc_flops / d.fp64_tc_peak) / t_flop;
 
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
       mem.dram_bytes = 1e8;
       mem.threads = threads;
       mem.launches = 1;
-      const double t_mem = model.predict(mem).time_s;
+      const double t_mem = model->predict(mem).time_s;
       const double pct_mem = 100.0 * (mem.dram_bytes / d.dram_bw) / t_mem;
 
       t.add_row({common::fmt_si(threads, 3),
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
     tiny.cc_flops = 32.0;
     tiny.threads = 32.0;
     tiny.launches = 1;
-    const double floor_us = model.predict(tiny).time_s * 1e6;
+    const double floor_us = model->predict(tiny).time_s * 1e6;
     std::cout << "  empty-kernel floor: " << common::fmt_double(floor_us, 2)
               << " us\n\n";
     bench.record("occupancy", "", d.name, "empty kernel")

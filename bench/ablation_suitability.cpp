@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
       argc, argv, "ablation_suitability",
       "Ablation: algorithm-level MMU suitability vs measured (H200)");
   const auto& dev = sim::h200();
-  const sim::DeviceModel model(dev);
+  const auto model = bench.model_for(dev);
   const int s = bench.scale;
 
   std::cout << "=== Ablation: algorithm-level MMU suitability vs measured "
@@ -83,9 +83,9 @@ int main(int argc, char** argv) {
     // Measured TC-vs-baseline factor (representative case).
     const auto tc_case = w->cases(s)[w->representative_case()];
     const double t_tc =
-        model.predict(bench.run(*w, core::Variant::TC, tc_case).profile).time_s;
+        model->predict(bench.run(*w, core::Variant::TC, tc_case).profile).time_s;
     const double t_base =
-        model.predict(bench.run(*w, core::Variant::Baseline, tc_case).profile)
+        model->predict(bench.run(*w, core::Variant::Baseline, tc_case).profile)
             .time_s;
     const double measured = t_base / t_tc;
 

@@ -43,11 +43,13 @@ int main(int argc, char** argv) {
                "single-GPU rationale) ===\nTC speedup over baseline on the "
                "nominal H200 vs the slow/fast corners.\n\n";
 
-  const sim::DeviceModel nominal(sim::h200());
+  const auto nominal = bench.model_for(sim::Gpu::H200);
   const auto slow_spec = perturbed(sim::h200(), 0.95, 0.95);
   const auto fast_spec = perturbed(sim::h200(), 1.05, 1.05);
   const auto skew_spec = perturbed(sim::h200(), 1.05, 0.95);  // clock-up, bw-down
-  const sim::DeviceModel slow(slow_spec), fast(fast_spec), skew(skew_spec);
+  const auto slow = bench.model_for(slow_spec);
+  const auto fast = bench.model_for(fast_spec);
+  const auto skew = bench.model_for(skew_spec);
 
   engine::Plan plan = engine::Plan::representative(s)
                           .with_variants({core::Variant::TC,
@@ -69,8 +71,8 @@ int main(int argc, char** argv) {
     auto speedup = [&](const sim::DeviceModel& m) {
       return m.predict(base.profile).time_s / m.predict(tc.profile).time_s;
     };
-    const double sn = speedup(nominal), ss = speedup(slow), sf = speedup(fast),
-                 sk = speedup(skew);
+    const double sn = speedup(*nominal), ss = speedup(*slow), sf = speedup(*fast),
+                 sk = speedup(*skew);
     const bool verdict_stable = ((sn > 1.0) == (ss > 1.0)) &&
                                 ((sn > 1.0) == (sf > 1.0)) &&
                                 ((sn > 1.0) == (sk > 1.0));

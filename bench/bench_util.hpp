@@ -17,10 +17,12 @@
 #include "core/kernels.hpp"
 #include "engine/engine.hpp"
 #include "sim/model.hpp"
+#include "sim/model_registry.hpp"
 #include "telemetry/sinks.hpp"
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +36,9 @@ namespace cubie::benchutil {
 //   --scale <N>     override the CUBIE_SCALE divisor
 //   --jobs <N>      thread-pool width for engine Plan execution
 //   --cache <dir>   persist engine cells to disk, shared across binaries
+//   --model <name>  device-model backend predictions are priced with
+//                   ("analytic" | "cachesim"; default analytic — see
+//                   docs/MODEL.md "Backends")
 //   --check         run the Cubie-Check conformance harness over every cell
 //                   this bench executed (src/check/); violations make the
 //                   exit code 1 and the verdict table is appended to the
@@ -58,6 +63,9 @@ struct Bench {
   std::string json_path;  // empty = human output only
   int scale = 1;
   bool check = false;  // --check: differential conformance after the bench
+  // --model: which registered device-model backend prices this bench's
+  // predictions (and keys its engine cells). Validated at bench_init.
+  std::string model = "analytic";
   // --metrics-out: the report additionally carries the "hw" block (the
   // pulse snapshot itself is written by the MetricsSink's flush).
   bool metrics_out = false;
@@ -83,6 +91,16 @@ struct Bench {
   // Execute every unique cell of the plan up front (parallel with --jobs);
   // subsequent run() calls are cache hits.
   std::size_t warm(const engine::Plan& plan) { return engine.execute(plan); }
+
+  // The configured backend instantiated over a device spec (never null:
+  // bench_init validates --model against the registry before it returns).
+  std::unique_ptr<const sim::DeviceModel> model_for(
+      const sim::DeviceSpec& spec) const {
+    return sim::make_device_model(model, spec);
+  }
+  std::unique_ptr<const sim::DeviceModel> model_for(sim::Gpu gpu) const {
+    return model_for(sim::spec_for(gpu));
+  }
 
   report::MetricRecord& record(const std::string& workload,
                                const std::string& variant,
@@ -153,6 +171,8 @@ inline Bench bench_init(int argc, char** argv, const std::string& tool,
       eng.jobs = std::max(1, std::atoi(next().c_str()));
     } else if (arg == "--cache") {
       eng.cache_dir = next();
+    } else if (arg == "--model") {
+      b.model = next();
     } else if (arg == "--check") {
       b.check = true;
     } else if (arg == "--events") {
@@ -170,8 +190,8 @@ inline Bench bench_init(int argc, char** argv, const std::string& tool,
     } else if (arg == "--help" || arg == "-h") {
       std::cout << tool << ": " << title << "\n"
                 << "usage: " << tool << " [--json <path>] [--scale <N>]"
-                << " [--jobs <N>] [--cache <dir>] [--check]"
-                << " [--events <path>] [--trace-out <path>]"
+                << " [--jobs <N>] [--cache <dir>] [--model <name>]"
+                << " [--check] [--events <path>] [--trace-out <path>]"
                 << " [--metrics-out <path>] [--progress[=force]]\n";
       std::exit(0);
     } else {
@@ -179,8 +199,18 @@ inline Bench bench_init(int argc, char** argv, const std::string& tool,
       std::exit(2);
     }
   }
+  if (sim::model_backend_description(b.model).empty()) {
+    std::cerr << tool << ": unknown model backend '" << b.model << "'";
+    if (const std::string hint = sim::suggest_model_backend(b.model);
+        !hint.empty()) {
+      std::cerr << " (did you mean '" << hint << "'?)";
+    }
+    std::cerr << "\n";
+    std::exit(2);
+  }
   b.report.scale_divisor = b.scale;
   scope.jobs = eng.jobs;
+  eng.model = b.model;
   b.engine = engine::ExperimentEngine(std::move(eng));
   b.sinks = telemetry::install(scope);
   return b;
@@ -227,14 +257,15 @@ inline std::vector<SpeedupRow> speedup_sweep(Bench& b, core::Variant num,
     row.workload = w->name();
     row.quadrant = w->quadrant();
     const auto gpus = sim::all_gpus();
+    std::vector<std::unique_ptr<const sim::DeviceModel>> models;
+    for (auto g : gpus) models.push_back(b.model_for(g));
     std::vector<std::vector<double>> ratios(gpus.size());
     for (const auto& tc : w->cases(b.scale)) {
       const auto& out_num = b.run(*w, num, tc);
       const auto& out_den = b.run(*w, den, tc);
       for (std::size_t g = 0; g < gpus.size(); ++g) {
-        const sim::DeviceModel model(sim::spec_for(gpus[g]));
-        const double t_num = model.predict(out_num.profile).time_s;
-        const double t_den = model.predict(out_den.profile).time_s;
+        const double t_num = models[g]->predict(out_num.profile).time_s;
+        const double t_den = models[g]->predict(out_den.profile).time_s;
         ratios[g].push_back(t_den / t_num);  // speedup of num over den
       }
     }

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   // "suite" request, so a served sweep bench_diffs cleanly against this
   // binary's report; the loop below only renders the human tables from the
   // memoized cells.
-  serve::add_suite_perf_records(bench.engine, s, bench.report);
+  serve::add_suite_perf_records(bench.engine, s, bench.report, bench.model);
 
   for (const auto& w : bench.suite()) {
     std::cout << "--- " << w->name() << " (Quadrant "
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     const auto variants = benchutil::available_variants(*w);
     const auto cases = w->cases(s);
     for (auto gpu : sim::all_gpus()) {
-      const sim::DeviceModel model(sim::spec_for(gpu));
+      const auto model = bench.model_for(gpu);
       std::vector<std::string> header{"case"};
       for (auto v : variants) header.push_back(core::variant_name(v));
       common::Table t(std::move(header));
@@ -47,14 +47,14 @@ int main(int argc, char** argv) {
         std::vector<std::string> row{tc.label};
         for (auto v : variants) {
           const auto& out = bench.run(*w, v, tc);
-          const auto pred = model.predict(out.profile);
+          const auto pred = model->predict(out.profile);
           const double rate =
               benchutil::perf_metric(*w, out.profile, pred.time_s);
           row.push_back(common::fmt_double(rate / 1e9, 1));
         }
         t.add_row(std::move(row));
       }
-      std::cout << model.spec().name << ":\n";
+      std::cout << model->spec().name << ":\n";
       t.print(std::cout);
     }
     std::cout << '\n';

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
       argc, argv, "fig07_edp",
       "Figure 7: EDP on H200 (representative case each)");
   const int s = bench.scale;
-  const sim::DeviceModel model(sim::h200());
+  const auto model = bench.model_for(sim::Gpu::H200);
   std::cout << "=== Figure 7: EDP on H200 (representative case each; J*s per "
                "kernel execution) ===\n\n";
 
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     std::map<core::Variant, double> edp;
     for (auto v : benchutil::available_variants(*w)) {
       const auto& out = bench.run(*w, v, tc_case);
-      const auto pred = model.predict(out.profile);
+      const auto pred = model->predict(out.profile);
       edp[v] = pred.edp;
       auto& rec = bench.record(w->name(), core::variant_name(v), "H200",
                                tc_case.label);

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   auto bench = benchutil::bench_init(argc, argv, "fig08_power",
                                      "Figure 8: power over time on H200");
   const int s = bench.scale;
-  const sim::DeviceModel model(sim::h200());
+  const auto model = bench.model_for(sim::Gpu::H200);
   std::cout << "=== Figure 8: power over time on H200 (750 W TDP) ===\n\n";
 
   common::Table summary({"Workload", "Variant", "avg W", "peak W",
@@ -29,9 +29,9 @@ int main(int argc, char** argv) {
     const auto tc_case = w->cases(s)[w->representative_case()];
     for (auto v : benchutil::available_variants(*w)) {
       const auto& out = bench.run(*w, v, tc_case);
-      const auto pred = model.predict(out.profile);
+      const auto pred = model->predict(out.profile);
       sim::PowerTraceOptions opts;
-      const auto trace = sim::synthesize_power_trace(model.spec(), pred, opts);
+      const auto trace = sim::synthesize_power_trace(model->spec(), pred, opts);
       double peak = 0.0;
       for (const auto& pt : trace) peak = std::max(peak, pt.watts);
       summary.add_row({w->name(), core::variant_name(v),

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       argc, argv, "fig11_pca_suites",
       "Figure 11: PCA of Cubie vs Rodinia vs SHOC kernel behaviour (H200)");
   const int s = bench.scale;
-  const sim::DeviceModel model(sim::h200());
+  const auto model = bench.model_for(sim::Gpu::H200);
   std::vector<analysis::KernelMetrics> metrics;
 
   bench.warm(engine::Plan::representative(s)
@@ -35,13 +35,13 @@ int main(int argc, char** argv) {
     const auto tc_case = w->cases(s)[w->representative_case()];
     const auto& out = bench.run(*w, core::Variant::TC, tc_case);
     metrics.push_back(analysis::extract_metrics(
-        "Cubie/" + w->name(), "Cubie", out.profile, model.predict(out.profile)));
+        "Cubie/" + w->name(), "Cubie", out.profile, model->predict(out.profile)));
   }
   // Rodinia and SHOC proxy kernels.
   for (const auto& r : core::run_suite_proxies()) {
     metrics.push_back(analysis::extract_metrics(r.suite + "/" + r.name,
                                                 r.suite, r.profile,
-                                                model.predict(r.profile)));
+                                                model->predict(r.profile)));
   }
 
   auto d = analysis::metrics_dataset(metrics);

@@ -29,7 +29,7 @@ sim::KernelProfile sample_profile() {
 }
 
 void BM_DeviceModelPredict(benchmark::State& state) {
-  const sim::DeviceModel model(sim::h200());
+  const sim::AnalyticModel model(sim::h200());
   const auto prof = sample_profile();
   for (auto _ : state) {
     auto pred = model.predict(prof);
@@ -40,7 +40,7 @@ void BM_DeviceModelPredict(benchmark::State& state) {
 BENCHMARK(BM_DeviceModelPredict);
 
 void BM_PowerTraceSynthesis(benchmark::State& state) {
-  const sim::DeviceModel model(sim::h200());
+  const sim::AnalyticModel model(sim::h200());
   const auto pred = model.predict(sample_profile());
   sim::PowerTraceOptions opts;
   for (auto _ : state) {

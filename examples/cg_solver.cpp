@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
   }
 
   const double err = cubie::common::rel_l2_error(x, x_true);
-  const sim::DeviceModel model(sim::h200());
+  const sim::AnalyticModel model(sim::h200());
   const auto pred = model.predict(prof);
 
   std::cout << "CG with MMA (DASP-style) SpMV\n"

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   common::Table t({"GPU", "TC ms/step", "Baseline ms/step", "TC J/step",
                    "Baseline J/step", "TC speedup"});
   for (auto gpu : sim::all_gpus()) {
-    const sim::DeviceModel model(sim::spec_for(gpu));
+    const sim::AnalyticModel model(sim::spec_for(gpu));
     const auto pt = model.predict(tc_run.profile);
     const auto pb = model.predict(base_run.profile);
     t.add_row({model.spec().name, common::fmt_double(pt.time_s * 1e3, 4),

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const sim::DeviceModel model(sim::h200());
+  const sim::AnalyticModel model(sim::h200());
   const auto cases = w->cases(common::scale_divisor());
   const auto& tc_case = cases[w->representative_case()];
   std::cout << "Workload " << w->name() << " (Quadrant "

@@ -506,6 +506,8 @@ Json to_json(const sim::KernelProfile& p) {
   j["mem_eff"] = Json::number(p.mem_eff);
   j["pipe_eff"] = Json::number(p.pipe_eff);
   j["useful_flops"] = Json::number(p.useful_flops);
+  j["access"] = Json::string(sim::access_pattern_name(p.access));
+  j["working_set_bytes"] = Json::number(p.working_set_bytes);
   return j;
 }
 
@@ -648,6 +650,9 @@ sim::KernelProfile profile_from_json(const Json& j) {
   p.mem_eff = get_number(j, "mem_eff", 1.0);
   p.pipe_eff = get_number(j, "pipe_eff", 1.0);
   p.useful_flops = get_number(j, "useful_flops", 0.0);
+  // Absent in pre-v2 cell files: default to the dense/streaming descriptor.
+  p.access = sim::access_pattern_from_name(get_string(j, "access"));
+  p.working_set_bytes = get_number(j, "working_set_bytes", 0.0);
   return p;
 }
 

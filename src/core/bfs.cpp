@@ -208,6 +208,11 @@ class BfsWorkload final : public Workload {
     }
     // Traversed-edge count as the useful work measure (TEPS basis).
     out.profile.useful_flops = static_cast<double>(g.edges());
+    // Cachesim descriptor: frontier expansion chases edge lists in
+    // neighbor order — irregular over CSR adjacency + level array.
+    out.profile.access = sim::AccessPattern::Irregular;
+    out.profile.working_set_bytes =
+        static_cast<double>(g.edges()) * 8.0 + static_cast<double>(g.n) * 8.0;
     out.values.assign(level.begin(), level.end());
     return out;
   }

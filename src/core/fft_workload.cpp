@@ -254,6 +254,10 @@ class FftWorkload final : public Workload {
     }
     // Useful FLOPs: 5 n log2(n) per transform point (the FFT convention).
     out.profile.useful_flops = 5.0 * total * std::log2(n2d);
+    // Cachesim descriptor: butterfly stages revisit the signal at
+    // power-of-two strides; the reuse window is the complex batch.
+    out.profile.access = sim::AccessPattern::Strided;
+    out.profile.working_set_bytes = total * 16.0;
     out.values = flatten(result);
     return out;
   }

@@ -175,6 +175,12 @@ class GemmWorkload final : public Workload {
     out.profile.mem_eff = !mma_path          ? scal::kMemEffLibrary
                           : v == Variant::TC ? scal::kMemEffTcLayout
                                              : scal::kMemEffCcEmulation;
+    // Cachesim descriptor: tiled GEMM streams A/B/C densely; the reuse
+    // window is the three operand matrices.
+    out.profile.access = sim::AccessPattern::Dense;
+    out.profile.working_set_bytes =
+        8.0 * (static_cast<double>(p.m) * p.k + static_cast<double>(p.k) * p.n +
+               static_cast<double>(p.m) * p.n);
     return out;
   }
 

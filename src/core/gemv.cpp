@@ -169,6 +169,11 @@ class GemvWorkload final : public Workload {
         break;
     }
     out.profile.useful_flops = 2.0 * p.m * static_cast<double>(p.n);
+    // Cachesim descriptor: one dense streaming pass over the tall matrix
+    // plus the two vectors.
+    out.profile.access = sim::AccessPattern::Dense;
+    out.profile.working_set_bytes =
+        8.0 * (static_cast<double>(p.m) * p.n + p.m + p.n);
     return out;
   }
 

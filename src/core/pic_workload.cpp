@@ -141,6 +141,10 @@ class PicWorkload final : public Workload {
     // kicks, rotation, drift, deposition).
     out.profile.useful_flops =
         static_cast<double>(p.size()) * 200.0 * kSteps;
+    // Cachesim descriptor: particles gather/scatter against the grid in
+    // position order — irregular over the particle state (6 doubles each).
+    out.profile.access = sim::AccessPattern::Irregular;
+    out.profile.working_set_bytes = static_cast<double>(p.size()) * 6.0 * 8.0;
     out.values = flatten(p);
     return out;
   }

@@ -146,6 +146,9 @@ class ReductionWorkload final : public Workload {
       }
     }
     out.profile.useful_flops = static_cast<double>(n);
+    // Cachesim descriptor: single dense pass over the input vector.
+    out.profile.access = sim::AccessPattern::Dense;
+    out.profile.working_set_bytes = static_cast<double>(n) * 8.0;
     return out;
   }
 

@@ -132,6 +132,9 @@ class ScanWorkload final : public Workload {
           v == Variant::TC ? scal::kMemEffTcLayout : scal::kMemEffCcSmall;
     }
     out.profile.useful_flops = static_cast<double>(n);  // one add per element
+    // Cachesim descriptor: a pure streaming pass (input + prefix output).
+    out.profile.access = sim::AccessPattern::Dense;
+    out.profile.working_set_bytes = static_cast<double>(n) * 2.0 * 8.0;
     return out;
   }
 

@@ -289,6 +289,9 @@ class SpgemmWorkload final : public Workload {
       for (int p = a.row_ptr[static_cast<std::size_t>(r)]; p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p)
         products += a.row_nnz(a.col_idx[static_cast<std::size_t>(p)]);
     out.profile.useful_flops = 2.0 * products;
+    // Cachesim descriptor: row-of-B gathers keyed by A's column indices.
+    out.profile.access = sim::AccessPattern::Irregular;
+    out.profile.working_set_bytes = static_cast<double>(a.nnz()) * 24.0;
     // Compare on the serial product's structural pattern.
     out.values = values_at(c, pattern(tc, a));
     return out;

@@ -209,6 +209,12 @@ class SpmvWorkload final : public Workload {
         break;
     }
     out.profile.useful_flops = 2.0 * static_cast<double>(a.nnz());
+    // Cachesim descriptor: column-indexed gathers from x dominate — the
+    // reuse window is values + indices + the dense vectors.
+    out.profile.access = sim::AccessPattern::Irregular;
+    out.profile.working_set_bytes =
+        static_cast<double>(a.nnz()) * 12.0 +
+        static_cast<double>(a.rows + a.cols) * 8.0;
     return out;
   }
 

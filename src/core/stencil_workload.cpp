@@ -212,6 +212,11 @@ class StencilWorkload final : public Workload {
     }
     out.profile.useful_flops =
         static_cast<double>(p.in.size()) * (p.is3d ? 13.0 : 9.0);
+    // Cachesim descriptor: neighbor rows/planes make the grid sweep a
+    // strided pass over the in/out arrays.
+    out.profile.access = sim::AccessPattern::Strided;
+    out.profile.working_set_bytes =
+        static_cast<double>(p.in.size()) * 2.0 * 8.0;
     return out;
   }
 

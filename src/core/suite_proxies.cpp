@@ -100,6 +100,7 @@ void rodinia_bfs(mma::Context& ctx) {
   ctx.cc_int(e * 3.0);
   ctx.profile().useful_flops = e;
   ctx.profile().mem_eff = scal::kMemEffIrregular;
+  ctx.profile().access = sim::AccessPattern::Irregular;
 }
 
 // srad: speckle-reducing anisotropic diffusion (stencil + pointwise math).
@@ -141,6 +142,7 @@ void rodinia_nw(mma::Context& ctx) {
   ctx.cc_int(cells * 5.0);
   ctx.profile().useful_flops = cells;
   ctx.profile().mem_eff = scal::kMemEffGrid;
+  ctx.profile().access = sim::AccessPattern::Strided;
 }
 
 // pathfinder: dynamic-programming wavefront over a grid.
@@ -165,6 +167,7 @@ void rodinia_pathfinder(mma::Context& ctx) {
   ctx.cc_int(cells * 4.0);
   ctx.profile().useful_flops = cells;
   ctx.profile().mem_eff = scal::kMemEffGrid;
+  ctx.profile().access = sim::AccessPattern::Strided;
 }
 
 // backprop: one dense layer forward + weight-gradient pass.
@@ -249,6 +252,7 @@ void shoc_md(mma::Context& ctx) {
   ctx.cc_fma(pairs * 12.0);
   ctx.profile().useful_flops = pairs * 24.0;
   ctx.profile().mem_eff = scal::kMemEffIrregular;
+  ctx.profile().access = sim::AccessPattern::Irregular;
 }
 
 // reduction (tree).
@@ -291,6 +295,7 @@ void shoc_spmv(mma::Context& ctx) {
   ctx.cc_fma(nnz);
   ctx.profile().useful_flops = 2.0 * nnz;
   ctx.profile().mem_eff = scal::kMemEffIrregular;
+  ctx.profile().access = sim::AccessPattern::Irregular;
 }
 
 // triad: a*x + y stream.
@@ -345,6 +350,7 @@ void shoc_stencil2d(mma::Context& ctx) {
   ctx.cc_fma(pts * 9.0);
   ctx.profile().useful_flops = pts * 18.0;
   ctx.profile().mem_eff = scal::kMemEffGrid;
+  ctx.profile().access = sim::AccessPattern::Strided;
 }
 
 // bfs: SHOC's level-synchronous BFS (same structure as Rodinia's, different
@@ -360,6 +366,7 @@ void shoc_bfs(mma::Context& ctx) {
   ctx.cc_int(e * 3.0);
   ctx.profile().useful_flops = e;
   ctx.profile().mem_eff = scal::kMemEffIrregular;
+  ctx.profile().access = sim::AccessPattern::Irregular;
 }
 
 struct ProxySpec {

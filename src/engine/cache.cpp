@@ -153,6 +153,7 @@ const char* cache_status_name(CacheStatus s) {
     case CacheStatus::KindMismatch: return "kind-mismatch";
     case CacheStatus::KeyMismatch: return "key-mismatch";
     case CacheStatus::BadValue: return "bad-value";
+    case CacheStatus::StaleVersion: return "stale-version";
   }
   return "unknown";
 }
@@ -207,6 +208,14 @@ CacheLoad do_load(const DiskCache& cache, const std::string& key) {
   if (!kind || !kind->is_string() || kind->as_string() != "cubie-cell")
     return load_failure(CacheStatus::KindMismatch,
                         path + ": not a cubie-cell document");
+  const report::Json* ver = j->find("schema_version");
+  const double got_ver = ver && ver->is_number() ? ver->as_number() : 0.0;
+  if (got_ver != static_cast<double>(kCellSchemaVersion))
+    return load_failure(
+        CacheStatus::StaleVersion,
+        path + ": schema_version " +
+            std::to_string(static_cast<int>(got_ver)) + " != " +
+            std::to_string(kCellSchemaVersion));
   const report::Json* stored = j->find("key");
   if (!stored || !stored->is_string() || stored->as_string() != key)
     return load_failure(
@@ -241,7 +250,7 @@ CacheStore do_store(const DiskCache& cache, const std::string& key,
                     const core::RunOutput& out) {
   if (!cache.enabled()) return {CacheStatus::Disabled, ""};
   report::Json j = report::Json::object();
-  j["schema_version"] = report::Json::number(1);
+  j["schema_version"] = report::Json::number(kCellSchemaVersion);
   j["kind"] = report::Json::string("cubie-cell");
   j["key"] = report::Json::string(key);
   j["profile"] = encode_tree(report::to_json(out.profile));
@@ -305,16 +314,21 @@ bool DiskCache::inject_fault(const std::string& key, Fault f) const {
       text = "{\"kind\": \"cubie-cell\", !!corrupt!!";
       break;
     case Fault::WrongKind:
-      text = "{\"schema_version\": 1, \"kind\": \"not-a-cell\", \"key\": \"" +
+      text = "{\"schema_version\": 2, \"kind\": \"not-a-cell\", \"key\": \"" +
              report::json_escape(key) + "\"}";
       break;
     case Fault::WrongKey:
-      text = "{\"schema_version\": 1, \"kind\": \"cubie-cell\", "
+      text = "{\"schema_version\": 2, \"kind\": \"cubie-cell\", "
              "\"key\": \"some-other-cell-key\", \"profile\": {}, "
              "\"values\": []}";
       break;
-    case Fault::BadValue:
+    case Fault::StaleVersion:
       text = "{\"schema_version\": 1, \"kind\": \"cubie-cell\", \"key\": \"" +
+             report::json_escape(key) +
+             "\", \"profile\": {}, \"values\": []}";
+      break;
+    case Fault::BadValue:
+      text = "{\"schema_version\": 2, \"kind\": \"cubie-cell\", \"key\": \"" +
              report::json_escape(key) +
              "\", \"profile\": {}, \"values\": [\"not-a-number\"]}";
       break;

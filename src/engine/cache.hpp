@@ -4,7 +4,7 @@
 // directory, keyed by the cell's content key:
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "kind": "cubie-cell",
 //     "key":  "<cell_key>",
 //     "profile": { ...KernelProfile... },
@@ -33,6 +33,13 @@
 
 namespace cubie::engine {
 
+// Cell-file schema version. v2 added the profile's access-pattern
+// descriptor (access / working_set_bytes, consumed by the cachesim
+// backend) and the model axis in cell keys; v1 files predate both and are
+// rejected as StaleVersion — recomputing is always safe, serving a cell
+// whose profile silently lost fields to a newer reader is not.
+inline constexpr int kCellSchemaVersion = 2;
+
 // Outcome of a DiskCache operation. Hit/Stored are success; Disabled/Miss
 // are benign; everything else names why the cache could not serve or
 // persist the cell.
@@ -46,6 +53,7 @@ enum class CacheStatus {
   KindMismatch,  // valid JSON but not a "cubie-cell" document
   KeyMismatch,   // hash collision or stale file: stored key differs
   BadValue,      // missing profile or an undecodable values entry
+  StaleVersion,  // cell written by an older schema (schema_version != current)
 };
 
 // Stable name for logs and error messages ("hit", "parse-error", ...).
@@ -86,6 +94,7 @@ class DiskCache {
     WrongKind,    // valid JSON, kind != "cubie-cell" -> KindMismatch
     WrongKey,     // valid cell, stored key differs -> KeyMismatch
     BadValue,     // valid cell, undecodable values entry -> BadValue
+    StaleVersion, // valid v1 cell -> StaleVersion
   };
 
   DiskCache() = default;

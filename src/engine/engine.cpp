@@ -2,6 +2,7 @@
 
 #include "common/report.hpp"
 #include "sim/model.hpp"
+#include "sim/model_registry.hpp"
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>
@@ -31,14 +32,6 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-// Modeled kernel time of a cell on the reference device (H200, the paper's
-// primary evaluation GPU). Deterministic — a pure function of the profile —
-// so telemetry payloads stay identical across schedules and reruns.
-double modeled_time_s(const core::RunOutput& out) {
-  static const sim::DeviceModel model(sim::spec_for(sim::Gpu::H200));
-  return model.predict(out.profile).time_s;
-}
-
 // Every cell request emits exactly one cell_start/cell_finish pair, tagged
 // with where it was served from. Callers gate on bus().enabled() so the
 // disabled path never reaches here.
@@ -49,21 +42,27 @@ void emit_cell_start(const std::string& key) {
   telemetry::bus().emit(std::move(e));
 }
 
+// `model` is the engine's configured backend, priced on the reference
+// device (H200, the paper's primary evaluation GPU). Backends are
+// deterministic pure functions of the profile, so telemetry payloads stay
+// identical across schedules and reruns.
 void emit_cell_finish(const std::string& key, const char* source,
-                      double wall_s, const core::RunOutput& out) {
+                      double wall_s, const core::RunOutput& out,
+                      const sim::DeviceModel& model) {
   telemetry::Event e;
   e.kind = telemetry::EventKind::CellFinish;
   e.name = key;
   e.source = source;
   e.wall_s = wall_s;
-  e.modeled_s = modeled_time_s(out);
+  e.modeled_s = model.predict(out.profile).time_s;
   telemetry::bus().emit(std::move(e));
 }
 
 }  // namespace
 
 std::string cell_key(const std::string& workload, core::Variant v,
-                     const core::TestCase& tc, int scale) {
+                     const core::TestCase& tc, int scale,
+                     const std::string& model) {
   std::string k = workload;
   k += '|';
   k += core::variant_name(v);
@@ -78,6 +77,8 @@ std::string cell_key(const std::string& workload, core::Variant v,
   }
   k += "|s";
   k += std::to_string(scale);
+  k += "|m=";
+  k += model;
   return k;
 }
 
@@ -97,6 +98,10 @@ struct ExperimentEngine::Impl {
   std::vector<MaterializedCell> order;
   EngineCounters counters;
   DiskCache disk;
+  // The configured device-model backend, instantiated over the reference
+  // device for telemetry modeled_s. Built once at engine construction;
+  // predict() is const and thread-safe, so workers share it freely.
+  std::unique_ptr<const sim::DeviceModel> model;
 
   // Record a newly inserted cell's identity (and, for computed cells, its
   // hardware-counter sample). Caller holds `mu`.
@@ -115,11 +120,24 @@ struct ExperimentEngine::Impl {
   }
 };
 
-ExperimentEngine::ExperimentEngine() : impl_(std::make_unique<Impl>()) {}
+ExperimentEngine::ExperimentEngine() : impl_(std::make_unique<Impl>()) {
+  impl_->model =
+      sim::make_device_model(opts_.model, sim::spec_for(sim::Gpu::H200));
+}
 
 ExperimentEngine::ExperimentEngine(EngineOptions opts)
     : opts_(std::move(opts)), impl_(std::make_unique<Impl>()) {
   impl_->disk = DiskCache(opts_.cache_dir);
+  impl_->model =
+      sim::make_device_model(opts_.model, sim::spec_for(sim::Gpu::H200));
+  if (!impl_->model) {
+    std::string msg = "unknown device-model backend '" + opts_.model + "'";
+    if (const std::string hint = sim::suggest_model_backend(opts_.model);
+        !hint.empty()) {
+      msg += " (did you mean '" + hint + "'?)";
+    }
+    throw std::invalid_argument(msg);
+  }
 }
 
 ExperimentEngine::~ExperimentEngine() = default;
@@ -148,7 +166,7 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
                                              core::Variant v,
                                              const core::TestCase& tc,
                                              int scale) {
-  const std::string key = cell_key(w.name(), v, tc, scale);
+  const std::string key = cell_key(w.name(), v, tc, scale, opts_.model);
   // Telemetry (Cubie-Scope): each request emits one cell_start/cell_finish
   // pair, tagged "memo" / "disk" / "coalesced" / "compute" by where it was
   // served from — the per-source finish counts match the EngineCounters
@@ -169,7 +187,8 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
         lk.unlock();
         if (scoped) {
           emit_cell_start(key);
-          emit_cell_finish(key, "memo", seconds_since(t_req), *res);
+          emit_cell_finish(key, "memo", seconds_since(t_req), *res,
+                           *impl_->model);
         }
         return *res;
       }
@@ -185,7 +204,8 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
         lk.unlock();
         if (scoped) {
           emit_cell_start(key);
-          emit_cell_finish(key, "coalesced", seconds_since(t_req), *res);
+          emit_cell_finish(key, "coalesced", seconds_since(t_req), *res,
+                           *impl_->model);
         }
         return *res;
       }
@@ -227,7 +247,8 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
       }
       if (scoped) {
         emit_cell_start(key);
-        emit_cell_finish(key, source, seconds_since(t_req), *res);
+        emit_cell_finish(key, source, seconds_since(t_req), *res,
+                         *impl_->model);
       }
       return *res;
     }
@@ -266,7 +287,7 @@ const core::RunOutput& ExperimentEngine::run(const core::Workload& w,
     inserted = ins;
     res = it->second.get();
   }
-  if (scoped) emit_cell_finish(key, source, dt, *res);
+  if (scoped) emit_cell_finish(key, source, dt, *res, *impl_->model);
   if (inserted && impl_->disk.enabled()) {
     if (!impl_->disk.store(key, *res).ok()) {
       std::lock_guard<std::mutex> lk(impl_->mu);
@@ -281,7 +302,7 @@ const core::RunOutput& ExperimentEngine::run_traced(const core::Workload& w,
                                                     const core::TestCase& tc,
                                                     int scale,
                                                     sim::Tracer& tracer) {
-  const std::string key = cell_key(w.name(), v, tc, scale);
+  const std::string key = cell_key(w.name(), v, tc, scale, opts_.model);
   core::RunOptions opts;
   opts.tracer = &tracer;
   // A traced run always executes, so it is always a "compute" cell pair;
@@ -319,7 +340,7 @@ const core::RunOutput& ExperimentEngine::run_traced(const core::Workload& w,
     inserted = ins;
     res = it->second.get();
   }
-  if (scoped) emit_cell_finish(key, "compute", dt, *res);
+  if (scoped) emit_cell_finish(key, "compute", dt, *res, *impl_->model);
   if (inserted && impl_->disk.enabled()) {
     if (!impl_->disk.store(key, *res).ok()) {
       std::lock_guard<std::mutex> lk(impl_->mu);
@@ -375,7 +396,7 @@ std::vector<Cell> ExperimentEngine::expand(const Plan& p) {
         c.variant = v;
         c.test_case = cases[ci];
         c.scale = p.scale;
-        c.key = cell_key(w->name(), v, cases[ci], p.scale);
+        c.key = cell_key(w->name(), v, cases[ci], p.scale, opts_.model);
         if (seen.insert(c.key).second) cells.push_back(std::move(c));
       }
     }
@@ -392,6 +413,7 @@ std::size_t ExperimentEngine::execute(const std::vector<Cell>& cells) {
     telemetry::Event e;
     e.kind = telemetry::EventKind::PlanStart;
     e.count = cells.size();
+    e.detail = opts_.model;  // which device-model backend this plan runs under
     telemetry::bus().emit(std::move(e));
   }
   // Wrap a cell's execution so any exception is typed with the cell that

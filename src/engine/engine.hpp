@@ -41,6 +41,10 @@ namespace cubie::engine {
 struct EngineOptions {
   int jobs = 1;           // thread-pool width for Plan execution
   std::string cache_dir;  // empty = no disk persistence
+  // Device-model backend (sim::make_device_model name) this engine's cells
+  // are keyed under and its telemetry modeled_s is computed with. The
+  // engine constructor throws std::invalid_argument on an unknown name.
+  std::string model = "analytic";
 };
 
 // Typed failure of a cell execution: carries the content key of the cell

@@ -80,8 +80,11 @@ struct Cell {
 // Content key of a cell. Includes the case dimensions and dataset in
 // addition to the label, so two cases that share a label (e.g. clamped
 // dimensions at extreme scales) can never collide, and distinct
-// scale/variant/case always map to distinct cache entries.
+// scale/variant/case always map to distinct cache entries. The device-model
+// backend is part of the key (`|m=NAME`): results memoized or persisted
+// under one backend are never served to a run configured with another.
 std::string cell_key(const std::string& workload, core::Variant v,
-                     const core::TestCase& tc, int scale);
+                     const core::TestCase& tc, int scale,
+                     const std::string& model = "analytic");
 
 }  // namespace cubie::engine

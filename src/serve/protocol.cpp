@@ -93,6 +93,7 @@ std::optional<Request> parse_request(const std::string& line,
   if (const auto* v = get_string(*j, "variant")) r.spec.variant = *v;
   if (const auto* c = get_string(*j, "case")) r.spec.case_sel = *c;
   if (const auto* g = get_string(*j, "gpu")) r.spec.gpu = *g;
+  if (const auto* m = get_string(*j, "model")) r.spec.model = *m;
   if (const Json* s = j->find("scale"); s != nullptr && s->is_number())
     r.spec.scale = s->as_number() >= 1 ? static_cast<int>(s->as_number()) : 1;
   if (const Json* e = j->find("errors"); e != nullptr && e->is_bool())
@@ -121,6 +122,9 @@ Json request_to_json(const Request& r) {
     j["variant"] = Json::string(r.spec.variant);
     j["case"] = Json::string(r.spec.case_sel);
     j["gpu"] = Json::string(r.spec.gpu);
+    // Wire stability: the model axis appears only when non-default, so
+    // serialized requests from older clients round-trip unchanged.
+    if (r.spec.model != "analytic") j["model"] = Json::string(r.spec.model);
     j["scale"] = Json::number(r.spec.scale);
     if (r.spec.errors) j["errors"] = Json::boolean(true);
     if (r.spec.check) j["check"] = Json::boolean(true);

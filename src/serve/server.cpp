@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include "sim/model_registry.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/sinks.hpp"
 #include "telemetry/telemetry.hpp"
@@ -232,9 +233,15 @@ struct Server::Impl {
         return;
       }
       case Cmd::Suite: {
+        if (sim::model_backend_description(r.spec.model).empty()) {
+          job.conn->send_line(error_line(
+              r.id, ErrorCode::BadRequest,
+              "unknown model backend '" + r.spec.model + "'"));
+          return;
+        }
         std::optional<report::MetricsReport> rep;
         try {
-          rep = suite_report(eng, r.spec.scale);
+          rep = suite_report(eng, r.spec.scale, r.spec.model);
         } catch (const std::exception& ex) {
           job.conn->send_line(
               error_line(r.id, ErrorCode::Internal, ex.what()));

@@ -3,6 +3,9 @@
 #include "common/metrics.hpp"
 #include "common/perf.hpp"
 #include "sim/model.hpp"
+#include "sim/model_registry.hpp"
+
+#include <stdexcept>
 
 #include <cstdlib>
 #include <utility>
@@ -78,14 +81,34 @@ bool resolve(engine::ExperimentEngine& eng, const RunSpec& spec, Resolved& r,
   } else {
     return fail(error, "bad gpu '" + spec.gpu + "'");
   }
+
+  if (sim::model_backend_description(spec.model).empty()) {
+    std::string msg = "unknown model backend '" + spec.model + "'";
+    if (const std::string hint = sim::suggest_model_backend(spec.model);
+        !hint.empty()) {
+      msg += " (did you mean '" + hint + "'?)";
+    }
+    return fail(error, msg + " (try: cubie list)");
+  }
   return true;
+}
+
+// Factory construction for a validated backend name; the throw is a
+// programming error (callers resolve() or flag-validate first).
+std::unique_ptr<const sim::DeviceModel> priced_model(const std::string& name,
+                                                     sim::Gpu gpu) {
+  auto m = sim::make_device_model(name, sim::spec_for(gpu));
+  if (!m) throw std::invalid_argument("unknown model backend '" + name + "'");
+  return m;
 }
 
 }  // namespace
 
 std::string spec_key(const RunSpec& spec) {
-  return spec.workload + "/" + spec.variant + "/" + spec.case_sel + "/" +
-         spec.gpu + "/s" + std::to_string(spec.scale);
+  std::string k = spec.workload + "/" + spec.variant + "/" + spec.case_sel +
+                  "/" + spec.gpu + "/s" + std::to_string(spec.scale);
+  if (spec.model != "analytic") k += "/" + spec.model;
+  return k;
 }
 
 std::optional<report::MetricsReport> run_report(
@@ -116,8 +139,8 @@ std::optional<report::MetricsReport> run_report(
     for (auto v : r.variants) {
       const auto& out = eng.run(*r.w, v, tc, spec.scale);
       for (auto g : r.gpus) {
-        const sim::DeviceModel model(sim::spec_for(g));
-        const auto pred = model.predict(out.profile);
+        const auto model = priced_model(spec.model, g);
+        const auto pred = model->predict(out.profile);
         auto& rec = rep.add_record(r.w->name(), core::variant_name(v),
                                    sim::gpu_name(g), tc.label);
         rec.set(perf::perf_metric_name(*r.w),
@@ -145,16 +168,17 @@ std::optional<report::MetricsReport> run_report(
 }
 
 void add_suite_perf_records(engine::ExperimentEngine& eng, int scale,
-                            report::MetricsReport& rep) {
+                            report::MetricsReport& rep,
+                            const std::string& model_name) {
   for (const auto& w : eng.suite()) {
     const auto variants = core::available_variants(*w);
     const auto cases = w->cases(scale);
     for (auto gpu : sim::all_gpus()) {
-      const sim::DeviceModel model(sim::spec_for(gpu));
+      const auto model = priced_model(model_name, gpu);
       for (const auto& tc : cases) {
         for (auto v : variants) {
           const auto& out = eng.run(*w, v, tc, scale);
-          const auto pred = model.predict(out.profile);
+          const auto pred = model->predict(out.profile);
           auto& rec = rep.add_record(w->name(), core::variant_name(v),
                                      sim::gpu_name(gpu), tc.label);
           rec.set(perf::perf_metric_name(*w),
@@ -169,14 +193,14 @@ void add_suite_perf_records(engine::ExperimentEngine& eng, int scale,
   }
 }
 
-report::MetricsReport suite_report(engine::ExperimentEngine& eng,
-                                   int scale) {
+report::MetricsReport suite_report(engine::ExperimentEngine& eng, int scale,
+                                   const std::string& model) {
   eng.execute(engine::Plan::suite(scale));
   report::MetricsReport rep;
   rep.tool = "fig03_perf";
   rep.title = "Figure 3: performance of Baseline/TC/CC/CC-E across workloads";
   rep.scale_divisor = scale;
-  add_suite_perf_records(eng, scale, rep);
+  add_suite_perf_records(eng, scale, rep, model);
   return rep;
 }
 

@@ -26,10 +26,15 @@ struct RunSpec {
   int scale = 1;
   bool errors = false;  // include avg_err/max_err vs the CPU reference
   bool check = false;   // run Cubie-Check over the plan's cells afterwards
+  // Device-model backend predictions are priced with (sim::make_device_model
+  // name). "analytic" is the wire default: requests and keys only mention
+  // the model when it differs, so pre-existing clients are unaffected.
+  std::string model = "analytic";
 };
 
-// Stable identity of the spec ("GEMM/all/rep/H200/s16"), used in telemetry
-// event names and client labels.
+// Stable identity of the spec ("GEMM/all/rep/H200/s16"; a non-default
+// model backend appends "/<model>"), used in telemetry event names and
+// client labels.
 std::string spec_key(const RunSpec& spec);
 
 // Execute the spec through the engine (cells are memoized / single-flight
@@ -55,10 +60,12 @@ std::optional<report::MetricsReport> run_report(
 // order. Shared by bench/fig03_perf.cpp and suite_report so the served
 // suite sweep bench_diffs cleanly against the bench's own report.
 void add_suite_perf_records(engine::ExperimentEngine& eng, int scale,
-                            report::MetricsReport& rep);
+                            report::MetricsReport& rep,
+                            const std::string& model = "analytic");
 
 // The served form of fig03_perf: tool/title/records identical to the bench
 // binary's --json output (no engine block, no human tables).
-report::MetricsReport suite_report(engine::ExperimentEngine& eng, int scale);
+report::MetricsReport suite_report(engine::ExperimentEngine& eng, int scale,
+                                   const std::string& model = "analytic");
 
 }  // namespace cubie::serve

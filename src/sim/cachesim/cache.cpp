@@ -1,0 +1,58 @@
+#include "sim/cachesim/cache.hpp"
+
+#include <algorithm>
+
+namespace cubie::sim::cachesim {
+namespace {
+
+// Largest power of two <= n (and >= 1), so set indexing is a mask.
+std::size_t floor_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg) {
+  cfg_.line_bytes = std::max(1, cfg_.line_bytes);
+  cfg_.ways = std::max(1, cfg_.ways);
+  const std::size_t lines =
+      std::max<std::size_t>(1, cfg_.size_bytes / cfg_.line_bytes);
+  const std::size_t sets = floor_pow2(std::max<std::size_t>(
+      1, lines / static_cast<std::size_t>(cfg_.ways)));
+  sets_.assign(sets, std::vector<Way>(static_cast<std::size_t>(cfg_.ways)));
+}
+
+bool SetAssocCache::access(std::uint64_t addr) {
+  const std::uint64_t line =
+      addr / static_cast<std::uint64_t>(cfg_.line_bytes);
+  const std::size_t set =
+      static_cast<std::size_t>(line & (sets_.size() - 1));
+  const std::uint64_t tag = line / sets_.size();
+  ++clock_;
+  auto& ways = sets_[set];
+  for (auto& w : ways) {
+    if (w.valid && w.tag == tag) {
+      w.stamp = clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: fill an invalid way, else evict the least recently used one.
+  Way* victim = &ways[0];
+  for (auto& w : ways) {
+    if (!w.valid) {
+      victim = &w;
+      break;
+    }
+    if (w.stamp < victim->stamp) victim = &w;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->stamp = clock_;
+  ++misses_;
+  return false;
+}
+
+}  // namespace cubie::sim::cachesim

@@ -1,0 +1,51 @@
+#pragma once
+// The event-driven cache stage of the cachesim device-model backend: a
+// set-associative, LRU, line-granularity cache simulated one access at a
+// time. Geometry (capacity / associativity / line size) is configurable so
+// the ablation_cache bench can sweep it; eviction order and hit/miss
+// accounting are exact, which the LRU and associativity-conflict unit tests
+// (tests/test_model_backends.cpp) pin down.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cubie::sim::cachesim {
+
+struct CacheConfig {
+  std::size_t size_bytes = 50u << 20;  // capacity (default: H200-class 50 MB)
+  int ways = 16;                       // associativity
+  int line_bytes = 128;                // line (sector pair) granularity
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg);
+
+  // One byte-address access at line granularity. Returns true on hit;
+  // misses allocate the line, evicting the set's LRU way when full.
+  bool access(std::uint64_t addr);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t accesses() const { return hits_ + misses_; }
+
+  std::size_t num_sets() const { return sets_.size(); }
+  int ways() const { return cfg_.ways; }
+  int line_bytes() const { return cfg_.line_bytes; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t stamp = 0;  // global access counter at last touch (LRU)
+    bool valid = false;
+  };
+
+  CacheConfig cfg_;
+  std::vector<std::vector<Way>> sets_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cubie::sim::cachesim

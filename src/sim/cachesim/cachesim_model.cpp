@@ -1,0 +1,186 @@
+#include "sim/cachesim/cachesim_model.hpp"
+
+#include "sim/calibration.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cubie::sim {
+namespace {
+
+// Fixed line stride for the Strided pattern: odd (so it cycles the whole
+// working set even when its size is a power of two) and larger than any
+// plausible ways count, so consecutive accesses leave the cache set.
+constexpr std::uint64_t kStrideLines = 33;
+
+// Deterministic LCG for the Irregular pattern (MMIX constants). Seeded from
+// a fixed value so two replays of the same profile are identical.
+constexpr std::uint64_t kLcgMul = 6364136223846793005ULL;
+constexpr std::uint64_t kLcgAdd = 1442695040888963407ULL;
+
+}  // namespace
+
+CacheSimModel::CacheSimModel(const DeviceSpec& spec, CacheSimConfig cfg)
+    : DeviceModel(spec), cfg_(cfg) {
+  // Resolve the derive-from-spec defaults once, so config() reports the
+  // effective values the simulation actually uses.
+  if (cfg_.l2_bytes == 0) {
+    cfg_.l2_bytes = spec.l2_bytes > 0.0
+                        ? static_cast<std::size_t>(spec.l2_bytes)
+                        : (std::size_t{50} << 20);
+  }
+  if (cfg_.l2_bw <= 0.0) cfg_.l2_bw = 4.0 * spec.dram_bw;
+  if (cfg_.dram_latency_s <= 0.0) cfg_.dram_latency_s = spec.dram_latency_s;
+  cfg_.l2_ways = std::max(1, cfg_.l2_ways);
+  cfg_.line_bytes = std::max(1, cfg_.line_bytes);
+}
+
+CacheSimModel::StreamStats CacheSimModel::simulate(
+    const KernelProfile& prof) const {
+  StreamStats s;
+  const double line = static_cast<double>(cfg_.line_bytes);
+  if (prof.dram_bytes <= 0.0) return s;
+
+  // Total counted traffic in lines, and the footprint it cycles over. An
+  // unknown working set (0) means pure streaming: every line is new.
+  const double total_lines_d = std::ceil(prof.dram_bytes / line);
+  const double footprint_d = prof.working_set_bytes > 0.0
+                                 ? std::ceil(prof.working_set_bytes / line)
+                                 : total_lines_d;
+  const auto working_lines = static_cast<std::uint64_t>(std::min(
+      footprint_d, static_cast<double>(cfg_.max_working_set_lines)));
+  const std::uint64_t w = std::max<std::uint64_t>(1, working_lines);
+  const auto n = static_cast<std::uint64_t>(std::min(
+      total_lines_d, static_cast<double>(cfg_.max_sim_accesses)));
+
+  cachesim::SetAssocCache cache(
+      {cfg_.l2_bytes, cfg_.l2_ways, cfg_.line_bytes});
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ULL;  // fixed seed: determinism
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t idx = 0;
+    switch (prof.access) {
+      case AccessPattern::Dense:
+        idx = i % w;
+        break;
+      case AccessPattern::Strided:
+        idx = (i * kStrideLines) % w;
+        break;
+      case AccessPattern::Irregular:
+        lcg = lcg * kLcgMul + kLcgAdd;
+        idx = (lcg >> 33) % w;
+        break;
+    }
+    cache.access(idx * static_cast<std::uint64_t>(cfg_.line_bytes));
+  }
+  s.accesses = cache.accesses();
+  s.hits = cache.hits();
+  s.misses = cache.misses();
+  s.hit_rate = s.accesses > 0
+                   ? static_cast<double>(s.hits) /
+                         static_cast<double>(s.accesses)
+                   : 0.0;
+  return s;
+}
+
+Prediction CacheSimModel::predict(const KernelProfile& prof) const {
+  const DeviceSpec& d = spec();
+  Prediction p;
+
+  const double pipe_eff = std::clamp(prof.pipe_eff, 0.01, 1.0);
+
+  // Compute-side service times: identical to the analytic backend — the
+  // backends differ only in how the memory hierarchy is priced, so backend
+  // deltas isolate exactly the DRAM question.
+  auto service = [](double work, double rate, double fallback_rate) {
+    if (work <= 0.0) return 0.0;
+    return work / (rate > 0.0 ? rate : fallback_rate);
+  };
+  const double tc_rate = d.fp64_tc_peak * pipe_eff;
+  const double bit_rate = d.bit_tc_peak * pipe_eff;
+  const double int_rate = d.int_cc_peak * pipe_eff;
+  p.t_tensor = service(prof.tc_flops, tc_rate, d.fp64_cc_peak * pipe_eff) +
+               service(prof.tc_bitops, bit_rate, int_rate);
+  p.t_cuda = service(prof.cc_flops, d.fp64_cc_peak * pipe_eff, int_rate) +
+             service(prof.cc_intops, int_rate, int_rate);
+  p.t_smem = prof.smem_bytes / d.smem_bw;
+  p.t_issue = prof.warp_instructions / d.issue_rate();
+
+  // Memory hierarchy: replay the synthesized stream, extrapolate the
+  // measured hit rate to the full counted traffic, and take the max of the
+  // DRAM bandwidth, L2 bandwidth, and latency/overlap stages.
+  const StreamStats stats = simulate(prof);
+  const double miss_frac =
+      stats.accesses > 0 ? static_cast<double>(stats.misses) /
+                               static_cast<double>(stats.accesses)
+                         : 1.0;
+  const double hit_frac = 1.0 - miss_frac;
+  const double t_bw = prof.dram_bytes * miss_frac / d.dram_bw;
+  const double t_l2 = prof.dram_bytes * hit_frac / cfg_.l2_bw;
+  const double total_lines =
+      prof.dram_bytes / static_cast<double>(cfg_.line_bytes);
+  // Outstanding misses overlap across resident warps, capped by the
+  // device's aggregate miss-queue depth.
+  const double overlap =
+      std::clamp(prof.threads / 32.0, 1.0, cfg_.mlp_per_sm * d.num_sm);
+  const double t_lat =
+      total_lines * miss_frac * cfg_.dram_latency_s / overlap;
+  p.t_dram = std::max({t_bw, t_l2, t_lat});
+  p.l2_hit_rate = stats.accesses > 0 ? stats.hit_rate : -1.0;
+
+  if (stats.accesses > 0) {
+    auto& bus = telemetry::bus();
+    if (bus.enabled()) {
+      telemetry::Event hit;
+      hit.kind = telemetry::EventKind::CacheSimStats;
+      hit.name = "l2";
+      hit.source = "hit";
+      hit.count = static_cast<std::size_t>(stats.hits);
+      bus.emit(std::move(hit));
+      telemetry::Event miss;
+      miss.kind = telemetry::EventKind::CacheSimStats;
+      miss.name = "l2";
+      miss.source = "miss";
+      miss.count = static_cast<std::size_t>(stats.misses);
+      bus.emit(std::move(miss));
+    }
+  }
+
+  // From here down the structure matches AnalyticModel::predict exactly.
+  double t = std::max({p.t_tensor, p.t_cuda, p.t_dram, p.t_smem, p.t_issue});
+  Bottleneck bound = Bottleneck::Dram;
+  if (t == p.t_tensor) bound = Bottleneck::TensorPipe;
+  else if (t == p.t_cuda) bound = Bottleneck::CudaPipe;
+  else if (t == p.t_dram) bound = Bottleneck::Dram;
+  else if (t == p.t_smem) bound = Bottleneck::SharedMem;
+  else bound = Bottleneck::Issue;
+
+  const double saturation = d.max_threads * cal::kSaturationFraction;
+  double parallel_eff = 1.0;
+  if (prof.threads > 0.0 && prof.threads < saturation) {
+    parallel_eff =
+        std::max(std::sqrt(prof.threads / saturation), cal::kMinParallelEff);
+  }
+  t /= parallel_eff;
+
+  const double overhead =
+      static_cast<double>(std::max(prof.launches, 1)) * d.launch_overhead_s;
+  if (overhead > t) bound = Bottleneck::Launch;
+  t += overhead;
+
+  p.time_s = t;
+  p.bound = bound;
+
+  p.u_tensor = std::min(1.0, p.t_tensor / t);
+  p.u_cuda = std::min(1.0, p.t_cuda / t);
+  p.u_mem = std::min(1.0, p.t_dram / t);
+
+  double power = d.idle_w + d.tc_power_w * p.u_tensor +
+                 d.cc_power_w * p.u_cuda + d.mem_power_w * p.u_mem;
+  p.avg_power_w = std::min(power, d.tdp_w);
+  p.energy_j = p.avg_power_w * p.time_s;
+  p.edp = p.avg_power_w * p.time_s * p.time_s;
+  return p;
+}
+
+}  // namespace cubie::sim

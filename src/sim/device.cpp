@@ -22,6 +22,7 @@ DeviceSpec make_a100() {
   d.dram_bw = 1.55e12;
   d.smem_bw = 0.0;  // filled below from shape
   d.dram_capacity = 40e9;
+  d.l2_bytes = 40e6;    // A100 whitepaper: 40 MB unified L2
   d.num_sm = 108;
   d.clock_hz = 1.41e9;
   d.max_threads = 108 * 2048.0;
@@ -48,6 +49,7 @@ DeviceSpec make_h200() {
   d.int_cc_peak = 33.5e12;
   d.dram_bw = 4.0e12;
   d.dram_capacity = 96e9;
+  d.l2_bytes = 50e6;    // Hopper whitepaper: 50 MB unified L2
   d.num_sm = 132;
   d.clock_hz = 1.98e9;
   d.max_threads = 132 * 2048.0;
@@ -77,6 +79,7 @@ DeviceSpec make_b200() {
   d.int_cc_peak = 40.0e12;
   d.dram_bw = 8.0e12;
   d.dram_capacity = 180e9;
+  d.l2_bytes = 126e6;   // Blackwell: 126 MB unified L2
   d.num_sm = 148;
   d.clock_hz = 1.83e9;
   d.max_threads = 148 * 2048.0;
@@ -103,6 +106,7 @@ DeviceSpec make_v100() {
   d.int_cc_peak = 15.7e12;
   d.dram_bw = 0.9e12;
   d.dram_capacity = 32e9;
+  d.l2_bytes = 6e6;     // Volta: 6 MB L2
   d.num_sm = 80;
   d.clock_hz = 1.53e9;
   d.max_threads = 80 * 2048.0;

@@ -26,6 +26,10 @@ struct DeviceSpec {
   double dram_bw = 0.0;       // bytes/s (Table 5)
   double smem_bw = 0.0;       // aggregate shared/L1 bytes/s
   double dram_capacity = 0.0; // bytes
+  // Unified L2 capacity (whitepapers); parameterizes the cachesim backend's
+  // default cache geometry. The analytic backend never reads it.
+  double l2_bytes = 0.0;
+  double dram_latency_s = 450e-9;  // loaded-DRAM round trip (cachesim)
 
   // Machine shape.
   int num_sm = 0;

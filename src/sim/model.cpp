@@ -19,8 +19,8 @@ std::string bottleneck_name(Bottleneck b) {
   return "?";
 }
 
-Prediction DeviceModel::predict(const KernelProfile& prof) const {
-  const DeviceSpec& d = *spec_;
+Prediction AnalyticModel::predict(const KernelProfile& prof) const {
+  const DeviceSpec& d = spec();
   Prediction p;
 
   const double pipe_eff = std::clamp(prof.pipe_eff, 0.01, 1.0);

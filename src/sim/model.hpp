@@ -1,7 +1,19 @@
 #pragma once
-// Analytic timing model: maps a KernelProfile (counted work) to predicted
+// Device-model backends: map a KernelProfile (counted work) to a predicted
 // execution time on a DeviceSpec, with a breakdown of which resource bounds
-// the kernel. See calibration.hpp for the model equation and constants.
+// the kernel.
+//
+// DeviceModel is the abstract backend interface; concrete backends register
+// in src/sim/model_registry.cpp and are constructed by name through
+// sim::make_device_model() (mirroring core::make_workload):
+//
+//   * AnalyticModel ("analytic")  — the closed-form bottleneck model; DRAM
+//     time comes from the per-kernel mem_eff calibration hint. See
+//     calibration.hpp for the equation and constants.
+//   * CacheSimModel ("cachesim")  — src/sim/cachesim/: replays a synthetic
+//     address stream derived from the profile's access-pattern descriptor
+//     through a set-associative LRU L2 and a DRAM latency/bandwidth stage;
+//     DRAM time comes from simulated hit rates instead of hints.
 
 #include "sim/device.hpp"
 #include "sim/profile.hpp"
@@ -32,19 +44,41 @@ struct Prediction {
   double u_tensor = 0.0;
   double u_cuda = 0.0;
   double u_mem = 0.0;
+
+  // Simulated L2 hit rate in [0,1]; only the cachesim backend sets it
+  // (< 0 = not applicable, e.g. every analytic prediction).
+  double l2_hit_rate = -1.0;
 };
 
+// Abstract device-model backend. Implementations must be deterministic pure
+// functions of (spec, profile) — the engine's memoization, the --jobs
+// thread pool, and the serve layer's byte-identity guarantees all rely on a
+// prediction never depending on wall clock, schedule, or hidden state.
 class DeviceModel {
  public:
   explicit DeviceModel(const DeviceSpec& spec) : spec_(&spec) {}
+  virtual ~DeviceModel() = default;
 
   const DeviceSpec& spec() const { return *spec_; }
 
+  // The registry name of this backend ("analytic", "cachesim").
+  virtual std::string name() const = 0;
+
   // Predict time/power/energy for one execution of the profiled kernel(s).
-  Prediction predict(const KernelProfile& prof) const;
+  virtual Prediction predict(const KernelProfile& prof) const = 0;
 
  private:
   const DeviceSpec* spec_;
+};
+
+// The closed-form analytic backend (the original DeviceModel equation,
+// unchanged: predictions are bit-identical to the pre-refactor model).
+class AnalyticModel final : public DeviceModel {
+ public:
+  explicit AnalyticModel(const DeviceSpec& spec) : DeviceModel(spec) {}
+
+  std::string name() const override { return "analytic"; }
+  Prediction predict(const KernelProfile& prof) const override;
 };
 
 }  // namespace cubie::sim

@@ -1,0 +1,110 @@
+#include "sim/model_registry.hpp"
+
+#include "sim/cachesim/cachesim_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstddef>
+#include <utility>
+
+namespace cubie::sim {
+namespace {
+
+using Factory = std::unique_ptr<DeviceModel> (*)(const DeviceSpec&);
+
+std::unique_ptr<DeviceModel> make_analytic(const DeviceSpec& spec) {
+  return std::make_unique<AnalyticModel>(spec);
+}
+
+std::unique_ptr<DeviceModel> make_cachesim(const DeviceSpec& spec) {
+  return std::make_unique<CacheSimModel>(spec);
+}
+
+struct Entry {
+  const char* name;
+  const char* description;
+  Factory factory;
+};
+
+// Name -> factory. model_backend_names() iterates this table, so the list
+// command and the lookup can never disagree about which backends exist.
+constexpr std::array<Entry, 2> kRegistry{{
+    {"analytic",
+     "closed-form bottleneck model; DRAM time from mem_eff hints",
+     make_analytic},
+    {"cachesim",
+     "event-driven L2/DRAM simulator; DRAM time from simulated hit rates",
+     make_cachesim},
+}};
+
+// Case-insensitive fold for CLI-friendly lookup ("CacheSim" == "cachesim").
+std::string fold(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s)
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+// Levenshtein distance for did-you-mean suggestions on bad --model values.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j - 1] + 1, up + 1, sub});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::unique_ptr<DeviceModel> make_device_model(const std::string& name,
+                                               const DeviceSpec& spec) {
+  const std::string want = fold(name);
+  for (const auto& e : kRegistry) {
+    if (fold(e.name) == want) return e.factory(spec);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> model_backend_names() {
+  std::vector<std::string> names;
+  names.reserve(kRegistry.size());
+  for (const auto& e : kRegistry) names.emplace_back(e.name);
+  return names;
+}
+
+std::string model_backend_description(const std::string& name) {
+  const std::string want = fold(name);
+  for (const auto& e : kRegistry) {
+    if (fold(e.name) == want) return e.description;
+  }
+  return "";
+}
+
+std::string suggest_model_backend(const std::string& name) {
+  const std::string want = fold(name);
+  std::string best;
+  std::size_t best_d = 0;
+  for (const auto& e : kRegistry) {
+    const std::size_t d = edit_distance(want, fold(e.name));
+    if (best.empty() || d < best_d) {
+      best = e.name;
+      best_d = d;
+    }
+  }
+  // Only suggest when the typo is plausibly close (under half the name).
+  if (best.empty() || best_d * 2 > best.size()) return "";
+  return best;
+}
+
+}  // namespace cubie::sim

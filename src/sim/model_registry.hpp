@@ -1,0 +1,34 @@
+#pragma once
+// Name-keyed registry of device-model backends, mirroring the workload
+// registry (core::make_workload): a constexpr name -> factory table, case-
+// insensitive lookup, and a did-you-mean helper for CLI/bench flag errors.
+//
+// The backend name is an experiment axis: it is threaded through engine
+// cell keys (so memoized results from one backend are never served to
+// another), RunSpec/protocol v1, and every bench's --model flag.
+
+#include "sim/device.hpp"
+#include "sim/model.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cubie::sim {
+
+// Construct the named backend over `spec` (which must outlive the model).
+// Case-insensitive; nullptr for an unknown name.
+std::unique_ptr<DeviceModel> make_device_model(const std::string& name,
+                                               const DeviceSpec& spec);
+
+// Registered backend names, in registry order.
+std::vector<std::string> model_backend_names();
+
+// One-line description of a backend ("" for an unknown name).
+std::string model_backend_description(const std::string& name);
+
+// The registered name closest to `name` by edit distance, for did-you-mean
+// diagnostics ("" when nothing is plausibly close).
+std::string suggest_model_backend(const std::string& name);
+
+}  // namespace cubie::sim

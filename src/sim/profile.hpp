@@ -10,8 +10,37 @@
 // fast a GPU runs it* (Table 5 peak rates and bandwidths).
 
 #include <cstddef>
+#include <string_view>
 
 namespace cubie::sim {
+
+// How a kernel variant walks global memory, at the granularity the cachesim
+// device-model backend needs to synthesize a representative address stream
+// (src/sim/cachesim/). The analytic backend ignores it; workloads set it
+// alongside the mem_eff hint so the same counted profile can be priced by
+// either backend.
+enum class AccessPattern {
+  Dense,      // fully coalesced sequential sweeps (MMU tile layouts, cuBLAS)
+  Strided,    // regular but non-unit stride (grid/stencil halos, two-pass CUB)
+  Irregular,  // data-dependent indirection (CSR gathers, hash probes, BFS)
+};
+
+inline const char* access_pattern_name(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::Dense: return "dense";
+    case AccessPattern::Strided: return "strided";
+    case AccessPattern::Irregular: return "irregular";
+  }
+  return "?";
+}
+
+// Inverse of access_pattern_name; unknown names map to Dense (the neutral
+// default, matching a freshly constructed profile).
+inline AccessPattern access_pattern_from_name(std::string_view name) {
+  if (name == "strided") return AccessPattern::Strided;
+  if (name == "irregular") return AccessPattern::Irregular;
+  return AccessPattern::Dense;
+}
 
 struct KernelProfile {
   // --- Work, by execution pipe -------------------------------------------
@@ -34,6 +63,13 @@ struct KernelProfile {
   // --- Efficiency hints (set by the kernel, documented in calibration.hpp)
   double mem_eff = 1.0;   // achieved fraction of peak DRAM bandwidth
   double pipe_eff = 1.0;  // achieved fraction of peak FLOP rate
+
+  // --- Access-pattern descriptor (consumed by the cachesim backend) -------
+  AccessPattern access = AccessPattern::Dense;
+  // Distinct global-memory footprint the kernel revisits (bytes). 0 means
+  // "unknown": the cachesim treats the stream as pure streaming (every line
+  // touched once), which is the conservative no-reuse assumption.
+  double working_set_bytes = 0.0;
 
   // --- Reporting metadata ---------------------------------------------------
   // "Useful" FLOPs from the algorithm's point of view (excludes redundancy
@@ -61,6 +97,14 @@ struct KernelProfile {
     } else if (o.pipe_eff != 1.0) {
       pipe_eff = o.pipe_eff;
     }
+    // Access descriptor: the pattern follows the side that moves more DRAM
+    // traffic (same weighting as mem_eff); footprints take the max, since
+    // successive launches of one kernel revisit the same arrays far more
+    // often than they touch disjoint ones.
+    if (mw_o > mw_self) access = o.access;
+    working_set_bytes = working_set_bytes > o.working_set_bytes
+                            ? working_set_bytes
+                            : o.working_set_bytes;
     tc_flops += o.tc_flops;
     cc_flops += o.cc_flops;
     tc_bitops += o.tc_bitops;

@@ -568,6 +568,26 @@ void MetricsSink::on_event(const Event& e) {
                     {{"code", e.source}})
           .inc();
       break;
+    case EventKind::CacheSimStats: {
+      // Cachesim backend cache statistics: e.name is the cache level
+      // ("l2"), e.source "hit" or "miss", e.count the access count. The
+      // per-level hit-rate gauge is recomputed from the running counters so
+      // it always equals hits / (hits + misses) at scrape time.
+      auto& hits = reg_->counter("cubie_cachesim_hits_total",
+                                 "Cachesim cache hits by level.",
+                                 {{"level", e.name}});
+      auto& misses = reg_->counter("cubie_cachesim_misses_total",
+                                   "Cachesim cache misses by level.",
+                                   {{"level", e.name}});
+      (e.source == "hit" ? hits : misses).inc(e.count);
+      const double h = static_cast<double>(hits.value());
+      const double total = h + static_cast<double>(misses.value());
+      reg_->gauge("cubie_cachesim_hit_ratio",
+                  "Cachesim hit fraction by level over the whole run.",
+                  {{"level", e.name}})
+          .set(total > 0.0 ? h / total : 0.0);
+      break;
+    }
     default:
       break;
   }

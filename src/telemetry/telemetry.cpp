@@ -25,6 +25,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::RequestStarted: return "request_started";
     case EventKind::RequestFinished: return "request_finished";
     case EventKind::RequestRejected: return "request_rejected";
+    case EventKind::CacheSimStats: return "cachesim_stats";
   }
   return "unknown";
 }

@@ -64,6 +64,9 @@ enum class EventKind {
   RequestStarted,   // a worker began executing it
   RequestFinished,  // response written; wall_s = service time, ok
   RequestRejected,  // refused; source = typed error code, ok = 0
+  // Cachesim device-model backend: per-prediction cache statistics.
+  // name = cache level ("l2"), source = "hit" | "miss", count = accesses.
+  CacheSimStats,
 };
 
 // Stable wire name ("cell_start", "cache_load", ...).

@@ -321,7 +321,7 @@ TEST(EngineJobs, ParallelReportMatchesSerialByteForByte) {
       const auto& out =
           eng.run(*cell.workload, cell.variant, cell.test_case, cell.scale);
       for (auto g : sim::all_gpus()) {
-        const sim::DeviceModel model(sim::spec_for(g));
+        const sim::AnalyticModel model(sim::spec_for(g));
         const auto pred = model.predict(out.profile);
         auto& rec = rep.add_record(cell.workload->name(),
                                    core::variant_name(cell.variant),

@@ -25,7 +25,7 @@ constexpr int kScale = 16;
 TEST(Integration, Figure4ShapesAtTestScale) {
   // The headline orderings must hold even at heavy reduction: SpGEMM TC
   // beats its baseline; FFT TC loses to cuFFT; on H200 TC GEMM wins.
-  const sim::DeviceModel h200(sim::h200());
+  const sim::AnalyticModel h200(sim::h200());
   auto speedup = [&](const char* name) {
     const auto w = core::make_workload(name);
     const auto tc = w->cases(kScale)[w->representative_case()];
@@ -47,7 +47,7 @@ TEST(Integration, Figure5CcNeverFasterThanTc) {
     const auto tc = w->run(Variant::TC, tc_case);
     const auto cc = w->run(Variant::CC, tc_case);
     for (auto gpu : sim::all_gpus()) {
-      const sim::DeviceModel model(sim::spec_for(gpu));
+      const sim::AnalyticModel model(sim::spec_for(gpu));
       EXPECT_LE(model.predict(tc.profile).time_s,
                 model.predict(cc.profile).time_s * 1.001)
           << w->name() << " on " << sim::gpu_name(gpu);
@@ -56,7 +56,7 @@ TEST(Integration, Figure5CcNeverFasterThanTc) {
 }
 
 TEST(Integration, Figure6OnlySpmvBenefitsFromEssential) {
-  const sim::DeviceModel h200(sim::h200());
+  const sim::AnalyticModel h200(sim::h200());
   std::map<std::string, double> ratio;
   for (const auto& w : core::make_suite()) {
     if (!w->cce_distinct()) continue;
@@ -78,7 +78,7 @@ TEST(Integration, Figure6OnlySpmvBenefitsFromEssential) {
 }
 
 TEST(Integration, Figure7TcReducesEdpWhereItWins) {
-  const sim::DeviceModel h200(sim::h200());
+  const sim::AnalyticModel h200(sim::h200());
   for (const char* name : {"GEMM", "Scan", "Reduction", "SpMV", "SpGEMM"}) {
     const auto w = core::make_workload(name);
     const auto tc_case = w->cases(kScale)[w->representative_case()];
@@ -90,7 +90,7 @@ TEST(Integration, Figure7TcReducesEdpWhereItWins) {
 }
 
 TEST(Integration, Figure8TraceEnergyConsistentWithModel) {
-  const sim::DeviceModel h200(sim::h200());
+  const sim::AnalyticModel h200(sim::h200());
   const auto w = core::make_workload("Stencil");
   const auto tc_case = w->cases(kScale)[w->representative_case()];
   const auto pred = h200.predict(w->run(Variant::TC, tc_case).profile);
@@ -102,7 +102,7 @@ TEST(Integration, Figure8TraceEnergyConsistentWithModel) {
 }
 
 TEST(Integration, Figure9PointsRespectRoofline) {
-  const sim::DeviceModel h200(sim::h200());
+  const sim::AnalyticModel h200(sim::h200());
   const sim::Roofline roof(sim::h200());
   for (const auto& w : core::make_suite()) {
     if (!w->is_floating_point()) continue;
@@ -133,7 +133,7 @@ TEST(Integration, Table6InvariantsAcrossSuite) {
 }
 
 TEST(Integration, Figure11CubieSpansTensorAxis) {
-  const sim::DeviceModel h200(sim::h200());
+  const sim::AnalyticModel h200(sim::h200());
   std::vector<analysis::KernelMetrics> ms;
   for (const auto& w : core::make_suite()) {
     const auto tc_case = w->cases(kScale)[w->representative_case()];
@@ -182,7 +182,7 @@ TEST(Integration, CrossGpuPortability) {
     const auto tc = w->run(Variant::TC, tc_case);
     const auto base = w->run(Variant::Baseline, tc_case);
     for (auto gpu : sim::all_gpus()) {
-      const sim::DeviceModel model(sim::spec_for(gpu));
+      const sim::AnalyticModel model(sim::spec_for(gpu));
       EXPECT_GT(model.predict(base.profile).time_s /
                     model.predict(tc.profile).time_s,
                 0.95)

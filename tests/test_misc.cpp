@@ -133,7 +133,7 @@ TEST(SuiteProxies, AllRunAndProduceMetrics) {
   const auto results = core::run_suite_proxies();
   ASSERT_GE(results.size(), 12u);
   int rodinia = 0, shoc = 0;
-  const sim::DeviceModel model(sim::h200());
+  const sim::AnalyticModel model(sim::h200());
   for (const auto& r : results) {
     rodinia += r.suite == "Rodinia";
     shoc += r.suite == "SHOC";
@@ -155,7 +155,7 @@ TEST(SuiteProxies, AllRunAndProduceMetrics) {
 TEST(Metrics, DatasetShape) {
   const auto results = core::run_suite_proxies();
   std::vector<analysis::KernelMetrics> ms;
-  const sim::DeviceModel model(sim::h200());
+  const sim::AnalyticModel model(sim::h200());
   for (const auto& r : results)
     ms.push_back(analysis::extract_metrics(r.name, r.suite, r.profile,
                                            model.predict(r.profile)));

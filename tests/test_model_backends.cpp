@@ -1,0 +1,443 @@
+// Device-model backend tests: the registry (sim/model_registry.hpp), the
+// analytic backend's bit-identity to its recorded goldens, the cachesim
+// backend's determinism and cache mechanics, the no-TC-win property the
+// paper claims for memory-bound kernels, the engine's model axis in cell
+// keys, the DiskCache schema-version gate, and the Cubie-Pulse cachesim
+// counters.
+
+#include <gtest/gtest.h>
+
+#include "core/workload.hpp"
+#include "engine/cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/plan.hpp"
+#include "sim/cachesim/cache.hpp"
+#include "sim/cachesim/cachesim_model.hpp"
+#include "sim/device.hpp"
+#include "sim/model.hpp"
+#include "sim/model_registry.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace cubie;
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(ModelRegistry, EnumeratesBothBackendsWithDescriptions) {
+  const auto names = sim::model_backend_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "analytic");
+  EXPECT_EQ(names[1], "cachesim");
+  for (const auto& n : names)
+    EXPECT_FALSE(sim::model_backend_description(n).empty()) << n;
+}
+
+TEST(ModelRegistry, FactoryRoundTripsEveryRegisteredName) {
+  for (const auto& n : sim::model_backend_names()) {
+    const auto m = sim::make_device_model(n, sim::h200());
+    ASSERT_NE(m, nullptr) << n;
+    EXPECT_EQ(m->name(), n);
+    EXPECT_EQ(m->spec().name, sim::h200().name);
+  }
+}
+
+TEST(ModelRegistry, LookupIsCaseInsensitive) {
+  EXPECT_NE(sim::make_device_model("Analytic", sim::a100()), nullptr);
+  EXPECT_NE(sim::make_device_model("CACHESIM", sim::a100()), nullptr);
+  EXPECT_FALSE(sim::model_backend_description("AnAlYtIc").empty());
+}
+
+TEST(ModelRegistry, UnknownNameIsNullWithDidYouMean) {
+  EXPECT_EQ(sim::make_device_model("roofline", sim::h200()), nullptr);
+  EXPECT_TRUE(sim::model_backend_description("roofline").empty());
+  EXPECT_EQ(sim::suggest_model_backend("cachsim"), "cachesim");
+  EXPECT_EQ(sim::suggest_model_backend("analytik"), "analytic");
+  // Nothing plausibly close: no suggestion rather than a misleading one.
+  EXPECT_EQ(sim::suggest_model_backend("zzzzzzzzzzzz"), "");
+}
+
+// --- Analytic bit-identity --------------------------------------------------
+
+// Three representative profiles spanning the bottleneck space: a GEMM-like
+// tensor-bound cell, a SpMV-like DRAM-bound cell, and a BFS-like
+// launch-bound cell.
+sim::KernelProfile golden_profile(int which) {
+  sim::KernelProfile p;
+  switch (which) {
+    case 0:
+      p.tc_flops = 4.4e9;
+      p.cc_flops = 1.2e7;
+      p.dram_bytes = 9.8e7;
+      p.smem_bytes = 6.1e8;
+      p.warp_instructions = 3.3e6;
+      p.threads = 262144;
+      p.launches = 3;
+      p.mem_eff = 0.92;
+      p.pipe_eff = 0.70;
+      p.useful_flops = 4.2e9;
+      break;
+    case 1:
+      p.cc_flops = 5.0e6;
+      p.cc_intops = 9.0e6;
+      p.dram_bytes = 4.7e8;
+      p.smem_bytes = 1.1e7;
+      p.warp_instructions = 8.8e5;
+      p.threads = 8192;
+      p.launches = 1;
+      p.mem_eff = 0.45;
+      p.pipe_eff = 0.55;
+      p.useful_flops = 1.0e7;
+      break;
+    default:
+      p.tc_bitops = 2.5e8;
+      p.cc_intops = 3.0e5;
+      p.dram_bytes = 1.6e6;
+      p.warp_instructions = 4.4e4;
+      p.threads = 512;
+      p.launches = 24;
+      p.mem_eff = 0.18;
+      p.pipe_eff = 0.30;
+      break;
+  }
+  return p;
+}
+
+// Recorded on the pre-refactor concrete DeviceModel (the exact doubles the
+// equation produced before it was extracted behind the interface). Any
+// drift in the analytic backend — reordered arithmetic included — fails
+// EXPECT_DOUBLE_EQ here.
+struct GoldenRow {
+  double time_s, avg_power_w, energy_j, edp;
+};
+constexpr GoldenRow kGolden[3][3] = {
+    // A100: p0 tensor-bound, p1 dram-bound, p2 launch-bound.
+    {{0.00032504432234432238, 214.57526373780522, 0.069746471193509144,
+      2.2670694465001982e-05},
+     {0.00067473512544802868, 150.18920632796082, 0.1013379329726365,
+      6.8376262916935819e-05},
+     {3.8456703606249828e-05, 69.934390786935467, 0.0026894461383768259,
+      1.0342723300853075e-07}},
+    // H200.
+    {{9.6356865257313698e-05, 536.38097805373934, 0.051683989628910298,
+      4.9801072246333078e-06},
+     {0.00026191111111111112, 345.19375378326424, 0.090410079601990059,
+      2.3679404404201219e-05},
+     {2.642136747078752e-05, 117.15651632723595, 0.0030954353694792186,
+      8.1785635379083377e-08}},
+    // B200.
+    {{0.00015954285714285714, 611.62621075744357, 0.097580593167701846,
+      1.5568286635669915e-05},
+     {0.00013135555555555554, 450.07336091416619, 0.05911963636363636,
+      7.7656926787878778e-06},
+     {2.3023255674241167e-05, 137.00040895357265, 0.0031541954428137018,
+      7.2619848126426194e-08}},
+};
+
+TEST(AnalyticBackend, MatchesPreRefactorGoldens) {
+  const sim::Gpu gpus[] = {sim::Gpu::A100, sim::Gpu::H200, sim::Gpu::B200};
+  for (int g = 0; g < 3; ++g) {
+    const sim::AnalyticModel m(sim::spec_for(gpus[g]));
+    for (int p = 0; p < 3; ++p) {
+      const auto pred = m.predict(golden_profile(p));
+      const auto& want = kGolden[g][p];
+      EXPECT_DOUBLE_EQ(pred.time_s, want.time_s) << "gpu " << g << " p" << p;
+      EXPECT_DOUBLE_EQ(pred.avg_power_w, want.avg_power_w)
+          << "gpu " << g << " p" << p;
+      EXPECT_DOUBLE_EQ(pred.energy_j, want.energy_j)
+          << "gpu " << g << " p" << p;
+      EXPECT_DOUBLE_EQ(pred.edp, want.edp) << "gpu " << g << " p" << p;
+    }
+  }
+}
+
+TEST(AnalyticBackend, FactoryInstanceIsBitIdenticalToDirectConstruction) {
+  const sim::AnalyticModel direct(sim::h200());
+  const auto via_factory = sim::make_device_model("analytic", sim::h200());
+  ASSERT_NE(via_factory, nullptr);
+  for (int p = 0; p < 3; ++p) {
+    const auto a = direct.predict(golden_profile(p));
+    const auto b = via_factory->predict(golden_profile(p));
+    EXPECT_EQ(0, std::memcmp(&a.time_s, &b.time_s, sizeof(double)));
+    EXPECT_EQ(0, std::memcmp(&a.energy_j, &b.energy_j, sizeof(double)));
+    EXPECT_EQ(0, std::memcmp(&a.edp, &b.edp, sizeof(double)));
+  }
+  // Analytic predictions carry the "not simulated" sentinel.
+  EXPECT_LT(direct.predict(golden_profile(0)).l2_hit_rate, 0.0);
+}
+
+// --- Cachesim determinism ---------------------------------------------------
+
+TEST(CacheSimBackend, PredictIsDeterministicAcrossCallsAndThreads) {
+  const sim::CacheSimModel m(sim::h200());
+  sim::KernelProfile p = golden_profile(1);
+  p.access = sim::AccessPattern::Irregular;
+  p.working_set_bytes = 96e6;  // larger than H200's L2: real miss traffic
+  const auto first = m.predict(p);
+  EXPECT_GE(first.l2_hit_rate, 0.0);
+  EXPECT_LE(first.l2_hit_rate, 1.0);
+  for (int i = 0; i < 3; ++i) {
+    const auto again = m.predict(p);
+    EXPECT_EQ(0, std::memcmp(&again.time_s, &first.time_s, sizeof(double)));
+    EXPECT_EQ(0,
+              std::memcmp(&again.l2_hit_rate, &first.l2_hit_rate,
+                          sizeof(double)));
+  }
+  // Concurrent predicts on one shared instance (the engine's --jobs pool
+  // does exactly this) must agree bitwise with the serial result.
+  std::vector<double> times(8, -1.0);
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < times.size(); ++t)
+    pool.emplace_back([&, t] { times[t] = m.predict(p).time_s; });
+  for (auto& th : pool) th.join();
+  for (double t : times)
+    EXPECT_EQ(0, std::memcmp(&t, &first.time_s, sizeof(double)));
+}
+
+TEST(CacheSimBackend, EngineParallelMatchesSerialUnderCachesim) {
+  engine::EngineOptions serial;
+  serial.model = "cachesim";
+  engine::EngineOptions parallel = serial;
+  parallel.jobs = 4;
+
+  engine::Plan plan = engine::Plan::representative(64);
+  plan.workloads = {"GEMV", "Scan"};
+
+  engine::ExperimentEngine a(serial), b(parallel);
+  a.execute(plan);
+  b.execute(plan);
+  auto keys = [](engine::ExperimentEngine& e) {
+    std::vector<std::string> ks;
+    for (const auto& c : e.materialized()) ks.push_back(c.key);
+    std::sort(ks.begin(), ks.end());
+    return ks;
+  };
+  const auto ka = keys(a), kb = keys(b);
+  ASSERT_FALSE(ka.empty());
+  EXPECT_EQ(ka, kb);
+  for (const auto& k : ka)
+    EXPECT_NE(k.find("|m=cachesim"), std::string::npos) << k;
+}
+
+TEST(EngineOptions, UnknownModelBackendThrows) {
+  engine::EngineOptions opts;
+  opts.model = "no-such-backend";
+  EXPECT_THROW(engine::ExperimentEngine eng(opts), std::invalid_argument);
+}
+
+// --- Cache mechanics --------------------------------------------------------
+
+TEST(SetAssocCache, LruEvictsLeastRecentlyTouchedWay) {
+  // One set, two ways, 64-byte lines: lines A=0, B=64, C=128 all collide.
+  sim::cachesim::CacheConfig cfg;
+  cfg.size_bytes = 128;
+  cfg.ways = 2;
+  cfg.line_bytes = 64;
+  sim::cachesim::SetAssocCache c(cfg);
+  ASSERT_EQ(c.num_sets(), 1u);
+
+  EXPECT_FALSE(c.access(0));    // A miss           {A}
+  EXPECT_FALSE(c.access(64));   // B miss           {A,B}
+  EXPECT_TRUE(c.access(0));     // A hit; B is LRU
+  EXPECT_FALSE(c.access(128));  // C miss, evicts B {A,C}
+  EXPECT_TRUE(c.access(0));     // A survived
+  EXPECT_FALSE(c.access(64));   // B was the victim
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 4u);
+  EXPECT_EQ(c.accesses(), 6u);
+}
+
+TEST(SetAssocCache, AssociativityConflictThrashesWhereFullAssocHits) {
+  // Two lines that fit capacity either way, but alias the same set when
+  // direct-mapped: 0 and 128 with 64-byte lines and two sets.
+  sim::cachesim::CacheConfig direct;
+  direct.size_bytes = 128;
+  direct.ways = 1;
+  direct.line_bytes = 64;
+  sim::cachesim::SetAssocCache dm(direct);
+  ASSERT_EQ(dm.num_sets(), 2u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(dm.access(0));    // conflict miss every round trip
+    EXPECT_FALSE(dm.access(128));
+  }
+  EXPECT_EQ(dm.hits(), 0u);
+
+  sim::cachesim::CacheConfig assoc = direct;
+  assoc.ways = 2;  // same capacity, fully associative: both lines resident
+  sim::cachesim::SetAssocCache fa(assoc);
+  ASSERT_EQ(fa.num_sets(), 1u);
+  EXPECT_FALSE(fa.access(0));
+  EXPECT_FALSE(fa.access(128));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(fa.access(0));
+    EXPECT_TRUE(fa.access(128));
+  }
+  EXPECT_EQ(fa.misses(), 2u);
+}
+
+TEST(CacheSimBackend, SmallWorkingSetHitsLargeWorkingSetMisses) {
+  const sim::CacheSimModel m(sim::h200());
+  sim::KernelProfile p;
+  p.dram_bytes = 1e9;
+  p.threads = 1 << 16;
+  p.launches = 1;
+  p.access = sim::AccessPattern::Dense;
+  p.working_set_bytes = 1e6;  // resident in any L2
+  const auto resident = m.simulate(p);
+  EXPECT_GT(resident.hit_rate, 0.9);
+  p.working_set_bytes = 4e9;  // far beyond L2
+  const auto streaming = m.simulate(p);
+  EXPECT_LT(streaming.hit_rate, resident.hit_rate);
+  // More hits must never slow the prediction down.
+  sim::KernelProfile q = p;
+  q.working_set_bytes = 1e6;
+  EXPECT_LE(m.predict(q).t_dram, m.predict(p).t_dram);
+}
+
+// --- The paper's memory-bound claim ----------------------------------------
+
+// "Can Tensor Cores Benefit Memory-Bound Kernels? (No!)" — once hit rates
+// are simulated instead of taken from per-variant mem_eff hints, both pipe
+// variants of a DRAM-bound kernel see the same memory time, so the TC
+// variant cannot win by more than the issue/pipe noise floor.
+TEST(CacheSimBackend, MemoryBoundKernelsShowNoTensorCoreWin) {
+  const sim::CacheSimModel model(sim::h200());
+  engine::ExperimentEngine eng;
+  for (const char* name : {"GEMV", "SpMV", "Scan", "Reduction", "Stencil"}) {
+    const auto* w = eng.workload(name);
+    ASSERT_NE(w, nullptr) << name;
+    const auto tc_case = w->cases(16)[w->representative_case()];
+    const auto& tc = eng.run(*w, core::Variant::TC, tc_case, 16);
+    const auto& cc = eng.run(*w, core::Variant::CC, tc_case, 16);
+    const auto pt = model.predict(tc.profile);
+    const auto pc = model.predict(cc.profile);
+    const double speedup = pc.time_s / pt.time_s;
+    EXPECT_LE(speedup, 1.05) << name << ": TC speedup over CC " << speedup;
+    if (w->has_baseline()) {
+      const auto& base = eng.run(*w, core::Variant::Baseline, tc_case, 16);
+      EXPECT_LE(model.predict(base.profile).time_s / pt.time_s, 1.05)
+          << name << ": TC beat the baseline under cachesim";
+    }
+  }
+}
+
+// --- Engine cell-key model axis ---------------------------------------------
+
+TEST(CellKey, CarriesTheModelBackendAxis) {
+  const core::TestCase tc{"512^3", {512, 512, 512}, ""};
+  const std::string analytic =
+      engine::cell_key("GEMM", core::Variant::TC, tc, 1);
+  const std::string explicit_analytic =
+      engine::cell_key("GEMM", core::Variant::TC, tc, 1, "analytic");
+  const std::string cachesim =
+      engine::cell_key("GEMM", core::Variant::TC, tc, 1, "cachesim");
+  // The default is the analytic backend, spelled out in the key.
+  EXPECT_EQ(analytic, explicit_analytic);
+  EXPECT_NE(analytic.find("|m=analytic"), std::string::npos);
+  EXPECT_NE(cachesim.find("|m=cachesim"), std::string::npos);
+  EXPECT_NE(analytic, cachesim);
+  // Same prefix: only the model segment differs.
+  EXPECT_EQ(analytic.substr(0, analytic.rfind("|m=")),
+            cachesim.substr(0, cachesim.rfind("|m=")));
+}
+
+// --- DiskCache schema version -----------------------------------------------
+
+TEST(DiskCacheSchema, StaleVersionIsATypedLoadFailure) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "cubie_model_backend_schema";
+  std::filesystem::remove_all(dir);
+  engine::DiskCache cache(dir.string());
+  ASSERT_TRUE(cache.enabled());
+
+  core::RunOutput out;
+  out.profile.useful_flops = 2.0;
+  out.profile.access = sim::AccessPattern::Irregular;
+  out.profile.working_set_bytes = 123456.0;
+  out.values = {1.0, 2.0};
+  const std::string key = "schema-cell|m=cachesim";
+  ASSERT_TRUE(cache.store(key, out).ok());
+
+  // Round trip: the access descriptor is part of the persisted profile.
+  const auto back = cache.load(key);
+  ASSERT_TRUE(back.hit());
+  EXPECT_EQ(back.output->profile.access, sim::AccessPattern::Irregular);
+  EXPECT_DOUBLE_EQ(back.output->profile.working_set_bytes, 123456.0);
+
+  // A v1 file (written before the access descriptor / model axis existed)
+  // must surface as StaleVersion, not as a hit or a silent miss.
+  ASSERT_TRUE(cache.inject_fault(key, engine::DiskCache::Fault::StaleVersion));
+  const auto stale = cache.load(key);
+  EXPECT_EQ(stale.status, engine::CacheStatus::StaleVersion);
+  EXPECT_FALSE(stale.hit());
+  EXPECT_TRUE(stale.failed());
+  EXPECT_FALSE(stale.detail.empty());
+  EXPECT_STREQ(engine::cache_status_name(engine::CacheStatus::StaleVersion),
+               "stale-version");
+  std::filesystem::remove_all(dir);
+}
+
+// --- Cubie-Pulse cachesim counters ------------------------------------------
+
+TEST(PulseCacheSim, SinkAccumulatesHitMissCountersAndRatioGauge) {
+  telemetry::MetricsSink sink;
+  telemetry::Event e;
+  e.kind = telemetry::EventKind::CacheSimStats;
+  e.name = "l2";
+  e.source = "hit";
+  e.count = 30;
+  sink.on_event(e);
+  e.source = "miss";
+  e.count = 10;
+  sink.on_event(e);
+
+  std::string err;
+  const auto exp = telemetry::parse_prometheus_text(
+      telemetry::prometheus_text(sink.registry()), &err);
+  ASSERT_TRUE(exp) << err;
+  EXPECT_EQ(exp->value_or("cubie_cachesim_hits_total", {{"level", "l2"}}, -1),
+            30.0);
+  EXPECT_EQ(
+      exp->value_or("cubie_cachesim_misses_total", {{"level", "l2"}}, -1),
+      10.0);
+  EXPECT_DOUBLE_EQ(
+      exp->value_or("cubie_cachesim_hit_ratio", {{"level", "l2"}}, -1), 0.75);
+}
+
+TEST(PulseCacheSim, PredictEmitsStatsWhenTheBusIsLive) {
+  auto sink = std::make_shared<telemetry::MetricsSink>();
+  telemetry::bus().add_sink(sink);
+  {
+    const sim::CacheSimModel m(sim::h200());
+    sim::KernelProfile p;
+    p.dram_bytes = 1e8;
+    p.threads = 4096;
+    p.launches = 1;
+    p.working_set_bytes = 8e6;
+    (void)m.predict(p);
+  }
+  telemetry::bus().remove_sink(sink.get());
+
+  std::string err;
+  const auto exp = telemetry::parse_prometheus_text(
+      telemetry::prometheus_text(sink->registry()), &err);
+  ASSERT_TRUE(exp) << err;
+  const double hits =
+      exp->value_or("cubie_cachesim_hits_total", {{"level", "l2"}}, -1);
+  const double misses =
+      exp->value_or("cubie_cachesim_misses_total", {{"level", "l2"}}, -1);
+  EXPECT_GE(hits, 0.0);
+  EXPECT_GE(misses, 0.0);
+  EXPECT_GT(hits + misses, 0.0);  // the replayed stream was accounted
+}
+
+}  // namespace

@@ -12,7 +12,7 @@
 namespace cubie {
 namespace {
 
-using sim::DeviceModel;
+using DeviceModel = sim::AnalyticModel;
 using sim::KernelProfile;
 
 KernelProfile saturated_profile() {

@@ -80,6 +80,7 @@
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "sim/model.hpp"
+#include "sim/model_registry.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/history.hpp"
 #include "telemetry/metrics_registry.hpp"
@@ -117,7 +118,7 @@ constexpr const char* kFlags[] = {
     "--metric", "--errors",      "--csv",     "--check",    "--socket",
     "--port",   "--workers",     "--queue-limit", "--concurrency",
     "--requests", "--sleep-ms",  "--deadline", "--metrics-out",
-    "--interval", "--iterations",
+    "--interval", "--iterations", "--model",
 };
 
 int usage() {
@@ -151,7 +152,8 @@ int usage() {
       "run/profile/check/serve/roofline also accept [--events FILE]\n"
       "[--trace-out FILE] [--metrics-out FILE] [--progress[=force]]\n"
       "(Cubie-Scope/Pulse telemetry; see docs/OBSERVABILITY.md;\n"
-      "serving: docs/SERVING.md)\n";
+      "serving: docs/SERVING.md) and [--model NAME] to pick the\n"
+      "device-model backend (`cubie list` enumerates; docs/MODEL.md)\n";
   return 2;
 }
 
@@ -240,6 +242,14 @@ int cmd_list(engine::ExperimentEngine& eng) {
                common::fmt_double(s.tdp_w, 0)});
   }
   d.print(std::cout);
+
+  // The device-model backends run/profile/check/serve/roofline (and every
+  // bench) can price cells with via --model.
+  std::cout << "\nmodel backends:\n";
+  common::Table m({"model", "description"});
+  for (const auto& name : sim::model_backend_names())
+    m.add_row({name, sim::model_backend_description(name)});
+  m.print(std::cout);
   return 0;
 }
 
@@ -270,7 +280,10 @@ int cmd_profile(engine::ExperimentEngine& eng, const core::Workload& w,
                 sim::Gpu gpu, const std::string& json_path) {
   sim::Tracer tracer;
   const auto& out = eng.run_traced(w, v, tc, scale, tracer);
-  const sim::DeviceModel model(sim::spec_for(gpu));
+  // Price with the same backend the engine keys cells under (--model).
+  const auto model_ptr =
+      sim::make_device_model(eng.options().model, sim::spec_for(gpu));
+  const sim::DeviceModel& model = *model_ptr;
   const auto pred = model.predict(out.profile);
 
   std::cout << "profile: " << w.name() << " / " << core::variant_name(v)
@@ -764,7 +777,8 @@ int cmd_roofline(engine::ExperimentEngine& eng, const core::Workload& w,
                  const std::vector<std::size_t>& case_ids, int scale,
                  sim::Gpu gpu, const std::string& json_path) {
   const sim::DeviceSpec& spec = sim::spec_for(gpu);
-  const sim::DeviceModel model(spec);
+  const auto model_ptr = sim::make_device_model(eng.options().model, spec);
+  const sim::DeviceModel& model = *model_ptr;
   engine::Plan plan;
   plan.scale = scale;
   plan.workloads = {w.name()};
@@ -803,7 +817,10 @@ int cmd_roofline(engine::ExperimentEngine& eng, const core::Workload& w,
       const double ai = out.profile.dram_bytes > 0
                             ? out.profile.useful_flops / out.profile.dram_bytes
                             : 0.0;
-      const std::string key = engine::cell_key(w.name(), v, tc, scale);
+      // Must carry the engine's model axis or the lookup misses the
+      // materialized cells under --model != analytic.
+      const std::string key =
+          engine::cell_key(w.name(), v, tc, scale, eng.options().model);
       const hw::HwSample* sample = hw_for(key);
       const bool measured = sample != nullptr && sample->available;
       t.add_row({tc.label, core::variant_name(v), common::fmt_double(ai, 3),
@@ -899,6 +916,7 @@ int main(int argc, char** argv) {
     else if (args[i] == "--jobs")
       eng_opts.jobs = std::max(1, std::atoi(next("--jobs").c_str()));
     else if (args[i] == "--cache") eng_opts.cache_dir = next("--cache");
+    else if (args[i] == "--model") eng_opts.model = next("--model");
     else if (args[i] == "--perturb") perturb = std::atof(next("--perturb").c_str());
     else if (args[i] == "--events") scope.events_path = next("--events");
     else if (args[i] == "--trace-out") scope.trace_path = next("--trace-out");
@@ -950,6 +968,16 @@ int main(int argc, char** argv) {
   const std::string workload_name =
       positionals.empty() ? std::string() : positionals[0];
 
+  // Validate --model before any engine is constructed (the engine ctor
+  // throws on an unknown backend; a flag typo deserves a hint instead).
+  if (sim::model_backend_description(eng_opts.model).empty()) {
+    std::cerr << "cubie: unknown model backend '" << eng_opts.model << "'";
+    const std::string hint = sim::suggest_model_backend(eng_opts.model);
+    if (!hint.empty()) std::cerr << " (did you mean '" << hint << "'?)";
+    std::cerr << " (try: cubie list)\n";
+    return 2;
+  }
+
   // The history commands never touch the engine.
   if (cmd == "record")
     return cmd_record(json_path, history_path, std::move(sha), perturb);
@@ -978,6 +1006,7 @@ int main(int argc, char** argv) {
       r.spec.case_sel = case_arg;
       r.spec.gpu = gpu_arg;
       r.spec.scale = scale;
+      r.spec.model = eng_opts.model;
       lo.mix.push_back(std::move(r));
     }
     if (sleep_ms > 0) {
@@ -1013,6 +1042,7 @@ int main(int argc, char** argv) {
     r.spec.case_sel = case_arg;
     r.spec.gpu = gpu_arg;
     r.spec.scale = scale;
+    r.spec.model = eng_opts.model;
     r.spec.errors = errors;
     r.spec.check = check_flag;
     r.sleep_ms = sleep_ms;
@@ -1102,6 +1132,7 @@ int main(int argc, char** argv) {
     spec.case_sel = case_arg;
     spec.gpu = gpu_arg;
     spec.scale = scale;
+    spec.model = eng_opts.model;
     spec.errors = errors;
     spec.check = check_flag;
     std::string err;
@@ -1229,8 +1260,9 @@ int main(int argc, char** argv) {
     for (auto v : variants) {
       const auto& out = eng.run(*w, v, tc, scale);
       for (auto g : gpus) {
-        const sim::DeviceModel model(sim::spec_for(g));
-        const auto pred = model.predict(out.profile);
+        const auto model =
+            sim::make_device_model(eng_opts.model, sim::spec_for(g));
+        const auto pred = model->predict(out.profile);
         std::vector<std::string> row{
             sim::gpu_name(g), tc.label, core::variant_name(v),
             common::fmt_double(pred.time_s * 1e3, 4),
