@@ -3,12 +3,20 @@
 // the *simulator's* speed, not modeled GPU performance - useful for keeping
 // the functional layer fast enough to drive the figure sweeps.
 
+#include "common/report.hpp"
 #include "common/rng.hpp"
+#include "common/table.hpp"
 #include "fft/fft.hpp"
 #include "mma/constants.hpp"
 #include "mma/mma.hpp"
+#include "mma/simd.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
 
 namespace {
 
@@ -62,6 +70,40 @@ void BM_BmmaM8n8k128(benchmark::State& state) {
 }
 BENCHMARK(BM_BmmaM8n8k128);
 
+// Forced-scalar twins of the MMA benches: the same loop bodies against the
+// scalar reference table, so one `micro_mma` run shows the dispatched and
+// fallback rates side by side (the --report mode below is the machine form).
+void BM_DmmaM8n8k4Scalar(benchmark::State& state) {
+  common::Lcg rng(1);
+  double a[32], b[32], c[64] = {};
+  for (auto& v : a) v = rng.next_linpack();
+  for (auto& v : b) v = rng.next_linpack();
+  const auto& t = mma::simd::scalar_kernels();
+  for (auto _ : state) {
+    t.dmma_m8n8k4(a, b, c, c);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["emulated_GFLOP/s"] = benchmark::Counter(
+      512.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_DmmaM8n8k4Scalar);
+
+void BM_BmmaM8n8k128Scalar(benchmark::State& state) {
+  common::Lcg rng(3);
+  std::uint32_t a[32], b[32], d[64] = {};
+  for (auto& v : a) v = rng.next_raw();
+  for (auto& v : b) v = rng.next_raw();
+  const auto& t = mma::simd::scalar_kernels();
+  for (auto _ : state) {
+    t.bmma_m8n8k128_acc(a, b, d);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BmmaM8n8k128Scalar);
+
 void BM_FftSerial(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto re = common::random_vector(n, 5);
@@ -88,6 +130,142 @@ void BM_FftStockham(benchmark::State& state) {
 }
 BENCHMARK(BM_FftStockham)->Arg(256)->Arg(1024);
 
+// ---------------------------------------------------------------------------
+// --report mode: a self-contained SIMD-vs-scalar throughput comparison of
+// the dispatched MMA kernel tables, written as a schema-v1 MetricsReport so
+// `cubie record` can append it to BENCH_history.jsonl and `cubie trend` can
+// gate on the speedup. Run without --report, the binary is the plain
+// google-benchmark suite above.
+
+// Median-of-reps wall time per call of `fn`, iterated until a rep takes
+// long enough for steady_clock to resolve it cleanly.
+template <typename Fn>
+double time_per_call_s(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  long iters = 512;
+  for (;;) {
+    fn(1);  // warm
+    double best = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t0 = clock::now();
+      fn(iters);
+      const std::chrono::duration<double> dt = clock::now() - t0;
+      if (dt.count() < best) best = dt.count();
+    }
+    if (best >= 20e-3 || iters >= (1L << 24)) return best / static_cast<double>(iters);
+    iters *= 4;
+  }
+}
+
+struct KernelCase {
+  const char* name;
+  double ops_per_call;  // FLOPs (or bit-ops for bmma) per kernel invocation
+  void (*drive)(const mma::simd::Kernels& t, long iters);
+};
+
+// Each driver keeps operands hot in L1 and accumulates in place, the same
+// steady-state shape the GEMM / warp inner loops produce.
+void drive_dmma(const mma::simd::Kernels& t, long iters) {
+  common::Lcg rng(1);
+  double a[32], b[32], c[64] = {};
+  for (auto& v : a) v = rng.next_linpack();
+  for (auto& v : b) v = rng.next_linpack();
+  for (long i = 0; i < iters; ++i) t.dmma_m8n8k4(a, b, c, c);
+  benchmark::DoNotOptimize(c);
+}
+
+void drive_bmma(const mma::simd::Kernels& t, long iters) {
+  common::Lcg rng(3);
+  std::uint32_t a[32], b[32], d[64] = {};
+  for (auto& v : a) v = rng.next_raw();
+  for (auto& v : b) v = rng.next_raw();
+  for (long i = 0; i < iters; ++i) t.bmma_m8n8k128_acc(a, b, d);
+  benchmark::DoNotOptimize(d);
+}
+
+void drive_hmma(const mma::simd::Kernels& t, long iters) {
+  common::Lcg rng(5);
+  float a[256], b[256], acc[256] = {};
+  for (auto& v : a) v = static_cast<float>(rng.next_linpack());
+  for (auto& v : b) v = static_cast<float>(rng.next_linpack());
+  for (long i = 0; i < iters; ++i) t.hmma_f32acc_tile(a, b, acc);
+  benchmark::DoNotOptimize(acc);
+}
+
+void drive_lanes(const mma::simd::Kernels& t, long iters) {
+  common::Lcg rng(7);
+  double a[32], b[32], c[32] = {};
+  for (auto& v : a) v = rng.next_linpack();
+  for (auto& v : b) v = rng.next_linpack();
+  for (long i = 0; i < iters; ++i) t.lanes_fma32(a, b, c);
+  benchmark::DoNotOptimize(c);
+}
+
+constexpr KernelCase kKernelCases[] = {
+    {"dmma_m8n8k4", 2.0 * 8 * 8 * 4, drive_dmma},
+    {"bmma_m8n8k128", 2.0 * 8 * 8 * 128, drive_bmma},  // AND+popc = 2 ops
+    {"hmma_m16n16k16", 2.0 * 16 * 16 * 16, drive_hmma},
+    {"lanes_fma32", 2.0 * 32, drive_lanes},
+};
+
+int run_simd_report(const std::string& path) {
+  report::MetricsReport rep;
+  rep.tool = "micro_mma";
+  rep.title = "MMA emulation kernels: dispatched vs scalar throughput";
+  rep.scale_divisor = 1;
+
+  const auto& active = mma::simd::kernels();
+  const auto& scalar = mma::simd::scalar_kernels();
+  const char* isa = mma::simd::isa_name(mma::simd::active_isa());
+  std::cout << "micro_mma --report: dispatch=" << isa << "\n\n";
+
+  for (const auto& kc : kKernelCases) {
+    const double t_simd = time_per_call_s([&](long n) { kc.drive(active, n); });
+    const double t_scalar =
+        time_per_call_s([&](long n) { kc.drive(scalar, n); });
+    const double simd_gops = kc.ops_per_call / t_simd / 1e9;
+    const double scalar_gops = kc.ops_per_call / t_scalar / 1e9;
+    // Record key stays host-agnostic ("host" in the gpu column) so trend
+    // histories from SIMD and scalar-fallback builds share one series; the
+    // dispatch record below says which table actually ran.
+    auto& rec = rep.add_record("micro_mma", kc.name, "host", "8x8 tile");
+    rec.set("simd_gflops", simd_gops);
+    rec.set("scalar_gflops", scalar_gops);
+    rec.set("speedup", t_scalar / t_simd);
+    std::cout << "  " << kc.name << ": simd "
+              << common::fmt_double(simd_gops, 2) << " Gop/s, scalar "
+              << common::fmt_double(scalar_gops, 2) << " Gop/s, speedup "
+              << common::fmt_double(t_scalar / t_simd, 2) << "x\n";
+  }
+  auto& disp = rep.add_record("micro_mma", "dispatch", "host", "runtime");
+  disp.set("simd_active", mma::simd::active_isa() != mma::simd::Isa::Scalar
+               ? 1.0 : 0.0);
+
+  if (!rep.write_file(path)) {
+    std::cerr << "micro_mma: cannot write " << path << '\n';
+    return 1;
+  }
+  if (path != "-") std::cerr << "[json report: " << path << "]\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --report FILE intercepts before google-benchmark sees the arguments;
+  // everything else is the stock benchmark CLI.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "micro_mma: --report needs a file path\n";
+        return 2;
+      }
+      return run_simd_report(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

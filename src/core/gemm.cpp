@@ -61,24 +61,50 @@ std::vector<double> run_mma_gemm(const GemmProblem& p, mma::Context& ctx,
 
   {
     sim::Span loop(tr, "tile_loop", ctx.profile());
-    double a_frag[32], b_frag[32];
-    for (int i0 = 0; i0 + 8 <= m; i0 += 8) {
-      for (int j0 = 0; j0 + 8 <= n; j0 += 8) {
-        double acc[64] = {};
-        for (int k0 = 0; k0 + 4 <= k; k0 += 4) {
-          for (int i = 0; i < 8; ++i)
-            for (int kk = 0; kk < 4; ++kk)
-              a_frag[i * 4 + kk] = p.a[static_cast<std::size_t>(i0 + i) * k + k0 + kk];
+    // Cache-blocked traversal: C is processed in column panels of `bj` so
+    // the packed B fragments (k x bj) stay L2-resident across every row
+    // tile, and the A/B fragment gathers are hoisted out of the MMA loop -
+    // A is packed once per (panel, i0) and B once per panel instead of
+    // re-gathering 8x4 / 4x8 fragments for every (i0, j0, k0). Packing only
+    // reorders reads; each output tile still sees identical fragment values
+    // in the identical k-major MMA order, so results (and the per-call
+    // load_shared / dmma event counts) are bit-exact vs. the unblocked loop.
+    const int kt = k / 4;  // whole k-tiles, matching the old k0 + 4 <= k guard
+    int bj = static_cast<int>(
+        (512 * 1024 / sizeof(double)) / static_cast<std::size_t>(std::max(1, k)));
+    bj = std::max(8, std::min(n, bj / 8 * 8));
+    std::vector<double> a_pack(static_cast<std::size_t>(kt) * 32);
+    std::vector<double> b_pack;
+    for (int jc = 0; jc + 8 <= n; jc += bj) {
+      const int jw = std::min(bj, ((n - jc) / 8) * 8);  // whole 8-wide tiles
+      b_pack.resize(static_cast<std::size_t>(jw / 8) * static_cast<std::size_t>(kt) * 32);
+      for (int j0 = 0; j0 < jw; j0 += 8)
+        for (int k0 = 0; k0 < kt; ++k0)
           for (int kk = 0; kk < 4; ++kk)
             for (int j = 0; j < 8; ++j)
-              b_frag[kk * 8 + j] = p.b[static_cast<std::size_t>(k0 + kk) * n + j0 + j];
-          // Operand fetches from shared memory (per-warp fragment loads).
-          ctx.load_shared((32.0 + 32.0) * 8.0);
-          ctx.dmma_m8n8k4_acc(a_frag, b_frag, acc);
+              b_pack[(static_cast<std::size_t>(j0 / 8) * static_cast<std::size_t>(kt) +
+                      static_cast<std::size_t>(k0)) * 32 + kk * 8 + j] =
+                  p.b[static_cast<std::size_t>(k0 * 4 + kk) * n + jc + j0 + j];
+      for (int i0 = 0; i0 + 8 <= m; i0 += 8) {
+        for (int k0 = 0; k0 < kt; ++k0)
+          for (int i = 0; i < 8; ++i)
+            for (int kk = 0; kk < 4; ++kk)
+              a_pack[static_cast<std::size_t>(k0) * 32 + i * 4 + kk] =
+                  p.a[static_cast<std::size_t>(i0 + i) * k + k0 * 4 + kk];
+        for (int j0 = 0; j0 < jw; j0 += 8) {
+          double acc[64] = {};
+          const double* b_panel =
+              b_pack.data() + static_cast<std::size_t>(j0 / 8) * static_cast<std::size_t>(kt) * 32;
+          for (int k0 = 0; k0 < kt; ++k0) {
+            // Operand fetches from shared memory (per-warp fragment loads).
+            ctx.load_shared((32.0 + 32.0) * 8.0);
+            ctx.dmma_m8n8k4_acc(a_pack.data() + static_cast<std::size_t>(k0) * 32,
+                                b_panel + static_cast<std::size_t>(k0) * 32, acc);
+          }
+          for (int i = 0; i < 8; ++i)
+            for (int j = 0; j < 8; ++j)
+              c[static_cast<std::size_t>(i0 + i) * n + jc + j0 + j] = acc[i * 8 + j];
         }
-        for (int i = 0; i < 8; ++i)
-          for (int j = 0; j < 8; ++j)
-            c[static_cast<std::size_t>(i0 + i) * n + j0 + j] = acc[i * 8 + j];
       }
     }
   }

@@ -1,5 +1,8 @@
 #include "mma/half.hpp"
 
+#include "mma/simd.hpp"
+
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstring>
@@ -116,44 +119,52 @@ void hmma_m16n16k16_f32acc(const double* a, const double* b, const double* c,
     prof->tc_flops += 2.0 * 16 * 16 * 16;
     prof->warp_instructions += 1.0;
   }
-  double out[16 * 16];
-  for (int i = 0; i < 16; ++i) {
-    for (int j = 0; j < 16; ++j) {
-      // FP32 accumulator chain over FP16 products.
-      float acc = static_cast<float>(c[i * 16 + j]);
-      for (int k = 0; k < 16; ++k) {
-        const float av = half_bits_to_float(
-            float_to_half_bits(static_cast<float>(a[i * 16 + k])));
-        const float bv = half_bits_to_float(
-            float_to_half_bits(static_cast<float>(b[k * 16 + j])));
-        acc = std::fmaf(av, bv, acc);
-      }
-      out[i * 16 + j] = static_cast<double>(acc);
-    }
+  // Round the operands to half once per element (a pure per-element
+  // function, so hoisting it out of the (i,j,k) loop is value-preserving),
+  // then run the FP32 accumulator chains over the rounded values. The
+  // kernel vectorizes across the 256 independent (i,j) accumulators; each
+  // chain keeps its serial k order.
+  float a_h[16 * 16], b_h[16 * 16], acc[16 * 16];
+  for (int i = 0; i < 16 * 16; ++i) {
+    a_h[i] = half_bits_to_float(float_to_half_bits(static_cast<float>(a[i])));
+    b_h[i] = half_bits_to_float(float_to_half_bits(static_cast<float>(b[i])));
+    acc[i] = static_cast<float>(c[i]);
   }
-  for (int i = 0; i < 16 * 16; ++i) d[i] = out[i];
+  simd::kernels().hmma_f32acc_tile(a_h, b_h, acc);
+  for (int i = 0; i < 16 * 16; ++i) d[i] = static_cast<double>(acc[i]);
 }
 
 void gemm_fp16_tc(int m, int n, int k, const double* a, const double* b,
                   double* c, sim::KernelProfile* prof) {
   std::vector<double> a_tile(256), b_tile(256), acc(256);
   for (int i0 = 0; i0 < m; i0 += 16) {
+    const int mi = std::min(16, m - i0);
     for (int j0 = 0; j0 < n; j0 += 16) {
+      const int nj = std::min(16, n - j0);
       for (auto& v : acc) v = 0.0;
       for (int k0 = 0; k0 < k; k0 += 16) {
-        for (int i = 0; i < 16; ++i)
-          for (int kk = 0; kk < 16; ++kk)
+        const int kw = std::min(16, k - k0);
+        // Edge tiles are zero-padded, as a real WMMA kernel pads its staging
+        // buffers: the ragged region contributes fmaf(0, 0, acc) no-ops, so
+        // in-range results equal the full-tile computation and no operand is
+        // read out of bounds (ASan-covered 17^3 test in tests/test_half.cpp).
+        if (mi < 16 || nj < 16 || kw < 16) {
+          std::fill(a_tile.begin(), a_tile.end(), 0.0);
+          std::fill(b_tile.begin(), b_tile.end(), 0.0);
+        }
+        for (int i = 0; i < mi; ++i)
+          for (int kk = 0; kk < kw; ++kk)
             a_tile[static_cast<std::size_t>(i * 16 + kk)] =
                 a[static_cast<std::size_t>(i0 + i) * k + k0 + kk];
-        for (int kk = 0; kk < 16; ++kk)
-          for (int j = 0; j < 16; ++j)
+        for (int kk = 0; kk < kw; ++kk)
+          for (int j = 0; j < nj; ++j)
             b_tile[static_cast<std::size_t>(kk * 16 + j)] =
                 b[static_cast<std::size_t>(k0 + kk) * n + j0 + j];
         hmma_m16n16k16_f32acc(a_tile.data(), b_tile.data(), acc.data(),
                               acc.data(), prof);
       }
-      for (int i = 0; i < 16; ++i)
-        for (int j = 0; j < 16; ++j)
+      for (int i = 0; i < mi; ++i)
+        for (int j = 0; j < nj; ++j)
           c[static_cast<std::size_t>(i0 + i) * n + j0 + j] = acc[static_cast<std::size_t>(i * 16 + j)];
     }
   }

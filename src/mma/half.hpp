@@ -49,9 +49,11 @@ double round_to_half(double v);
 void hmma_m16n16k16_f32acc(const double* a, const double* b, const double* c,
                            double* d, sim::KernelProfile* prof = nullptr);
 
-// FP16 GEMM built from HMMA tiles (dimensions must be multiples of 16):
-// inputs rounded to FP16, accumulation in FP32, output widened to double.
-// The comparison target for the mixed-precision ablation.
+// FP16 GEMM built from HMMA tiles: inputs rounded to FP16, accumulation in
+// FP32, output widened to double. Dimensions need not be multiples of 16 -
+// ragged edge tiles are zero-padded (fmaf(0, 0, acc) no-ops), matching how
+// a WMMA kernel pads its staging buffers. The comparison target for the
+// mixed-precision ablation.
 void gemm_fp16_tc(int m, int n, int k, const double* a, const double* b,
                   double* c, sim::KernelProfile* prof = nullptr);
 

@@ -1,9 +1,7 @@
 #include "mma/mma.hpp"
 
+#include "mma/simd.hpp"
 #include "sim/calibration.hpp"
-
-#include <bit>
-#include <cmath>
 
 namespace cubie::mma {
 
@@ -31,17 +29,9 @@ void Context::count_dmma() {
 void Context::dmma_m8n8k4(const double* a, const double* b, const double* c,
                           double* d) {
   count_dmma();
-  double out[kM * kN];
-  for (int i = 0; i < kM; ++i) {
-    for (int j = 0; j < kN; ++j) {
-      double acc = c[i * kN + j];
-      for (int k = 0; k < kK; ++k) {
-        acc = std::fma(a[i * kK + k], b[k * kN + j], acc);
-      }
-      out[i * kN + j] = acc;
-    }
-  }
-  for (int i = 0; i < kM * kN; ++i) d[i] = out[i];
+  // Vectorized across the 64 independent (i,j) accumulators, serial over k
+  // (bit-exact vs. the scalar chain; see mma/simd.hpp).
+  simd::kernels().dmma_m8n8k4(a, b, c, d);
 }
 
 void Context::dmma_m8n8k4_acc(const double* a, const double* b,
@@ -76,16 +66,7 @@ void Context::bmma_m8n8k128_and_popc_acc(const std::uint32_t* a_words,
     prof_->cc_intops += kWordopsPerBmma;
     prof_->warp_instructions += kWordopsPerBmma / kWarpSize;
   }
-  for (int i = 0; i < 8; ++i) {
-    for (int j = 0; j < 8; ++j) {
-      std::uint32_t acc = 0;
-      for (int w = 0; w < 4; ++w) {
-        acc += static_cast<std::uint32_t>(
-            std::popcount(a_words[i * 4 + w] & b_words[j * 4 + w]));
-      }
-      d[i * 8 + j] += acc;
-    }
-  }
+  simd::kernels().bmma_m8n8k128_acc(a_words, b_words, d);
 }
 
 void Context::load_global(double bytes) {

@@ -1,0 +1,180 @@
+#include "mma/simd.hpp"
+
+#include "mma/simd_impl.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace cubie::mma::simd {
+
+namespace {
+
+// ---- scalar reference kernels ----------------------------------------------
+// These are the pre-SIMD loop bodies, unchanged: the bit-identity tests and
+// the CUBIE_FORCE_SCALAR override both resolve here.
+
+void dmma_scalar(const double* a, const double* b, const double* c,
+                 double* d) {
+  double out[64];
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      double acc = c[i * 8 + j];
+      for (int k = 0; k < 4; ++k) {
+        acc = std::fma(a[i * 4 + k], b[k * 8 + j], acc);
+      }
+      out[i * 8 + j] = acc;
+    }
+  }
+  for (int i = 0; i < 64; ++i) d[i] = out[i];
+}
+
+void bmma_scalar(const std::uint32_t* a_words, const std::uint32_t* b_words,
+                 std::uint32_t* d) {
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      std::uint32_t acc = 0;
+      for (int w = 0; w < 4; ++w) {
+        acc += static_cast<std::uint32_t>(
+            std::popcount(a_words[i * 4 + w] & b_words[j * 4 + w]));
+      }
+      d[i * 8 + j] += acc;
+    }
+  }
+}
+
+void hmma_scalar(const float* a_h, const float* b_h, float* acc) {
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      float s = acc[i * 16 + j];
+      for (int k = 0; k < 16; ++k) {
+        s = std::fmaf(a_h[i * 16 + k], b_h[k * 16 + j], s);
+      }
+      acc[i * 16 + j] = s;
+    }
+  }
+}
+
+void lanes_fma32_scalar(const double* a, const double* b, double* c) {
+  for (int l = 0; l < 32; ++l) c[l] = std::fma(a[l], b[l], c[l]);
+}
+
+constexpr Kernels kScalar = {dmma_scalar, bmma_scalar, hmma_scalar,
+                             lanes_fma32_scalar};
+
+// ---- dispatch ---------------------------------------------------------------
+
+struct Active {
+  const Kernels* kernels = &kScalar;
+  Isa isa = Isa::Scalar;
+  bool env_forced_scalar = false;
+};
+
+bool env_force_scalar() {
+  const char* v = std::getenv("CUBIE_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+Active detect() {
+  Active a;
+  a.env_forced_scalar = env_force_scalar();
+  if (a.env_forced_scalar) return a;
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(CUBIE_SIMD_AVX512)
+  if (__builtin_cpu_supports("avx512f")) {
+    a.kernels = avx512_kernels();
+    a.isa = Isa::Avx512;
+    return a;
+  }
+#endif
+#if defined(CUBIE_SIMD_AVX2)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    a.kernels = avx2_kernels();
+    a.isa = Isa::Avx2;
+    return a;
+  }
+#endif
+#endif
+  return a;
+}
+
+// Resolved once on first use; force_scalar_for_testing republishes. The
+// table pointer is read on every MMA issue, so keep it a single relaxed
+// atomic load (the pointed-to tables are immutable).
+std::atomic<const Active*> g_active{nullptr};
+
+const Active& active() {
+  const Active* a = g_active.load(std::memory_order_acquire);
+  if (a == nullptr) {
+    static Active detected;  // process-lifetime storage for the real table
+    detected = detect();
+    const Active* expected = nullptr;
+    g_active.compare_exchange_strong(expected, &detected,
+                                     std::memory_order_acq_rel);
+    a = g_active.load(std::memory_order_acquire);
+  }
+  return *a;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::Avx512: return "avx512";
+    case Isa::Avx2: return "avx2";
+    case Isa::Scalar: break;
+  }
+  return "scalar";
+}
+
+const Kernels& kernels() { return *active().kernels; }
+
+Isa active_isa() { return active().isa; }
+
+bool scalar_forced_by_env() { return active().env_forced_scalar; }
+
+bool compiled_with_simd() {
+#if defined(CUBIE_SIMD_AVX2) || defined(CUBIE_SIMD_AVX512)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const Kernels& scalar_kernels() { return kScalar; }
+
+const Kernels* compiled_kernels(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar:
+      return &kScalar;
+    case Isa::Avx2:
+#if defined(CUBIE_SIMD_AVX2)
+      if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        return avx2_kernels();
+#endif
+      return nullptr;
+    case Isa::Avx512:
+#if defined(CUBIE_SIMD_AVX512)
+      if (__builtin_cpu_supports("avx512f")) return avx512_kernels();
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+void force_scalar_for_testing(bool on) {
+  static Active forced;  // distinct storage so auto-detect state is kept
+  if (on) {
+    forced = Active{};  // scalar table, Isa::Scalar
+    forced.env_forced_scalar = env_force_scalar();
+    g_active.store(&forced, std::memory_order_release);
+  } else {
+    static Active redetected;
+    redetected = detect();
+    g_active.store(&redetected, std::memory_order_release);
+  }
+}
+
+}  // namespace cubie::mma::simd

@@ -1,0 +1,94 @@
+#pragma once
+// Runtime-dispatched SIMD kernels for the MMA emulation hot path.
+//
+// Every TC/CC cell bottoms out in the fragment-lane FMA chains of
+// mma.cpp / half.cpp / warp.cpp; this module lets those entry points run on
+// AVX2 or AVX-512 hardware without changing a single output bit. The hard
+// invariant is *bit-exactness against the scalar path*: each output
+// element's k-major FMA chain keeps its serial order, so vectorization is
+// only ever applied ACROSS the independent output accumulators of a tile
+// (the 64 (i,j) cells of an m8n8k4, the 256 cells of an m16n16k16, the 32
+// lanes of a warp) and NEVER across k. Both std::fma and the x86
+// vfmadd* instructions are IEEE-754 correctly-rounded fused multiply-adds,
+// so lane l of a vector FMA computes exactly what the scalar chain computes
+// for that accumulator - including NaN/Inf propagation - and `cubie check`,
+// the Table 6 goldens, and the recorded analytic-backend goldens are
+// unaffected by which path ran. tests/test_simd.cpp pins this with
+// randomized fragments (NaN/Inf/subnormal included) against the forced
+// scalar path.
+//
+// Dispatch order (first available wins):
+//   1. CUBIE_FORCE_SCALAR=1 in the environment -> scalar, always.
+//   2. AVX-512F kernels, when compiled in and the CPU reports avx512f.
+//   3. AVX2 kernels, when compiled in and the CPU reports avx2+fma.
+//   4. Scalar fallback (always compiled, also the non-x86 path).
+// The vector translation units are compiled with per-file ISA flags
+// (-mavx2 -mfma / -mavx512f) behind the CUBIE_SIMD CMake option; the rest
+// of the library keeps the default architecture, so a binary built on a
+// new machine still runs on a baseline x86-64 host.
+
+#include <cstdint>
+
+namespace cubie::mma::simd {
+
+enum class Isa { Scalar, Avx2, Avx512 };
+
+const char* isa_name(Isa isa);
+
+// The kernel table one ISA level provides. All kernels are pure functions
+// of their operands (no profile counting - callers keep the event
+// accounting on the scalar side of the call).
+struct Kernels {
+  // FP64 m8n8k4: d = c + a*b with a 8x4, b 4x8, c/d 8x8 row-major; d may
+  // alias c. Per output element the k chain is the serial
+  // fma(a[i][3],b[3][j], ... fma(a[i][0],b[0][j], c[i][j])).
+  void (*dmma_m8n8k4)(const double* a, const double* b, const double* c,
+                      double* d);
+  // B1 m8n8k128: d[i][j] += popcount(A_row_i AND B_col_j) over 4 words per
+  // row/column. Integer math - exactness is trivial, only speed differs.
+  void (*bmma_m8n8k128_acc)(const std::uint32_t* a_words,
+                            const std::uint32_t* b_words, std::uint32_t* d);
+  // FP16-product / FP32-accumulator m16n16k16 tile over operands already
+  // rounded to half precision (the conversion is hoisted by the caller,
+  // which is value-preserving because it is a pure per-element function).
+  // acc is 16x16 row-major, updated in place.
+  void (*hmma_f32acc_tile)(const float* a_h, const float* b_h, float* acc);
+  // 32-lane fused c[l] = fma(a[l], b[l], c[l]) - one warp-wide FMA issue of
+  // the CC replacement program (warp.cpp).
+  void (*lanes_fma32)(const double* a, const double* b, double* c);
+};
+
+// The active kernel table (resolved once, then cached; thread-safe).
+const Kernels& kernels();
+
+// Which ISA level the active table belongs to.
+Isa active_isa();
+
+// True when CUBIE_FORCE_SCALAR=1 was set in the environment at first
+// dispatch (surfaced by `cubie list` so operators can see why the scalar
+// path is running).
+bool scalar_forced_by_env();
+
+// True when at least one vector translation unit was compiled in
+// (CUBIE_SIMD=ON and the compiler accepted the ISA flags).
+bool compiled_with_simd();
+
+// The always-available scalar reference table (what CUBIE_FORCE_SCALAR=1
+// selects); exported so tests and micro_mma can compare against it without
+// touching the process-wide dispatch.
+const Kernels& scalar_kernels();
+
+// The table for one specific ISA level, or nullptr when it was not compiled
+// in or this CPU cannot run it. Lets the bit-identity tests sweep every
+// runnable table (an AVX-512 host also runs the AVX2 table), not just the
+// one dispatch would pick.
+const Kernels* compiled_kernels(Isa isa);
+
+// ---- test / bench hooks ----------------------------------------------------
+// Pin the process-wide dispatch to the scalar table (true) or back to
+// auto-detection (false). Used by the bit-identity tests and the micro_mma
+// --report mode; not for production code, which should set
+// CUBIE_FORCE_SCALAR in the environment instead.
+void force_scalar_for_testing(bool on);
+
+}  // namespace cubie::mma::simd

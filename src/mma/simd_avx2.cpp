@@ -1,0 +1,99 @@
+// AVX2 + FMA kernels for the MMA emulation hot path. This translation unit
+// is compiled with -mavx2 -mfma -mpopcnt (see src/CMakeLists.txt); it is
+// only ever *called* after the dispatcher has checked
+// __builtin_cpu_supports("avx2") && ("fma"), so the binary stays runnable
+// on baseline x86-64 hosts.
+//
+// Bit-exactness: vfmadd*pd/ps are IEEE-754 correctly-rounded fused
+// multiply-adds, the same operation std::fma/std::fmaf perform. Each
+// vector lane carries one output accumulator through its full serial
+// k-major chain - vectorization is across the independent (i,j) outputs,
+// never across k - so every lane reproduces the scalar chain bit-for-bit,
+// NaN/Inf/subnormal operands included (tests/test_simd.cpp).
+
+#include "mma/simd_impl.hpp"
+
+#if defined(CUBIE_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+
+namespace cubie::mma::simd {
+
+namespace {
+
+void dmma_avx2(const double* a, const double* b, const double* c, double* d) {
+  // Two 4-wide accumulators per row of C; k stays a serial chain per lane.
+  __m256d out[16];
+  for (int i = 0; i < 8; ++i) {
+    __m256d acc0 = _mm256_loadu_pd(c + i * 8);
+    __m256d acc1 = _mm256_loadu_pd(c + i * 8 + 4);
+    for (int k = 0; k < 4; ++k) {
+      const __m256d aik = _mm256_set1_pd(a[i * 4 + k]);
+      acc0 = _mm256_fmadd_pd(aik, _mm256_loadu_pd(b + k * 8), acc0);
+      acc1 = _mm256_fmadd_pd(aik, _mm256_loadu_pd(b + k * 8 + 4), acc1);
+    }
+    out[i * 2] = acc0;
+    out[i * 2 + 1] = acc1;
+  }
+  // d may alias c: stage like the scalar kernel, store after all loads.
+  for (int i = 0; i < 16; ++i) _mm256_storeu_pd(d + i * 4, out[i]);
+}
+
+void bmma_avx2(const std::uint32_t* a_words, const std::uint32_t* b_words,
+               std::uint32_t* d) {
+  // Fold the 4-word rows/columns into 64-bit halves: two hardware POPCNTs
+  // per (i,j) instead of four software popcounts. Integer math - exact.
+  std::uint64_t b_lo[8], b_hi[8];
+  for (int j = 0; j < 8; ++j) {
+    b_lo[j] = static_cast<std::uint64_t>(b_words[j * 4]) |
+              (static_cast<std::uint64_t>(b_words[j * 4 + 1]) << 32);
+    b_hi[j] = static_cast<std::uint64_t>(b_words[j * 4 + 2]) |
+              (static_cast<std::uint64_t>(b_words[j * 4 + 3]) << 32);
+  }
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t a_lo = static_cast<std::uint64_t>(a_words[i * 4]) |
+                               (static_cast<std::uint64_t>(a_words[i * 4 + 1]) << 32);
+    const std::uint64_t a_hi = static_cast<std::uint64_t>(a_words[i * 4 + 2]) |
+                               (static_cast<std::uint64_t>(a_words[i * 4 + 3]) << 32);
+    for (int j = 0; j < 8; ++j) {
+      d[i * 8 + j] += static_cast<std::uint32_t>(
+          std::popcount(a_lo & b_lo[j]) + std::popcount(a_hi & b_hi[j]));
+    }
+  }
+}
+
+void hmma_avx2(const float* a_h, const float* b_h, float* acc) {
+  // Two 8-wide float accumulators per row; serial k chain per lane.
+  for (int i = 0; i < 16; ++i) {
+    __m256 acc0 = _mm256_loadu_ps(acc + i * 16);
+    __m256 acc1 = _mm256_loadu_ps(acc + i * 16 + 8);
+    for (int k = 0; k < 16; ++k) {
+      const __m256 aik = _mm256_set1_ps(a_h[i * 16 + k]);
+      acc0 = _mm256_fmadd_ps(aik, _mm256_loadu_ps(b_h + k * 16), acc0);
+      acc1 = _mm256_fmadd_ps(aik, _mm256_loadu_ps(b_h + k * 16 + 8), acc1);
+    }
+    _mm256_storeu_ps(acc + i * 16, acc0);
+    _mm256_storeu_ps(acc + i * 16 + 8, acc1);
+  }
+}
+
+void lanes_fma32_avx2(const double* a, const double* b, double* c) {
+  for (int l = 0; l < 32; l += 4) {
+    _mm256_storeu_pd(
+        c + l, _mm256_fmadd_pd(_mm256_loadu_pd(a + l), _mm256_loadu_pd(b + l),
+                               _mm256_loadu_pd(c + l)));
+  }
+}
+
+constexpr Kernels kAvx2 = {dmma_avx2, bmma_avx2, hmma_avx2, lanes_fma32_avx2};
+
+}  // namespace
+
+const Kernels* avx2_kernels() { return &kAvx2; }
+
+}  // namespace cubie::mma::simd
+
+#endif  // CUBIE_SIMD_AVX2

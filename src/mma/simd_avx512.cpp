@@ -1,0 +1,88 @@
+// AVX-512F kernels for the MMA emulation hot path. Compiled with
+// -mavx512f (see src/CMakeLists.txt) and selected only when
+// __builtin_cpu_supports("avx512f") holds. One 512-bit register carries a
+// full 8-double row of the m8n8k4 accumulator (or 16 floats of the
+// m16n16k16 tile), so each k step is a single correctly-rounded vector FMA
+// per row - same bit-exactness argument as the AVX2 unit: lanes map to
+// independent output accumulators, the k chain stays serial.
+
+#include "mma/simd_impl.hpp"
+
+#if defined(CUBIE_SIMD_AVX512)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+
+namespace cubie::mma::simd {
+
+namespace {
+
+void dmma_avx512(const double* a, const double* b, const double* c,
+                 double* d) {
+  __m512d out[8];
+  for (int i = 0; i < 8; ++i) {
+    __m512d acc = _mm512_loadu_pd(c + i * 8);
+    for (int k = 0; k < 4; ++k) {
+      acc = _mm512_fmadd_pd(_mm512_set1_pd(a[i * 4 + k]),
+                            _mm512_loadu_pd(b + k * 8), acc);
+    }
+    out[i] = acc;
+  }
+  // d may alias c: stage like the scalar kernel, store after all loads.
+  for (int i = 0; i < 8; ++i) _mm512_storeu_pd(d + i * 8, out[i]);
+}
+
+void bmma_avx512(const std::uint32_t* a_words, const std::uint32_t* b_words,
+                 std::uint32_t* d) {
+  // AVX512F has no vector popcount (that is AVX512-VPOPCNTDQ); the 64-bit
+  // scalar POPCNT fold is already the fast exact form.
+  std::uint64_t b_lo[8], b_hi[8];
+  for (int j = 0; j < 8; ++j) {
+    b_lo[j] = static_cast<std::uint64_t>(b_words[j * 4]) |
+              (static_cast<std::uint64_t>(b_words[j * 4 + 1]) << 32);
+    b_hi[j] = static_cast<std::uint64_t>(b_words[j * 4 + 2]) |
+              (static_cast<std::uint64_t>(b_words[j * 4 + 3]) << 32);
+  }
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t a_lo = static_cast<std::uint64_t>(a_words[i * 4]) |
+                               (static_cast<std::uint64_t>(a_words[i * 4 + 1]) << 32);
+    const std::uint64_t a_hi = static_cast<std::uint64_t>(a_words[i * 4 + 2]) |
+                               (static_cast<std::uint64_t>(a_words[i * 4 + 3]) << 32);
+    for (int j = 0; j < 8; ++j) {
+      d[i * 8 + j] += static_cast<std::uint32_t>(
+          std::popcount(a_lo & b_lo[j]) + std::popcount(a_hi & b_hi[j]));
+    }
+  }
+}
+
+void hmma_avx512(const float* a_h, const float* b_h, float* acc) {
+  for (int i = 0; i < 16; ++i) {
+    __m512 row = _mm512_loadu_ps(acc + i * 16);
+    for (int k = 0; k < 16; ++k) {
+      row = _mm512_fmadd_ps(_mm512_set1_ps(a_h[i * 16 + k]),
+                            _mm512_loadu_ps(b_h + k * 16), row);
+    }
+    _mm512_storeu_ps(acc + i * 16, row);
+  }
+}
+
+void lanes_fma32_avx512(const double* a, const double* b, double* c) {
+  for (int l = 0; l < 32; l += 8) {
+    _mm512_storeu_pd(
+        c + l, _mm512_fmadd_pd(_mm512_loadu_pd(a + l), _mm512_loadu_pd(b + l),
+                               _mm512_loadu_pd(c + l)));
+  }
+}
+
+constexpr Kernels kAvx512 = {dmma_avx512, bmma_avx512, hmma_avx512,
+                             lanes_fma32_avx512};
+
+}  // namespace
+
+const Kernels* avx512_kernels() { return &kAvx512; }
+
+}  // namespace cubie::mma::simd
+
+#endif  // CUBIE_SIMD_AVX512

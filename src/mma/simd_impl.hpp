@@ -1,0 +1,17 @@
+#pragma once
+// Internal: kernel-table providers implemented by the per-ISA translation
+// units (compiled with their own -m flags when CUBIE_SIMD is on). Only
+// simd.cpp's dispatcher includes this.
+
+#include "mma/simd.hpp"
+
+namespace cubie::mma::simd {
+
+#if defined(CUBIE_SIMD_AVX2)
+const Kernels* avx2_kernels();  // simd_avx2.cpp
+#endif
+#if defined(CUBIE_SIMD_AVX512)
+const Kernels* avx512_kernels();  // simd_avx512.cpp
+#endif
+
+}  // namespace cubie::mma::simd

@@ -1,8 +1,37 @@
 #include "mma/warp.hpp"
 
+#include "mma/simd.hpp"
+
 #include <cmath>
 
 namespace cubie::mma {
+
+namespace {
+
+// The shuffle source-lane vectors of the CC MMA program depend only on the
+// fragment layout and k, so they are compile-time constants; building them
+// per call put three 32-entry index gathers on the hot path of every tile.
+struct ShuffleProgram {
+  std::array<std::array<int, kWarpSize>, kK> a_src{}, b0_src{}, b1_src{};
+};
+
+constexpr ShuffleProgram make_shuffle_program() {
+  ShuffleProgram p;
+  for (int k = 0; k < kK; ++k) {
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      const auto l = static_cast<std::size_t>(lane);
+      const auto kk = static_cast<std::size_t>(k);
+      p.a_src[kk][l] = lane_of_a(c_row_of_lane(lane), k);
+      p.b0_src[kk][l] = lane_of_b(k, c_col_of_lane(lane, 0));
+      p.b1_src[kk][l] = lane_of_b(k, c_col_of_lane(lane, 1));
+    }
+  }
+  return p;
+}
+
+constexpr ShuffleProgram kShuffleProgram = make_shuffle_program();
+
+}  // namespace
 
 WarpRegisters load_fragments(const double* a_rowmajor_8x4,
                              const double* b_rowmajor_4x8,
@@ -46,27 +75,19 @@ WarpStats cc_mma_m8n8k4(WarpRegisters& regs, sim::KernelProfile* prof) {
   // (owned by lanes col*4+k). Every operand fetch is a warp-wide shuffle;
   // every accumulation step is one warp-wide FMA per C register.
   std::array<double, kWarpSize> a_k{}, b_k0{}, b_k1{};
-  std::array<int, kWarpSize> src{};
+  const simd::Kernels& ker = simd::kernels();
   for (int k = 0; k < kK; ++k) {
-    // a[row_of(lane)][k]:
-    for (int lane = 0; lane < kWarpSize; ++lane)
-      src[static_cast<std::size_t>(lane)] = lane_of_a(c_row_of_lane(lane), k);
-    shfl_sync(regs.a, src, a_k, stats);
-    // b[k][col0_of(lane)]:
-    for (int lane = 0; lane < kWarpSize; ++lane)
-      src[static_cast<std::size_t>(lane)] = lane_of_b(k, c_col_of_lane(lane, 0));
-    shfl_sync(regs.b, src, b_k0, stats);
-    // b[k][col1_of(lane)]:
-    for (int lane = 0; lane < kWarpSize; ++lane)
-      src[static_cast<std::size_t>(lane)] = lane_of_b(k, c_col_of_lane(lane, 1));
-    shfl_sync(regs.b, src, b_k1, stats);
-    // Two warp-wide FMAs (one per accumulator register).
+    const auto kk = static_cast<std::size_t>(k);
+    // Operand gathers through precomputed shuffle source vectors:
+    // a[row_of(lane)][k], b[k][col0_of(lane)], b[k][col1_of(lane)].
+    shfl_sync(regs.a, kShuffleProgram.a_src[kk], a_k, stats);
+    shfl_sync(regs.b, kShuffleProgram.b0_src[kk], b_k0, stats);
+    shfl_sync(regs.b, kShuffleProgram.b1_src[kk], b_k1, stats);
+    // Two warp-wide FMAs (one per accumulator register), vectorized across
+    // the 32 lanes; each lane's k chain stays serial (bit-exact, simd.hpp).
     stats.fma_instructions += 2;
-    for (int lane = 0; lane < kWarpSize; ++lane) {
-      auto l = static_cast<std::size_t>(lane);
-      regs.c0[l] = std::fma(a_k[l], b_k0[l], regs.c0[l]);
-      regs.c1[l] = std::fma(a_k[l], b_k1[l], regs.c1[l]);
-    }
+    ker.lanes_fma32(a_k.data(), b_k0.data(), regs.c0.data());
+    ker.lanes_fma32(a_k.data(), b_k1.data(), regs.c1.data());
   }
   if (prof != nullptr) {
     // 2 FLOPs per lane per warp-wide FMA issue.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -39,17 +40,40 @@ std::string label_block(const Labels& labels) {
 
 // Prometheus sample values: integers render without a decimal point (so
 // counter reconciliation in CI is exact string-wise), everything else with
-// enough digits to round-trip a double.
+// the shortest representation that round-trips a double. Locale-independent
+// by the same argument as report.cpp's format_number: snprintf("%g") honors
+// LC_NUMERIC and would emit ',' decimal separators under e.g. de_DE,
+// corrupting the exposition for every scraper; std::to_chars always writes
+// the C-locale form (tests/test_pulse.cpp pins this under setlocale).
 std::string format_value(double v) {
+  char buf[64];
   if (std::isfinite(v) && v == std::floor(v) &&
       std::fabs(v) < 9.007199254740992e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-    return buf;
+    const auto r =
+        std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::fixed, 0);
+    return std::string(buf, r.ptr);
   }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, r.ptr);
+}
+
+// Locale-independent readback of an exposition value ("+Inf"/"-Inf"/"NaN"
+// included). std::stod honors LC_NUMERIC - under de_DE it parses "0.5" as 0
+// and stops at the '.', silently corrupting histogram_quantile and the CI
+// counter reconciliation - so mirror report.cpp: std::from_chars with a
+// manual skip of the leading '+' it does not accept.
+bool parse_value(const std::string& text, double* out) {
+  if (text == "+Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text.empty()) return false;
+  std::size_t first = text[0] == '+' ? 1 : 0;
+  const auto r =
+      std::from_chars(text.data() + first, text.data() + text.size(), *out);
+  return r.ec == std::errc() && r.ptr == text.data() + text.size();
 }
 
 }  // namespace
@@ -279,9 +303,11 @@ std::string prometheus_escape(const std::string& v) {
 
 std::string prometheus_bound_label(double bound) {
   if (std::isinf(bound)) return "+Inf";
+  // Shortest round-trip form via std::to_chars: identical to the C-locale
+  // "%g" for the shared latency ladder, but immune to LC_NUMERIC.
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%g", bound);
-  return buf;
+  const auto r = std::to_chars(buf, buf + sizeof(buf), bound);
+  return std::string(buf, r.ptr);
 }
 
 std::string prometheus_text(const std::vector<MetricSnapshot>& snapshot) {
@@ -388,17 +414,9 @@ bool parse_sample_line(const std::string& line, ExpositionSample* s,
     return false;
   }
   std::string value_str = line.substr(i);
-  if (value_str == "+Inf") {
-    s->value = std::numeric_limits<double>::infinity();
-  } else {
-    try {
-      std::size_t pos = 0;
-      s->value = std::stod(value_str, &pos);
-      if (pos != value_str.size()) throw std::invalid_argument(value_str);
-    } catch (const std::exception&) {
-      if (error) *error = "bad sample value: " + line;
-      return false;
-    }
+  if (!parse_value(value_str, &s->value)) {
+    if (error) *error = "bad sample value: " + line;
+    return false;
   }
   std::sort(s->labels.begin(), s->labels.end());
   return true;
@@ -437,8 +455,8 @@ std::vector<std::pair<double, double>> Exposition::buckets(
     if (s.name != bucket_name) continue;
     for (const auto& [k, v] : s.labels) {
       if (k != "le") continue;
-      double le = v == "+Inf" ? std::numeric_limits<double>::infinity()
-                              : std::stod(v);
+      double le = 0.0;
+      if (!parse_value(v, &le)) continue;  // skip malformed bounds
       out.emplace_back(le, s.value);
     }
   }

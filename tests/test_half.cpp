@@ -136,5 +136,50 @@ TEST(GemmFp16, ErrorScalesWithFp16Epsilon) {
   EXPECT_LT(max_err, 1.0);
 }
 
+TEST(GemmFp16, RaggedDimensionsMatchZeroPaddedFullTiles) {
+  // 17x17x17: every edge is one past a tile boundary, the worst case for the
+  // zero-padded ragged-tile path (runs under ASan in CI, so any
+  // out-of-bounds staging read/write aborts the test).
+  const int n = 17, full = 32;
+  const auto a = common::random_vector(static_cast<std::size_t>(n) * n, 37);
+  const auto b = common::random_vector(static_cast<std::size_t>(n) * n, 41);
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+  mma::gemm_fp16_tc(n, n, n, a.data(), b.data(), c.data());
+  // Reference: the same operands zero-padded to full 32x32x32 tiles. Padding
+  // contributes only fmaf(0, 0, acc) no-ops, so the top-left 17x17 block
+  // must match the ragged run bit for bit.
+  std::vector<double> a_pad(static_cast<std::size_t>(full) * full, 0.0);
+  std::vector<double> b_pad(static_cast<std::size_t>(full) * full, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      a_pad[static_cast<std::size_t>(i) * full + j] = a[static_cast<std::size_t>(i) * n + j];
+      b_pad[static_cast<std::size_t>(i) * full + j] = b[static_cast<std::size_t>(i) * n + j];
+    }
+  std::vector<double> c_pad(static_cast<std::size_t>(full) * full, 0.0);
+  mma::gemm_fp16_tc(full, full, full, a_pad.data(), b_pad.data(), c_pad.data());
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ(c[static_cast<std::size_t>(i) * n + j],
+                c_pad[static_cast<std::size_t>(i) * full + j])
+          << "(" << i << ", " << j << ")";
+    }
+  // Rows/columns of the padded product beyond n are pure zero-operand work.
+  for (int i = 0; i < full; ++i)
+    for (int j = 0; j < full; ++j) {
+      if (i < n && j < n) continue;
+      EXPECT_EQ(c_pad[static_cast<std::size_t>(i) * full + j], 0.0);
+    }
+}
+
+TEST(GemmFp16, CountsProfileOnRaggedShapes) {
+  const auto a = common::random_vector(17 * 19, 43);
+  const auto b = common::random_vector(19 * 18, 47);
+  std::vector<double> c(17 * 18, 0.0);
+  sim::KernelProfile prof;
+  mma::gemm_fp16_tc(17, 18, 19, a.data(), b.data(), c.data(), &prof);
+  // ceil(17/16) * ceil(18/16) * ceil(19/16) = 2*2*2 HMMA tiles.
+  EXPECT_DOUBLE_EQ(prof.tc_flops, 8.0 * 2.0 * 16 * 16 * 16);
+}
+
 }  // namespace
 }  // namespace cubie

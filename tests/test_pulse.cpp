@@ -16,8 +16,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <memory>
 #include <string>
 #include <vector>
@@ -133,6 +135,47 @@ TEST(PulseExposition, HistogramSerializesCumulativeAndParsesBack) {
   // Integer-valued samples render without a decimal point so shell/CI
   // reconciliation can compare them as strings.
   EXPECT_NE(text.find("lat_seconds_count 4\n"), std::string::npos);
+}
+
+// The exposition must be locale-independent end to end, extending the PR 3
+// invariant report.cpp pins for JSON: under a comma-decimal LC_NUMERIC
+// (de_DE), snprintf("%g") renders "0,5" and std::stod stops at a '.', so a
+// scrape-and-readback (cubie top, histogram_quantile, the CI counter
+// reconciliation) would silently misparse every fractional value. Rendering
+// goes through std::to_chars and readback through std::from_chars, so the
+// text and the parsed values are byte/bit-identical in both locales.
+TEST(PulseExposition, RoundTripIsLocaleIndependent) {
+  telemetry::MetricsRegistry reg;
+  reg.gauge("frac_ratio", "g").set(0.5);  // "0,5" under de_DE %g
+  reg.gauge("sci_ratio", "g").set(3.0303049973792811e-05);
+  auto& h = reg.histogram("lat_seconds", "h", {0.0001, 0.25, 2.5});
+  h.observe(0.125);  // lands sum 0.125: fractional _sum readback
+  const std::string c_text = telemetry::prometheus_text(reg);
+
+  const char* saved = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string restore = saved ? saved : "C";
+  if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") == nullptr &&
+      std::setlocale(LC_NUMERIC, "de_DE") == nullptr) {
+    GTEST_SKIP() << "no de_DE locale available on this host";
+  }
+  // Both the render and the readback happen under the comma-decimal locale.
+  const std::string de_text = telemetry::prometheus_text(reg);
+  std::string err;
+  const auto exp = telemetry::parse_prometheus_text(de_text, &err);
+  std::vector<std::pair<double, double>> buckets;
+  if (exp) buckets = exp->buckets("lat_seconds");
+  std::setlocale(LC_NUMERIC, restore.c_str());
+
+  EXPECT_EQ(de_text, c_text);
+  ASSERT_TRUE(exp) << err;
+  EXPECT_EQ(exp->value_or("frac_ratio", {}, -1.0), 0.5);
+  EXPECT_EQ(exp->value_or("sci_ratio", {}, -1.0), 3.0303049973792811e-05);
+  EXPECT_EQ(exp->value_or("lat_seconds_sum", {}, -1.0), 0.125);
+  // Bucket edges ("le" labels) parse back to the exact bounds.
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].first, 0.0001);
+  EXPECT_EQ(buckets[1].first, 0.25);
+  EXPECT_EQ(buckets[2].first, 2.5);
 }
 
 TEST(PulseExposition, HistogramQuantileInterpolates) {

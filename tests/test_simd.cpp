@@ -1,0 +1,276 @@
+// Scalar-vs-SIMD bit identity of the MMA emulation hot path.
+//
+// The SIMD kernels (mma/simd.hpp) may only vectorize ACROSS the independent
+// output accumulators of a tile, never across k, so every output element's
+// serial FMA chain - and therefore every bit of `cubie check`, the Table 6
+// goldens, and the recorded analytic-backend goldens - is preserved. These
+// tests pin that contract with randomized fragments salted with the
+// adversarial values (NaN, +/-Inf, subnormals, -0, FP16-overflow
+// magnitudes) against the always-available scalar table, at both the raw
+// kernel level and the public Context / hmma / warp entry points.
+//
+// NaN payloads are canonical (quiet_NaN()): x86 FMA forms differ in which
+// operand's payload propagates when several *distinct* NaNs meet, which is
+// outside the bit-exactness contract (and unobservable through the suite's
+// payload-insensitive NaN handling).
+//
+// Ordering note: gtest_discover_tests runs every TEST in its own process,
+// so force_scalar_for_testing cannot leak between tests.
+
+#include "common/rng.hpp"
+#include "mma/half.hpp"
+#include "mma/mma.hpp"
+#include "mma/simd.hpp"
+#include "mma/warp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using namespace cubie;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+std::uint32_t bits(float v) { return std::bit_cast<std::uint32_t>(v); }
+
+// Random operands salted with adversarial values at rotating positions.
+void fill_adversarial(double* p, int n, std::uint64_t seed) {
+  static const double kSpecials[] = {
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      -4.9406564584124654e-324,
+      std::numeric_limits<double>::min(),
+      -0.0,
+      1e308,   // Inf * finite and Inf + -Inf paths
+      -1e308,
+      65504.0,  // FP16 max: overflow boundary for the half-rounded kernels
+      131072.0,
+      6.103515625e-05,  // FP16 min normal
+      5.960464477539063e-08,  // FP16 denorm_min
+  };
+  common::Lcg rng(seed);
+  for (int i = 0; i < n; ++i) p[i] = rng.next_linpack() * 2.0 - 1.0;
+  // Scatter specials with a seed-dependent stride so different trials put
+  // them in different chain positions.
+  const int stride = 3 + static_cast<int>(seed % 7);
+  int s = 0;
+  for (int i = static_cast<int>(seed % static_cast<std::uint64_t>(stride));
+       i < n; i += stride) {
+    p[i] = kSpecials[s++ % (sizeof(kSpecials) / sizeof(kSpecials[0]))];
+  }
+}
+
+TEST(Simd, DispatchReportsAConsistentState) {
+  const auto isa = mma::simd::active_isa();
+  EXPECT_NE(mma::simd::isa_name(isa), nullptr);
+  if (!mma::simd::compiled_with_simd()) {
+    EXPECT_EQ(isa, mma::simd::Isa::Scalar);
+  }
+  // The scalar table is always available and is its own fixed point.
+  EXPECT_NE(mma::simd::scalar_kernels().dmma_m8n8k4, nullptr);
+}
+
+TEST(Simd, ForceScalarHookSelectsTheScalarTable) {
+  mma::simd::force_scalar_for_testing(true);
+  EXPECT_EQ(mma::simd::active_isa(), mma::simd::Isa::Scalar);
+  EXPECT_EQ(mma::simd::kernels().dmma_m8n8k4,
+            mma::simd::scalar_kernels().dmma_m8n8k4);
+  mma::simd::force_scalar_for_testing(false);
+#if defined(__x86_64__)
+  if (mma::simd::compiled_with_simd() && !mma::simd::scalar_forced_by_env() &&
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    // On AVX2 hardware the auto-detected path must actually be vectorized,
+    // otherwise the whole suite silently runs scalar (the CI dispatch
+    // assertion runs this test on both the SIMD and the no-AVX legs).
+    EXPECT_NE(mma::simd::active_isa(), mma::simd::Isa::Scalar);
+  }
+#endif
+}
+
+// Every vector table this host can execute, not just the one dispatch
+// picks: an AVX-512 host also runs (and therefore pins) the AVX2 table.
+std::vector<std::pair<mma::simd::Isa, const mma::simd::Kernels*>>
+runnable_vector_tables() {
+  std::vector<std::pair<mma::simd::Isa, const mma::simd::Kernels*>> out;
+  for (auto isa : {mma::simd::Isa::Avx2, mma::simd::Isa::Avx512}) {
+    if (const auto* t = mma::simd::compiled_kernels(isa)) out.push_back({isa, t});
+  }
+  return out;
+}
+
+TEST(Simd, DmmaKernelBitIdenticalToScalar) {
+  for (const auto& [isa, table] : runnable_vector_tables()) {
+    for (std::uint64_t trial = 0; trial < 200; ++trial) {
+      double a[32], b[32], c[64], d_simd[64], d_scalar[64];
+      fill_adversarial(a, 32, trial * 4 + 1);
+      fill_adversarial(b, 32, trial * 4 + 2);
+      fill_adversarial(c, 64, trial * 4 + 3);
+      table->dmma_m8n8k4(a, b, c, d_simd);
+      mma::simd::scalar_kernels().dmma_m8n8k4(a, b, c, d_scalar);
+      for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(bits(d_simd[i]), bits(d_scalar[i]))
+            << mma::simd::isa_name(isa) << " trial " << trial << " element " << i;
+      }
+      // Aliased accumulate (d == c), the GEMM inner-loop form.
+      double c_simd[64], c_scalar[64];
+      for (int i = 0; i < 64; ++i) c_simd[i] = c_scalar[i] = c[i];
+      table->dmma_m8n8k4(a, b, c_simd, c_simd);
+      mma::simd::scalar_kernels().dmma_m8n8k4(a, b, c_scalar, c_scalar);
+      for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(bits(c_simd[i]), bits(c_scalar[i]))
+            << mma::simd::isa_name(isa) << " aliased trial " << trial
+            << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(Simd, BmmaKernelBitIdenticalToScalar) {
+  for (const auto& [isa, table] : runnable_vector_tables()) {
+    common::Lcg rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::uint32_t a[32], b[32], d_simd[64], d_scalar[64];
+      for (auto& v : a) v = rng.next_raw();
+      for (auto& v : b) v = rng.next_raw();
+      // Nonzero starting accumulators: the kernel is +=.
+      for (int i = 0; i < 64; ++i)
+        d_simd[i] = d_scalar[i] = rng.next_raw() & 0xFFFFu;
+      table->bmma_m8n8k128_acc(a, b, d_simd);
+      mma::simd::scalar_kernels().bmma_m8n8k128_acc(a, b, d_scalar);
+      for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(d_simd[i], d_scalar[i])
+            << mma::simd::isa_name(isa) << " trial " << trial << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(Simd, HmmaKernelBitIdenticalToScalar) {
+  for (const auto& [isa, table] : runnable_vector_tables()) {
+    for (std::uint64_t trial = 0; trial < 100; ++trial) {
+      double raw_a[256], raw_b[256], raw_c[256];
+      fill_adversarial(raw_a, 256, trial * 4 + 1);
+      fill_adversarial(raw_b, 256, trial * 4 + 2);
+      fill_adversarial(raw_c, 256, trial * 4 + 3);
+      // The kernel contract takes half-rounded float operands (half.cpp
+      // hoists the conversion); round here the same way, specials included -
+      // FP16 overflow turns the big magnitudes into Inf operands.
+      float a_h[256], b_h[256], acc_simd[256], acc_scalar[256];
+      for (int i = 0; i < 256; ++i) {
+        a_h[i] = static_cast<float>(mma::round_to_half(raw_a[i]));
+        b_h[i] = static_cast<float>(mma::round_to_half(raw_b[i]));
+        acc_simd[i] = acc_scalar[i] = static_cast<float>(raw_c[i]);
+      }
+      table->hmma_f32acc_tile(a_h, b_h, acc_simd);
+      mma::simd::scalar_kernels().hmma_f32acc_tile(a_h, b_h, acc_scalar);
+      for (int i = 0; i < 256; ++i) {
+        ASSERT_EQ(bits(acc_simd[i]), bits(acc_scalar[i]))
+            << mma::simd::isa_name(isa) << " trial " << trial << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(Simd, LanesFmaKernelBitIdenticalToScalar) {
+  for (const auto& [isa, table] : runnable_vector_tables()) {
+    for (std::uint64_t trial = 0; trial < 200; ++trial) {
+      double a[32], b[32], c_simd[32], c_scalar[32];
+      fill_adversarial(a, 32, trial * 4 + 1);
+      fill_adversarial(b, 32, trial * 4 + 2);
+      fill_adversarial(c_simd, 32, trial * 4 + 3);
+      for (int i = 0; i < 32; ++i) c_scalar[i] = c_simd[i];
+      table->lanes_fma32(a, b, c_simd);
+      mma::simd::scalar_kernels().lanes_fma32(a, b, c_scalar);
+      for (int i = 0; i < 32; ++i) {
+        ASSERT_EQ(bits(c_simd[i]), bits(c_scalar[i]))
+            << mma::simd::isa_name(isa) << " trial " << trial << " lane " << i;
+      }
+    }
+  }
+}
+
+// Public entry points under the process-wide force-scalar hook: the same
+// operands must produce byte-identical outputs AND identical profile event
+// counts whichever table dispatch resolves.
+TEST(Simd, ContextDmmaMatchesForcedScalar) {
+  double a[32], b[32], c[64];
+  fill_adversarial(a, 32, 7);
+  fill_adversarial(b, 32, 8);
+  fill_adversarial(c, 64, 9);
+  double d_auto[64], d_forced[64];
+  sim::KernelProfile prof_auto, prof_forced;
+  {
+    mma::Context ctx(mma::Pipe::TensorCore, prof_auto);
+    ctx.dmma_m8n8k4(a, b, c, d_auto);
+  }
+  mma::simd::force_scalar_for_testing(true);
+  {
+    mma::Context ctx(mma::Pipe::TensorCore, prof_forced);
+    ctx.dmma_m8n8k4(a, b, c, d_forced);
+  }
+  mma::simd::force_scalar_for_testing(false);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(bits(d_auto[i]), bits(d_forced[i]));
+  EXPECT_EQ(prof_auto.tc_flops, prof_forced.tc_flops);
+  EXPECT_EQ(prof_auto.warp_instructions, prof_forced.warp_instructions);
+}
+
+TEST(Simd, HmmaEntryPointMatchesForcedScalar) {
+  double a[256], b[256], c[256], d_auto[256], d_forced[256];
+  fill_adversarial(a, 256, 11);
+  fill_adversarial(b, 256, 12);
+  fill_adversarial(c, 256, 13);
+  mma::hmma_m16n16k16_f32acc(a, b, c, d_auto);
+  mma::simd::force_scalar_for_testing(true);
+  mma::hmma_m16n16k16_f32acc(a, b, c, d_forced);
+  mma::simd::force_scalar_for_testing(false);
+  for (int i = 0; i < 256; ++i) ASSERT_EQ(bits(d_auto[i]), bits(d_forced[i]));
+}
+
+TEST(Simd, WarpCcMmaMatchesForcedScalar) {
+  double a[32], b[32], c[64];
+  fill_adversarial(a, 32, 17);
+  fill_adversarial(b, 32, 18);
+  fill_adversarial(c, 64, 19);
+  auto regs_auto = mma::load_fragments(a, b, c);
+  const auto stats_auto = mma::cc_mma_m8n8k4(regs_auto);
+  mma::simd::force_scalar_for_testing(true);
+  auto regs_forced = mma::load_fragments(a, b, c);
+  const auto stats_forced = mma::cc_mma_m8n8k4(regs_forced);
+  mma::simd::force_scalar_for_testing(false);
+  EXPECT_EQ(stats_auto.fma_instructions, stats_forced.fma_instructions);
+  EXPECT_EQ(stats_auto.shuffle_instructions, stats_forced.shuffle_instructions);
+  double d_auto[64], d_forced[64];
+  mma::store_fragments(regs_auto, d_auto);
+  mma::store_fragments(regs_forced, d_forced);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(bits(d_auto[i]), bits(d_forced[i]));
+}
+
+TEST(Simd, Fp16GemmMatchesForcedScalar) {
+  // Non-multiple-of-16 dimensions also cover the zero-padded edge tiles.
+  const int m = 17, n = 23, k = 19;
+  std::vector<double> a(static_cast<std::size_t>(m) * k);
+  std::vector<double> b(static_cast<std::size_t>(k) * n);
+  fill_adversarial(a.data(), m * k, 21);
+  fill_adversarial(b.data(), k * n, 22);
+  std::vector<double> c_auto(static_cast<std::size_t>(m) * n, 0.0);
+  std::vector<double> c_forced(static_cast<std::size_t>(m) * n, 0.0);
+  mma::gemm_fp16_tc(m, n, k, a.data(), b.data(), c_auto.data());
+  mma::simd::force_scalar_for_testing(true);
+  mma::gemm_fp16_tc(m, n, k, a.data(), b.data(), c_forced.data());
+  mma::simd::force_scalar_for_testing(false);
+  for (int i = 0; i < m * n; ++i) {
+    ASSERT_EQ(bits(c_auto[static_cast<std::size_t>(i)]),
+              bits(c_forced[static_cast<std::size_t>(i)]))
+        << "element " << i;
+  }
+}
+
+}  // namespace

@@ -77,6 +77,7 @@
 #include "common/table.hpp"
 #include "core/kernels.hpp"
 #include "engine/engine.hpp"
+#include "mma/simd.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "sim/model.hpp"
@@ -250,6 +251,15 @@ int cmd_list(engine::ExperimentEngine& eng) {
   for (const auto& name : sim::model_backend_names())
     m.add_row({name, sim::model_backend_description(name)});
   m.print(std::cout);
+
+  // Which MMA-emulation kernel table dispatch resolved on this host, and
+  // why (results are bit-identical either way; only throughput differs).
+  std::cout << "\nsimd: " << mma::simd::isa_name(mma::simd::active_isa());
+  if (mma::simd::scalar_forced_by_env())
+    std::cout << " (CUBIE_FORCE_SCALAR=1)";
+  else if (!mma::simd::compiled_with_simd())
+    std::cout << " (vector kernels not compiled in)";
+  std::cout << '\n';
   return 0;
 }
 

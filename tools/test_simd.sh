@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# SIMD dispatch parity test, run from ctest:
+#   test_simd.sh <cubie-binary> <bench_diff-binary>
+#
+# The SIMD MMA kernels promise bit-exactness against the scalar path, so a
+# full `cubie check` conformance sweep must produce identical verdicts and
+# identical numeric error records whichever table dispatch resolves. Also
+# checks that `cubie list` surfaces the dispatch decision (the knob
+# operators use to diagnose an unexpectedly scalar run).
+set -eu
+
+CUBIE="$1"
+DIFF="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Dispatch visibility: the list footer names the active ISA, and forcing
+# scalar through the environment is reported with its reason.
+"$CUBIE" list | grep -q "^simd: "
+CUBIE_FORCE_SCALAR=1 "$CUBIE" list \
+  | grep -q "^simd: scalar (CUBIE_FORCE_SCALAR=1)"
+
+# Representative conformance sweep under both dispatch modes. Both must
+# PASS (exit 0) on their own.
+CUBIE_FORCE_SCALAR=0 "$CUBIE" check --scale 16 --jobs 2 \
+  --json "$WORK/auto.json" > /dev/null
+CUBIE_FORCE_SCALAR=1 "$CUBIE" check --scale 16 --jobs 2 \
+  --json "$WORK/scalar.json" > /dev/null
+
+# The per-(workload, variant) error records (max_abs_err, max_ulp,
+# violations, pass, ...) must agree exactly. Any strict change registers as
+# "worse" in one of the two comparison directions, so bench_diff --tol 0
+# both ways pins equality while staying agnostic to the report's
+# engine-wall metadata.
+"$DIFF" "$WORK/auto.json" "$WORK/scalar.json" --tol 0
+"$DIFF" "$WORK/scalar.json" "$WORK/auto.json" --tol 0
+
+echo "simd dispatch parity OK"
