@@ -19,6 +19,7 @@
 #include "sim/model.hpp"
 #include "sim/model_registry.hpp"
 #include "telemetry/sinks.hpp"
+#include "telemetry/trace_context.hpp"
 
 #include <cstdlib>
 #include <iostream>
@@ -52,6 +53,9 @@ namespace cubie::benchutil {
 //                   unavailable fallback)
 //   --progress      live cells-done/hit-rate/ETA line on stderr (suppressed
 //                   when stderr is not a TTY; --progress=force overrides)
+//   --trace <id>    run the whole bench under a Cubie-Flight trace id
+//                   (1-32 lowercase hex chars) so its --events stream
+//                   correlates with an external driver's trace
 //   --help          print usage
 // (see docs/OBSERVABILITY.md for the event schema and timeline walkthrough)
 // and the Bench object collects records / captured tables as the binary
@@ -73,6 +77,11 @@ struct Bench {
   // Cubie-Scope sinks installed by --events/--trace-out/--progress; they
   // deregister from the process bus (flushing) when the Bench dies.
   telemetry::SinkSet sinks;
+  // --trace: the root Cubie-Flight scope the whole bench runs under (the
+  // engine pool propagates it to its workers). Held by pointer because a
+  // Bench is returned by value from bench_init and TraceScope pins the
+  // thread it was created on.
+  std::unique_ptr<telemetry::TraceScope> trace_scope;
 
   // Engine-owned suite, built once per process.
   const std::vector<core::WorkloadPtr>& suite() { return engine.suite(); }
@@ -187,12 +196,25 @@ inline Bench bench_init(int argc, char** argv, const std::string& tool,
     } else if (arg == "--progress=force") {
       scope.progress = true;
       scope.progress_force = true;
+    } else if (arg == "--trace") {
+      const std::string id = next();
+      if (!telemetry::valid_trace_id(id)) {
+        std::cerr << tool
+                  << ": --trace must be 1-32 lowercase hex chars, got '"
+                  << id << "'\n";
+        std::exit(2);
+      }
+      telemetry::TraceContext ctx;
+      ctx.trace_id = id;
+      ctx.span_id = telemetry::generate_span_id();
+      b.trace_scope = std::make_unique<telemetry::TraceScope>(ctx);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << tool << ": " << title << "\n"
                 << "usage: " << tool << " [--json <path>] [--scale <N>]"
                 << " [--jobs <N>] [--cache <dir>] [--model <name>]"
                 << " [--check] [--events <path>] [--trace-out <path>]"
-                << " [--metrics-out <path>] [--progress[=force]]\n";
+                << " [--metrics-out <path>] [--progress[=force]]"
+                << " [--trace <id>]\n";
       std::exit(0);
     } else {
       std::cerr << tool << ": unknown argument '" << arg << "'\n";

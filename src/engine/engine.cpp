@@ -4,6 +4,7 @@
 #include "sim/model.hpp"
 #include "sim/model_registry.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -444,10 +445,16 @@ std::size_t ExperimentEngine::execute(const std::vector<Cell>& cells) {
   std::atomic<std::size_t> next{0};
   std::mutex err_mu;
   std::exception_ptr first_error;
+  // Cubie-Flight: the pool workers are fresh threads with no thread-local
+  // trace context, so capture the submitting thread's (the serve worker
+  // handling the request, or a traced bench) and re-install it in each —
+  // every cell and span event then carries the requester's trace id.
+  const telemetry::TraceContext trace_ctx = telemetry::current_trace_context();
   // An exception escaping a thread's start function would std::terminate
   // the process. Capture the first failure, drain the queue so the other
   // workers finish their in-flight cell and exit, join, then rethrow.
   auto worker = [&]() {
+    telemetry::TraceScope trace_scope(trace_ctx);
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= cells.size()) return;

@@ -1,5 +1,7 @@
 #include "serve/client.hpp"
 
+#include "telemetry/trace_context.hpp"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -189,6 +191,7 @@ bool run_loadgen(const LoadgenOptions& opts, LoadgenResult& out,
     std::size_t completed = 0;
     std::size_t rejected = 0;
     std::size_t transport_errors = 0;
+    std::size_t trace_mismatches = 0;
     std::vector<std::pair<std::string, std::size_t>> by_code;
     std::vector<double> latencies_ms;
   };
@@ -204,6 +207,10 @@ bool run_loadgen(const LoadgenOptions& opts, LoadgenResult& out,
       Request req = opts.mix[static_cast<std::size_t>(i) % opts.mix.size()];
       req.id = "lg-" + std::to_string(i);
       if (opts.deadline_ms > 0) req.deadline_ms = opts.deadline_ms;
+      // Cubie-Flight: a fresh trace id per request, so every telemetry
+      // event the daemon emits for it correlates back to exactly one
+      // loadgen request (tested end-to-end by the CI flight job).
+      if (opts.trace) req.trace = telemetry::generate_trace_id();
       const auto t0 = Clock::now();
       auto resp = client.call(req, nullptr);
       const double ms =
@@ -212,6 +219,12 @@ bool run_loadgen(const LoadgenOptions& opts, LoadgenResult& out,
       if (!resp) {
         ++tally.transport_errors;
         return;  // this connection is dead; let the others finish
+      }
+      if (opts.trace) {
+        const report::Json* echo = resp->find("trace");
+        if (echo == nullptr || !echo->is_string() ||
+            echo->as_string() != req.trace)
+          ++tally.trace_mismatches;
       }
       const report::Json* ok = resp->find("ok");
       if (ok != nullptr && ok->is_bool() && ok->as_bool()) {
@@ -245,6 +258,7 @@ bool run_loadgen(const LoadgenOptions& opts, LoadgenResult& out,
     out.completed += tally.completed;
     out.rejected += tally.rejected;
     out.transport_errors += tally.transport_errors;
+    out.trace_mismatches += tally.trace_mismatches;
     out.latencies_ms.insert(out.latencies_ms.end(),
                             tally.latencies_ms.begin(),
                             tally.latencies_ms.end());
@@ -273,6 +287,7 @@ report::MetricsReport loadgen_report(const LoadgenResult& r) {
   rec.set("p99_ms", r.percentile_ms(99));
   rec.set("completed", static_cast<double>(r.completed));
   rec.set("rejected", static_cast<double>(r.rejected));
+  rec.set("trace_mismatches", static_cast<double>(r.trace_mismatches));
   // The client-side latency distribution, in the daemon's fixed buckets
   // and cumulative (Prometheus-style) counts, as a captured table — so it
   // rides the MetricsReport byte-stability contract without adding

@@ -60,12 +60,19 @@ struct LoadgenOptions {
   // ids are overwritten with "lg-<index>".
   std::vector<Request> mix;
   double deadline_ms = 0;  // applied to every request when > 0
+  // Cubie-Flight: stamp every request with a fresh client-generated trace
+  // id and verify the response echoes it (mismatches are counted below).
+  bool trace = true;
 };
 
 struct LoadgenResult {
   std::size_t completed = 0;  // ok=true responses
   std::size_t rejected = 0;   // ok=false responses, by typed code below
   std::size_t transport_errors = 0;
+  // Responses whose "trace" echo was missing or differed from the id the
+  // client sent (only counted when LoadgenOptions::trace is on). Any
+  // nonzero value means request/telemetry correlation is broken.
+  std::size_t trace_mismatches = 0;
   // (error code name, count), insertion-ordered.
   std::vector<std::pair<std::string, std::size_t>> by_code;
   std::vector<double> latencies_ms;  // per completed request, sorted

@@ -15,6 +15,7 @@ const char* cmd_name(Cmd c) {
     case Cmd::Metrics: return "metrics";
     case Cmd::Ping: return "ping";
     case Cmd::Sleep: return "sleep";
+    case Cmd::Flight: return "flight";
     case Cmd::Shutdown: return "shutdown";
   }
   return "unknown";
@@ -28,6 +29,7 @@ std::optional<Cmd> parse_cmd(const std::string& s) {
   if (s == "metrics") return Cmd::Metrics;
   if (s == "ping") return Cmd::Ping;
   if (s == "sleep") return Cmd::Sleep;
+  if (s == "flight") return Cmd::Flight;
   if (s == "shutdown") return Cmd::Shutdown;
   return std::nullopt;
 }
@@ -104,6 +106,7 @@ std::optional<Request> parse_request(const std::string& line,
     r.sleep_ms = m->as_number();
   if (const Json* d = j->find("deadline_ms"); d != nullptr && d->is_number())
     r.deadline_ms = d->as_number();
+  if (const auto* t = get_string(*j, "trace")) r.trace = *t;
   if ((r.cmd == Cmd::Run || r.cmd == Cmd::Check) && r.spec.workload.empty()) {
     if (error) *error = "cmd '" + std::string(cmd_name(r.cmd)) +
                         "' needs a 'workload'";
@@ -131,23 +134,28 @@ Json request_to_json(const Request& r) {
   }
   if (r.cmd == Cmd::Sleep) j["ms"] = Json::number(r.sleep_ms);
   if (r.deadline_ms > 0) j["deadline_ms"] = Json::number(r.deadline_ms);
+  // Like "model": the trace field rides only when present, keeping the
+  // pre-Cubie-Flight wire bytes for clients that do not trace.
+  if (!r.trace.empty()) j["trace"] = Json::string(r.trace);
   return j;
 }
 
 namespace {
 
-Json envelope(const std::string& id, bool ok) {
+Json envelope(const std::string& id, bool ok, const std::string& trace) {
   Json j = Json::object();
   j["id"] = Json::string(id);
   j["ok"] = Json::boolean(ok);
   j["protocol_version"] = Json::number(kProtocolVersion);
+  if (!trace.empty()) j["trace"] = Json::string(trace);
   return j;
 }
 
 }  // namespace
 
-std::string ok_line(const std::string& id, Json body) {
-  Json j = envelope(id, true);
+std::string ok_line(const std::string& id, Json body,
+                    const std::string& trace) {
+  Json j = envelope(id, true, trace);
   for (auto& [k, v] : body.members()) j[k] = v;
   return j.dump(-1);
 }
@@ -155,8 +163,9 @@ std::string ok_line(const std::string& id, Json body) {
 std::string report_line(const std::string& id,
                         const report::MetricsReport& rep,
                         const report::EngineStats& engine,
-                        std::optional<bool> check_pass) {
-  Json j = envelope(id, true);
+                        std::optional<bool> check_pass,
+                        const std::string& trace) {
+  Json j = envelope(id, true, trace);
   j["report"] = rep.to_json();
   j["engine"] = report::to_json(engine);
   if (check_pass) j["check_pass"] = Json::boolean(*check_pass);
@@ -164,8 +173,9 @@ std::string report_line(const std::string& id,
 }
 
 std::string error_line(const std::string& id, ErrorCode code,
-                       const std::string& message) {
-  Json j = envelope(id, false);
+                       const std::string& message,
+                       const std::string& trace) {
+  Json j = envelope(id, false, trace);
   Json err = Json::object();
   err["code"] = Json::string(error_code_name(code));
   err["message"] = Json::string(message);

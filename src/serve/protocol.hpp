@@ -23,8 +23,17 @@
 //         "ping"     liveness probe;
 //         "sleep"    {"ms": N} hold a worker for N ms — a diagnostic load
 //                    for exercising queueing, deadlines, and drain;
+//         "flight"   dump the daemon's Cubie-Flight recorder ring (the
+//                    last N events) — answered inline, so the recent
+//                    history is retrievable even while workers are wedged;
 //         "shutdown" begin graceful drain: queued work completes, new
 //                    requests are rejected, the process exits.
+//
+// An optional "trace" field (a Cubie-Flight 32-hex-char trace id, see
+// telemetry/trace_context.hpp) correlates the request with every telemetry
+// event it causes; the response echoes it back. Requests without one are
+// served exactly as before — the field is omitted from responses too, so
+// served-vs-direct byte-identity for legacy clients is untouched.
 //
 // Response:
 //   {"id": "r1", "ok": true, "report": {...schema-v1 MetricsReport...}}
@@ -55,7 +64,7 @@ inline constexpr int kProtocolVersion = 1;
 // (bad_request + close) rather than buffering unboundedly.
 inline constexpr std::size_t kMaxRequestBytes = 1 << 20;
 
-enum class Cmd { Run, Suite, Check, Stats, Metrics, Ping, Sleep, Shutdown };
+enum class Cmd { Run, Suite, Check, Stats, Metrics, Ping, Sleep, Flight, Shutdown };
 const char* cmd_name(Cmd c);
 std::optional<Cmd> parse_cmd(const std::string& s);
 
@@ -74,6 +83,7 @@ struct Request {
   RunSpec spec;            // run / suite / check
   double sleep_ms = 0.0;   // sleep
   double deadline_ms = 0;  // <= 0: no deadline
+  std::string trace;       // Cubie-Flight trace id; "" = none supplied
 };
 
 // Deterministic display key for telemetry ("run GEMM/all/rep/H200/s16").
@@ -89,12 +99,18 @@ std::optional<Request> parse_request(const std::string& line,
 report::Json request_to_json(const Request& r);
 
 // Response envelopes. Each returns a complete single-line document.
-std::string ok_line(const std::string& id, report::Json body);
+// `trace` is echoed as the envelope's "trace" member when non-empty —
+// servers pass the client-supplied id through, and omit it (preserving
+// the pre-trace wire bytes) when the client sent none.
+std::string ok_line(const std::string& id, report::Json body,
+                    const std::string& trace = "");
 std::string report_line(const std::string& id,
                         const report::MetricsReport& rep,
                         const report::EngineStats& engine,
-                        std::optional<bool> check_pass);
+                        std::optional<bool> check_pass,
+                        const std::string& trace = "");
 std::string error_line(const std::string& id, ErrorCode code,
-                       const std::string& message);
+                       const std::string& message,
+                       const std::string& trace = "");
 
 }  // namespace cubie::serve

@@ -1,9 +1,12 @@
 #include "serve/server.hpp"
 
 #include "sim/model_registry.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/sinks.hpp"
+#include "telemetry/slowlog.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -75,6 +78,11 @@ struct Job {
   std::string key;  // request_key(req), reused for every lifecycle event
   Clock::time_point deadline{};
   bool has_deadline = false;
+  // Cubie-Flight: the context the request runs under — the client's trace
+  // id when it supplied one (then also echoed in the response), or a
+  // daemon-minted id so legacy requests still correlate in the event
+  // stream, the flight ring, and the slowlog.
+  telemetry::TraceContext trace;
 };
 
 void emit_request_event(telemetry::EventKind kind, const Job& job,
@@ -86,6 +94,9 @@ void emit_request_event(telemetry::EventKind kind, const Job& job,
   e.kind = kind;
   e.name = job.key;
   e.detail = job.req.id;
+  e.request_id = job.req.id;
+  e.trace_id = job.trace.trace_id;
+  e.span_id = job.trace.span_id;
   e.count = count;
   e.wall_s = wall_s;
   if (code != nullptr) e.source = code;
@@ -135,6 +146,12 @@ struct Server::Impl {
   // when the SinkSet (and with it the Impl) is destroyed.
   std::shared_ptr<telemetry::MetricsRegistry> registry;
   telemetry::SinkSet pulse_sinks;
+  // Cubie-Flight: the always-on ring of the last N events (null when
+  // flight_capacity == 0) and the slow-request tail capture (null unless
+  // slowlog_path was set). Both installed alongside the MetricsSink.
+  std::shared_ptr<telemetry::FlightRecorderSink> flight;
+  std::shared_ptr<telemetry::SlowlogSink> slowlog;
+  std::mutex flight_dump_mu;  // serializes auto-dumps to flight_dump_path
   Clock::time_point start_time{};
 
   int listen_fd = -1;
@@ -157,8 +174,13 @@ struct Server::Impl {
 
   // --- admission (reader threads) ------------------------------------
   void reject(const Job& job, ErrorCode code, const std::string& msg) {
+    std::size_t depth = 0;
     {
       std::lock_guard<std::mutex> lk(mu);
+      // Record the queue depth observed at the moment of rejection so
+      // overload diagnosis works from the event stream alone (an
+      // "overloaded" rejection shows the full queue that caused it).
+      depth = queue.size();
       switch (code) {
         case ErrorCode::Overloaded: ++server_stats.rejected_overloaded; break;
         case ErrorCode::DeadlineExceeded:
@@ -168,9 +190,9 @@ struct Server::Impl {
         default: ++server_stats.bad_requests; break;
       }
     }
-    emit_request_event(telemetry::EventKind::RequestRejected, job, 0, -1.0,
+    emit_request_event(telemetry::EventKind::RequestRejected, job, depth, -1.0,
                        error_code_name(code), 0);
-    job.conn->send_line(error_line(job.req.id, code, msg));
+    job.conn->send_line(error_line(job.req.id, code, msg, job.req.trace));
   }
 
   void admit(Job job) {
@@ -205,6 +227,15 @@ struct Server::Impl {
     }
   }
 
+  // Cubie-Flight auto-dump: an EngineError unwind writes the ring to
+  // flight_dump_path so the events leading up to the failure survive even
+  // if no client ever asks for them. Last dump wins (each overwrites).
+  void auto_dump_flight() {
+    if (!flight || opts.flight_dump_path.empty()) return;
+    std::lock_guard<std::mutex> lk(flight_dump_mu);
+    flight->dump_file(opts.flight_dump_path);
+  }
+
   // --- request execution (worker threads) ----------------------------
   void handle(const Job& job) {
     const Request& r = job.req;
@@ -218,37 +249,51 @@ struct Server::Impl {
         std::optional<report::MetricsReport> rep;
         try {
           rep = run_report(eng, spec, &err, spec.check ? &conf : nullptr);
+        } catch (const engine::EngineError& ex) {
+          // The flight ring holds the events leading up to the failure —
+          // dump it before answering so the history survives the unwind.
+          auto_dump_flight();
+          job.conn->send_line(
+              error_line(r.id, ErrorCode::Internal, ex.what(), r.trace));
+          return;
         } catch (const std::exception& ex) {
           job.conn->send_line(
-              error_line(r.id, ErrorCode::Internal, ex.what()));
+              error_line(r.id, ErrorCode::Internal, ex.what(), r.trace));
           return;
         }
         if (!rep) {
-          job.conn->send_line(error_line(r.id, ErrorCode::BadRequest, err));
+          job.conn->send_line(
+              error_line(r.id, ErrorCode::BadRequest, err, r.trace));
           return;
         }
         std::optional<bool> check_pass;
         if (spec.check) check_pass = conf.pass();
-        job.conn->send_line(report_line(r.id, *rep, eng.stats(), check_pass));
+        job.conn->send_line(
+            report_line(r.id, *rep, eng.stats(), check_pass, r.trace));
         return;
       }
       case Cmd::Suite: {
         if (sim::model_backend_description(r.spec.model).empty()) {
           job.conn->send_line(error_line(
               r.id, ErrorCode::BadRequest,
-              "unknown model backend '" + r.spec.model + "'"));
+              "unknown model backend '" + r.spec.model + "'", r.trace));
           return;
         }
         std::optional<report::MetricsReport> rep;
         try {
           rep = suite_report(eng, r.spec.scale, r.spec.model);
+        } catch (const engine::EngineError& ex) {
+          auto_dump_flight();
+          job.conn->send_line(
+              error_line(r.id, ErrorCode::Internal, ex.what(), r.trace));
+          return;
         } catch (const std::exception& ex) {
           job.conn->send_line(
-              error_line(r.id, ErrorCode::Internal, ex.what()));
+              error_line(r.id, ErrorCode::Internal, ex.what(), r.trace));
           return;
         }
         job.conn->send_line(
-            report_line(r.id, *rep, eng.stats(), std::nullopt));
+            report_line(r.id, *rep, eng.stats(), std::nullopt, r.trace));
         return;
       }
       case Cmd::Sleep: {
@@ -256,12 +301,12 @@ struct Server::Impl {
             std::chrono::duration<double, std::milli>(r.sleep_ms));
         report::Json body = report::Json::object();
         body["slept_ms"] = report::Json::number(r.sleep_ms);
-        job.conn->send_line(ok_line(r.id, std::move(body)));
+        job.conn->send_line(ok_line(r.id, std::move(body), r.trace));
         return;
       }
       default: {  // control cmds never reach the queue
         job.conn->send_line(error_line(r.id, ErrorCode::Internal,
-                                       "control command in worker"));
+                                       "control command in worker", r.trace));
         return;
       }
     }
@@ -286,6 +331,10 @@ struct Server::Impl {
         std::lock_guard<std::mutex> lk(mu);
         ++server_stats.started;
       }
+      // Cubie-Flight: run the whole request under its trace context, so
+      // every event the engine emits on this thread — and, via the pool's
+      // context propagation, on the engine's workers — carries the id.
+      telemetry::TraceScope trace_scope(job.trace);
       emit_request_event(telemetry::EventKind::RequestStarted, job);
       const auto t0 = Clock::now();
       handle(job);
@@ -307,13 +356,14 @@ struct Server::Impl {
       std::lock_guard<std::mutex> lk(mu);
       ++server_stats.started;
     }
+    telemetry::TraceScope trace_scope(job.trace);
     emit_request_event(telemetry::EventKind::RequestStarted, job);
     const auto t0 = Clock::now();
     switch (job.req.cmd) {
       case Cmd::Ping: {
         report::Json body = report::Json::object();
         body["pong"] = report::Json::boolean(true);
-        conn->send_line(ok_line(job.req.id, std::move(body)));
+        conn->send_line(ok_line(job.req.id, std::move(body), job.req.trace));
         break;
       }
       case Cmd::Stats: {
@@ -325,7 +375,7 @@ struct Server::Impl {
           s.uptime_s = seconds_since(start_time);
           body["server"] = to_json(s);
         }
-        conn->send_line(ok_line(job.req.id, std::move(body)));
+        conn->send_line(ok_line(job.req.id, std::move(body), job.req.trace));
         break;
       }
       case Cmd::Metrics: {
@@ -343,13 +393,33 @@ struct Server::Impl {
             report::Json::string("text/plain; version=0.0.4");
         body["metrics"] =
             report::Json::string(telemetry::prometheus_text(*registry));
-        conn->send_line(ok_line(job.req.id, std::move(body)));
+        conn->send_line(ok_line(job.req.id, std::move(body), job.req.trace));
+        break;
+      }
+      case Cmd::Flight: {
+        // Dump the flight ring oldest-first. Answered inline (like a
+        // scrape): the recent history must be retrievable exactly when
+        // the workers are wedged and the queue is full.
+        report::Json body = report::Json::object();
+        report::Json events = report::Json::array();
+        std::size_t n = 0;
+        if (flight) {
+          for (const telemetry::Event& e : flight->snapshot()) {
+            events.push_back(telemetry::event_to_json(e));
+            ++n;
+          }
+        }
+        body["count"] = report::Json::number(static_cast<double>(n));
+        body["capacity"] = report::Json::number(
+            static_cast<double>(flight ? opts.flight_capacity : 0));
+        body["events"] = std::move(events);
+        conn->send_line(ok_line(job.req.id, std::move(body), job.req.trace));
         break;
       }
       case Cmd::Shutdown: {
         report::Json body = report::Json::object();
         body["draining"] = report::Json::boolean(true);
-        conn->send_line(ok_line(job.req.id, std::move(body)));
+        conn->send_line(ok_line(job.req.id, std::move(body), job.req.trace));
         request_shutdown_impl();
         break;
       }
@@ -379,6 +449,17 @@ struct Server::Impl {
     job.conn = conn;
     job.req = std::move(*req);
     job.key = request_key(job.req);
+    // Cubie-Flight: adopt a well-formed client trace id (it is echoed in
+    // the response); otherwise mint one so the request still correlates
+    // in the event stream — but clear req.trace so the response omits the
+    // field and legacy served-vs-direct byte-identity holds.
+    if (telemetry::valid_trace_id(job.req.trace)) {
+      job.trace.trace_id = job.req.trace;
+    } else {
+      job.req.trace.clear();
+      job.trace.trace_id = telemetry::generate_trace_id();
+    }
+    job.trace.span_id = telemetry::generate_span_id();
     if (job.req.deadline_ms > 0) {
       job.has_deadline = true;
       job.deadline =
@@ -390,6 +471,7 @@ struct Server::Impl {
       case Cmd::Ping:
       case Cmd::Stats:
       case Cmd::Metrics:
+      case Cmd::Flight:
       case Cmd::Shutdown:
         handle_inline(conn, job);
         return;
@@ -519,6 +601,19 @@ bool Server::start(std::string* error) {
   // `metrics` command snapshots. Installing a sink also enables the bus
   // for the whole serving process — intended: a daemon is observable.
   im.pulse_sinks.add(std::make_shared<telemetry::MetricsSink>(im.registry));
+  // Cubie-Flight: the always-on bounded ring (Cmd::Flight / SIGUSR2 /
+  // EngineError unwind read it) and, when armed, the slow-request tail
+  // capture. flight_capacity == 0 disables the ring for A/B costing.
+  if (im.opts.flight_capacity > 0) {
+    im.flight =
+        std::make_shared<telemetry::FlightRecorderSink>(im.opts.flight_capacity);
+    im.pulse_sinks.add(im.flight);
+  }
+  if (!im.opts.slowlog_path.empty()) {
+    im.slowlog = std::make_shared<telemetry::SlowlogSink>(im.opts.slowlog_path,
+                                                          im.opts.slow_ms);
+    im.pulse_sinks.add(im.slowlog);
+  }
   im.start_time = Clock::now();
 
   for (int i = 0; i < im.opts.workers; ++i)
@@ -599,6 +694,14 @@ ServerStats Server::stats() const {
 
 telemetry::MetricsRegistry& Server::metrics_registry() {
   return *impl_->registry;
+}
+
+std::shared_ptr<telemetry::FlightRecorderSink> Server::flight_recorder() const {
+  return impl_->flight;
+}
+
+std::shared_ptr<telemetry::SlowlogSink> Server::slowlog() const {
+  return impl_->slowlog;
 }
 
 }  // namespace cubie::serve

@@ -30,10 +30,21 @@
 // (request_accepted / queued / started / finished / rejected), so
 // --events, --trace-out, and --progress work for a serving process
 // exactly as they do for a bench sweep. See docs/SERVING.md.
+//
+// Cubie-Flight (docs/OBSERVABILITY.md): every request runs under a
+// TraceScope — the client-supplied `trace` id, or a daemon-minted one —
+// so engine cell and span events correlate back to the request that
+// caused them. An always-on FlightRecorderSink keeps the last
+// `flight_capacity` events (Cmd::Flight dumps it over the wire; the CLI
+// adds a SIGUSR2 file dump; an EngineError unwind auto-dumps), and a
+// SlowlogSink captures per-request timelines for slow / failed requests
+// when `slowlog_path` is set.
 
 #include "engine/engine.hpp"
 #include "serve/protocol.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics_registry.hpp"
+#include "telemetry/slowlog.hpp"
 
 #include <cstddef>
 #include <memory>
@@ -49,6 +60,15 @@ struct ServerOptions {
   int workers = 2;       // worker threads draining the admission queue
   int queue_limit = 16;  // waiting requests beyond which we reject
   engine::EngineOptions engine;  // jobs / cache_dir for the warm engine
+  // Cubie-Flight: ring capacity for the always-on flight recorder
+  // (0 disables it — for A/B-ing its cost), the file EngineError unwinds
+  // (and the CLI's SIGUSR2 handler) dump it to, and the slowlog tail
+  // capture (armed by a non-empty path; requests slower than slow_ms,
+  // or failed ones, get their timeline kept — slow_ms <= 0 keeps all).
+  std::size_t flight_capacity = telemetry::FlightRecorderSink::kDefaultCapacity;
+  std::string flight_dump_path;
+  std::string slowlog_path;
+  double slow_ms = 100.0;
 };
 
 // Admission/service counters, exported by the "stats" command.
@@ -99,6 +119,12 @@ class Server {
   // The Cubie-Pulse registry the daemon's MetricsSink folds events into
   // (installed on the bus by start(); the `metrics` command snapshots it).
   telemetry::MetricsRegistry& metrics_registry();
+
+  // The Cubie-Flight recorder ring (null when flight_capacity == 0) — the
+  // CLI's SIGUSR2 watcher dumps it; Cmd::Flight serves it over the wire.
+  std::shared_ptr<telemetry::FlightRecorderSink> flight_recorder() const;
+  // The slowlog tail-capture sink (null unless slowlog_path was set).
+  std::shared_ptr<telemetry::SlowlogSink> slowlog() const;
 
  private:
   struct Impl;

@@ -1,0 +1,58 @@
+#include "telemetry/flight.hpp"
+
+#include "telemetry/sinks.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+namespace cubie::telemetry {
+
+FlightRecorderSink::FlightRecorderSink(std::size_t capacity)
+    : cap_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(cap_);
+}
+
+void FlightRecorderSink::on_event(const Event& e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.size() < cap_) {
+    ring_.push_back(e);
+  } else {
+    ring_[total_ % cap_] = e;
+  }
+  ++total_;
+}
+
+std::size_t FlightRecorderSink::total_seen() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+std::vector<Event> FlightRecorderSink::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < cap_) {
+    out = ring_;  // not yet wrapped: already oldest-first
+  } else {
+    const std::size_t head = total_ % cap_;  // oldest slot
+    for (std::size_t i = 0; i < cap_; ++i)
+      out.push_back(ring_[(head + i) % cap_]);
+  }
+  return out;
+}
+
+std::size_t FlightRecorderSink::dump(std::ostream& os) const {
+  const auto events = snapshot();
+  for (const Event& e : events) os << event_to_json(e).dump(-1) << '\n';
+  return events.size();
+}
+
+bool FlightRecorderSink::dump_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  dump(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace cubie::telemetry

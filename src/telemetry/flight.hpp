@@ -1,0 +1,63 @@
+#pragma once
+// Cubie-Flight flight recorder: an always-on bounded ring of the last N
+// telemetry events.
+//
+// The daemon installs one FlightRecorderSink unconditionally (the ring is
+// a fixed-size vector; pushing is an index increment and an Event copy, no
+// I/O and no allocation beyond the strings the Event already owns), so
+// when something goes wrong there is always a recent-history window to
+// dump — no "arm a file sink before the run" required. Three ways out:
+//
+//   * Cmd::Flight / `cubie flight`  — the control command returns the ring
+//     as JSON over the wire (oldest first);
+//   * SIGUSR2                       — the serve loop dumps the ring to a
+//     file via the async-signal-safe self-pipe pattern (the handler only
+//     write(2)s one byte; a watcher thread does the actual dump);
+//   * EngineError unwind            — the server auto-dumps before
+//     answering with a typed Internal error.
+//
+// dump() writes one compact JSON object per line using the exact same
+// event_to_json serialization as JsonlSink's event lines (no header), so
+// a flight dump's lines are byte-identical to the tail of a concurrently
+// written --events file. See docs/OBSERVABILITY.md ("Cubie-Flight").
+
+#include "telemetry/telemetry.hpp"
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cubie::telemetry {
+
+class FlightRecorderSink : public Sink {
+ public:
+  explicit FlightRecorderSink(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  void on_event(const Event& e) override;
+
+  std::size_t capacity() const { return cap_; }
+  // Events ever pushed (>= the ring's current size; the difference is how
+  // many the ring has forgotten).
+  std::size_t total_seen() const;
+
+  // The ring's contents, oldest first (global sequence order).
+  std::vector<Event> snapshot() const;
+
+  // One compact JSON object per line, oldest first — byte-identical to the
+  // corresponding JsonlSink event lines. Returns the events written.
+  std::size_t dump(std::ostream& os) const;
+  // dump() to `path` (truncating). False when the file cannot be opened.
+  bool dump_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t cap_;
+  std::size_t total_ = 0;  // events ever pushed; ring slot = total_ % cap_
+  std::vector<Event> ring_;
+};
+
+}  // namespace cubie::telemetry

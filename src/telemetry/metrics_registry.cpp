@@ -103,6 +103,15 @@ void HistogramSnapshot::merge(const HistogramSnapshot& other) {
   if (other.bounds != bounds || other.counts.size() != counts.size()) return;
   for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
   sum += other.sum;
+  // Exemplars overlay right-wins: the right operand is the fresher scrape.
+  if (!other.exemplars.empty()) {
+    if (exemplars.size() != counts.size()) exemplars.resize(counts.size());
+    for (std::size_t i = 0;
+         i < other.exemplars.size() && i < exemplars.size(); ++i) {
+      if (!other.exemplars[i].trace_id.empty())
+        exemplars[i] = other.exemplars[i];
+    }
+  }
 }
 
 Histogram::Histogram(std::vector<double> bounds)
@@ -114,12 +123,18 @@ std::size_t Histogram::bucket_index(double v) const {
   return static_cast<std::size_t>(it - bounds_.begin());
 }
 
-void Histogram::observe(double v) {
-  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+void Histogram::observe(double v, const std::string& trace_id) {
+  const std::size_t bucket = bucket_index(v);
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   // No portable fetch_add for atomic<double> before C++20 library support
   // everywhere; a CAS loop is equivalent and contention here is tiny.
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+  if (!trace_id.empty()) {
+    std::lock_guard<std::mutex> lk(ex_mu_);
+    if (exemplars_.size() != counts_.size()) exemplars_.resize(counts_.size());
+    exemplars_[bucket] = {trace_id, v};
   }
 }
 
@@ -129,6 +144,10 @@ HistogramSnapshot Histogram::snapshot() const {
   s.counts.reserve(counts_.size());
   for (const auto& c : counts_) s.counts.push_back(c.load(std::memory_order_relaxed));
   s.sum = sum_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(ex_mu_);
+    s.exemplars = exemplars_;
+  }
   return s;
 }
 
@@ -334,7 +353,16 @@ std::string prometheus_text(const std::vector<MetricSnapshot>& snapshot) {
                                       ? prometheus_bound_label(m.hist.bounds[i])
                                       : "+Inf");
         out += m.name + "_bucket" + label_block(labels) + " " +
-               format_value(static_cast<double>(cum)) + "\n";
+               format_value(static_cast<double>(cum));
+        // OpenMetrics exemplar: the last trace id that landed in this
+        // (native, not cumulative) bucket, with its observed value.
+        if (i < m.hist.exemplars.size() &&
+            !m.hist.exemplars[i].trace_id.empty()) {
+          out += " # {trace_id=\"" +
+                 prometheus_escape(m.hist.exemplars[i].trace_id) + "\"} " +
+                 format_value(m.hist.exemplars[i].value);
+        }
+        out += "\n";
       }
       out += m.name + "_sum" + label_block(m.labels) + " " +
              format_value(m.hist.sum) + "\n";
@@ -414,6 +442,29 @@ bool parse_sample_line(const std::string& line, ExpositionSample* s,
     return false;
   }
   std::string value_str = line.substr(i);
+  // An OpenMetrics exemplar may trail the value (` # {trace_id="..."} v`);
+  // split it off so the sample value still parses, and capture the ids.
+  s->exemplar_trace_id.clear();
+  s->exemplar_value = 0.0;
+  if (const std::size_t hash = value_str.find(" # "); hash != std::string::npos) {
+    const std::string ex = value_str.substr(hash + 3);
+    value_str.resize(hash);
+    // Best-effort exemplar readback: {trace_id="X"} V. A malformed
+    // exemplar never fails the line — the sample value is the contract.
+    const std::size_t open = ex.find("trace_id=\"");
+    if (open != std::string::npos) {
+      const std::size_t start = open + 10;
+      const std::size_t close = ex.find('"', start);
+      if (close != std::string::npos) {
+        s->exemplar_trace_id = ex.substr(start, close - start);
+        const std::size_t sp = ex.find(' ', close);
+        if (sp != std::string::npos) {
+          double v = 0.0;
+          if (parse_value(ex.substr(sp + 1), &v)) s->exemplar_value = v;
+        }
+      }
+    }
+  }
   if (!parse_value(value_str, &s->value)) {
     if (error) *error = "bad sample value: " + line;
     return false;
@@ -461,6 +512,26 @@ std::vector<std::pair<double, double>> Exposition::buckets(
     }
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Exposition::BucketExemplar> Exposition::exemplars(
+    const std::string& base) const {
+  const std::string bucket_name = base + "_bucket";
+  std::vector<BucketExemplar> out;
+  for (const auto& s : samples) {
+    if (s.name != bucket_name || s.exemplar_trace_id.empty()) continue;
+    for (const auto& [k, v] : s.labels) {
+      if (k != "le") continue;
+      double le = 0.0;
+      if (!parse_value(v, &le)) continue;
+      out.push_back({le, s.exemplar_trace_id, s.exemplar_value});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BucketExemplar& a, const BucketExemplar& b) {
+              return a.value > b.value;
+            });
   return out;
 }
 
@@ -546,7 +617,7 @@ void MetricsSink::on_event(const Event& e) {
                     "Engine cell_finish events by serving source.",
                     {{"source", e.source}})
           .inc();
-      if (e.wall_s >= 0.0) cell_wall_->observe(e.wall_s);
+      if (e.wall_s >= 0.0) cell_wall_->observe(e.wall_s, e.trace_id);
       break;
     case EventKind::CacheLoad:
       reg_->counter("cubie_cache_loads_total",
@@ -577,7 +648,9 @@ void MetricsSink::on_event(const Event& e) {
         finished_inline_->inc();
       } else {
         finished_worker_->inc();
-        if (e.wall_s >= 0.0) request_latency_->observe(e.wall_s);
+        // The trace id rides along as the bucket's exemplar, linking the
+        // latency distribution back to a concrete slow request.
+        if (e.wall_s >= 0.0) request_latency_->observe(e.wall_s, e.trace_id);
       }
       break;
     case EventKind::RequestRejected:

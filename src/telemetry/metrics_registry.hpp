@@ -64,14 +64,26 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+// A Cubie-Flight exemplar: the trace id of the most recent observation
+// that landed in a bucket, with the observed value. Rendered in the
+// OpenMetrics exemplar syntax (` # {trace_id="..."} <value>` after the
+// bucket sample) so a dashboard's p99 bar links straight to a trace.
+struct Exemplar {
+  std::string trace_id;  // "" = no exemplar recorded for this bucket
+  double value = 0.0;
+};
+
 // One histogram's state at a point in time. counts are per-bucket (NOT
 // cumulative): counts[i] observations fell in (bounds[i-1], bounds[i]], and
 // counts.back() is the +Inf overflow bucket, so counts.size() ==
-// bounds.size() + 1. merge() is associative and commutative in counts/sum.
+// bounds.size() + 1. merge() is associative and commutative in counts/sum
+// (exemplars overlay right-wins: the later snapshot is the fresher trace).
 struct HistogramSnapshot {
   std::vector<double> bounds;
   std::vector<std::uint64_t> counts;
   double sum = 0.0;
+  // Empty, or counts.size() entries (possibly with empty trace_ids).
+  std::vector<Exemplar> exemplars;
 
   std::uint64_t total() const;
   // Add `other` into this snapshot. Bounds must match (callers share the
@@ -85,7 +97,9 @@ class Histogram {
   // bucket is appended.
   explicit Histogram(std::vector<double> bounds);
 
-  void observe(double v);
+  // With a non-empty trace_id, the observation also records itself as its
+  // bucket's exemplar (last writer wins; a small mutex off the count path).
+  void observe(double v, const std::string& trace_id = "");
   // The bucket `v` lands in: the first i with v <= bounds[i], else the
   // overflow bucket bounds.size(). Exposed for the bucket-assignment tests.
   std::size_t bucket_index(double v) const;
@@ -97,6 +111,8 @@ class Histogram {
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
   std::atomic<double> sum_{0.0};
+  mutable std::mutex ex_mu_;
+  std::vector<Exemplar> exemplars_;  // lazily sized to counts_.size()
 };
 
 // ---------------------------------------------------------------------------
@@ -165,11 +181,16 @@ std::string prometheus_text(const std::vector<MetricSnapshot>& snapshot);
 std::string prometheus_text(const MetricsRegistry& reg);
 
 // A parsed exposition: flat samples ("name{labels} value"), histogram
-// buckets included as <name>_bucket samples with their le label.
+// buckets included as <name>_bucket samples with their le label. A
+// trailing OpenMetrics exemplar (` # {trace_id="..."} <value>`) is parsed
+// into the exemplar_* fields — and tolerated by every consumer that only
+// wants the sample value.
 struct ExpositionSample {
   std::string name;
   Labels labels;  // sorted by label name
   double value = 0.0;
+  std::string exemplar_trace_id;  // "" = no exemplar on this sample
+  double exemplar_value = 0.0;
 };
 
 struct Exposition {
@@ -184,6 +205,14 @@ struct Exposition {
   // The (le, cumulative_count) pairs of <base>_bucket, sorted by le
   // (+Inf parsed as infinity). Extra labels beyond le are ignored.
   std::vector<std::pair<double, double>> buckets(const std::string& base) const;
+  // The exemplars attached to <base>_bucket samples, slowest first —
+  // what feeds the `cubie top` "slowest recent requests" panel.
+  struct BucketExemplar {
+    double le = 0.0;
+    std::string trace_id;
+    double value = 0.0;
+  };
+  std::vector<BucketExemplar> exemplars(const std::string& base) const;
 };
 
 // nullopt (with *error) on a malformed line; comments and blanks skipped.

@@ -26,9 +26,18 @@ Json event_to_json(const Event& e) {
   if (!e.source.empty()) j["source"] = Json::string(e.source);
   if (!e.status.empty()) j["status"] = Json::string(e.status);
   if (!e.detail.empty()) j["detail"] = Json::string(e.detail);
+  // Cubie-Flight correlation: distinct keys, never folded into `detail`
+  // (detail stays human-readable context only).
+  if (!e.trace_id.empty()) j["trace_id"] = Json::string(e.trace_id);
+  if (!e.span_id.empty()) j["span_id"] = Json::string(e.span_id);
+  if (!e.request_id.empty()) j["request_id"] = Json::string(e.request_id);
   if (e.wall_s >= 0.0) j["wall_s"] = Json::number(e.wall_s);
   if (e.modeled_s >= 0.0) j["modeled_s"] = Json::number(e.modeled_s);
-  if (e.kind == EventKind::PlanStart || e.kind == EventKind::RequestQueued)
+  // count is meaningful for plan size, queue depth after an enqueue, and —
+  // so overload diagnosis works from the event stream alone — the queue
+  // depth observed at the moment of a rejection.
+  if (e.kind == EventKind::PlanStart || e.kind == EventKind::RequestQueued ||
+      e.kind == EventKind::RequestRejected)
     j["count"] = Json::number(static_cast<double>(e.count));
   if (e.ok >= 0) j["ok"] = Json::boolean(e.ok != 0);
   return j;
@@ -198,7 +207,12 @@ void ChromeTraceSink::flush() {
         pop_open(e.tid, EventKind::RequestStarted, e.name, &o);
         Json j = slice(e.name, "request", o.t_s, e.t_s, e.tid);
         Json args = Json::object();
-        if (!e.detail.empty()) args["request_id"] = Json::string(e.detail);
+        // request_id and trace_id are dedicated fields (detail is only a
+        // human-readable echo); older event logs without request_id fall
+        // back to detail for the same value.
+        const std::string& rid = e.request_id.empty() ? e.detail : e.request_id;
+        if (!rid.empty()) args["request_id"] = Json::string(rid);
+        if (!e.trace_id.empty()) args["trace_id"] = Json::string(e.trace_id);
         if (e.wall_s >= 0.0) args["wall_s"] = Json::number(e.wall_s);
         if (e.ok >= 0) args["ok"] = Json::boolean(e.ok != 0);
         j["args"] = std::move(args);
@@ -215,8 +229,11 @@ void ChromeTraceSink::flush() {
                                      : "request_rejected";
         Json j = instant(std::string(what) + ":" + e.name, e);
         Json args = Json::object();
-        if (!e.detail.empty()) args["request_id"] = Json::string(e.detail);
-        if (e.kind == EventKind::RequestQueued)
+        const std::string& rid = e.request_id.empty() ? e.detail : e.request_id;
+        if (!rid.empty()) args["request_id"] = Json::string(rid);
+        if (!e.trace_id.empty()) args["trace_id"] = Json::string(e.trace_id);
+        if (e.kind == EventKind::RequestQueued ||
+            e.kind == EventKind::RequestRejected)
           args["queue_depth"] = Json::number(static_cast<double>(e.count));
         if (e.kind == EventKind::RequestRejected)
           args["code"] = Json::string(e.source);

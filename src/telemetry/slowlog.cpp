@@ -1,0 +1,393 @@
+#include "telemetry/slowlog.hpp"
+
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+namespace cubie::telemetry {
+
+using report::Json;
+
+namespace {
+
+constexpr std::size_t kMaxOpenTraces = 1024;  // in-flight slices kept
+constexpr std::size_t kMaxSlice = 8192;       // events buffered per trace
+
+const char* get_string(const Json& j, const char* key, const char* fallback) {
+  const Json* v = j.find(key);
+  return v && v->is_string() ? v->as_string().c_str() : fallback;
+}
+
+double get_number(const Json& j, const char* key, double fallback) {
+  const Json* v = j.find(key);
+  return v && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string fmt_ms(double seconds) {
+  return common::fmt_double(seconds * 1e3, 2) + " ms";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Event JSONL readback.
+
+bool event_from_json(const Json& j, Event* out) {
+  if (!j.is_object()) return false;
+  const Json* kind = j.find("kind");
+  if (!kind || !kind->is_string()) return false;
+  static const EventKind kAll[] = {
+      EventKind::PlanStart,       EventKind::CellStart,
+      EventKind::CellFinish,      EventKind::CacheLoad,
+      EventKind::CacheStore,      EventKind::SpanOpen,
+      EventKind::SpanClose,       EventKind::CheckVerdict,
+      EventKind::RequestAccepted, EventKind::RequestQueued,
+      EventKind::RequestStarted,  EventKind::RequestFinished,
+      EventKind::RequestRejected, EventKind::CacheSimStats,
+  };
+  bool known = false;
+  for (EventKind k : kAll) {
+    if (kind->as_string() == event_kind_name(k)) {
+      out->kind = k;
+      known = true;
+      break;
+    }
+  }
+  // Unknown kinds (a future schema's new event) and non-event records (the
+  // JSONL header's kind is "cubie-events") are skipped, not errors; any
+  // other unknown field below is simply never looked at.
+  if (!known) return false;
+  out->seq = static_cast<std::uint64_t>(get_number(j, "seq", 0.0));
+  out->tid = static_cast<int>(get_number(j, "tid", 0.0));
+  out->t_s = get_number(j, "t_s", 0.0);
+  out->name = get_string(j, "name", "");
+  out->source = get_string(j, "source", "");
+  out->status = get_string(j, "status", "");
+  out->detail = get_string(j, "detail", "");
+  out->trace_id = get_string(j, "trace_id", "");
+  out->span_id = get_string(j, "span_id", "");
+  out->request_id = get_string(j, "request_id", "");
+  out->wall_s = get_number(j, "wall_s", -1.0);
+  out->modeled_s = get_number(j, "modeled_s", -1.0);
+  out->count = static_cast<std::size_t>(get_number(j, "count", 0.0));
+  const Json* ok = j.find("ok");
+  out->ok = ok && ok->is_bool() ? (ok->as_bool() ? 1 : 0) : -1;
+  return true;
+}
+
+std::vector<Event> parse_events_jsonl(std::istream& is) {
+  std::vector<Event> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto j = Json::parse(line);
+    if (!j) continue;
+    Event e;
+    if (event_from_json(*j, &e)) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<Event> slice_for_trace(const std::vector<Event>& events,
+                                   const std::string& trace_prefix) {
+  std::vector<Event> out;
+  if (trace_prefix.empty()) return out;
+  for (const Event& e : events) {
+    if (e.trace_id.compare(0, trace_prefix.size(), trace_prefix) == 0)
+      out.push_back(e);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Timeline assembly.
+
+RequestTimeline assemble_timeline(std::vector<Event> slice) {
+  std::stable_sort(slice.begin(), slice.end(),
+                   [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  RequestTimeline t;
+  t.events = slice.size();
+  double queued_t = -1.0, started_t = -1.0;
+  // Per-thread span stacks: depth = nesting level within this request.
+  std::map<int, std::vector<std::string>> span_stacks;
+  for (const Event& e : slice) {
+    if (t.trace_id.empty() && !e.trace_id.empty()) t.trace_id = e.trace_id;
+    if (t.span_id.empty() && !e.span_id.empty()) t.span_id = e.span_id;
+    if (t.request_id.empty() && !e.request_id.empty())
+      t.request_id = e.request_id;
+    switch (e.kind) {
+      case EventKind::CellFinish: {
+        ++t.cells;
+        if (e.source == "compute") ++t.cells_compute;
+        else if (e.source == "memo") ++t.cells_memo;
+        else if (e.source == "disk") ++t.cells_disk;
+        else if (e.source == "coalesced") ++t.cells_coalesced;
+        t.cell_list.push_back({e.name, e.source, e.wall_s, e.modeled_s});
+        break;
+      }
+      case EventKind::SpanOpen:
+        span_stacks[e.tid].push_back(e.name);
+        break;
+      case EventKind::SpanClose: {
+        auto& st = span_stacks[e.tid];
+        int depth = static_cast<int>(st.size());
+        // Pop the innermost pending open with this name (tolerates the
+        // Tracer's implicit closes, like ChromeTraceSink does).
+        for (auto it = st.rbegin(); it != st.rend(); ++it) {
+          if (*it == e.name) {
+            depth = static_cast<int>(st.rend() - it) - 1;
+            st.erase(std::next(it).base());
+            break;
+          }
+        }
+        t.spans.push_back({e.name, e.wall_s, depth});
+        break;
+      }
+      case EventKind::RequestQueued:
+        queued_t = e.t_s;
+        t.queue_depth = e.count;
+        if (t.key.empty()) t.key = e.name;
+        break;
+      case EventKind::RequestStarted:
+        started_t = e.t_s;
+        if (t.key.empty()) t.key = e.name;
+        break;
+      case EventKind::RequestFinished:
+        t.key = e.name;
+        t.ok = e.ok;
+        if (e.wall_s >= 0.0) t.wall_s = e.wall_s;
+        break;
+      case EventKind::RequestRejected:
+        t.key = e.name;
+        t.ok = 0;
+        t.error = e.source;
+        t.queue_depth = e.count;
+        break;
+      default:
+        break;
+    }
+  }
+  if (queued_t >= 0.0 && started_t >= queued_t)
+    t.queue_wait_s = started_t - queued_t;
+  return t;
+}
+
+Json timeline_to_json(const RequestTimeline& t) {
+  Json j = Json::object();
+  j["schema_version"] = Json::number(kEventSchemaVersion);
+  j["kind"] = Json::string("cubie-slowlog");
+  j["trace_id"] = Json::string(t.trace_id);
+  if (!t.span_id.empty()) j["span_id"] = Json::string(t.span_id);
+  if (!t.request_id.empty()) j["request_id"] = Json::string(t.request_id);
+  if (!t.key.empty()) j["key"] = Json::string(t.key);
+  if (t.ok >= 0) j["ok"] = Json::boolean(t.ok != 0);
+  if (!t.error.empty()) j["error"] = Json::string(t.error);
+  if (t.wall_s >= 0.0) j["wall_s"] = Json::number(t.wall_s);
+  if (t.queue_wait_s >= 0.0) j["queue_wait_s"] = Json::number(t.queue_wait_s);
+  j["queue_depth"] = Json::number(static_cast<double>(t.queue_depth));
+  j["cells"] = Json::number(static_cast<double>(t.cells));
+  j["cells_compute"] = Json::number(static_cast<double>(t.cells_compute));
+  j["cells_memo"] = Json::number(static_cast<double>(t.cells_memo));
+  j["cells_disk"] = Json::number(static_cast<double>(t.cells_disk));
+  j["cells_coalesced"] = Json::number(static_cast<double>(t.cells_coalesced));
+  j["events"] = Json::number(static_cast<double>(t.events));
+  Json cells = Json::array();
+  for (const TimelineCell& c : t.cell_list) {
+    Json cj = Json::object();
+    cj["name"] = Json::string(c.name);
+    cj["source"] = Json::string(c.source);
+    if (c.wall_s >= 0.0) cj["wall_s"] = Json::number(c.wall_s);
+    if (c.modeled_s >= 0.0) cj["modeled_s"] = Json::number(c.modeled_s);
+    cells.push_back(std::move(cj));
+  }
+  j["cell_list"] = std::move(cells);
+  Json spans = Json::array();
+  for (const TimelineSpan& s : t.spans) {
+    Json sj = Json::object();
+    sj["name"] = Json::string(s.name);
+    if (s.wall_s >= 0.0) sj["wall_s"] = Json::number(s.wall_s);
+    sj["depth"] = Json::number(s.depth);
+    spans.push_back(std::move(sj));
+  }
+  j["spans"] = std::move(spans);
+  return j;
+}
+
+bool timeline_from_json(const Json& j, RequestTimeline* out) {
+  if (!j.is_object()) return false;
+  const Json* kind = j.find("kind");
+  if (!kind || !kind->is_string() || kind->as_string() != "cubie-slowlog")
+    return false;
+  RequestTimeline t;
+  t.trace_id = get_string(j, "trace_id", "");
+  t.span_id = get_string(j, "span_id", "");
+  t.request_id = get_string(j, "request_id", "");
+  t.key = get_string(j, "key", "");
+  t.error = get_string(j, "error", "");
+  const Json* ok = j.find("ok");
+  t.ok = ok && ok->is_bool() ? (ok->as_bool() ? 1 : 0) : -1;
+  t.wall_s = get_number(j, "wall_s", -1.0);
+  t.queue_wait_s = get_number(j, "queue_wait_s", -1.0);
+  t.queue_depth = static_cast<std::size_t>(get_number(j, "queue_depth", 0.0));
+  t.cells = static_cast<std::size_t>(get_number(j, "cells", 0.0));
+  t.cells_compute =
+      static_cast<std::size_t>(get_number(j, "cells_compute", 0.0));
+  t.cells_memo = static_cast<std::size_t>(get_number(j, "cells_memo", 0.0));
+  t.cells_disk = static_cast<std::size_t>(get_number(j, "cells_disk", 0.0));
+  t.cells_coalesced =
+      static_cast<std::size_t>(get_number(j, "cells_coalesced", 0.0));
+  t.events = static_cast<std::size_t>(get_number(j, "events", 0.0));
+  if (const Json* cells = j.find("cell_list"); cells && cells->is_array()) {
+    for (std::size_t i = 0; i < cells->size(); ++i) {
+      const Json& cj = cells->at(i);
+      TimelineCell c;
+      c.name = get_string(cj, "name", "");
+      c.source = get_string(cj, "source", "");
+      c.wall_s = get_number(cj, "wall_s", -1.0);
+      c.modeled_s = get_number(cj, "modeled_s", -1.0);
+      t.cell_list.push_back(std::move(c));
+    }
+  }
+  if (const Json* spans = j.find("spans"); spans && spans->is_array()) {
+    for (std::size_t i = 0; i < spans->size(); ++i) {
+      const Json& sj = spans->at(i);
+      TimelineSpan s;
+      s.name = get_string(sj, "name", "");
+      s.wall_s = get_number(sj, "wall_s", -1.0);
+      s.depth = static_cast<int>(get_number(sj, "depth", 0.0));
+      t.spans.push_back(std::move(s));
+    }
+  }
+  *out = std::move(t);
+  return true;
+}
+
+void render_timeline(const RequestTimeline& t, std::ostream& os) {
+  os << "trace " << (t.trace_id.empty() ? "(none)" : t.trace_id);
+  if (!t.request_id.empty()) os << "  request " << t.request_id;
+  os << "\n";
+  if (!t.key.empty()) os << "  key: " << t.key << "\n";
+  os << "  status: ";
+  if (!t.error.empty()) {
+    os << "rejected (" << t.error << ")";
+  } else if (t.ok == 0) {
+    os << "FAILED";
+  } else if (t.ok == 1) {
+    os << "ok";
+  } else {
+    os << "unfinished";
+  }
+  if (t.wall_s >= 0.0) os << "  service " << fmt_ms(t.wall_s);
+  os << "\n";
+  if (t.queue_wait_s >= 0.0 || t.queue_depth > 0) {
+    os << "  queue:";
+    if (t.queue_wait_s >= 0.0) os << " wait " << fmt_ms(t.queue_wait_s);
+    os << " depth " << t.queue_depth << "\n";
+  }
+  os << "  cells: " << t.cells << " (compute " << t.cells_compute << ", memo "
+     << t.cells_memo << ", disk " << t.cells_disk << ", coalesced "
+     << t.cells_coalesced << ")\n";
+  constexpr std::size_t kMaxLines = 24;
+  for (std::size_t i = 0; i < t.cell_list.size() && i < kMaxLines; ++i) {
+    const TimelineCell& c = t.cell_list[i];
+    os << "    [" << c.source << "] ";
+    if (c.wall_s >= 0.0) os << fmt_ms(c.wall_s) << "  ";
+    os << c.name << "\n";
+  }
+  if (t.cell_list.size() > kMaxLines)
+    os << "    ... and " << (t.cell_list.size() - kMaxLines) << " more\n";
+  if (!t.spans.empty()) {
+    os << "  spans: " << t.spans.size() << "\n";
+    for (std::size_t i = 0; i < t.spans.size() && i < kMaxLines; ++i) {
+      const TimelineSpan& s = t.spans[i];
+      os << "    ";
+      for (int d = 0; d < s.depth; ++d) os << "  ";
+      os << s.name;
+      if (s.wall_s >= 0.0) os << " " << fmt_ms(s.wall_s);
+      os << "\n";
+    }
+    if (t.spans.size() > kMaxLines)
+      os << "    ... and " << (t.spans.size() - kMaxLines) << " more\n";
+  }
+  os << "  events: " << t.events << "\n";
+}
+
+// ---------------------------------------------------------------------------
+// SlowlogSink.
+
+SlowlogSink::SlowlogSink(std::string path, double slow_ms, std::size_t keep)
+    : path_(std::move(path)),
+      slow_s_(slow_ms > 0.0 ? slow_ms / 1e3 : 0.0),
+      keep_(std::max<std::size_t>(1, keep)) {
+  // Create (truncate) the file up front so a run with zero qualifying
+  // requests still leaves a well-defined empty slowlog.
+  std::lock_guard<std::mutex> lk(mu_);
+  rewrite_locked();
+}
+
+void SlowlogSink::on_event(const Event& e) {
+  if (e.trace_id.empty()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = open_.find(e.trace_id);
+  if (it == open_.end()) {
+    if (open_.size() >= kMaxOpenTraces) {
+      // Evict the slice whose first event is oldest: a trace that never
+      // finishes must not pin memory forever.
+      auto oldest = open_.begin();
+      for (auto o = open_.begin(); o != open_.end(); ++o) {
+        if (!o->second.empty() && !oldest->second.empty() &&
+            o->second.front().seq < oldest->second.front().seq)
+          oldest = o;
+      }
+      open_.erase(oldest);
+    }
+    it = open_.emplace(e.trace_id, std::vector<Event>()).first;
+  }
+  if (it->second.size() < kMaxSlice) it->second.push_back(e);
+  if (e.kind == EventKind::RequestFinished ||
+      e.kind == EventKind::RequestRejected)
+    finalize_locked(e.trace_id);
+}
+
+void SlowlogSink::finalize_locked(const std::string& trace_id) {
+  auto it = open_.find(trace_id);
+  if (it == open_.end()) return;
+  RequestTimeline t = assemble_timeline(std::move(it->second));
+  open_.erase(it);
+  const bool failed = t.ok == 0 || !t.error.empty();
+  const bool slow = t.wall_s >= 0.0 && t.wall_s >= slow_s_;
+  if (!failed && !slow) return;
+  top_.push_back(std::move(t));
+  std::stable_sort(top_.begin(), top_.end(),
+                   [](const RequestTimeline& a, const RequestTimeline& b) {
+                     return a.wall_s > b.wall_s;
+                   });
+  if (top_.size() > keep_) top_.resize(keep_);
+  dirty_ = true;
+  rewrite_locked();
+}
+
+void SlowlogSink::rewrite_locked() {
+  dirty_ = false;
+  if (path_.empty()) return;
+  std::ofstream os(path_, std::ios::trunc);
+  if (!os) return;
+  for (const RequestTimeline& t : top_)
+    os << timeline_to_json(t).dump(-1) << '\n';
+}
+
+void SlowlogSink::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (dirty_) rewrite_locked();
+}
+
+std::vector<RequestTimeline> SlowlogSink::top() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return top_;
+}
+
+}  // namespace cubie::telemetry

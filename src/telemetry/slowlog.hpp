@@ -1,0 +1,134 @@
+#pragma once
+// Cubie-Flight tail capture: per-request timelines for slow and failed
+// requests.
+//
+// Aggregates (Cubie-Pulse histograms) tell you *that* the p99 regressed;
+// the slowlog tells you *why one request was slow*. The SlowlogSink
+// buffers each trace's event slice as it streams past and, when the
+// trace's RequestFinished (or RequestRejected) arrives, assembles it into
+// a RequestTimeline: queue wait, per-cell serving sources
+// (compute | memo | disk | coalesced), and the sim span tree. Requests
+// slower than the --slow-ms threshold — or failed ones, always — enter a
+// top-K kept-slowest set that is rewritten to the --slowlog JSONL file
+// (slowest first, one timeline object per line, schema below).
+//
+// `cubie explain <trace_id>` renders one timeline either straight from a
+// slowlog line or by re-assembling it from a --events JSONL file; both
+// parsers ignore unknown fields (additive schema-v1 evolution, pinned by
+// tests/test_flight.cpp).
+//
+// Slowlog line schema (all numeric fields locale-independent):
+//   {"schema_version":1,"kind":"cubie-slowlog","trace_id":...,
+//    "span_id":...,"request_id":...,"key":...,"ok":bool,"wall_s":...,
+//    "queue_wait_s":...,"queue_depth":N,"error":"...",
+//    "cells":N,"cells_compute":N,"cells_memo":N,"cells_disk":N,
+//    "cells_coalesced":N,"events":N,
+//    "cell_list":[{"name":...,"source":...,"wall_s":...,"modeled_s":...}],
+//    "spans":[{"name":...,"wall_s":...,"depth":N}]}
+
+#include "common/report.hpp"
+#include "telemetry/telemetry.hpp"
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cubie::telemetry {
+
+// ---------------------------------------------------------------------------
+// Event JSONL readback (the inverse of event_to_json). Unknown fields are
+// ignored so older readers keep working across additive schema evolution.
+
+// False for non-event lines (the JSONL header, foreign records).
+bool event_from_json(const report::Json& j, Event* out);
+
+// Parse a cubie-events JSONL stream; header and malformed lines skipped.
+std::vector<Event> parse_events_jsonl(std::istream& is);
+
+// The events whose trace_id starts with `trace_prefix` (exact match when
+// the prefix is a full 32-char id), in stream order.
+std::vector<Event> slice_for_trace(const std::vector<Event>& events,
+                                   const std::string& trace_prefix);
+
+// ---------------------------------------------------------------------------
+// RequestTimeline: one request's assembled story.
+
+struct TimelineCell {
+  std::string name;    // cell content key
+  std::string source;  // compute | memo | disk | coalesced
+  double wall_s = -1.0;
+  double modeled_s = -1.0;
+};
+
+struct TimelineSpan {
+  std::string name;
+  double wall_s = -1.0;
+  int depth = 0;  // nesting level within the request's span tree
+};
+
+struct RequestTimeline {
+  std::string trace_id;
+  std::string span_id;
+  std::string request_id;
+  std::string key;    // the request's plan key (Event::name)
+  std::string error;  // rejection / typed error code ("" = none)
+  int ok = -1;
+  double wall_s = -1.0;       // service time (RequestFinished)
+  double queue_wait_s = -1.0; // RequestQueued -> RequestStarted
+  std::size_t queue_depth = 0;
+  std::size_t cells = 0;  // == compute + memo + disk + coalesced
+  std::size_t cells_compute = 0;
+  std::size_t cells_memo = 0;
+  std::size_t cells_disk = 0;
+  std::size_t cells_coalesced = 0;
+  std::vector<TimelineCell> cell_list;
+  std::vector<TimelineSpan> spans;
+  std::size_t events = 0;  // slice size the assembly consumed
+};
+
+// Assemble one trace's event slice (stream order; re-sorted by seq when
+// the stamps are present) into a timeline.
+RequestTimeline assemble_timeline(std::vector<Event> slice);
+
+report::Json timeline_to_json(const RequestTimeline& t);
+// Unknown fields ignored; false when `j` is not a cubie-slowlog record.
+bool timeline_from_json(const report::Json& j, RequestTimeline* out);
+
+// Human-readable rendering (`cubie explain`).
+void render_timeline(const RequestTimeline& t, std::ostream& os);
+
+// ---------------------------------------------------------------------------
+// SlowlogSink.
+
+class SlowlogSink : public Sink {
+ public:
+  // `path` may be empty (keep the top-K in memory only — top() still
+  // works, nothing is written). `slow_ms` <= 0 captures every finished
+  // request; failed and rejected requests are captured regardless.
+  SlowlogSink(std::string path, double slow_ms, std::size_t keep = 32);
+
+  void on_event(const Event& e) override;
+  void flush() override;
+
+  // The kept timelines, slowest first.
+  std::vector<RequestTimeline> top() const;
+
+ private:
+  void finalize_locked(const std::string& trace_id);
+  void rewrite_locked();
+
+  mutable std::mutex mu_;
+  std::string path_;
+  double slow_s_;
+  std::size_t keep_;
+  // In-flight slices by trace id, bounded (kMaxOpenTraces / kMaxSlice).
+  std::map<std::string, std::vector<Event>> open_;
+  std::vector<RequestTimeline> top_;  // sorted slowest-first, <= keep_
+  bool dirty_ = false;
+};
+
+}  // namespace cubie::telemetry

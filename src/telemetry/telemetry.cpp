@@ -1,5 +1,7 @@
 #include "telemetry/telemetry.hpp"
 
+#include "telemetry/trace_context.hpp"
+
 #include <atomic>
 #include <charconv>
 #include <chrono>
@@ -86,6 +88,15 @@ std::size_t EventBus::sink_count() const {
 
 void EventBus::emit(Event e) {
   const auto tid = std::this_thread::get_id();
+  // Cubie-Flight: stamp the emitting thread's active trace context onto
+  // events that did not set one explicitly (thread-local read, no lock).
+  if (e.trace_id.empty()) {
+    const TraceContext& ctx = current_trace_context();
+    if (ctx.active()) {
+      e.trace_id = ctx.trace_id;
+      e.span_id = ctx.span_id;
+    }
+  }
   std::lock_guard<std::mutex> lk(impl_->mu);
   if (impl_->sinks.empty()) return;
   e.seq = impl_->next_seq++;

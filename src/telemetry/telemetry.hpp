@@ -74,7 +74,10 @@ const char* event_kind_name(EventKind k);
 
 // One telemetry event. Only the fields meaningful for `kind` are set;
 // numeric fields use negative sentinels for "not applicable" so sinks can
-// omit them. seq / t_s / tid are stamped by the bus at emit time.
+// omit them. seq / t_s / tid are stamped by the bus at emit time, and so
+// are trace_id / span_id (from the emitting thread's active TraceScope)
+// when the emitter left them empty — additive schema-v1 fields, omitted
+// from the JSONL form when absent (see trace_context.hpp, Cubie-Flight).
 struct Event {
   EventKind kind = EventKind::CellStart;
   std::uint64_t seq = 0;    // global emission order (1-based)
@@ -84,6 +87,9 @@ struct Event {
   std::string source;       // cell_finish: "compute" | "memo" | "disk"
   std::string status;       // cache events: engine::cache_status_name
   std::string detail;       // human-readable context (verdict reason, ...)
+  std::string trace_id;     // Cubie-Flight 128-bit trace id (32 hex chars)
+  std::string span_id;      // Cubie-Flight span id (16 hex chars)
+  std::string request_id;   // serve lifecycle: the client-chosen request id
   double wall_s = -1.0;     // host wall interval; < 0 = n/a
   double modeled_s = -1.0;  // modeled kernel time (reference device); < 0 = n/a
   std::size_t count = 0;    // plan_start: number of cells
@@ -91,7 +97,8 @@ struct Event {
 };
 
 // The deterministic part of an event: everything except the bus stamps
-// (seq, t_s, tid) and the host wall-clock fields. Two functionally
+// (seq, t_s, tid), the host wall-clock fields, and the Cubie-Flight
+// correlation ids (random per request). Two functionally
 // identical runs produce identical payload multisets regardless of thread
 // schedule — the identity tests/test_telemetry.cpp builds on.
 std::string event_payload(const Event& e);
@@ -114,7 +121,9 @@ class EventBus {
   // Cheap gate for instrumentation: true iff any sink is installed.
   bool enabled() const noexcept;
 
-  // Stamp (seq, t_s, tid) and deliver to every sink, in install order.
+  // Stamp (seq, t_s, tid), fill trace_id/span_id from the calling thread's
+  // active TraceScope when empty, and deliver to every sink, in install
+  // order.
   void emit(Event e);
 
   void add_sink(std::shared_ptr<Sink> s);

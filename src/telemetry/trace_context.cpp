@@ -1,0 +1,95 @@
+#include "telemetry/trace_context.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace cubie::telemetry {
+
+namespace {
+
+thread_local TraceContext t_current;
+
+// splitmix64: tiny, well-mixed, and needs no <random> machinery. Each
+// thread seeds its own state from the clock, its thread id, and a global
+// counter, so ids are unique across threads and processes without any
+// coordination.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t next_random() {
+  static std::atomic<std::uint64_t> g_counter{0};
+  thread_local std::uint64_t state = [] {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    std::uint64_t s = static_cast<std::uint64_t>(now.count());
+    s ^= std::hash<std::thread::id>{}(std::this_thread::get_id());
+    s += g_counter.fetch_add(0x632be59bd9b4e019ULL);
+    return s;
+  }();
+  return splitmix64(state);
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out += kHex[(v >> shift) & 0xF];
+}
+
+}  // namespace
+
+std::string hex_id(std::uint64_t hi, std::uint64_t lo) {
+  std::string out;
+  out.reserve(32);
+  append_hex(out, hi);
+  append_hex(out, lo);
+  return out;
+}
+
+std::string hex_id(std::uint64_t v) {
+  std::string out;
+  out.reserve(16);
+  append_hex(out, v);
+  return out;
+}
+
+std::string generate_trace_id() {
+  std::uint64_t hi = next_random(), lo = next_random();
+  if (hi == 0 && lo == 0) lo = 1;  // all-zero is the invalid sentinel
+  return hex_id(hi, lo);
+}
+
+std::string generate_span_id() {
+  std::uint64_t v = next_random();
+  if (v == 0) v = 1;
+  return hex_id(v);
+}
+
+TraceContext make_trace_context() {
+  return TraceContext{generate_trace_id(), generate_span_id()};
+}
+
+bool valid_trace_id(const std::string& s) {
+  if (s.empty() || s.size() > 32) return false;
+  for (char c : s) {
+    const bool hex =
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+const TraceContext& current_trace_context() { return t_current; }
+
+TraceScope::TraceScope(TraceContext ctx) : prev_(std::move(t_current)) {
+  t_current = std::move(ctx);
+}
+
+TraceScope::~TraceScope() { t_current = std::move(prev_); }
+
+}  // namespace cubie::telemetry

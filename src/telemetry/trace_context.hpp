@@ -1,0 +1,68 @@
+#pragma once
+// Cubie-Flight trace context: request-scoped correlation for the event bus.
+//
+// A TraceContext is a 128-bit trace id (one request, end to end) plus a
+// 64-bit span id (one hop within it), both rendered as fixed-width
+// lowercase hex — 32 and 16 characters — everywhere they appear: Event
+// fields, the protocol-v1 `trace` field, slowlog lines, and Prometheus
+// exemplars. Ids are generated client-side (`cubie request` / `loadgen`)
+// and propagated, or minted by the daemon when a request arrives without
+// one, so every request can be correlated even from legacy clients.
+//
+// Propagation is thread-local and RAII-scoped: a TraceScope installs a
+// context on the calling thread and restores the previous one when it is
+// destroyed. EventBus::emit() stamps the calling thread's active context
+// onto every Event whose trace_id is still empty, so instrumentation call
+// sites never mention tracing at all. The ExperimentEngine captures the
+// submitting thread's context before fanning a Plan out over its pool and
+// re-installs it in each worker, which is what ties a cell executed on
+// worker 3 back to the request that asked for it.
+//
+// Trace ids are random (splitmix64 over a per-thread seed), NOT part of
+// event_payload(): the payload stays a pure function of the work performed,
+// so the determinism identities in tests/test_telemetry.cpp are untouched.
+// See docs/OBSERVABILITY.md ("Cubie-Flight").
+
+#include <cstdint>
+#include <string>
+
+namespace cubie::telemetry {
+
+struct TraceContext {
+  std::string trace_id;  // 32 lowercase hex chars; empty = no active trace
+  std::string span_id;   // 16 lowercase hex chars
+  bool active() const { return !trace_id.empty(); }
+};
+
+// Fixed-width lowercase hex, locale-independent (manual nibble rendering).
+std::string hex_id(std::uint64_t hi, std::uint64_t lo);  // 32 chars
+std::string hex_id(std::uint64_t v);                     // 16 chars
+
+// Fresh random ids. Never all-zero (the W3C trace-context invalid value).
+std::string generate_trace_id();
+std::string generate_span_id();
+TraceContext make_trace_context();
+
+// Plausibility check for ids arriving over the wire: non-empty, at most 32
+// chars, all lowercase hex. (Shorter ids are accepted so hand-typed
+// prefixes can round-trip through `cubie explain`.)
+bool valid_trace_id(const std::string& s);
+
+// The calling thread's active context; inactive when no scope is open.
+const TraceContext& current_trace_context();
+
+// RAII: install `ctx` on this thread, restore the previous context on
+// destruction. Installing an inactive context is a no-op shadowing (events
+// fall back to unstamped), which lets callers scope unconditionally.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext ctx);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace cubie::telemetry

@@ -1,0 +1,490 @@
+// Cubie-Flight contracts: request-scoped trace correlation, the flight
+// recorder ring, tail-capture timelines, and histogram exemplars.
+// Pinned here:
+//   * TraceScope is RAII, nests, and is thread-local; generated ids are
+//     fixed-width lowercase hex and never all-zero;
+//   * EventBus::emit stamps the active context only onto events whose
+//     trace_id is still empty (emitter-set ids win);
+//   * the flight ring is bounded, keeps the newest events oldest-first,
+//     and its dump lines are byte-identical to event_to_json output;
+//   * assemble_timeline reconstructs queue wait, per-source cell counts,
+//     span nesting depth, and the rejection path from an event slice;
+//   * both JSONL readback parsers ignore unknown fields (additive
+//     schema-v1 evolution) and reject foreign records;
+//   * histogram exemplars render in OpenMetrics syntax, survive the text
+//     parser, and merge right-wins;
+//   * a parallel engine run partitions its events by the submitting
+//     thread's trace — no cell leaks across concurrent requests.
+
+#include "telemetry/flight.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/slowlog.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
+
+#include "common/report.hpp"
+#include "engine/engine.hpp"
+#include "engine/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cubie {
+namespace {
+
+bool is_lower_hex(const std::string& s) {
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+// Capture every event of `body` through a MemorySink on the global bus.
+std::vector<telemetry::Event> capture(const std::function<void()>& body) {
+  auto sink = std::make_shared<telemetry::MemorySink>();
+  telemetry::bus().reset_clock();
+  telemetry::bus().add_sink(sink);
+  body();
+  std::vector<telemetry::Event> events = sink->events();
+  telemetry::bus().remove_sink(sink.get());
+  return events;
+}
+
+telemetry::Event mk(telemetry::EventKind k, const std::string& name) {
+  telemetry::Event e;
+  e.kind = k;
+  e.name = name;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Trace context.
+
+TEST(FlightTrace, GeneratedIdsAreFixedWidthLowercaseHexAndUnique) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 64; ++i) {
+    const std::string t = telemetry::generate_trace_id();
+    const std::string s = telemetry::generate_span_id();
+    EXPECT_EQ(t.size(), 32u);
+    EXPECT_EQ(s.size(), 16u);
+    EXPECT_TRUE(is_lower_hex(t)) << t;
+    EXPECT_TRUE(is_lower_hex(s)) << s;
+    EXPECT_NE(t, std::string(32, '0'));  // W3C invalid value
+    EXPECT_NE(s, std::string(16, '0'));
+    seen.insert(t);
+  }
+  EXPECT_EQ(seen.size(), 64u) << "trace ids must not collide";
+  const telemetry::TraceContext ctx = telemetry::make_trace_context();
+  EXPECT_TRUE(ctx.active());
+  EXPECT_EQ(ctx.trace_id.size(), 32u);
+  EXPECT_EQ(ctx.span_id.size(), 16u);
+}
+
+TEST(FlightTrace, ValidTraceIdAcceptsPrefixesRejectsGarbage) {
+  EXPECT_TRUE(telemetry::valid_trace_id("deadbeef"));
+  EXPECT_TRUE(telemetry::valid_trace_id("0123456789abcdef0123456789abcdef"));
+  EXPECT_FALSE(telemetry::valid_trace_id(""));
+  EXPECT_FALSE(telemetry::valid_trace_id("DEADBEEF"));        // uppercase
+  EXPECT_FALSE(telemetry::valid_trace_id("xyz"));             // non-hex
+  EXPECT_FALSE(telemetry::valid_trace_id(std::string(33, 'a')));  // too long
+  EXPECT_FALSE(telemetry::valid_trace_id("dead beef"));       // space
+}
+
+TEST(FlightTrace, ScopeIsRaiiNestsAndRestores) {
+  EXPECT_FALSE(telemetry::current_trace_context().active());
+  {
+    telemetry::TraceScope outer(telemetry::TraceContext{"aa11", "0001"});
+    EXPECT_EQ(telemetry::current_trace_context().trace_id, "aa11");
+    {
+      telemetry::TraceScope inner(telemetry::TraceContext{"bb22", "0002"});
+      EXPECT_EQ(telemetry::current_trace_context().trace_id, "bb22");
+      EXPECT_EQ(telemetry::current_trace_context().span_id, "0002");
+    }
+    EXPECT_EQ(telemetry::current_trace_context().trace_id, "aa11");
+    EXPECT_EQ(telemetry::current_trace_context().span_id, "0001");
+  }
+  EXPECT_FALSE(telemetry::current_trace_context().active());
+}
+
+TEST(FlightTrace, ScopeIsThreadLocal) {
+  telemetry::TraceScope scope(telemetry::TraceContext{"cafe", "0003"});
+  std::string other_thread_trace = "unset";
+  std::thread t([&] {
+    other_thread_trace = telemetry::current_trace_context().trace_id;
+  });
+  t.join();
+  EXPECT_EQ(other_thread_trace, "");  // scopes don't leak across threads
+  EXPECT_EQ(telemetry::current_trace_context().trace_id, "cafe");
+}
+
+TEST(FlightTrace, BusStampsActiveContextOnlyWhenEmpty) {
+  const auto evs = capture([] {
+    telemetry::bus().emit(mk(telemetry::EventKind::SpanOpen, "before"));
+    {
+      telemetry::TraceScope scope(telemetry::TraceContext{"feed1", "beef1"});
+      telemetry::bus().emit(mk(telemetry::EventKind::SpanOpen, "inside"));
+      telemetry::Event preset = mk(telemetry::EventKind::SpanOpen, "preset");
+      preset.trace_id = "0therid";
+      preset.span_id = "0therspan";
+      telemetry::bus().emit(std::move(preset));
+    }
+    telemetry::bus().emit(mk(telemetry::EventKind::SpanOpen, "after"));
+  });
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs[0].trace_id, "");  // no scope: unstamped
+  EXPECT_EQ(evs[1].trace_id, "feed1");
+  EXPECT_EQ(evs[1].span_id, "beef1");
+  EXPECT_EQ(evs[2].trace_id, "0therid");  // emitter-set id wins
+  EXPECT_EQ(evs[2].span_id, "0therspan");
+  EXPECT_EQ(evs[3].trace_id, "");
+}
+
+TEST(FlightTrace, TraceIdsAreExcludedFromEventPayload) {
+  telemetry::Event a = mk(telemetry::EventKind::CellFinish, "cell");
+  telemetry::Event b = a;
+  b.trace_id = telemetry::generate_trace_id();
+  b.span_id = telemetry::generate_span_id();
+  EXPECT_EQ(telemetry::event_payload(a), telemetry::event_payload(b))
+      << "random correlation ids must not break determinism identities";
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder ring.
+
+TEST(FlightRecorder, RingIsBoundedAndKeepsNewestOldestFirst) {
+  telemetry::FlightRecorderSink ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    telemetry::Event e = mk(telemetry::EventKind::SpanOpen,
+                            "e" + std::to_string(i));
+    e.seq = static_cast<std::uint64_t>(i + 1);
+    ring.on_event(e);
+  }
+  EXPECT_EQ(ring.total_seen(), 10u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 0; i < snap.size(); ++i)
+    EXPECT_EQ(snap[i].name, "e" + std::to_string(6 + i));  // e6..e9
+}
+
+TEST(FlightRecorder, PartiallyFilledRingSnapshotsInOrder) {
+  telemetry::FlightRecorderSink ring(8);
+  for (int i = 0; i < 3; ++i)
+    ring.on_event(mk(telemetry::EventKind::SpanOpen, "e" + std::to_string(i)));
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "e0");
+  EXPECT_EQ(snap[2].name, "e2");
+}
+
+TEST(FlightRecorder, DumpLinesAreByteIdenticalToEventToJson) {
+  telemetry::FlightRecorderSink ring(8);
+  telemetry::Event e = mk(telemetry::EventKind::CellFinish, "GEMM/n=64");
+  e.seq = 7;
+  e.t_s = 0.125;
+  e.source = "compute";
+  e.trace_id = "abcd";
+  e.wall_s = 0.5;
+  e.ok = 1;
+  ring.on_event(e);
+  ring.on_event(mk(telemetry::EventKind::SpanOpen, "span"));
+
+  std::ostringstream os;
+  EXPECT_EQ(ring.dump(os), 2u);
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, telemetry::event_to_json(e).dump(-1))
+      << "flight dump lines must match JsonlSink event lines byte-for-byte";
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_FALSE(std::getline(is, line)) << "exactly one line per event";
+}
+
+// ---------------------------------------------------------------------------
+// Timeline assembly and readback.
+
+// A synthetic but structurally faithful request slice: queued -> started ->
+// two cells (one computed with a nested span pair, one memo) -> finished.
+std::vector<telemetry::Event> request_slice(const std::string& trace) {
+  std::vector<telemetry::Event> evs;
+  std::uint64_t seq = 0;
+  auto push = [&](telemetry::Event e) {
+    e.seq = ++seq;
+    e.trace_id = trace;
+    e.span_id = "00000000000000ab";
+    e.request_id = "r1";
+    evs.push_back(std::move(e));
+  };
+  telemetry::Event q = mk(telemetry::EventKind::RequestQueued, "GEMM/n=64");
+  q.t_s = 1.0;
+  q.count = 3;  // queue depth after the push
+  push(q);
+  telemetry::Event st = mk(telemetry::EventKind::RequestStarted, "GEMM/n=64");
+  st.t_s = 1.25;
+  push(st);
+  push(mk(telemetry::EventKind::CellStart, "cellA"));
+  telemetry::Event so = mk(telemetry::EventKind::SpanOpen, "outer");
+  push(so);
+  push(mk(telemetry::EventKind::SpanOpen, "inner"));
+  telemetry::Event sci = mk(telemetry::EventKind::SpanClose, "inner");
+  sci.wall_s = 0.01;
+  push(sci);
+  telemetry::Event sco = mk(telemetry::EventKind::SpanClose, "outer");
+  sco.wall_s = 0.02;
+  push(sco);
+  telemetry::Event ca = mk(telemetry::EventKind::CellFinish, "cellA");
+  ca.source = "compute";
+  ca.wall_s = 0.04;
+  ca.modeled_s = 0.03;
+  push(ca);
+  push(mk(telemetry::EventKind::CellStart, "cellB"));
+  telemetry::Event cb = mk(telemetry::EventKind::CellFinish, "cellB");
+  cb.source = "memo";
+  cb.wall_s = 0.001;
+  push(cb);
+  telemetry::Event fin = mk(telemetry::EventKind::RequestFinished, "GEMM/n=64");
+  fin.t_s = 1.75;
+  fin.wall_s = 0.5;
+  fin.ok = 1;
+  push(fin);
+  return evs;
+}
+
+TEST(FlightTimeline, AssemblesQueueWaitCellsAndSpanDepth) {
+  auto slice = request_slice("1234567890abcdef1234567890abcdef");
+  // Deliver out of order: assembly must re-sort by seq.
+  std::reverse(slice.begin(), slice.end());
+  const auto t = telemetry::assemble_timeline(slice);
+  EXPECT_EQ(t.trace_id, "1234567890abcdef1234567890abcdef");
+  EXPECT_EQ(t.request_id, "r1");
+  EXPECT_EQ(t.key, "GEMM/n=64");
+  EXPECT_EQ(t.ok, 1);
+  EXPECT_DOUBLE_EQ(t.wall_s, 0.5);
+  EXPECT_NEAR(t.queue_wait_s, 0.25, 1e-12);  // started.t_s - queued.t_s
+  EXPECT_EQ(t.queue_depth, 3u);
+  EXPECT_EQ(t.cells, 2u);
+  EXPECT_EQ(t.cells_compute, 1u);
+  EXPECT_EQ(t.cells_memo, 1u);
+  EXPECT_EQ(t.cells_disk, 0u);
+  EXPECT_EQ(t.cells_coalesced, 0u);
+  ASSERT_EQ(t.cell_list.size(), 2u);
+  EXPECT_EQ(t.cell_list[0].name, "cellA");
+  EXPECT_EQ(t.cell_list[0].source, "compute");
+  ASSERT_EQ(t.spans.size(), 2u);
+  // Span closes arrive innermost-first; depth reflects nesting.
+  std::map<std::string, int> depth;
+  for (const auto& s : t.spans) depth[s.name] = s.depth;
+  EXPECT_EQ(depth.at("outer"), 0);
+  EXPECT_EQ(depth.at("inner"), 1);
+  EXPECT_EQ(t.events, slice.size());
+}
+
+TEST(FlightTimeline, RejectedRequestYieldsFailedTimelineWithQueueDepth) {
+  telemetry::Event rej = mk(telemetry::EventKind::RequestRejected, "key");
+  rej.seq = 1;
+  rej.trace_id = "ffff";
+  rej.request_id = "r2";
+  rej.source = "Overloaded";  // typed error code
+  rej.count = 16;             // queue depth at rejection (satellite 1)
+  rej.ok = 0;
+  const auto t = telemetry::assemble_timeline({rej});
+  EXPECT_EQ(t.ok, 0);
+  EXPECT_EQ(t.error, "Overloaded");
+  EXPECT_EQ(t.queue_depth, 16u);
+  EXPECT_EQ(t.cells, 0u);
+}
+
+TEST(FlightTimeline, JsonRoundTripsAndRejectsForeignRecords) {
+  const auto t = telemetry::assemble_timeline(
+      request_slice("1234567890abcdef1234567890abcdef"));
+  const report::Json j = telemetry::timeline_to_json(t);
+  const auto parsed = report::Json::parse(j.dump(-1));
+  ASSERT_TRUE(parsed.has_value());
+  telemetry::RequestTimeline back;
+  ASSERT_TRUE(telemetry::timeline_from_json(*parsed, &back));
+  EXPECT_EQ(back.trace_id, t.trace_id);
+  EXPECT_EQ(back.cells_compute, t.cells_compute);
+  EXPECT_EQ(back.cell_list.size(), t.cell_list.size());
+  EXPECT_EQ(back.spans.size(), t.spans.size());
+  EXPECT_DOUBLE_EQ(back.wall_s, t.wall_s);
+
+  // Not a slowlog record -> rejected, not half-parsed.
+  report::Json foreign = report::Json::object();
+  foreign["kind"] = report::Json::string("cubie-events");
+  EXPECT_FALSE(telemetry::timeline_from_json(foreign, &back));
+  EXPECT_FALSE(telemetry::timeline_from_json(report::Json::number(3), &back));
+}
+
+TEST(FlightForwardCompat, ParsersIgnoreUnknownFields) {
+  // Event readback: inject an unknown field, keep parsing.
+  telemetry::Event e = mk(telemetry::EventKind::CellFinish, "cell");
+  e.seq = 9;
+  e.source = "disk";
+  e.trace_id = "abcd";
+  report::Json j = telemetry::event_to_json(e);
+  j["some_future_field"] = report::Json::string("ignored");
+  j["another"] = report::Json::number(42);
+  telemetry::Event back;
+  ASSERT_TRUE(telemetry::event_from_json(j, &back));
+  EXPECT_EQ(back.kind, telemetry::EventKind::CellFinish);
+  EXPECT_EQ(back.seq, 9u);
+  EXPECT_EQ(back.source, "disk");
+  EXPECT_EQ(back.trace_id, "abcd");
+
+  // Unknown kind -> false (a reader can't misfile what it can't name).
+  report::Json unk = telemetry::event_to_json(e);
+  unk["kind"] = report::Json::string("teleport_start");
+  EXPECT_FALSE(telemetry::event_from_json(unk, &back));
+
+  // Timeline readback: same additive contract.
+  const auto t = telemetry::assemble_timeline(
+      request_slice("1234567890abcdef1234567890abcdef"));
+  report::Json tj = telemetry::timeline_to_json(t);
+  tj["future_aggregate"] = report::Json::number(7);
+  telemetry::RequestTimeline tback;
+  ASSERT_TRUE(telemetry::timeline_from_json(tj, &tback));
+  EXPECT_EQ(tback.cells, t.cells);
+}
+
+TEST(FlightTimeline, SliceForTraceMatchesPrefixes) {
+  std::vector<telemetry::Event> evs;
+  telemetry::Event a = mk(telemetry::EventKind::SpanOpen, "a");
+  a.trace_id = "aabbccdd";
+  telemetry::Event b = mk(telemetry::EventKind::SpanOpen, "b");
+  b.trace_id = "aabb0000";
+  telemetry::Event c = mk(telemetry::EventKind::SpanOpen, "c");
+  evs.push_back(a);
+  evs.push_back(b);
+  evs.push_back(c);  // untraced: never matches
+  EXPECT_EQ(telemetry::slice_for_trace(evs, "aabb").size(), 2u);
+  EXPECT_EQ(telemetry::slice_for_trace(evs, "aabbcc").size(), 1u);
+  EXPECT_EQ(telemetry::slice_for_trace(evs, "aabbccdd").size(), 1u);
+  EXPECT_TRUE(telemetry::slice_for_trace(evs, "ffff").empty());
+}
+
+TEST(FlightSlowlog, SinkCapturesFinishedAndKeepsSlowestFirst) {
+  telemetry::SlowlogSink sink("", /*slow_ms=*/0.0, /*keep=*/2);
+  auto feed = [&](const std::string& trace, double wall) {
+    for (auto e : request_slice(trace)) {
+      if (e.kind == telemetry::EventKind::RequestFinished) e.wall_s = wall;
+      sink.on_event(e);
+    }
+  };
+  feed("aaaa0000000000000000000000000001", 0.2);
+  feed("aaaa0000000000000000000000000002", 0.9);
+  feed("aaaa0000000000000000000000000003", 0.5);
+  const auto top = sink.top();
+  ASSERT_EQ(top.size(), 2u);  // keep=2: the fastest was evicted
+  EXPECT_DOUBLE_EQ(top[0].wall_s, 0.9);
+  EXPECT_DOUBLE_EQ(top[1].wall_s, 0.5);
+  EXPECT_EQ(top[0].trace_id, "aaaa0000000000000000000000000002");
+}
+
+// ---------------------------------------------------------------------------
+// Exemplars.
+
+TEST(FlightExemplars, RenderParseAndMerge) {
+  telemetry::MetricsRegistry reg;
+  auto& h = reg.histogram("cubie_request_latency_seconds", "latency",
+                          telemetry::latency_bucket_bounds());
+  h.observe(0.004, "aaaa1111aaaa1111aaaa1111aaaa1111");
+  h.observe(0.250, "bbbb2222bbbb2222bbbb2222bbbb2222");
+  h.observe(0.0001);  // no trace: counts, but no exemplar
+
+  const std::string text = telemetry::prometheus_text(reg);
+  EXPECT_NE(text.find(" # {trace_id=\"bbbb2222"), std::string::npos)
+      << "OpenMetrics exemplar syntax expected in the exposition:\n" << text;
+
+  std::string err;
+  const auto exp = telemetry::parse_prometheus_text(text, &err);
+  ASSERT_TRUE(exp.has_value()) << err;
+  // The parser still reads plain sample values off exemplar'd lines.
+  EXPECT_DOUBLE_EQ(exp->sum_over("cubie_request_latency_seconds_count"), 3.0);
+  const auto ex = exp->exemplars("cubie_request_latency_seconds");
+  ASSERT_EQ(ex.size(), 2u);
+  EXPECT_EQ(ex[0].trace_id, "bbbb2222bbbb2222bbbb2222bbbb2222");
+  EXPECT_DOUBLE_EQ(ex[0].value, 0.250);  // slowest first
+  EXPECT_EQ(ex[1].trace_id, "aaaa1111aaaa1111aaaa1111aaaa1111");
+
+  // Snapshot merge: the right side's exemplar is the fresher trace.
+  telemetry::Histogram h2(telemetry::latency_bucket_bounds());
+  h2.observe(0.004, "cccc3333cccc3333cccc3333cccc3333");
+  auto left = h.snapshot();
+  const auto right = h2.snapshot();
+  const std::size_t bucket = h.bucket_index(0.004);
+  left.merge(right);
+  ASSERT_GT(left.exemplars.size(), bucket);
+  EXPECT_EQ(left.exemplars[bucket].trace_id,
+            "cccc3333cccc3333cccc3333cccc3333");
+}
+
+TEST(FlightExemplars, BucketIndexMatchesBounds) {
+  telemetry::Histogram h({0.001, 0.01, 0.1});
+  EXPECT_EQ(h.bucket_index(0.0005), 0u);
+  EXPECT_EQ(h.bucket_index(0.001), 0u);  // le: closed on the right
+  EXPECT_EQ(h.bucket_index(0.005), 1u);
+  EXPECT_EQ(h.bucket_index(5.0), 3u);  // +Inf overflow bucket
+}
+
+// ---------------------------------------------------------------------------
+// Parallel trace partition: concurrent requests, each under its own scope,
+// keep their events fully separated by trace id (the property `cubie
+// explain` depends on when slicing a shared --events file).
+
+TEST(FlightEngine, ParallelRunsPartitionEventsByTrace) {
+  const auto plan_a =
+      engine::Plan::representative(64).with_workloads({"Scan"});
+  const auto plan_b =
+      engine::Plan::representative(64).with_workloads({"Reduction"});
+  const std::string trace_a = telemetry::generate_trace_id();
+  const std::string trace_b = telemetry::generate_trace_id();
+
+  const auto evs = capture([&] {
+    auto run = [](const engine::Plan& plan, const std::string& trace) {
+      telemetry::TraceScope scope(
+          telemetry::TraceContext{trace, telemetry::generate_span_id()});
+      engine::EngineOptions opt;
+      opt.jobs = 2;  // pool workers must inherit the submitter's context
+      engine::ExperimentEngine eng(opt);
+      eng.execute(plan);
+    };
+    std::thread ta(run, plan_a, trace_a);
+    std::thread tb(run, plan_b, trace_b);
+    ta.join();
+    tb.join();
+  });
+
+  std::size_t cells_a = 0, cells_b = 0;
+  for (const auto& e : evs) {
+    ASSERT_TRUE(e.trace_id == trace_a || e.trace_id == trace_b)
+        << "orphaned event: " << telemetry::event_payload(e);
+    EXPECT_FALSE(e.span_id.empty());
+    if (e.kind != telemetry::EventKind::CellFinish) continue;
+    if (e.trace_id == trace_a) ++cells_a;
+    if (e.trace_id == trace_b) ++cells_b;
+  }
+  EXPECT_GT(cells_a, 0u);
+  EXPECT_GT(cells_b, 0u);
+  // The slices reconcile independently: every cell in trace A's slice names
+  // a Scan cell, never a Reduction cell, and vice versa.
+  for (const auto& e : telemetry::slice_for_trace(evs, trace_a))
+    if (e.kind == telemetry::EventKind::CellFinish)
+      EXPECT_NE(e.name.find("Scan"), std::string::npos) << e.name;
+  for (const auto& e : telemetry::slice_for_trace(evs, trace_b))
+    if (e.kind == telemetry::EventKind::CellFinish)
+      EXPECT_NE(e.name.find("Reduction"), std::string::npos) << e.name;
+}
+
+}  // namespace
+}  // namespace cubie

@@ -18,8 +18,10 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/sinks.hpp"
+#include "telemetry/slowlog.hpp"
 #include "telemetry/telemetry.hpp"
 
 #include <gtest/gtest.h>
@@ -27,6 +29,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <string>
@@ -500,8 +503,14 @@ TEST(ServeServer, BoundedQueueRejectsWithOverloaded) {
   bool saw_rejected_event = false;
   for (const auto& e : sink->events())
     if (e.kind == telemetry::EventKind::RequestRejected &&
-        e.detail == "c" && e.source == "overloaded" && e.ok == 0)
+        e.detail == "c" && e.source == "overloaded" && e.ok == 0) {
       saw_rejected_event = true;
+      // The event records the queue depth observed at the moment of
+      // rejection (B was the one waiting request), so overload diagnosis
+      // works from the event stream alone.
+      EXPECT_EQ(e.count, 1u);
+      EXPECT_EQ(e.request_id, "c");  // distinct field, not just detail
+    }
   EXPECT_TRUE(saw_rejected_event);
   telemetry::bus().remove_sink(sink.get());
 }
@@ -630,6 +639,189 @@ TEST(ServeServer, RequestLifecycleOnTheBus) {
   EXPECT_EQ(queued, 1);
   EXPECT_EQ(started, 1);
   EXPECT_EQ(finished, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cubie-Flight: trace propagation over the wire, and the flight command.
+
+TEST(ServeProtocol, TraceFieldRoundTripsAndIsOmittedWhenAbsent) {
+  serve::Request r;
+  r.id = "t1";
+  r.cmd = serve::Cmd::Sleep;
+  r.trace = "00112233445566778899aabbccddeeff";
+  std::string err;
+  const auto back =
+      serve::parse_request(serve::request_to_json(r).dump(-1), &err);
+  ASSERT_TRUE(back) << err;
+  EXPECT_EQ(back->trace, r.trace);
+  // No trace -> the field never appears, preserving pre-trace wire bytes.
+  r.trace.clear();
+  EXPECT_EQ(serve::request_to_json(r).dump(-1).find("trace"),
+            std::string::npos);
+  EXPECT_EQ(serve::ok_line("t1", report::Json::object()).find("trace"),
+            std::string::npos);
+  const auto j = report::Json::parse(serve::ok_line(
+      "t1", report::Json::object(), "00112233445566778899aabbccddeeff"));
+  ASSERT_TRUE(j);
+  EXPECT_EQ(j->find("trace")->as_string(),
+            "00112233445566778899aabbccddeeff");
+}
+
+TEST(ServeServer, ClientTraceIsEchoedAndStampedOnEveryRequestEvent) {
+  auto sink = std::make_shared<telemetry::MemorySink>();
+  telemetry::bus().add_sink(sink);
+  const std::string trace = "deadbeefdeadbeefdeadbeefdeadbeef";
+  {
+    serve::ServerOptions opts;
+    opts.socket_path = temp_socket("trace_echo");
+    LiveServer live(opts);
+    std::string err;
+    auto client = serve::Client::connect({opts.socket_path, -1}, &err);
+    ASSERT_TRUE(client) << err;
+    auto req = sleep_request("tr1", 5);
+    req.trace = trace;
+    const auto resp = client->call(req, &err);
+    ASSERT_TRUE(resp) << err;
+    EXPECT_TRUE(resp->find("ok")->as_bool());
+    ASSERT_NE(resp->find("trace"), nullptr);
+    EXPECT_EQ(resp->find("trace")->as_string(), trace);
+  }
+  telemetry::bus().remove_sink(sink.get());
+  int lifecycle = 0;
+  for (const auto& e : sink->events()) {
+    if (e.request_id != "tr1") continue;
+    ++lifecycle;
+    EXPECT_EQ(e.trace_id, trace);
+    EXPECT_FALSE(e.span_id.empty());
+  }
+  EXPECT_EQ(lifecycle, 4);  // accepted, queued, started, finished
+}
+
+TEST(ServeServer, ResponseOmitsTraceWhenClientSentNoneButEventsCarryOne) {
+  auto sink = std::make_shared<telemetry::MemorySink>();
+  telemetry::bus().add_sink(sink);
+  {
+    serve::ServerOptions opts;
+    opts.socket_path = temp_socket("trace_mint");
+    LiveServer live(opts);
+    std::string err;
+    auto client = serve::Client::connect({opts.socket_path, -1}, &err);
+    ASSERT_TRUE(client) << err;
+    const auto resp = client->call(sleep_request("tm1", 5), &err);
+    ASSERT_TRUE(resp) << err;
+    EXPECT_TRUE(resp->find("ok")->as_bool());
+    // Byte-identity for legacy clients: no trace in -> no trace out.
+    EXPECT_EQ(resp->find("trace"), nullptr);
+  }
+  telemetry::bus().remove_sink(sink.get());
+  // The daemon still minted an id, so the request correlates in the stream.
+  std::string minted;
+  for (const auto& e : sink->events()) {
+    if (e.request_id != "tm1") continue;
+    ASSERT_EQ(e.trace_id.size(), 32u);
+    if (minted.empty()) minted = e.trace_id;
+    EXPECT_EQ(e.trace_id, minted);  // one id across the whole lifecycle
+  }
+  EXPECT_FALSE(minted.empty());
+}
+
+TEST(ServeServer, FlightCommandDumpsTheRingInline) {
+  serve::ServerOptions opts;
+  opts.socket_path = temp_socket("flight");
+  opts.flight_capacity = 64;
+  LiveServer live(opts);
+  std::string err;
+  auto client = serve::Client::connect({opts.socket_path, -1}, &err);
+  ASSERT_TRUE(client) << err;
+  const auto resp = client->call(sleep_request("f1", 5), &err);
+  ASSERT_TRUE(resp) << err;
+  ASSERT_TRUE(resp->find("ok")->as_bool());
+  // The worker emits RequestFinished just after writing the response; wait
+  // for it to land in the ring before scraping.
+  const auto ring = live.server.flight_recorder();
+  ASSERT_NE(ring, nullptr);
+  auto ring_has_finish = [&] {
+    for (const auto& e : ring->snapshot())
+      if (e.kind == telemetry::EventKind::RequestFinished &&
+          e.request_id == "f1")
+        return true;
+    return false;
+  };
+  for (int i = 0; i < 500 && !ring_has_finish(); ++i)
+    std::this_thread::sleep_for(2ms);
+
+  serve::Request freq;
+  freq.id = "f2";
+  freq.cmd = serve::Cmd::Flight;
+  const auto fl = client->call(freq, &err);
+  ASSERT_TRUE(fl) << err;
+  ASSERT_TRUE(fl->find("ok")->as_bool());
+  EXPECT_EQ(fl->find("capacity")->as_number(), 64.0);
+  const auto* events = fl->find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_EQ(fl->find("count")->as_number(),
+            static_cast<double>(events->size()));
+  // The ring holds f1's full lifecycle, in sequence order.
+  int finished = 0;
+  double prev_seq = -1.0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const auto& e = events->at(i);
+    const double seq = e.find("seq")->as_number();
+    EXPECT_GT(seq, prev_seq);
+    prev_seq = seq;
+    if (const auto* k = e.find("kind");
+        k != nullptr && k->as_string() == "request_finished" &&
+        e.find("request_id") != nullptr &&
+        e.find("request_id")->as_string() == "f1")
+      ++finished;
+  }
+  EXPECT_EQ(finished, 1);
+}
+
+TEST(ServeServer, SlowlogCapturesFinishedRequests) {
+  const std::string slowlog_path =
+      (std::filesystem::temp_directory_path() / "cubie_test_slowlog.jsonl")
+          .string();
+  {
+    serve::ServerOptions opts;
+    opts.socket_path = temp_socket("slowlog");
+    opts.slowlog_path = slowlog_path;
+    opts.slow_ms = 0.0;  // keep every finished request
+    LiveServer live(opts);
+    std::string err;
+    auto client = serve::Client::connect({opts.socket_path, -1}, &err);
+    ASSERT_TRUE(client) << err;
+    auto req = sleep_request("s1", 5);
+    req.trace = "0123456789abcdef0123456789abcdef";
+    const auto resp = client->call(req, &err);
+    ASSERT_TRUE(resp) << err;
+    ASSERT_TRUE(resp->find("ok")->as_bool());
+    const auto slowlog = live.server.slowlog();
+    ASSERT_NE(slowlog, nullptr);
+    // The worker emits RequestFinished just after writing the response, so
+    // the client can observe the reply a hair before the sink finalizes.
+    for (int i = 0; i < 500 && slowlog->top().empty(); ++i)
+      std::this_thread::sleep_for(2ms);
+    const auto top = slowlog->top();
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].trace_id, req.trace);
+    EXPECT_EQ(top[0].request_id, "s1");
+    EXPECT_EQ(top[0].ok, 1);
+    EXPECT_GE(top[0].wall_s, 0.0);
+    EXPECT_GE(top[0].queue_wait_s, 0.0);
+  }
+  // The file holds the same timeline, one JSON object per line.
+  std::ifstream is(slowlog_path);
+  ASSERT_TRUE(is.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  const auto j = report::Json::parse(line);
+  ASSERT_TRUE(j);
+  telemetry::RequestTimeline t;
+  ASSERT_TRUE(telemetry::timeline_from_json(*j, &t));
+  EXPECT_EQ(t.trace_id, "0123456789abcdef0123456789abcdef");
+  std::filesystem::remove(slowlog_path);
 }
 
 // ---------------------------------------------------------------------------

@@ -24,6 +24,8 @@
 //   cubie request <cmd> [workload] [--socket PATH | --port N]
 //                        [--deadline MS] [--json file]
 //   cubie top [--socket PATH | --port N] [--interval MS] [--iterations N]
+//   cubie flight [--socket PATH | --port N] [--json file]
+//   cubie explain <trace-id-prefix> --from FILE [--json file]
 //   cubie roofline <workload> [--variant V|all] [--case I|all] [--gpu G]
 //                        [--scale N] [--json file] [--jobs N] [--cache DIR]
 //
@@ -86,6 +88,8 @@
 #include "telemetry/history.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/sinks.hpp"
+#include "telemetry/slowlog.hpp"
+#include "telemetry/trace_context.hpp"
 
 #include <unistd.h>
 
@@ -109,7 +113,7 @@ using namespace cubie;
 
 constexpr const char* kSubcommands[] = {
     "list", "cases",  "run",   "profile", "check",   "record", "trend",
-    "serve", "loadgen", "request", "top",  "roofline",
+    "serve", "loadgen", "request", "top",  "roofline", "flight", "explain",
 };
 
 constexpr const char* kFlags[] = {
@@ -119,7 +123,8 @@ constexpr const char* kFlags[] = {
     "--metric", "--errors",      "--csv",     "--check",    "--socket",
     "--port",   "--workers",     "--queue-limit", "--concurrency",
     "--requests", "--sleep-ms",  "--deadline", "--metrics-out",
-    "--interval", "--iterations", "--model",
+    "--interval", "--iterations", "--model",   "--trace",    "--slow-ms",
+    "--slowlog", "--flight-size", "--flight-dump", "--from", "--no-trace",
 };
 
 int usage() {
@@ -140,13 +145,17 @@ int usage() {
       "  cubie trend [--history FILE] [--tol FRAC] [--metric NAME]\n"
       "  cubie serve [--socket PATH | --port N] [--workers N]\n"
       "            [--queue-limit N] [--jobs N] [--cache DIR]\n"
+      "            [--flight-size N] [--flight-dump FILE]\n"
+      "            [--slowlog FILE] [--slow-ms MS]\n"
       "  cubie loadgen [workload...] [--socket PATH | --port N]\n"
       "            [--concurrency N] [--requests N] [--sleep-ms MS]\n"
-      "            [--deadline MS] [--json file]\n"
+      "            [--deadline MS] [--json file] [--no-trace]\n"
       "  cubie request <cmd> [workload] [--socket PATH | --port N]\n"
-      "            [--deadline MS] [--json file]\n"
+      "            [--deadline MS] [--json file] [--trace ID]\n"
       "  cubie top [--socket PATH | --port N] [--interval MS]\n"
       "            [--iterations N]\n"
+      "  cubie flight [--socket PATH | --port N] [--json file]\n"
+      "  cubie explain <trace-id-prefix> --from FILE [--json file]\n"
       "  cubie roofline <workload> [--variant V|all] [--case I|all]\n"
       "            [--gpu G] [--scale N] [--json file] [--jobs N]\n"
       "            [--cache DIR]\n"
@@ -485,13 +494,24 @@ int cmd_cases(const core::Workload& w, int scale) {
 // --- Cubie-Serve ----------------------------------------------------------
 
 serve::Server* g_server = nullptr;  // for the signal handler only
+int g_flight_wake_wr = -1;  // SIGUSR2 self-pipe, write end
 
 extern "C" void on_shutdown_signal(int) {
   // Async-signal-safe: request_shutdown is an atomic store + pipe write.
   if (g_server != nullptr) g_server->request_shutdown();
 }
 
+extern "C" void on_flight_signal(int) {
+  // Async-signal-safe: the handler only writes one byte; the watcher
+  // thread in cmd_serve does the actual (allocating, locking) dump.
+  if (g_flight_wake_wr >= 0) {
+    const char b = 'f';
+    [[maybe_unused]] ssize_t n = ::write(g_flight_wake_wr, &b, 1);
+  }
+}
+
 int cmd_serve(serve::ServerOptions sopts) {
+  const std::string dump_path = sopts.flight_dump_path;
   serve::Server server(std::move(sopts));
   std::string err;
   if (!server.start(&err)) {
@@ -501,11 +521,41 @@ int cmd_serve(serve::ServerOptions sopts) {
   g_server = &server;
   std::signal(SIGINT, on_shutdown_signal);
   std::signal(SIGTERM, on_shutdown_signal);
+  // Cubie-Flight: SIGUSR2 dumps the flight ring to --flight-dump via the
+  // self-pipe pattern (handler writes a byte, this thread does the I/O).
+  int flight_pipe[2] = {-1, -1};
+  std::thread flight_watcher;
+  const auto flight = server.flight_recorder();
+  if (flight && !dump_path.empty() && ::pipe(flight_pipe) == 0) {
+    g_flight_wake_wr = flight_pipe[1];
+    std::signal(SIGUSR2, on_flight_signal);
+    flight_watcher = std::thread([flight, dump_path, rd = flight_pipe[0]] {
+      char b;
+      for (;;) {
+        const ssize_t n = ::read(rd, &b, 1);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return;  // write end closed: serve() is done
+        if (flight->dump_file(dump_path))
+          std::cerr << "cubie serve: flight ring dumped to " << dump_path
+                    << '\n';
+      }
+    });
+  }
   std::cerr << "cubie serve: listening on " << server.endpoint() << " ("
             << "workers " << server.engine().options().jobs << "x engine jobs"
-            << "; SIGINT or a 'shutdown' request drains)\n";
+            << "; SIGINT or a 'shutdown' request drains"
+            << (flight_watcher.joinable() ? "; SIGUSR2 dumps the flight ring"
+                                          : "")
+            << ")\n";
   server.serve();
   g_server = nullptr;
+  if (flight_watcher.joinable()) {
+    std::signal(SIGUSR2, SIG_DFL);
+    g_flight_wake_wr = -1;
+    ::close(flight_pipe[1]);  // watcher's read() returns 0 and it exits
+    flight_watcher.join();
+    ::close(flight_pipe[0]);
+  }
   const auto st = server.stats();
   const auto ec = server.engine().counters();
   std::cerr << "cubie serve: drained. " << st.completed << " completed, "
@@ -619,6 +669,10 @@ int cmd_request(const serve::Endpoint& ep, serve::Request req,
     std::cerr << "cubie request: " << code << ": " << msg << '\n';
     return 1;
   }
+  // Cubie-Flight: surface the trace id this request ran under (stderr, so
+  // piped stdout output stays clean) — it feeds `cubie explain` and greps
+  // of --events / flight dumps.
+  if (!req.trace.empty()) std::cerr << "[trace: " << req.trace << "]\n";
   if (!json_path.empty()) {
     // With a MetricsReport in the response, write just the report,
     // formatted exactly like write_file — byte-comparable (cmp) with a
@@ -769,9 +823,124 @@ int cmd_top(const serve::Endpoint& ep, double interval_ms, int iterations) {
               << " ms  p95 " << common::fmt_double(p95, 3) << " ms  p99 "
               << common::fmt_double(p99, 3) << " ms  (n="
               << static_cast<long long>(n_lat) << ")\n";
+    // Cubie-Flight: the slowest recent requests, from the exemplar trace
+    // ids the daemon attaches to its latency-histogram buckets — the ids
+    // feed straight into `cubie explain`.
+    const auto slowest = exp->exemplars("cubie_request_latency_seconds");
+    for (std::size_t s = 0; s < slowest.size() && s < 3; ++s)
+      std::cout << (s == 0 ? "slowest   " : "          ")
+                << slowest[s].trace_id << "  "
+                << common::fmt_double(slowest[s].value * 1e3, 3) << " ms\n";
     if (!tty) std::cout << '\n';
     std::cout.flush();
   }
+  return 0;
+}
+
+// --- cubie flight ----------------------------------------------------------
+// Dump a running daemon's Cubie-Flight recorder ring (the Cmd::Flight
+// control command — answered inline, so the recent history is retrievable
+// even while the workers are wedged). Default output: one compact JSON
+// event object per line, oldest first — byte-identical to the
+// corresponding lines of a concurrently written --events file. --json
+// writes the full response envelope instead.
+int cmd_flight(const serve::Endpoint& ep, const std::string& json_path) {
+  std::string err;
+  auto client = serve::Client::connect(ep, &err);
+  if (!client) {
+    std::cerr << "cubie flight: " << err << '\n';
+    return 1;
+  }
+  serve::Request req;
+  req.id = "cli-flight";
+  req.cmd = serve::Cmd::Flight;
+  auto resp = client->call(req, &err);
+  if (!resp) {
+    std::cerr << "cubie flight: " << err << '\n';
+    return 1;
+  }
+  const report::Json* ok = resp->find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    std::cerr << "cubie flight: daemon refused the flight command\n";
+    return 1;
+  }
+  const report::Json* events = resp->find("events");
+  if (events == nullptr || !events->is_array()) {
+    std::cerr << "cubie flight: response carried no events array\n";
+    return 1;
+  }
+  if (!json_path.empty()) {
+    const std::string text = resp->dump(2) + "\n";
+    if (json_path == "-") {
+      std::cout << text;
+    } else {
+      std::ofstream os(json_path);
+      if (!os || !(os << text)) {
+        std::cerr << "cannot write " << json_path << '\n';
+        return 1;
+      }
+      std::cerr << "[json report: " << json_path << "]\n";
+    }
+    return 0;
+  }
+  for (std::size_t i = 0; i < events->size(); ++i)
+    std::cout << events->at(i).dump(-1) << '\n';
+  return 0;
+}
+
+// --- cubie explain ---------------------------------------------------------
+// Reconstruct one request's timeline from a file: either a --slowlog JSONL
+// (one pre-assembled cubie-slowlog timeline per line) or a --events JSONL
+// (raw event stream; the trace's slice is re-assembled here). The file
+// kind is detected per line, so a mixed file also works. The positional is
+// a trace-id prefix; the first matching timeline wins.
+int cmd_explain(const std::string& trace_prefix, const std::string& from_path,
+                const std::string& json_path) {
+  std::ifstream is(from_path);
+  if (!is) {
+    std::cerr << "cubie explain: cannot open " << from_path << '\n';
+    return 1;
+  }
+  std::optional<telemetry::RequestTimeline> found;
+  std::vector<telemetry::Event> events;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    auto j = report::Json::parse(line, nullptr);
+    if (!j) continue;
+    telemetry::RequestTimeline t;
+    if (telemetry::timeline_from_json(*j, &t)) {
+      if (!found && t.trace_id.rfind(trace_prefix, 0) == 0) found = std::move(t);
+      continue;
+    }
+    telemetry::Event e;
+    if (telemetry::event_from_json(*j, &e)) events.push_back(std::move(e));
+  }
+  if (!found) {
+    auto slice = telemetry::slice_for_trace(events, trace_prefix);
+    if (!slice.empty())
+      found = telemetry::assemble_timeline(std::move(slice));
+  }
+  if (!found) {
+    std::cerr << "cubie explain: no timeline for trace '" << trace_prefix
+              << "' in " << from_path << '\n';
+    return 1;
+  }
+  if (!json_path.empty()) {
+    const std::string text = telemetry::timeline_to_json(*found).dump(2) + "\n";
+    if (json_path == "-") {
+      std::cout << text;
+    } else {
+      std::ofstream os(json_path);
+      if (!os || !(os << text)) {
+        std::cerr << "cannot write " << json_path << '\n';
+        return 1;
+      }
+      std::cerr << "[json report: " << json_path << "]\n";
+    }
+    return 0;
+  }
+  telemetry::render_timeline(*found, std::cout);
   return 0;
 }
 
@@ -902,6 +1071,14 @@ int main(int argc, char** argv) {
   int port = -1, workers = 2, queue_limit = 16;
   int concurrency = 4, requests = 64;
   double sleep_ms = 0.0, deadline_ms = 0.0;
+  // Cubie-Flight.
+  std::string trace_arg;   // request: explicit trace id (default: minted)
+  bool no_trace = false;   // request / loadgen: send no trace field
+  int flight_size = -1;    // serve: ring capacity (-1 = default, 0 = off)
+  std::string flight_dump = "cubie_flight.jsonl";  // SIGUSR2 / auto-dump
+  std::string slowlog_path;  // serve: arm the slowlog when non-empty
+  double slow_ms = 100.0;    // serve: slowlog threshold (<= 0: keep all)
+  std::string from_path;     // explain: slowlog or events JSONL to read
   // cubie top / --metrics-out.
   double interval_ms = 1000.0;
   int iterations = 0;  // 0 = until interrupted
@@ -964,6 +1141,14 @@ int main(int argc, char** argv) {
     else if (args[i] == "--sleep-ms") sleep_ms = std::atof(next("--sleep-ms").c_str());
     else if (args[i] == "--deadline")
       deadline_ms = std::atof(next("--deadline").c_str());
+    else if (args[i] == "--trace") trace_arg = next("--trace");
+    else if (args[i] == "--no-trace") no_trace = true;
+    else if (args[i] == "--flight-size")
+      flight_size = std::max(0, std::atoi(next("--flight-size").c_str()));
+    else if (args[i] == "--flight-dump") flight_dump = next("--flight-dump");
+    else if (args[i] == "--slowlog") slowlog_path = next("--slowlog");
+    else if (args[i] == "--slow-ms") slow_ms = std::atof(next("--slow-ms").c_str());
+    else if (args[i] == "--from") from_path = next("--from");
     else if (!args[i].empty() && args[i][0] == '-')
       return unknown_flag(cmd, args[i]);
     else positionals.push_back(args[i]);
@@ -993,8 +1178,30 @@ int main(int argc, char** argv) {
     return cmd_record(json_path, history_path, std::move(sha), perturb);
   if (cmd == "trend") return cmd_trend(history_path, tol, trend_metric);
 
+  // explain is pure file readback: no engine, no daemon.
+  if (cmd == "explain") {
+    if (positionals.empty()) {
+      std::cerr << "cubie explain needs a trace-id prefix\n";
+      return 2;
+    }
+    if (from_path.empty()) {
+      std::cerr << "cubie explain needs --from FILE "
+                   "(a --slowlog or --events JSONL)\n";
+      return 2;
+    }
+    return cmd_explain(positionals[0], from_path, json_path);
+  }
+
   // The client commands talk to a daemon's engine, not their own.
   const serve::Endpoint ep{socket_path, port};
+  if (cmd == "flight") {
+    if (socket_path.empty() && port < 0) {
+      std::cerr << "cubie flight needs an endpoint: --socket PATH or "
+                   "--port N\n";
+      return 2;
+    }
+    return cmd_flight(ep, json_path);
+  }
   if (cmd == "top") {
     if (socket_path.empty() && port < 0) {
       std::cerr << "cubie top needs an endpoint: --socket PATH or --port N\n";
@@ -1008,6 +1215,7 @@ int main(int argc, char** argv) {
     lo.concurrency = concurrency;
     lo.requests = requests;
     lo.deadline_ms = deadline_ms;
+    lo.trace = !no_trace;
     for (const auto& name : positionals) {
       serve::Request r;
       r.cmd = serve::Cmd::Run;
@@ -1035,13 +1243,13 @@ int main(int argc, char** argv) {
   if (cmd == "request") {
     if (positionals.empty()) {
       std::cerr << "cubie request needs a protocol cmd "
-                   "(run|suite|check|stats|metrics|ping|sleep|shutdown)\n";
+                   "(run|suite|check|stats|metrics|ping|sleep|flight|shutdown)\n";
       return 2;
     }
     const auto pc = serve::parse_cmd(positionals[0]);
     if (!pc) {
       std::cerr << "cubie request: unknown protocol cmd '" << positionals[0]
-                << "' (run|suite|check|stats|metrics|ping|sleep|shutdown)\n";
+                << "' (run|suite|check|stats|metrics|ping|sleep|flight|shutdown)\n";
       return 2;
     }
     serve::Request r;
@@ -1057,6 +1265,20 @@ int main(int argc, char** argv) {
     r.spec.check = check_flag;
     r.sleep_ms = sleep_ms;
     r.deadline_ms = deadline_ms;
+    // Cubie-Flight: every CLI request runs under a trace id — an explicit
+    // --trace ID, or a minted one — unless --no-trace opts out (e.g. to
+    // reproduce the exact pre-trace wire bytes).
+    if (!no_trace) {
+      if (trace_arg.empty()) {
+        r.trace = telemetry::generate_trace_id();
+      } else if (telemetry::valid_trace_id(trace_arg)) {
+        r.trace = trace_arg;
+      } else {
+        std::cerr << "cubie request: --trace must be 1-32 lowercase hex "
+                     "chars, got '" << trace_arg << "'\n";
+        return 2;
+      }
+    }
     return cmd_request(ep, std::move(r), json_path);
   }
 
@@ -1069,6 +1291,11 @@ int main(int argc, char** argv) {
     sopts.workers = workers;
     sopts.queue_limit = queue_limit;
     sopts.engine = eng_opts;
+    if (flight_size >= 0)
+      sopts.flight_capacity = static_cast<std::size_t>(flight_size);
+    sopts.flight_dump_path = flight_dump;
+    sopts.slowlog_path = slowlog_path;
+    sopts.slow_ms = slow_ms;
     if (sopts.socket_path.empty() && sopts.tcp_port < 0) {
       std::cerr << "cubie serve needs an endpoint: --socket PATH or "
                    "--port N (0 = ephemeral)\n";

@@ -61,7 +61,8 @@ for line in open(sys.argv[3]):
     if line.startswith("# TYPE "):
         typed.add(line.split(" ")[2])
         continue
-    name, value = line.rsplit(" ", 1)
+    # Strip a trailing OpenMetrics exemplar (Cubie-Flight) before the split.
+    name, value = line.split(" # ")[0].rsplit(" ", 1)
     series[name] = float(value)
 assert helped == typed and helped, (helped, typed)
 for name in series:

@@ -99,7 +99,8 @@ for line in open(sys.argv[1]):
     line = line.strip()
     if not line or line.startswith("#"):
         continue
-    name, value = line.rsplit(" ", 1)
+    # Strip a trailing OpenMetrics exemplar (Cubie-Flight) before the split.
+    name, value = line.split(" # ")[0].rsplit(" ", 1)
     series[name] = float(value)
 env = json.load(open(sys.argv[2]))
 eng = env["engine"]
