@@ -1,0 +1,107 @@
+#include "cluster/merge.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace cubie::cluster {
+
+namespace {
+
+bool fail(std::string* error, std::string msg) {
+  if (error) *error = std::move(msg);
+  return false;
+}
+
+}  // namespace
+
+std::optional<report::MetricsReport> merge_shard_reports(
+    const std::vector<report::MetricsReport>& shards,
+    const std::vector<std::string>& canonical_keys, std::string* error) {
+  if (shards.empty()) {
+    if (error) *error = "no shard reports to merge";
+    return std::nullopt;
+  }
+
+  // Index every shard record by identity; overlap is a router bug (shards
+  // must partition the suite) and is reported, not silently resolved.
+  std::unordered_map<std::string, const report::MetricRecord*> by_key;
+  by_key.reserve(canonical_keys.size());
+  for (const auto& shard : shards) {
+    if (shard.tool != shards.front().tool ||
+        shard.title != shards.front().title ||
+        shard.scale_divisor != shards.front().scale_divisor) {
+      fail(error, "shard reports disagree on tool/title/scale ('" +
+                      shard.tool + "' vs '" + shards.front().tool + "')");
+      return std::nullopt;
+    }
+    for (const auto& rec : shard.records) {
+      const auto [it, inserted] = by_key.emplace(rec.key(), &rec);
+      if (!inserted) {
+        fail(error, "record '" + rec.key() + "' appears in two shards");
+        return std::nullopt;
+      }
+    }
+  }
+  if (by_key.size() != canonical_keys.size()) {
+    fail(error, "shards carry " + std::to_string(by_key.size()) +
+                    " records, expected " +
+                    std::to_string(canonical_keys.size()));
+    return std::nullopt;
+  }
+
+  report::MetricsReport merged;
+  merged.tool = shards.front().tool;
+  merged.title = shards.front().title;
+  merged.scale_divisor = shards.front().scale_divisor;
+  merged.records.reserve(canonical_keys.size());
+  for (const auto& key : canonical_keys) {
+    const auto it = by_key.find(key);
+    if (it == by_key.end()) {
+      fail(error, "no shard produced record '" + key + "'");
+      return std::nullopt;
+    }
+    merged.records.push_back(*it->second);
+  }
+  return merged;
+}
+
+report::EngineStats merge_engine_stats(const report::EngineStats& a,
+                                       const report::EngineStats& b) {
+  report::EngineStats m;
+  m.cells = a.cells + b.cells;
+  m.memo_hits = a.memo_hits + b.memo_hits;
+  m.disk_hits = a.disk_hits + b.disk_hits;
+  m.coalesced_hits = a.coalesced_hits + b.coalesced_hits;
+  m.misses = a.misses + b.misses;
+  m.traced_reruns = a.traced_reruns + b.traced_reruns;
+  m.disk_errors = a.disk_errors + b.disk_errors;
+  m.exec_wall_s = a.exec_wall_s + b.exec_wall_s;
+  m.max_cell_wall_s = std::max(a.max_cell_wall_s, b.max_cell_wall_s);
+  return m;
+}
+
+report::HwStats merge_hw_stats(const report::HwStats& a,
+                               const report::HwStats& b) {
+  if (!a.available && !b.available) {
+    report::HwStats m = a;
+    if (m.unavailable_reason.empty()) m.unavailable_reason =
+        b.unavailable_reason;
+    return m;
+  }
+  report::HwStats m;
+  m.available = true;
+  const report::HwStats* sides[2] = {&a, &b};
+  for (const auto* s : sides) {
+    if (!s->available) continue;
+    m.cells += s->cells;
+    m.cycles += s->cycles;
+    m.instructions += s->instructions;
+    m.cache_references += s->cache_references;
+    m.cache_misses += s->cache_misses;
+    m.task_clock_s += s->task_clock_s;
+  }
+  return m;
+}
+
+}  // namespace cubie::cluster

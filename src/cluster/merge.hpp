@@ -1,0 +1,48 @@
+#pragma once
+// Cubie-Cluster report merging: recombine per-shard fig03_perf
+// MetricsReports into the single report a non-clustered `suite` request
+// would have produced.
+//
+// Records merge by concatenation: each worker emits its shard's records in
+// canonical order (serve::suite_shard_report walks the full suite
+// enumeration and filters), so the merge just places every record at its
+// canonical position — values are copied bit-for-bit, never recomputed,
+// which is what makes a cluster-served suite bench_diff --tol 0 zero-delta
+// against a direct single-engine run. Non-finite sentinel metrics survive
+// too: JSON has no NaN/Inf, so they serialize as null and parse back as
+// NaN (report::from_json), making the merged report's serialized form
+// byte-identical to the direct run's.
+//
+// Engine counter blocks merge associatively, exactly like Cubie-Pulse
+// snapshot merging: counting fields and exec_wall_s sum, max_cell_wall_s
+// takes the max. Hardware-counter blocks sum when available.
+
+#include "common/report.hpp"
+
+#include <string>
+#include <vector>
+
+namespace cubie::cluster {
+
+// Merge shard reports into the full suite report whose records appear in
+// `canonical_keys` order (see shard.hpp canonical_suite_record_keys).
+// Shards may arrive in any order — the result is identical for every
+// permutation. Fails (nullopt, *error set) when two shards carry the same
+// record key (overlap), a record's key is not canonical, a canonical key
+// is missing, or the shards disagree on tool/title/scale_divisor.
+std::optional<report::MetricsReport> merge_shard_reports(
+    const std::vector<report::MetricsReport>& shards,
+    const std::vector<std::string>& canonical_keys, std::string* error);
+
+// Associative engine-counter merge (a ⊕ b): counting fields and
+// exec_wall_s add, max_cell_wall_s maxes.
+report::EngineStats merge_engine_stats(const report::EngineStats& a,
+                                       const report::EngineStats& b);
+
+// Associative hardware-counter merge. An unavailable side contributes
+// nothing; the merged block is available when either side is, and keeps
+// the first unavailable_reason otherwise.
+report::HwStats merge_hw_stats(const report::HwStats& a,
+                               const report::HwStats& b);
+
+}  // namespace cubie::cluster

@@ -1,0 +1,950 @@
+#include "cluster/router.hpp"
+
+#include "cluster/merge.hpp"
+#include "common/report.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace cubie::cluster {
+namespace {
+
+using serve::Cmd;
+using serve::ErrorCode;
+using serve::Request;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// One front-end client connection (same shape as the serve daemon's: the
+// fd is owned here, writes are serialized so concurrent shard completions
+// never interleave response bytes).
+struct Conn {
+  explicit Conn(int fd) : fd(fd) {}
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  bool send_line(const std::string& line) {
+    std::lock_guard<std::mutex> lk(write_mu);
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  int fd;
+  std::mutex write_mu;
+};
+
+// The typed wire code of a parsed worker response ("" when ok=true).
+std::string response_error_code(const report::Json& resp) {
+  const report::Json* ok = resp.find("ok");
+  if (ok != nullptr && ok->is_bool() && ok->as_bool()) return "";
+  if (const report::Json* e = resp.find("error")) {
+    if (const report::Json* c = e->find("code"); c != nullptr && c->is_string())
+      return c->as_string();
+  }
+  return "internal";
+}
+
+std::string response_error_message(const report::Json& resp) {
+  if (const report::Json* e = resp.find("error")) {
+    if (const report::Json* m = e->find("message");
+        m != nullptr && m->is_string())
+      return m->as_string();
+  }
+  return "worker error";
+}
+
+ErrorCode error_code_from_name(const std::string& name) {
+  if (name == "bad_request") return ErrorCode::BadRequest;
+  if (name == "overloaded") return ErrorCode::Overloaded;
+  if (name == "deadline_exceeded") return ErrorCode::DeadlineExceeded;
+  if (name == "shutting_down") return ErrorCode::ShuttingDown;
+  return ErrorCode::Internal;
+}
+
+// Parse a worker response's "engine" block back into the typed counters
+// (the inverse of report::to_json(EngineStats); absent fields stay 0).
+report::EngineStats engine_stats_from_json(const report::Json* j) {
+  report::EngineStats s;
+  if (j == nullptr || !j->is_object()) return s;
+  auto num = [&](const char* key) {
+    const report::Json* v = j->find(key);
+    return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+  };
+  s.cells = num("cells");
+  s.memo_hits = num("memo_hits");
+  s.disk_hits = num("disk_hits");
+  s.coalesced_hits = num("coalesced_hits");
+  s.misses = num("misses");
+  s.traced_reruns = num("traced_reruns");
+  s.disk_errors = num("disk_errors");
+  s.exec_wall_s = num("exec_wall_s");
+  s.max_cell_wall_s = num("max_cell_wall_s");
+  return s;
+}
+
+std::string endpoint_label(const serve::Endpoint& ep) {
+  return !ep.socket_path.empty()
+             ? "unix:" + ep.socket_path
+             : "tcp:127.0.0.1:" + std::to_string(ep.tcp_port);
+}
+
+// Shard/request lifecycle events ride the same bus schema as the serve
+// daemon's so `cubie explain` and the flight ring work unchanged.
+void emit_event(telemetry::EventKind kind, const std::string& name,
+                const std::string& request_id,
+                const telemetry::TraceContext& trace, std::size_t count = 0,
+                double wall_s = -1.0, const char* source = nullptr,
+                int ok = -1) {
+  auto& bus = telemetry::bus();
+  if (!bus.enabled()) return;
+  telemetry::Event e;
+  e.kind = kind;
+  e.name = name;
+  e.detail = request_id;
+  e.request_id = request_id;
+  e.trace_id = trace.trace_id;
+  e.span_id = trace.span_id;
+  e.count = count;
+  e.wall_s = wall_s;
+  if (source != nullptr) e.source = source;
+  e.ok = ok;
+  bus.emit(std::move(e));
+}
+
+}  // namespace
+
+struct Router::Impl {
+  explicit Impl(RouterOptions o)
+      : opts(std::move(o)),
+        eng(opts.engine),
+        registry(std::make_shared<telemetry::MetricsRegistry>()) {}
+
+  // Per-worker live state. Mutable fields are guarded by Impl::mu (probe
+  // thread, reader threads, and fan-out threads all touch them).
+  struct Worker {
+    WorkerSpec spec;
+    bool healthy = true;
+    std::size_t consecutive_failures = 0;
+    std::size_t inflight = 0;
+    std::size_t shards = 0;
+  };
+
+  RouterOptions opts;
+  engine::ExperimentEngine eng;  // enumeration + cost pricing only
+  std::shared_ptr<telemetry::MetricsRegistry> registry;
+  telemetry::SinkSet pulse_sinks;
+  std::shared_ptr<telemetry::FlightRecorderSink> flight;
+  Clock::time_point start_time{};
+
+  int listen_fd = -1;
+  int wake_rd = -1;
+  int wake_wr = -1;
+  int bound_port = -1;
+  std::string endpoint_str;
+  bool started = false;
+
+  std::atomic<bool> shutdown_flag{false};
+
+  mutable std::mutex mu;  // guards workers, router_stats, conns, readers
+  std::condition_variable probe_cv;  // wakes the prober early on shutdown
+  std::vector<Worker> workers;
+  RouterStats router_stats;
+  std::vector<std::weak_ptr<Conn>> conns;
+  std::vector<std::thread> readers;
+  std::thread prober;
+
+  // --- metrics ---------------------------------------------------------
+  telemetry::Counter& cluster_counter(const char* name, const char* help,
+                                      const std::string& worker = "") {
+    if (worker.empty()) return registry->counter(name, help);
+    return registry->counter(name, help, {{"worker", worker}});
+  }
+
+  void refresh_worker_gauges() {
+    std::lock_guard<std::mutex> lk(mu);
+    std::size_t healthy = 0;
+    for (const auto& w : workers) {
+      if (w.healthy) ++healthy;
+      registry
+          ->gauge("cubie_cluster_inflight",
+                  "Router->worker calls currently outstanding.",
+                  {{"worker", w.spec.name}})
+          .set(static_cast<double>(w.inflight));
+    }
+    registry
+        ->gauge("cubie_cluster_workers", "Workers configured in the router.")
+        .set(static_cast<double>(workers.size()));
+    registry
+        ->gauge("cubie_cluster_workers_healthy",
+                "Workers currently passing health probes.")
+        .set(static_cast<double>(healthy));
+  }
+
+  void count_retry() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++router_stats.retries;
+    }
+    cluster_counter("cubie_cluster_retries_total",
+                    "Same-worker retries after an overloaded answer.")
+        .inc();
+  }
+
+  void count_failover() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++router_stats.failovers;
+    }
+    cluster_counter("cubie_cluster_failovers_total",
+                    "Requests moved to another worker after a failure.")
+        .inc();
+  }
+
+  // --- worker selection / health --------------------------------------
+  void mark_unhealthy(std::size_t wi) {
+    std::lock_guard<std::mutex> lk(mu);
+    workers[wi].consecutive_failures = std::max(
+        workers[wi].consecutive_failures,
+        static_cast<std::size_t>(opts.unhealthy_after));
+    workers[wi].healthy = false;
+  }
+
+  std::vector<std::size_t> healthy_workers() const {
+    std::lock_guard<std::mutex> lk(mu);
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < workers.size(); ++i)
+      if (workers[i].healthy) out.push_back(i);
+    return out;
+  }
+
+  std::size_t least_loaded(const std::vector<std::size_t>& candidates) const {
+    std::lock_guard<std::mutex> lk(mu);
+    std::size_t best = candidates.front();
+    for (std::size_t i : candidates)
+      if (workers[i].inflight < workers[best].inflight) best = i;
+    return best;
+  }
+
+  void add_inflight(std::size_t wi, long delta) {
+    std::lock_guard<std::mutex> lk(mu);
+    workers[wi].inflight =
+        static_cast<std::size_t>(static_cast<long>(workers[wi].inflight) +
+                                 delta);
+  }
+
+  // One router->worker exchange over a fresh connection: sends `line`,
+  // returns the raw response line (nullopt on connect/transport failure).
+  std::optional<std::string> exchange(std::size_t wi, const std::string& line) {
+    serve::Endpoint ep;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ep = workers[wi].spec.endpoint;
+    }
+    std::string err;
+    auto client = serve::Client::connect(ep, &err);
+    if (!client) return std::nullopt;
+    add_inflight(wi, 1);
+    std::optional<std::string> raw;
+    if (client->send_line(line)) raw = client->recv_line();
+    add_inflight(wi, -1);
+    return raw;
+  }
+
+  // Forward one request with retry + failover. Candidates are tried in
+  // order; an "overloaded" answer retries the same worker under the
+  // RetryPolicy's jittered backoff, a transport failure or "shutting_down"
+  // answer demotes the worker and moves on (a failover). Returns the raw
+  // response line to relay, or nullopt with *code/*message set.
+  std::optional<std::string> forward(const Request& req,
+                                     const std::vector<std::size_t>& candidates,
+                                     ErrorCode* code, std::string* message) {
+    const std::string line = serve::request_to_json(req).dump(-1);
+    const auto t0 = Clock::now();
+    bool failed_over = false;
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      const std::size_t wi = candidates[ci];
+      if (failed_over) count_failover();
+      serve::RetrySchedule sched(opts.retry);
+      for (;;) {
+        auto raw = exchange(wi, line);
+        if (!raw) {
+          // The worker is gone mid-conversation: demote it immediately so
+          // concurrent shards stop picking it, and move on.
+          mark_unhealthy(wi);
+          failed_over = true;
+          break;
+        }
+        auto resp = report::Json::parse(*raw, nullptr);
+        if (!resp) {
+          mark_unhealthy(wi);
+          failed_over = true;
+          break;
+        }
+        const std::string ec = response_error_code(*resp);
+        if (ec.empty()) return raw;  // success
+        if (ec == serve::error_code_name(ErrorCode::ShuttingDown)) {
+          mark_unhealthy(wi);
+          failed_over = true;
+          break;
+        }
+        if (serve::retryable_error_code(ec)) {
+          if (const auto delay =
+                  sched.next_delay_ms(seconds_since(t0) * 1e3)) {
+            count_retry();
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(*delay));
+            continue;
+          }
+          // Retry budget spent on this worker; try the next one.
+          failed_over = true;
+          break;
+        }
+        // A typed, non-retryable answer (bad_request, deadline_exceeded,
+        // internal): failing over would just re-fail — propagate it.
+        if (code) *code = error_code_from_name(ec);
+        if (message) *message = response_error_message(*resp);
+        return std::nullopt;
+      }
+    }
+    if (code) *code = ErrorCode::Overloaded;
+    if (message)
+      *message = candidates.empty()
+                     ? "no healthy cluster worker"
+                     : "every cluster worker failed or is overloaded";
+    return std::nullopt;
+  }
+
+  // --- suite fan-out ---------------------------------------------------
+  void handle_suite(const std::shared_ptr<Conn>& conn, const Request& r,
+                    const telemetry::TraceContext& trace) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++router_stats.suites;
+    }
+    cluster_counter("cubie_cluster_suites_total",
+                    "Suite requests fanned out across the cluster.")
+        .inc();
+
+    auto healthy = healthy_workers();
+    if (healthy.empty()) {
+      std::lock_guard<std::mutex> lk(mu);
+      ++router_stats.rejected_unavailable;
+      conn->send_line(serve::error_line(r.id, ErrorCode::Overloaded,
+                                        "no healthy cluster worker", r.trace));
+      return;
+    }
+
+    const auto cells = enumerate_suite_cells(eng, r.spec.scale);
+    std::vector<std::string> names;
+    names.reserve(healthy.size());
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      for (std::size_t i : healthy) names.push_back(workers[i].spec.name);
+    }
+    const ShardAssignment assignment = assign_cells(cells, names);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      router_stats.last_imbalance_ratio = assignment.imbalance_ratio;
+    }
+    registry
+        ->gauge("cubie_cluster_imbalance_ratio",
+                "Modeled max/mean worker load of the last suite assignment.")
+        .set(assignment.imbalance_ratio);
+
+    // One thread per non-empty shard; each forwards with failover and
+    // parses the worker's report + engine block.
+    struct ShardResult {
+      std::optional<report::MetricsReport> report;
+      report::EngineStats engine;
+      ErrorCode code = ErrorCode::Internal;
+      std::string message;
+    };
+    std::vector<std::size_t> shard_ix;
+    for (std::size_t s = 0; s < assignment.shards.size(); ++s)
+      if (!assignment.shards[s].empty()) shard_ix.push_back(s);
+    std::vector<ShardResult> results(shard_ix.size());
+    std::vector<std::thread> threads;
+    threads.reserve(shard_ix.size());
+    for (std::size_t t = 0; t < shard_ix.size(); ++t) {
+      threads.emplace_back([&, t] {
+        const std::size_t s = shard_ix[t];
+        Request shard;
+        shard.id = r.id + "#s" + std::to_string(t);
+        shard.cmd = Cmd::Suite;
+        shard.spec = r.spec;
+        shard.cells = assignment.shards[s];
+        shard.deadline_ms = r.deadline_ms;
+        // Every shard rides the suite request's trace id, so the worker's
+        // engine events correlate back to the one front-end request.
+        shard.trace = trace.trace_id;
+        const std::string shard_key =
+            serve::request_key(shard) + " -> " + names[s];
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          ++router_stats.shards;
+          for (auto& w : workers)
+            if (w.spec.name == names[s]) ++w.shards;
+        }
+        cluster_counter("cubie_cluster_shards_total",
+                        "Suite shards dispatched, by assigned worker.",
+                        names[s])
+            .inc();
+        emit_event(telemetry::EventKind::RequestStarted, shard_key, shard.id,
+                   trace);
+        const auto t0 = Clock::now();
+        // Preference order: the assigned worker first, then the remaining
+        // healthy ones — a dead worker's shard re-lands deterministically.
+        std::vector<std::size_t> candidates{healthy[s]};
+        for (std::size_t i : healthy)
+          if (i != healthy[s]) candidates.push_back(i);
+        ShardResult& res = results[t];
+        const auto raw = forward(shard, candidates, &res.code, &res.message);
+        if (raw) {
+          if (const auto resp = report::Json::parse(*raw, nullptr)) {
+            std::string perr;
+            if (const report::Json* rep = resp->find("report")) {
+              res.report = report::MetricsReport::from_json(*rep, &perr);
+              res.engine = engine_stats_from_json(resp->find("engine"));
+            }
+            if (!res.report) {
+              res.code = ErrorCode::Internal;
+              res.message = "unparseable shard report: " + perr;
+            }
+          }
+        }
+        emit_event(telemetry::EventKind::RequestFinished, shard_key, shard.id,
+                   trace, assignment.shards[s].size(), seconds_since(t0),
+                   "shard", res.report ? 1 : 0);
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    for (const auto& res : results) {
+      if (!res.report) {
+        conn->send_line(
+            serve::error_line(r.id, res.code, res.message, r.trace));
+        return;
+      }
+    }
+
+    std::vector<report::MetricsReport> shard_reports;
+    shard_reports.reserve(results.size());
+    report::EngineStats engine_total;
+    for (auto& res : results) {
+      shard_reports.push_back(std::move(*res.report));
+      engine_total = merge_engine_stats(engine_total, res.engine);
+    }
+    std::string merr;
+    const auto merged = merge_shard_reports(
+        shard_reports, canonical_suite_record_keys(eng, r.spec.scale), &merr);
+    if (!merged) {
+      conn->send_line(
+          serve::error_line(r.id, ErrorCode::Internal, merr, r.trace));
+      return;
+    }
+    conn->send_line(serve::report_line(r.id, *merged, engine_total,
+                                       std::nullopt, r.trace));
+  }
+
+  // --- passthrough (run / check / sleep / pre-sharded suite) -----------
+  void handle_passthrough(const std::shared_ptr<Conn>& conn, const Request& r) {
+    auto healthy = healthy_workers();
+    if (healthy.empty()) {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        ++router_stats.rejected_unavailable;
+      }
+      conn->send_line(serve::error_line(r.id, ErrorCode::Overloaded,
+                                        "no healthy cluster worker", r.trace));
+      return;
+    }
+    // Least-loaded first so a burst of passthrough requests spreads across
+    // the fleet; the rest stay as failover candidates in index order.
+    const std::size_t first = least_loaded(healthy);
+    std::vector<std::size_t> candidates{first};
+    for (std::size_t i : healthy)
+      if (i != first) candidates.push_back(i);
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+    const auto raw = forward(r, candidates, &code, &message);
+    if (!raw) {
+      conn->send_line(serve::error_line(r.id, code, message, r.trace));
+      return;
+    }
+    // Relay the worker's response bytes untouched: passthrough responses
+    // stay byte-identical to a direct single-worker conversation.
+    conn->send_line(*raw);
+  }
+
+  // --- control commands, answered locally ------------------------------
+  void handle_control(const std::shared_ptr<Conn>& conn, const Request& r) {
+    using report::Json;
+    switch (r.cmd) {
+      case Cmd::Ping: {
+        Json body = Json::object();
+        body["pong"] = Json::boolean(true);
+        body["role"] = Json::string("cluster-router");
+        conn->send_line(serve::ok_line(r.id, std::move(body), r.trace));
+        return;
+      }
+      case Cmd::Stats: {
+        Json body = Json::object();
+        // The "server" block mirrors the serve daemon's so `cubie top` and
+        // `cubie request stats` render a router without special-casing.
+        serve::ServerStats srv;
+        Json cluster = Json::object();
+        Json warr = Json::array();
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          srv.connections = router_stats.connections;
+          srv.accepted = router_stats.started;
+          srv.started = router_stats.started;
+          srv.completed = router_stats.completed;
+          srv.rejected_overloaded = router_stats.rejected_unavailable;
+          srv.bad_requests = router_stats.bad_requests;
+          srv.uptime_s = seconds_since(start_time);
+          cluster["suites"] =
+              Json::number(static_cast<double>(router_stats.suites));
+          cluster["shards"] =
+              Json::number(static_cast<double>(router_stats.shards));
+          cluster["retries"] =
+              Json::number(static_cast<double>(router_stats.retries));
+          cluster["failovers"] =
+              Json::number(static_cast<double>(router_stats.failovers));
+          cluster["imbalance_ratio"] =
+              Json::number(router_stats.last_imbalance_ratio);
+          std::size_t healthy = 0;
+          for (const auto& w : workers) {
+            Json wj = Json::object();
+            wj["name"] = Json::string(w.spec.name);
+            wj["endpoint"] = Json::string(endpoint_label(w.spec.endpoint));
+            wj["healthy"] = Json::boolean(w.healthy);
+            wj["inflight"] = Json::number(static_cast<double>(w.inflight));
+            wj["shards"] = Json::number(static_cast<double>(w.shards));
+            wj["consecutive_failures"] =
+                Json::number(static_cast<double>(w.consecutive_failures));
+            warr.push_back(std::move(wj));
+            if (w.healthy) ++healthy;
+          }
+          cluster["workers"] =
+              Json::number(static_cast<double>(workers.size()));
+          cluster["workers_healthy"] =
+              Json::number(static_cast<double>(healthy));
+        }
+        body["engine"] = report::to_json(eng.stats());
+        body["server"] = serve::to_json(srv);
+        body["cluster"] = std::move(cluster);
+        body["workers"] = std::move(warr);
+        conn->send_line(serve::ok_line(r.id, std::move(body), r.trace));
+        return;
+      }
+      case Cmd::Metrics: {
+        refresh_worker_gauges();
+        Json body = Json::object();
+        body["content_type"] = Json::string("text/plain; version=0.0.4");
+        body["metrics"] = Json::string(telemetry::prometheus_text(*registry));
+        conn->send_line(serve::ok_line(r.id, std::move(body), r.trace));
+        return;
+      }
+      case Cmd::Flight: {
+        Json body = Json::object();
+        Json events = Json::array();
+        std::size_t n = 0;
+        if (flight) {
+          for (const telemetry::Event& e : flight->snapshot()) {
+            events.push_back(telemetry::event_to_json(e));
+            ++n;
+          }
+        }
+        body["count"] = Json::number(static_cast<double>(n));
+        body["capacity"] = Json::number(
+            static_cast<double>(flight ? opts.flight_capacity : 0));
+        body["events"] = std::move(events);
+        conn->send_line(serve::ok_line(r.id, std::move(body), r.trace));
+        return;
+      }
+      case Cmd::Shutdown: {
+        Json body = Json::object();
+        body["draining"] = Json::boolean(true);
+        conn->send_line(serve::ok_line(r.id, std::move(body), r.trace));
+        request_shutdown_impl();
+        return;
+      }
+      default:
+        conn->send_line(serve::error_line(
+            r.id, ErrorCode::Internal, "not a control command", r.trace));
+        return;
+    }
+  }
+
+  // --- front-end plumbing ----------------------------------------------
+  void handle_line(const std::shared_ptr<Conn>& conn,
+                   const std::string& line) {
+    std::string err;
+    auto req = serve::parse_request(line, &err);
+    if (!req) {
+      std::lock_guard<std::mutex> lk(mu);
+      ++router_stats.bad_requests;
+      conn->send_line(serve::error_line("", ErrorCode::BadRequest, err));
+      return;
+    }
+    Request r = std::move(*req);
+    telemetry::TraceContext trace;
+    if (telemetry::valid_trace_id(r.trace)) {
+      trace.trace_id = r.trace;
+    } else {
+      r.trace.clear();
+      trace.trace_id = telemetry::generate_trace_id();
+    }
+    trace.span_id = telemetry::generate_span_id();
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++router_stats.started;
+    }
+    telemetry::TraceScope scope(trace);
+    const std::string key = serve::request_key(r);
+    emit_event(telemetry::EventKind::RequestStarted, key, r.id, trace);
+    const auto t0 = Clock::now();
+    switch (r.cmd) {
+      case Cmd::Ping:
+      case Cmd::Stats:
+      case Cmd::Metrics:
+      case Cmd::Flight:
+      case Cmd::Shutdown:
+        handle_control(conn, r);
+        break;
+      case Cmd::Suite:
+        // A pre-sharded suite addressed at the router is somebody else's
+        // shard (e.g. a router behind a router): pass it through whole.
+        if (r.cells.empty()) {
+          handle_suite(conn, r, trace);
+        } else {
+          handle_passthrough(conn, r);
+        }
+        break;
+      default:
+        handle_passthrough(conn, r);
+        break;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++router_stats.completed;
+    }
+    emit_event(telemetry::EventKind::RequestFinished, key, r.id, trace, 0,
+               seconds_since(t0), "router", 1);
+  }
+
+  void reader_loop(std::shared_ptr<Conn> conn) {
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;
+      buf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos;
+      while ((pos = buf.find('\n')) != std::string::npos) {
+        std::string line = buf.substr(0, pos);
+        buf.erase(0, pos + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (!line.empty()) handle_line(conn, line);
+      }
+      if (buf.size() > serve::kMaxRequestBytes) {
+        std::lock_guard<std::mutex> lk(mu);
+        ++router_stats.bad_requests;
+        conn->send_line(serve::error_line("", ErrorCode::BadRequest,
+                                          "request line exceeds 1 MiB"));
+        return;
+      }
+    }
+  }
+
+  // --- health probing ---------------------------------------------------
+  void probe_once() {
+    std::vector<std::pair<std::size_t, serve::Endpoint>> targets;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      for (std::size_t i = 0; i < workers.size(); ++i)
+        targets.emplace_back(i, workers[i].spec.endpoint);
+    }
+    for (const auto& [wi, ep] : targets) {
+      Request probe;
+      probe.id = "router-probe";
+      probe.cmd = Cmd::Stats;
+      std::string err;
+      bool ok = false;
+      if (auto client = serve::Client::connect(ep, &err)) {
+        if (const auto resp = client->call(probe, &err))
+          ok = response_error_code(*resp).empty();
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      if (ok) {
+        // One good probe readmits the worker — a restarted worker rejoins
+        // the rotation without operator action.
+        workers[wi].consecutive_failures = 0;
+        workers[wi].healthy = true;
+      } else {
+        ++workers[wi].consecutive_failures;
+        if (workers[wi].consecutive_failures >=
+            static_cast<std::size_t>(opts.unhealthy_after))
+          workers[wi].healthy = false;
+      }
+    }
+    refresh_worker_gauges();
+  }
+
+  void prober_loop() {
+    std::unique_lock<std::mutex> lk(mu);
+    while (!shutdown_flag.load(std::memory_order_acquire)) {
+      probe_cv.wait_for(lk, std::chrono::duration<double, std::milli>(
+                                opts.probe_interval_ms));
+      if (shutdown_flag.load(std::memory_order_acquire)) return;
+      lk.unlock();
+      probe_once();
+      lk.lock();
+    }
+  }
+
+  void request_shutdown_impl() {
+    shutdown_flag.store(true, std::memory_order_release);
+    probe_cv.notify_all();
+    if (wake_wr >= 0) {
+      const char b = 'x';
+      [[maybe_unused]] ssize_t n = ::write(wake_wr, &b, 1);
+    }
+  }
+};
+
+Router::Router(RouterOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts))) {}
+
+Router::~Router() {
+  impl_->request_shutdown_impl();
+  if (impl_->prober.joinable()) impl_->prober.join();
+  for (auto& t : impl_->readers)
+    if (t.joinable()) t.join();
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+  if (impl_->wake_rd >= 0) ::close(impl_->wake_rd);
+  if (impl_->wake_wr >= 0) ::close(impl_->wake_wr);
+  if (!impl_->opts.socket_path.empty())
+    ::unlink(impl_->opts.socket_path.c_str());
+}
+
+bool Router::start(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg + ": " + std::strerror(errno);
+    return false;
+  };
+  Impl& im = *impl_;
+  if (im.opts.workers.empty()) {
+    if (error) *error = "cluster router needs at least one worker";
+    return false;
+  }
+  if (im.opts.unhealthy_after < 1) im.opts.unhealthy_after = 1;
+  if (im.opts.probe_interval_ms < 10.0) im.opts.probe_interval_ms = 10.0;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    for (const auto& spec : im.opts.workers)
+      im.workers.push_back(Impl::Worker{spec});
+  }
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) return fail("pipe");
+  im.wake_rd = pipefd[0];
+  im.wake_wr = pipefd[1];
+  ::fcntl(im.wake_wr, F_SETFL, O_NONBLOCK);
+
+  if (!im.opts.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (im.opts.socket_path.size() >= sizeof(addr.sun_path)) {
+      if (error) *error = "socket path too long: " + im.opts.socket_path;
+      return false;
+    }
+    std::strncpy(addr.sun_path, im.opts.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    im.listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (im.listen_fd < 0) return fail("socket");
+    ::unlink(im.opts.socket_path.c_str());
+    if (::bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      return fail("bind " + im.opts.socket_path);
+    im.endpoint_str = "unix:" + im.opts.socket_path;
+  } else {
+    if (im.opts.tcp_port < 0) {
+      if (error) *error = "no endpoint: set socket_path or tcp_port";
+      return false;
+    }
+    im.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (im.listen_fd < 0) return fail("socket");
+    const int one = 1;
+    ::setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(im.opts.tcp_port));
+    if (::bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      return fail("bind 127.0.0.1:" + std::to_string(im.opts.tcp_port));
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    ::getsockname(im.listen_fd, reinterpret_cast<sockaddr*>(&bound), &blen);
+    im.bound_port = ntohs(bound.sin_port);
+    im.endpoint_str = "tcp:127.0.0.1:" + std::to_string(im.bound_port);
+  }
+  if (::listen(im.listen_fd, 64) != 0) return fail("listen");
+
+  im.pulse_sinks.add(std::make_shared<telemetry::MetricsSink>(im.registry));
+  if (im.opts.flight_capacity > 0) {
+    im.flight = std::make_shared<telemetry::FlightRecorderSink>(
+        im.opts.flight_capacity);
+    im.pulse_sinks.add(im.flight);
+  }
+  im.start_time = Clock::now();
+  im.refresh_worker_gauges();
+  im.prober = std::thread([&im] { im.prober_loop(); });
+  im.started = true;
+  return true;
+}
+
+void Router::serve() {
+  Impl& im = *impl_;
+  for (;;) {
+    pollfd fds[2] = {{im.listen_fd, POLLIN, 0}, {im.wake_rd, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        if (im.shutdown_flag.load(std::memory_order_acquire)) break;
+        continue;
+      }
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        im.shutdown_flag.load(std::memory_order_acquire))
+      break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int cfd = ::accept(im.listen_fd, nullptr, nullptr);
+    if (cfd < 0) continue;
+    auto conn = std::make_shared<Conn>(cfd);
+    std::lock_guard<std::mutex> lk(im.mu);
+    ++im.router_stats.connections;
+    im.conns.erase(
+        std::remove_if(
+            im.conns.begin(), im.conns.end(),
+            [](const std::weak_ptr<Conn>& w) { return w.expired(); }),
+        im.conns.end());
+    im.conns.push_back(conn);
+    im.readers.emplace_back(
+        [&im, conn = std::move(conn)]() mutable { im.reader_loop(conn); });
+  }
+
+  // Drain: stop accepting, unblock idle readers, and join them — a reader
+  // mid-fan-out finishes its request first, which *is* the drain (every
+  // admitted request gets its response before serve() returns). SHUT_RD
+  // only: idle readers see EOF, busy ones can still write their response.
+  im.request_shutdown_impl();
+  ::close(im.listen_fd);
+  im.listen_fd = -1;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    for (auto& w : im.conns)
+      if (auto c = w.lock()) ::shutdown(c->fd, SHUT_RD);
+    readers.swap(im.readers);
+  }
+  for (auto& t : readers)
+    if (t.joinable()) t.join();
+  if (im.prober.joinable()) im.prober.join();
+  if (im.opts.forward_shutdown) {
+    // --spawn mode: the workers live and die with the router. Best-effort:
+    // a worker that already died is simply skipped.
+    std::vector<serve::Endpoint> eps;
+    {
+      std::lock_guard<std::mutex> lk(im.mu);
+      for (const auto& w : im.workers) eps.push_back(w.spec.endpoint);
+    }
+    for (const auto& ep : eps) {
+      std::string err;
+      if (auto client = serve::Client::connect(ep, &err)) {
+        Request r;
+        r.id = "router-drain";
+        r.cmd = Cmd::Shutdown;
+        client->call(r, &err);
+      }
+    }
+  }
+  if (!im.opts.socket_path.empty()) ::unlink(im.opts.socket_path.c_str());
+  im.started = false;
+}
+
+void Router::request_shutdown() { impl_->request_shutdown_impl(); }
+
+int Router::tcp_port() const { return impl_->bound_port; }
+
+const std::string& Router::endpoint() const { return impl_->endpoint_str; }
+
+RouterStats Router::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  RouterStats s = impl_->router_stats;
+  if (impl_->started) s.uptime_s = seconds_since(impl_->start_time);
+  return s;
+}
+
+std::vector<WorkerStatus> Router::workers() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::vector<WorkerStatus> out;
+  for (const auto& w : impl_->workers) {
+    WorkerStatus st;
+    st.name = w.spec.name;
+    st.endpoint = endpoint_label(w.spec.endpoint);
+    st.healthy = w.healthy;
+    st.inflight = w.inflight;
+    st.shards = w.shards;
+    st.consecutive_failures = w.consecutive_failures;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+telemetry::MetricsRegistry& Router::metrics_registry() {
+  return *impl_->registry;
+}
+
+}  // namespace cubie::cluster

@@ -1,0 +1,129 @@
+#pragma once
+// Cubie-Cluster router: a front-end daemon that speaks the ordinary
+// Cubie-Serve wire protocol (serve/protocol.hpp, version 1) on one socket
+// and fans the work out across N `cubie serve` workers.
+//
+//   * `suite` requests are decomposed into per-cell shards (cluster/
+//     shard.hpp): cells are priced through the router's device model,
+//     assigned to healthy workers by cost-weighted rendezvous hashing, and
+//     forwarded as sharded `suite` requests (the protocol's "cells" array).
+//     The per-shard reports are merged (cluster/merge.hpp) back into the
+//     exact report a single worker would have produced — bench_diff
+//     --tol 0 zero-delta is the contract the cluster test enforces.
+//   * `run` / `check` / `sleep` pass through to the least-loaded healthy
+//     worker unchanged — the response is relayed byte-for-byte.
+//   * `ping` / `stats` / `metrics` / `flight` / `shutdown` are answered by
+//     the router itself; `stats` carries the usual "server" block plus a
+//     "workers" array and a "cluster" counter block, and `metrics` exposes
+//     the cubie_cluster_* Prometheus series.
+//
+// Failure semantics: every router->worker call runs under the configured
+// RetryPolicy — "overloaded" answers are retried on the same worker with
+// jittered exponential backoff, transport failures (a killed worker) mark
+// the worker unhealthy immediately and fail the call over to the next
+// live worker (counted in cubie_cluster_failovers_total). A background
+// prober sends `stats` every probe_interval_ms; unhealthy_after
+// consecutive failures demote a worker, one success readmits it. Shutdown
+// is a graceful drain: in-flight fan-outs complete, then (with
+// forward_shutdown, the --spawn mode) the workers are drained too.
+//
+// Workers share work through the engine disk cache (point every worker's
+// --cache at one directory); the router itself never executes a cell —
+// its engine only enumerates and prices the suite.
+
+#include "cluster/shard.hpp"
+#include "engine/engine.hpp"
+#include "serve/client.hpp"
+#include "serve/retry.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/metrics_registry.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cubie::cluster {
+
+struct WorkerSpec {
+  std::string name;  // label in metrics / stats ("w0", or the address)
+  serve::Endpoint endpoint;
+};
+
+struct RouterOptions {
+  // Front-end endpoint: Unix socket path, or localhost TCP when empty
+  // (tcp_port 0 = ephemeral; see Router::tcp_port()).
+  std::string socket_path;
+  int tcp_port = -1;
+  std::vector<WorkerSpec> workers;
+  serve::RetryPolicy retry;          // router -> worker calls
+  double probe_interval_ms = 500.0;  // health-probe cadence
+  int unhealthy_after = 3;           // consecutive probe failures to demote
+  // Engine options for suite enumeration and cell-cost pricing only (the
+  // model axis must match the workers' --model for key-compatible costs);
+  // the router's engine never executes a cell.
+  engine::EngineOptions engine;
+  std::size_t flight_capacity =
+      telemetry::FlightRecorderSink::kDefaultCapacity;
+  // Forward the graceful drain to the workers once the router has drained
+  // (used by `cubie cluster --spawn`, which owns its workers' lifetime).
+  bool forward_shutdown = false;
+};
+
+// One worker's health snapshot (the stats "workers" array entry).
+struct WorkerStatus {
+  std::string name;
+  std::string endpoint;
+  bool healthy = true;
+  std::size_t inflight = 0;      // router calls currently outstanding
+  std::size_t shards = 0;        // suite shards ever sent to it
+  std::size_t consecutive_failures = 0;
+};
+
+struct RouterStats {
+  std::size_t connections = 0;
+  std::size_t started = 0;    // requests begun (all are handled inline)
+  std::size_t completed = 0;  // responses written
+  std::size_t suites = 0;     // suite fan-outs
+  std::size_t shards = 0;     // shard requests sent (incl. retries' sends)
+  std::size_t retries = 0;    // same-worker overloaded retries
+  std::size_t failovers = 0;  // shard/passthrough moves to another worker
+  std::size_t rejected_unavailable = 0;  // no healthy worker to serve
+  std::size_t bad_requests = 0;
+  double last_imbalance_ratio = 1.0;  // of the most recent assignment
+  double uptime_s = 0.0;
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions opts);
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Bind + listen + start the health prober. False (with *error) on socket
+  // failure or an empty worker list.
+  bool start(std::string* error);
+
+  // Accept loop; blocks until a drain completes. Call start() first.
+  void serve();
+
+  // Begin a graceful drain (async-signal-safe, like Server's).
+  void request_shutdown();
+
+  int tcp_port() const;
+  const std::string& endpoint() const;
+
+  RouterStats stats() const;
+  std::vector<WorkerStatus> workers() const;
+
+  // The router's Cubie-Pulse registry (cubie_cluster_* series plus the
+  // usual request-lifecycle series its own bus events fold into).
+  telemetry::MetricsRegistry& metrics_registry();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cubie::cluster

@@ -1,0 +1,168 @@
+#include "cluster/shard.hpp"
+
+#include "sim/model.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cubie::cluster {
+
+namespace {
+
+std::string cell_id(const serve::ShardCell& c) {
+  return c.workload + "|" + std::to_string(c.case_index) + "|" + c.variant;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (unsigned char c : s) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  return h;
+}
+
+std::vector<CostedCell> enumerate_suite_cells(engine::ExperimentEngine& eng,
+                                              int scale) {
+  std::vector<CostedCell> out;
+  for (const auto& w : eng.suite()) {
+    const auto variants = core::available_variants(*w);
+    const auto cases = w->cases(scale);
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+      for (auto v : variants) {
+        CostedCell c;
+        c.cell.workload = w->name();
+        c.cell.case_index = static_cast<int>(ci);
+        c.cell.variant = core::variant_name(v);
+        c.cost_s = eng.modeled_cell_cost_s(*w, v, cases[ci], scale);
+        c.group = w->name() + "|" + c.cell.variant + "|" + cases[ci].label;
+        out.push_back(std::move(c));
+      }
+    }
+  }
+  return out;
+}
+
+ShardAssignment assign_cells(const std::vector<CostedCell>& cells,
+                             const std::vector<std::string>& workers) {
+  ShardAssignment a;
+  a.shards.resize(workers.size());
+  a.modeled_cost_s.assign(workers.size(), 0.0);
+  if (workers.empty() || cells.empty()) return a;
+
+  const double total = std::accumulate(
+      cells.begin(), cells.end(), 0.0,
+      [](double acc, const CostedCell& c) { return acc + c.cost_s; });
+  const double cap =
+      kBalanceCapFactor * total / static_cast<double>(workers.size());
+
+  // The unit of placement: cells sharing a non-empty group move together
+  // (their records collapse into one — see CostedCell::group), everything
+  // else is its own unit. A unit's id doubles as its rendezvous key.
+  struct Unit {
+    std::string id;
+    std::vector<std::size_t> members;  // indices into `cells`
+    double cost_s = 0.0;
+  };
+  std::vector<Unit> units;
+  std::unordered_map<std::string, std::size_t> unit_of;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string id =
+        cells[i].group.empty() ? cell_id(cells[i].cell) : cells[i].group;
+    auto [it, inserted] = unit_of.emplace(id, units.size());
+    if (inserted) units.push_back({id, {}, 0.0});
+    Unit& u = units[it->second];
+    u.members.push_back(i);
+    u.cost_s += cells[i].cost_s;
+  }
+
+  // Place expensive units first so the balance cap acts on them while there
+  // is still room to maneuver; cheap units then fill the gaps. Ties break
+  // on the unit id so the order — and therefore the assignment — never
+  // depends on the enumeration's incidental ordering of equal-cost cells.
+  std::vector<std::size_t> order(units.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t l, std::size_t r) {
+    if (units[l].cost_s != units[r].cost_s)
+      return units[l].cost_s > units[r].cost_s;
+    return units[l].id < units[r].id;
+  });
+
+  std::vector<std::size_t> rank(workers.size());
+  for (std::size_t idx : order) {
+    const Unit& u = units[idx];
+    // Rendezvous ranking: workers ordered by hash(unit, worker), highest
+    // first. Removing a worker only reshuffles the units it owned.
+    std::iota(rank.begin(), rank.end(), 0);
+    std::sort(rank.begin(), rank.end(), [&](std::size_t l, std::size_t r) {
+      const auto hl = fnv1a64(u.id + "@" + workers[l]);
+      const auto hr = fnv1a64(u.id + "@" + workers[r]);
+      if (hl != hr) return hl > hr;
+      return workers[l] < workers[r];
+    });
+    std::size_t chosen = rank.size();  // sentinel: none under the cap
+    for (std::size_t w : rank) {
+      if (a.modeled_cost_s[w] + u.cost_s <= cap) {
+        chosen = w;
+        break;
+      }
+    }
+    if (chosen == rank.size()) {
+      // Every worker is at the cap (possible when one unit dominates the
+      // total): take the least-loaded, rendezvous order breaking ties.
+      chosen = rank[0];
+      for (std::size_t w : rank)
+        if (a.modeled_cost_s[w] < a.modeled_cost_s[chosen]) chosen = w;
+    }
+    for (std::size_t i : u.members) a.shards[chosen].push_back(cells[i].cell);
+    a.modeled_cost_s[chosen] += u.cost_s;
+  }
+
+  // Restore canonical enumeration order inside each shard (the greedy pass
+  // visited cells by cost). Workers re-derive ordering themselves, but a
+  // canonical wire form keeps request bytes — and request_key telemetry —
+  // deterministic.
+  std::unordered_map<std::string, std::size_t> pos;
+  pos.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) pos[cell_id(cells[i].cell)] = i;
+  for (auto& shard : a.shards) {
+    std::sort(shard.begin(), shard.end(),
+              [&](const serve::ShardCell& l, const serve::ShardCell& r) {
+                return pos[cell_id(l)] < pos[cell_id(r)];
+              });
+  }
+
+  const double mean = total / static_cast<double>(workers.size());
+  const double max_load =
+      *std::max_element(a.modeled_cost_s.begin(), a.modeled_cost_s.end());
+  a.imbalance_ratio = mean > 0.0 ? max_load / mean : 1.0;
+  return a;
+}
+
+std::vector<std::string> canonical_suite_record_keys(
+    engine::ExperimentEngine& eng, int scale) {
+  std::vector<std::string> keys;
+  std::unordered_set<std::string> seen;
+  for (const auto& w : eng.suite()) {
+    const auto variants = core::available_variants(*w);
+    const auto cases = w->cases(scale);
+    for (auto gpu : sim::all_gpus()) {
+      for (const auto& tc : cases) {
+        for (auto v : variants) {
+          std::string key = w->name() + "|" + core::variant_name(v) + "|" +
+                            sim::gpu_name(gpu) + "|" + tc.label;
+          // Colliding scaled labels keep the first occurrence only — the
+          // slot MetricsReport::add_record collapses the later cases into.
+          if (seen.insert(key).second) keys.push_back(std::move(key));
+        }
+      }
+    }
+  }
+  return keys;
+}
+
+}  // namespace cubie::cluster

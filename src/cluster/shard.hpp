@@ -1,0 +1,87 @@
+#pragma once
+// Cubie-Cluster sharding: decompose the Figure-3 suite into per-cell shard
+// coordinates and assign them to serve workers, balanced by modeled cell
+// cost.
+//
+// The unit of distribution is one (workload, case index, variant) cell of
+// the canonical suite enumeration — the same coordinate the wire protocol
+// carries in a `suite` request's "cells" array (serve::ShardCell). Each
+// cell expands to one record per GPU on the worker, so disjoint cell sets
+// partition the suite's record list exactly.
+//
+// Assignment must be (a) balanced — one worker must not end up with all
+// the expensive GEMM cells while another prices three tiny stencils — and
+// (b) stable — when the worker set is unchanged, every router instance
+// computes the same assignment, and when one worker dies only its cells
+// move (rendezvous hashing's minimal-disruption property). The algorithm:
+// sort cells by descending modeled cost, then place each on its highest-
+// ranked worker by rendezvous hash unless that worker is already past the
+// balance cap (kBalanceCapFactor x the mean load), in which case the next-
+// ranked worker under the cap takes it, falling back to the least-loaded
+// worker when every one is capped.
+
+#include "engine/engine.hpp"
+#include "serve/service.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cubie::cluster {
+
+// A worker may carry at most this multiple of the mean modeled load before
+// the rendezvous preference is overridden. 1.25 keeps assignments mostly
+// hash-stable while bounding the modeled imbalance.
+inline constexpr double kBalanceCapFactor = 1.25;
+
+// One suite cell with its modeled cost (engine::modeled_cell_cost_s).
+struct CostedCell {
+  serve::ShardCell cell;
+  double cost_s = 0.0;
+  // Record-key collision group: "workload|variant|<scaled case label>".
+  // Distinct case indices can scale down to the same label (FFT's cases
+  // all become "16x16xb2" at scale 64), and MetricsReport::add_record then
+  // collapses their records into one, last case winning. Cells sharing a
+  // group must land on the same worker so that worker collapses them
+  // exactly like a single-engine run would — split across shards they
+  // would each emit the key and the merge would see an overlap.
+  std::string group;
+};
+
+// Enumerate the full suite at `scale` as shard coordinates in canonical
+// (workload -> case -> variant) order, priced through the engine's model
+// backend. Pure enumeration: no cell is executed.
+std::vector<CostedCell> enumerate_suite_cells(engine::ExperimentEngine& eng,
+                                              int scale);
+
+struct ShardAssignment {
+  // shards[i] = the cells assigned to workers[i], in canonical enumeration
+  // order (the order enumerate_suite_cells produced them in).
+  std::vector<std::vector<serve::ShardCell>> shards;
+  std::vector<double> modeled_cost_s;  // per-worker modeled load
+  // max(worker load) / mean(worker load); 1.0 = perfectly balanced. The
+  // cubie_cluster_imbalance_ratio gauge exports this.
+  double imbalance_ratio = 1.0;
+};
+
+// Assign `cells` across `workers` (names; typically the healthy subset).
+// Deterministic: a pure function of the cell list and the worker names.
+// Cells sharing a non-empty CostedCell::group are assigned as one unit
+// (summed cost, one rendezvous draw) — see the group field above.
+ShardAssignment assign_cells(const std::vector<CostedCell>& cells,
+                             const std::vector<std::string>& workers);
+
+// 64-bit FNV-1a over the bytes of `s` — the rendezvous hash. Fixed
+// constants, no libstdc++ std::hash dependence, so assignments are
+// identical across platforms and processes.
+std::uint64_t fnv1a64(const std::string& s);
+
+// The full suite's MetricRecord keys in canonical record order (workload ->
+// gpu -> case -> variant, fig03_perf's nesting) — the order the merged
+// cluster report must emit records in (see cluster/merge.hpp). Keys are
+// unique: when scaled case labels collide, only the first occurrence is
+// kept, mirroring MetricsReport::add_record's find-or-create placement.
+std::vector<std::string> canonical_suite_record_keys(
+    engine::ExperimentEngine& eng, int scale);
+
+}  // namespace cubie::cluster

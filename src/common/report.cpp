@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <limits>
 
 namespace cubie::report {
 
@@ -708,7 +709,18 @@ std::optional<MetricsReport> MetricsReport::from_json(const Json& j,
       rec.case_label = get_string(r, "case");
       if (const Json* m = r.find("metrics"); m && m->is_object()) {
         for (const auto& [k, v] : m->members()) {
-          if (v.is_number()) rec.metrics.emplace_back(k, v.as_number());
+          if (v.is_number()) {
+            rec.metrics.emplace_back(k, v.as_number());
+          } else if (v.is_null()) {
+            // Non-finite metrics serialize as null (JSON has no NaN/Inf).
+            // Map null back to NaN instead of dropping the key, so a report
+            // survives a serialize/parse round trip with its metric set
+            // intact — the cluster router re-serializes parsed shard
+            // reports, and a dropped key would break the zero-delta
+            // contract against a single-engine run.
+            rec.metrics.emplace_back(
+                k, std::numeric_limits<double>::quiet_NaN());
+          }
         }
       }
       rep.records.push_back(std::move(rec));

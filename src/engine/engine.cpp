@@ -484,6 +484,54 @@ std::size_t ExperimentEngine::execute(const std::vector<Cell>& cells) {
   return cells.size();
 }
 
+sim::KernelProfile proxy_profile(core::Variant v, const core::TestCase& tc) {
+  sim::KernelProfile p;
+  double work = 2.0;
+  for (long d : tc.dims) work *= static_cast<double>(d > 1 ? d : 1);
+  // Operand-footprint proxy: pairwise dimension products (a GEMM's three
+  // FP64 matrices are m*k + k*n + m*n elements), falling back to the
+  // dimensions themselves for 1-D cases.
+  double elems = 0.0;
+  if (tc.dims.size() >= 2) {
+    for (std::size_t i = 0; i < tc.dims.size(); ++i)
+      for (std::size_t j = i + 1; j < tc.dims.size(); ++j)
+        elems += static_cast<double>(tc.dims[i] > 1 ? tc.dims[i] : 1) *
+                 static_cast<double>(tc.dims[j] > 1 ? tc.dims[j] : 1);
+  } else {
+    for (long d : tc.dims) elems += static_cast<double>(d > 1 ? d : 1);
+  }
+  if (elems <= 0.0) elems = 1.0;
+  if (v == core::Variant::TC || v == core::Variant::CCE) {
+    p.tc_flops = work;
+  } else {
+    p.cc_flops = work;
+  }
+  p.dram_bytes = 8.0 * elems;
+  p.warp_instructions = work / 32.0;
+  p.threads = elems;
+  p.launches = 1;
+  p.useful_flops = work;
+  return p;
+}
+
+double ExperimentEngine::modeled_cell_cost_s(const core::Workload& w,
+                                             core::Variant v,
+                                             const core::TestCase& tc,
+                                             int scale) {
+  const std::string key = cell_key(w.name(), v, tc, scale, opts_.model);
+  sim::KernelProfile profile;
+  bool have_real = false;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    if (auto it = impl_->cells.find(key); it != impl_->cells.end()) {
+      profile = it->second->profile;
+      have_real = true;
+    }
+  }
+  if (!have_real) profile = proxy_profile(v, tc);
+  return impl_->model->predict(profile).time_s;
+}
+
 std::vector<MaterializedCell> ExperimentEngine::materialized() const {
   std::lock_guard<std::mutex> lk(impl_->mu);
   return impl_->order;

@@ -22,6 +22,7 @@
 #include "core/workload.hpp"
 #include "engine/cache.hpp"
 #include "engine/plan.hpp"
+#include "sim/profile.hpp"
 #include "sim/trace.hpp"
 
 #include <cstddef>
@@ -161,6 +162,17 @@ class ExperimentEngine {
   // verify whatever a bench actually ran.
   std::vector<MaterializedCell> materialized() const;
 
+  // Predicted wall-clock cost (seconds) of one cell under this engine's
+  // device-model backend, priced on the reference device. Used by the
+  // Cubie-Cluster router to weight shard assignment: expensive cells should
+  // not pile onto one worker. When the cell is already memoized its real
+  // counted profile is priced; otherwise a deterministic proxy profile
+  // built from the case dimensions stands in (see proxy_profile) — either
+  // way the estimate is a pure function of (cell, model), so every router
+  // instance computes identical assignments. Never executes the cell.
+  double modeled_cell_cost_s(const core::Workload& w, core::Variant v,
+                             const core::TestCase& tc, int scale);
+
   EngineCounters counters() const;
   // Counters in the MetricsReport exchange form ("engine" block).
   report::EngineStats stats() const;
@@ -176,5 +188,16 @@ class ExperimentEngine {
   EngineOptions opts_;
   std::unique_ptr<Impl> impl_;
 };
+
+// Deterministic stand-in KernelProfile for a cell that has not been
+// executed: work scales with the product of the case dimensions (the
+// classic O(prod dims) kernel-cost proxy), memory traffic with the pairwise
+// dimension products (operand footprints), and the FLOPs land on the pipe
+// the variant actually uses (tensor-core pipe for TC, CUDA-core pipe
+// otherwise). It is intentionally crude — the router only needs relative
+// weights that rank a large GEMM above a small stencil, not absolute
+// seconds — and being a pure function of (variant, case) it is identical
+// across processes, which keeps shard assignment deterministic.
+sim::KernelProfile proxy_profile(core::Variant v, const core::TestCase& tc);
 
 }  // namespace cubie::engine

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -42,6 +43,34 @@ Client& Client::operator=(Client&& other) noexcept {
     other.fd_ = -1;
   }
   return *this;
+}
+
+std::vector<Endpoint> parse_endpoints(const std::string& spec) {
+  std::vector<Endpoint> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    const bool all_digits =
+        std::all_of(entry.begin(), entry.end(),
+                    [](unsigned char c) { return c >= '0' && c <= '9'; });
+    Endpoint ep;
+    if (all_digits)
+      ep.tcp_port = std::atoi(entry.c_str());
+    else
+      ep.socket_path = entry;
+    out.push_back(std::move(ep));
+  }
+  return out;
+}
+
+std::string endpoint_name(const Endpoint& ep) {
+  return !ep.socket_path.empty()
+             ? "unix:" + ep.socket_path
+             : "tcp:127.0.0.1:" + std::to_string(ep.tcp_port);
 }
 
 std::optional<Client> Client::connect(const Endpoint& ep,
@@ -87,6 +116,39 @@ std::optional<Client> Client::connect(const Endpoint& ep,
   Client c;
   c.fd_ = fd;
   return c;
+}
+
+std::optional<Client> Client::connect_first(
+    const std::vector<Endpoint>& endpoints, std::string* error,
+    std::size_t* index) {
+  std::string all_errors;
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    std::string err;
+    auto c = connect(endpoints[i], &err);
+    if (c) {
+      // Connected is not healthy: a draining daemon still accepts the
+      // TCP handshake. One ping settles it.
+      Request ping;
+      ping.id = "probe";
+      ping.cmd = Cmd::Ping;
+      const auto resp = c->call(ping, &err);
+      bool ok = false;
+      if (resp) {
+        const report::Json* okj = resp->find("ok");
+        ok = okj != nullptr && okj->is_bool() && okj->as_bool();
+      }
+      if (ok) {
+        if (index) *index = i;
+        return c;
+      }
+      if (err.empty()) err = "ping rejected";
+    }
+    if (!all_errors.empty()) all_errors += "; ";
+    all_errors += endpoint_name(endpoints[i]) + ": " + err;
+  }
+  if (error)
+    *error = endpoints.empty() ? "no endpoints given" : all_errors;
+  return std::nullopt;
 }
 
 bool Client::send_line(const std::string& line) {
@@ -276,10 +338,13 @@ bool run_loadgen(const LoadgenOptions& opts, LoadgenResult& out,
   return true;
 }
 
-report::MetricsReport loadgen_report(const LoadgenResult& r) {
+report::MetricsReport loadgen_report(const LoadgenResult& r,
+                                     const std::string& tool) {
   report::MetricsReport rep;
-  rep.tool = "cubie_loadgen";
-  rep.title = "Cubie-Serve load generator";
+  rep.tool = tool;
+  rep.title = tool == "cubie_loadgen_cluster"
+                  ? "Cubie-Cluster load generator"
+                  : "Cubie-Serve load generator";
   auto& rec = rep.add_record("loadgen", "mix", "-", "aggregate");
   rec.set("req_per_s", r.req_per_s());
   rec.set("p50_ms", r.percentile_ms(50));

@@ -24,6 +24,14 @@ struct Endpoint {
   int tcp_port = -1;
 };
 
+// Parse a comma-separated `--addr` list: an all-digits entry is a
+// localhost TCP port, anything else a Unix socket path. Empty entries are
+// skipped, so trailing commas are harmless.
+std::vector<Endpoint> parse_endpoints(const std::string& spec);
+
+// Human-readable endpoint label ("unix:/run/w0.sock", "tcp:127.0.0.1:7070").
+std::string endpoint_name(const Endpoint& ep);
+
 // A blocking client over one connection. One outstanding request at a time
 // (call() pairs one sent line with one received line).
 class Client {
@@ -37,6 +45,15 @@ class Client {
 
   static std::optional<Client> connect(const Endpoint& ep,
                                        std::string* error);
+
+  // Try each endpoint in order and return a connection to the first one
+  // that answers `ping` with ok=true (first-healthy selection for
+  // `cubie request --addr a,b,c`). *index (when given) receives the
+  // position of the endpoint that won; *error accumulates one line per
+  // skipped endpoint on total failure.
+  static std::optional<Client> connect_first(
+      const std::vector<Endpoint>& endpoints, std::string* error,
+      std::size_t* index = nullptr);
 
   bool connected() const { return fd_ >= 0; }
   bool send_line(const std::string& line);
@@ -96,11 +113,14 @@ struct LoadgenResult {
 bool run_loadgen(const LoadgenOptions& opts, LoadgenResult& out,
                  std::string* error);
 
-// The result as a MetricsReport: tool "cubie_loadgen", one record
-// ("loadgen", "mix", "-", "aggregate") with req_per_s, p50_ms, p95_ms,
-// p99_ms, completed, rejected — plus a "latency_histogram" captured table
-// (cumulative counts per fixed bucket, same ladder as the daemon's
-// cubie_request_latency_seconds).
-report::MetricsReport loadgen_report(const LoadgenResult& r);
+// The result as a MetricsReport: tool `tool` ("cubie_loadgen" for direct
+// daemon runs, "cubie_loadgen_cluster" when the target is a cluster
+// router — distinct tools keep the two in separate `cubie record`/`trend`
+// gate series), one record ("loadgen", "mix", "-", "aggregate") with
+// req_per_s, p50_ms, p95_ms, p99_ms, completed, rejected — plus a
+// "latency_histogram" captured table (cumulative counts per fixed bucket,
+// same ladder as the daemon's cubie_request_latency_seconds).
+report::MetricsReport loadgen_report(const LoadgenResult& r,
+                                     const std::string& tool = "cubie_loadgen");
 
 }  // namespace cubie::serve

@@ -51,7 +51,13 @@ std::string request_key(const Request& r) {
     case Cmd::Check:
       return std::string(cmd_name(r.cmd)) + " " + spec_key(r.spec);
     case Cmd::Suite:
-      return "suite s" + std::to_string(r.spec.scale);
+      // A sharded suite shows its cell count so router fan-out shards are
+      // distinguishable from full suites in telemetry; the plain form is
+      // unchanged.
+      return r.cells.empty()
+                 ? "suite s" + std::to_string(r.spec.scale)
+                 : "suite s" + std::to_string(r.spec.scale) + " shard[" +
+                       std::to_string(r.cells.size()) + "]";
     default:
       return cmd_name(r.cmd);
   }
@@ -107,6 +113,34 @@ std::optional<Request> parse_request(const std::string& line,
   if (const Json* d = j->find("deadline_ms"); d != nullptr && d->is_number())
     r.deadline_ms = d->as_number();
   if (const auto* t = get_string(*j, "trace")) r.trace = *t;
+  if (const Json* cells = j->find("cells"); cells != nullptr) {
+    if (r.cmd != Cmd::Suite) {
+      if (error) *error = "'cells' is only valid on cmd 'suite'";
+      return std::nullopt;
+    }
+    if (!cells->is_array()) {
+      if (error) *error = "'cells' must be an array";
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < cells->size(); ++i) {
+      const Json& c = cells->at(i);
+      const auto* w = c.is_object() ? get_string(c, "workload") : nullptr;
+      const auto* v = c.is_object() ? get_string(c, "variant") : nullptr;
+      const Json* ci = c.is_object() ? c.find("case") : nullptr;
+      if (w == nullptr || v == nullptr || ci == nullptr ||
+          !ci->is_number() || ci->as_number() < 0) {
+        if (error)
+          *error = "cells[" + std::to_string(i) +
+                   "] needs 'workload', 'case' (index >= 0), and 'variant'";
+        return std::nullopt;
+      }
+      ShardCell sc;
+      sc.workload = *w;
+      sc.case_index = static_cast<int>(ci->as_number());
+      sc.variant = *v;
+      r.cells.push_back(std::move(sc));
+    }
+  }
   if ((r.cmd == Cmd::Run || r.cmd == Cmd::Check) && r.spec.workload.empty()) {
     if (error) *error = "cmd '" + std::string(cmd_name(r.cmd)) +
                         "' needs a 'workload'";
@@ -131,6 +165,19 @@ Json request_to_json(const Request& r) {
     j["scale"] = Json::number(r.spec.scale);
     if (r.spec.errors) j["errors"] = Json::boolean(true);
     if (r.spec.check) j["check"] = Json::boolean(true);
+  }
+  // Cubie-Cluster shards: like "model" and "trace", the field rides only
+  // when present, so full-suite requests keep their pre-cluster bytes.
+  if (r.cmd == Cmd::Suite && !r.cells.empty()) {
+    Json cells = Json::array();
+    for (const auto& c : r.cells) {
+      Json cell = Json::object();
+      cell["workload"] = Json::string(c.workload);
+      cell["case"] = Json::number(c.case_index);
+      cell["variant"] = Json::string(c.variant);
+      cells.push_back(std::move(cell));
+    }
+    j["cells"] = std::move(cells);
   }
   if (r.cmd == Cmd::Sleep) j["ms"] = Json::number(r.sleep_ms);
   if (r.deadline_ms > 0) j["deadline_ms"] = Json::number(r.deadline_ms);

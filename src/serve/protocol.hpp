@@ -55,6 +55,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace cubie::serve {
 
@@ -84,6 +85,12 @@ struct Request {
   double sleep_ms = 0.0;   // sleep
   double deadline_ms = 0;  // <= 0: no deadline
   std::string trace;       // Cubie-Flight trace id; "" = none supplied
+  // Cubie-Cluster: a `suite` request may carry an explicit cell subset —
+  // the shard a router assigned to one worker, as an optional "cells"
+  // array of {"workload", "case", "variant"} coordinates. Empty means the
+  // full suite, and the field is then omitted from the wire form, so
+  // non-sharded requests keep their exact pre-cluster bytes.
+  std::vector<ShardCell> cells;
 };
 
 // Deterministic display key for telemetry ("run GEMM/all/rep/H200/s16").

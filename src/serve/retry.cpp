@@ -1,0 +1,46 @@
+#include "serve/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace cubie::serve {
+
+namespace {
+
+double default_uniform() {
+  thread_local std::mt19937_64 eng{std::random_device{}()};
+  return std::uniform_real_distribution<double>(0.0, 1.0)(eng);
+}
+
+}  // namespace
+
+RetrySchedule::RetrySchedule(RetryPolicy policy, Rng rng)
+    : policy_(policy), rng_(std::move(rng)) {
+  if (!rng_) rng_ = default_uniform;
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+  if (policy_.base_ms < 0.0) policy_.base_ms = 0.0;
+  if (policy_.multiplier < 1.0) policy_.multiplier = 1.0;
+  if (policy_.cap_ms < policy_.base_ms) policy_.cap_ms = policy_.base_ms;
+}
+
+std::optional<double> RetrySchedule::next_delay_ms(double elapsed_ms) {
+  if (attempt_ >= policy_.max_attempts) return std::nullopt;
+  const int retries_done = attempt_ - 1;
+  const double raw = std::min(
+      policy_.cap_ms,
+      policy_.base_ms * std::pow(policy_.multiplier, retries_done));
+  const double jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  const double delay = raw * (1.0 - jitter * rng_());
+  if (policy_.deadline_ms > 0.0 &&
+      elapsed_ms + delay >= policy_.deadline_ms)
+    return std::nullopt;
+  ++attempt_;
+  return delay;
+}
+
+bool retryable_error_code(const std::string& code) {
+  return code == "overloaded";
+}
+
+}  // namespace cubie::serve

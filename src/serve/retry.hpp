@@ -1,0 +1,69 @@
+#pragma once
+// Cubie-Cluster retry helper: a typed, deadline-aware retry policy with
+// jittered exponential backoff, shared by the router's worker calls and
+// `cubie request --retries N`. The schedule is a pure function of the
+// policy and an injected uniform-[0,1) RNG, so tests pin the exact backoff
+// sequence deterministically (no hidden clock, no global randomness).
+//
+// Semantics: an attempt fails -> ask next_delay_ms(elapsed) -> sleep that
+// long and try again, or stop when the policy is exhausted (max_attempts
+// used up, or the remaining deadline budget cannot absorb the sleep).
+// Only `overloaded` responses and transport failures are worth retrying;
+// the other typed codes (bad_request, internal, ...) fail identically on
+// every attempt.
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace cubie::serve {
+
+struct RetryPolicy {
+  int max_attempts = 3;      // total attempts, including the first
+  double base_ms = 10.0;     // backoff before the second attempt
+  double multiplier = 2.0;   // exponential growth per further retry
+  double cap_ms = 2000.0;    // backoff ceiling before jitter
+  // Fraction of each backoff randomized away (full-jitter style): the
+  // slept delay is raw * (1 - jitter * u), u ~ U[0,1). 0 = deterministic
+  // schedule, 1 = anywhere in (0, raw]. Herds of clients retrying a
+  // recovering worker decorrelate instead of re-stampeding it.
+  double jitter = 0.5;
+  // Total budget across all attempts and sleeps (<= 0: unbounded). A
+  // retry whose backoff would overrun the budget is not attempted — a
+  // late answer nobody is waiting for is never worth the wait.
+  double deadline_ms = 0.0;
+};
+
+// The per-call state of one retried operation. Construct once per logical
+// request; call next_delay_ms after each failed attempt.
+class RetrySchedule {
+ public:
+  using Rng = std::function<double()>;  // uniform [0,1)
+
+  // With no RNG, a thread-local PRNG seeded once per thread is used; tests
+  // inject a deterministic sequence instead.
+  explicit RetrySchedule(RetryPolicy policy, Rng rng = {});
+
+  // After a failed attempt: the jittered backoff (ms) to sleep before the
+  // next one, or nullopt when the policy is exhausted — attempts used up,
+  // or elapsed_ms + delay would cross the deadline budget. `elapsed_ms` is
+  // the caller-measured time since the first attempt began.
+  std::optional<double> next_delay_ms(double elapsed_ms = 0.0);
+
+  // Attempts begun so far (1 after construction: the first attempt needs
+  // no permission).
+  int attempts() const { return attempt_; }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int attempt_ = 1;
+};
+
+// Whether a typed protocol error code can succeed on retry. Only
+// "overloaded" qualifies: it describes the queue, not the request.
+bool retryable_error_code(const std::string& code);
+
+}  // namespace cubie::serve

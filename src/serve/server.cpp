@@ -280,8 +280,14 @@ struct Server::Impl {
           return;
         }
         std::optional<report::MetricsReport> rep;
+        std::string shard_err;
         try {
-          rep = suite_report(eng, r.spec.scale, r.spec.model);
+          // A sharded suite (Cubie-Cluster fan-out) executes only its
+          // assigned cells; an unsharded one is the full Figure-3 sweep.
+          rep = r.cells.empty()
+                    ? suite_report(eng, r.spec.scale, r.spec.model)
+                    : suite_shard_report(eng, r.spec.scale, r.cells,
+                                         &shard_err, r.spec.model);
         } catch (const engine::EngineError& ex) {
           auto_dump_flight();
           job.conn->send_line(
@@ -290,6 +296,11 @@ struct Server::Impl {
         } catch (const std::exception& ex) {
           job.conn->send_line(
               error_line(r.id, ErrorCode::Internal, ex.what(), r.trace));
+          return;
+        }
+        if (!rep) {
+          job.conn->send_line(
+              error_line(r.id, ErrorCode::BadRequest, shard_err, r.trace));
           return;
         }
         job.conn->send_line(

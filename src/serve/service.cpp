@@ -5,6 +5,7 @@
 #include "sim/model.hpp"
 #include "sim/model_registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include <cstdlib>
@@ -201,6 +202,108 @@ report::MetricsReport suite_report(engine::ExperimentEngine& eng, int scale,
   rep.title = "Figure 3: performance of Baseline/TC/CC/CC-E across workloads";
   rep.scale_divisor = scale;
   add_suite_perf_records(eng, scale, rep, model);
+  return rep;
+}
+
+std::optional<report::MetricsReport> suite_shard_report(
+    engine::ExperimentEngine& eng, int scale,
+    const std::vector<ShardCell>& cells, std::string* error,
+    const std::string& model_name) {
+  if (sim::model_backend_description(model_name).empty()) {
+    if (error) *error = "unknown model backend '" + model_name + "'";
+    return std::nullopt;
+  }
+  // Validate every coordinate before executing anything (all-or-nothing,
+  // like resolve()), and index the shard for the canonical sweep below.
+  struct Wanted {
+    const core::Workload* w = nullptr;
+    core::Variant v = core::Variant::TC;
+    std::size_t case_index = 0;
+  };
+  std::vector<Wanted> wanted;
+  wanted.reserve(cells.size());
+  for (const auto& c : cells) {
+    const auto* w = eng.workload(c.workload);
+    if (w == nullptr) {
+      if (error) *error = "unknown workload '" + c.workload + "'";
+      return std::nullopt;
+    }
+    const auto v = parse_variant(c.variant);
+    if (!v) {
+      if (error) *error = "bad variant '" + c.variant + "'";
+      return std::nullopt;
+    }
+    const auto avail = core::available_variants(*w);
+    if (std::find(avail.begin(), avail.end(), *v) == avail.end()) {
+      if (error)
+        *error = "variant '" + c.variant + "' not available for '" +
+                 w->name() + "'";
+      return std::nullopt;
+    }
+    const std::size_t n_cases = w->cases(scale).size();
+    if (c.case_index < 0 ||
+        static_cast<std::size_t>(c.case_index) >= n_cases) {
+      if (error)
+        *error = "case index " + std::to_string(c.case_index) +
+                 " out of range for '" + w->name() + "' (0.." +
+                 std::to_string(n_cases - 1) + ")";
+      return std::nullopt;
+    }
+    wanted.push_back({w, *v, static_cast<std::size_t>(c.case_index)});
+  }
+
+  // Warm the shard's cells through the engine first so --jobs parallelism
+  // applies and concurrent shards single-flight on shared cells.
+  std::vector<engine::Cell> plan_cells;
+  plan_cells.reserve(wanted.size());
+  for (const auto& c : wanted) {
+    engine::Cell cell;
+    cell.workload = c.w;
+    cell.variant = c.v;
+    cell.test_case = c.w->cases(scale)[c.case_index];
+    cell.scale = scale;
+    cell.key = engine::cell_key(c.w->name(), c.v, cell.test_case, scale,
+                                eng.options().model);
+    plan_cells.push_back(std::move(cell));
+  }
+  eng.execute(plan_cells);
+
+  // Emit the shard's records by walking the full canonical suite order
+  // (workload -> gpu -> case -> variant, exactly add_suite_perf_records'
+  // loop) and keeping only the requested coordinates: the concatenation of
+  // disjoint shards in canonical order is then the full suite record list.
+  report::MetricsReport rep;
+  rep.tool = "fig03_perf";
+  rep.title = "Figure 3: performance of Baseline/TC/CC/CC-E across workloads";
+  rep.scale_divisor = scale;
+  auto in_shard = [&](const core::Workload* w, std::size_t ci,
+                      core::Variant v) {
+    for (const auto& c : wanted)
+      if (c.w == w && c.case_index == ci && c.v == v) return true;
+    return false;
+  };
+  for (const auto& w : eng.suite()) {
+    const auto variants = core::available_variants(*w);
+    const auto cases = w->cases(scale);
+    for (auto gpu : sim::all_gpus()) {
+      const auto model = priced_model(model_name, gpu);
+      for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+        for (auto v : variants) {
+          if (!in_shard(w.get(), ci, v)) continue;
+          const auto& out = eng.run(*w, v, cases[ci], scale);
+          const auto pred = model->predict(out.profile);
+          auto& rec = rep.add_record(w->name(), core::variant_name(v),
+                                     sim::gpu_name(gpu), cases[ci].label);
+          rec.set(perf::perf_metric_name(*w),
+                  perf::perf_metric(*w, out.profile, pred.time_s) / 1e9);
+          rec.set("time_ms", pred.time_s * 1e3);
+          rec.set("dram_bytes", out.profile.dram_bytes);
+          rec.set("useful_flops", out.profile.useful_flops);
+          rec.set("launches", out.profile.launches);
+        }
+      }
+    }
+  }
   return rep;
 }
 

@@ -12,6 +12,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace cubie::serve {
 
@@ -67,5 +68,29 @@ void add_suite_perf_records(engine::ExperimentEngine& eng, int scale,
 // binary's --json output (no engine block, no human tables).
 report::MetricsReport suite_report(engine::ExperimentEngine& eng, int scale,
                                    const std::string& model = "analytic");
+
+// One suite shard coordinate: a (workload, case index, variant) cell of
+// the canonical Figure-3 enumeration. The Cubie-Cluster router decomposes
+// a `suite` request into disjoint sets of these and fans them out; the
+// protocol carries them as the optional "cells" array on `suite` requests
+// (omitted entirely for a full-suite request, preserving wire bytes).
+struct ShardCell {
+  std::string workload;
+  int case_index = 0;
+  std::string variant;  // "Baseline" | "TC" | "CC" | "CC-E"
+};
+
+// The per-shard slice of suite_report: execute and price exactly `cells`,
+// emitting their records in the same canonical workload -> gpu -> case ->
+// variant order the full suite uses — so disjoint shards, concatenated in
+// canonical order by the router, reproduce suite_report byte-for-byte
+// (pricing is per-cell and Workload::run is deterministic; see
+// docs/ARCHITECTURE.md "Why memoization is sound"). All-or-nothing
+// validation: nullopt with *error on an unknown workload/variant or an
+// out-of-range case index, nothing executed.
+std::optional<report::MetricsReport> suite_shard_report(
+    engine::ExperimentEngine& eng, int scale,
+    const std::vector<ShardCell>& cells, std::string* error,
+    const std::string& model = "analytic");
 
 }  // namespace cubie::serve

@@ -1,0 +1,627 @@
+// Cubie-Cluster contracts, pinned end to end:
+//   * the retry schedule is a pure function of (policy, injected RNG) —
+//     exact backoff sequences, the cap, the deadline budget, and which
+//     typed error codes are worth retrying at all;
+//   * cell pricing (engine::modeled_cell_cost_s) is positive,
+//     deterministic, and never executes a cell;
+//   * cost-weighted rendezvous assignment partitions the suite exactly,
+//     is deterministic, respects the balance cap, and moves only the dead
+//     worker's cells when the worker set shrinks;
+//   * the wire protocol round-trips the "cells" array and omits it for
+//     full-suite requests (pre-cluster byte preservation);
+//   * the merge property: per-shard reports merged in ANY shard order are
+//     byte-identical to the single-engine suite report — records, engine
+//     counting fields, and non-finite sentinel metrics included;
+//   * an in-process Router fans a suite out over live workers, reproduces
+//     the direct report, and fails over when a worker dies mid-cluster.
+
+#include "cluster/merge.hpp"
+#include "cluster/router.hpp"
+#include "cluster/shard.hpp"
+#include "engine/engine.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/retry.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cubie {
+namespace {
+
+// Scale divisor for every suite-shaped test below (higher = smaller
+// problems; the repo's other tests use 16-64).
+constexpr int kScale = 64;
+
+std::string cell_key(const serve::ShardCell& c) {
+  return c.workload + "|" + std::to_string(c.case_index) + "|" + c.variant;
+}
+
+// ---------------------------------------------------------------------------
+// RetrySchedule: deterministic by construction.
+
+TEST(ClusterRetry, ZeroJitterScheduleIsExact) {
+  serve::RetryPolicy p;
+  p.max_attempts = 3;
+  p.base_ms = 10;
+  p.multiplier = 2;
+  p.jitter = 0;
+  serve::RetrySchedule s(p);
+  EXPECT_EQ(s.attempts(), 1);
+  auto d1 = s.next_delay_ms();
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_DOUBLE_EQ(*d1, 10.0);
+  EXPECT_EQ(s.attempts(), 2);
+  auto d2 = s.next_delay_ms();
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_DOUBLE_EQ(*d2, 20.0);
+  EXPECT_EQ(s.attempts(), 3);
+  EXPECT_FALSE(s.next_delay_ms().has_value());  // 3 attempts used up
+}
+
+TEST(ClusterRetry, InjectedRngPinsTheJitteredDelay) {
+  serve::RetryPolicy p;
+  p.max_attempts = 4;
+  p.base_ms = 100;
+  p.multiplier = 2;
+  p.jitter = 0.5;
+  // delay = raw * (1 - jitter * u); u = 0.5 -> raw * 0.75.
+  serve::RetrySchedule s(p, [] { return 0.5; });
+  auto d1 = s.next_delay_ms();
+  auto d2 = s.next_delay_ms();
+  ASSERT_TRUE(d1 && d2);
+  EXPECT_DOUBLE_EQ(*d1, 75.0);
+  EXPECT_DOUBLE_EQ(*d2, 150.0);
+  // u = 0 keeps the raw delay; u -> 1 halves it (jitter 0.5).
+  serve::RetrySchedule hi(p, [] { return 0.0; });
+  EXPECT_DOUBLE_EQ(*hi.next_delay_ms(), 100.0);
+}
+
+TEST(ClusterRetry, CapBoundsTheRawBackoff) {
+  serve::RetryPolicy p;
+  p.max_attempts = 10;
+  p.base_ms = 100;
+  p.multiplier = 10;
+  p.cap_ms = 250;
+  p.jitter = 0;
+  serve::RetrySchedule s(p);
+  EXPECT_DOUBLE_EQ(*s.next_delay_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(*s.next_delay_ms(), 250.0);  // 1000 capped
+  EXPECT_DOUBLE_EQ(*s.next_delay_ms(), 250.0);  // stays at the cap
+}
+
+TEST(ClusterRetry, DeadlineBudgetRefusesLateRetries) {
+  serve::RetryPolicy p;
+  p.max_attempts = 5;
+  p.base_ms = 50;
+  p.jitter = 0;
+  p.deadline_ms = 100;
+  serve::RetrySchedule s(p);
+  // 30ms elapsed + 50ms delay = 80 < 100: allowed.
+  ASSERT_TRUE(s.next_delay_ms(30).has_value());
+  // 30ms elapsed + 100ms delay = 130 >= 100: a retry nobody will wait for.
+  EXPECT_FALSE(s.next_delay_ms(30).has_value());
+}
+
+TEST(ClusterRetry, SingleAttemptPolicyNeverRetries) {
+  serve::RetryPolicy p;
+  p.max_attempts = 1;
+  serve::RetrySchedule s(p);
+  EXPECT_FALSE(s.next_delay_ms().has_value());
+  EXPECT_EQ(s.attempts(), 1);
+}
+
+TEST(ClusterRetry, OnlyOverloadedIsRetryable) {
+  EXPECT_TRUE(serve::retryable_error_code("overloaded"));
+  EXPECT_FALSE(serve::retryable_error_code("bad_request"));
+  EXPECT_FALSE(serve::retryable_error_code("deadline_exceeded"));
+  EXPECT_FALSE(serve::retryable_error_code("shutting_down"));
+  EXPECT_FALSE(serve::retryable_error_code("internal"));
+  EXPECT_FALSE(serve::retryable_error_code(""));
+}
+
+// ---------------------------------------------------------------------------
+// Cell pricing.
+
+TEST(ClusterShard, PricingIsPositiveDeterministicAndNeverExecutes) {
+  engine::ExperimentEngine eng;
+  const auto cells = cluster::enumerate_suite_cells(eng, kScale);
+  ASSERT_FALSE(cells.empty());
+  for (const auto& c : cells) {
+    EXPECT_GT(c.cost_s, 0.0) << cell_key(c.cell);
+    EXPECT_TRUE(std::isfinite(c.cost_s)) << cell_key(c.cell);
+  }
+  // Pricing is pure enumeration: no cell was materialized.
+  const auto ctr = eng.counters();
+  EXPECT_EQ(ctr.misses, 0u);
+  EXPECT_EQ(ctr.memo_hits, 0u);
+  EXPECT_FALSE(eng.active());
+  // And a second enumeration prices identically (a pure function of
+  // (cell, model) — the property router determinism rests on).
+  const auto again = cluster::enumerate_suite_cells(eng, kScale);
+  ASSERT_EQ(again.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cell_key(again[i].cell), cell_key(cells[i].cell));
+    EXPECT_DOUBLE_EQ(again[i].cost_s, cells[i].cost_s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost-weighted rendezvous assignment.
+
+TEST(ClusterShard, AssignmentPartitionsTheSuiteExactly) {
+  engine::ExperimentEngine eng;
+  const auto cells = cluster::enumerate_suite_cells(eng, kScale);
+  const std::vector<std::string> workers = {"w0", "w1", "w2"};
+  const auto a = cluster::assign_cells(cells, workers);
+  ASSERT_EQ(a.shards.size(), workers.size());
+  ASSERT_EQ(a.modeled_cost_s.size(), workers.size());
+
+  // Every cell lands on exactly one shard; nothing invented, nothing lost.
+  std::multiset<std::string> assigned;
+  for (const auto& shard : a.shards)
+    for (const auto& c : shard) assigned.insert(cell_key(c));
+  std::multiset<std::string> expected;
+  for (const auto& c : cells) expected.insert(cell_key(c.cell));
+  EXPECT_EQ(assigned, expected);
+
+  // Shards preserve canonical enumeration order (what lets workers emit
+  // records the merge can place by simple canonical position).
+  std::vector<std::string> canon;
+  for (const auto& c : cells) canon.push_back(cell_key(c.cell));
+  auto pos = [&](const std::string& k) {
+    return std::find(canon.begin(), canon.end(), k) - canon.begin();
+  };
+  for (const auto& shard : a.shards)
+    for (std::size_t i = 1; i < shard.size(); ++i)
+      EXPECT_LT(pos(cell_key(shard[i - 1])), pos(cell_key(shard[i])));
+}
+
+TEST(ClusterShard, AssignmentIsDeterministicAndBalanced) {
+  engine::ExperimentEngine eng;
+  const auto cells = cluster::enumerate_suite_cells(eng, kScale);
+  const std::vector<std::string> workers = {"w0", "w1", "w2"};
+  const auto a = cluster::assign_cells(cells, workers);
+  const auto b = cluster::assign_cells(cells, workers);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (std::size_t i = 0; i < a.shards.size(); ++i) {
+    ASSERT_EQ(a.shards[i].size(), b.shards[i].size());
+    for (std::size_t j = 0; j < a.shards[i].size(); ++j)
+      EXPECT_EQ(cell_key(a.shards[i][j]), cell_key(b.shards[i][j]));
+  }
+  EXPECT_DOUBLE_EQ(a.imbalance_ratio, b.imbalance_ratio);
+  // The balance cap bounds the modeled imbalance. The final cell placed on
+  // a worker may push it past the cap, so the guarantee is cap + one
+  // largest cell, not the raw cap — but for the real suite the heavy cells
+  // are placed first and the ratio stays comfortably inside it.
+  EXPECT_GE(a.imbalance_ratio, 1.0);
+  EXPECT_LE(a.imbalance_ratio, cluster::kBalanceCapFactor + 0.05);
+}
+
+TEST(ClusterShard, LosingAWorkerMovesOnlyItsCells) {
+  engine::ExperimentEngine eng;
+  const auto cells = cluster::enumerate_suite_cells(eng, kScale);
+  const auto full = cluster::assign_cells(cells, {"w0", "w1", "w2"});
+  const auto down = cluster::assign_cells(cells, {"w0", "w2"});  // w1 died
+
+  auto owner_of = [](const cluster::ShardAssignment& a,
+                     const std::vector<std::string>& names) {
+    std::vector<std::pair<std::string, std::string>> out;  // cell -> worker
+    for (std::size_t i = 0; i < a.shards.size(); ++i)
+      for (const auto& c : a.shards[i]) out.emplace_back(cell_key(c), names[i]);
+    return out;
+  };
+  const auto before = owner_of(full, {"w0", "w1", "w2"});
+  const auto after = owner_of(down, {"w0", "w2"});
+  auto find_after = [&](const std::string& k) {
+    for (const auto& [cell, w] : after)
+      if (cell == k) return w;
+    return std::string();
+  };
+  // Rendezvous hashing's minimal-disruption property, softened by the
+  // balance cap: cells that were NOT on the dead worker mostly stay put.
+  std::size_t survivors = 0, stayed = 0;
+  for (const auto& [cell, w] : before) {
+    if (w == "w1") continue;
+    ++survivors;
+    if (find_after(cell) == w) ++stayed;
+  }
+  ASSERT_GT(survivors, 0u);
+  EXPECT_GE(stayed * 2, survivors)  // at least half stay put
+      << stayed << "/" << survivors << " survivor cells kept their worker";
+}
+
+TEST(ClusterShard, CollidingRecordKeysStayOnOneWorker) {
+  // At aggressive scales distinct case indices collapse to the same scaled
+  // case label (FFT's five cases all become "16x16xb2" at scale 64), and
+  // with them the record keys. Such cells must be assigned as one unit —
+  // split across shards, each shard would emit the collapsed record and
+  // the merge would reject the overlap.
+  engine::ExperimentEngine eng;
+  const auto cells = cluster::enumerate_suite_cells(eng, kScale);
+  std::set<std::string> groups;
+  std::map<std::string, int> group_sizes;
+  for (const auto& c : cells) {
+    ASSERT_FALSE(c.group.empty());
+    ++group_sizes[c.group];
+  }
+  const bool any_collision =
+      std::any_of(group_sizes.begin(), group_sizes.end(),
+                  [](const auto& kv) { return kv.second > 1; });
+  ASSERT_TRUE(any_collision) << "expected label collisions at scale "
+                             << kScale << "; pick a scale that has them";
+
+  const auto a = cluster::assign_cells(cells, {"w0", "w1", "w2"});
+  std::map<std::string, std::set<std::size_t>> group_workers;
+  std::map<std::string, std::string> group_of;
+  for (const auto& c : cells) group_of[cell_key(c.cell)] = c.group;
+  for (std::size_t w = 0; w < a.shards.size(); ++w)
+    for (const auto& c : a.shards[w])
+      group_workers[group_of[cell_key(c)]].insert(w);
+  for (const auto& [g, ws] : group_workers)
+    EXPECT_EQ(ws.size(), 1u) << "group " << g << " split across workers";
+}
+
+TEST(ClusterShard, Fnv1a64MatchesFixedVectors) {
+  // Classic FNV-1a reference vectors — pins the constants so assignments
+  // are identical across platforms and builds.
+  EXPECT_EQ(cluster::fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(cluster::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(cluster::fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol: the "cells" array.
+
+TEST(ClusterProtocol, CellsRoundTripThroughTheWire) {
+  serve::Request r;
+  r.id = "s1";
+  r.cmd = serve::Cmd::Suite;
+  r.spec.scale = kScale;
+  r.cells = {{"GEMM", 0, "TC"}, {"SpMV", 2, "Baseline"}};
+  const std::string line = serve::request_to_json(r).dump(-1);
+  std::string err;
+  auto back = serve::parse_request(line, &err);
+  ASSERT_TRUE(back) << err;
+  ASSERT_EQ(back->cells.size(), 2u);
+  EXPECT_EQ(back->cells[0].workload, "GEMM");
+  EXPECT_EQ(back->cells[0].case_index, 0);
+  EXPECT_EQ(back->cells[0].variant, "TC");
+  EXPECT_EQ(back->cells[1].workload, "SpMV");
+  EXPECT_EQ(back->cells[1].case_index, 2);
+  EXPECT_EQ(back->cells[1].variant, "Baseline");
+  EXPECT_NE(serve::request_key(*back).find("shard[2]"), std::string::npos);
+}
+
+TEST(ClusterProtocol, EmptyCellsAreOmittedFromTheWire) {
+  serve::Request r;
+  r.id = "s2";
+  r.cmd = serve::Cmd::Suite;
+  r.spec.scale = kScale;
+  const std::string line = serve::request_to_json(r).dump(-1);
+  // Pre-cluster byte preservation: a full-suite request must not mention
+  // cells at all.
+  EXPECT_EQ(line.find("cells"), std::string::npos);
+  std::string err;
+  auto back = serve::parse_request(line, &err);
+  ASSERT_TRUE(back) << err;
+  EXPECT_TRUE(back->cells.empty());
+}
+
+TEST(ClusterProtocol, CellsRejectedOnNonSuiteCommands) {
+  std::string err;
+  auto r = serve::parse_request(
+      R"({"id":"x","cmd":"run","cells":[{"workload":"GEMM","case":0,"variant":"TC"}]})",
+      &err);
+  EXPECT_FALSE(r.has_value());
+  EXPECT_NE(err.find("cells"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The merge property. The full suite report and the per-shard reports are
+// computed once (fresh engines, no cache) and shared across the tests
+// below — the suite is the expensive part.
+
+struct SuiteFixture {
+  report::MetricsReport full;
+  report::EngineStats full_engine;
+  std::vector<report::MetricsReport> shards;  // 3 disjoint shard reports
+  std::vector<report::EngineStats> shard_engines;
+  std::vector<std::string> canonical_keys;
+};
+
+const SuiteFixture& suite_fixture() {
+  static const SuiteFixture* fx = [] {
+    auto* f = new SuiteFixture();
+    engine::EngineOptions eo;
+    eo.jobs = 4;
+    {
+      engine::ExperimentEngine eng(eo);
+      f->full = serve::suite_report(eng, kScale);
+      f->full_engine = eng.stats();
+      f->canonical_keys = cluster::canonical_suite_record_keys(eng, kScale);
+    }
+    // Round-robin split into 3 shards — deliberately NOT the router's
+    // cost-balanced assignment, because the merge contract must hold for
+    // any disjoint cover that keeps record-key collision groups whole
+    // (cells whose scaled labels collide collapse into one record and must
+    // share a shard; the round robin is over groups, not cells).
+    engine::ExperimentEngine enumerator;
+    const auto cells = cluster::enumerate_suite_cells(enumerator, kScale);
+    std::vector<std::vector<serve::ShardCell>> parts(3);
+    std::map<std::string, std::size_t> shard_of_group;
+    for (const auto& c : cells) {
+      auto [it, inserted] =
+          shard_of_group.emplace(c.group, shard_of_group.size() % 3);
+      parts[it->second].push_back(c.cell);
+    }
+    f->shards.resize(3);
+    f->shard_engines.resize(3);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([f, t, &parts, &eo] {
+        engine::ExperimentEngine eng(eo);
+        std::string err;
+        auto rep = serve::suite_shard_report(
+            eng, kScale, parts[static_cast<std::size_t>(t)], &err);
+        if (!rep) throw std::runtime_error("shard report failed: " + err);
+        f->shards[static_cast<std::size_t>(t)] = std::move(*rep);
+        f->shard_engines[static_cast<std::size_t>(t)] = eng.stats();
+      });
+    }
+    for (auto& th : threads) th.join();
+    return f;
+  }();
+  return *fx;
+}
+
+TEST(ClusterMerge, AnyShardOrderReproducesTheSuiteByteForByte) {
+  const auto& fx = suite_fixture();
+  const std::string expected = fx.full.to_json().dump(2);
+  ASSERT_FALSE(fx.full.records.empty());
+
+  std::vector<std::size_t> order = {0, 1, 2};
+  int permutations = 0;
+  do {
+    std::vector<report::MetricsReport> shuffled;
+    for (auto i : order) shuffled.push_back(fx.shards[i]);
+    std::string err;
+    auto merged =
+        cluster::merge_shard_reports(shuffled, fx.canonical_keys, &err);
+    ASSERT_TRUE(merged) << err;
+    EXPECT_EQ(merged->to_json().dump(2), expected)
+        << "shard order " << order[0] << order[1] << order[2];
+    ++permutations;
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_EQ(permutations, 6);
+}
+
+TEST(ClusterMerge, EngineCountingFieldsSumToTheSingleEngine) {
+  const auto& fx = suite_fixture();
+  report::EngineStats total;
+  for (const auto& s : fx.shard_engines)
+    total = cluster::merge_engine_stats(total, s);
+  // The shards partition the suite, every engine was cold and cacheless,
+  // so the counting fields must sum to exactly the single engine's.
+  EXPECT_DOUBLE_EQ(total.cells, fx.full_engine.cells);
+  EXPECT_DOUBLE_EQ(total.misses, fx.full_engine.misses);
+  EXPECT_DOUBLE_EQ(total.disk_hits, fx.full_engine.disk_hits);
+  EXPECT_DOUBLE_EQ(total.disk_errors, fx.full_engine.disk_errors);
+  EXPECT_DOUBLE_EQ(total.traced_reruns, fx.full_engine.traced_reruns);
+  // Wall-clock fields are machine-dependent — only their algebra is
+  // checked: sums for exec, max for the slowest cell.
+  EXPECT_GT(total.exec_wall_s, 0.0);
+  double max_cell = 0.0;
+  for (const auto& s : fx.shard_engines)
+    max_cell = std::max(max_cell, s.max_cell_wall_s);
+  EXPECT_DOUBLE_EQ(total.max_cell_wall_s, max_cell);
+}
+
+TEST(ClusterMerge, OverlapMissingAndMetadataMismatchAreTyped) {
+  const auto& fx = suite_fixture();
+  std::string err;
+
+  // Overlap: the same shard twice.
+  auto dup = cluster::merge_shard_reports({fx.shards[0], fx.shards[0]},
+                                          fx.canonical_keys, &err);
+  EXPECT_FALSE(dup.has_value());
+  EXPECT_FALSE(err.empty());
+
+  // Missing: one shard short of the canonical cover.
+  err.clear();
+  auto partial = cluster::merge_shard_reports({fx.shards[0], fx.shards[1]},
+                                              fx.canonical_keys, &err);
+  EXPECT_FALSE(partial.has_value());
+  EXPECT_FALSE(err.empty());
+
+  // Metadata disagreement: a shard from a different scale cannot merge.
+  err.clear();
+  auto odd = fx.shards[2];
+  odd.scale_divisor = kScale + 1;
+  auto mixed = cluster::merge_shard_reports(
+      {fx.shards[0], fx.shards[1], odd}, fx.canonical_keys, &err);
+  EXPECT_FALSE(mixed.has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Non-finite sentinel metrics. JSON has no NaN/Inf: they serialize as null
+// and parse back as NaN (report::from_json), so the router's
+// parse -> merge -> re-serialize hop keeps the merged report byte-identical
+// to the direct run even when a cell emits a sentinel.
+
+report::MetricsReport sentinel_report(double value) {
+  report::MetricsReport rep;
+  rep.tool = "sentinel";
+  rep.title = "sentinel";
+  rep.scale_divisor = kScale;
+  auto& r = rep.add_record("W", "TC", "H200", "c0");
+  r.set("good", 1.5);
+  r.set("weird", value);
+  return rep;
+}
+
+TEST(ClusterMerge, NonFiniteMetricsSurviveTheMerge) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  report::MetricsReport a = sentinel_report(nan);
+  report::MetricsReport b = sentinel_report(inf);
+  b.records[0].workload = "X";  // distinct canonical key
+  const std::vector<std::string> keys = {"W|TC|H200|c0", "X|TC|H200|c0"};
+
+  std::string err;
+  auto merged = cluster::merge_shard_reports({b, a}, keys, &err);
+  ASSERT_TRUE(merged) << err;
+  ASSERT_EQ(merged->records.size(), 2u);
+  // In-memory merge copies the bit patterns untouched.
+  const double* mw = merged->records[0].get("weird");
+  const double* mx = merged->records[1].get("weird");
+  ASSERT_TRUE(mw && mx);
+  EXPECT_TRUE(std::isnan(*mw));
+  EXPECT_TRUE(std::isinf(*mx));
+}
+
+TEST(ClusterMerge, NonFiniteMetricsAreByteStableAcrossTheWireHop) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  report::MetricsReport direct = sentinel_report(nan);
+  const std::string direct_json = direct.to_json().dump(2);
+  // The sentinel serializes as null, not as a dropped key.
+  EXPECT_NE(direct_json.find("\"weird\": null"), std::string::npos);
+
+  // Worker -> router hop: serialize, parse, merge the single shard,
+  // re-serialize. The result must be the exact bytes of the direct run.
+  std::string err;
+  auto doc = report::Json::parse(direct_json, &err);
+  ASSERT_TRUE(doc) << err;
+  auto parsed = report::MetricsReport::from_json(*doc, &err);
+  ASSERT_TRUE(parsed) << err;
+  const std::vector<report::MetricsReport> one = {*parsed};
+  auto merged = cluster::merge_shard_reports(one, {"W|TC|H200|c0"}, &err);
+  ASSERT_TRUE(merged) << err;
+  EXPECT_EQ(merged->to_json().dump(2), direct_json);
+}
+
+// ---------------------------------------------------------------------------
+// Router integration: two live workers behind an in-process Router.
+
+struct LiveServer {
+  explicit LiveServer(serve::ServerOptions opts) : server(std::move(opts)) {
+    std::string err;
+    if (!server.start(&err)) throw std::runtime_error(err);
+    thread = std::thread([this] { server.serve(); });
+  }
+  ~LiveServer() {
+    if (thread.joinable()) {
+      server.request_shutdown();
+      thread.join();
+    }
+  }
+  void shutdown_and_join() {
+    server.request_shutdown();
+    thread.join();
+  }
+
+  serve::Server server;
+  std::thread thread;
+};
+
+std::string temp_socket(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("cubie_cluster_") + tag + ".sock"))
+      .string();
+}
+
+TEST(ClusterRouter, SuiteFansOutMergesAndFailsOver) {
+  // Both workers share one disk cache dir — the cluster's cross-shard memo
+  // layer, and what makes the post-failover suite cheap (the survivor
+  // loads the dead worker's cells instead of recomputing them).
+  const auto cache_dir = std::filesystem::temp_directory_path() /
+                         "cubie_cluster_test_cache";
+  std::filesystem::remove_all(cache_dir);
+  std::filesystem::create_directories(cache_dir);
+
+  serve::ServerOptions w0;
+  w0.socket_path = temp_socket("w0");
+  w0.engine.jobs = 2;
+  w0.engine.cache_dir = cache_dir.string();
+  serve::ServerOptions w1 = w0;
+  w1.socket_path = temp_socket("w1");
+  LiveServer lw0(w0);
+  LiveServer lw1(w1);
+
+  cluster::RouterOptions ropts;
+  ropts.socket_path = temp_socket("router");
+  ropts.workers = {{"w0", {w0.socket_path, -1}}, {"w1", {w1.socket_path, -1}}};
+  ropts.retry.jitter = 0;
+  ropts.retry.base_ms = 5;
+  ropts.probe_interval_ms = 100;
+  cluster::Router router(std::move(ropts));
+  std::string err;
+  ASSERT_TRUE(router.start(&err)) << err;
+  std::thread rt([&router] { router.serve(); });
+
+  auto client = serve::Client::connect({temp_socket("router"), -1}, &err);
+  ASSERT_TRUE(client) << err;
+
+  serve::Request suite;
+  suite.id = "suite-1";
+  suite.cmd = serve::Cmd::Suite;
+  suite.spec.scale = kScale;
+  auto resp = client->call(suite, &err);
+  ASSERT_TRUE(resp) << err;
+  const report::Json* ok = resp->find("ok");
+  ASSERT_TRUE(ok && ok->as_bool()) << resp->dump(-1);
+
+  // The merged cluster response carries the exact records a single engine
+  // produces (the fixture's full report).
+  const report::Json* rep_json = resp->find("report");
+  ASSERT_NE(rep_json, nullptr);
+  auto via_cluster = report::MetricsReport::from_json(*rep_json, &err);
+  ASSERT_TRUE(via_cluster) << err;
+  const auto& fx = suite_fixture();
+  ASSERT_EQ(via_cluster->records.size(), fx.full.records.size());
+  report::Json direct_records = fx.full.to_json();
+  report::Json cluster_records = via_cluster->to_json();
+  EXPECT_EQ(cluster_records.find("records")->dump(2),
+            direct_records.find("records")->dump(2));
+
+  auto st = router.stats();
+  EXPECT_EQ(st.suites, 1u);
+  EXPECT_GE(st.shards, 2u);  // both workers took part
+  EXPECT_EQ(st.failovers, 0u);
+
+  // Kill w1 and ask again: the router must fail its shards over to w0 and
+  // still answer ok.
+  lw1.shutdown_and_join();
+  suite.id = "suite-2";
+  resp = client->call(suite, &err);
+  ASSERT_TRUE(resp) << err;
+  ok = resp->find("ok");
+  ASSERT_TRUE(ok && ok->as_bool()) << resp->dump(-1);
+  st = router.stats();
+  EXPECT_EQ(st.suites, 2u);
+  EXPECT_GE(st.failovers, 1u);
+
+  const auto workers = router.workers();
+  ASSERT_EQ(workers.size(), 2u);
+
+  router.request_shutdown();
+  rt.join();
+  std::filesystem::remove_all(cache_dir);
+}
+
+}  // namespace
+}  // namespace cubie

@@ -74,6 +74,7 @@
 // counters (typed unavailable fallback when perf_event_open is denied).
 
 #include "check/check.hpp"
+#include "cluster/router.hpp"
 #include "common/metrics.hpp"
 #include "common/report.hpp"
 #include "common/table.hpp"
@@ -81,6 +82,7 @@
 #include "engine/engine.hpp"
 #include "mma/simd.hpp"
 #include "serve/client.hpp"
+#include "serve/retry.hpp"
 #include "serve/server.hpp"
 #include "sim/model.hpp"
 #include "sim/model_registry.hpp"
@@ -91,6 +93,8 @@
 #include "telemetry/slowlog.hpp"
 #include "telemetry/trace_context.hpp"
 
+#include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -114,6 +118,7 @@ using namespace cubie;
 constexpr const char* kSubcommands[] = {
     "list", "cases",  "run",   "profile", "check",   "record", "trend",
     "serve", "loadgen", "request", "top",  "roofline", "flight", "explain",
+    "cluster",
 };
 
 constexpr const char* kFlags[] = {
@@ -125,6 +130,8 @@ constexpr const char* kFlags[] = {
     "--requests", "--sleep-ms",  "--deadline", "--metrics-out",
     "--interval", "--iterations", "--model",   "--trace",    "--slow-ms",
     "--slowlog", "--flight-size", "--flight-dump", "--from", "--no-trace",
+    "--worker", "--spawn",       "--cluster", "--addr",     "--retries",
+    "--probe-interval", "--unhealthy-after",
 };
 
 int usage() {
@@ -147,10 +154,15 @@ int usage() {
       "            [--queue-limit N] [--jobs N] [--cache DIR]\n"
       "            [--flight-size N] [--flight-dump FILE]\n"
       "            [--slowlog FILE] [--slow-ms MS]\n"
+      "  cubie cluster [--socket PATH | --port N]\n"
+      "            (--worker ADDR ... | --spawn N) [--jobs N] [--cache DIR]\n"
+      "            [--retries N] [--probe-interval MS]\n"
+      "            [--unhealthy-after N]\n"
       "  cubie loadgen [workload...] [--socket PATH | --port N]\n"
       "            [--concurrency N] [--requests N] [--sleep-ms MS]\n"
-      "            [--deadline MS] [--json file] [--no-trace]\n"
+      "            [--deadline MS] [--json file] [--no-trace] [--cluster]\n"
       "  cubie request <cmd> [workload] [--socket PATH | --port N]\n"
+      "            [--addr A[,B,...]] [--retries N]\n"
       "            [--deadline MS] [--json file] [--trace ID]\n"
       "  cubie top [--socket PATH | --port N] [--interval MS]\n"
       "            [--iterations N]\n"
@@ -493,12 +505,14 @@ int cmd_cases(const core::Workload& w, int scale) {
 
 // --- Cubie-Serve ----------------------------------------------------------
 
-serve::Server* g_server = nullptr;  // for the signal handler only
+serve::Server* g_server = nullptr;        // for the signal handler only
+cluster::Router* g_router = nullptr;      // ditto, `cubie cluster`
 int g_flight_wake_wr = -1;  // SIGUSR2 self-pipe, write end
 
 extern "C" void on_shutdown_signal(int) {
   // Async-signal-safe: request_shutdown is an atomic store + pipe write.
   if (g_server != nullptr) g_server->request_shutdown();
+  if (g_router != nullptr) g_router->request_shutdown();
 }
 
 extern "C" void on_flight_signal(int) {
@@ -568,8 +582,138 @@ int cmd_serve(serve::ServerOptions sopts) {
   return 0;
 }
 
+// --- Cubie-Cluster ---------------------------------------------------------
+// Front-end router over N `cubie serve` workers (src/cluster/,
+// docs/SERVING.md "Cubie-Cluster"). Two ways to get workers:
+//   --worker ADDR ...   attach to daemons someone else runs (ADDR is a
+//                       Unix socket path or an all-digits TCP port);
+//   --spawn N           fork N `cubie serve` children on Unix sockets in a
+//                       private temp dir, sharing one disk-cache dir, and
+//                       drain them when the router drains.
+
+struct SpawnedWorker {
+  pid_t pid = -1;
+  std::string socket;
+};
+
+// Fork+exec one `cubie serve` child. argv0 is this binary (the cluster
+// re-execs itself, so router and workers are always the same build).
+pid_t spawn_worker(const std::string& argv0, const std::string& socket,
+                   const engine::EngineOptions& eng_opts) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const std::string jobs = std::to_string(eng_opts.jobs);
+  std::vector<std::string> args = {argv0,     "serve",        "--socket",
+                                   socket,    "--jobs",       jobs,
+                                   "--model", eng_opts.model, "--flight-dump",
+                                   socket + ".flight.jsonl"};
+  if (!eng_opts.cache_dir.empty()) {
+    args.push_back("--cache");
+    args.push_back(eng_opts.cache_dir);
+  }
+  std::vector<char*> argv;
+  for (auto& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(argv0.c_str(), argv.data());
+  std::perror("cubie cluster: execv");
+  std::_Exit(127);
+}
+
+// Wait until a spawned worker answers ping (its socket appears a moment
+// after exec). False after ~10 s of refusals.
+bool wait_for_worker(const serve::Endpoint& ep) {
+  for (int i = 0; i < 200; ++i) {
+    std::string err;
+    if (auto c = serve::Client::connect(ep, &err)) {
+      serve::Request ping;
+      ping.id = "spawn-wait";
+      ping.cmd = serve::Cmd::Ping;
+      if (c->call(ping, &err)) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+int cmd_cluster(cluster::RouterOptions ropts, std::string argv0,
+                int spawn_n, engine::EngineOptions eng_opts) {
+  std::vector<SpawnedWorker> children;
+  std::string spawn_dir;
+  if (spawn_n > 0) {
+    // argv[0] may be a bare name found via PATH; /proc/self/exe always
+    // names the running binary (this is a Linux-only daemon feature).
+    char exe[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (n > 0) argv0.assign(exe, static_cast<std::size_t>(n));
+    char tmpl[] = "/tmp/cubie-cluster-XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::cerr << "cubie cluster: mkdtemp: " << std::strerror(errno) << '\n';
+      return 1;
+    }
+    spawn_dir = tmpl;
+    if (eng_opts.cache_dir.empty()) {
+      // One shared disk cache is the cross-shard memo layer: a cell one
+      // worker computed is a disk hit for every other worker.
+      eng_opts.cache_dir = spawn_dir + "/cache";
+      ::mkdir(eng_opts.cache_dir.c_str(), 0755);
+    }
+    for (int i = 0; i < spawn_n; ++i) {
+      SpawnedWorker w;
+      w.socket = spawn_dir + "/w" + std::to_string(i) + ".sock";
+      w.pid = spawn_worker(argv0, w.socket, eng_opts);
+      if (w.pid < 0) {
+        std::cerr << "cubie cluster: fork: " << std::strerror(errno) << '\n';
+        return 1;
+      }
+      children.push_back(w);
+      ropts.workers.push_back(
+          {"w" + std::to_string(i), serve::Endpoint{w.socket, -1}});
+    }
+    for (const auto& w : children) {
+      if (!wait_for_worker(serve::Endpoint{w.socket, -1})) {
+        std::cerr << "cubie cluster: spawned worker " << w.socket
+                  << " never came up\n";
+        for (const auto& k : children) ::kill(k.pid, SIGTERM);
+        return 1;
+      }
+    }
+    ropts.forward_shutdown = true;
+  }
+  ropts.engine = eng_opts;
+  ropts.engine.cache_dir.clear();  // the router prices cells, never executes
+
+  cluster::Router router(std::move(ropts));
+  std::string err;
+  if (!router.start(&err)) {
+    std::cerr << "cubie cluster: " << err << '\n';
+    for (const auto& k : children) ::kill(k.pid, SIGTERM);
+    return 1;
+  }
+  g_router = &router;
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+  std::cerr << "cubie cluster: routing on " << router.endpoint() << " across "
+            << router.workers().size() << " worker(s)"
+            << (children.empty() ? "" : " [spawned]")
+            << "; SIGINT or a 'shutdown' request drains\n";
+  router.serve();
+  g_router = nullptr;
+  for (const auto& w : children) {
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+  }
+  const auto st = router.stats();
+  std::cerr << "cubie cluster: drained. " << st.completed << " completed ("
+            << st.suites << " suite(s) over " << st.shards << " shard(s)), "
+            << st.retries << " retr" << (st.retries == 1 ? "y" : "ies") << ", "
+            << st.failovers << " failover(s), " << st.rejected_unavailable
+            << " rejected-unavailable, " << st.bad_requests
+            << " bad request(s)\n";
+  return 0;
+}
+
 int cmd_loadgen(const serve::LoadgenOptions& lopts,
-                const std::string& json_path) {
+                const std::string& json_path, const std::string& tool) {
   serve::LoadgenResult res;
   std::string err;
   if (!serve::run_loadgen(lopts, res, &err)) {
@@ -589,7 +733,7 @@ int cmd_loadgen(const serve::LoadgenOptions& lopts,
   t.add_row({"p99_ms", common::fmt_double(res.percentile_ms(99), 3)});
   t.print(std::cout);
   if (!json_path.empty()) {
-    if (!serve::loadgen_report(res).write_file(json_path)) {
+    if (!serve::loadgen_report(res, tool).write_file(json_path)) {
       std::cerr << "cannot write " << json_path << '\n';
       return 1;
     }
@@ -643,16 +787,51 @@ void print_stats_table(const report::Json& resp) {
   t.print(std::cout);
 }
 
-int cmd_request(const serve::Endpoint& ep, serve::Request req,
-                const std::string& json_path) {
-  std::string err;
-  auto client = serve::Client::connect(ep, &err);
-  if (!client) {
-    std::cerr << "cubie request: " << err << '\n';
-    return 1;
-  }
+int cmd_request(const std::vector<serve::Endpoint>& endpoints,
+                serve::Request req, const std::string& json_path,
+                const serve::RetryPolicy& retry) {
   const serve::Cmd cmd = req.cmd;
-  auto resp = client->call(req, &err);
+  // One attempt = connect (first-healthy across the --addr list; a plain
+  // connect when there is only one endpoint, preserving the single-daemon
+  // wire conversation byte-for-byte) + call. Transport failures and
+  // "overloaded" answers consume the retry schedule; every other error is
+  // final on the first answer.
+  serve::RetrySchedule sched(retry);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<report::Json> resp;
+  std::string err;
+  for (;;) {
+    err.clear();
+    std::optional<serve::Client> client;
+    if (endpoints.size() == 1)
+      client = serve::Client::connect(endpoints.front(), &err);
+    else
+      client = serve::Client::connect_first(endpoints, &err);
+    if (client) resp = client->call(req, &err);
+    bool retryable = !resp;
+    if (resp) {
+      const report::Json* ok = resp->find("ok");
+      if (ok != nullptr && ok->is_bool() && !ok->as_bool()) {
+        if (const report::Json* e = resp->find("error")) {
+          if (const report::Json* c = e->find("code"); c && c->is_string())
+            retryable = serve::retryable_error_code(c->as_string());
+        }
+      }
+    }
+    if (!retryable) break;
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    const auto delay = sched.next_delay_ms(elapsed_ms);
+    if (!delay) break;
+    std::cerr << "cubie request: attempt " << (sched.attempts() - 1)
+              << " failed (" << (resp ? "overloaded" : err) << "); retrying in "
+              << common::fmt_double(*delay, 0) << " ms\n";
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(*delay));
+    resp.reset();
+  }
   if (!resp) {
     std::cerr << "cubie request: " << err << '\n';
     return 1;
@@ -823,6 +1002,34 @@ int cmd_top(const serve::Endpoint& ep, double interval_ms, int iterations) {
               << " ms  p95 " << common::fmt_double(p95, 3) << " ms  p99 "
               << common::fmt_double(p99, 3) << " ms  (n="
               << static_cast<long long>(n_lat) << ")\n";
+    // Cubie-Cluster: a router's stats response carries a "workers" array —
+    // render a per-worker health panel under the shared counters.
+    if (const report::Json* warr = sresp->find("workers");
+        warr != nullptr && warr->is_array() && warr->size() > 0) {
+      const report::Json* cl = sresp->find("cluster");
+      std::cout << "cluster   " << jint(cl, "workers_healthy") << "/"
+                << jint(cl, "workers") << " healthy | suites "
+                << jint(cl, "suites") << " | shards " << jint(cl, "shards")
+                << " | retries " << jint(cl, "retries") << " | failovers "
+                << jint(cl, "failovers") << " | imbalance "
+                << common::fmt_double(jnum(cl, "imbalance_ratio"), 2) << "\n";
+      for (std::size_t wi = 0; wi < warr->size(); ++wi) {
+        const report::Json& w = warr->at(wi);
+        const report::Json* name = w.find("name");
+        const report::Json* endpoint = w.find("endpoint");
+        const report::Json* healthy = w.find("healthy");
+        const bool up =
+            healthy != nullptr && healthy->is_bool() && healthy->as_bool();
+        std::cout << (wi == 0 ? "workers   " : "          ")
+                  << (name && name->is_string() ? name->as_string() : "?")
+                  << " " << (up ? "up  " : "DOWN") << " inflight "
+                  << jint(&w, "inflight") << " shards " << jint(&w, "shards")
+                  << " fails " << jint(&w, "consecutive_failures") << "  ("
+                  << (endpoint && endpoint->is_string() ? endpoint->as_string()
+                                                        : "?")
+                  << ")\n";
+      }
+    }
     // Cubie-Flight: the slowest recent requests, from the exemplar trace
     // ids the daemon attaches to its latency-histogram buckets — the ids
     // feed straight into `cubie explain`.
@@ -1083,6 +1290,14 @@ int main(int argc, char** argv) {
   double interval_ms = 1000.0;
   int iterations = 0;  // 0 = until interrupted
   bool metrics_out = false;
+  // Cubie-Cluster.
+  std::vector<std::string> worker_addrs;  // cluster: --worker ADDR ...
+  int spawn_n = 0;                        // cluster: --spawn N
+  bool cluster_loadgen = false;           // loadgen: --cluster tool naming
+  std::string addr_list;                  // request: --addr A[,B,...]
+  int request_retries = 0;                // request: --retries N
+  double probe_interval_ms = 500.0;       // cluster: --probe-interval MS
+  int unhealthy_after = 3;                // cluster: --unhealthy-after N
   // check / loadgen / request accept several positionals; every other
   // command takes at most one.
   std::vector<std::string> positionals;
@@ -1149,6 +1364,19 @@ int main(int argc, char** argv) {
     else if (args[i] == "--slowlog") slowlog_path = next("--slowlog");
     else if (args[i] == "--slow-ms") slow_ms = std::atof(next("--slow-ms").c_str());
     else if (args[i] == "--from") from_path = next("--from");
+    else if (args[i] == "--worker") worker_addrs.push_back(next("--worker"));
+    else if (args[i] == "--spawn")
+      spawn_n = std::max(0, std::atoi(next("--spawn").c_str()));
+    else if (args[i] == "--cluster") cluster_loadgen = true;
+    else if (args[i] == "--addr") addr_list = next("--addr");
+    else if (args[i] == "--retries")
+      request_retries = std::max(0, std::atoi(next("--retries").c_str()));
+    else if (args[i] == "--probe-interval")
+      probe_interval_ms =
+          std::max(10.0, std::atof(next("--probe-interval").c_str()));
+    else if (args[i] == "--unhealthy-after")
+      unhealthy_after =
+          std::max(1, std::atoi(next("--unhealthy-after").c_str()));
     else if (!args[i].empty() && args[i][0] == '-')
       return unknown_flag(cmd, args[i]);
     else positionals.push_back(args[i]);
@@ -1238,7 +1466,9 @@ int main(int argc, char** argv) {
       r.cmd = serve::Cmd::Ping;
       lo.mix.push_back(std::move(r));
     }
-    return cmd_loadgen(lo, json_path);
+    return cmd_loadgen(
+        lo, json_path,
+        cluster_loadgen ? "cubie_loadgen_cluster" : "cubie_loadgen");
   }
   if (cmd == "request") {
     if (positionals.empty()) {
@@ -1279,7 +1509,15 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    return cmd_request(ep, std::move(r), json_path);
+    // --addr A[,B,...] lists alternative daemons (socket paths, or
+    // all-digits TCP ports); the first healthy one wins. Falls back to the
+    // classic --socket/--port endpoint when absent.
+    std::vector<serve::Endpoint> endpoints = serve::parse_endpoints(addr_list);
+    if (endpoints.empty()) endpoints.push_back(ep);
+    serve::RetryPolicy retry;
+    retry.max_attempts = std::max(1, request_retries + 1);
+    if (deadline_ms > 0) retry.deadline_ms = deadline_ms;
+    return cmd_request(endpoints, std::move(r), json_path, retry);
   }
 
   scope.jobs = eng_opts.jobs;
@@ -1302,6 +1540,34 @@ int main(int argc, char** argv) {
       return 2;
     }
     return cmd_serve(std::move(sopts));
+  }
+  if (cmd == "cluster") {
+    const telemetry::SinkSet sinks = telemetry::install(scope);
+    cluster::RouterOptions ropts;
+    ropts.socket_path = socket_path;
+    ropts.tcp_port = port;
+    ropts.probe_interval_ms = probe_interval_ms;
+    ropts.unhealthy_after = unhealthy_after;
+    if (request_retries > 0) ropts.retry.max_attempts = request_retries + 1;
+    if (flight_size >= 0)
+      ropts.flight_capacity = static_cast<std::size_t>(flight_size);
+    if (ropts.socket_path.empty() && ropts.tcp_port < 0) {
+      std::cerr << "cubie cluster needs an endpoint: --socket PATH or "
+                   "--port N (0 = ephemeral)\n";
+      return 2;
+    }
+    if (worker_addrs.empty() == (spawn_n == 0)) {
+      std::cerr << "cubie cluster needs workers: --worker ADDR (repeatable) "
+                   "or --spawn N, not both\n";
+      return 2;
+    }
+    for (std::size_t i = 0; i < worker_addrs.size(); ++i) {
+      const auto eps = serve::parse_endpoints(worker_addrs[i]);
+      for (const auto& wep : eps)
+        ropts.workers.push_back(
+            {"w" + std::to_string(ropts.workers.size()), wep});
+    }
+    return cmd_cluster(std::move(ropts), argv[0], spawn_n, eng_opts);
   }
 
   engine::ExperimentEngine eng(eng_opts);

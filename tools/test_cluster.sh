@@ -1,0 +1,192 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the Cubie-Cluster router, run from ctest:
+#   test_cluster.sh <cubie-binary> <bench_diff-binary>
+# Starts a single reference daemon and a 3-worker cluster sharing one disk
+# cache, then proves the clustering contract:
+#   * a cluster-served suite is byte-identical (cmp, bench_diff --tol 0) to
+#     the same suite from a single worker;
+#   * the router's stats envelope shows the fan-out (suites, shards, all
+#     workers healthy) and `cubie top` renders the worker panel;
+#   * killing a worker mid-loadgen loses no requests — the router fails the
+#     dead worker's traffic over (failovers >= 1, completed == requests)
+#     and the loadgen report carries the cluster tool name;
+#   * `cubie request --addr dead,live` picks the first healthy endpoint;
+#   * a `shutdown` request drains the router AND its spawned workers to a
+#     clean exit 0.
+set -eu
+
+CUBIE="$1"
+DIFF="$2"
+WORK="$(mktemp -d)"
+CACHE="$WORK/cache"
+WSOCK="$WORK/single.sock"
+RSOCK="$WORK/router.sock"
+SERVER_PID=""
+ROUTER_PID=""
+cleanup() {
+  for pid in "$SERVER_PID" "$ROUTER_PID"; do
+    if [ -n "$pid" ]; then
+      kill "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_ping() { # <socket>
+  for _ in $(seq 1 200); do
+    if "$CUBIE" request ping --socket "$1" > /dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  return 1
+}
+
+# --- Reference: the suite from one plain daemon. ---------------------------
+"$CUBIE" serve --socket "$WSOCK" --jobs 2 --cache "$CACHE" \
+         2> "$WORK/single.log" &
+SERVER_PID=$!
+wait_ping "$WSOCK" || { cat "$WORK/single.log" >&2; exit 1; }
+"$CUBIE" request suite --scale 16 --socket "$WSOCK" \
+         --json "$WORK/direct.json" 2> /dev/null
+"$CUBIE" request shutdown --socket "$WSOCK" > /dev/null
+wait "$SERVER_PID" || { cat "$WORK/single.log" >&2; exit 1; }
+SERVER_PID=""
+
+# --- The cluster: 3 spawned workers behind one router. ---------------------
+# The workers share the reference run's disk cache — the cluster's
+# cross-shard memo layer, and what keeps this test fast: every cell is
+# loaded, none recomputed, and the bytes must STILL be identical.
+"$CUBIE" cluster --spawn 3 --socket "$RSOCK" --jobs 2 --cache "$CACHE" \
+         --probe-interval 100 2> "$WORK/cluster.log" &
+ROUTER_PID=$!
+wait_ping "$RSOCK" || { cat "$WORK/cluster.log" >&2; exit 1; }
+
+"$CUBIE" request suite --scale 16 --socket "$RSOCK" \
+         --json "$WORK/cluster.json" 2> /dev/null
+cmp "$WORK/cluster.json" "$WORK/direct.json"
+"$DIFF" "$WORK/direct.json" "$WORK/cluster.json" --tol 0 > /dev/null
+echo "cluster suite is byte-identical to the single-worker suite"
+
+"$CUBIE" request stats --socket "$RSOCK" --json "$WORK/stats1.json" \
+         2> /dev/null
+python3 - "$WORK/stats1.json" <<'EOF'
+import json, sys
+env = json.load(open(sys.argv[1]))
+assert env["ok"] is True, env
+cl = env["cluster"]
+assert cl["suites"] == 1, cl
+assert cl["shards"] >= 2, cl          # the fan-out really happened
+assert cl["failovers"] == 0, cl
+assert cl["workers"] == 3 and cl["workers_healthy"] == 3, cl
+assert 1.0 <= cl["imbalance_ratio"] <= 1.3, cl
+workers = env["workers"]
+assert len(workers) == 3, workers
+assert all(w["healthy"] for w in workers), workers
+assert sum(w["shards"] for w in workers) == cl["shards"], workers
+print("cluster stats ok: %d shards over %d workers, imbalance %.3f" %
+      (cl["shards"], cl["workers"], cl["imbalance_ratio"]))
+EOF
+
+# One `cubie top` frame renders the worker panel against the router.
+"$CUBIE" top --socket "$RSOCK" --interval 50 --iterations 1 \
+         > "$WORK/top.out" 2> /dev/null
+grep -q "cluster" "$WORK/top.out"
+grep -q "w0" "$WORK/top.out"
+
+# --- Kill a worker mid-loadgen: no request may be lost. --------------------
+# The spawned workers are the router process's children.
+WORKER_PIDS="$(pgrep -P "$ROUTER_PID" || true)"
+if [ "$(echo "$WORKER_PIDS" | wc -w)" -ne 3 ]; then
+  echo "FAIL: expected 3 spawned workers, found: $WORKER_PIDS" >&2
+  exit 1
+fi
+VICTIM="$(echo "$WORKER_PIDS" | head -n 1)"
+
+# Sleep-heavy mix so the run is still in flight when the worker dies
+# (warm GEMV cells alone would finish in milliseconds).
+"$CUBIE" loadgen GEMV --cluster --socket "$RSOCK" --concurrency 4 \
+         --requests 96 --scale 16 --sleep-ms 50 \
+         --json "$WORK/load.json" > /dev/null 2>&1 &
+LOADGEN_PID=$!
+sleep 0.5
+kill -9 "$VICTIM"
+wait "$LOADGEN_PID"
+
+python3 - "$WORK/load.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+# Satellite contract: cluster loadgen runs live in their own record/trend
+# series, so the tool name differs from the direct daemon's.
+assert rep["tool"] == "cubie_loadgen_cluster", rep["tool"]
+(rec,) = rep["records"]
+m = rec["metrics"]
+assert m["completed"] == 96, m   # a dead worker lost us nothing
+assert m["rejected"] == 0, m
+print("loadgen survived the kill: %d/%d completed, %.0f req/s" %
+      (m["completed"], 96, m["req_per_s"]))
+EOF
+
+# The router noticed: the dead worker's traffic failed over and the health
+# probe demoted it.
+for _ in $(seq 1 50); do
+  "$CUBIE" request stats --socket "$RSOCK" --json "$WORK/stats2.json" \
+           2> /dev/null
+  if python3 -c '
+import json, sys
+env = json.load(open(sys.argv[1]))
+cl = env["cluster"]
+sys.exit(0 if cl["failovers"] >= 1 and cl["workers_healthy"] == 2 else 1)
+' "$WORK/stats2.json"; then
+    break
+  fi
+  sleep 0.1
+done
+python3 - "$WORK/stats2.json" <<'EOF'
+import json, sys
+env = json.load(open(sys.argv[1]))
+cl = env["cluster"]
+assert cl["failovers"] >= 1, cl
+assert cl["workers_healthy"] == 2, cl
+down = [w for w in env["workers"] if not w["healthy"]]
+assert len(down) == 1, env["workers"]
+print("failover ok: %d failover(s), %s marked unhealthy" %
+      (cl["failovers"], down[0]["name"]))
+EOF
+
+# A suite still completes on the survivors, still byte-identical.
+"$CUBIE" request suite --scale 16 --socket "$RSOCK" \
+         --json "$WORK/cluster2.json" 2> /dev/null
+cmp "$WORK/cluster2.json" "$WORK/direct.json"
+
+# The Prometheus scrape exposes the cubie_cluster_* series.
+"$CUBIE" request metrics --socket "$RSOCK" > "$WORK/scrape.prom" 2> /dev/null
+for series in cubie_cluster_workers cubie_cluster_workers_healthy \
+              cubie_cluster_shards_total cubie_cluster_failovers_total \
+              cubie_cluster_imbalance_ratio cubie_cluster_suites_total; do
+  grep -q "^$series" "$WORK/scrape.prom" || {
+    echo "FAIL: $series missing from the scrape" >&2; exit 1; }
+done
+
+# --- request --addr: first-healthy endpoint selection. ---------------------
+"$CUBIE" request ping --addr "$WORK/no-such.sock,$RSOCK" > /dev/null 2>&1
+if "$CUBIE" request ping --addr "$WORK/no-such.sock" > /dev/null 2>&1; then
+  echo "FAIL: ping to only-dead endpoints did not fail" >&2
+  exit 1
+fi
+
+# --- Graceful drain: router AND spawned workers exit cleanly. --------------
+"$CUBIE" request shutdown --socket "$RSOCK" > /dev/null
+rc=0
+wait "$ROUTER_PID" || rc=$?
+ROUTER_PID=""
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: cluster exited $rc after shutdown request" >&2
+  cat "$WORK/cluster.log" >&2
+  exit 1
+fi
+grep -q "drained" "$WORK/cluster.log"
+
+echo "cluster integration test OK"
